@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: datatype-width sensitivity (Section 4.1: "Benefits may be
+ * higher for wider datatypes (doubles and long integers) that take
+ * more cycles through the execution pipe, and conversely, benefit may
+ * be lower for narrow datatypes"). Runs the if/else micro-kernel with
+ * word, float, and double compute under each mode.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using compaction::Mode;
+    const OptionMap opts(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 2));
+    const std::uint32_t pattern = static_cast<std::uint32_t>(
+        opts.getInt("pattern", 0x1111));
+
+    struct TypeCase
+    {
+        const char *name;
+        isa::DataType type;
+    };
+    const TypeCase cases[] = {
+        {"w (16-bit)", isa::DataType::W},
+        {"f (32-bit)", isa::DataType::F},
+        {"df (64-bit)", isa::DataType::DF},
+    };
+
+    stats::Table table({"datatype", "cycles_ivb", "cycles_scc",
+                        "scc_time_reduction", "scc_eu_reduction"});
+    for (const TypeCase &c : cases) {
+        gpu::LaunchStats runs[2];
+        const Mode modes[2] = {Mode::IvbOpt, Mode::Scc};
+        for (unsigned m = 0; m < 2; ++m) {
+            gpu::Device dev(gpu::applyOptions(gpu::ivbConfig(modes[m]),
+                                              opts));
+            workloads::Workload w = workloads::makeMicroIfElseTyped(
+                dev, scale, pattern, c.type);
+            runs[m] = dev.launch(w.kernel, w.globalSize, w.localSize,
+                                 w.args);
+        }
+        table.row()
+            .cell(c.name)
+            .cell(runs[0].totalCycles)
+            .cell(runs[1].totalCycles)
+            .cellPct(1.0 - static_cast<double>(runs[1].totalCycles) /
+                     runs[0].totalCycles)
+            .cellPct(runs[0].euCycleReduction(Mode::Scc));
+    }
+    char title[80];
+    std::snprintf(title, sizeof(title),
+                  "Datatype sweep, lane pattern 0x%04X", pattern);
+    bench::printTable(table, title, opts);
+    return 0;
+}

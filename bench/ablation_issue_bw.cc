@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: front-end issue bandwidth (Section 4.3: "adequate
+ * instruction fetch bandwidth and front-end processing bandwidth ...
+ * may be needed to balance the higher rate of execution ... due to
+ * cycle compression"). Sweeps the issue rate and reports how much of
+ * the SCC EU-cycle gain survives in execution time.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using compaction::Mode;
+    const OptionMap opts(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 1));
+
+    struct IssueRate
+    {
+        const char *name;
+        unsigned width;
+        unsigned period;
+    };
+    const IssueRate rates[] = {
+        {"1 instr / 2 cycles", 1, 2},
+        {"1 instr / cycle", 1, 1},
+        {"2 instr / cycle", 2, 1},
+    };
+
+    for (const char *workload : {"mandelbrot", "micro_nested"}) {
+        stats::Table table({"issue_rate", "cycles_ivb", "cycles_scc",
+                            "scc_time_reduction", "scc_eu_reduction"});
+        for (const IssueRate &rate : rates) {
+            gpu::LaunchStats runs[2];
+            const Mode modes[2] = {Mode::IvbOpt, Mode::Scc};
+            for (unsigned m = 0; m < 2; ++m) {
+                gpu::GpuConfig config = gpu::applyOptions(
+                    gpu::ivbConfig(modes[m]), opts);
+                config.eu.issueWidth = rate.width;
+                config.eu.arbitrationPeriod = rate.period;
+                runs[m] = bench::runWorkloadTiming(workload, config,
+                                                   scale);
+            }
+            table.row()
+                .cell(rate.name)
+                .cell(runs[0].totalCycles)
+                .cell(runs[1].totalCycles)
+                .cellPct(1.0 -
+                         static_cast<double>(runs[1].totalCycles) /
+                         runs[0].totalCycles)
+                .cellPct(runs[0].euCycleReduction(Mode::Scc));
+        }
+        bench::printTable(table,
+                          std::string("Issue-bandwidth sensitivity: ") +
+                          workload, opts);
+    }
+    return 0;
+}

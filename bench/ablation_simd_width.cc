@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: SIMD width sensitivity (Section 7: "SIMD efficiency of
+ * GPGPU applications reduces with wider SIMD widths ... one can
+ * therefore expect a larger optimization opportunity"). Random
+ * per-lane divergence at a fixed branch-taken probability is swept
+ * across instruction widths 8/16/32 on the fixed 4-lane ALU.
+ */
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "common/bitutil.hh"
+#include "compaction/cycle_plan.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using compaction::Mode;
+    const OptionMap opts(argc, argv);
+    const std::uint64_t samples =
+        static_cast<std::uint64_t>(opts.getInt("samples", 200000));
+
+    for (const double p_active : {0.75, 0.5, 0.25}) {
+        stats::Table table({"simd_width", "simd_efficiency",
+                            "bcc_reduction", "scc_reduction"});
+        for (const unsigned width : {8u, 16u, 32u}) {
+            Rng rng(1234 + width);
+            std::uint64_t base = 0, ivb = 0, bcc = 0, scc = 0;
+            std::uint64_t active = 0;
+            for (std::uint64_t i = 0; i < samples; ++i) {
+                LaneMask mask = 0;
+                for (unsigned ch = 0; ch < width; ++ch)
+                    if (rng.chance(p_active))
+                        mask |= LaneMask{1} << ch;
+                const compaction::ExecShape shape{
+                    static_cast<std::uint8_t>(width), 4, mask};
+                base += compaction::planCycleCount(Mode::Baseline,
+                                                   shape);
+                ivb += compaction::planCycleCount(Mode::IvbOpt, shape);
+                bcc += compaction::planCycleCount(Mode::Bcc, shape);
+                scc += compaction::planCycleCount(Mode::Scc, shape);
+                active += popCount(mask);
+            }
+            table.row()
+                .cell(width)
+                .cellPct(static_cast<double>(active) /
+                         (samples * width))
+                .cellPct(1.0 - static_cast<double>(bcc) / ivb)
+                .cellPct(1.0 - static_cast<double>(scc) / ivb);
+        }
+        char title[96];
+        std::snprintf(title, sizeof(title),
+                      "Width sweep, per-lane active probability %.2f",
+                      p_active);
+        bench::printTable(table, title, opts);
+    }
+    return 0;
+}

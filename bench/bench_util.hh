@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure/per-table benchmark drivers:
+ * running a workload functionally into the trace analyzer, running it
+ * on the timing simulator under a given machine config, and printing
+ * results as plain-text or CSV tables.
+ *
+ * Every driver accepts "key=value" options: scale=N (problem size),
+ * csv=1 (CSV output), plus the machine overrides documented in
+ * gpu/gpu_config.hh.
+ */
+
+#ifndef IWC_BENCH_BENCH_UTIL_HH
+#define IWC_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "common/config.hh"
+#include "gpu/device.hh"
+#include "stats/table.hh"
+#include "trace/analyzer.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace iwc::bench
+{
+
+/** Functionally executes a workload and analyzes its mask stream. */
+inline trace::TraceAnalysis
+analyzeWorkload(const std::string &name, unsigned scale)
+{
+    gpu::Device dev;
+    workloads::Workload w = workloads::make(name, dev, scale);
+    trace::TraceAnalyzer analyzer;
+    dev.launchFunctional(
+        w.kernel, w.globalSize, w.localSize, w.args,
+        [&](const isa::Instruction &in, LaneMask mask) {
+            analyzer.add(trace::recordOf(in, mask));
+        });
+    return analyzer.result();
+}
+
+/** Runs a workload on the timing simulator. */
+inline gpu::LaunchStats
+runWorkloadTiming(const std::string &name, const gpu::GpuConfig &config,
+                  unsigned scale)
+{
+    gpu::Device dev(config);
+    workloads::Workload w = workloads::make(name, dev, scale);
+    return dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
+}
+
+/** Prints @p table as text or CSV per the "csv" option. */
+inline void
+printTable(const stats::Table &table, const std::string &title,
+           const OptionMap &opts)
+{
+    if (opts.getBool("csv", false))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout, title);
+    std::cout << '\n';
+}
+
+/** Percent formatting of a cycle reduction fraction. */
+inline std::string
+pct(double fraction)
+{
+    return stats::formatPct(fraction, 1);
+}
+
+} // namespace iwc::bench
+
+#endif // IWC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Dynamic-energy comparison across compaction modes (quantifying
+ * Section 4.3's qualitative discussion): BCC saves both cycle
+ * overhead and operand-fetch energy; SCC saves more cycles but no
+ * fetch energy and pays for crossbar toggles.
+ */
+
+#include "bench_util.hh"
+#include "compaction/energy.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using compaction::Mode;
+    const OptionMap opts(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 1));
+
+    stats::Table table({"workload", "ivb_rel_energy", "bcc_rel_energy",
+                        "scc_rel_energy", "scc_swizzle_share"});
+
+    for (const auto &name : workloads::divergentNames()) {
+        gpu::Device dev;
+        workloads::Workload w = workloads::make(name, dev, scale);
+        compaction::EnergyModel model;
+        dev.launchFunctional(
+            w.kernel, w.globalSize, w.localSize, w.args,
+            [&](const isa::Instruction &in, LaneMask mask) {
+                if (isa::isControlFlow(in.op) ||
+                    in.op == isa::Opcode::Send)
+                    return;
+                unsigned srcs = 0;
+                for (const auto *op :
+                     {&in.src0, &in.src1, &in.src2})
+                    srcs += op->isGrf() ? 1 : 0;
+                const compaction::ExecShape shape{
+                    in.simdWidth,
+                    static_cast<std::uint8_t>(isa::execElemBytes(in)),
+                    mask};
+                model.addAlu(shape, std::max(srcs, 1u));
+            });
+        const auto &scc = model.breakdown(Mode::Scc);
+        table.row()
+            .cell(name)
+            .cellPct(model.relative(Mode::IvbOpt))
+            .cellPct(model.relative(Mode::Bcc))
+            .cellPct(model.relative(Mode::Scc))
+            .cellPct(scc.total() > 0 ? scc.swizzle / scc.total() : 0);
+    }
+    bench::printTable(table,
+                      "ALU + register-file dynamic energy relative to "
+                      "the no-compaction baseline (100%)", opts);
+    return 0;
+}

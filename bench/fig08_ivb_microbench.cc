@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 8: the Ivy Bridge divergence micro-benchmark. A balanced
+ * if/else construct runs with controlled lane patterns; execution
+ * time is reported relative to the non-divergent pattern 0xFFFF under
+ * the modeled Ivy Bridge optimization.
+ *
+ * Paper shape to reproduce (relative time under IvbOpt):
+ *   0xFFFF = 100%, 0x00FF = 100% (half-mask optimized),
+ *   0xF0F0 ~ 200% (needs BCC), 0xAAAA ~ 200% (needs SCC),
+ *   0xFF0F partially optimized (its else path 0x00F0 runs as SIMD8).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    const OptionMap opts(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 2));
+
+    const std::uint32_t patterns[] = {0xffff, 0xf0f0, 0x00ff, 0xff0f,
+                                      0xaaaa};
+    const compaction::Mode modes[] = {
+        compaction::Mode::Baseline, compaction::Mode::IvbOpt,
+        compaction::Mode::Bcc, compaction::Mode::Scc};
+
+    // Total cycles per (pattern, mode).
+    double cycles[5][4] = {};
+    for (unsigned p = 0; p < 5; ++p) {
+        for (unsigned m = 0; m < 4; ++m) {
+            gpu::Device dev(gpu::applyOptions(
+                gpu::ivbConfig(modes[m]), opts));
+            workloads::Workload w = workloads::makeMicroIfElsePattern(
+                dev, scale, patterns[p]);
+            const auto stats = dev.launch(w.kernel, w.globalSize,
+                                          w.localSize, w.args);
+            cycles[p][m] = static_cast<double>(stats.totalCycles);
+        }
+    }
+
+    stats::Table table({"pattern", "rel_time_ivb", "rel_time_bcc",
+                        "rel_time_scc", "rel_time_no_opt"});
+    for (unsigned p = 0; p < 5; ++p) {
+        char name[16];
+        std::snprintf(name, sizeof(name), "0x%04X", patterns[p]);
+        table.row()
+            .cell(name)
+            .cellPct(cycles[p][1] / cycles[0][1])
+            .cellPct(cycles[p][2] / cycles[0][2])
+            .cellPct(cycles[p][3] / cycles[0][3])
+            .cellPct(cycles[p][0] / cycles[0][0]);
+    }
+    bench::printTable(table,
+                      "Figure 8: relative execution time vs enabled-"
+                      "lane pattern (100% = 0xFFFF)", opts);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 9: SIMD utilization breakdown of SIMD8/SIMD16 instructions
+ * in the divergent workloads — the fraction of instructions whose
+ * active-lane count falls in each compaction-opportunity bin.
+ *
+ * Paper shape: divergent workloads carry substantial fractions below
+ * 13-16/16 (each such instruction can shed 1-3 execution cycles);
+ * LuxMark-style SIMD8 kernels report only the two SIMD8 bins.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using compaction::UtilBin;
+    const OptionMap opts(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 1));
+
+    const UtilBin bins[] = {
+        UtilBin::S16Active1To4,  UtilBin::S16Active5To8,
+        UtilBin::S16Active9To12, UtilBin::S16Active13To16,
+        UtilBin::S8Active1To4,   UtilBin::S8Active5To8,
+    };
+
+    stats::Table table({"workload", "source", "1-4/16", "5-8/16",
+                        "9-12/16", "13-16/16", "1-4/8", "5-8/8"});
+
+    auto add_row = [&](const std::string &name,
+                       const std::string &source,
+                       const trace::TraceAnalysis &a) {
+        auto &row = table.row().cell(name).cell(source);
+        for (const UtilBin bin : bins)
+            row.cellPct(a.utilFraction(bin));
+    };
+
+    for (const auto &name : workloads::divergentNames())
+        add_row(name, "exec", bench::analyzeWorkload(name, scale));
+    for (const auto &profile : trace::paperTraceProfiles()) {
+        if (profile.divergentFraction < 0.3)
+            continue;
+        add_row(profile.name, "trace",
+                trace::analyzeTrace(trace::synthesize(profile)));
+    }
+
+    bench::printTable(table,
+                      "Figure 9: SIMD utilization breakdown in "
+                      "SIMD8/SIMD16 instructions (divergent apps)",
+                      opts);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 11: ray-tracing kernels — reduction in total execution
+ * cycles under data-cluster bandwidths of one (DC1) and two (DC2)
+ * lines per cycle, compared against the pure EU-cycle reduction, plus
+ * the achieved data-cluster throughput.
+ *
+ * Paper shape: with DC1 the execution-time gain is a fraction of the
+ * EU-cycle gain (demand exceeds one line/cycle); with DC2 roughly 90%
+ * of the EU-cycle gain is realized; DC throughput demand sits between
+ * one and two lines per cycle for most RT workloads.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using compaction::Mode;
+    const OptionMap opts(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 2));
+
+    const char *names[] = {
+        "rt_pr_alien",      "rt_pr_bulldozer",  "rt_pr_windmill",
+        "rt_ao_alien8",     "rt_ao_bulldozer8", "rt_ao_windmill8",
+        "rt_ao_alien16",    "rt_ao_bulldozer16",
+        "rt_ao_windmill16",
+    };
+
+    stats::Table table({"workload", "bcc_total_dc1", "scc_total_dc1",
+                        "bcc_total_dc2", "scc_total_dc2", "bcc_eu",
+                        "scc_eu", "dc_tput_ivb", "dc_tput_scc"});
+
+    for (const char *name : names) {
+        gpu::LaunchStats runs[3][2]; // (ivb, bcc, scc) x (dc1, dc2)
+        const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
+        for (unsigned m = 0; m < 3; ++m) {
+            for (unsigned dc = 0; dc < 2; ++dc) {
+                gpu::GpuConfig config = gpu::applyOptions(
+                    gpu::ivbConfig(modes[m]), opts);
+                config.mem.dcLinesPerCycle = dc + 1;
+                runs[m][dc] =
+                    bench::runWorkloadTiming(name, config, scale);
+            }
+        }
+        auto total_red = [&](unsigned m, unsigned dc) {
+            return 1.0 -
+                static_cast<double>(runs[m][dc].totalCycles) /
+                runs[0][dc].totalCycles;
+        };
+        const auto &eu = runs[0][0].eu;
+        table.row()
+            .cell(name)
+            .cellPct(total_red(1, 0))
+            .cellPct(total_red(2, 0))
+            .cellPct(total_red(1, 1))
+            .cellPct(total_red(2, 1))
+            .cellPct(1.0 - static_cast<double>(eu.euCycles(Mode::Bcc)) /
+                     eu.euCycles(Mode::IvbOpt))
+            .cellPct(1.0 - static_cast<double>(eu.euCycles(Mode::Scc)) /
+                     eu.euCycles(Mode::IvbOpt))
+            .cell(runs[0][1].dcThroughput(), 3)
+            .cell(runs[2][1].dcThroughput(), 3);
+    }
+
+    bench::printTable(table,
+                      "Figure 11: ray tracing - total-cycle reduction "
+                      "(DC1/DC2) vs EU-cycle reduction, DC throughput "
+                      "(lines/cycle under DC2)", opts);
+    return 0;
+}

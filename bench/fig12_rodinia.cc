@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 12: Rodinia divergent kernels — reduction in total execution
+ * cycles with the real 128KB L3 and with a perfect (infinite) L3,
+ * compared against the EU-cycle reduction.
+ *
+ * Paper shape: EU-cycle savings (~18-21% average) translate into
+ * much smaller total-time savings; BFS sees ~no benefit with the real
+ * L3 but improves under a perfect L3 (memory-divergence bound);
+ * LavaMD sees no benefit even with a perfect L3 (workload imbalance).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using compaction::Mode;
+    const OptionMap opts(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 2));
+
+    const char *names[] = {"bfs", "hotspot", "lavamd", "nw",
+                           "partfilt"};
+
+    stats::Table table({"workload", "bcc_total", "scc_total",
+                        "bcc_total_pl3", "scc_total_pl3", "bcc_eu",
+                        "scc_eu"});
+
+    for (const char *name : names) {
+        gpu::LaunchStats runs[3][2]; // (ivb,bcc,scc) x (real,perfect)
+        const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
+        for (unsigned m = 0; m < 3; ++m) {
+            for (unsigned l3 = 0; l3 < 2; ++l3) {
+                gpu::GpuConfig config = gpu::applyOptions(
+                    gpu::ivbConfig(modes[m]), opts);
+                config.mem.perfectL3 = l3 == 1;
+                runs[m][l3] =
+                    bench::runWorkloadTiming(name, config, scale);
+            }
+        }
+        auto total_red = [&](unsigned m, unsigned l3) {
+            return 1.0 -
+                static_cast<double>(runs[m][l3].totalCycles) /
+                runs[0][l3].totalCycles;
+        };
+        const auto &eu = runs[0][0].eu;
+        table.row()
+            .cell(name)
+            .cellPct(total_red(1, 0))
+            .cellPct(total_red(2, 0))
+            .cellPct(total_red(1, 1))
+            .cellPct(total_red(2, 1))
+            .cellPct(1.0 - static_cast<double>(eu.euCycles(Mode::Bcc)) /
+                     eu.euCycles(Mode::IvbOpt))
+            .cellPct(1.0 - static_cast<double>(eu.euCycles(Mode::Scc)) /
+                     eu.euCycles(Mode::IvbOpt));
+    }
+
+    bench::printTable(table,
+                      "Figure 12: Rodinia kernels - total-cycle "
+                      "reduction (real and perfect L3) vs EU-cycle "
+                      "reduction", opts);
+    return 0;
+}

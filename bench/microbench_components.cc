@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Component-level microbenchmarks (google-benchmark): throughput of
+ * the hot simulator paths — cycle planning, the SCC control
+ * algorithm, the interpreter, the coalescer, and the cache model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compaction/cycle_plan.hh"
+#include "compaction/scc_algorithm.hh"
+#include "func/interp.hh"
+#include "isa/builder.hh"
+#include "mem/cache.hh"
+#include "mem/coalescer.hh"
+
+namespace
+{
+
+using namespace iwc;
+
+void
+BM_PlanCycleCount(benchmark::State &state)
+{
+    const auto mode = static_cast<compaction::Mode>(state.range(0));
+    std::uint32_t mask = 0x1357;
+    for (auto _ : state) {
+        mask = mask * 1664525u + 1013904223u;
+        const compaction::ExecShape shape{
+            16, 4, static_cast<LaneMask>(mask & 0xffff)};
+        benchmark::DoNotOptimize(
+            compaction::planCycleCount(mode, shape));
+    }
+}
+BENCHMARK(BM_PlanCycleCount)->DenseRange(0, 3);
+
+void
+BM_PlanSccFull(benchmark::State &state)
+{
+    std::uint32_t mask = 0x2468;
+    for (auto _ : state) {
+        mask = mask * 1664525u + 1013904223u;
+        const compaction::ExecShape shape{
+            16, 4, static_cast<LaneMask>(mask & 0xffff)};
+        benchmark::DoNotOptimize(compaction::planScc(shape).cycles());
+    }
+}
+BENCHMARK(BM_PlanSccFull);
+
+void
+BM_InterpreterAluLoop(benchmark::State &state)
+{
+    isa::KernelBuilder b("bench", 16);
+    auto x = b.tmp(isa::DataType::F);
+    auto i = b.tmp(isa::DataType::D);
+    b.mov(x, b.f(1.0f));
+    b.mov(i, b.d(0));
+    b.loop_();
+    for (int k = 0; k < 8; ++k)
+        b.mad(x, x, b.f(1.0001f), b.f(0.1f));
+    b.add(i, i, b.d(1));
+    b.cmp(isa::CondMod::Lt, 1, i, b.d(1000));
+    b.endLoop(1);
+    const isa::Kernel kernel = b.build();
+
+    func::GlobalMemory gmem;
+    func::Interpreter interp(kernel, gmem);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        func::ThreadState t;
+        t.reset(0xffff);
+        while (!t.halted()) {
+            interp.step(t);
+            ++instrs;
+        }
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterAluLoop)->Unit(benchmark::kMillisecond);
+
+void
+BM_Coalescer(benchmark::State &state)
+{
+    func::MemAccess acc;
+    acc.op = isa::SendOp::GatherLoad;
+    acc.elemBytes = 4;
+    acc.mask = 0xffff;
+    std::uint32_t seed = 1;
+    for (auto _ : state) {
+        for (unsigned ch = 0; ch < 16; ++ch) {
+            seed = seed * 1664525u + 1013904223u;
+            acc.addrs[ch] = seed % (1u << state.range(0));
+        }
+        benchmark::DoNotOptimize(mem::coalesceLines(acc));
+    }
+}
+BENCHMARK(BM_Coalescer)->Arg(10)->Arg(20);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache("bench", 128 * 1024, 64);
+    std::uint32_t seed = 7;
+    Cycle now = 0;
+    for (auto _ : state) {
+        seed = seed * 1664525u + 1013904223u;
+        const Addr line = (seed % (1u << state.range(0))) * 64ull;
+        benchmark::DoNotOptimize(cache.access(line, false, ++now));
+    }
+}
+BENCHMARK(BM_CacheAccess)->Arg(10)->Arg(16);
+
+} // namespace

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Section 4.3 register-file area comparison: the BCC-optimized
+ * register file versus the baseline and versus the 8-banked per-lane
+ * addressable organization required by inter-warp compaction schemes.
+ *
+ * Paper numbers: BCC RF overhead ~10% over baseline; inter-warp
+ * per-lane RF overhead > 40%; the SCC RF is wider but shorter than
+ * baseline (no overhead).
+ */
+
+#include "bench_util.hh"
+#include "compaction/rf_area.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using namespace iwc::compaction;
+    const OptionMap opts(argc, argv);
+
+    stats::Table table({"organization", "rows", "bits/row", "banks",
+                        "relative_area", "overhead"});
+    auto add = [&](const char *name, const RfOrganization &org) {
+        const double rel = rfAreaRelative(org);
+        table.row()
+            .cell(name)
+            .cell(org.rows)
+            .cell(org.bitsPerRow)
+            .cell(org.banks)
+            .cell(rel, 3)
+            .cellPct(rel - 1.0);
+    };
+    add("baseline (256b rows)", baselineRf());
+    add("BCC (128b half-register)", bccRf());
+    add("SCC (512b wide/short)", sccRf());
+    add("per-lane 8-banked (inter-warp)", perLaneRf());
+    bench::printTable(table,
+                      "Section 4.3: register-file area comparison",
+                      opts);
+
+    // Sensitivity: area vs bank count at constant capacity.
+    stats::Table sweep({"banks", "relative_area"});
+    for (unsigned banks = 1; banks <= 16; banks *= 2) {
+        RfOrganization org = baselineRf();
+        org.banks = banks;
+        org.rows = baselineRf().rows / banks;
+        org.bitsPerRow = baselineRf().bitsPerRow;
+        sweep.row().cell(banks).cell(rfAreaRelative(org), 3);
+    }
+    bench::printTable(sweep, "Banking sweep at constant capacity",
+                      opts);
+    return 0;
+}

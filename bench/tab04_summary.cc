@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Table 4: summary of BCC and SCC benefits for divergent workloads —
+ * maximum and average EU-cycle reduction for the execution-driven
+ * suite ("GPGenSim") and the trace workloads, and maximum and average
+ * execution-time reduction under the DC1 and DC2 memory subsystems.
+ *
+ * Paper numbers: EU cycles (exec) 36%/18% max/avg BCC, 38%/24% SCC;
+ * traces 31%/12% BCC, 42%/18% SCC; execution time DC1 21%/5% BCC,
+ * 21%/7% SCC; DC2 28%/12% BCC, 36%/18% SCC.
+ */
+
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+struct MaxAvg
+{
+    double max_v = 0;
+    double sum = 0;
+    unsigned n = 0;
+
+    void
+    add(double v)
+    {
+        max_v = std::max(max_v, v);
+        sum += v;
+        ++n;
+    }
+
+    double avg() const { return n ? sum / n : 0; }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using compaction::Mode;
+    const OptionMap opts(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 1));
+    const unsigned timing_scale =
+        static_cast<unsigned>(opts.getInt("timing_scale", scale));
+
+    MaxAvg exec_bcc, exec_scc, trace_bcc, trace_scc;
+    MaxAvg dc1_bcc, dc1_scc, dc2_bcc, dc2_scc;
+
+    // EU cycles, execution-driven suite.
+    for (const auto &name : workloads::divergentNames()) {
+        const auto a = bench::analyzeWorkload(name, scale);
+        exec_bcc.add(a.reduction(Mode::Bcc));
+        exec_scc.add(a.reduction(Mode::Scc));
+    }
+
+    // EU cycles, trace workloads.
+    for (const auto &profile : trace::paperTraceProfiles()) {
+        if (profile.divergentFraction < 0.3)
+            continue;
+        const auto a = trace::analyzeTrace(trace::synthesize(profile));
+        trace_bcc.add(a.reduction(Mode::Bcc));
+        trace_scc.add(a.reduction(Mode::Scc));
+    }
+
+    // Execution time, DC1/DC2, on the timing subset (the paper's
+    // 14 GPGenSim divergent benchmarks; we use the suite's divergent
+    // set minus the micro-kernels).
+    for (const auto &name : workloads::divergentNames()) {
+        if (name.rfind("micro", 0) == 0)
+            continue;
+        gpu::LaunchStats runs[3][2];
+        const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
+        for (unsigned m = 0; m < 3; ++m) {
+            for (unsigned dc = 0; dc < 2; ++dc) {
+                gpu::GpuConfig config = gpu::applyOptions(
+                    gpu::ivbConfig(modes[m]), opts);
+                config.mem.dcLinesPerCycle = dc + 1;
+                runs[m][dc] = bench::runWorkloadTiming(name, config,
+                                                       timing_scale);
+            }
+        }
+        auto reduction = [&](unsigned m, unsigned dc) {
+            return 1.0 -
+                static_cast<double>(runs[m][dc].totalCycles) /
+                runs[0][dc].totalCycles;
+        };
+        dc1_bcc.add(reduction(1, 0));
+        dc1_scc.add(reduction(2, 0));
+        dc2_bcc.add(reduction(1, 1));
+        dc2_scc.add(reduction(2, 1));
+    }
+
+    stats::Table table({"metric", "bcc_max", "bcc_avg", "scc_max",
+                        "scc_avg"});
+    auto add = [&](const char *name, const MaxAvg &bcc,
+                   const MaxAvg &scc) {
+        table.row()
+            .cell(name)
+            .cellPct(bcc.max_v)
+            .cellPct(bcc.avg())
+            .cellPct(scc.max_v)
+            .cellPct(scc.avg());
+    };
+    add("exec-driven EU cycles", exec_bcc, exec_scc);
+    add("trace EU cycles", trace_bcc, trace_scc);
+    add("execution time (DC1)", dc1_bcc, dc1_scc);
+    add("execution time (DC2)", dc2_bcc, dc2_scc);
+
+    bench::printTable(table,
+                      "Table 4: summary of BCC and SCC benefits "
+                      "(divergent workloads)", opts);
+    return 0;
+}

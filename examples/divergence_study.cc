@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Divergence study: pick any workload from the suite and see, side by
+ * side, what the paper's two techniques buy it — SIMD efficiency, the
+ * Figure 9 utilization breakdown, EU-cycle reductions, and measured
+ * execution time under every compaction mode.
+ *
+ * Run: ./divergence_study [workload=mandelbrot] [scale=1] [list=1]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/config.hh"
+#include "gpu/device.hh"
+#include "stats/table.hh"
+#include "trace/analyzer.hh"
+#include "workloads/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using compaction::Mode;
+    const OptionMap opts(argc, argv);
+
+    if (opts.getBool("list", false)) {
+        std::puts("available workloads:");
+        for (const auto &entry : workloads::registry())
+            std::printf("  %-18s %s%s\n", entry.name,
+                        entry.description,
+                        entry.expectDivergent ? " [divergent]" : "");
+        return 0;
+    }
+
+    const std::string name =
+        opts.getString("workload", "mandelbrot");
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 1));
+
+    // Functional pass: mask-stream analysis.
+    gpu::Device func_dev;
+    workloads::Workload wf = workloads::make(name, func_dev, scale);
+    trace::TraceAnalyzer analyzer;
+    func_dev.launchFunctional(
+        wf.kernel, wf.globalSize, wf.localSize, wf.args,
+        [&](const isa::Instruction &in, LaneMask mask) {
+            analyzer.add(trace::recordOf(in, mask));
+        });
+    if (!wf.check(func_dev)) {
+        std::fprintf(stderr, "reference check FAILED for %s\n",
+                     name.c_str());
+        return 1;
+    }
+    const trace::TraceAnalysis &a = analyzer.result();
+
+    std::printf("workload %s (%s): %llu instructions, "
+                "SIMD efficiency %.1f%% -> %s\n\n",
+                name.c_str(), wf.description.c_str(),
+                static_cast<unsigned long long>(a.records),
+                a.simdEfficiency() * 100,
+                a.isDivergent() ? "divergent" : "coherent");
+
+    stats::Table util({"bin", "fraction"});
+    for (unsigned bin = 0; bin < compaction::kNumUtilBins; ++bin) {
+        util.row()
+            .cell(compaction::utilBinName(
+                static_cast<compaction::UtilBin>(bin)))
+            .cellPct(a.utilFraction(
+                static_cast<compaction::UtilBin>(bin)));
+    }
+    util.print(std::cout, "SIMD utilization breakdown (Figure 9 bins)");
+    std::puts("");
+
+    // Timing pass under each mode.
+    stats::Table timing({"mode", "total_cycles", "time_reduction",
+                         "eu_cycle_reduction"});
+    std::uint64_t ivb_cycles = 0;
+    // ivb-opt runs first so the others can normalize against it.
+    for (const Mode mode : {Mode::IvbOpt, Mode::Baseline, Mode::Bcc,
+                            Mode::Scc}) {
+        gpu::Device dev(gpu::ivbConfig(mode));
+        workloads::Workload w = workloads::make(name, dev, scale);
+        const auto stats =
+            dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
+        if (mode == Mode::IvbOpt)
+            ivb_cycles = stats.totalCycles;
+        timing.row()
+            .cell(compaction::modeName(mode))
+            .cell(stats.totalCycles)
+            .cellPct(ivb_cycles
+                         ? 1.0 - static_cast<double>(
+                               stats.totalCycles) / ivb_cycles
+                         : 0.0)
+            .cellPct(a.reduction(mode));
+    }
+    timing.print(std::cout,
+                 "Execution under each compaction mode (reductions "
+                 "vs ivb-opt)");
+    return 0;
+}

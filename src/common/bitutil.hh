@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the compaction logic and the caches.
+ */
+
+#ifndef IWC_COMMON_BITUTIL_HH
+#define IWC_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace iwc
+{
+
+/** Population count of a lane mask. */
+constexpr unsigned
+popCount(LaneMask m)
+{
+    return static_cast<unsigned>(std::popcount(m));
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::bit_width(v) - 1);
+}
+
+/** Ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Extracts the @p group_idx-th contiguous group of @p group_width bits
+ * from @p mask (group 0 is the least significant).
+ */
+constexpr LaneMask
+extractGroup(LaneMask mask, unsigned group_idx, unsigned group_width)
+{
+    const LaneMask group_mask = laneMaskForWidth(group_width);
+    return (mask >> (group_idx * group_width)) & group_mask;
+}
+
+/** Align @p addr down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+} // namespace iwc
+
+#endif // IWC_COMMON_BITUTIL_HH

@@ -1,0 +1,82 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace iwc
+{
+
+OptionMap::OptionMap(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0)
+            continue;
+        opts_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+}
+
+void
+OptionMap::set(const std::string &key, const std::string &value)
+{
+    opts_[key] = value;
+}
+
+bool
+OptionMap::has(const std::string &key) const
+{
+    return opts_.count(key) != 0;
+}
+
+std::string
+OptionMap::getString(const std::string &key, const std::string &def) const
+{
+    const auto it = opts_.find(key);
+    return it == opts_.end() ? def : it->second;
+}
+
+std::int64_t
+OptionMap::getInt(const std::string &key, std::int64_t def) const
+{
+    const auto it = opts_.find(key);
+    if (it == opts_.end())
+        return def;
+    char *end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "option %s=%s is not an integer", key.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+double
+OptionMap::getDouble(const std::string &key, double def) const
+{
+    const auto it = opts_.find(key);
+    if (it == opts_.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "option %s=%s is not a number", key.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+bool
+OptionMap::getBool(const std::string &key, bool def) const
+{
+    const auto it = opts_.find(key);
+    if (it == opts_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("option %s=%s is not a boolean", key.c_str(), v.c_str());
+}
+
+} // namespace iwc

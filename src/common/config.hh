@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tiny "key=value" option parser used by the bench drivers and examples
+ * so experiments can be re-run with different machine parameters from
+ * the command line without recompiling.
+ */
+
+#ifndef IWC_COMMON_CONFIG_HH
+#define IWC_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace iwc
+{
+
+/**
+ * Parses "key=value" strings from argv and serves typed lookups with
+ * defaults. Unknown keys are kept and can be enumerated (useful for
+ * flagging typos in experiment scripts).
+ */
+class OptionMap
+{
+  public:
+    OptionMap() = default;
+
+    /** Parses every "key=value" argument; other arguments are ignored. */
+    OptionMap(int argc, char **argv);
+
+    /** Inserts or overwrites one option. */
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    const std::map<std::string, std::string> &raw() const { return opts_; }
+
+  private:
+    std::map<std::string, std::string> opts_;
+};
+
+} // namespace iwc
+
+#endif // IWC_COMMON_CONFIG_HH

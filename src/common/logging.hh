@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal gem5-style logging: panic() for simulator bugs, fatal() for
+ * user errors, warn()/inform() for status messages.
+ */
+
+#ifndef IWC_COMMON_LOGGING_HH
+#define IWC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace iwc
+{
+
+/**
+ * Terminates the process for an internal simulator bug (calls abort()).
+ * Use when a condition that should be impossible is observed.
+ */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * Terminates the process for a user-level error such as an invalid
+ * configuration (calls exit(1)).
+ */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Prints a warning to stderr; simulation continues. */
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Prints an informational message to stderr; simulation continues. */
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace iwc
+
+#define panic(...) ::iwc::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::iwc::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::iwc::warnImpl(__VA_ARGS__)
+#define inform(...) ::iwc::informImpl(__VA_ARGS__)
+
+/** panic() unless @p cond holds. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                              \
+    } while (0)
+
+/** fatal() unless @p cond holds. */
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            fatal(__VA_ARGS__);                                              \
+    } while (0)
+
+#endif // IWC_COMMON_LOGGING_HH

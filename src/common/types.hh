@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the IWC simulator.
+ */
+
+#ifndef IWC_COMMON_TYPES_HH
+#define IWC_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace iwc
+{
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated byte address in the flat global address space. */
+using Addr = std::uint64_t;
+
+/**
+ * Per-channel execution mask. Bit i corresponds to SIMD channel i.
+ * Supports instruction SIMD widths up to 32.
+ */
+using LaneMask = std::uint32_t;
+
+/** Sentinel for "no cycle scheduled yet". */
+constexpr Cycle kNoCycle = ~Cycle{0};
+
+/** Cache line size used throughout the memory hierarchy (bytes). */
+constexpr unsigned kCacheLineBytes = 64;
+
+/** Width of one GRF register in bytes (256 bits). */
+constexpr unsigned kGrfRegBytes = 32;
+
+/** Number of GRF registers per EU thread. */
+constexpr unsigned kGrfRegCount = 128;
+
+/** Width of the hardware execution datapath in bytes per cycle. */
+constexpr unsigned kAluDatapathBytes = 16;
+
+/** Maximum SIMD width of a single instruction. */
+constexpr unsigned kMaxSimdWidth = 32;
+
+/** Returns a LaneMask with the low @p n bits set. */
+constexpr LaneMask
+laneMaskForWidth(unsigned n)
+{
+    return n >= 32 ? ~LaneMask{0} : ((LaneMask{1} << n) - 1);
+}
+
+} // namespace iwc
+
+#endif // IWC_COMMON_TYPES_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Execution-cycle planning under the four compaction modes studied in
+ * the paper:
+ *
+ *  - Baseline: every channel group is sequenced through the ALU whether
+ *    or not any of its channels are enabled.
+ *  - IvbOpt: the pre-existing Ivy Bridge optimization inferred in
+ *    Section 5.2 — a SIMD16 instruction whose upper or lower eight
+ *    channels are all disabled executes as SIMD8 (half the cycles).
+ *  - Bcc: basic cycle compression (Section 3.1) — channel groups whose
+ *    mask bits are all zero are skipped entirely.
+ *  - Scc: swizzled cycle compression (Section 3.2) — enabled channels
+ *    are permuted across lane positions to reach the optimal
+ *    ceil(popcount / groupWidth) cycles, per the Figure 6 algorithm.
+ *
+ * A CyclePlan records, for each issued execution cycle, which source
+ * channel feeds each hardware lane, so the timing model can derive
+ * occupancy, swizzle activity, and operand-fetch suppression from it.
+ */
+
+#ifndef IWC_COMPACTION_CYCLE_PLAN_HH
+#define IWC_COMPACTION_CYCLE_PLAN_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "compaction/mask_info.hh"
+#include "common/types.hh"
+
+namespace iwc::compaction
+{
+
+/** The divergence-optimization mode an EU is configured with. */
+enum class Mode : std::uint8_t
+{
+    Baseline,
+    IvbOpt,
+    Bcc,
+    Scc,
+    NumModes,
+};
+
+constexpr unsigned kNumModes = static_cast<unsigned>(Mode::NumModes);
+
+const char *modeName(Mode m);
+
+/** Maximum hardware lanes per execution cycle (word-type groups). */
+constexpr unsigned kMaxGroupWidth = 8;
+
+/** Source selection for one hardware lane in one execution cycle. */
+struct LaneSel
+{
+    std::int8_t srcGroup = -1; ///< source channel group, -1 = disabled
+    std::int8_t srcLane = -1;  ///< lane within the source group
+
+    bool enabled() const { return srcGroup >= 0; }
+};
+
+/** One execution cycle's worth of lane selections. */
+struct CycleSlot
+{
+    std::array<LaneSel, kMaxGroupWidth> lanes{};
+};
+
+/** The full per-instruction execution schedule. */
+struct CyclePlan
+{
+    unsigned groupWidth = 4;  ///< hardware lanes active per cycle
+    unsigned numGroups = 4;   ///< channel groups in the instruction
+    std::vector<CycleSlot> slots;
+
+    unsigned cycles() const
+    {
+        return static_cast<unsigned>(slots.size());
+    }
+
+    /** Lanes routed away from their home position (SCC crossbar use). */
+    unsigned swizzledLanes() const;
+
+    /** Channel groups whose operand fetch is suppressed (BCC savings). */
+    unsigned suppressedGroups() const
+    {
+        return numGroups - cycles();
+    }
+};
+
+/**
+ * Number of execution cycles under @p mode without materializing the
+ * full plan — the fast path used by the trace analyzer.
+ */
+unsigned planCycleCount(Mode mode, const ExecShape &shape);
+
+/** Builds the full execution schedule under @p mode. */
+CyclePlan planCycles(Mode mode, const ExecShape &shape);
+
+/**
+ * Validates that @p plan issues every enabled channel of @p shape
+ * exactly once and never issues a disabled channel.
+ * @return true if the plan is a correct schedule.
+ */
+bool verifyPlan(const CyclePlan &plan, const ExecShape &shape);
+
+} // namespace iwc::compaction
+
+#endif // IWC_COMPACTION_CYCLE_PLAN_HH

@@ -1,0 +1,60 @@
+#include "compaction/energy.hh"
+
+#include "common/bitutil.hh"
+#include "compaction/scc_algorithm.hh"
+
+namespace iwc::compaction
+{
+
+void
+EnergyModel::addAlu(const ExecShape &shape, unsigned src_operands)
+{
+    const unsigned active = popCount(shape.maskedExec());
+
+    for (unsigned m = 0; m < kNumModes; ++m) {
+        const Mode mode = static_cast<Mode>(m);
+        EnergyBreakdown &e = perMode_[m];
+
+        const unsigned cycles = planCycleCount(mode, shape);
+        e.cycleOverhead += costs_.cycleOverhead * cycles;
+        // The enabled lanes do the same arithmetic under every mode.
+        e.laneActive += costs_.laneActive * active;
+
+        switch (mode) {
+          case Mode::Baseline:
+          case Mode::IvbOpt:
+          case Mode::Bcc:
+            // Half-register fetch per surviving channel group per
+            // source operand (BCC's fetch suppression shows up as
+            // fewer cycles here).
+            e.rfFetch += costs_.rfHalfFetch * cycles * src_operands;
+            break;
+          case Mode::Scc: {
+            // SCC fetches operands full width regardless of the
+            // compression (Section 4.2), so it pays the *IvbOpt*
+            // fetch count, plus crossbar toggles for moved lanes.
+            const unsigned ivb_cycles =
+                planCycleCount(Mode::IvbOpt, shape);
+            e.rfFetch +=
+                costs_.rfHalfFetch * ivb_cycles * src_operands;
+            e.swizzle +=
+                costs_.swizzle * planScc(shape).swizzledLanes();
+            break;
+          }
+          case Mode::NumModes:
+            break;
+        }
+    }
+}
+
+double
+EnergyModel::relative(Mode mode) const
+{
+    const double base =
+        perMode_[static_cast<unsigned>(Mode::Baseline)].total();
+    return base == 0
+        ? 1.0
+        : perMode_[static_cast<unsigned>(mode)].total() / base;
+}
+
+} // namespace iwc::compaction

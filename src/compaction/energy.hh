@@ -1,0 +1,93 @@
+/**
+ * @file
+ * First-order dynamic-energy model for the effects Section 4.3
+ * discusses qualitatively:
+ *
+ *  - every issued execution cycle pays a pipeline-overhead cost
+ *    (clocking, sequencing) whether or not all lanes are useful —
+ *    compaction removes these cycles;
+ *  - every *enabled* lane-cycle pays the ALU datapath cost — identical
+ *    under every mode (the same work is done);
+ *  - each non-suppressed channel group pays a 128b register-file
+ *    half-fetch per source operand — "with a BCC optimized register
+ *    file, one can expect to save operand fetch energy"; SCC performs
+ *    full-width fetches, so it saves none ("there is no operand fetch
+ *    bandwidth savings for SCC");
+ *  - each swizzled lane pays a crossbar-toggle cost — "SCC control
+ *    logic is more complex than that of BCC, thus ... a modest
+ *    increase in control logic power".
+ *
+ * Costs are in arbitrary units; compare ratios across modes, not
+ * absolutes.
+ */
+
+#ifndef IWC_COMPACTION_ENERGY_HH
+#define IWC_COMPACTION_ENERGY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "compaction/cycle_plan.hh"
+
+namespace iwc::compaction
+{
+
+/** Per-event energy costs (arbitrary units). */
+struct EnergyCosts
+{
+    double cycleOverhead = 4.0; ///< per issued execution cycle
+    double laneActive = 1.0;    ///< per enabled lane-cycle
+    double rfHalfFetch = 2.0;   ///< per 128b operand half-fetch
+    double swizzle = 0.25;      ///< per lane routed off-home (SCC)
+};
+
+/** Energy breakdown for a mask stream under one mode. */
+struct EnergyBreakdown
+{
+    double cycleOverhead = 0;
+    double laneActive = 0;
+    double rfFetch = 0;
+    double swizzle = 0;
+
+    double
+    total() const
+    {
+        return cycleOverhead + laneActive + rfFetch + swizzle;
+    }
+};
+
+/**
+ * Streaming per-instruction energy accounting across all modes at
+ * once (the mask stream is mode independent).
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyCosts &costs = {})
+        : costs_(costs)
+    {
+    }
+
+    /**
+     * Accounts one ALU instruction with @p src_operands source
+     * operands (fetch count scales with it).
+     */
+    void addAlu(const ExecShape &shape, unsigned src_operands);
+
+    const EnergyBreakdown &
+    breakdown(Mode mode) const
+    {
+        return perMode_[static_cast<unsigned>(mode)];
+    }
+
+    /** Energy of @p mode relative to Baseline (1.0 = no saving). */
+    double relative(Mode mode) const;
+
+  private:
+    EnergyCosts costs_;
+    std::array<EnergyBreakdown, kNumModes> perMode_{};
+};
+
+} // namespace iwc::compaction
+
+#endif // IWC_COMPACTION_ENERGY_HH

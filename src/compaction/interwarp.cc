@@ -1,0 +1,152 @@
+#include "compaction/interwarp.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "mem/coalescer.hh"
+
+namespace iwc::compaction
+{
+
+void
+InterWarpAnalyzer::add(unsigned workgroup, unsigned subgroup,
+                       std::uint32_t ip, std::uint64_t occurrence,
+                       const func::StepResult &result)
+{
+    panic_if(finalized_, "add() after finalize()");
+    const isa::Instruction &in = *result.instr;
+
+    // Control flow is not compactable under either family of schemes.
+    if (isa::isControlFlow(in.op))
+        return;
+    // Barriers/fences and block/SLM messages are warp-level
+    // operations that compaction leaves alone.
+    if (in.op == isa::Opcode::Send &&
+        (!result.hasMem || result.mem.isBlock ||
+         isa::isSlmSend(in.send.op)))
+        return;
+
+    if (static_cast<int>(workgroup) != currentWg_) {
+        flushWorkgroup();
+        currentWg_ = static_cast<int>(workgroup);
+    }
+
+    MergeGroup &group = pending_[{ip, occurrence}];
+    if (group.members.empty()) {
+        group.simdWidth = in.simdWidth;
+        group.elemBytes =
+            static_cast<std::uint8_t>(isa::execElemBytes(in));
+        group.isSend = in.op == isa::Opcode::Send;
+    }
+    Member member;
+    member.mask = result.execMask & in.widthMask();
+    if (result.hasMem) {
+        member.hasMem = true;
+        member.addrs = result.mem.addrs;
+        member.elemBytes = result.mem.elemBytes;
+    }
+    (void)subgroup; // merge order is the feed order
+    group.members.push_back(member);
+}
+
+void
+InterWarpAnalyzer::processGroup(const MergeGroup &group)
+{
+    const unsigned width = group.simdWidth;
+    const unsigned groups_per_instr = numGroups(width, group.elemBytes);
+
+    // Per-lane count of warps with that lane enabled: TBC keeps home
+    // lanes, so the compacted warp count is the maximum per-lane load.
+    std::vector<unsigned> lane_load(width, 0);
+    for (const Member &m : group.members)
+        for (unsigned lane = 0; lane < width; ++lane)
+            if (m.mask & (LaneMask{1} << lane))
+                ++lane_load[lane];
+    const unsigned compacted =
+        *std::max_element(lane_load.begin(), lane_load.end());
+
+    if (!group.isSend) {
+        // --- Execution-cycle accounting ---
+        for (const Member &m : group.members) {
+            const ExecShape shape{group.simdWidth, group.elemBytes,
+                                  m.mask};
+            stats_.intraBaselineCycles +=
+                planCycleCount(Mode::Baseline, shape);
+            stats_.intraIvbCycles +=
+                planCycleCount(Mode::IvbOpt, shape);
+            stats_.intraBccCycles += planCycleCount(Mode::Bcc, shape);
+            stats_.intraSccCycles += planCycleCount(Mode::Scc, shape);
+        }
+        // Plain TBC: each compacted warp runs full width.
+        stats_.interWarpCycles +=
+            static_cast<std::uint64_t>(compacted) * groups_per_instr;
+        // TBC + intra-warp SCC on the merged masks: compacted warp w
+        // holds lane l iff lane_load[l] > w.
+        for (unsigned w = 0; w < compacted; ++w) {
+            unsigned active = 0;
+            for (unsigned lane = 0; lane < width; ++lane)
+                if (lane_load[lane] > w)
+                    ++active;
+            stats_.interWarpSccCycles += ceilDiv(active, laneGroup_);
+        }
+        return;
+    }
+
+    // --- Memory-divergence accounting (gather/scatter sends) ---
+    // Intra-warp: every original warp issues its own message.
+    for (const Member &m : group.members) {
+        if (m.mask == 0)
+            continue;
+        func::MemAccess access;
+        access.elemBytes = m.elemBytes;
+        access.mask = m.mask;
+        access.addrs = m.addrs;
+        ++stats_.intraMessages;
+        stats_.intraLines += mem::coalesceLines(access).size();
+    }
+    // Inter-warp: compacted warp w's lane l carries the address of
+    // the (w+1)-th member warp with lane l enabled.
+    for (unsigned w = 0; w < compacted; ++w) {
+        func::MemAccess access;
+        access.elemBytes = group.members.empty()
+            ? 4 : group.members.front().elemBytes;
+        for (unsigned lane = 0; lane < width; ++lane) {
+            unsigned seen = 0;
+            for (const Member &m : group.members) {
+                if (!(m.mask & (LaneMask{1} << lane)))
+                    continue;
+                if (seen == w) {
+                    access.mask |= LaneMask{1} << lane;
+                    access.addrs[lane] = m.addrs[lane];
+                    break;
+                }
+                ++seen;
+            }
+        }
+        if (access.mask == 0)
+            continue;
+        ++stats_.interMessages;
+        stats_.interLines += mem::coalesceLines(access).size();
+    }
+}
+
+void
+InterWarpAnalyzer::flushWorkgroup()
+{
+    for (const auto &[key, group] : pending_)
+        processGroup(group);
+    pending_.clear();
+}
+
+const InterWarpStats &
+InterWarpAnalyzer::finalize()
+{
+    if (!finalized_) {
+        flushWorkgroup();
+        finalized_ = true;
+    }
+    return stats_;
+}
+
+} // namespace iwc::compaction

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Idealized inter-warp compaction analyzer, for the paper's central
+ * comparison (Sections 1-2): thread-block-compaction-style schemes
+ * (TBC / LWM / CAPRI) merge the enabled lanes of *different warps*
+ * executing the same instruction, at the cost of implicit warp
+ * barriers, per-lane addressable register files, and increased memory
+ * divergence. This analyzer computes an *upper bound* on what such a
+ * scheme could achieve on a workload — perfect PC synchronization is
+ * assumed (the k-th dynamic execution of a static instruction is
+ * merged across every subgroup of a workgroup) — together with the
+ * memory-divergence cost of the merge, so the paper's claim "intra-
+ * warp compaction delivers the bulk of the benefit without creating
+ * memory divergence" can be evaluated quantitatively.
+ *
+ * Like TBC, merged threads keep their home lane position (no lane
+ * swizzling across warps): the compacted warp count for one merge
+ * group is max over lane positions of the number of warps with that
+ * lane enabled.
+ */
+
+#ifndef IWC_COMPACTION_INTERWARP_HH
+#define IWC_COMPACTION_INTERWARP_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "compaction/cycle_plan.hh"
+#include "func/interp.hh"
+
+namespace iwc::compaction
+{
+
+/** Aggregate comparison of intra-warp vs idealized inter-warp. */
+struct InterWarpStats
+{
+    // --- ALU execution cycles (same instruction stream) ---
+    std::uint64_t intraBaselineCycles = 0; ///< per-warp, no compaction
+    std::uint64_t intraIvbCycles = 0;      ///< per-warp, IvbOpt
+    std::uint64_t intraBccCycles = 0;      ///< per-warp BCC
+    std::uint64_t intraSccCycles = 0;      ///< per-warp SCC (ours)
+    std::uint64_t interWarpCycles = 0;     ///< TBC-style merged warps
+    std::uint64_t interWarpSccCycles = 0;  ///< merged + intra SCC
+
+    // --- Memory divergence (gather/scatter messages only) ---
+    std::uint64_t intraMessages = 0;
+    std::uint64_t intraLines = 0;
+    std::uint64_t interMessages = 0;
+    std::uint64_t interLines = 0;
+
+    double
+    intraLinesPerMessage() const
+    {
+        return intraMessages
+            ? static_cast<double>(intraLines) / intraMessages
+            : 0.0;
+    }
+
+    double
+    interLinesPerMessage() const
+    {
+        return interMessages
+            ? static_cast<double>(interLines) / interMessages
+            : 0.0;
+    }
+
+    /** Fractional cycle reduction of scheme X vs intra baseline. */
+    double
+    reductionVsBaseline(std::uint64_t cycles) const
+    {
+        return intraBaselineCycles
+            ? 1.0 - static_cast<double>(cycles) / intraBaselineCycles
+            : 0.0;
+    }
+};
+
+/**
+ * Streaming analyzer fed from runKernelFunctionalDetailed. Records
+ * are grouped by (static ip, dynamic occurrence) within a workgroup
+ * and merged TBC-style when the workgroup completes.
+ */
+class InterWarpAnalyzer
+{
+  public:
+    explicit InterWarpAnalyzer(unsigned lane_group_width = 4)
+        : laneGroup_(lane_group_width)
+    {
+    }
+
+    /** Feeds one executed instruction. */
+    void add(unsigned workgroup, unsigned subgroup, std::uint32_t ip,
+             std::uint64_t occurrence, const func::StepResult &result);
+
+    /** Flushes the last workgroup and returns the totals. */
+    const InterWarpStats &finalize();
+
+  private:
+    struct Member
+    {
+        LaneMask mask = 0;
+        bool hasMem = false;
+        std::array<Addr, kMaxSimdWidth> addrs{};
+        unsigned elemBytes = 4;
+    };
+
+    struct MergeGroup
+    {
+        std::uint8_t simdWidth = 16;
+        std::uint8_t elemBytes = 4;
+        bool isSend = false;
+        std::vector<Member> members;
+    };
+
+    void flushWorkgroup();
+    void processGroup(const MergeGroup &group);
+
+    unsigned laneGroup_;
+    int currentWg_ = -1;
+    std::map<std::pair<std::uint32_t, std::uint64_t>, MergeGroup>
+        pending_;
+    InterWarpStats stats_;
+    bool finalized_ = false;
+};
+
+} // namespace iwc::compaction
+
+#endif // IWC_COMPACTION_INTERWARP_HH

@@ -1,0 +1,45 @@
+#include "compaction/mask_info.hh"
+
+#include "common/bitutil.hh"
+
+namespace iwc::compaction
+{
+
+UtilBin
+classifyUtil(unsigned simd_width, LaneMask exec_mask)
+{
+    const unsigned active =
+        popCount(exec_mask & laneMaskForWidth(simd_width));
+    if (active == 0)
+        return UtilBin::Other;
+    if (simd_width == 16) {
+        if (active <= 4)
+            return UtilBin::S16Active1To4;
+        if (active <= 8)
+            return UtilBin::S16Active5To8;
+        if (active <= 12)
+            return UtilBin::S16Active9To12;
+        return UtilBin::S16Active13To16;
+    }
+    if (simd_width == 8)
+        return active <= 4 ? UtilBin::S8Active1To4 : UtilBin::S8Active5To8;
+    return UtilBin::Other;
+}
+
+const char *
+utilBinName(UtilBin bin)
+{
+    switch (bin) {
+      case UtilBin::S16Active1To4:   return "1-4/16";
+      case UtilBin::S16Active5To8:   return "5-8/16";
+      case UtilBin::S16Active9To12:  return "9-12/16";
+      case UtilBin::S16Active13To16: return "13-16/16";
+      case UtilBin::S8Active1To4:    return "1-4/8";
+      case UtilBin::S8Active5To8:    return "5-8/8";
+      case UtilBin::Other:           return "other";
+      case UtilBin::NumBins:         break;
+    }
+    return "?";
+}
+
+} // namespace iwc::compaction

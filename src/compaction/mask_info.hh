@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Execution-mask analysis shared by the timing model and the
+ * trace-based analyzer: channel-group geometry, SIMD-efficiency
+ * accounting, and the utilization bins of the paper's Figure 9.
+ */
+
+#ifndef IWC_COMPACTION_MASK_INFO_HH
+#define IWC_COMPACTION_MASK_INFO_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace iwc::compaction
+{
+
+/**
+ * The per-instruction facts the compaction logic consumes: SIMD width,
+ * final execution mask, and the element size, which determines how
+ * many channels the 16-byte ALU datapath moves per cycle.
+ */
+struct ExecShape
+{
+    std::uint8_t simdWidth = 16;
+    std::uint8_t elemBytes = 4;
+    LaneMask execMask = 0;
+
+    LaneMask maskedExec() const
+    {
+        return execMask & laneMaskForWidth(simdWidth);
+    }
+};
+
+/**
+ * Channels executed per cycle for the given element size: 8 for word
+ * types, 4 for dword/float, 2 for double/qword — the 16B/cycle ALU
+ * datapath of Section 2.2. Never wider than the instruction itself.
+ */
+constexpr unsigned
+groupWidth(unsigned simd_width, unsigned elem_bytes)
+{
+    const unsigned g = kAluDatapathBytes / elem_bytes;
+    return g < simd_width ? g : simd_width;
+}
+
+/** Number of channel groups (baseline execution cycles). */
+constexpr unsigned
+numGroups(unsigned simd_width, unsigned elem_bytes)
+{
+    const unsigned g = groupWidth(simd_width, elem_bytes);
+    return (simd_width + g - 1) / g;
+}
+
+/** Figure 9's SIMD utilization bins. */
+enum class UtilBin : std::uint8_t
+{
+    S16Active1To4,   ///< SIMD16, 1-4 active lanes (3 cycles savable)
+    S16Active5To8,   ///< SIMD16, 5-8 active lanes (2 cycles savable)
+    S16Active9To12,  ///< SIMD16, 9-12 active lanes (1 cycle savable)
+    S16Active13To16, ///< SIMD16, 13-16 active lanes (no compaction)
+    S8Active1To4,    ///< SIMD8, 1-4 active lanes (1 cycle savable)
+    S8Active5To8,    ///< SIMD8, 5-8 active lanes (no compaction)
+    Other,           ///< other widths / no active lanes
+    NumBins,
+};
+
+constexpr unsigned kNumUtilBins = static_cast<unsigned>(UtilBin::NumBins);
+
+/** Classifies an instruction into its Figure 9 utilization bin. */
+UtilBin classifyUtil(unsigned simd_width, LaneMask exec_mask);
+
+const char *utilBinName(UtilBin bin);
+
+} // namespace iwc::compaction
+
+#endif // IWC_COMPACTION_MASK_INFO_HH

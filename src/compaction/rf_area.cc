@@ -1,0 +1,70 @@
+#include "compaction/rf_area.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace iwc::compaction
+{
+
+namespace
+{
+
+// Calibration constants (arbitrary cell-area units). See header.
+constexpr double kDecodePerRowLog = 3.0; ///< row decode + WL driver
+constexpr double kColumnPerBit = 2.0;    ///< sense amps / column mux
+constexpr double kBankFixed = 500.0;     ///< control, routing per bank
+constexpr double kPortGrowth = 0.7;      ///< extra cell area per port
+
+} // namespace
+
+double
+rfArea(const RfOrganization &org)
+{
+    panic_if(org.rows == 0 || org.bitsPerRow == 0 || org.banks == 0 ||
+             org.ports == 0, "degenerate register file organization");
+    const double cell_scale = 1.0 + kPortGrowth * (org.ports - 1);
+    const double cells = static_cast<double>(org.rows) * org.bitsPerRow *
+        cell_scale;
+    const double decode = kDecodePerRowLog * org.rows *
+        std::log2(static_cast<double>(org.rows));
+    const double columns = kColumnPerBit * org.bitsPerRow;
+    const double per_bank = cells + decode + columns + kBankFixed;
+    return per_bank * org.banks;
+}
+
+RfOrganization
+baselineRf()
+{
+    return {128, 256, 1, 1};
+}
+
+RfOrganization
+bccRf()
+{
+    // Half-register (128b) fetch granularity doubles the row count.
+    return {256, 128, 1, 1};
+}
+
+RfOrganization
+sccRf()
+{
+    // Full-width 512b operand fetch: wider but shorter than baseline.
+    return {64, 512, 1, 1};
+}
+
+RfOrganization
+perLaneRf()
+{
+    // Inter-warp compaction needs a per-lane addressable bank per lane
+    // pair: 8 banks of 32b words, each with its own decoder.
+    return {128, 32, 8, 1};
+}
+
+double
+rfAreaRelative(const RfOrganization &org)
+{
+    return rfArea(org) / rfArea(baselineRf());
+}
+
+} // namespace iwc::compaction

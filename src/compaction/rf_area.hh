@@ -1,0 +1,43 @@
+/**
+ * @file
+ * First-order analytical register-file area model standing in for the
+ * paper's CACTI 5.x comparison (Section 4.3). The model captures the
+ * dominant effects CACTI reports for small SRAM arrays: cell area
+ * proportional to capacity and port count, row-decode and word-line
+ * cost growing with the row count, column periphery growing with the
+ * row width, and a fixed per-bank overhead. Constants are calibrated
+ * so that the baseline Ivy Bridge organization normalizes to 1.0 and
+ * the paper's orderings hold (BCC ~ +10%, per-lane 8-banked > +40%,
+ * SCC slightly smaller than baseline).
+ */
+
+#ifndef IWC_COMPACTION_RF_AREA_HH
+#define IWC_COMPACTION_RF_AREA_HH
+
+namespace iwc::compaction
+{
+
+/** Physical organization of a register file. */
+struct RfOrganization
+{
+    unsigned rows = 128;       ///< words per bank
+    unsigned bitsPerRow = 256; ///< word width in bits
+    unsigned banks = 1;        ///< independently addressable banks
+    unsigned ports = 1;        ///< read/write port pairs per cell
+};
+
+/** Area in arbitrary units (compare ratios, not absolutes). */
+double rfArea(const RfOrganization &org);
+
+/** The four organizations compared in Section 4.3 / Figure 5. */
+RfOrganization baselineRf();   ///< 128 x 256b, single bank
+RfOrganization bccRf();        ///< 256 x 128b half-register access
+RfOrganization sccRf();        ///< 64 x 512b wide/short
+RfOrganization perLaneRf();    ///< 8 banks x 128 x 32b (inter-warp)
+
+/** Area of @p org relative to the baseline organization. */
+double rfAreaRelative(const RfOrganization &org);
+
+} // namespace iwc::compaction
+
+#endif // IWC_COMPACTION_RF_AREA_HH

@@ -1,0 +1,133 @@
+#include "compaction/scc_algorithm.hh"
+
+#include <array>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace iwc::compaction
+{
+
+namespace
+{
+
+/**
+ * Fixed-capacity FIFO of channel-group indices; the hardware analogue
+ * is a short shift register per lane position.
+ */
+class LaneQueue
+{
+  public:
+    void push(std::int8_t group) { groups_[tail_++] = group; }
+
+    std::int8_t
+    pop()
+    {
+        panic_if(empty(), "pop from empty SCC lane queue");
+        return groups_[head_++];
+    }
+
+    bool empty() const { return head_ == tail_; }
+    unsigned size() const { return tail_ - head_; }
+
+  private:
+    std::array<std::int8_t, kMaxSimdWidth> groups_{};
+    unsigned head_ = 0;
+    unsigned tail_ = 0;
+};
+
+} // namespace
+
+CyclePlan
+planScc(const ExecShape &shape)
+{
+    const unsigned gw = groupWidth(shape.simdWidth, shape.elemBytes);
+    const unsigned n_groups = numGroups(shape.simdWidth, shape.elemBytes);
+    const LaneMask mask = shape.maskedExec();
+
+    CyclePlan plan;
+    plan.groupWidth = gw;
+    plan.numGroups = n_groups;
+
+    const unsigned active_lanes = popCount(mask);
+    if (active_lanes == 0)
+        return plan; // fully predicated off: zero execution cycles
+
+    // o_cyc_cnt = ceil(active lanes / hardware width).
+    const unsigned opt_cycles =
+        static_cast<unsigned>(ceilDiv(active_lanes, gw));
+
+    // Count active quads; if it already matches the optimum, skip empty
+    // quads BCC-style with no swizzling.
+    unsigned active_quads = 0;
+    for (unsigned g = 0; g < n_groups; ++g)
+        if (extractGroup(mask, g, gw) != 0)
+            ++active_quads;
+
+    if (active_quads == opt_cycles) {
+        for (unsigned g = 0; g < n_groups; ++g) {
+            const LaneMask bits = extractGroup(mask, g, gw);
+            if (bits == 0)
+                continue;
+            CycleSlot slot;
+            for (unsigned n = 0; n < gw; ++n) {
+                if (bits & (LaneMask{1} << n)) {
+                    slot.lanes[n].srcGroup = static_cast<std::int8_t>(g);
+                    slot.lanes[n].srcLane = static_cast<std::int8_t>(n);
+                }
+            }
+            plan.slots.push_back(slot);
+        }
+        return plan;
+    }
+
+    // Initial setup: per-lane queues of quads in which that lane is
+    // active, and the surplus of each lane over the optimal cycle count.
+    std::array<LaneQueue, kMaxGroupWidth> queues;
+    for (unsigned g = 0; g < n_groups; ++g) {
+        const LaneMask bits = extractGroup(mask, g, gw);
+        for (unsigned n = 0; n < gw; ++n)
+            if (bits & (LaneMask{1} << n))
+                queues[n].push(static_cast<std::int8_t>(g));
+    }
+
+    std::array<unsigned, kMaxGroupWidth> surplus{};
+    unsigned tot_surplus = 0;
+    for (unsigned n = 0; n < gw; ++n) {
+        const unsigned len = queues[n].size();
+        surplus[n] = len > opt_cycles ? len - opt_cycles : 0;
+        tot_surplus += surplus[n];
+    }
+
+    // Per-cycle schedule: unswizzled lanes first, then fill empty lane
+    // positions from surplus lanes through the crossbar.
+    for (unsigned c = 0; c < opt_cycles; ++c) {
+        CycleSlot slot;
+        for (unsigned n = 0; n < gw; ++n) {
+            if (!queues[n].empty()) {
+                slot.lanes[n].srcGroup = queues[n].pop();
+                slot.lanes[n].srcLane = static_cast<std::int8_t>(n);
+            } else if (tot_surplus != 0) {
+                // Dequeue from some lane m with remaining surplus.
+                unsigned m = 0;
+                while (m < gw && (surplus[m] == 0 || queues[m].empty()))
+                    ++m;
+                panic_if(m == gw, "SCC surplus accounting broken");
+                slot.lanes[n].srcGroup = queues[m].pop();
+                slot.lanes[n].srcLane = static_cast<std::int8_t>(m);
+                --surplus[m];
+                --tot_surplus;
+            }
+            // else: no surplus, lane not filled this cycle.
+        }
+        plan.slots.push_back(slot);
+    }
+
+    for (unsigned n = 0; n < gw; ++n)
+        panic_if(!queues[n].empty(),
+                 "SCC schedule left lane %u work unissued", n);
+
+    return plan;
+}
+
+} // namespace iwc::compaction

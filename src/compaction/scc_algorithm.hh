@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The SCC control-logic algorithm of the paper's Figure 6: derives
+ * per-cycle swizzle and lane-enable settings that compress execution
+ * to the optimal ceil(popcount / groupWidth) cycles while minimizing
+ * the number of intra-quad lane swizzles.
+ */
+
+#ifndef IWC_COMPACTION_SCC_ALGORITHM_HH
+#define IWC_COMPACTION_SCC_ALGORITHM_HH
+
+#include "compaction/cycle_plan.hh"
+
+namespace iwc::compaction
+{
+
+/**
+ * Computes the SCC execution schedule for @p shape.
+ *
+ * Implements Figure 6 exactly: per-lane queues of the channel groups in
+ * which that lane position is active, a surplus count per lane relative
+ * to the optimal cycle count, and a per-cycle pass that keeps a lane's
+ * own work in place when available and fills empty lanes from surplus
+ * lanes through the swizzle crossbar. When the active-group count
+ * already equals the optimal cycle count the schedule degenerates to
+ * BCC-style empty-group skipping with no swizzles ("skip empty quads,
+ * BCC-like. Done").
+ */
+CyclePlan planScc(const ExecShape &shape);
+
+} // namespace iwc::compaction
+
+#endif // IWC_COMPACTION_SCC_ALGORITHM_HH

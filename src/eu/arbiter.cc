@@ -1,0 +1,2 @@
+// RotatingArbiter is header-only; this TU anchors it into the library.
+#include "eu/arbiter.hh"

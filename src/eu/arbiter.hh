@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Rotating-priority thread arbiter (pipeline stage 4 of Section 2.2):
+ * selects up to N issueable EU threads per arbitration pass, rotating
+ * the starting position so every thread gets fair service.
+ */
+
+#ifndef IWC_EU_ARBITER_HH
+#define IWC_EU_ARBITER_HH
+
+#include <vector>
+
+namespace iwc::eu
+{
+
+/** See file comment. */
+class RotatingArbiter
+{
+  public:
+    explicit RotatingArbiter(unsigned slots) : slots_(slots) {}
+
+    /**
+     * Picks up to @p max_picks slot indices for which @p issueable
+     * returns true, scanning from the rotating start position.
+     */
+    template <typename IssueableFn>
+    std::vector<unsigned>
+    pick(unsigned max_picks, IssueableFn &&issueable)
+    {
+        std::vector<unsigned> picks;
+        for (unsigned i = 0; i < slots_ && picks.size() < max_picks;
+             ++i) {
+            const unsigned slot = (start_ + i) % slots_;
+            if (issueable(slot))
+                picks.push_back(slot);
+        }
+        if (!picks.empty())
+            start_ = (picks.back() + 1) % slots_;
+        return picks;
+    }
+
+  private:
+    unsigned slots_;
+    unsigned start_ = 0;
+};
+
+} // namespace iwc::eu
+
+#endif // IWC_EU_ARBITER_HH

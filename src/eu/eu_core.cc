@@ -1,0 +1,316 @@
+#include "eu/eu_core.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "compaction/scc_algorithm.hh"
+#include "mem/coalescer.hh"
+
+namespace iwc::eu
+{
+
+using compaction::ExecShape;
+using compaction::Mode;
+using isa::Instruction;
+using isa::Opcode;
+using isa::SendOp;
+
+void
+EuStats::merge(const EuStats &other)
+{
+    instructions += other.instructions;
+    aluInstructions += other.aluInstructions;
+    sendInstructions += other.sendInstructions;
+    ctrlInstructions += other.ctrlInstructions;
+    sumActiveLanes += other.sumActiveLanes;
+    sumSimdWidth += other.sumSimdWidth;
+    for (unsigned m = 0; m < compaction::kNumModes; ++m)
+        euCyclesByMode[m] += other.euCyclesByMode[m];
+    for (unsigned b = 0; b < compaction::kNumUtilBins; ++b)
+        utilBins[b] += other.utilBins[b];
+    memMessages += other.memMessages;
+    memLines += other.memLines;
+    slmMessages += other.slmMessages;
+    sccSwizzledLanes += other.sccSwizzledLanes;
+    issueSlotsUsed += other.issueSlotsUsed;
+    threadsRetired += other.threadsRetired;
+}
+
+EuCore::EuCore(unsigned id, const EuConfig &config, mem::MemSystem &mem,
+               GpuHooks &hooks)
+    : id_(id), config_(config), mem_(mem), hooks_(hooks),
+      slots_(config.numThreads), arbiter_(config.numThreads)
+{
+    fatal_if(config.numThreads == 0, "EU needs at least one thread");
+    fatal_if(config.issueWidth == 0 || config.arbitrationPeriod == 0,
+             "EU issue bandwidth must be nonzero");
+}
+
+void
+EuCore::bindKernel(const isa::Kernel &kernel, func::GlobalMemory &gmem)
+{
+    kernel_ = &kernel;
+    interp_ = std::make_unique<func::Interpreter>(kernel, gmem);
+}
+
+int
+EuCore::findFreeSlot() const
+{
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].status == SlotStatus::Idle ||
+            slots_[i].status == SlotStatus::Done) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+unsigned
+EuCore::numFreeSlots() const
+{
+    unsigned free_slots = 0;
+    for (const ThreadSlot &slot : slots_)
+        if (slot.status == SlotStatus::Idle ||
+            slot.status == SlotStatus::Done)
+            ++free_slots;
+    return free_slots;
+}
+
+void
+writeDispatchPayload(func::ThreadState &t, const isa::Kernel &kernel,
+                     const DispatchInfo &info)
+{
+    t.reset(info.dispatchMask);
+
+    // r0 header (see kernel.hh for the layout).
+    const std::uint32_t flat_subgroup =
+        static_cast<std::uint32_t>(info.wgId) * info.subgroupsPerGroup +
+        info.subgroupIndex;
+    const std::uint32_t header[8] = {
+        static_cast<std::uint32_t>(info.wgId),
+        info.subgroupIndex,
+        info.localSize,
+        info.globalSize,
+        info.numGroups,
+        info.subgroupsPerGroup,
+        info.slm ? info.slm->size() : 0,
+        flat_subgroup,
+    };
+    t.writeGrfBytes(0, header, sizeof(header));
+
+    // Per-channel global and local work-item ids.
+    const unsigned width = kernel.simdWidth();
+    for (unsigned ch = 0; ch < width; ++ch) {
+        const auto gid =
+            static_cast<std::uint32_t>(info.globalIdBase + ch);
+        const auto lid = static_cast<std::uint32_t>(info.localIdBase + ch);
+        t.writeGrf(kernel.globalIdReg() * kGrfRegBytes + ch * 4, gid);
+        t.writeGrf(kernel.localIdReg() * kGrfRegBytes + ch * 4, lid);
+    }
+
+    // Kernel arguments, one register each.
+    const auto &args = kernel.args();
+    panic_if(info.argWords == nullptr ||
+             info.argWords->size() != args.size(),
+             "kernel %s: argument count mismatch", kernel.name().c_str());
+    for (size_t i = 0; i < args.size(); ++i)
+        t.writeGrf(args[i].reg * kGrfRegBytes, (*info.argWords)[i]);
+}
+
+void
+EuCore::writePayload(ThreadSlot &slot, const DispatchInfo &info)
+{
+    writeDispatchPayload(slot.state, *kernel_, info);
+}
+
+void
+EuCore::dispatch(const DispatchInfo &info)
+{
+    panic_if(kernel_ == nullptr, "dispatch before bindKernel");
+    const int idx = findFreeSlot();
+    panic_if(idx < 0, "dispatch to a full EU");
+    ThreadSlot &slot = slots_[static_cast<unsigned>(idx)];
+
+    slot.status = SlotStatus::Active;
+    slot.sb.reset();
+    slot.slm = info.slm;
+    slot.wgId = info.wgId;
+    slot.resumeAt = info.readyAt;
+    slot.lastMemDone = 0;
+    writePayload(slot, info);
+}
+
+void
+EuCore::releaseBarrier(int wg_id, Cycle now)
+{
+    for (ThreadSlot &slot : slots_) {
+        if (slot.status == SlotStatus::WaitBarrier &&
+            slot.wgId == wg_id) {
+            slot.status = SlotStatus::Active;
+            slot.resumeAt = now + 1;
+        }
+    }
+}
+
+bool
+EuCore::idle() const
+{
+    for (const ThreadSlot &slot : slots_)
+        if (slot.status == SlotStatus::Active ||
+            slot.status == SlotStatus::WaitBarrier)
+            return false;
+    return true;
+}
+
+bool
+EuCore::canIssue(const ThreadSlot &slot, Cycle now) const
+{
+    if (slot.status != SlotStatus::Active || slot.resumeAt > now)
+        return false;
+    const Instruction &in = kernel_->instr(slot.state.ip());
+    if (!slot.sb.ready(in, now))
+        return false;
+    switch (pipeFor(in)) {
+      case PipeKind::Fpu:
+        return fpu_.canAccept(now);
+      case PipeKind::Em:
+        return em_.canAccept(now);
+      case PipeKind::Send:
+        return send_.canAccept(now);
+      case PipeKind::Ctrl:
+        return true;
+    }
+    return false;
+}
+
+void
+EuCore::issueAlu(ThreadSlot &slot, const Instruction &in, LaneMask exec,
+                 PipeKind pk, Cycle now)
+{
+    const ExecShape shape{
+        in.simdWidth,
+        static_cast<std::uint8_t>(isa::execElemBytes(in)),
+        exec,
+    };
+
+    // Account what this instruction would cost under every mode; the
+    // configured mode drives actual pipe occupancy.
+    for (unsigned m = 0; m < compaction::kNumModes; ++m) {
+        stats_.euCyclesByMode[m] +=
+            compaction::planCycleCount(static_cast<Mode>(m), shape);
+    }
+
+    const unsigned cycles = compaction::planCycleCount(config_.mode, shape);
+    if (config_.mode == Mode::Scc)
+        stats_.sccSwizzledLanes +=
+            compaction::planScc(shape).swizzledLanes();
+
+    ExecPipe &pipe = pk == PipeKind::Em ? em_ : fpu_;
+    pipe.occupy(now, cycles);
+
+    const Cycle latency =
+        pk == PipeKind::Em ? config_.emLatency : config_.fpuLatency;
+    const Cycle writeback = now + std::max(cycles, 1u) + latency;
+    slot.sb.claimDst(in, writeback);
+
+    ++stats_.aluInstructions;
+    const auto bin = compaction::classifyUtil(in.simdWidth, exec);
+    ++stats_.utilBins[static_cast<unsigned>(bin)];
+}
+
+void
+EuCore::issueSend(ThreadSlot &slot, const func::StepResult &result,
+                  Cycle now)
+{
+    const Instruction &in = *result.instr;
+    send_.occupy(now, 1);
+    ++stats_.sendInstructions;
+    for (unsigned m = 0; m < compaction::kNumModes; ++m)
+        stats_.euCyclesByMode[m] += config_.sendCycles;
+
+    if (result.isBarrier) {
+        slot.status = SlotStatus::WaitBarrier;
+        hooks_.onBarrierArrive(slot.wgId);
+        return;
+    }
+
+    if (in.send.op == SendOp::Fence) {
+        // Fence: stall the thread until its outstanding accesses land.
+        slot.resumeAt = std::max(slot.resumeAt, slot.lastMemDone);
+        return;
+    }
+
+    if (!result.hasMem)
+        return;
+
+    const Cycle entry = now + config_.sendIssueLatency;
+    Cycle done;
+    if (isa::isSlmSend(in.send.op)) {
+        done = mem_.accessSlm(result.mem, entry);
+        ++stats_.slmMessages;
+    } else {
+        const auto lines = mem::coalesceLines(result.mem);
+        const bool is_write = in.send.op == SendOp::ScatterStore ||
+            in.send.op == SendOp::BlockStore;
+        const mem::MemResult res =
+            mem_.accessGlobal(lines, is_write, entry);
+        done = res.completion;
+        stats_.memLines += res.lines;
+    }
+    ++stats_.memMessages;
+    slot.lastMemDone = std::max(slot.lastMemDone, done);
+
+    if (isa::isLoadSend(in.send.op))
+        slot.sb.claimDst(in, done + config_.writebackLatency);
+}
+
+void
+EuCore::issue(ThreadSlot &slot, Cycle now)
+{
+    interp_->setSlm(slot.slm);
+    const func::StepResult result = interp_->step(slot.state);
+    const Instruction &in = *result.instr;
+
+    ++stats_.instructions;
+    ++stats_.issueSlotsUsed;
+    stats_.sumActiveLanes += popCount(result.execMask);
+    stats_.sumSimdWidth += in.simdWidth;
+
+    switch (pipeFor(in)) {
+      case PipeKind::Fpu:
+        issueAlu(slot, in, result.execMask, PipeKind::Fpu, now);
+        break;
+      case PipeKind::Em:
+        issueAlu(slot, in, result.execMask, PipeKind::Em, now);
+        break;
+      case PipeKind::Send:
+        issueSend(slot, result, now);
+        break;
+      case PipeKind::Ctrl:
+        ++stats_.ctrlInstructions;
+        for (unsigned m = 0; m < compaction::kNumModes; ++m)
+            stats_.euCyclesByMode[m] += config_.ctrlCycles;
+        if (result.isHalt) {
+            slot.status = SlotStatus::Done;
+            ++stats_.threadsRetired;
+            hooks_.onThreadDone(slot.wgId);
+        }
+        break;
+    }
+}
+
+void
+EuCore::tick(Cycle now)
+{
+    if (now % config_.arbitrationPeriod != 0)
+        return;
+
+    const auto picks = arbiter_.pick(config_.issueWidth, [&](unsigned i) {
+        return canIssue(slots_[i], now);
+    });
+    for (const unsigned i : picks)
+        issue(slots_[i], now);
+}
+
+} // namespace iwc::eu

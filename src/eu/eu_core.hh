@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Cycle-level model of one execution unit (EU): a multi-threaded SIMD
+ * core with the seven-stage pipeline of Section 2.2. Instructions are
+ * functionally executed at issue time (after the scoreboard clears),
+ * which yields the final execution mask exactly where the paper's
+ * BCC/SCC control logic consumes it — between decode and operand
+ * fetch.
+ */
+
+#ifndef IWC_EU_EU_CORE_HH
+#define IWC_EU_EU_CORE_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "compaction/cycle_plan.hh"
+#include "eu/arbiter.hh"
+#include "eu/pipes.hh"
+#include "eu/scoreboard.hh"
+#include "func/interp.hh"
+#include "mem/mem_system.hh"
+
+namespace iwc::eu
+{
+
+/** EU machine parameters. */
+struct EuConfig
+{
+    unsigned numThreads = 6;
+    compaction::Mode mode = compaction::Mode::IvbOpt;
+
+    /**
+     * Issue bandwidth: up to issueWidth instructions from distinct
+     * threads every arbitrationPeriod cycles. The default (1 per
+     * cycle) equals the paper's "two instructions every two cycles"
+     * in sustained rate.
+     */
+    unsigned issueWidth = 1;
+    unsigned arbitrationPeriod = 1;
+
+    Cycle fpuLatency = 6;       ///< result latency beyond occupancy
+    Cycle emLatency = 16;
+    Cycle sendIssueLatency = 2; ///< EU-to-data-cluster message latency
+    Cycle writebackLatency = 2; ///< return-data-to-GRF latency
+    unsigned ctrlCycles = 1;    ///< fixed cost of a control instruction
+    unsigned sendCycles = 2;    ///< fixed EU-side cost of a send
+};
+
+/** Aggregated per-EU counters; merge() combines EUs for GPU totals. */
+struct EuStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t aluInstructions = 0;
+    std::uint64_t sendInstructions = 0;
+    std::uint64_t ctrlInstructions = 0;
+    std::uint64_t sumActiveLanes = 0;
+    std::uint64_t sumSimdWidth = 0;
+    /** EU execution cycles the instruction stream would take under
+     *  each compaction mode (sends/control counted equally in all). */
+    std::array<std::uint64_t, compaction::kNumModes> euCyclesByMode{};
+    std::array<std::uint64_t, compaction::kNumUtilBins> utilBins{};
+    std::uint64_t memMessages = 0;
+    std::uint64_t memLines = 0;
+    std::uint64_t slmMessages = 0;
+    std::uint64_t sccSwizzledLanes = 0;
+    std::uint64_t issueSlotsUsed = 0;
+    std::uint64_t threadsRetired = 0;
+
+    void merge(const EuStats &other);
+
+    /** SIMD efficiency: mean enabled lanes over mean SIMD width. */
+    double
+    simdEfficiency() const
+    {
+        return sumSimdWidth
+            ? static_cast<double>(sumActiveLanes) / sumSimdWidth
+            : 1.0;
+    }
+
+    std::uint64_t
+    euCycles(compaction::Mode m) const
+    {
+        return euCyclesByMode[static_cast<unsigned>(m)];
+    }
+};
+
+/** Callbacks from an EU into the GPU top level. */
+class GpuHooks
+{
+  public:
+    virtual ~GpuHooks() = default;
+    /** A thread reached a workgroup barrier. */
+    virtual void onBarrierArrive(int wg_id) = 0;
+    /** A thread executed Halt (EOT). */
+    virtual void onThreadDone(int wg_id) = 0;
+};
+
+/** Everything needed to start one subgroup on an EU thread slot. */
+struct DispatchInfo
+{
+    int wgId = 0;
+    unsigned subgroupIndex = 0;
+    std::uint64_t globalIdBase = 0; ///< global id of channel 0
+    unsigned localIdBase = 0;       ///< local id of channel 0
+    LaneMask dispatchMask = 0;
+    func::SlmMemory *slm = nullptr;
+    const std::vector<std::uint32_t> *argWords = nullptr;
+    std::uint32_t localSize = 0;
+    std::uint32_t globalSize = 0;
+    std::uint32_t numGroups = 0;
+    std::uint32_t subgroupsPerGroup = 0;
+    Cycle readyAt = 0; ///< dispatch latency
+};
+
+/**
+ * Initializes a thread's architectural state per the dispatch payload
+ * convention documented in kernel.hh (r0 header, id vectors, args).
+ * Shared by the timing EU and the functional-only scheduler.
+ */
+void writeDispatchPayload(func::ThreadState &t, const isa::Kernel &kernel,
+                          const DispatchInfo &info);
+
+/** See file comment. */
+class EuCore
+{
+  public:
+    EuCore(unsigned id, const EuConfig &config, mem::MemSystem &mem,
+           GpuHooks &hooks);
+
+    /** Binds the kernel all subsequently dispatched threads run. */
+    void bindKernel(const isa::Kernel &kernel, func::GlobalMemory &gmem);
+
+    /** Index of a free thread slot, or -1. */
+    int findFreeSlot() const;
+    unsigned numFreeSlots() const;
+
+    /** Starts a subgroup on a free slot. */
+    void dispatch(const DispatchInfo &info);
+
+    /** Unblocks every slot waiting on workgroup @p wg_id's barrier. */
+    void releaseBarrier(int wg_id, Cycle now);
+
+    /** Advances the EU by one cycle. */
+    void tick(Cycle now);
+
+    /** True when no slot holds live work. */
+    bool idle() const;
+
+    const EuStats &stats() const { return stats_; }
+    const ExecPipe &fpu() const { return fpu_; }
+    const ExecPipe &em() const { return em_; }
+    const ExecPipe &sendPipe() const { return send_; }
+    unsigned id() const { return id_; }
+    const EuConfig &config() const { return config_; }
+
+  private:
+    enum class SlotStatus : std::uint8_t
+    {
+        Idle,
+        Active,
+        WaitBarrier,
+        Done, ///< halted, slot not yet reclaimed
+    };
+
+    struct ThreadSlot
+    {
+        SlotStatus status = SlotStatus::Idle;
+        func::ThreadState state;
+        Scoreboard sb;
+        func::SlmMemory *slm = nullptr;
+        int wgId = -1;
+        Cycle resumeAt = 0;
+        Cycle lastMemDone = 0;
+    };
+
+    bool canIssue(const ThreadSlot &slot, Cycle now) const;
+    void issue(ThreadSlot &slot, Cycle now);
+    void issueAlu(ThreadSlot &slot, const isa::Instruction &in,
+                  LaneMask exec, PipeKind pk, Cycle now);
+    void issueSend(ThreadSlot &slot, const func::StepResult &result,
+                   Cycle now);
+    void writePayload(ThreadSlot &slot, const DispatchInfo &info);
+
+    unsigned id_;
+    EuConfig config_;
+    mem::MemSystem &mem_;
+    GpuHooks &hooks_;
+    const isa::Kernel *kernel_ = nullptr;
+    std::unique_ptr<func::Interpreter> interp_;
+    std::vector<ThreadSlot> slots_;
+    RotatingArbiter arbiter_;
+    ExecPipe fpu_;
+    ExecPipe em_;
+    ExecPipe send_;
+    EuStats stats_;
+};
+
+} // namespace iwc::eu
+
+#endif // IWC_EU_EU_CORE_HH

@@ -1,0 +1,2 @@
+// ExecPipe is header-only; this TU anchors the header into the library.
+#include "eu/pipes.hh"

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The EU's execution pipes: the 4-lane FPU, the 4-lane extended-math
+ * (EM) unit, and the message (SEND) pipe. A pipe accepts one micro-op
+ * per cycle, so a multi-cycle SIMD instruction occupies it for its
+ * (possibly compressed) cycle count — this is exactly where BCC/SCC
+ * recover throughput.
+ */
+
+#ifndef IWC_EU_PIPES_HH
+#define IWC_EU_PIPES_HH
+
+#include <algorithm>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace iwc::eu
+{
+
+/** Which pipe an instruction issues to. */
+enum class PipeKind : std::uint8_t
+{
+    Fpu,  ///< int/float ALU including FMA
+    Em,   ///< extended math (div, sqrt, transcendental)
+    Send, ///< memory / barrier / fence messages
+    Ctrl, ///< structured control flow (front-end handled)
+};
+
+/** Pipe selection for an instruction. */
+constexpr PipeKind
+pipeFor(const isa::Instruction &in)
+{
+    if (in.op == isa::Opcode::Send)
+        return PipeKind::Send;
+    if (isa::isControlFlow(in.op))
+        return PipeKind::Ctrl;
+    if (isa::isExtendedMath(in.op))
+        return PipeKind::Em;
+    return PipeKind::Fpu;
+}
+
+/** Occupancy tracker for one pipe. */
+class ExecPipe
+{
+  public:
+    bool canAccept(Cycle now) const { return nextFree_ <= now; }
+
+    /** Occupies the pipe for @p cycles issue slots starting at now. */
+    void
+    occupy(Cycle now, unsigned cycles)
+    {
+        nextFree_ = std::max(nextFree_, now + cycles);
+        busyCycles_ += cycles;
+        ++instructions_;
+    }
+
+    Cycle nextFree() const { return nextFree_; }
+    std::uint64_t busyCycles() const { return busyCycles_; }
+    std::uint64_t instructions() const { return instructions_; }
+
+  private:
+    Cycle nextFree_ = 0;
+    std::uint64_t busyCycles_ = 0;
+    std::uint64_t instructions_ = 0;
+};
+
+} // namespace iwc::eu
+
+#endif // IWC_EU_PIPES_HH

@@ -1,0 +1,87 @@
+#include "eu/scoreboard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace iwc::eu
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+
+template <typename Fn>
+void
+Scoreboard::forEachReg(const Operand &op, unsigned simd_width, Fn &&fn)
+{
+    if (!op.isGrf())
+        return;
+    const unsigned elems = op.scalar ? 1 : simd_width;
+    const unsigned first = op.grfByteOffset();
+    const unsigned last = first + elems * isa::dataTypeSize(op.type) - 1;
+    for (unsigned r = first / kGrfRegBytes; r <= last / kGrfRegBytes; ++r)
+        fn(r);
+}
+
+template <typename Fn>
+void
+Scoreboard::forEachSrcReg(const Instruction &in, Fn &&fn)
+{
+    forEachReg(in.src0, in.simdWidth, fn);
+    forEachReg(in.src1, in.simdWidth, fn);
+    forEachReg(in.src2, in.simdWidth, fn);
+    // Block stores read numRegs consecutive registers from src1.
+    if (in.op == Opcode::Send &&
+        in.send.op == isa::SendOp::BlockStore) {
+        for (unsigned r = 0; r < in.send.numRegs; ++r)
+            fn(in.src1.reg + r);
+    }
+}
+
+template <typename Fn>
+void
+Scoreboard::forEachDstReg(const Instruction &in, Fn &&fn)
+{
+    if (in.op == Opcode::Send && in.send.op == isa::SendOp::BlockLoad) {
+        for (unsigned r = 0; r < in.send.numRegs; ++r)
+            fn(in.dst.reg + r);
+        return;
+    }
+    forEachReg(in.dst, in.simdWidth, fn);
+}
+
+Cycle
+Scoreboard::readyCycle(const Instruction &in) const
+{
+    Cycle ready = 0;
+    auto consider = [&](unsigned r) {
+        panic_if(r >= kGrfRegCount, "scoreboard register out of range");
+        ready = std::max(ready, regReadyAt_[r]);
+    };
+    forEachSrcReg(in, consider);
+    // In-order issue: the destination must also be free (WAW).
+    forEachDstReg(in, consider);
+
+    if (in.predCtrl != isa::PredCtrl::None)
+        ready = std::max(ready, flagReadyAt_[in.predFlag & 1]);
+    if (in.op == Opcode::Sel)
+        ready = std::max(ready, flagReadyAt_[in.condFlag & 1]);
+    return ready;
+}
+
+void
+Scoreboard::claimDst(const Instruction &in, Cycle ready_at)
+{
+    auto claim = [&](unsigned r) {
+        panic_if(r >= kGrfRegCount, "scoreboard register out of range");
+        regReadyAt_[r] = std::max(regReadyAt_[r], ready_at);
+    };
+    forEachDstReg(in, claim);
+    if (in.op == Opcode::Cmp) {
+        flagReadyAt_[in.condFlag & 1] =
+            std::max(flagReadyAt_[in.condFlag & 1], ready_at);
+    }
+}
+
+} // namespace iwc::eu

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-thread dependence scoreboard (pipeline stage 3 of Section 2.2):
+ * tracks the cycle at which each GRF register and flag register
+ * becomes available, gating in-order issue on RAW/WAW hazards.
+ */
+
+#ifndef IWC_EU_SCOREBOARD_HH
+#define IWC_EU_SCOREBOARD_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace iwc::eu
+{
+
+/** See file comment. */
+class Scoreboard
+{
+  public:
+    Scoreboard() { reset(); }
+
+    void
+    reset()
+    {
+        regReadyAt_.fill(0);
+        flagReadyAt_.fill(0);
+    }
+
+    /** Earliest cycle at which the instruction's operands are ready. */
+    Cycle readyCycle(const isa::Instruction &in) const;
+
+    /** True if the instruction can issue at @p now. */
+    bool
+    ready(const isa::Instruction &in, Cycle now) const
+    {
+        return readyCycle(in) <= now;
+    }
+
+    /** Marks the instruction's destinations busy until @p ready_at. */
+    void claimDst(const isa::Instruction &in, Cycle ready_at);
+
+  private:
+    template <typename Fn>
+    static void forEachReg(const isa::Operand &op, unsigned simd_width,
+                           Fn &&fn);
+    template <typename Fn>
+    static void forEachSrcReg(const isa::Instruction &in, Fn &&fn);
+    template <typename Fn>
+    static void forEachDstReg(const isa::Instruction &in, Fn &&fn);
+
+    std::array<Cycle, kGrfRegCount> regReadyAt_;
+    std::array<Cycle, 2> flagReadyAt_;
+};
+
+} // namespace iwc::eu
+
+#endif // IWC_EU_SCOREBOARD_HH

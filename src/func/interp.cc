@@ -1,0 +1,595 @@
+#include "func/interp.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace iwc::func
+{
+
+using isa::CondMod;
+using isa::DataType;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::PredCtrl;
+using isa::RegFile;
+using isa::SendOp;
+
+Interpreter::Interpreter(const isa::Kernel &kernel, GlobalMemory &gmem)
+    : kernel_(kernel), gmem_(gmem)
+{
+}
+
+namespace
+{
+
+/** Raw bits of one element of a GRF or immediate operand. */
+std::uint64_t
+rawElement(const Operand &op, const ThreadState &t, unsigned ch)
+{
+    if (op.isImm())
+        return op.imm;
+    const unsigned elem = op.scalar ? 0 : ch;
+    const unsigned off =
+        op.grfByteOffset() + elem * isa::dataTypeSize(op.type);
+    switch (isa::dataTypeSize(op.type)) {
+      case 2:
+        return t.readGrf<std::uint16_t>(off);
+      case 4:
+        return t.readGrf<std::uint32_t>(off);
+      case 8:
+        return t.readGrf<std::uint64_t>(off);
+    }
+    panic("bad operand element size");
+}
+
+/** Writes raw bits to one element of a GRF operand (load data path). */
+void
+writeRawElement(const Operand &op, ThreadState &t, unsigned ch,
+                std::uint64_t bits, unsigned bytes)
+{
+    panic_if(isa::dataTypeSize(op.type) != bytes,
+             "load destination type width mismatch");
+    const unsigned off = op.grfByteOffset() + ch * bytes;
+    switch (bytes) {
+      case 2:
+        t.writeGrf(off, static_cast<std::uint16_t>(bits));
+        break;
+      case 4:
+        t.writeGrf(off, static_cast<std::uint32_t>(bits));
+        break;
+      case 8:
+        t.writeGrf(off, bits);
+        break;
+      default:
+        panic("bad load element size");
+    }
+}
+
+} // namespace
+
+double
+Interpreter::readF(const Operand &op, const ThreadState &t,
+                   unsigned ch) const
+{
+    const std::uint64_t bits = rawElement(op, t, ch);
+    double v = 0;
+    switch (op.type) {
+      case DataType::F:
+        v = std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+        break;
+      case DataType::DF:
+        v = std::bit_cast<double>(bits);
+        break;
+      case DataType::UW:
+        v = static_cast<double>(static_cast<std::uint16_t>(bits));
+        break;
+      case DataType::W:
+        v = static_cast<double>(static_cast<std::int16_t>(bits));
+        break;
+      case DataType::UD:
+        v = static_cast<double>(static_cast<std::uint32_t>(bits));
+        break;
+      case DataType::D:
+        v = static_cast<double>(static_cast<std::int32_t>(bits));
+        break;
+      case DataType::UQ:
+        v = static_cast<double>(bits);
+        break;
+      case DataType::Q:
+        v = static_cast<double>(static_cast<std::int64_t>(bits));
+        break;
+    }
+    if (op.absolute)
+        v = std::fabs(v);
+    if (op.negate)
+        v = -v;
+    return v;
+}
+
+std::int64_t
+Interpreter::readI(const Operand &op, const ThreadState &t,
+                   unsigned ch) const
+{
+    const std::uint64_t bits = rawElement(op, t, ch);
+    std::int64_t v = 0;
+    switch (op.type) {
+      case DataType::F:
+        v = static_cast<std::int64_t>(
+            std::bit_cast<float>(static_cast<std::uint32_t>(bits)));
+        break;
+      case DataType::DF:
+        v = static_cast<std::int64_t>(std::bit_cast<double>(bits));
+        break;
+      case DataType::UW:
+        v = static_cast<std::uint16_t>(bits);
+        break;
+      case DataType::W:
+        v = static_cast<std::int16_t>(bits);
+        break;
+      case DataType::UD:
+        v = static_cast<std::uint32_t>(bits);
+        break;
+      case DataType::D:
+        v = static_cast<std::int32_t>(bits);
+        break;
+      case DataType::UQ:
+      case DataType::Q:
+        v = static_cast<std::int64_t>(bits);
+        break;
+    }
+    if (op.absolute)
+        v = v < 0 ? -v : v;
+    if (op.negate)
+        v = -v;
+    return v;
+}
+
+void
+Interpreter::writeF(const Operand &op, ThreadState &t, unsigned ch,
+                    double v) const
+{
+    if (op.isNull())
+        return;
+    const unsigned elem = op.scalar ? 0 : ch;
+    const unsigned off =
+        op.grfByteOffset() + elem * isa::dataTypeSize(op.type);
+    switch (op.type) {
+      case DataType::F:
+        t.writeGrf(off, static_cast<float>(v));
+        break;
+      case DataType::DF:
+        t.writeGrf(off, v);
+        break;
+      default:
+        // Float-to-integer conversion truncates toward zero.
+        writeI(op, t, ch, static_cast<std::int64_t>(v));
+        break;
+    }
+}
+
+void
+Interpreter::writeI(const Operand &op, ThreadState &t, unsigned ch,
+                    std::int64_t v) const
+{
+    if (op.isNull())
+        return;
+    const unsigned elem = op.scalar ? 0 : ch;
+    const unsigned off =
+        op.grfByteOffset() + elem * isa::dataTypeSize(op.type);
+    switch (op.type) {
+      case DataType::F:
+        t.writeGrf(off, static_cast<float>(v));
+        break;
+      case DataType::DF:
+        t.writeGrf(off, static_cast<double>(v));
+        break;
+      case DataType::UW:
+      case DataType::W:
+        t.writeGrf(off, static_cast<std::uint16_t>(v));
+        break;
+      case DataType::UD:
+      case DataType::D:
+        t.writeGrf(off, static_cast<std::uint32_t>(v));
+        break;
+      case DataType::UQ:
+      case DataType::Q:
+        t.writeGrf(off, static_cast<std::uint64_t>(v));
+        break;
+    }
+}
+
+namespace
+{
+
+LaneMask
+predBits(const Instruction &in, const ThreadState &t)
+{
+    switch (in.predCtrl) {
+      case PredCtrl::None:
+        return ~LaneMask{0};
+      case PredCtrl::Normal:
+        return t.flag(in.predFlag);
+      case PredCtrl::Inverted:
+        return ~t.flag(in.predFlag);
+    }
+    return ~LaneMask{0};
+}
+
+} // namespace
+
+LaneMask
+Interpreter::execMaskFor(const Instruction &in, const ThreadState &t) const
+{
+    return t.activeMask() & predBits(in, t) & in.widthMask();
+}
+
+void
+Interpreter::execAlu(const Instruction &in, ThreadState &t,
+                     LaneMask exec) const
+{
+    const bool float_domain = isa::isFloatType(in.src0.type);
+
+    for (unsigned ch = 0; ch < in.simdWidth; ++ch) {
+        if (!(exec & (LaneMask{1} << ch)))
+            continue;
+
+        if (float_domain) {
+            const double a = readF(in.src0, t, ch);
+            double r = 0;
+            switch (in.op) {
+              case Opcode::Mov:  r = a; break;
+              case Opcode::Add:  r = a + readF(in.src1, t, ch); break;
+              case Opcode::Sub:  r = a - readF(in.src1, t, ch); break;
+              case Opcode::Mul:  r = a * readF(in.src1, t, ch); break;
+              case Opcode::Mad:
+                r = a * readF(in.src1, t, ch) + readF(in.src2, t, ch);
+                break;
+              case Opcode::Min:
+                r = std::fmin(a, readF(in.src1, t, ch));
+                break;
+              case Opcode::Max:
+                r = std::fmax(a, readF(in.src1, t, ch));
+                break;
+              case Opcode::Avg:
+                r = (a + readF(in.src1, t, ch)) * 0.5;
+                break;
+              case Opcode::Sel: {
+                const bool take =
+                    (t.flag(in.condFlag) >> ch) & 1;
+                r = take ? a : readF(in.src1, t, ch);
+                break;
+              }
+              case Opcode::Rndd: r = std::floor(a); break;
+              case Opcode::Frc:  r = a - std::floor(a); break;
+              case Opcode::Inv:  r = 1.0 / a; break;
+              case Opcode::Div:  r = a / readF(in.src1, t, ch); break;
+              case Opcode::Sqrt: r = std::sqrt(a); break;
+              case Opcode::Rsqrt: r = 1.0 / std::sqrt(a); break;
+              case Opcode::Sin:  r = std::sin(a); break;
+              case Opcode::Cos:  r = std::cos(a); break;
+              case Opcode::Exp2: r = std::exp2(a); break;
+              case Opcode::Log2: r = std::log2(a); break;
+              case Opcode::Pow:
+                r = std::pow(a, readF(in.src1, t, ch));
+                break;
+              default:
+                panic("float-domain execution of %s",
+                      isa::opcodeName(in.op));
+            }
+            // Single-precision ops round intermediates to float.
+            if (in.dst.type == DataType::F)
+                r = static_cast<float>(r);
+            writeF(in.dst, t, ch, r);
+        } else {
+            const std::int64_t a = readI(in.src0, t, ch);
+            std::int64_t r = 0;
+            switch (in.op) {
+              case Opcode::Mov:  r = a; break;
+              case Opcode::Add:  r = a + readI(in.src1, t, ch); break;
+              case Opcode::Sub:  r = a - readI(in.src1, t, ch); break;
+              case Opcode::Mul:  r = a * readI(in.src1, t, ch); break;
+              case Opcode::Mad:
+                r = a * readI(in.src1, t, ch) + readI(in.src2, t, ch);
+                break;
+              case Opcode::Min:
+                r = std::min(a, readI(in.src1, t, ch));
+                break;
+              case Opcode::Max:
+                r = std::max(a, readI(in.src1, t, ch));
+                break;
+              case Opcode::Avg:
+                r = (a + readI(in.src1, t, ch) + 1) >> 1;
+                break;
+              case Opcode::And:
+                r = a & readI(in.src1, t, ch);
+                break;
+              case Opcode::Or:
+                r = a | readI(in.src1, t, ch);
+                break;
+              case Opcode::Xor:
+                r = a ^ readI(in.src1, t, ch);
+                break;
+              case Opcode::Not:
+                r = ~a;
+                break;
+              case Opcode::Shl:
+                r = a << (readI(in.src1, t, ch) & 63);
+                break;
+              case Opcode::Shr:
+                r = static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(
+                        a & 0xffffffffull) >>
+                    (readI(in.src1, t, ch) & 63));
+                break;
+              case Opcode::Asr:
+                r = a >> (readI(in.src1, t, ch) & 63);
+                break;
+              case Opcode::Sel: {
+                const bool take = (t.flag(in.condFlag) >> ch) & 1;
+                r = take ? a : readI(in.src1, t, ch);
+                break;
+              }
+              case Opcode::Div: {
+                const std::int64_t b = readI(in.src1, t, ch);
+                r = b == 0 ? 0 : a / b;
+                break;
+              }
+              default:
+                panic("int-domain execution of %s",
+                      isa::opcodeName(in.op));
+            }
+            // Float destinations convert; integers truncate on write.
+            if (isa::isFloatType(in.dst.type))
+                writeF(in.dst, t, ch, static_cast<double>(r));
+            else
+                writeI(in.dst, t, ch, r);
+        }
+    }
+}
+
+void
+Interpreter::execCmp(const Instruction &in, ThreadState &t,
+                     LaneMask exec) const
+{
+    const bool float_domain = isa::isFloatType(in.src0.type);
+    LaneMask result = 0;
+
+    for (unsigned ch = 0; ch < in.simdWidth; ++ch) {
+        if (!(exec & (LaneMask{1} << ch)))
+            continue;
+        bool cond = false;
+        if (float_domain) {
+            const double a = readF(in.src0, t, ch);
+            const double b = readF(in.src1, t, ch);
+            switch (in.condMod) {
+              case CondMod::Eq: cond = a == b; break;
+              case CondMod::Ne: cond = a != b; break;
+              case CondMod::Lt: cond = a < b; break;
+              case CondMod::Le: cond = a <= b; break;
+              case CondMod::Gt: cond = a > b; break;
+              case CondMod::Ge: cond = a >= b; break;
+              case CondMod::None: panic("cmp without condition");
+            }
+        } else {
+            const std::int64_t a = readI(in.src0, t, ch);
+            const std::int64_t b = readI(in.src1, t, ch);
+            switch (in.condMod) {
+              case CondMod::Eq: cond = a == b; break;
+              case CondMod::Ne: cond = a != b; break;
+              case CondMod::Lt: cond = a < b; break;
+              case CondMod::Le: cond = a <= b; break;
+              case CondMod::Gt: cond = a > b; break;
+              case CondMod::Ge: cond = a >= b; break;
+              case CondMod::None: panic("cmp without condition");
+            }
+        }
+        if (cond)
+            result |= LaneMask{1} << ch;
+    }
+
+    // Only enabled channels update their flag bit.
+    const LaneMask old = t.flag(in.condFlag);
+    t.setFlag(in.condFlag, (old & ~exec) | result);
+}
+
+void
+Interpreter::execSend(const Instruction &in, ThreadState &t,
+                      LaneMask exec, StepResult &result)
+{
+    const isa::SendDesc &send = in.send;
+    const unsigned elem_bytes = isa::dataTypeSize(send.type);
+
+    switch (send.op) {
+      case SendOp::Barrier:
+        result.isBarrier = true;
+        return;
+      case SendOp::Fence:
+        return; // functional memory is always coherent
+      default:
+        break;
+    }
+
+    MemAccess &mem = result.mem;
+    result.hasMem = true;
+    mem.op = send.op;
+    mem.elemBytes = elem_bytes;
+    mem.mask = exec;
+
+    if (send.op == SendOp::BlockLoad || send.op == SendOp::BlockStore) {
+        mem.isBlock = true;
+        mem.blockAddr = static_cast<std::uint32_t>(readI(in.src0, t, 0));
+        mem.blockBytes = send.numRegs * kGrfRegBytes;
+        std::uint8_t buf[kGrfRegBytes * 8];
+        panic_if(mem.blockBytes > sizeof(buf), "block message too large");
+        if (send.op == SendOp::BlockLoad) {
+            gmem_.read(mem.blockAddr, buf, mem.blockBytes);
+            t.writeGrfBytes(in.dst.reg * kGrfRegBytes, buf,
+                            mem.blockBytes);
+        } else {
+            t.readGrfBytes(in.src1.reg * kGrfRegBytes, buf,
+                           mem.blockBytes);
+            gmem_.write(mem.blockAddr, buf, mem.blockBytes);
+        }
+        return;
+    }
+
+    const bool is_slm = isa::isSlmSend(send.op);
+    panic_if(is_slm && slm_ == nullptr,
+             "kernel %s uses SLM but none is bound",
+             kernel_.name().c_str());
+
+    for (unsigned ch = 0; ch < in.simdWidth; ++ch) {
+        if (!(exec & (LaneMask{1} << ch)))
+            continue;
+        const Addr addr =
+            static_cast<std::uint32_t>(readI(in.src0, t, ch));
+        mem.addrs[ch] = addr;
+
+        std::uint64_t bits = 0;
+        switch (send.op) {
+          case SendOp::GatherLoad:
+            gmem_.read(addr, &bits, elem_bytes);
+            writeRawElement(in.dst, t, ch, bits, elem_bytes);
+            break;
+          case SendOp::ScatterStore:
+            bits = rawElement(in.src1, t, ch);
+            gmem_.write(addr, &bits, elem_bytes);
+            break;
+          case SendOp::SlmGatherLoad:
+            slm_->read(addr, &bits, elem_bytes);
+            writeRawElement(in.dst, t, ch, bits, elem_bytes);
+            break;
+          case SendOp::SlmScatterStore:
+            bits = rawElement(in.src1, t, ch);
+            slm_->write(addr, &bits, elem_bytes);
+            break;
+          case SendOp::SlmAtomicAdd: {
+            const auto old = slm_->load<std::int32_t>(addr);
+            const auto addend =
+                static_cast<std::int32_t>(readI(in.src1, t, ch));
+            slm_->store<std::int32_t>(addr, old + addend);
+            writeI(in.dst, t, ch, old);
+            break;
+          }
+          default:
+            panic("unhandled send op");
+        }
+    }
+}
+
+StepResult
+Interpreter::step(ThreadState &t)
+{
+    panic_if(t.halted(), "stepping a halted thread");
+    const std::uint32_t ip = t.ip();
+    panic_if(ip >= kernel_.size(), "ip %u out of range", ip);
+    const Instruction &in = kernel_.instr(ip);
+
+    StepResult result;
+    result.instr = &in;
+    result.ip = ip;
+
+    const LaneMask pred = predBits(in, t);
+    const LaneMask exec = t.activeMask() & pred & in.widthMask();
+    result.execMask = exec;
+
+    std::uint32_t next_ip = ip + 1;
+
+    switch (in.op) {
+      case Opcode::If: {
+        const LaneMask cur = t.activeMask();
+        const LaneMask taken = cur & pred & in.widthMask();
+        CfFrame frame;
+        frame.kind = CfFrame::Kind::If;
+        frame.savedMask = cur;
+        frame.elseMask = cur & ~taken;
+        t.pushFrame(frame);
+        t.setActiveMask(taken);
+        if (taken == 0)
+            next_ip = static_cast<std::uint32_t>(in.target0);
+        break;
+      }
+      case Opcode::Else: {
+        CfFrame &frame = t.topFrame();
+        panic_if(frame.kind != CfFrame::Kind::If, "else without if");
+        t.setActiveMask(frame.elseMask);
+        frame.elseMask = 0;
+        if (t.activeMask() == 0)
+            next_ip = static_cast<std::uint32_t>(in.target0);
+        break;
+      }
+      case Opcode::EndIf: {
+        const CfFrame frame = t.popFrame();
+        panic_if(frame.kind != CfFrame::Kind::If, "endif without if");
+        // Channels parked by break/cont of the enclosing loop while
+        // inside this if must stay parked.
+        t.setActiveMask(frame.savedMask & ~t.loopOffMask());
+        break;
+      }
+      case Opcode::LoopBegin: {
+        CfFrame frame;
+        frame.kind = CfFrame::Kind::Loop;
+        frame.savedMask = t.activeMask();
+        t.pushFrame(frame);
+        break;
+      }
+      case Opcode::Break: {
+        CfFrame *loop = t.innermostLoop();
+        panic_if(loop == nullptr, "break outside loop");
+        loop->breakMask |= exec;
+        t.setActiveMask(t.activeMask() & ~exec);
+        // Jump to the loop end only when structurally safe: every
+        // channel gone and no intervening if frames to unwind.
+        if (t.activeMask() == 0 && &t.topFrame() == loop)
+            next_ip = static_cast<std::uint32_t>(in.target0);
+        break;
+      }
+      case Opcode::Cont: {
+        CfFrame *loop = t.innermostLoop();
+        panic_if(loop == nullptr, "cont outside loop");
+        loop->contMask |= exec;
+        t.setActiveMask(t.activeMask() & ~exec);
+        if (t.activeMask() == 0 && &t.topFrame() == loop)
+            next_ip = static_cast<std::uint32_t>(in.target0);
+        break;
+      }
+      case Opcode::LoopEnd: {
+        CfFrame &loop = t.topFrame();
+        panic_if(loop.kind != CfFrame::Kind::Loop, "while without loop");
+        // Channels parked by cont rejoin for the trip test.
+        const LaneMask candidates = t.activeMask() | loop.contMask;
+        loop.contMask = 0;
+        const LaneMask continuing = candidates & pred & in.widthMask();
+        if (continuing != 0) {
+            t.setActiveMask(continuing);
+            next_ip = static_cast<std::uint32_t>(in.target0);
+        } else {
+            const CfFrame frame = t.popFrame();
+            t.setActiveMask(frame.savedMask & ~t.loopOffMask());
+        }
+        break;
+      }
+      case Opcode::Halt:
+        t.halt();
+        result.isHalt = true;
+        break;
+      case Opcode::Cmp:
+        execCmp(in, t, exec);
+        break;
+      case Opcode::Send:
+        execSend(in, t, exec, result);
+        break;
+      default:
+        execAlu(in, t, exec);
+        break;
+    }
+
+    t.setIp(next_ip);
+    return result;
+}
+
+} // namespace iwc::func

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Functional interpreter for the EU ISA. The interpreter is the single
+ * source of execution-mask truth: both the timing model (which calls
+ * step() when an instruction issues) and the trace generator consume
+ * its StepResult.
+ */
+
+#ifndef IWC_FUNC_INTERP_HH
+#define IWC_FUNC_INTERP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "func/memory.hh"
+#include "func/thread_state.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::func
+{
+
+/** Memory behaviour of one executed Send, for the timing model. */
+struct MemAccess
+{
+    isa::SendOp op = isa::SendOp::Fence;
+    unsigned elemBytes = 4;
+    LaneMask mask = 0;             ///< channels that accessed memory
+    std::array<Addr, kMaxSimdWidth> addrs{}; ///< per-channel byte addrs
+    bool isBlock = false;
+    Addr blockAddr = 0;
+    unsigned blockBytes = 0;
+};
+
+/** Everything the caller learns from executing one instruction. */
+struct StepResult
+{
+    const isa::Instruction *instr = nullptr;
+    std::uint32_t ip = 0;      ///< ip the instruction was fetched from
+    LaneMask execMask = 0;     ///< final computed execution mask
+    bool isBarrier = false;    ///< thread must wait at a WG barrier
+    bool isHalt = false;       ///< thread terminated
+    bool hasMem = false;       ///< mem contains a valid access
+    MemAccess mem;
+};
+
+/**
+ * Executes kernel instructions against a ThreadState. Stateless apart
+ * from the bound kernel and memories, so one interpreter serves many
+ * threads.
+ */
+class Interpreter
+{
+  public:
+    Interpreter(const isa::Kernel &kernel, GlobalMemory &gmem);
+
+    /** Binds the SLM segment of the thread's workgroup (may be null). */
+    void setSlm(SlmMemory *slm) { slm_ = slm; }
+
+    /**
+     * Executes the instruction at the thread's ip and advances control
+     * flow. Must not be called on a halted thread.
+     */
+    StepResult step(ThreadState &t);
+
+    /** Computes the execution mask the instruction at ip would get. */
+    LaneMask execMaskFor(const isa::Instruction &in,
+                         const ThreadState &t) const;
+
+    const isa::Kernel &kernel() const { return kernel_; }
+
+  private:
+    double readF(const isa::Operand &op, const ThreadState &t,
+                 unsigned ch) const;
+    std::int64_t readI(const isa::Operand &op, const ThreadState &t,
+                       unsigned ch) const;
+    void writeF(const isa::Operand &op, ThreadState &t, unsigned ch,
+                double v) const;
+    void writeI(const isa::Operand &op, ThreadState &t, unsigned ch,
+                std::int64_t v) const;
+
+    void execAlu(const isa::Instruction &in, ThreadState &t,
+                 LaneMask exec) const;
+    void execCmp(const isa::Instruction &in, ThreadState &t,
+                 LaneMask exec) const;
+    void execSend(const isa::Instruction &in, ThreadState &t,
+                  LaneMask exec, StepResult &result);
+
+    const isa::Kernel &kernel_;
+    GlobalMemory &gmem_;
+    SlmMemory *slm_ = nullptr;
+};
+
+} // namespace iwc::func
+
+#endif // IWC_FUNC_INTERP_HH

@@ -1,0 +1,92 @@
+#include "func/memory.hh"
+
+#include <cstring>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace iwc::func
+{
+
+Addr
+GlobalMemory::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    panic_if(!isPow2(align), "allocation alignment must be a power of 2");
+    nextFree_ = alignUp(nextFree_, align);
+    const Addr base = nextFree_;
+    nextFree_ += bytes == 0 ? align : bytes;
+    return base;
+}
+
+const GlobalMemory::Page *
+GlobalMemory::findPage(std::uint64_t page_num) const
+{
+    const auto it = pages_.find(page_num);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+GlobalMemory::Page &
+GlobalMemory::touchPage(std::uint64_t page_num)
+{
+    Page &page = pages_[page_num];
+    if (page.empty())
+        page.assign(kPageBytes, 0);
+    return page;
+}
+
+void
+GlobalMemory::read(Addr addr, void *out, std::uint64_t bytes) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (bytes > 0) {
+        const std::uint64_t page_num = addr / kPageBytes;
+        const std::uint64_t offset = addr % kPageBytes;
+        const std::uint64_t chunk = std::min(bytes, kPageBytes - offset);
+        const Page *page = findPage(page_num);
+        if (page)
+            std::memcpy(dst, page->data() + offset, chunk);
+        else
+            std::memset(dst, 0, chunk); // untouched memory reads zero
+        dst += chunk;
+        addr += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+GlobalMemory::write(Addr addr, const void *in, std::uint64_t bytes)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    while (bytes > 0) {
+        const std::uint64_t page_num = addr / kPageBytes;
+        const std::uint64_t offset = addr % kPageBytes;
+        const std::uint64_t chunk = std::min(bytes, kPageBytes - offset);
+        Page &page = touchPage(page_num);
+        std::memcpy(page.data() + offset, src, chunk);
+        src += chunk;
+        addr += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+SlmMemory::read(Addr addr, void *out, std::uint64_t bytes) const
+{
+    panic_if(addr + bytes > data_.size(),
+             "SLM read [%llu, %llu) out of range (size %zu)",
+             static_cast<unsigned long long>(addr),
+             static_cast<unsigned long long>(addr + bytes), data_.size());
+    std::memcpy(out, data_.data() + addr, bytes);
+}
+
+void
+SlmMemory::write(Addr addr, const void *in, std::uint64_t bytes)
+{
+    panic_if(addr + bytes > data_.size(),
+             "SLM write [%llu, %llu) out of range (size %zu)",
+             static_cast<unsigned long long>(addr),
+             static_cast<unsigned long long>(addr + bytes), data_.size());
+    std::memcpy(data_.data() + addr, in, bytes);
+}
+
+} // namespace iwc::func

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Functional memory: the flat global address space shared by the whole
+ * GPU (paged and sparse, so large address ranges cost nothing until
+ * touched) plus the per-workgroup shared local memory.
+ */
+
+#ifndef IWC_FUNC_MEMORY_HH
+#define IWC_FUNC_MEMORY_HH
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace iwc::func
+{
+
+/**
+ * Sparse, paged global memory with a bump allocator for device
+ * buffers. Address 0 is never handed out so it can serve as a null
+ * buffer handle.
+ */
+class GlobalMemory
+{
+  public:
+    static constexpr unsigned kPageBytes = 4096;
+
+    /** Allocates @p bytes with cache-line alignment; returns base. */
+    Addr allocate(std::uint64_t bytes,
+                  std::uint64_t align = kCacheLineBytes);
+
+    void read(Addr addr, void *out, std::uint64_t bytes) const;
+    void write(Addr addr, const void *in, std::uint64_t bytes);
+
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    store(Addr addr, const T &v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /** Total bytes handed out by the allocator. */
+    std::uint64_t allocatedBytes() const { return nextFree_ - kPageBytes; }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    const Page *findPage(std::uint64_t page_num) const;
+    Page &touchPage(std::uint64_t page_num);
+
+    std::unordered_map<std::uint64_t, Page> pages_;
+    Addr nextFree_ = kPageBytes; // skip page 0 => address 0 stays null
+};
+
+/** Per-workgroup shared local memory (flat, byte addressed). */
+class SlmMemory
+{
+  public:
+    explicit SlmMemory(unsigned bytes) : data_(bytes, 0) {}
+
+    void read(Addr addr, void *out, std::uint64_t bytes) const;
+    void write(Addr addr, const void *in, std::uint64_t bytes);
+
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    store(Addr addr, const T &v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    unsigned size() const { return static_cast<unsigned>(data_.size()); }
+
+  private:
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace iwc::func
+
+#endif // IWC_FUNC_MEMORY_HH

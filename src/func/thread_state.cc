@@ -1,0 +1,3 @@
+// ThreadState is header-only; this translation unit anchors the header
+// into the library so every module sees identical inlined definitions.
+#include "func/thread_state.hh"

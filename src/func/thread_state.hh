@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Architectural state of one EU thread: the 128 x 256b general
+ * register file, two flag registers, the channel-mask stack that
+ * implements structured control flow, and the instruction pointer.
+ */
+
+#ifndef IWC_FUNC_THREAD_STATE_HH
+#define IWC_FUNC_THREAD_STATE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace iwc::func
+{
+
+/** One entry of the channel-mask stack. */
+struct CfFrame
+{
+    enum class Kind : std::uint8_t { If, Loop };
+
+    Kind kind = Kind::If;
+    LaneMask savedMask = 0; ///< active channels when the frame was pushed
+    LaneMask elseMask = 0;  ///< If: channels pending for the else path
+    LaneMask contMask = 0;  ///< Loop: channels parked by `cont`
+    LaneMask breakMask = 0; ///< Loop: channels that left via `break`
+};
+
+/** Architectural state of one EU thread. */
+class ThreadState
+{
+  public:
+    ThreadState() { reset(laneMaskForWidth(16)); }
+
+    /** Re-initializes the thread with the given dispatch mask. */
+    void
+    reset(LaneMask dispatch_mask)
+    {
+        grf_.assign(kGrfRegCount * kGrfRegBytes, 0);
+        flags_[0] = 0;
+        flags_[1] = 0;
+        cfStack_.clear();
+        dispatchMask_ = dispatch_mask;
+        activeMask_ = dispatch_mask;
+        ip_ = 0;
+        halted_ = false;
+    }
+
+    // --- GRF access ---
+    template <typename T>
+    T
+    readGrf(unsigned byte_offset) const
+    {
+        panic_if(byte_offset + sizeof(T) > grf_.size(),
+                 "GRF read at %u out of range", byte_offset);
+        T v;
+        std::memcpy(&v, grf_.data() + byte_offset, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeGrf(unsigned byte_offset, const T &v)
+    {
+        panic_if(byte_offset + sizeof(T) > grf_.size(),
+                 "GRF write at %u out of range", byte_offset);
+        std::memcpy(grf_.data() + byte_offset, &v, sizeof(T));
+    }
+
+    void
+    writeGrfBytes(unsigned byte_offset, const void *src, unsigned bytes)
+    {
+        panic_if(byte_offset + bytes > grf_.size(),
+                 "GRF write at %u out of range", byte_offset);
+        std::memcpy(grf_.data() + byte_offset, src, bytes);
+    }
+
+    void
+    readGrfBytes(unsigned byte_offset, void *dst, unsigned bytes) const
+    {
+        panic_if(byte_offset + bytes > grf_.size(),
+                 "GRF read at %u out of range", byte_offset);
+        std::memcpy(dst, grf_.data() + byte_offset, bytes);
+    }
+
+    // --- Flags ---
+    std::uint32_t
+    flag(unsigned idx) const
+    {
+        panic_if(idx >= 2, "flag register %u out of range", idx);
+        return flags_[idx];
+    }
+
+    void
+    setFlag(unsigned idx, std::uint32_t value)
+    {
+        panic_if(idx >= 2, "flag register %u out of range", idx);
+        flags_[idx] = value;
+    }
+
+    // --- Control flow ---
+    LaneMask dispatchMask() const { return dispatchMask_; }
+    LaneMask activeMask() const { return activeMask_; }
+    void setActiveMask(LaneMask m) { activeMask_ = m; }
+
+    void pushFrame(const CfFrame &f) { cfStack_.push_back(f); }
+
+    CfFrame &
+    topFrame()
+    {
+        panic_if(cfStack_.empty(), "control-flow stack underflow");
+        return cfStack_.back();
+    }
+
+    CfFrame
+    popFrame()
+    {
+        panic_if(cfStack_.empty(), "control-flow stack underflow");
+        const CfFrame f = cfStack_.back();
+        cfStack_.pop_back();
+        return f;
+    }
+
+    bool cfEmpty() const { return cfStack_.empty(); }
+    unsigned cfDepth() const
+    {
+        return static_cast<unsigned>(cfStack_.size());
+    }
+
+    /**
+     * Innermost enclosing loop frame, or nullptr. Break and Cont park
+     * channels here; EndIf must keep them parked when it restores its
+     * saved mask.
+     */
+    CfFrame *
+    innermostLoop()
+    {
+        for (auto it = cfStack_.rbegin(); it != cfStack_.rend(); ++it)
+            if (it->kind == CfFrame::Kind::Loop)
+                return &*it;
+        return nullptr;
+    }
+
+    /** Channels currently parked by break/cont of the innermost loop. */
+    LaneMask
+    loopOffMask()
+    {
+        const CfFrame *loop = innermostLoop();
+        return loop ? (loop->breakMask | loop->contMask) : 0;
+    }
+
+    // --- Instruction pointer ---
+    std::uint32_t ip() const { return ip_; }
+    void setIp(std::uint32_t ip) { ip_ = ip; }
+
+    bool halted() const { return halted_; }
+    void halt() { halted_ = true; }
+
+  private:
+    std::vector<std::uint8_t> grf_;
+    std::uint32_t flags_[2];
+    std::vector<CfFrame> cfStack_;
+    LaneMask dispatchMask_ = 0;
+    LaneMask activeMask_ = 0;
+    std::uint32_t ip_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace iwc::func
+
+#endif // IWC_FUNC_THREAD_STATE_HH

@@ -1,0 +1,196 @@
+#include "gpu/device.hh"
+
+#include <bit>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "func/interp.hh"
+
+namespace iwc::gpu
+{
+
+Arg
+Arg::buffer(Addr base)
+{
+    fatal_if(base > 0xffffffffull,
+             "buffer address exceeds the 32-bit device address space");
+    return {static_cast<std::uint32_t>(base)};
+}
+
+Arg
+Arg::f32(float v)
+{
+    return {std::bit_cast<std::uint32_t>(v)};
+}
+
+std::uint64_t
+runKernelFunctional(const isa::Kernel &kernel, func::GlobalMemory &gmem,
+                    std::uint64_t global_size, unsigned local_size,
+                    const std::vector<std::uint32_t> &arg_words,
+                    const InstrObserver &observer)
+{
+    if (!observer) {
+        return runKernelFunctionalDetailed(kernel, gmem, global_size,
+                                           local_size, arg_words,
+                                           nullptr);
+    }
+    return runKernelFunctionalDetailed(
+        kernel, gmem, global_size, local_size, arg_words,
+        [&observer](const DetailedStep &step) {
+            observer(*step.result->instr, step.result->execMask);
+        });
+}
+
+std::uint64_t
+runKernelFunctionalDetailed(const isa::Kernel &kernel,
+                            func::GlobalMemory &gmem,
+                            std::uint64_t global_size,
+                            unsigned local_size,
+                            const std::vector<std::uint32_t> &arg_words,
+                            const DetailedObserver &observer)
+{
+    fatal_if(global_size == 0 || local_size == 0, "empty NDRange");
+    const unsigned width = kernel.simdWidth();
+    const unsigned num_wgs =
+        static_cast<unsigned>(ceilDiv(global_size, local_size));
+    const unsigned sg_per_group =
+        static_cast<unsigned>(ceilDiv(local_size, width));
+
+    func::Interpreter interp(kernel, gmem);
+    std::uint64_t instructions = 0;
+
+    for (unsigned wg = 0; wg < num_wgs; ++wg) {
+        const std::uint64_t wg_base =
+            static_cast<std::uint64_t>(wg) * local_size;
+        const unsigned work_items = static_cast<unsigned>(
+            std::min<std::uint64_t>(local_size, global_size - wg_base));
+        const unsigned threads =
+            static_cast<unsigned>(ceilDiv(work_items, width));
+
+        std::unique_ptr<func::SlmMemory> slm;
+        if (kernel.slmBytes() > 0)
+            slm = std::make_unique<func::SlmMemory>(kernel.slmBytes());
+        interp.setSlm(slm.get());
+
+        std::vector<func::ThreadState> states(threads);
+        std::vector<bool> at_barrier(threads, false);
+        // Per-thread dynamic occurrence count of each static ip.
+        std::vector<std::vector<std::uint64_t>> occurrences(
+            threads, std::vector<std::uint64_t>(kernel.size(), 0));
+        for (unsigned sg = 0; sg < threads; ++sg) {
+            const unsigned lid_base = sg * width;
+            eu::DispatchInfo info;
+            info.wgId = static_cast<int>(wg);
+            info.subgroupIndex = sg;
+            info.globalIdBase = wg_base + lid_base;
+            info.localIdBase = lid_base;
+            info.dispatchMask =
+                laneMaskForWidth(std::min(width, work_items - lid_base));
+            info.slm = slm.get();
+            info.argWords = &arg_words;
+            info.localSize = local_size;
+            info.globalSize = static_cast<std::uint32_t>(global_size);
+            info.numGroups = num_wgs;
+            info.subgroupsPerGroup = sg_per_group;
+            eu::writeDispatchPayload(states[sg], kernel, info);
+        }
+
+        // Round-robin between barriers: each pass runs every runnable
+        // thread up to its next barrier (or completion), then releases
+        // the barrier once every live thread has arrived.
+        while (true) {
+            bool any_alive = false;
+            for (unsigned sg = 0; sg < threads; ++sg) {
+                func::ThreadState &t = states[sg];
+                if (t.halted() || at_barrier[sg])
+                    continue;
+                while (!t.halted()) {
+                    const func::StepResult r = interp.step(t);
+                    ++instructions;
+                    if (observer) {
+                        DetailedStep step;
+                        step.workgroup = wg;
+                        step.subgroup = sg;
+                        step.ip = r.ip;
+                        step.occurrence = occurrences[sg][r.ip]++;
+                        step.result = &r;
+                        observer(step);
+                    }
+                    if (r.isBarrier) {
+                        at_barrier[sg] = true;
+                        break;
+                    }
+                }
+            }
+            unsigned live = 0, waiting = 0;
+            for (unsigned sg = 0; sg < threads; ++sg) {
+                if (!states[sg].halted()) {
+                    ++live;
+                    if (at_barrier[sg])
+                        ++waiting;
+                }
+            }
+            any_alive = live > 0;
+            if (!any_alive)
+                break;
+            panic_if(waiting != live,
+                     "kernel %s: threads diverged around a barrier",
+                     kernel.name().c_str());
+            for (unsigned sg = 0; sg < threads; ++sg)
+                at_barrier[sg] = false;
+        }
+    }
+    return instructions;
+}
+
+Device::Device(const GpuConfig &config) : config_(config)
+{
+}
+
+Addr
+Device::allocBuffer(std::uint64_t bytes)
+{
+    return gmem_.allocate(bytes);
+}
+
+void
+Device::writeBuffer(Addr base, const void *data, std::uint64_t bytes)
+{
+    gmem_.write(base, data, bytes);
+}
+
+void
+Device::readBuffer(Addr base, void *data, std::uint64_t bytes) const
+{
+    gmem_.read(base, data, bytes);
+}
+
+std::vector<std::uint32_t>
+Device::argWords(const std::vector<Arg> &args)
+{
+    std::vector<std::uint32_t> words;
+    words.reserve(args.size());
+    for (const Arg &arg : args)
+        words.push_back(arg.raw);
+    return words;
+}
+
+LaunchStats
+Device::launch(const isa::Kernel &kernel, std::uint64_t global_size,
+               unsigned local_size, const std::vector<Arg> &args)
+{
+    Simulator sim(config_, gmem_);
+    return sim.run(kernel, global_size, local_size, argWords(args));
+}
+
+std::uint64_t
+Device::launchFunctional(const isa::Kernel &kernel,
+                         std::uint64_t global_size, unsigned local_size,
+                         const std::vector<Arg> &args,
+                         const InstrObserver &observer)
+{
+    return runKernelFunctional(kernel, gmem_, global_size, local_size,
+                               argWords(args), observer);
+}
+
+} // namespace iwc::gpu

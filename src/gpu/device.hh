@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The public entry point of the library: an OpenCL-flavoured device
+ * API. Allocate buffers, upload data, launch kernels (timing-level or
+ * functional-only), download results.
+ *
+ * @code
+ *   gpu::Device dev;                       // Table 3 machine
+ *   Addr xs = dev.uploadVector(host_xs);
+ *   auto stats = dev.launch(kernel, n, 64, {Arg::buffer(xs)});
+ *   auto out = dev.downloadVector<float>(xs, n);
+ * @endcode
+ */
+
+#ifndef IWC_GPU_DEVICE_HH
+#define IWC_GPU_DEVICE_HH
+
+#include <functional>
+#include <vector>
+
+#include "func/interp.hh"
+#include "func/memory.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/simulator.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::gpu
+{
+
+/** One kernel-argument value (32-bit payload per the ABI). */
+struct Arg
+{
+    std::uint32_t raw = 0;
+
+    static Arg buffer(Addr base);
+    static Arg u32(std::uint32_t v) { return {v}; }
+    static Arg i32(std::int32_t v)
+    {
+        return {static_cast<std::uint32_t>(v)};
+    }
+    static Arg f32(float v);
+};
+
+/** Per-instruction observer for functional runs (trace capture). */
+using InstrObserver =
+    std::function<void(const isa::Instruction &, LaneMask)>;
+
+/**
+ * Everything a detailed observer sees per executed instruction:
+ * which workgroup/subgroup ran it, where it sits in the kernel, how
+ * many times that thread has executed it (dynamic occurrence index —
+ * the PC-synchronization key inter-warp compaction schemes rely on),
+ * and the full step result including memory addresses.
+ */
+struct DetailedStep
+{
+    unsigned workgroup = 0;
+    unsigned subgroup = 0;
+    std::uint32_t ip = 0;
+    std::uint64_t occurrence = 0;
+    const func::StepResult *result = nullptr;
+};
+
+/** Observer for runKernelFunctionalDetailed. */
+using DetailedObserver = std::function<void(const DetailedStep &)>;
+
+/**
+ * Runs a kernel functionally (no timing): workgroups execute
+ * sequentially, threads round-robin between barriers. Returns the
+ * dynamic instruction count. Used for trace generation and for fast
+ * output validation.
+ */
+std::uint64_t runKernelFunctional(
+    const isa::Kernel &kernel, func::GlobalMemory &gmem,
+    std::uint64_t global_size, unsigned local_size,
+    const std::vector<std::uint32_t> &arg_words,
+    const InstrObserver &observer = nullptr);
+
+/**
+ * As runKernelFunctional, but the observer also learns the thread
+ * identity, instruction position, and dynamic occurrence index of
+ * every step — the information inter-warp compaction analysis needs.
+ */
+std::uint64_t runKernelFunctionalDetailed(
+    const isa::Kernel &kernel, func::GlobalMemory &gmem,
+    std::uint64_t global_size, unsigned local_size,
+    const std::vector<std::uint32_t> &arg_words,
+    const DetailedObserver &observer);
+
+/** See file comment. */
+class Device
+{
+  public:
+    explicit Device(const GpuConfig &config = ivbConfig());
+
+    // --- Buffers ---
+    Addr allocBuffer(std::uint64_t bytes);
+    void writeBuffer(Addr base, const void *data, std::uint64_t bytes);
+    void readBuffer(Addr base, void *data, std::uint64_t bytes) const;
+
+    template <typename T>
+    Addr
+    uploadVector(const std::vector<T> &host)
+    {
+        const Addr base = allocBuffer(host.size() * sizeof(T));
+        writeBuffer(base, host.data(), host.size() * sizeof(T));
+        return base;
+    }
+
+    template <typename T>
+    std::vector<T>
+    downloadVector(Addr base, std::size_t count) const
+    {
+        std::vector<T> host(count);
+        readBuffer(base, host.data(), count * sizeof(T));
+        return host;
+    }
+
+    // --- Execution ---
+
+    /** Cycle-level launch on a fresh simulator instance. */
+    LaunchStats launch(const isa::Kernel &kernel,
+                       std::uint64_t global_size, unsigned local_size,
+                       const std::vector<Arg> &args);
+
+    /** Functional-only launch; returns instruction count. */
+    std::uint64_t launchFunctional(const isa::Kernel &kernel,
+                                   std::uint64_t global_size,
+                                   unsigned local_size,
+                                   const std::vector<Arg> &args,
+                                   const InstrObserver &observer =
+                                       nullptr);
+
+    GpuConfig &config() { return config_; }
+    const GpuConfig &config() const { return config_; }
+    func::GlobalMemory &memory() { return gmem_; }
+
+  private:
+    static std::vector<std::uint32_t> argWords(
+        const std::vector<Arg> &args);
+
+    GpuConfig config_;
+    func::GlobalMemory gmem_;
+};
+
+} // namespace iwc::gpu
+
+#endif // IWC_GPU_DEVICE_HH

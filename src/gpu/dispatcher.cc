@@ -1,0 +1,141 @@
+#include "gpu/dispatcher.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace iwc::gpu
+{
+
+Dispatcher::Dispatcher(const isa::Kernel &kernel,
+                       std::uint64_t global_size, unsigned local_size,
+                       const std::vector<std::uint32_t> &arg_words)
+    : kernel_(kernel), globalSize_(global_size), localSize_(local_size),
+      argWords_(arg_words)
+{
+    fatal_if(global_size == 0, "empty NDRange");
+    fatal_if(local_size == 0, "zero workgroup size");
+    numWgs_ = static_cast<unsigned>(ceilDiv(global_size, local_size));
+    subgroupsPerGroup_ = static_cast<unsigned>(
+        ceilDiv(local_size, kernel.simdWidth()));
+    wgStates_.resize(numWgs_);
+    for (unsigned wg = 0; wg < numWgs_; ++wg)
+        totalThreads_ += wgThreadCount(wg);
+}
+
+unsigned
+Dispatcher::wgWorkItems(unsigned wg) const
+{
+    const std::uint64_t base = static_cast<std::uint64_t>(wg) * localSize_;
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(localSize_, globalSize_ - base));
+}
+
+unsigned
+Dispatcher::wgThreadCount(unsigned wg) const
+{
+    return static_cast<unsigned>(
+        ceilDiv(wgWorkItems(wg), kernel_.simdWidth()));
+}
+
+void
+Dispatcher::tryDispatch(
+    const std::vector<std::unique_ptr<eu::EuCore>> &eus, Cycle now,
+    Cycle dispatch_latency)
+{
+    while (nextWg_ < numWgs_) {
+        const unsigned wg = nextWg_;
+        const unsigned threads = wgThreadCount(wg);
+
+        unsigned free_slots = 0;
+        for (const auto &eu : eus)
+            free_slots += eu->numFreeSlots();
+        if (free_slots < threads)
+            return; // whole workgroups only (barrier semantics)
+
+        WgState &state = wgStates_[wg];
+        state.threads = threads;
+        if (kernel_.slmBytes() > 0) {
+            state.slm =
+                std::make_unique<func::SlmMemory>(kernel_.slmBytes());
+        }
+
+        const unsigned width = kernel_.simdWidth();
+        const unsigned work_items = wgWorkItems(wg);
+        for (unsigned sg = 0; sg < threads; ++sg) {
+            // Balance: place each subgroup on the EU with most slots.
+            eu::EuCore *target = nullptr;
+            for (const auto &eu : eus) {
+                if (!target ||
+                    eu->numFreeSlots() > target->numFreeSlots()) {
+                    target = eu.get();
+                }
+            }
+            panic_if(!target || target->numFreeSlots() == 0,
+                     "dispatch accounting broken");
+
+            const unsigned lid_base = sg * width;
+            const unsigned lanes =
+                std::min(width, work_items - lid_base);
+
+            eu::DispatchInfo info;
+            info.wgId = static_cast<int>(wg);
+            info.subgroupIndex = sg;
+            info.globalIdBase =
+                static_cast<std::uint64_t>(wg) * localSize_ + lid_base;
+            info.localIdBase = lid_base;
+            info.dispatchMask = laneMaskForWidth(lanes);
+            info.slm = state.slm.get();
+            info.argWords = &argWords_;
+            info.localSize = localSize_;
+            info.globalSize = static_cast<std::uint32_t>(globalSize_);
+            info.numGroups = numWgs_;
+            info.subgroupsPerGroup = subgroupsPerGroup_;
+            info.readyAt = now + dispatch_latency;
+            target->dispatch(info);
+        }
+        ++nextWg_;
+    }
+}
+
+void
+Dispatcher::barrierArrive(int wg_id)
+{
+    WgState &state = wgStates_.at(static_cast<unsigned>(wg_id));
+    ++state.barrierArrived;
+    panic_if(state.barrierArrived + state.done > state.threads,
+             "barrier arrivals exceed workgroup population");
+    if (state.barrierArrived + state.done == state.threads) {
+        state.barrierArrived = 0;
+        pendingReleases_.push_back(wg_id);
+    }
+}
+
+void
+Dispatcher::threadDone(int wg_id)
+{
+    WgState &state = wgStates_.at(static_cast<unsigned>(wg_id));
+    ++state.done;
+    panic_if(state.done > state.threads, "too many thread completions");
+    if (state.done == state.threads) {
+        ++wgsCompleted_;
+        state.slm.reset();
+    }
+}
+
+std::vector<int>
+Dispatcher::takeBarrierReleases()
+{
+    std::vector<int> releases;
+    releases.swap(pendingReleases_);
+    return releases;
+}
+
+bool
+Dispatcher::allWorkDone() const
+{
+    return nextWg_ == numWgs_ && wgsCompleted_ == numWgs_;
+}
+
+} // namespace iwc::gpu

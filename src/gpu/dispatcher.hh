@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Thread dispatcher: splits an OpenCL-style NDRange into workgroups
+ * and SIMD subgroups (EU threads), places whole workgroups onto EUs as
+ * slots free up, and tracks workgroup barriers and completion.
+ */
+
+#ifndef IWC_GPU_DISPATCHER_HH
+#define IWC_GPU_DISPATCHER_HH
+
+#include <memory>
+#include <vector>
+
+#include "eu/eu_core.hh"
+#include "func/memory.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::gpu
+{
+
+/** See file comment. */
+class Dispatcher
+{
+  public:
+    Dispatcher(const isa::Kernel &kernel, std::uint64_t global_size,
+               unsigned local_size,
+               const std::vector<std::uint32_t> &arg_words);
+
+    /**
+     * Places as many whole pending workgroups as the free thread
+     * slots across @p eus allow.
+     */
+    void tryDispatch(const std::vector<std::unique_ptr<eu::EuCore>> &eus,
+                     Cycle now, Cycle dispatch_latency);
+
+    /** GpuHooks plumbing (called by EUs through the simulator). */
+    void barrierArrive(int wg_id);
+    void threadDone(int wg_id);
+
+    /** Workgroups whose barrier released this cycle (drains the list). */
+    std::vector<int> takeBarrierReleases();
+
+    /** True once every workgroup has fully completed. */
+    bool allWorkDone() const;
+
+    unsigned numWorkgroups() const { return numWgs_; }
+    std::uint64_t totalThreads() const { return totalThreads_; }
+    unsigned simdWidth() const { return kernel_.simdWidth(); }
+
+  private:
+    struct WgState
+    {
+        unsigned threads = 0;
+        unsigned barrierArrived = 0;
+        unsigned done = 0;
+        std::unique_ptr<func::SlmMemory> slm;
+    };
+
+    /** Number of EU threads workgroup @p wg needs. */
+    unsigned wgThreadCount(unsigned wg) const;
+    /** Work items in workgroup @p wg (last group may be partial). */
+    unsigned wgWorkItems(unsigned wg) const;
+
+    const isa::Kernel &kernel_;
+    std::uint64_t globalSize_;
+    unsigned localSize_;
+    std::vector<std::uint32_t> argWords_;
+    unsigned numWgs_;
+    unsigned subgroupsPerGroup_;
+    std::uint64_t totalThreads_ = 0;
+
+    unsigned nextWg_ = 0;
+    unsigned wgsCompleted_ = 0;
+    std::vector<WgState> wgStates_;
+    std::vector<int> pendingReleases_;
+};
+
+} // namespace iwc::gpu
+
+#endif // IWC_GPU_DISPATCHER_HH

@@ -1,0 +1,67 @@
+#include "gpu/gpu_config.hh"
+
+#include "common/logging.hh"
+
+namespace iwc::gpu
+{
+
+GpuConfig
+ivbConfig()
+{
+    return GpuConfig{};
+}
+
+GpuConfig
+ivbConfig(compaction::Mode mode)
+{
+    GpuConfig config;
+    config.eu.mode = mode;
+    return config;
+}
+
+compaction::Mode
+parseMode(const std::string &name)
+{
+    if (name == "baseline")
+        return compaction::Mode::Baseline;
+    if (name == "ivb" || name == "ivb-opt")
+        return compaction::Mode::IvbOpt;
+    if (name == "bcc")
+        return compaction::Mode::Bcc;
+    if (name == "scc")
+        return compaction::Mode::Scc;
+    fatal("unknown compaction mode '%s'", name.c_str());
+}
+
+GpuConfig
+applyOptions(GpuConfig config, const OptionMap &opts)
+{
+    if (opts.has("mode"))
+        config.eu.mode = parseMode(opts.getString("mode", ""));
+    config.numEus = static_cast<unsigned>(
+        opts.getInt("eus", config.numEus));
+    config.eu.numThreads = static_cast<unsigned>(
+        opts.getInt("threads", config.eu.numThreads));
+    config.mem.dcLinesPerCycle = static_cast<unsigned>(
+        opts.getInt("dc", config.mem.dcLinesPerCycle));
+    config.mem.perfectL3 = opts.getBool("perfect_l3",
+                                        config.mem.perfectL3);
+    config.eu.issueWidth = static_cast<unsigned>(
+        opts.getInt("issue_width", config.eu.issueWidth));
+    config.eu.arbitrationPeriod = static_cast<unsigned>(
+        opts.getInt("arb_period", config.eu.arbitrationPeriod));
+    config.mem.dramLatency = static_cast<Cycle>(
+        opts.getInt("dram_latency",
+                    static_cast<std::int64_t>(config.mem.dramLatency)));
+    config.mem.l3Bytes = static_cast<std::uint64_t>(
+        opts.getInt("l3_kb",
+                    static_cast<std::int64_t>(config.mem.l3Bytes / 1024)))
+        * 1024;
+    config.mem.llcBytes = static_cast<std::uint64_t>(
+        opts.getInt("llc_kb",
+                    static_cast<std::int64_t>(
+                        config.mem.llcBytes / 1024))) * 1024;
+    return config;
+}
+
+} // namespace iwc::gpu

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Whole-GPU configuration: the machine parameters of the paper's
+ * Table 3 plus knobs for the sensitivity studies. A config can be
+ * overridden from the command line via an OptionMap, which is how the
+ * bench drivers expose DC1/DC2, perfect-L3, compaction mode, etc.
+ */
+
+#ifndef IWC_GPU_GPU_CONFIG_HH
+#define IWC_GPU_GPU_CONFIG_HH
+
+#include "common/config.hh"
+#include "eu/eu_core.hh"
+#include "mem/mem_system.hh"
+
+namespace iwc::gpu
+{
+
+/** See file comment. */
+struct GpuConfig
+{
+    unsigned numEus = 6;
+    eu::EuConfig eu;
+    mem::MemConfig mem;
+    Cycle dispatchLatency = 26; ///< thread-spawn to first-issue latency
+    Cycle maxCycles = 1ull << 33; ///< runaway-simulation guard
+};
+
+/** Table 3 configuration (Ivy Bridge-like, DC1 memory subsystem). */
+GpuConfig ivbConfig();
+
+/** ivbConfig() with the compaction mode overridden. */
+GpuConfig ivbConfig(compaction::Mode mode);
+
+/**
+ * Applies "key=value" overrides: mode=baseline|ivb|bcc|scc, eus=N,
+ * threads=N, dc=1|2, perfect_l3=0|1, issue_width=N, arb_period=N,
+ * dram_latency=N, l3_kb=N, llc_kb=N.
+ */
+GpuConfig applyOptions(GpuConfig config, const OptionMap &opts);
+
+/** Parses a compaction mode name (baseline/ivb/bcc/scc). */
+compaction::Mode parseMode(const std::string &name);
+
+} // namespace iwc::gpu
+
+#endif // IWC_GPU_GPU_CONFIG_HH

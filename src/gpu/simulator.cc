@@ -1,0 +1,127 @@
+#include "gpu/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace iwc::gpu
+{
+
+void
+LaunchStats::writeTo(stats::Group &group) const
+{
+    using compaction::Mode;
+    group.setScalar("total_cycles", static_cast<double>(totalCycles));
+    group.setScalar("instructions",
+                    static_cast<double>(eu.instructions));
+    group.setScalar("alu_instructions",
+                    static_cast<double>(eu.aluInstructions));
+    group.setScalar("send_instructions",
+                    static_cast<double>(eu.sendInstructions));
+    group.setScalar("ctrl_instructions",
+                    static_cast<double>(eu.ctrlInstructions));
+    group.setScalar("simd_efficiency", simdEfficiency());
+    group.setScalar("eu_cycles_baseline",
+                    static_cast<double>(eu.euCycles(Mode::Baseline)));
+    group.setScalar("eu_cycles_ivb",
+                    static_cast<double>(eu.euCycles(Mode::IvbOpt)));
+    group.setScalar("eu_cycles_bcc",
+                    static_cast<double>(eu.euCycles(Mode::Bcc)));
+    group.setScalar("eu_cycles_scc",
+                    static_cast<double>(eu.euCycles(Mode::Scc)));
+    group.setScalar("fpu_busy_cycles",
+                    static_cast<double>(fpuBusyCycles));
+    group.setScalar("em_busy_cycles",
+                    static_cast<double>(emBusyCycles));
+    group.setScalar("l3_hits", static_cast<double>(l3Hits));
+    group.setScalar("l3_misses", static_cast<double>(l3Misses));
+    group.setScalar("llc_hits", static_cast<double>(llcHits));
+    group.setScalar("llc_misses", static_cast<double>(llcMisses));
+    group.setScalar("dram_lines", static_cast<double>(dramLines));
+    group.setScalar("dc_lines", static_cast<double>(dcLines));
+    group.setScalar("dc_throughput", dcThroughput());
+    group.setScalar("slm_accesses", static_cast<double>(slmAccesses));
+    group.setScalar("mem_messages",
+                    static_cast<double>(eu.memMessages));
+    group.setScalar("mem_lines", static_cast<double>(eu.memLines));
+    group.setScalar("lines_per_message", avgLinesPerMessage);
+    group.setScalar("workgroups", workgroups);
+    group.setScalar("threads", static_cast<double>(threads));
+}
+
+Simulator::Simulator(const GpuConfig &config, func::GlobalMemory &gmem)
+    : config_(config), gmem_(gmem),
+      mem_(std::make_unique<mem::MemSystem>(config.mem))
+{
+    for (unsigned i = 0; i < config.numEus; ++i) {
+        eus_.push_back(std::make_unique<eu::EuCore>(i, config.eu, *mem_,
+                                                    *this));
+    }
+}
+
+void
+Simulator::onBarrierArrive(int wg_id)
+{
+    dispatcher_->barrierArrive(wg_id);
+}
+
+void
+Simulator::onThreadDone(int wg_id)
+{
+    dispatcher_->threadDone(wg_id);
+}
+
+LaunchStats
+Simulator::run(const isa::Kernel &kernel, std::uint64_t global_size,
+               unsigned local_size,
+               const std::vector<std::uint32_t> &arg_words)
+{
+    Dispatcher dispatcher(kernel, global_size, local_size, arg_words);
+    dispatcher_ = &dispatcher;
+
+    for (auto &eu : eus_)
+        eu->bindKernel(kernel, gmem_);
+
+    Cycle cycle = 0;
+    while (true) {
+        dispatcher.tryDispatch(eus_, cycle, config_.dispatchLatency);
+        for (auto &eu : eus_)
+            eu->tick(cycle);
+        for (const int wg : dispatcher.takeBarrierReleases())
+            for (auto &eu : eus_)
+                eu->releaseBarrier(wg, cycle);
+
+        if (dispatcher.allWorkDone()) {
+            bool all_idle = true;
+            for (const auto &eu : eus_)
+                all_idle = all_idle && eu->idle();
+            if (all_idle)
+                break;
+        }
+        ++cycle;
+        fatal_if(cycle >= config_.maxCycles,
+                 "kernel %s exceeded the %llu-cycle guard (deadlock?)",
+                 kernel.name().c_str(),
+                 static_cast<unsigned long long>(config_.maxCycles));
+    }
+    dispatcher_ = nullptr;
+
+    LaunchStats stats;
+    stats.totalCycles = cycle + 1;
+    for (const auto &eu : eus_) {
+        stats.eu.merge(eu->stats());
+        stats.fpuBusyCycles += eu->fpu().busyCycles();
+        stats.emBusyCycles += eu->em().busyCycles();
+    }
+    stats.l3Hits = mem_->l3().hits();
+    stats.l3Misses = mem_->l3().misses();
+    stats.llcHits = mem_->llc().hits();
+    stats.llcMisses = mem_->llc().misses();
+    stats.dramLines = mem_->dram().linesTransferred();
+    stats.dcLines = mem_->dataCluster().linesTransferred();
+    stats.slmAccesses = mem_->slm().accesses();
+    stats.avgLinesPerMessage = mem_->avgLinesPerMessage();
+    stats.workgroups = dispatcher.numWorkgroups();
+    stats.threads = dispatcher.totalThreads();
+    return stats;
+}
+
+} // namespace iwc::gpu

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Whole-GPU cycle-level simulator (the role GPGenSim plays in the
+ * paper): EUs + data cluster + caches + dispatcher stepped in
+ * lock-step until the launch drains.
+ */
+
+#ifndef IWC_GPU_SIMULATOR_HH
+#define IWC_GPU_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "eu/eu_core.hh"
+#include "func/memory.hh"
+#include "gpu/dispatcher.hh"
+#include "gpu/gpu_config.hh"
+#include "mem/mem_system.hh"
+#include "stats/stats.hh"
+
+namespace iwc::gpu
+{
+
+/** Results of one kernel launch. */
+struct LaunchStats
+{
+    Cycle totalCycles = 0;
+    eu::EuStats eu; ///< merged across EUs
+
+    std::uint64_t fpuBusyCycles = 0;
+    std::uint64_t emBusyCycles = 0;
+
+    std::uint64_t l3Hits = 0;
+    std::uint64_t l3Misses = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t dramLines = 0;
+    std::uint64_t dcLines = 0;
+    std::uint64_t slmAccesses = 0;
+    double avgLinesPerMessage = 0;
+
+    unsigned workgroups = 0;
+    std::uint64_t threads = 0;
+
+    /** Achieved data-cluster throughput in lines per cycle. */
+    double
+    dcThroughput() const
+    {
+        return totalCycles
+            ? static_cast<double>(dcLines) / totalCycles
+            : 0.0;
+    }
+
+    /** SIMD efficiency of the executed instruction stream. */
+    double simdEfficiency() const { return eu.simdEfficiency(); }
+
+    /** Exports every scalar into a stats group for dumping. */
+    void writeTo(stats::Group &group) const;
+
+    /**
+     * Fractional EU-cycle reduction of @p mode relative to @p base
+     * (both computed from the same instruction stream).
+     */
+    double
+    euCycleReduction(compaction::Mode mode,
+                     compaction::Mode base =
+                         compaction::Mode::IvbOpt) const
+    {
+        const double b = static_cast<double>(eu.euCycles(base));
+        return b == 0 ? 0.0 : 1.0 - eu.euCycles(mode) / b;
+    }
+};
+
+/** See file comment. */
+class Simulator : public eu::GpuHooks
+{
+  public:
+    Simulator(const GpuConfig &config, func::GlobalMemory &gmem);
+    ~Simulator() override = default;
+
+    /** Runs one kernel launch to completion. */
+    LaunchStats run(const isa::Kernel &kernel, std::uint64_t global_size,
+                    unsigned local_size,
+                    const std::vector<std::uint32_t> &arg_words);
+
+    // GpuHooks
+    void onBarrierArrive(int wg_id) override;
+    void onThreadDone(int wg_id) override;
+
+    const mem::MemSystem &memSystem() const { return *mem_; }
+
+  private:
+    GpuConfig config_;
+    func::GlobalMemory &gmem_;
+    std::unique_ptr<mem::MemSystem> mem_;
+    std::vector<std::unique_ptr<eu::EuCore>> eus_;
+    Dispatcher *dispatcher_ = nullptr; ///< valid only inside run()
+};
+
+} // namespace iwc::gpu
+
+#endif // IWC_GPU_SIMULATOR_HH

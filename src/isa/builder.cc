@@ -1,0 +1,548 @@
+#include "isa/builder.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace iwc::isa
+{
+
+KernelBuilder::KernelBuilder(std::string name, unsigned simd_width)
+    : name_(std::move(name)), simdWidth_(simd_width)
+{
+    fatal_if(simd_width != 8 && simd_width != 16 && simd_width != 32,
+             "kernel %s: SIMD width must be 8, 16, or 32", name_.c_str());
+    // r0 header + global-id vector + local-id vector.
+    const unsigned id_regs = ceilDiv(simd_width * 4, kGrfRegBytes);
+    nextReg_ = 1 + 2 * id_regs;
+    firstTempReg_ = nextReg_;
+}
+
+Operand
+KernelBuilder::argBuffer(const std::string &name)
+{
+    fatal_if(argsFrozen_, "kernel %s: declare args before temporaries",
+             name_.c_str());
+    args_.push_back({name, ArgKind::Buffer,
+                     static_cast<std::uint8_t>(nextReg_)});
+    return grfScalar(nextReg_++, DataType::UD);
+}
+
+Operand
+KernelBuilder::argU(const std::string &name)
+{
+    fatal_if(argsFrozen_, "kernel %s: declare args before temporaries",
+             name_.c_str());
+    args_.push_back({name, ArgKind::ScalarU,
+                     static_cast<std::uint8_t>(nextReg_)});
+    return grfScalar(nextReg_++, DataType::UD);
+}
+
+Operand
+KernelBuilder::argI(const std::string &name)
+{
+    fatal_if(argsFrozen_, "kernel %s: declare args before temporaries",
+             name_.c_str());
+    args_.push_back({name, ArgKind::ScalarI,
+                     static_cast<std::uint8_t>(nextReg_)});
+    return grfScalar(nextReg_++, DataType::D);
+}
+
+Operand
+KernelBuilder::argF(const std::string &name)
+{
+    fatal_if(argsFrozen_, "kernel %s: declare args before temporaries",
+             name_.c_str());
+    args_.push_back({name, ArgKind::ScalarF,
+                     static_cast<std::uint8_t>(nextReg_)});
+    return grfScalar(nextReg_++, DataType::F);
+}
+
+Operand
+KernelBuilder::globalId() const
+{
+    return grfOperand(1, DataType::UD);
+}
+
+Operand
+KernelBuilder::localId() const
+{
+    const unsigned id_regs = ceilDiv(simdWidth_ * 4, kGrfRegBytes);
+    return grfOperand(1 + id_regs, DataType::UD);
+}
+
+Operand
+KernelBuilder::groupId() const
+{
+    return grfScalar(0, DataType::UD, 0);
+}
+
+Operand
+KernelBuilder::subgroupIndex() const
+{
+    return grfScalar(0, DataType::UD, 1);
+}
+
+Operand
+KernelBuilder::localSize() const
+{
+    return grfScalar(0, DataType::UD, 2);
+}
+
+Operand
+KernelBuilder::globalSize() const
+{
+    return grfScalar(0, DataType::UD, 3);
+}
+
+Operand
+KernelBuilder::numGroups() const
+{
+    return grfScalar(0, DataType::UD, 4);
+}
+
+Reg
+KernelBuilder::tmp(DataType type)
+{
+    if (!argsFrozen_) {
+        argsFrozen_ = true;
+        firstTempReg_ = nextReg_;
+    }
+    const unsigned regs =
+        ceilDiv(simdWidth_ * dataTypeSize(type), kGrfRegBytes);
+    fatal_if(nextReg_ + regs > kGrfRegCount,
+             "kernel %s: out of GRF registers", name_.c_str());
+    const Reg r{static_cast<std::uint8_t>(nextReg_), type};
+    nextReg_ += regs;
+    return r;
+}
+
+unsigned
+KernelBuilder::allocRaw(unsigned count)
+{
+    if (!argsFrozen_) {
+        argsFrozen_ = true;
+        firstTempReg_ = nextReg_;
+    }
+    fatal_if(nextReg_ + count > kGrfRegCount,
+             "kernel %s: out of GRF registers", name_.c_str());
+    const unsigned base = nextReg_;
+    nextReg_ += count;
+    return base;
+}
+
+Instruction &
+KernelBuilder::emit(Opcode op)
+{
+    instrs_.emplace_back();
+    Instruction &in = instrs_.back();
+    in.op = op;
+    in.simdWidth = static_cast<std::uint8_t>(simdWidth_);
+    return in;
+}
+
+InstrRef
+KernelBuilder::emit3(Opcode op, const Operand &d, const Operand &a,
+                     const Operand &b, const Operand &c)
+{
+    Instruction &in = emit(op);
+    in.dst = d;
+    in.src0 = a;
+    in.src1 = b;
+    in.src2 = c;
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::mov(const Operand &dst, const Operand &src)
+{
+    return emit3(Opcode::Mov, dst, src, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::add(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Add, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::sub(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Sub, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::mul(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Mul, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::mad(const Operand &d, const Operand &a, const Operand &b,
+                   const Operand &c)
+{
+    return emit3(Opcode::Mad, d, a, b, c);
+}
+
+InstrRef
+KernelBuilder::min_(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Min, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::max_(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Max, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::and_(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::And, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::or_(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Or, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::xor_(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Xor, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::not_(const Operand &d, const Operand &a)
+{
+    return emit3(Opcode::Not, d, a, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::shl(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Shl, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::shr(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Shr, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::asr(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Asr, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::rndd(const Operand &d, const Operand &a)
+{
+    return emit3(Opcode::Rndd, d, a, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::frc(const Operand &d, const Operand &a)
+{
+    return emit3(Opcode::Frc, d, a, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::cmp(CondMod cond, unsigned flag, const Operand &a,
+                   const Operand &b)
+{
+    Instruction &in = emit(Opcode::Cmp);
+    in.dst = nullOperand();
+    in.src0 = a;
+    in.src1 = b;
+    in.condMod = cond;
+    in.condFlag = static_cast<std::uint8_t>(flag);
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::sel(unsigned flag, const Operand &d, const Operand &a,
+                   const Operand &b)
+{
+    Instruction &in = emit(Opcode::Sel);
+    in.dst = d;
+    in.src0 = a;
+    in.src1 = b;
+    in.condFlag = static_cast<std::uint8_t>(flag);
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::inv(const Operand &d, const Operand &a)
+{
+    return emit3(Opcode::Inv, d, a, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::div(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Div, d, a, b, nullOperand());
+}
+
+InstrRef
+KernelBuilder::sqrt(const Operand &d, const Operand &a)
+{
+    return emit3(Opcode::Sqrt, d, a, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::rsqrt(const Operand &d, const Operand &a)
+{
+    return emit3(Opcode::Rsqrt, d, a, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::sin(const Operand &d, const Operand &a)
+{
+    return emit3(Opcode::Sin, d, a, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::cos(const Operand &d, const Operand &a)
+{
+    return emit3(Opcode::Cos, d, a, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::exp2(const Operand &d, const Operand &a)
+{
+    return emit3(Opcode::Exp2, d, a, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::log2(const Operand &d, const Operand &a)
+{
+    return emit3(Opcode::Log2, d, a, nullOperand(), nullOperand());
+}
+
+InstrRef
+KernelBuilder::pow(const Operand &d, const Operand &a, const Operand &b)
+{
+    return emit3(Opcode::Pow, d, a, b, nullOperand());
+}
+
+void
+KernelBuilder::if_(unsigned flag, bool inverted)
+{
+    CfFrame frame;
+    frame.kind = FrameKind::If;
+    frame.ifIp = ip();
+    cfStack_.push_back(frame);
+
+    Instruction &in = emit(Opcode::If);
+    in.predCtrl = inverted ? PredCtrl::Inverted : PredCtrl::Normal;
+    in.predFlag = static_cast<std::uint8_t>(flag);
+}
+
+void
+KernelBuilder::else_()
+{
+    fatal_if(cfStack_.empty() || cfStack_.back().kind != FrameKind::If,
+             "kernel %s: else without if", name_.c_str());
+    fatal_if(cfStack_.back().elseIp >= 0, "kernel %s: duplicate else",
+             name_.c_str());
+    cfStack_.back().elseIp = ip();
+    emit(Opcode::Else);
+}
+
+void
+KernelBuilder::endif_()
+{
+    fatal_if(cfStack_.empty() || cfStack_.back().kind != FrameKind::If,
+             "kernel %s: endif without if", name_.c_str());
+    const CfFrame frame = cfStack_.back();
+    cfStack_.pop_back();
+
+    const std::int32_t endif_ip = ip();
+    emit(Opcode::EndIf);
+
+    Instruction &if_in = instrs_[frame.ifIp];
+    if_in.target0 = frame.elseIp >= 0 ? frame.elseIp : endif_ip;
+    if_in.target1 = endif_ip;
+    if (frame.elseIp >= 0)
+        instrs_[frame.elseIp].target0 = endif_ip;
+}
+
+void
+KernelBuilder::loop_()
+{
+    CfFrame frame;
+    frame.kind = FrameKind::Loop;
+    frame.beginIp = ip();
+    cfStack_.push_back(frame);
+    emit(Opcode::LoopBegin);
+}
+
+void
+KernelBuilder::breakIf(unsigned flag, bool inverted)
+{
+    fatal_if(cfStack_.empty(), "kernel %s: break outside loop",
+             name_.c_str());
+    // Find the innermost loop (breaks may appear inside nested ifs).
+    bool found = false;
+    for (auto it = cfStack_.rbegin(); it != cfStack_.rend(); ++it) {
+        if (it->kind == FrameKind::Loop) {
+            it->breakIps.push_back(ip());
+            found = true;
+            break;
+        }
+    }
+    fatal_if(!found, "kernel %s: break outside loop", name_.c_str());
+
+    Instruction &in = emit(Opcode::Break);
+    in.predCtrl = inverted ? PredCtrl::Inverted : PredCtrl::Normal;
+    in.predFlag = static_cast<std::uint8_t>(flag);
+}
+
+void
+KernelBuilder::contIf(unsigned flag, bool inverted)
+{
+    bool found = false;
+    for (auto it = cfStack_.rbegin(); it != cfStack_.rend(); ++it) {
+        if (it->kind == FrameKind::Loop) {
+            it->breakIps.push_back(ip());
+            found = true;
+            break;
+        }
+    }
+    fatal_if(!found, "kernel %s: cont outside loop", name_.c_str());
+
+    Instruction &in = emit(Opcode::Cont);
+    in.predCtrl = inverted ? PredCtrl::Inverted : PredCtrl::Normal;
+    in.predFlag = static_cast<std::uint8_t>(flag);
+}
+
+void
+KernelBuilder::endLoop(unsigned flag, bool inverted)
+{
+    fatal_if(cfStack_.empty() || cfStack_.back().kind != FrameKind::Loop,
+             "kernel %s: endLoop without loop", name_.c_str());
+    const CfFrame frame = cfStack_.back();
+    cfStack_.pop_back();
+
+    const std::int32_t end_ip = ip();
+    Instruction &in = emit(Opcode::LoopEnd);
+    in.predCtrl = inverted ? PredCtrl::Inverted : PredCtrl::Normal;
+    in.predFlag = static_cast<std::uint8_t>(flag);
+    in.target0 = frame.beginIp + 1; // skip re-executing LoopBegin
+
+    for (const std::int32_t break_ip : frame.breakIps)
+        instrs_[break_ip].target0 = end_ip;
+}
+
+InstrRef
+KernelBuilder::gatherLoad(const Operand &dst, const Operand &addr,
+                          DataType type)
+{
+    Instruction &in = emit(Opcode::Send);
+    in.dst = dst;
+    in.src0 = addr;
+    in.send = {SendOp::GatherLoad, type, 1};
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::scatterStore(const Operand &addr, const Operand &data,
+                            DataType type)
+{
+    Instruction &in = emit(Opcode::Send);
+    in.src0 = addr;
+    in.src1 = data;
+    in.send = {SendOp::ScatterStore, type, 1};
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::blockLoad(unsigned dst_reg, const Operand &addr,
+                         unsigned num_regs)
+{
+    Instruction &in = emit(Opcode::Send);
+    in.dst = grfOperand(dst_reg, DataType::UD);
+    in.src0 = addr;
+    in.send = {SendOp::BlockLoad, DataType::UD,
+               static_cast<std::uint8_t>(num_regs)};
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::blockStore(const Operand &addr, unsigned src_reg,
+                          unsigned num_regs)
+{
+    Instruction &in = emit(Opcode::Send);
+    in.src0 = addr;
+    in.src1 = grfOperand(src_reg, DataType::UD);
+    in.send = {SendOp::BlockStore, DataType::UD,
+               static_cast<std::uint8_t>(num_regs)};
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::slmLoad(const Operand &dst, const Operand &addr,
+                       DataType type)
+{
+    Instruction &in = emit(Opcode::Send);
+    in.dst = dst;
+    in.src0 = addr;
+    in.send = {SendOp::SlmGatherLoad, type, 1};
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::slmStore(const Operand &addr, const Operand &data,
+                        DataType type)
+{
+    Instruction &in = emit(Opcode::Send);
+    in.src0 = addr;
+    in.src1 = data;
+    in.send = {SendOp::SlmScatterStore, type, 1};
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::slmAtomicAdd(const Operand &dst_old, const Operand &addr,
+                            const Operand &addend)
+{
+    Instruction &in = emit(Opcode::Send);
+    in.dst = dst_old;
+    in.src0 = addr;
+    in.src1 = addend;
+    in.send = {SendOp::SlmAtomicAdd, DataType::D, 1};
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::barrier()
+{
+    Instruction &in = emit(Opcode::Send);
+    in.send = {SendOp::Barrier, DataType::UD, 0};
+    return InstrRef(in);
+}
+
+InstrRef
+KernelBuilder::fence()
+{
+    Instruction &in = emit(Opcode::Send);
+    in.send = {SendOp::Fence, DataType::UD, 0};
+    return InstrRef(in);
+}
+
+Kernel
+KernelBuilder::build()
+{
+    fatal_if(!cfStack_.empty(), "kernel %s: unclosed control flow",
+             name_.c_str());
+    if (!argsFrozen_)
+        firstTempReg_ = nextReg_;
+    emit(Opcode::Halt);
+    return Kernel(name_, simdWidth_, std::move(instrs_), std::move(args_),
+                  firstTempReg_, nextReg_, slmBytes_);
+}
+
+} // namespace iwc::isa

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Fluent kernel construction API. Workloads author kernels directly
+ * against this builder (it plays the role of the OpenCL compiler's
+ * back end in the paper's toolchain).
+ *
+ * Example:
+ * @code
+ *   KernelBuilder b("saxpy", 16);
+ *   auto xs = b.argBuffer("x");
+ *   auto ys = b.argBuffer("y");
+ *   auto a = b.argF("a");
+ *   auto addr = b.tmp(DataType::UD);
+ *   auto x = b.tmp(DataType::F);
+ *   b.mad(addr, b.globalId(), b.ud(4), xs);       // &x[gid]
+ *   b.gatherLoad(x, addr, DataType::F);
+ *   ...
+ *   Kernel k = b.build();
+ * @endcode
+ */
+
+#ifndef IWC_ISA_BUILDER_HH
+#define IWC_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::isa
+{
+
+/**
+ * Handle to an allocated virtual register: a per-channel vector of
+ * @c type elements, starting at GRF register @c base. Implicitly
+ * converts to a vector Operand.
+ */
+struct Reg
+{
+    std::uint8_t base = 0;
+    DataType type = DataType::D;
+
+    operator Operand() const { return grfOperand(base, type); }
+
+    /** Scalar (broadcast) view of element @p elem. */
+    Operand
+    scalar(unsigned elem = 0) const
+    {
+        return grfScalar(base, type, elem);
+    }
+
+    /** Vector view reinterpreted with another element type. */
+    Operand
+    as(DataType t) const
+    {
+        return grfOperand(base, t);
+    }
+};
+
+/**
+ * Chainable reference to the most recently emitted instruction, used
+ * to attach predication or override the SIMD width.
+ */
+class InstrRef
+{
+  public:
+    explicit InstrRef(Instruction &in) : in_(in) {}
+
+    /** Predicate the instruction on flag @p flag. */
+    InstrRef &
+    pred(unsigned flag, bool inverted = false)
+    {
+        in_.predCtrl = inverted ? PredCtrl::Inverted : PredCtrl::Normal;
+        in_.predFlag = static_cast<std::uint8_t>(flag);
+        return *this;
+    }
+
+    /** Override the instruction SIMD width (e.g. width-1 scalar ops). */
+    InstrRef &
+    width(unsigned w)
+    {
+        in_.simdWidth = static_cast<std::uint8_t>(w);
+        return *this;
+    }
+
+  private:
+    Instruction &in_;
+};
+
+/** Builds a Kernel instruction-by-instruction and patches branches. */
+class KernelBuilder
+{
+  public:
+    KernelBuilder(std::string name, unsigned simd_width);
+
+    // --- Argument declaration (call before allocating temporaries) ---
+    Operand argBuffer(const std::string &name);
+    Operand argU(const std::string &name);
+    Operand argI(const std::string &name);
+    Operand argF(const std::string &name);
+
+    // --- Dispatch payload accessors ---
+    Operand globalId() const;   ///< per-channel global work-item id (UD)
+    Operand localId() const;    ///< per-channel local work-item id (UD)
+    Operand groupId() const;    ///< scalar flat workgroup id (UD)
+    Operand subgroupIndex() const; ///< scalar subgroup index in group
+    Operand localSize() const;  ///< scalar work items per group
+    Operand globalSize() const; ///< scalar global work items
+    Operand numGroups() const;  ///< scalar workgroup count
+
+    // --- Immediates ---
+    static Operand f(float v) { return immF(v); }
+    static Operand df(double v) { return immDF(v); }
+    static Operand d(std::int32_t v) { return immD(v); }
+    static Operand ud(std::uint32_t v) { return immUD(v); }
+    static Operand w(std::int16_t v) { return immW(v); }
+
+    /** Allocates a fresh per-channel temporary vector register. */
+    Reg tmp(DataType type);
+
+    /** Allocates @p count consecutive raw GRF registers (block I/O). */
+    unsigned allocRaw(unsigned count);
+
+    /** Declares per-workgroup SLM usage (bytes). */
+    void requireSlm(unsigned bytes) { slmBytes_ = bytes; }
+
+    // --- ALU ---
+    InstrRef mov(const Operand &dst, const Operand &src);
+    InstrRef add(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef sub(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef mul(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef mad(const Operand &d, const Operand &a, const Operand &b,
+                 const Operand &c);
+    InstrRef min_(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef max_(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef and_(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef or_(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef xor_(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef not_(const Operand &d, const Operand &a);
+    InstrRef shl(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef shr(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef asr(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef rndd(const Operand &d, const Operand &a);
+    InstrRef frc(const Operand &d, const Operand &a);
+
+    /** cmp.<cond> f#, a, b : sets flag bits for enabled channels. */
+    InstrRef cmp(CondMod cond, unsigned flag, const Operand &a,
+                 const Operand &b);
+
+    /** sel f#, dst, a, b : dst = flag ? a : b per channel. */
+    InstrRef sel(unsigned flag, const Operand &d, const Operand &a,
+                 const Operand &b);
+
+    // --- Extended math ---
+    InstrRef inv(const Operand &d, const Operand &a);
+    InstrRef div(const Operand &d, const Operand &a, const Operand &b);
+    InstrRef sqrt(const Operand &d, const Operand &a);
+    InstrRef rsqrt(const Operand &d, const Operand &a);
+    InstrRef sin(const Operand &d, const Operand &a);
+    InstrRef cos(const Operand &d, const Operand &a);
+    InstrRef exp2(const Operand &d, const Operand &a);
+    InstrRef log2(const Operand &d, const Operand &a);
+    InstrRef pow(const Operand &d, const Operand &a, const Operand &b);
+
+    // --- Structured control flow ---
+    void if_(unsigned flag, bool inverted = false);
+    void else_();
+    void endif_();
+    void loop_();
+    void breakIf(unsigned flag, bool inverted = false);
+    void contIf(unsigned flag, bool inverted = false);
+    /** Loop back-edge: channels whose flag matches keep iterating. */
+    void endLoop(unsigned flag, bool inverted = false);
+
+    // --- Messages ---
+    InstrRef gatherLoad(const Operand &dst, const Operand &addr,
+                        DataType type);
+    InstrRef scatterStore(const Operand &addr, const Operand &data,
+                          DataType type);
+    InstrRef blockLoad(unsigned dst_reg, const Operand &addr,
+                       unsigned num_regs);
+    InstrRef blockStore(const Operand &addr, unsigned src_reg,
+                        unsigned num_regs);
+    InstrRef slmLoad(const Operand &dst, const Operand &addr,
+                     DataType type);
+    InstrRef slmStore(const Operand &addr, const Operand &data,
+                      DataType type);
+    InstrRef slmAtomicAdd(const Operand &dst_old, const Operand &addr,
+                          const Operand &addend);
+    InstrRef barrier();
+    InstrRef fence();
+
+    /** Terminates the kernel and runs validation. */
+    Kernel build();
+
+    unsigned simdWidth() const { return simdWidth_; }
+
+  private:
+    enum class FrameKind { If, Loop };
+
+    struct CfFrame
+    {
+        FrameKind kind;
+        std::int32_t ifIp = -1;    ///< ip of If
+        std::int32_t elseIp = -1;  ///< ip of Else (if any)
+        std::int32_t beginIp = -1; ///< ip of LoopBegin
+        std::vector<std::int32_t> breakIps; ///< Break/Cont to patch
+    };
+
+    Instruction &emit(Opcode op);
+    InstrRef emit3(Opcode op, const Operand &d, const Operand &a,
+                   const Operand &b, const Operand &c);
+    std::int32_t ip() const
+    {
+        return static_cast<std::int32_t>(instrs_.size());
+    }
+
+    std::string name_;
+    unsigned simdWidth_;
+    std::vector<Instruction> instrs_;
+    std::vector<ArgInfo> args_;
+    std::vector<CfFrame> cfStack_;
+    unsigned nextReg_;      ///< bump allocator position
+    unsigned firstTempReg_; ///< frozen once the first temp is allocated
+    bool argsFrozen_ = false;
+    unsigned slmBytes_ = 0;
+};
+
+} // namespace iwc::isa
+
+#endif // IWC_ISA_BUILDER_HH

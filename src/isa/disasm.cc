@@ -1,0 +1,102 @@
+#include "isa/disasm.hh"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace iwc::isa
+{
+
+std::string
+operandToString(const Operand &op)
+{
+    char buf[64];
+    switch (op.file) {
+      case RegFile::Null:
+        return "null";
+      case RegFile::Imm:
+        if (op.type == DataType::F) {
+            std::snprintf(buf, sizeof(buf), "%g:f",
+                          std::bit_cast<float>(
+                              static_cast<std::uint32_t>(op.imm)));
+        } else if (op.type == DataType::DF) {
+            std::snprintf(buf, sizeof(buf), "%g:df",
+                          std::bit_cast<double>(op.imm));
+        } else if (isSignedType(op.type)) {
+            std::snprintf(buf, sizeof(buf), "%lld:%s",
+                          static_cast<long long>(
+                              static_cast<std::int64_t>(op.imm)),
+                          dataTypeName(op.type));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%llu:%s",
+                          static_cast<unsigned long long>(op.imm),
+                          dataTypeName(op.type));
+        }
+        return buf;
+      case RegFile::Grf: {
+        std::string s;
+        if (op.negate)
+            s += '-';
+        if (op.absolute)
+            s += "(abs)";
+        std::snprintf(buf, sizeof(buf), "r%u.%u%s:%s", op.reg, op.subReg,
+                      op.scalar ? "<0>" : "", dataTypeName(op.type));
+        return s + buf;
+      }
+    }
+    return "?";
+}
+
+std::string
+instrToString(const Instruction &in)
+{
+    std::ostringstream os;
+    if (in.predCtrl != PredCtrl::None) {
+        os << '(' << (in.predCtrl == PredCtrl::Inverted ? "-" : "+") << 'f'
+           << static_cast<int>(in.predFlag) << ") ";
+    }
+    os << opcodeName(in.op);
+    if (in.op == Opcode::Cmp)
+        os << '.' << condModName(in.condMod) << ".f"
+           << static_cast<int>(in.condFlag);
+    if (in.op == Opcode::Sel)
+        os << ".f" << static_cast<int>(in.condFlag);
+    if (in.op == Opcode::Send)
+        os << '.' << sendOpName(in.send.op);
+    os << '(' << static_cast<int>(in.simdWidth) << ')';
+
+    const bool has_dst = !in.dst.isNull() || in.op == Opcode::Cmp;
+    if (has_dst)
+        os << ' ' << operandToString(in.dst);
+    for (const Operand *src : {&in.src0, &in.src1, &in.src2}) {
+        if (!src->isNull())
+            os << (has_dst || src != &in.src0 ? "," : "") << ' '
+               << operandToString(*src);
+    }
+    if (in.op == Opcode::Send && in.send.numRegs > 1)
+        os << " {" << static_cast<int>(in.send.numRegs) << " regs}";
+    if (in.target0 >= 0)
+        os << " ->" << in.target0;
+    if (in.target1 >= 0)
+        os << '/' << in.target1;
+    return os.str();
+}
+
+std::string
+kernelToString(const Kernel &k)
+{
+    std::ostringstream os;
+    os << "kernel " << k.name() << " simd" << k.simdWidth() << " ("
+       << k.size() << " instructions, " << k.regsUsed() << " regs";
+    if (k.slmBytes())
+        os << ", " << k.slmBytes() << "B slm";
+    os << ")\n";
+    for (std::uint32_t ip = 0; ip < k.size(); ++ip) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%4u: ", ip);
+        os << buf << instrToString(k.instr(ip)) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace iwc::isa

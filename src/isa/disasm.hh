@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Textual disassembly of instructions and kernels, for debugging and
+ * for the examples that print generated code.
+ */
+
+#ifndef IWC_ISA_DISASM_HH
+#define IWC_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/isa.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::isa
+{
+
+/** Renders one operand, e.g. "r12.0:f" or "3.5:f" or "null". */
+std::string operandToString(const Operand &op);
+
+/** Renders one instruction in Gen-assembly-like syntax. */
+std::string instrToString(const Instruction &in);
+
+/** Renders a whole kernel with instruction indices. */
+std::string kernelToString(const Kernel &k);
+
+} // namespace iwc::isa
+
+#endif // IWC_ISA_DISASM_HH

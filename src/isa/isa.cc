@@ -1,0 +1,190 @@
+#include "isa/isa.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace iwc::isa
+{
+
+const char *
+dataTypeName(DataType t)
+{
+    switch (t) {
+      case DataType::UW: return "uw";
+      case DataType::W:  return "w";
+      case DataType::UD: return "ud";
+      case DataType::D:  return "d";
+      case DataType::F:  return "f";
+      case DataType::DF: return "df";
+      case DataType::UQ: return "uq";
+      case DataType::Q:  return "q";
+    }
+    return "?";
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov:       return "mov";
+      case Opcode::Add:       return "add";
+      case Opcode::Sub:       return "sub";
+      case Opcode::Mul:       return "mul";
+      case Opcode::Mad:       return "mad";
+      case Opcode::Min:       return "min";
+      case Opcode::Max:       return "max";
+      case Opcode::Avg:       return "avg";
+      case Opcode::And:       return "and";
+      case Opcode::Or:        return "or";
+      case Opcode::Xor:       return "xor";
+      case Opcode::Not:       return "not";
+      case Opcode::Shl:       return "shl";
+      case Opcode::Shr:       return "shr";
+      case Opcode::Asr:       return "asr";
+      case Opcode::Cmp:       return "cmp";
+      case Opcode::Sel:       return "sel";
+      case Opcode::Rndd:      return "rndd";
+      case Opcode::Frc:       return "frc";
+      case Opcode::Inv:       return "math.inv";
+      case Opcode::Div:       return "math.div";
+      case Opcode::Sqrt:      return "math.sqrt";
+      case Opcode::Rsqrt:     return "math.rsqrt";
+      case Opcode::Sin:       return "math.sin";
+      case Opcode::Cos:       return "math.cos";
+      case Opcode::Exp2:      return "math.exp2";
+      case Opcode::Log2:      return "math.log2";
+      case Opcode::Pow:       return "math.pow";
+      case Opcode::If:        return "if";
+      case Opcode::Else:      return "else";
+      case Opcode::EndIf:     return "endif";
+      case Opcode::LoopBegin: return "loop";
+      case Opcode::LoopEnd:   return "while";
+      case Opcode::Break:     return "break";
+      case Opcode::Cont:      return "cont";
+      case Opcode::Halt:      return "halt";
+      case Opcode::Send:      return "send";
+      case Opcode::NumOpcodes: break;
+    }
+    return "?";
+}
+
+const char *
+condModName(CondMod c)
+{
+    switch (c) {
+      case CondMod::None: return "";
+      case CondMod::Eq:   return "eq";
+      case CondMod::Ne:   return "ne";
+      case CondMod::Lt:   return "lt";
+      case CondMod::Le:   return "le";
+      case CondMod::Gt:   return "gt";
+      case CondMod::Ge:   return "ge";
+    }
+    return "?";
+}
+
+const char *
+sendOpName(SendOp op)
+{
+    switch (op) {
+      case SendOp::GatherLoad:      return "gather";
+      case SendOp::ScatterStore:    return "scatter";
+      case SendOp::BlockLoad:       return "block_ld";
+      case SendOp::BlockStore:      return "block_st";
+      case SendOp::SlmGatherLoad:   return "slm_gather";
+      case SendOp::SlmScatterStore: return "slm_scatter";
+      case SendOp::SlmAtomicAdd:    return "slm_atomic_add";
+      case SendOp::Barrier:         return "barrier";
+      case SendOp::Fence:           return "fence";
+    }
+    return "?";
+}
+
+Operand
+grfOperand(unsigned reg, DataType type, unsigned sub_reg)
+{
+    panic_if(reg >= kGrfRegCount, "GRF register %u out of range", reg);
+    Operand o;
+    o.file = RegFile::Grf;
+    o.reg = static_cast<std::uint8_t>(reg);
+    o.subReg = static_cast<std::uint8_t>(sub_reg);
+    o.type = type;
+    return o;
+}
+
+Operand
+grfScalar(unsigned reg, DataType type, unsigned sub_reg)
+{
+    Operand o = grfOperand(reg, type, sub_reg);
+    o.scalar = true;
+    return o;
+}
+
+Operand
+immF(float v)
+{
+    Operand o;
+    o.file = RegFile::Imm;
+    o.type = DataType::F;
+    o.imm = std::bit_cast<std::uint32_t>(v);
+    return o;
+}
+
+Operand
+immDF(double v)
+{
+    Operand o;
+    o.file = RegFile::Imm;
+    o.type = DataType::DF;
+    o.imm = std::bit_cast<std::uint64_t>(v);
+    return o;
+}
+
+Operand
+immD(std::int32_t v)
+{
+    Operand o;
+    o.file = RegFile::Imm;
+    o.type = DataType::D;
+    o.imm = static_cast<std::uint32_t>(v);
+    return o;
+}
+
+Operand
+immUD(std::uint32_t v)
+{
+    Operand o;
+    o.file = RegFile::Imm;
+    o.type = DataType::UD;
+    o.imm = v;
+    return o;
+}
+
+Operand
+immW(std::int16_t v)
+{
+    Operand o;
+    o.file = RegFile::Imm;
+    o.type = DataType::W;
+    o.imm = static_cast<std::uint16_t>(v);
+    return o;
+}
+
+Operand
+nullOperand()
+{
+    return Operand{};
+}
+
+unsigned
+execElemBytes(const Instruction &in)
+{
+    unsigned bytes = 0;
+    for (const Operand *op : {&in.dst, &in.src0, &in.src1, &in.src2})
+        if (!op->isNull())
+            bytes = std::max(bytes, dataTypeSize(op->type));
+    return bytes == 0 ? 4 : bytes;
+}
+
+} // namespace iwc::isa

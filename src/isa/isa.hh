@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Definition of the Gen-like variable-width SIMD ISA executed by the
+ * simulated EUs.
+ *
+ * The ISA follows the conventions of Intel's Gen EU ISA as described in
+ * the paper (Section 2.2): instructions carry an explicit SIMD width of
+ * 1/4/8/16/32 channels, operands live in a general register file of 128
+ * 256-bit registers, individual channels can be predicated by flag
+ * registers, and structured control flow (IF/ELSE/ENDIF and loops with
+ * BREAK/CONT) manipulates a per-thread channel-mask stack. Memory and
+ * synchronization operations go through SEND messages on a separate pipe.
+ */
+
+#ifndef IWC_ISA_ISA_HH
+#define IWC_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace iwc::isa
+{
+
+/** Operand element datatypes. Names follow Gen assembly conventions. */
+enum class DataType : std::uint8_t
+{
+    UW, ///< unsigned 16-bit word
+    W,  ///< signed 16-bit word
+    UD, ///< unsigned 32-bit doubleword
+    D,  ///< signed 32-bit doubleword
+    F,  ///< 32-bit IEEE float
+    DF, ///< 64-bit IEEE double
+    UQ, ///< unsigned 64-bit quadword
+    Q,  ///< signed 64-bit quadword
+};
+
+/** Size in bytes of one element of the given datatype. */
+constexpr unsigned
+dataTypeSize(DataType t)
+{
+    switch (t) {
+      case DataType::UW:
+      case DataType::W:
+        return 2;
+      case DataType::UD:
+      case DataType::D:
+      case DataType::F:
+        return 4;
+      case DataType::DF:
+      case DataType::UQ:
+      case DataType::Q:
+        return 8;
+    }
+    return 4;
+}
+
+/** True for F and DF. */
+constexpr bool
+isFloatType(DataType t)
+{
+    return t == DataType::F || t == DataType::DF;
+}
+
+/** True for signed integer types. */
+constexpr bool
+isSignedType(DataType t)
+{
+    return t == DataType::W || t == DataType::D || t == DataType::Q;
+}
+
+const char *dataTypeName(DataType t);
+
+/** Opcodes. Grouped by the execution pipe that consumes them. */
+enum class Opcode : std::uint8_t
+{
+    // --- FPU pipe (simple int/float ALU ops, incl. FMA) ---
+    Mov,  ///< copy with optional type conversion
+    Add,
+    Sub,
+    Mul,
+    Mad,  ///< dst = src0 * src1 + src2 (fused)
+    Min,
+    Max,
+    Avg,
+    And,
+    Or,
+    Xor,
+    Not,
+    Shl,
+    Shr,  ///< logical shift right
+    Asr,  ///< arithmetic shift right
+    Cmp,  ///< compare, writes a flag register
+    Sel,  ///< per-channel select between src0/src1 driven by a flag
+    Rndd, ///< round down (floor)
+    Frc,  ///< fractional part
+
+    // --- EM pipe (extended math) ---
+    Inv,  ///< reciprocal
+    Div,
+    Sqrt,
+    Rsqrt,
+    Sin,
+    Cos,
+    Exp2,
+    Log2,
+    Pow,
+
+    // --- Control flow (handled by the front end) ---
+    If,
+    Else,
+    EndIf,
+    LoopBegin,
+    LoopEnd,
+    Break,
+    Cont,
+    Halt, ///< end of thread (EOT)
+
+    // --- Message pipe ---
+    Send,
+
+    NumOpcodes,
+};
+
+const char *opcodeName(Opcode op);
+
+/** True if the opcode executes on the extended-math pipe. */
+constexpr bool
+isExtendedMath(Opcode op)
+{
+    return op >= Opcode::Inv && op <= Opcode::Pow;
+}
+
+/** True for structured-control-flow opcodes. */
+constexpr bool
+isControlFlow(Opcode op)
+{
+    return op >= Opcode::If && op <= Opcode::Halt;
+}
+
+/** Comparison condition for Cmp. */
+enum class CondMod : std::uint8_t
+{
+    None,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+};
+
+const char *condModName(CondMod c);
+
+/** Per-instruction predication control. */
+enum class PredCtrl : std::uint8_t
+{
+    None,     ///< no predication
+    Normal,   ///< enabled channels = flag bits set
+    Inverted, ///< enabled channels = flag bits clear
+};
+
+/** Register file an operand refers to. */
+enum class RegFile : std::uint8_t
+{
+    Grf,  ///< general register file
+    Imm,  ///< immediate (sources only)
+    Null, ///< null register (dst of cmp-for-flags-only, etc.)
+};
+
+/**
+ * One instruction operand. GRF operands address a contiguous element
+ * region starting at register @c reg, element offset @c subReg;
+ * scalar operands read element 0 and broadcast it to all channels
+ * (region stride 0).
+ */
+struct Operand
+{
+    RegFile file = RegFile::Null;
+    std::uint8_t reg = 0;     ///< GRF register number (0..127)
+    std::uint8_t subReg = 0;  ///< element offset within the register
+    DataType type = DataType::D;
+    bool scalar = false;      ///< broadcast element 0 to all channels
+    bool negate = false;      ///< source modifier: arithmetic negate
+    bool absolute = false;    ///< source modifier: absolute value
+    std::uint64_t imm = 0;    ///< raw immediate bits
+
+    /** Byte offset of channel 0 of this operand within the GRF. */
+    unsigned
+    grfByteOffset() const
+    {
+        return reg * kGrfRegBytes + subReg * dataTypeSize(type);
+    }
+
+    bool isNull() const { return file == RegFile::Null; }
+    bool isImm() const { return file == RegFile::Imm; }
+    bool isGrf() const { return file == RegFile::Grf; }
+};
+
+/** Factory helpers for operands. */
+Operand grfOperand(unsigned reg, DataType type, unsigned sub_reg = 0);
+Operand grfScalar(unsigned reg, DataType type, unsigned sub_reg = 0);
+Operand immF(float v);
+Operand immDF(double v);
+Operand immD(std::int32_t v);
+Operand immUD(std::uint32_t v);
+Operand immW(std::int16_t v);
+Operand nullOperand();
+
+/** Kinds of SEND messages. */
+enum class SendOp : std::uint8_t
+{
+    GatherLoad,      ///< per-channel global addresses -> per-channel data
+    ScatterStore,    ///< per-channel global addresses <- per-channel data
+    BlockLoad,       ///< scalar global address -> consecutive registers
+    BlockStore,      ///< scalar global address <- consecutive registers
+    SlmGatherLoad,   ///< per-channel SLM offsets -> per-channel data
+    SlmScatterStore, ///< per-channel SLM offsets <- per-channel data
+    SlmAtomicAdd,    ///< per-channel atomic int add, returns old value
+    Barrier,         ///< workgroup barrier
+    Fence,           ///< memory fence
+};
+
+const char *sendOpName(SendOp op);
+
+/** True if the message accesses shared local memory. */
+constexpr bool
+isSlmSend(SendOp op)
+{
+    return op == SendOp::SlmGatherLoad || op == SendOp::SlmScatterStore ||
+        op == SendOp::SlmAtomicAdd;
+}
+
+/** True if the message reads memory into the GRF. */
+constexpr bool
+isLoadSend(SendOp op)
+{
+    return op == SendOp::GatherLoad || op == SendOp::BlockLoad ||
+        op == SendOp::SlmGatherLoad || op == SendOp::SlmAtomicAdd;
+}
+
+/**
+ * Descriptor payload of a Send instruction. The message reuses the
+ * regular instruction operands: dst receives load data, src0 holds the
+ * per-channel (or scalar, for block messages) byte addresses, and src1
+ * holds store data or the atomic addend.
+ */
+struct SendDesc
+{
+    SendOp op = SendOp::Fence;
+    DataType type = DataType::UD; ///< element type moved per channel
+    std::uint8_t numRegs = 1;     ///< register count for block messages
+};
+
+/**
+ * A decoded instruction. This is the in-memory representation produced
+ * by the KernelBuilder; there is no binary encoding because the paper's
+ * mechanisms operate strictly post-decode.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Mov;
+    std::uint8_t simdWidth = 16; ///< 1, 4, 8, 16, or 32
+
+    Operand dst;
+    Operand src0;
+    Operand src1;
+    Operand src2;
+
+    PredCtrl predCtrl = PredCtrl::None;
+    std::uint8_t predFlag = 0; ///< flag register for predication / If / Sel
+
+    CondMod condMod = CondMod::None;
+    std::uint8_t condFlag = 0; ///< flag register written by Cmp
+
+    /**
+     * Branch targets (instruction indices), patched by the builder:
+     *  If:        target0 = Else or EndIf, target1 = EndIf
+     *  Else:      target0 = EndIf
+     *  Break/Cont:target0 = LoopEnd
+     *  LoopEnd:   target0 = first instruction of the loop body
+     */
+    std::int32_t target0 = -1;
+    std::int32_t target1 = -1;
+
+    SendDesc send;
+
+    /** The lane mask covering this instruction's full SIMD width. */
+    LaneMask widthMask() const { return laneMaskForWidth(simdWidth); }
+};
+
+/**
+ * Element size that governs how many cycles the instruction needs on
+ * the 16B/cycle datapath: the widest element among its operands
+ * (Section 4.1: "the actual number of execution cycles ... would
+ * depend on datatypes").
+ */
+unsigned execElemBytes(const Instruction &in);
+
+} // namespace iwc::isa
+
+#endif // IWC_ISA_ISA_HH

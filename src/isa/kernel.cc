@@ -1,0 +1,93 @@
+#include "isa/kernel.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace iwc::isa
+{
+
+Kernel::Kernel(std::string name, unsigned simd_width,
+               std::vector<Instruction> instructions,
+               std::vector<ArgInfo> args, unsigned first_temp_reg,
+               unsigned regs_used, unsigned slm_bytes)
+    : name_(std::move(name)), simdWidth_(simd_width),
+      instrs_(std::move(instructions)), args_(std::move(args)),
+      firstTempReg_(first_temp_reg), regsUsed_(regs_used),
+      slmBytes_(slm_bytes)
+{
+    validate();
+}
+
+namespace
+{
+
+void
+validateOperand(const Kernel &k, const Instruction &in, const Operand &op,
+                bool is_dst)
+{
+    if (op.isNull())
+        return;
+    if (op.isImm()) {
+        fatal_if(is_dst, "kernel %s: immediate destination",
+                 k.name().c_str());
+        return;
+    }
+    const unsigned elems = op.scalar ? 1 : in.simdWidth;
+    const unsigned end =
+        op.grfByteOffset() + elems * dataTypeSize(op.type);
+    fatal_if(end > kGrfRegCount * kGrfRegBytes,
+             "kernel %s: operand r%u overruns the GRF", k.name().c_str(),
+             op.reg);
+}
+
+} // namespace
+
+void
+Kernel::validate() const
+{
+    fatal_if(simdWidth_ != 1 && simdWidth_ != 4 && simdWidth_ != 8 &&
+             simdWidth_ != 16 && simdWidth_ != 32,
+             "kernel %s: illegal SIMD width %u", name_.c_str(), simdWidth_);
+    fatal_if(instrs_.empty(), "kernel %s: empty instruction stream",
+             name_.c_str());
+    fatal_if(instrs_.back().op != Opcode::Halt,
+             "kernel %s: does not end in halt", name_.c_str());
+
+    const auto n = static_cast<std::int32_t>(instrs_.size());
+    auto check_target = [&](std::int32_t t, const char *what) {
+        fatal_if(t < 0 || t >= n, "kernel %s: %s target %d out of range",
+                 name_.c_str(), what, t);
+    };
+
+    for (const Instruction &in : instrs_) {
+        fatal_if(in.simdWidth > simdWidth_,
+                 "kernel %s: instruction wider than kernel width",
+                 name_.c_str());
+        validateOperand(*this, in, in.dst, true);
+        validateOperand(*this, in, in.src0, false);
+        validateOperand(*this, in, in.src1, false);
+        validateOperand(*this, in, in.src2, false);
+
+        switch (in.op) {
+          case Opcode::If:
+            check_target(in.target0, "if");
+            check_target(in.target1, "if/endif");
+            break;
+          case Opcode::Else:
+          case Opcode::Break:
+          case Opcode::Cont:
+          case Opcode::LoopEnd:
+            check_target(in.target0, opcodeName(in.op));
+            break;
+          case Opcode::Cmp:
+            fatal_if(in.condMod == CondMod::None,
+                     "kernel %s: cmp without condition modifier",
+                     name_.c_str());
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace iwc::isa

@@ -1,0 +1,98 @@
+#include "mem/cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace iwc::mem
+{
+
+Cache::Cache(std::string name, std::uint64_t size_bytes, unsigned ways)
+    : name_(std::move(name)), ways_(ways)
+{
+    const std::uint64_t num_lines = size_bytes / kCacheLineBytes;
+    fatal_if(ways == 0 || num_lines == 0 || num_lines % ways != 0,
+             "cache %s: bad geometry (%llu bytes, %u ways)", name_.c_str(),
+             static_cast<unsigned long long>(size_bytes), ways);
+    numSets_ = static_cast<unsigned>(num_lines / ways);
+    fatal_if(!isPow2(numSets_), "cache %s: set count must be power of 2",
+             name_.c_str());
+    lines_.resize(num_lines);
+}
+
+CacheAccessResult
+Cache::access(Addr line_addr, bool is_write, Cycle now)
+{
+    CacheAccessResult result;
+    const Addr line_num = line_addr / kCacheLineBytes;
+    const unsigned set = static_cast<unsigned>(line_num & (numSets_ - 1));
+    const Addr tag = line_num >> log2i(numSets_);
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+
+    ++useClock_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            // A tag match on a line whose fill is still in flight is a
+            // merged miss: it completes with the original fill.
+            const auto pending = pendingFills_.find(line_addr);
+            if (pending != pendingFills_.end()) {
+                if (pending->second > now) {
+                    result.mergedMiss = true;
+                    result.fillReady = pending->second;
+                } else {
+                    pendingFills_.erase(pending);
+                }
+            }
+            result.hit = !result.mergedMiss;
+            if (result.hit)
+                ++hits_;
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || is_write;
+            return result;
+        }
+    }
+
+    // Miss: allocate (write-allocate policy), evicting the LRU way.
+    ++misses_;
+    Line *victim = base;
+    for (unsigned w = 1; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (victim->valid) {
+        ++evictions_;
+        if (victim->dirty) {
+            ++dirtyEvictions_;
+            result.dirtyEviction = true;
+        }
+        // Forget any stale pending fill for the evicted line.
+        const Addr old_line =
+            ((victim->tag << log2i(numSets_)) | set) * kCacheLineBytes;
+        pendingFills_.erase(old_line);
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lastUse = useClock_;
+    return result;
+}
+
+void
+Cache::noteFill(Addr line_addr, Cycle ready_at)
+{
+    pendingFills_[line_addr] = ready_at;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    pendingFills_.clear();
+}
+
+} // namespace iwc::mem

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Set-associative write-back cache tag model with LRU replacement and
+ * outstanding-miss (MSHR) merging. Only tags are modelled; data lives
+ * in the functional memory, so the timing model never copies bytes.
+ */
+
+#ifndef IWC_MEM_CACHE_HH
+#define IWC_MEM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace iwc::mem
+{
+
+/** Outcome of a cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool mergedMiss = false;  ///< matched an in-flight fill (MSHR hit)
+    Cycle fillReady = 0;      ///< for merged misses: when the fill lands
+    bool dirtyEviction = false;
+};
+
+/** Tag-only set-associative cache with per-set LRU. */
+class Cache
+{
+  public:
+    Cache(std::string name, std::uint64_t size_bytes, unsigned ways);
+
+    /**
+     * Looks up @p line_addr (line-aligned). On a miss the line is
+     * allocated immediately (fill completion is tracked separately via
+     * noteFill). Writes mark the line dirty.
+     */
+    CacheAccessResult access(Addr line_addr, bool is_write, Cycle now);
+
+    /** Registers when the fill for a missed line completes. */
+    void noteFill(Addr line_addr, Cycle ready_at);
+
+    /** Drops every line (between-kernel flush). */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t dirtyEvictions() const { return dirtyEvictions_; }
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) / total : 0.0;
+    }
+
+    unsigned numSets() const { return numSets_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::string name_;
+    unsigned ways_;
+    unsigned numSets_;
+    std::vector<Line> lines_; ///< numSets_ x ways_
+    std::unordered_map<Addr, Cycle> pendingFills_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t dirtyEvictions_ = 0;
+};
+
+} // namespace iwc::mem
+
+#endif // IWC_MEM_CACHE_HH

@@ -1,0 +1,59 @@
+#include "mem/coalescer.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+
+namespace iwc::mem
+{
+
+std::vector<Addr>
+coalesceLines(const func::MemAccess &access)
+{
+    std::vector<Addr> lines;
+    if (access.isBlock) {
+        const Addr first = alignDown(access.blockAddr, kCacheLineBytes);
+        const Addr last = alignDown(
+            access.blockAddr + access.blockBytes - 1, kCacheLineBytes);
+        for (Addr a = first; a <= last; a += kCacheLineBytes)
+            lines.push_back(a);
+        return lines;
+    }
+
+    for (unsigned ch = 0; ch < kMaxSimdWidth; ++ch) {
+        if (!(access.mask & (LaneMask{1} << ch)))
+            continue;
+        const Addr first =
+            alignDown(access.addrs[ch], kCacheLineBytes);
+        const Addr last = alignDown(
+            access.addrs[ch] + access.elemBytes - 1, kCacheLineBytes);
+        for (Addr a = first; a <= last; a += kCacheLineBytes)
+            lines.push_back(a);
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+unsigned
+slmConflictDegree(const func::MemAccess &access, unsigned banks,
+                  unsigned bank_word_bytes)
+{
+    std::vector<std::vector<Addr>> bank_words(banks);
+    for (unsigned ch = 0; ch < kMaxSimdWidth; ++ch) {
+        if (!(access.mask & (LaneMask{1} << ch)))
+            continue;
+        const Addr word = access.addrs[ch] / bank_word_bytes;
+        const unsigned bank = static_cast<unsigned>(word % banks);
+        auto &words = bank_words[bank];
+        if (std::find(words.begin(), words.end(), word) == words.end())
+            words.push_back(word);
+    }
+    unsigned degree = 1;
+    for (const auto &words : bank_words)
+        degree = std::max(degree,
+                          static_cast<unsigned>(words.size()));
+    return degree;
+}
+
+} // namespace iwc::mem

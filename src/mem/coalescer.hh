@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Per-message memory coalescing: collapses the per-channel addresses
+ * of a SIMD memory operation into the set of distinct cache lines it
+ * touches. The line count per instruction is the paper's "memory
+ * divergence" metric; intra-warp compaction never changes it because
+ * lane swizzling happens strictly between register read and the ALU.
+ */
+
+#ifndef IWC_MEM_COALESCER_HH
+#define IWC_MEM_COALESCER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "func/interp.hh"
+
+namespace iwc::mem
+{
+
+/** Distinct line-aligned addresses accessed by one memory message. */
+std::vector<Addr> coalesceLines(const func::MemAccess &access);
+
+/**
+ * SLM bank-conflict degree: the maximum number of distinct words
+ * mapping to the same bank, i.e. the serialization factor of a banked
+ * SLM access (1 = conflict free). Broadcasts of the same word do not
+ * conflict.
+ */
+unsigned slmConflictDegree(const func::MemAccess &access, unsigned banks,
+                           unsigned bank_word_bytes);
+
+} // namespace iwc::mem
+
+#endif // IWC_MEM_COALESCER_HH

@@ -1,0 +1,2 @@
+// DataCluster is header-only; this TU anchors the header into the library.
+#include "mem/data_cluster.hh"

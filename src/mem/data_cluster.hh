@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The data cluster: the shared interface through which a group of EUs
+ * reaches the L3 data cache, with a peak throughput of one or two
+ * cache lines per cycle (the paper's DC1/DC2 configurations).
+ */
+
+#ifndef IWC_MEM_DATA_CLUSTER_HH
+#define IWC_MEM_DATA_CLUSTER_HH
+
+#include "common/types.hh"
+#include "mem/resources.hh"
+
+namespace iwc::mem
+{
+
+/** Bandwidth gate between the EUs and L3. */
+class DataCluster
+{
+  public:
+    explicit DataCluster(unsigned lines_per_cycle)
+        : link_(lines_per_cycle), linesPerCycle_(lines_per_cycle)
+    {
+    }
+
+    /** Cycle in which the line occupies a transfer slot. */
+    Cycle transfer(Cycle now) { return link_.acquire(now); }
+
+    std::uint64_t linesTransferred() const { return link_.slotsUsed(); }
+    unsigned linesPerCycle() const { return linesPerCycle_; }
+
+    /** Average lines per cycle over @p total_cycles (demand metric). */
+    double
+    throughput(Cycle total_cycles) const
+    {
+        return total_cycles == 0
+            ? 0.0
+            : static_cast<double>(link_.slotsUsed()) / total_cycles;
+    }
+
+  private:
+    ThroughputResource link_;
+    unsigned linesPerCycle_;
+};
+
+} // namespace iwc::mem
+
+#endif // IWC_MEM_DATA_CLUSTER_HH

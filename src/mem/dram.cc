@@ -1,0 +1,2 @@
+// DramModel is header-only; this TU anchors the header into the library.
+#include "mem/dram.hh"

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Main-memory model: fixed access latency plus a line-granular
+ * bandwidth limit (one cache line per N cycles), standing in for the
+ * DDR3 controller behind the LLC.
+ */
+
+#ifndef IWC_MEM_DRAM_HH
+#define IWC_MEM_DRAM_HH
+
+#include <algorithm>
+
+#include "common/types.hh"
+
+namespace iwc::mem
+{
+
+/** Latency/bandwidth model of the memory controller + DRAM. */
+class DramModel
+{
+  public:
+    DramModel(Cycle latency, unsigned cycles_per_line)
+        : latency_(latency), cyclesPerLine_(cycles_per_line)
+    {
+    }
+
+    /** Completion cycle of a line fetch entering DRAM at @p now. */
+    Cycle
+    access(Cycle now)
+    {
+        const Cycle start = std::max(now, nextSlot_);
+        nextSlot_ = start + cyclesPerLine_;
+        ++lines_;
+        return start + latency_;
+    }
+
+    std::uint64_t linesTransferred() const { return lines_; }
+
+  private:
+    Cycle latency_;
+    unsigned cyclesPerLine_;
+    Cycle nextSlot_ = 0;
+    std::uint64_t lines_ = 0;
+};
+
+} // namespace iwc::mem
+
+#endif // IWC_MEM_DRAM_HH

@@ -1,0 +1,87 @@
+#include "mem/mem_system.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace iwc::mem
+{
+
+MemSystem::MemSystem(const MemConfig &config)
+    : config_(config),
+      l3_(std::make_unique<Cache>("l3", config.l3Bytes, config.l3Ways)),
+      llc_(std::make_unique<Cache>("llc", config.llcBytes,
+                                   config.llcWays)),
+      dc_(std::make_unique<DataCluster>(config.dcLinesPerCycle)),
+      dram_(std::make_unique<DramModel>(config.dramLatency,
+                                        config.dramCyclesPerLine)),
+      slm_(std::make_unique<SlmTiming>(config.slmLatency, config.slmBanks,
+                                       config.slmBankBytes)),
+      l3Banks_(config.l3Banks), llcBanks_(config.llcBanks)
+{
+}
+
+MemResult
+MemSystem::accessGlobal(const std::vector<Addr> &lines, bool is_write,
+                        Cycle now)
+{
+    MemResult result;
+    result.lines = static_cast<unsigned>(lines.size());
+    ++messages_;
+    totalLines_ += lines.size();
+
+    for (const Addr line : lines) {
+        // 1. Cross the data cluster (shared bandwidth).
+        const Cycle dc_cycle = dc_->transfer(now);
+
+        // 2. L3 bank arbitration + lookup.
+        const unsigned l3_bank = static_cast<unsigned>(
+            (line / kCacheLineBytes) % l3Banks_.numBanks());
+        const Cycle l3_start = l3Banks_.acquire(l3_bank, dc_cycle);
+        const Cycle l3_done = l3_start + config_.l3Latency;
+
+        const CacheAccessResult l3 =
+            config_.perfectL3
+                ? CacheAccessResult{true, false, 0, false}
+                : l3_->access(line, is_write, l3_start);
+        Cycle line_done;
+        if (l3.hit) {
+            line_done = l3_done;
+        } else if (l3.mergedMiss) {
+            line_done = std::max(l3.fillReady, l3_done);
+        } else {
+            ++result.l3Misses;
+            // 3. LLC bank arbitration + lookup.
+            const unsigned llc_bank = static_cast<unsigned>(
+                (line / kCacheLineBytes) % llcBanks_.numBanks());
+            const Cycle llc_start = llcBanks_.acquire(llc_bank, l3_done);
+            const Cycle llc_done = llc_start + config_.llcLatency;
+            const CacheAccessResult llc =
+                llc_->access(line, false, llc_start);
+            if (llc.hit) {
+                line_done = llc_done;
+            } else if (llc.mergedMiss) {
+                line_done = std::max(llc.fillReady, llc_done);
+            } else {
+                ++result.llcMisses;
+                // 4. DRAM latency + bandwidth.
+                line_done = dram_->access(llc_done);
+                // Dirty evictions consume DRAM write bandwidth.
+                if (llc.dirtyEviction)
+                    dram_->access(llc_done);
+                llc_->noteFill(line, line_done);
+            }
+            if (!config_.perfectL3)
+                l3_->noteFill(line, line_done);
+        }
+        result.completion = std::max(result.completion, line_done);
+    }
+    return result;
+}
+
+Cycle
+MemSystem::accessSlm(const func::MemAccess &acc, Cycle now)
+{
+    return slm_->access(acc, now);
+}
+
+} // namespace iwc::mem

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The full GPU memory hierarchy of Table 3 wired together: data
+ * cluster -> banked L3 -> banked LLC -> DRAM, plus the banked SLM.
+ * Latencies are computed analytically per line with bandwidth and
+ * bank-contention back-pressure, so no event queue is needed.
+ */
+
+#ifndef IWC_MEM_MEM_SYSTEM_HH
+#define IWC_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "func/interp.hh"
+#include "mem/cache.hh"
+#include "mem/data_cluster.hh"
+#include "mem/dram.hh"
+#include "mem/resources.hh"
+#include "mem/slm.hh"
+
+namespace iwc::mem
+{
+
+/** Memory-hierarchy parameters (defaults are the paper's Table 3). */
+struct MemConfig
+{
+    std::uint64_t l3Bytes = 128 * 1024;
+    unsigned l3Ways = 64;
+    unsigned l3Banks = 4;
+    Cycle l3Latency = 7;
+
+    std::uint64_t llcBytes = 2 * 1024 * 1024;
+    unsigned llcWays = 16;
+    unsigned llcBanks = 8;
+    Cycle llcLatency = 10;
+
+    /** Data cluster peak lines per cycle (DC1 = 1, DC2 = 2). */
+    unsigned dcLinesPerCycle = 1;
+
+    Cycle dramLatency = 120;
+    unsigned dramCyclesPerLine = 4;
+
+    Cycle slmLatency = 5;
+    unsigned slmBanks = 16;
+    unsigned slmBankBytes = 4;
+
+    /** Model an infinite L3 (the paper's "perfect L3" experiment). */
+    bool perfectL3 = false;
+};
+
+/** Outcome of one global-memory message. */
+struct MemResult
+{
+    Cycle completion = 0;
+    unsigned lines = 0;
+    unsigned l3Misses = 0;
+    unsigned llcMisses = 0;
+};
+
+/** See file comment. */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MemConfig &config);
+
+    /**
+     * Issues one coalesced global-memory message (its distinct cache
+     * lines) at cycle @p now; returns when the last line completes.
+     */
+    MemResult accessGlobal(const std::vector<Addr> &lines, bool is_write,
+                           Cycle now);
+
+    /** Issues one SLM message; returns its completion cycle. */
+    Cycle accessSlm(const func::MemAccess &acc, Cycle now);
+
+    const Cache &l3() const { return *l3_; }
+    const Cache &llc() const { return *llc_; }
+    const DataCluster &dataCluster() const { return *dc_; }
+    const DramModel &dram() const { return *dram_; }
+    const SlmTiming &slm() const { return *slm_; }
+    const MemConfig &config() const { return config_; }
+
+    std::uint64_t messages() const { return messages_; }
+    std::uint64_t totalLines() const { return totalLines_; }
+
+    /** Memory divergence: average distinct lines per message. */
+    double
+    avgLinesPerMessage() const
+    {
+        return messages_ ? static_cast<double>(totalLines_) / messages_
+                         : 0.0;
+    }
+
+  private:
+    MemConfig config_;
+    std::unique_ptr<Cache> l3_;
+    std::unique_ptr<Cache> llc_;
+    std::unique_ptr<DataCluster> dc_;
+    std::unique_ptr<DramModel> dram_;
+    std::unique_ptr<SlmTiming> slm_;
+    BankedResource l3Banks_;
+    BankedResource llcBanks_;
+    std::uint64_t messages_ = 0;
+    std::uint64_t totalLines_ = 0;
+};
+
+} // namespace iwc::mem
+
+#endif // IWC_MEM_MEM_SYSTEM_HH

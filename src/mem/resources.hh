@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bandwidth/contention primitives for the cycle-approximate memory
+ * model: banked resources that accept one request per bank per cycle
+ * and throughput resources that accept N requests per cycle.
+ */
+
+#ifndef IWC_MEM_RESOURCES_HH
+#define IWC_MEM_RESOURCES_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace iwc::mem
+{
+
+/**
+ * A set of banks, each serving one request per cycle. acquire()
+ * returns the cycle at which the bank actually accepts the request
+ * (>= the requested cycle when the bank is backed up).
+ */
+class BankedResource
+{
+  public:
+    explicit BankedResource(unsigned banks) : nextFree_(banks, 0) {}
+
+    Cycle
+    acquire(unsigned bank, Cycle now)
+    {
+        panic_if(bank >= nextFree_.size(), "bank %u out of range", bank);
+        const Cycle slot = std::max(now, nextFree_[bank]);
+        nextFree_[bank] = slot + 1;
+        return slot;
+    }
+
+    unsigned numBanks() const
+    {
+        return static_cast<unsigned>(nextFree_.size());
+    }
+
+    void reset() { nextFree_.assign(nextFree_.size(), 0); }
+
+  private:
+    std::vector<Cycle> nextFree_;
+};
+
+/**
+ * A shared link that accepts @p slotsPerCycle requests per cycle
+ * (e.g. the data cluster's 1 or 2 cache lines per cycle to L3).
+ */
+class ThroughputResource
+{
+  public:
+    explicit ThroughputResource(unsigned slots_per_cycle)
+        : slotsPerCycle_(slots_per_cycle)
+    {
+        panic_if(slots_per_cycle == 0, "zero-throughput resource");
+    }
+
+    /** Returns the cycle in which the request occupies a slot. */
+    Cycle
+    acquire(Cycle now)
+    {
+        const std::uint64_t earliest = now * slotsPerCycle_;
+        const std::uint64_t slot = std::max(earliest, nextSlot_);
+        nextSlot_ = slot + 1;
+        ++used_;
+        return slot / slotsPerCycle_;
+    }
+
+    /** Total slots consumed (for throughput-demand statistics). */
+    std::uint64_t slotsUsed() const { return used_; }
+
+    void
+    reset()
+    {
+        nextSlot_ = 0;
+        used_ = 0;
+    }
+
+  private:
+    unsigned slotsPerCycle_;
+    std::uint64_t nextSlot_ = 0;
+    std::uint64_t used_ = 0;
+};
+
+} // namespace iwc::mem
+
+#endif // IWC_MEM_RESOURCES_HH

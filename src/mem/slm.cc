@@ -1,0 +1,2 @@
+// SlmTiming is header-only; this TU anchors the header into the library.
+#include "mem/slm.hh"

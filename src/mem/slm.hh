@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Timing model of the banked shared local memory: fixed access
+ * latency plus serialization for bank conflicts (Table 3: 64KB SLM,
+ * 5-cycle latency; 16 banks of 4-byte words assumed).
+ */
+
+#ifndef IWC_MEM_SLM_HH
+#define IWC_MEM_SLM_HH
+
+#include "common/types.hh"
+#include "func/interp.hh"
+#include "mem/coalescer.hh"
+
+namespace iwc::mem
+{
+
+/** Timing-only model; functional SLM contents live in func::SlmMemory. */
+class SlmTiming
+{
+  public:
+    SlmTiming(Cycle latency, unsigned banks, unsigned bank_word_bytes)
+        : latency_(latency), banks_(banks),
+          bankWordBytes_(bank_word_bytes)
+    {
+    }
+
+    /** Completion cycle of a banked SLM access issued at @p now. */
+    Cycle
+    access(const func::MemAccess &acc, Cycle now)
+    {
+        const unsigned degree = slmConflictDegree(acc, banks_,
+                                                  bankWordBytes_);
+        ++accesses_;
+        conflictCycles_ += degree - 1;
+        return now + latency_ + (degree - 1);
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t conflictCycles() const { return conflictCycles_; }
+
+  private:
+    Cycle latency_;
+    unsigned banks_;
+    unsigned bankWordBytes_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t conflictCycles_ = 0;
+};
+
+} // namespace iwc::mem
+
+#endif // IWC_MEM_SLM_HH

@@ -1,0 +1,46 @@
+#include "stats/stats.hh"
+
+#include "common/logging.hh"
+
+namespace iwc::stats
+{
+
+void
+Histogram::merge(const Histogram &other)
+{
+    panic_if(other.bins_.size() != bins_.size(),
+             "merging histograms with different bin counts");
+    for (size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    total_ += other.total_;
+}
+
+void
+Group::setScalar(const std::string &key, double value)
+{
+    scalars_[key] = value;
+}
+
+double
+Group::getScalar(const std::string &key) const
+{
+    const auto it = scalars_.find(key);
+    panic_if(it == scalars_.end(), "stat %s.%s not found", name_.c_str(),
+             key.c_str());
+    return it->second;
+}
+
+bool
+Group::hasScalar(const std::string &key) const
+{
+    return scalars_.count(key) != 0;
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &[key, value] : scalars_)
+        os << name_ << '.' << key << ' ' << value << '\n';
+}
+
+} // namespace iwc::stats

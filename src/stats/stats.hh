@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages, and
+ * fixed-bin histograms collected into groups that can be dumped or
+ * merged. Loosely modelled on gem5's stats framework, but minimal.
+ */
+
+#ifndef IWC_STATS_STATS_HH
+#define IWC_STATS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iwc::stats
+{
+
+/** Monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    Counter &operator++() { ++value_; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+    void merge(const Counter &other) { value_ += other.value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean of sampled values. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+    }
+
+    void
+    merge(const Average &other)
+    {
+        sum_ += other.sum_;
+        count_ += other.count_;
+    }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Histogram over integer values [0, bins). Out-of-range samples clamp
+ * to the last bin.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned bins = 1) : bins_(bins, 0) {}
+
+    void
+    sample(std::uint64_t v, std::uint64_t weight = 1)
+    {
+        const auto idx = v < bins_.size() ? v : bins_.size() - 1;
+        bins_[idx] += weight;
+        total_ += weight;
+    }
+
+    std::uint64_t bin(unsigned i) const { return bins_.at(i); }
+    unsigned numBins() const { return static_cast<unsigned>(bins_.size()); }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bin @p i (0 if no samples). */
+    double
+    fraction(unsigned i) const
+    {
+        return total_ ? static_cast<double>(bins_.at(i)) / total_ : 0.0;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : bins_)
+            b = 0;
+        total_ = 0;
+    }
+
+    void merge(const Histogram &other);
+
+  private:
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of scalar values for dumping; experiments register
+ * the quantities they measured and the group renders them.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    void setScalar(const std::string &key, double value);
+    double getScalar(const std::string &key) const;
+    bool hasScalar(const std::string &key) const;
+
+    /** Writes "name.key value" lines, sorted by key. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, double> &scalars() const { return scalars_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace iwc::stats
+
+#endif // IWC_STATS_STATS_HH

@@ -1,0 +1,146 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace iwc::stats
+{
+
+namespace
+{
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatPct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    panic_if(rows_.empty(), "cell() before row()");
+    panic_if(rows_.back().size() >= headers_.size(),
+             "too many cells in table row");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(const char *text)
+{
+    return cell(std::string(text));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatDouble(value, precision));
+}
+
+Table &
+Table::cellPct(double fraction, int precision)
+{
+    return cell(formatPct(fraction, precision));
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(std::int64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(unsigned value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    if (!title.empty())
+        os << "== " << title << " ==\n";
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            os << "  ";
+            os << text;
+            os << std::string(widths[c] - text.size(), ' ');
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    size_t total = 0;
+    for (const size_t w : widths)
+        total += w + 2;
+    os << "  " << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            if (c)
+                os << ',';
+            if (c < cells.size())
+                os << cells[c];
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace iwc::stats

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plain-text and CSV table rendering used by the benchmark harnesses to
+ * print paper-style tables and figure data series.
+ */
+
+#ifndef IWC_STATS_TABLE_HH
+#define IWC_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iwc::stats
+{
+
+/**
+ * Simple row/column table. All cells are strings; numeric helpers
+ * format with a fixed precision. Rendered either as an aligned
+ * plain-text table or as CSV.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Starts a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    Table &cell(const std::string &text);
+    Table &cell(const char *text);
+    Table &cell(double value, int precision = 2);
+    Table &cellPct(double fraction, int precision = 1);
+    Table &cell(std::uint64_t value);
+    Table &cell(std::int64_t value);
+    Table &cell(int value);
+    Table &cell(unsigned value);
+
+    /** Aligned plain-text rendering with a header separator. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** CSV rendering (no title). */
+    void printCsv(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+    const std::vector<std::string> &rowCells(size_t i) const
+    {
+        return rows_.at(i);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a fraction as a percentage string such as "12.3%". */
+std::string formatPct(double fraction, int precision = 1);
+
+} // namespace iwc::stats
+
+#endif // IWC_STATS_TABLE_HH

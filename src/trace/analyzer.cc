@@ -1,0 +1,52 @@
+#include "trace/analyzer.hh"
+
+#include "common/bitutil.hh"
+#include "compaction/scc_algorithm.hh"
+
+namespace iwc::trace
+{
+
+void
+TraceAnalyzer::add(const TraceRecord &record)
+{
+    TraceAnalysis &a = analysis_;
+    ++a.records;
+    a.sumActiveLanes +=
+        popCount(record.execMask & laneMaskForWidth(record.simdWidth));
+    a.sumSimdWidth += record.simdWidth;
+
+    if (record.kind == InstrKind::Send) {
+        for (auto &cycles : a.euCycles)
+            cycles += costs_.sendCycles;
+        return;
+    }
+    if (record.kind == InstrKind::Ctrl) {
+        for (auto &cycles : a.euCycles)
+            cycles += costs_.ctrlCycles;
+        return;
+    }
+
+    const compaction::ExecShape shape{record.simdWidth, record.elemBytes,
+                                      record.execMask};
+    for (unsigned m = 0; m < compaction::kNumModes; ++m) {
+        a.euCycles[m] += compaction::planCycleCount(
+            static_cast<compaction::Mode>(m), shape);
+    }
+    a.sccSwizzledLanes += compaction::planScc(shape).swizzledLanes();
+
+    ++a.aluRecords;
+    const auto bin =
+        compaction::classifyUtil(record.simdWidth, record.execMask);
+    ++a.utilBins[static_cast<unsigned>(bin)];
+}
+
+TraceAnalysis
+analyzeTrace(const MaskTrace &trace, const AnalyzerCosts &costs)
+{
+    TraceAnalyzer analyzer(costs);
+    for (const TraceRecord &record : trace.records)
+        analyzer.add(record);
+    return analyzer.result();
+}
+
+} // namespace iwc::trace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Trace-based compaction analysis: replays a mask trace through the
+ * same cycle-planning code the timing EU uses and reports SIMD
+ * efficiency, the Figure 9 utilization breakdown, and per-mode EU
+ * cycles. By construction a kernel's EU-cycle numbers are identical
+ * whether measured execution-driven or trace-based (tested).
+ */
+
+#ifndef IWC_TRACE_ANALYZER_HH
+#define IWC_TRACE_ANALYZER_HH
+
+#include <array>
+
+#include "compaction/cycle_plan.hh"
+#include "trace/trace.hh"
+
+namespace iwc::trace
+{
+
+/** Fixed per-instruction EU costs for non-compressible kinds; must
+ *  match eu::EuConfig defaults for cross-methodology consistency. */
+struct AnalyzerCosts
+{
+    unsigned sendCycles = 2;
+    unsigned ctrlCycles = 1;
+};
+
+/** Aggregate analysis of one trace. */
+struct TraceAnalysis
+{
+    std::uint64_t records = 0;
+    std::uint64_t sumActiveLanes = 0;
+    std::uint64_t sumSimdWidth = 0;
+    std::array<std::uint64_t, compaction::kNumModes> euCycles{};
+    std::array<std::uint64_t, compaction::kNumUtilBins> utilBins{};
+    std::uint64_t aluRecords = 0;
+    std::uint64_t sccSwizzledLanes = 0;
+
+    double
+    simdEfficiency() const
+    {
+        return sumSimdWidth
+            ? static_cast<double>(sumActiveLanes) / sumSimdWidth
+            : 1.0;
+    }
+
+    /** The paper's coherent/divergent classification (95% threshold). */
+    bool isDivergent(double threshold = 0.95) const
+    {
+        return simdEfficiency() < threshold;
+    }
+
+    std::uint64_t
+    cycles(compaction::Mode m) const
+    {
+        return euCycles[static_cast<unsigned>(m)];
+    }
+
+    /** Fractional EU-cycle reduction of @p mode vs @p base. */
+    double
+    reduction(compaction::Mode mode,
+              compaction::Mode base = compaction::Mode::IvbOpt) const
+    {
+        const double b = static_cast<double>(cycles(base));
+        return b == 0 ? 0.0 : 1.0 - cycles(mode) / b;
+    }
+
+    /** Fraction of SIMD8/16 ALU instructions in a Figure 9 bin. */
+    double
+    utilFraction(compaction::UtilBin bin) const
+    {
+        std::uint64_t binned = 0;
+        for (unsigned b = 0; b < compaction::kNumUtilBins; ++b)
+            binned += utilBins[b];
+        return binned
+            ? static_cast<double>(
+                  utilBins[static_cast<unsigned>(bin)]) / binned
+            : 0.0;
+    }
+};
+
+/** Analyzes a whole trace. */
+TraceAnalysis analyzeTrace(const MaskTrace &trace,
+                           const AnalyzerCosts &costs = {});
+
+/** Streaming version for traces too large to materialize. */
+class TraceAnalyzer
+{
+  public:
+    explicit TraceAnalyzer(const AnalyzerCosts &costs = {})
+        : costs_(costs)
+    {
+    }
+
+    void add(const TraceRecord &record);
+    const TraceAnalysis &result() const { return analysis_; }
+
+  private:
+    AnalyzerCosts costs_;
+    TraceAnalysis analysis_;
+};
+
+} // namespace iwc::trace
+
+#endif // IWC_TRACE_ANALYZER_HH

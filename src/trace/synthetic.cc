@@ -1,0 +1,192 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace iwc::trace
+{
+
+namespace
+{
+
+/**
+ * Draws a divergent execution mask of @p width lanes with roughly
+ * @p mean_active enabled fraction. Clustered masks enable a single
+ * contiguous block (aligned blocks compress under BCC/IvbOpt);
+ * scattered masks enable random lane positions (only SCC helps).
+ */
+LaneMask
+drawMask(Rng &rng, unsigned width, double mean_active, double clustering)
+{
+    // Active count: mean +/- uniform jitter, at least one lane.
+    const double jitter = (rng.nextDouble() - 0.5) * 0.5;
+    double frac = mean_active + jitter;
+    frac = std::clamp(frac, 0.05, 1.0);
+    unsigned active =
+        std::max(1u, static_cast<unsigned>(frac * width + 0.5));
+    active = std::min(active, width);
+
+    if (rng.chance(clustering)) {
+        // Contiguous block at a random (often quad-aligned) start.
+        const unsigned start = rng.chance(0.5)
+            ? static_cast<unsigned>(rng.below(width / 4 + 1)) * 4 % width
+            : static_cast<unsigned>(rng.below(width));
+        LaneMask mask = 0;
+        for (unsigned i = 0; i < active; ++i)
+            mask |= LaneMask{1} << ((start + i) % width);
+        return mask;
+    }
+
+    // Scattered: choose 'active' distinct random lanes.
+    LaneMask mask = 0;
+    unsigned placed = 0;
+    while (placed < active) {
+        const unsigned lane = static_cast<unsigned>(rng.below(width));
+        if (!(mask & (LaneMask{1} << lane))) {
+            mask |= LaneMask{1} << lane;
+            ++placed;
+        }
+    }
+    return mask;
+}
+
+InstrKind
+drawKind(Rng &rng, const SyntheticProfile &p)
+{
+    const double x = rng.nextDouble();
+    if (x < p.sendFraction)
+        return InstrKind::Send;
+    if (x < p.sendFraction + p.ctrlFraction)
+        return InstrKind::Ctrl;
+    if (x < p.sendFraction + p.ctrlFraction + p.emFraction)
+        return InstrKind::Em;
+    return InstrKind::Alu;
+}
+
+} // namespace
+
+MaskTrace
+synthesize(const SyntheticProfile &p)
+{
+    fatal_if(p.simdWidth != 8 && p.simdWidth != 16,
+             "profile %s: SIMD width must be 8 or 16", p.name.c_str());
+    MaskTrace trace;
+    trace.name = p.name;
+    trace.records.reserve(p.instructions);
+
+    Rng rng(p.seed * 0x2545f4914f6cdd1dull + 17);
+
+    bool in_divergent = false;
+    LaneMask current_mask = laneMaskForWidth(p.simdWidth);
+    unsigned current_width = p.simdWidth;
+    unsigned remaining_run = 0;
+
+    for (std::uint64_t i = 0; i < p.instructions; ++i) {
+        if (remaining_run == 0) {
+            // Start a new control-flow region.
+            in_divergent = rng.chance(p.divergentFraction);
+            current_width = (p.simdWidth == 16 &&
+                             rng.chance(p.simd8Fraction))
+                ? 8 : p.simdWidth;
+            current_mask = in_divergent
+                ? drawMask(rng, current_width, p.meanActive, p.clustering)
+                : laneMaskForWidth(current_width);
+            // Region length: 1..2*runLength (mean ~ runLength).
+            remaining_run = 1 +
+                static_cast<unsigned>(rng.below(2 * p.runLength));
+        }
+        --remaining_run;
+
+        TraceRecord r;
+        r.simdWidth = static_cast<std::uint8_t>(current_width);
+        r.elemBytes = 4;
+        r.kind = drawKind(rng, p);
+        r.execMask = current_mask;
+        trace.records.push_back(r);
+    }
+    return trace;
+}
+
+const std::vector<SyntheticProfile> &
+paperTraceProfiles()
+{
+    // clang-format off
+    static const std::vector<SyntheticProfile> profiles = {
+        // --- Divergent OpenCL traces (Fig. 10: 25-42% gains) ---
+        // LuxMark kernels are SIMD8 (register pressure, Section 5.3).
+        {"luxmark_sky",  "OpenCL", 8, 0, 0.80, 0.33, 0.45, 6,
+         0.10, 0.05, 0.10, 200000, 101},
+        {"luxmark_sala", "OpenCL", 8, 0, 0.75, 0.36, 0.40, 6,
+         0.10, 0.05, 0.10, 200000, 102},
+        {"luxmark_hdr",  "OpenCL", 8, 0, 0.72, 0.38, 0.45, 7,
+         0.10, 0.05, 0.10, 200000, 103},
+        {"luxmark_ocl",  "OpenCL", 8, 0, 0.70, 0.40, 0.45, 7,
+         0.10, 0.05, 0.10, 200000, 104},
+        {"bulletphysics", "OpenCL", 16, 0.15, 0.78, 0.30, 0.55, 8,
+         0.06, 0.06, 0.12, 200000, 105},
+        {"rightware_mandelbulb", "OpenCL", 16, 0.0, 0.85, 0.35, 0.60, 10,
+         0.12, 0.03, 0.10, 200000, 106},
+        {"tree_search",  "OpenCL", 16, 0.0, 0.80, 0.35, 0.15, 5,
+         0.02, 0.10, 0.15, 200000, 107},
+        {"cp",           "OpenCL", 16, 0.0, 0.55, 0.45, 0.50, 9,
+         0.08, 0.06, 0.10, 200000, 108},
+        {"oclprofv1p0",  "OpenCL", 16, 0.1, 0.50, 0.50, 0.45, 8,
+         0.06, 0.08, 0.10, 200000, 109},
+        {"OptSAA",       "OpenCL", 16, 0.0, 0.60, 0.42, 0.35, 7,
+         0.08, 0.06, 0.12, 200000, 110},
+        {"sandra_ocl",   "OpenCL", 16, 0.0, 0.55, 0.45, 0.40, 8,
+         0.08, 0.08, 0.10, 200000, 111},
+        {"ati_eigenval", "OpenCL", 16, 0.0, 0.65, 0.40, 0.30, 6,
+         0.04, 0.10, 0.14, 200000, 112},
+        {"ati_floydwarshall", "OpenCL", 16, 0.0, 0.45, 0.55, 0.50, 10,
+         0.02, 0.12, 0.10, 200000, 113},
+        // --- OpenGL (3D graphics) traces: 15-22%, mostly SCC ---
+        {"glbench_egypt", "OpenGL", 16, 0.2, 0.50, 0.55, 0.20, 12,
+         0.10, 0.08, 0.08, 200000, 114},
+        {"glbench_pro",  "OpenGL", 16, 0.2, 0.55, 0.52, 0.18, 12,
+         0.10, 0.08, 0.08, 200000, 115},
+        // --- Face detection: ~30% benefit, larger share from SCC ---
+        {"FD_IntelFinalists", "OpenCL", 16, 0.0, 0.75, 0.35, 0.25, 6,
+         0.05, 0.08, 0.12, 200000, 116},
+        {"FD_politicians",    "OpenCL", 16, 0.0, 0.78, 0.33, 0.25, 6,
+         0.05, 0.08, 0.12, 200000, 117},
+        // --- Coherent commercial traces (for the Fig. 3 spread) ---
+        {"sandra_crypto", "OpenCL", 16, 0.0, 0.04, 0.85, 0.60, 16,
+         0.05, 0.10, 0.05, 200000, 118},
+        {"rightware_basemark", "OpenGL", 16, 0.1, 0.06, 0.80, 0.50, 14,
+         0.10, 0.08, 0.06, 200000, 119},
+        {"glbench_fill", "OpenGL", 16, 0.0, 0.03, 0.90, 0.50, 20,
+         0.08, 0.10, 0.04, 200000, 120},
+        // --- Additional traces rounding out the Fig. 3 population ---
+        {"physics_cloth", "OpenCL", 16, 0.1, 0.65, 0.40, 0.40, 7,
+         0.08, 0.08, 0.12, 200000, 121},
+        {"video_enc_me", "OpenCL", 16, 0.0, 0.40, 0.55, 0.65, 10,
+         0.04, 0.10, 0.10, 200000, 122},
+        {"speech_viterbi", "OpenCL", 16, 0.0, 0.58, 0.45, 0.30, 6,
+         0.03, 0.10, 0.14, 200000, 123},
+        {"glbench_trex", "OpenGL", 16, 0.2, 0.45, 0.58, 0.22, 11,
+         0.10, 0.08, 0.08, 200000, 124},
+        {"gl_shadowmap", "OpenGL", 16, 0.1, 0.35, 0.60, 0.30, 9,
+         0.08, 0.10, 0.08, 200000, 125},
+        {"compute_nbody", "OpenCL", 16, 0.0, 0.05, 0.85, 0.50, 18,
+         0.12, 0.06, 0.05, 200000, 126},
+        {"media_scaler", "OpenCL", 16, 0.0, 0.04, 0.90, 0.60, 16,
+         0.06, 0.12, 0.05, 200000, 127},
+    };
+    // clang-format on
+    return profiles;
+}
+
+const SyntheticProfile &
+profileByName(const std::string &name)
+{
+    for (const SyntheticProfile &p : paperTraceProfiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown synthetic trace profile '%s'", name.c_str());
+}
+
+} // namespace iwc::trace

@@ -1,0 +1,49 @@
+#include "trace/trace.hh"
+
+namespace iwc::trace
+{
+
+const char *
+instrKindName(InstrKind kind)
+{
+    switch (kind) {
+      case InstrKind::Alu:  return "alu";
+      case InstrKind::Em:   return "em";
+      case InstrKind::Send: return "send";
+      case InstrKind::Ctrl: return "ctrl";
+    }
+    return "?";
+}
+
+InstrKind
+kindOf(const isa::Instruction &in)
+{
+    if (in.op == isa::Opcode::Send)
+        return InstrKind::Send;
+    if (isa::isControlFlow(in.op))
+        return InstrKind::Ctrl;
+    if (isa::isExtendedMath(in.op))
+        return InstrKind::Em;
+    return InstrKind::Alu;
+}
+
+TraceRecord
+recordOf(const isa::Instruction &in, LaneMask exec_mask)
+{
+    TraceRecord r;
+    r.simdWidth = in.simdWidth;
+    r.elemBytes = static_cast<std::uint8_t>(isa::execElemBytes(in));
+    r.kind = kindOf(in);
+    r.execMask = exec_mask & in.widthMask();
+    return r;
+}
+
+gpu::InstrObserver
+captureObserver(MaskTrace &out)
+{
+    return [&out](const isa::Instruction &in, LaneMask exec_mask) {
+        out.append(recordOf(in, exec_mask));
+    };
+}
+
+} // namespace iwc::trace

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Execution-mask traces: the paper's second evaluation methodology
+ * ("we have instrumented the functional model to obtain SIMD execution
+ * mask for every executed instruction"). A trace records, per dynamic
+ * instruction, exactly what the compaction logic needs — SIMD width,
+ * execution mask, element size, and instruction kind — and nothing
+ * else, so hundreds of millions of records stay cheap.
+ */
+
+#ifndef IWC_TRACE_TRACE_HH
+#define IWC_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/device.hh"
+#include "isa/isa.hh"
+
+namespace iwc::trace
+{
+
+/** Coarse instruction class; fixed-cost kinds dilute BCC/SCC benefit. */
+enum class InstrKind : std::uint8_t
+{
+    Alu,  ///< FPU-pipe ALU op (compressible)
+    Em,   ///< extended-math op (compressible)
+    Send, ///< memory/sync message (fixed cost)
+    Ctrl, ///< control flow (fixed cost)
+};
+
+const char *instrKindName(InstrKind kind);
+
+/** One dynamic instruction. */
+struct TraceRecord
+{
+    std::uint8_t simdWidth = 16;
+    std::uint8_t elemBytes = 4;
+    InstrKind kind = InstrKind::Alu;
+    LaneMask execMask = 0;
+};
+
+/** A named sequence of trace records. */
+struct MaskTrace
+{
+    std::string name;
+    std::vector<TraceRecord> records;
+
+    std::uint64_t size() const { return records.size(); }
+    void
+    append(const TraceRecord &r)
+    {
+        records.push_back(r);
+    }
+};
+
+/** Classifies an instruction for trace purposes. */
+InstrKind kindOf(const isa::Instruction &in);
+
+/** Builds a TraceRecord from an executed instruction. */
+TraceRecord recordOf(const isa::Instruction &in, LaneMask exec_mask);
+
+/**
+ * Returns an observer (for Device::launchFunctional) that appends a
+ * record per executed instruction to @p out.
+ */
+gpu::InstrObserver captureObserver(MaskTrace &out);
+
+} // namespace iwc::trace
+
+#endif // IWC_TRACE_TRACE_HH

@@ -1,0 +1,163 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace iwc::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'I', 'W', 'C', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    fatal_if(!is, "truncated trace stream");
+    return v;
+}
+
+InstrKind
+kindFromByte(std::uint8_t b)
+{
+    fatal_if(b > static_cast<std::uint8_t>(InstrKind::Ctrl),
+             "bad instruction kind %u in trace", b);
+    return static_cast<InstrKind>(b);
+}
+
+} // namespace
+
+void
+writeBinary(std::ostream &os, const MaskTrace &trace)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writePod(os, kVersion);
+    const auto name_len = static_cast<std::uint32_t>(trace.name.size());
+    writePod(os, name_len);
+    os.write(trace.name.data(), name_len);
+    writePod(os, static_cast<std::uint64_t>(trace.records.size()));
+    for (const TraceRecord &r : trace.records) {
+        writePod(os, r.simdWidth);
+        writePod(os, r.elemBytes);
+        writePod(os, static_cast<std::uint8_t>(r.kind));
+        writePod(os, r.execMask);
+    }
+}
+
+MaskTrace
+readBinary(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    fatal_if(!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+             "not an IWC trace stream");
+    const auto version = readPod<std::uint32_t>(is);
+    fatal_if(version != kVersion, "unsupported trace version %u",
+             version);
+
+    MaskTrace trace;
+    const auto name_len = readPod<std::uint32_t>(is);
+    trace.name.resize(name_len);
+    is.read(trace.name.data(), name_len);
+    fatal_if(!is, "truncated trace stream");
+
+    const auto count = readPod<std::uint64_t>(is);
+    trace.records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord r;
+        r.simdWidth = readPod<std::uint8_t>(is);
+        r.elemBytes = readPod<std::uint8_t>(is);
+        r.kind = kindFromByte(readPod<std::uint8_t>(is));
+        r.execMask = readPod<LaneMask>(is);
+        trace.records.push_back(r);
+    }
+    return trace;
+}
+
+void
+writeBinaryFile(const std::string &path, const MaskTrace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    fatal_if(!os, "cannot open %s for writing", path.c_str());
+    writeBinary(os, trace);
+}
+
+MaskTrace
+readBinaryFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatal_if(!is, "cannot open %s", path.c_str());
+    return readBinary(is);
+}
+
+void
+writeText(std::ostream &os, const MaskTrace &trace)
+{
+    os << "# iwc-trace " << trace.name << '\n';
+    for (const TraceRecord &r : trace.records) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%u %u %s %08x",
+                      r.simdWidth, r.elemBytes, instrKindName(r.kind),
+                      r.execMask);
+        os << buf << '\n';
+    }
+}
+
+MaskTrace
+readText(std::istream &is)
+{
+    MaskTrace trace;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream header(line.substr(1));
+            std::string tag;
+            header >> tag >> trace.name;
+            continue;
+        }
+        std::istringstream ls(line);
+        unsigned width = 0, bytes = 0;
+        std::string kind;
+        std::string hex;
+        ls >> width >> bytes >> kind >> hex;
+        fatal_if(!ls, "bad trace line: %s", line.c_str());
+        TraceRecord r;
+        r.simdWidth = static_cast<std::uint8_t>(width);
+        r.elemBytes = static_cast<std::uint8_t>(bytes);
+        if (kind == "alu")
+            r.kind = InstrKind::Alu;
+        else if (kind == "em")
+            r.kind = InstrKind::Em;
+        else if (kind == "send")
+            r.kind = InstrKind::Send;
+        else if (kind == "ctrl")
+            r.kind = InstrKind::Ctrl;
+        else
+            fatal("bad instruction kind '%s'", kind.c_str());
+        r.execMask =
+            static_cast<LaneMask>(std::strtoul(hex.c_str(), nullptr, 16));
+        trace.records.push_back(r);
+    }
+    return trace;
+}
+
+} // namespace iwc::trace

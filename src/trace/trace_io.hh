@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Trace serialization: a compact binary format for bulk traces and a
+ * human-readable text format for debugging and small fixtures.
+ */
+
+#ifndef IWC_TRACE_TRACE_IO_HH
+#define IWC_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace iwc::trace
+{
+
+/** Binary format: magic, version, name, record count, raw records. */
+void writeBinary(std::ostream &os, const MaskTrace &trace);
+MaskTrace readBinary(std::istream &is);
+
+void writeBinaryFile(const std::string &path, const MaskTrace &trace);
+MaskTrace readBinaryFile(const std::string &path);
+
+/** Text format: "width elemBytes kind hexmask" per line. */
+void writeText(std::ostream &os, const MaskTrace &trace);
+MaskTrace readText(std::istream &is);
+
+} // namespace iwc::trace
+
+#endif // IWC_TRACE_TRACE_IO_HH

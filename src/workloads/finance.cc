@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Finance and random-number workloads (Table 1's coherent,
+ * extended-math-heavy set): Black-Scholes, binomial option pricing,
+ * Monte Carlo Asian option pricing, and a uniform RNG kernel.
+ */
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+
+namespace iwc::workloads
+{
+
+using isa::CondMod;
+using isa::DataType;
+using isa::KernelBuilder;
+
+namespace
+{
+
+std::vector<float>
+randomFloats(std::uint64_t n, std::uint64_t seed, float lo, float hi)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = lo + (hi - lo) * rng.nextFloat();
+    return v;
+}
+
+/** Polynomial CDF approximation used on both device and host. */
+constexpr float kCnd0 = 0.4361836f;
+constexpr float kCnd1 = -0.1201676f;
+constexpr float kCnd2 = 0.9372980f;
+
+} // namespace
+
+Workload
+makeBlackScholes(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 4096ull * scale;
+    const float r = 0.02f;
+    const float v = 0.30f;
+    const float t = 1.0f;
+
+    KernelBuilder b("bscholes", 16);
+    auto s_buf = b.argBuffer("spot");
+    auto k_buf = b.argBuffer("strike");
+    auto out_buf = b.argBuffer("call");
+
+    auto s = loadGlobal(b, s_buf, b.globalId(), DataType::F);
+    auto k = loadGlobal(b, k_buf, b.globalId(), DataType::F);
+
+    // d1 = (log(s/k) + (r + v^2/2) t) / (v sqrt(t))
+    auto ratio = b.tmp(DataType::F);
+    auto d1 = b.tmp(DataType::F);
+    b.div(ratio, s, k);
+    b.log2(d1, ratio);
+    b.mul(d1, d1, b.f(0.6931472f)); // ln from log2
+    b.add(d1, d1, b.f((r + 0.5f * v * v) * t));
+    b.mul(d1, d1, b.f(1.0f / (v * 1.0f)));
+
+    // CND via logistic-style polynomial in z = 1/(1+0.2316419|d1|).
+    auto emitCnd = [&](isa::Reg out, isa::Reg d) {
+        auto z = b.tmp(DataType::F);
+        auto ad = b.tmp(DataType::F);
+        auto poly = b.tmp(DataType::F);
+        auto e = b.tmp(DataType::F);
+        auto neg_half_d2 = b.tmp(DataType::F);
+        auto neg_d = b.tmp(DataType::F);
+        b.mul(neg_d, d, b.f(-1.0f));
+        b.max_(ad, d, neg_d); // |d|
+        b.mad(z, ad, b.f(0.2316419f), b.f(1.0f));
+        b.inv(z, z);
+        b.mov(poly, b.f(kCnd2));
+        b.mad(poly, poly, z, b.f(kCnd1));
+        b.mad(poly, poly, z, b.f(kCnd0));
+        b.mul(poly, poly, z);
+        b.mul(neg_half_d2, d, d);
+        b.mul(neg_half_d2, neg_half_d2, b.f(-0.7213475f)); // -1/(2 ln2)
+        b.exp2(e, neg_half_d2);
+        b.mul(e, e, b.f(0.3989423f));
+        b.mul(poly, poly, e);
+        // cnd = d >= 0 ? 1 - poly : poly
+        b.cmp(CondMod::Ge, 0, d, b.f(0.0f));
+        auto one_minus = b.tmp(DataType::F);
+        b.mov(one_minus, b.f(1.0f));
+        b.sub(one_minus, one_minus, poly);
+        b.sel(0, out, one_minus, poly);
+    };
+
+    auto d2 = b.tmp(DataType::F);
+    b.sub(d2, d1, b.f(v * 1.0f));
+    auto nd1 = b.tmp(DataType::F);
+    auto nd2 = b.tmp(DataType::F);
+    emitCnd(nd1, d1);
+    emitCnd(nd2, d2);
+
+    // call = s*nd1 - k*exp(-rt)*nd2
+    const float disc_factor =
+        static_cast<float>(std::exp(-double(r) * t));
+    auto call = b.tmp(DataType::F);
+    auto kd = b.tmp(DataType::F);
+    b.mul(call, s, nd1);
+    b.mul(kd, k, b.f(disc_factor));
+    b.mul(kd, kd, nd2);
+    b.sub(call, call, kd);
+    storeGlobal(b, out_buf, b.globalId(), call, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "bscholes";
+    w.description = "Black-Scholes call pricing";
+    w.expectDivergent = false;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const auto host_s = randomFloats(n, 121, 10.0f, 100.0f);
+    const auto host_k = randomFloats(n, 122, 10.0f, 100.0f);
+    const Addr dev_s = dev.uploadVector(host_s);
+    const Addr dev_k = dev.uploadVector(host_k);
+    const Addr dev_o = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_s), gpu::Arg::buffer(dev_k),
+              gpu::Arg::buffer(dev_o)};
+
+    const float disc = static_cast<float>(std::exp(-double(r) * t));
+    w.check = [dev_o, host_s, host_k, n, r, v, t, disc](gpu::Device &d) {
+        auto cnd = [](float dd) {
+            const float neg = static_cast<float>(double(dd) * -1.0f);
+            const float ad = std::max(dd, neg);
+            float z = static_cast<float>(
+                double(ad) * double(0.2316419f) + double(1.0f));
+            z = static_cast<float>(1.0 / double(z));
+            float poly = kCnd2;
+            poly = static_cast<float>(
+                double(poly) * z + double(kCnd1));
+            poly = static_cast<float>(
+                double(poly) * z + double(kCnd0));
+            poly = static_cast<float>(double(poly) * z);
+            float nh = static_cast<float>(double(dd) * dd);
+            nh = static_cast<float>(
+                double(nh) * double(-0.7213475f));
+            float e = static_cast<float>(std::exp2(double(nh)));
+            e = static_cast<float>(double(e) * double(0.3989423f));
+            poly = static_cast<float>(double(poly) * e);
+            const float one_minus =
+                static_cast<float>(double(1.0f) - poly);
+            return dd >= 0.0f ? one_minus : poly;
+        };
+        std::vector<float> expected(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const float ratio = static_cast<float>(
+                double(host_s[i]) / double(host_k[i]));
+            float d1 =
+                static_cast<float>(std::log2(double(ratio)));
+            d1 = static_cast<float>(
+                double(d1) * double(0.6931472f));
+            d1 = static_cast<float>(
+                double(d1) + double((r + 0.5f * v * v) * t));
+            d1 = static_cast<float>(
+                double(d1) * double(1.0f / (v * 1.0f)));
+            const float d2 =
+                static_cast<float>(double(d1) - double(v * 1.0f));
+            float call = static_cast<float>(
+                double(host_s[i]) * double(cnd(d1)));
+            float kd = static_cast<float>(
+                double(host_k[i]) * double(disc));
+            kd = static_cast<float>(double(kd) * double(cnd(d2)));
+            expected[i] = static_cast<float>(double(call) - kd);
+        }
+        return checkFloatBuffer(d, dev_o, expected, "bscholes", 2e-3);
+    };
+    return w;
+}
+
+Workload
+makeBinomialOptions(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 1024ull * scale;
+    const unsigned steps = 16;
+
+    KernelBuilder b("bop", 16);
+    auto s_buf = b.argBuffer("spot");
+    auto out_buf = b.argBuffer("price");
+
+    auto s = loadGlobal(b, s_buf, b.globalId(), DataType::F);
+    // Iterative lattice collapse with fixed up/down factors; the loop
+    // trip count is uniform, keeping the kernel coherent.
+    auto v = b.tmp(DataType::F);
+    auto i = b.tmp(DataType::D);
+    b.mov(v, s);
+    b.mov(i, b.d(0));
+    b.loop_();
+    auto up = b.tmp(DataType::F);
+    auto down = b.tmp(DataType::F);
+    b.mul(up, v, b.f(1.05f));
+    b.mul(down, v, b.f(0.96f));
+    b.add(v, up, down);
+    b.mul(v, v, b.f(0.4975f)); // discounted expectation
+    b.add(i, i, b.d(1));
+    b.cmp(CondMod::Lt, 1, i, b.d(steps));
+    b.endLoop(1);
+
+    storeGlobal(b, out_buf, b.globalId(), v, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "bop";
+    w.description = "binomial option lattice collapse";
+    w.expectDivergent = false;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const auto host_s = randomFloats(n, 131, 10.0f, 100.0f);
+    const Addr dev_s = dev.uploadVector(host_s);
+    const Addr dev_o = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_s), gpu::Arg::buffer(dev_o)};
+
+    w.check = [dev_o, host_s, n, steps](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            double v = host_s[i];
+            for (unsigned k = 0; k < steps; ++k) {
+                const float up =
+                    static_cast<float>(v * double(1.05f));
+                const float down =
+                    static_cast<float>(v * double(0.96f));
+                v = static_cast<float>(double(up) + down);
+                v = static_cast<float>(v * double(0.4975f));
+            }
+            expected[i] = static_cast<float>(v);
+        }
+        return checkFloatBuffer(d, dev_o, expected, "bop", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeMonteCarloAsian(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 1024ull * scale;
+    const unsigned steps = 12;
+    const float strike = 1.05f;
+
+    KernelBuilder b("mca", 16);
+    auto out_buf = b.argBuffer("payoff");
+
+    // LCG-driven price path per work item; payoff via max (no branch),
+    // but deep-in/out-of-the-money paths stop accumulating early
+    // (break), which adds loop divergence.
+    auto state = b.tmp(DataType::UD);
+    auto price = b.tmp(DataType::F);
+    auto avg = b.tmp(DataType::F);
+    auto i = b.tmp(DataType::D);
+    auto u = b.tmp(DataType::F);
+    auto h = b.tmp(DataType::UD);
+    b.mad(state, b.globalId(), b.ud(2654435761u), b.ud(12345u));
+    b.mov(price, b.f(1.0f));
+    b.mov(avg, b.f(0.0f));
+    b.mov(i, b.d(0));
+
+    b.loop_();
+    b.mul(state, state, b.ud(1664525u));
+    b.add(state, state, b.ud(1013904223u));
+    b.shr(h, state, b.ud(16));
+    b.and_(h, h, b.ud(0x3ff));
+    b.mov(u, h);
+    b.mad(u, u, b.f(0.0002f), b.f(0.9f)); // step factor ~ [0.9, 1.1]
+    b.mul(price, price, u);
+    b.add(avg, avg, price);
+    // Knock-out: paths that collapse stop early (divergence).
+    b.cmp(CondMod::Lt, 0, price, b.f(0.6f));
+    b.breakIf(0);
+    b.add(i, i, b.d(1));
+    b.cmp(CondMod::Lt, 1, i, b.d(steps));
+    b.endLoop(1);
+
+    auto payoff = b.tmp(DataType::F);
+    b.mul(avg, avg, b.f(1.0f / steps));
+    b.sub(payoff, avg, b.f(strike));
+    b.max_(payoff, payoff, b.f(0.0f));
+    storeGlobal(b, out_buf, b.globalId(), payoff, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "mca";
+    w.description = "Monte Carlo Asian option with knock-out";
+    w.expectDivergent = false; // knock-outs are rare at these params
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const Addr dev_o = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_o)};
+
+    w.check = [dev_o, n, steps, strike](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (std::uint64_t wi = 0; wi < n; ++wi) {
+            std::uint32_t state = static_cast<std::uint32_t>(
+                wi * 2654435761u + 12345u);
+            double price = 1.0f, avg = 0.0f;
+            for (unsigned k = 0; k < steps; ++k) {
+                state = state * 1664525u + 1013904223u;
+                const std::uint32_t h = (state >> 16) & 0x3ff;
+                float u = static_cast<float>(h);
+                u = static_cast<float>(
+                    double(u) * double(0.0002f) + double(0.9f));
+                price = static_cast<float>(price * double(u));
+                avg = static_cast<float>(avg + price);
+                if (price < double(0.6f))
+                    break;
+            }
+            avg = static_cast<float>(
+                avg * double(1.0f / steps));
+            float payoff =
+                static_cast<float>(avg - double(strike));
+            payoff = std::max(payoff, 0.0f);
+            expected[wi] = payoff;
+        }
+        return checkFloatBuffer(d, dev_o, expected, "mca", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeUrng(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 4096ull * scale;
+    const unsigned rounds = 8;
+
+    KernelBuilder b("urng", 16);
+    auto out_buf = b.argBuffer("out");
+
+    auto state = b.tmp(DataType::UD);
+    auto i = b.tmp(DataType::D);
+    b.mad(state, b.globalId(), b.ud(747796405u), b.ud(2891336453u));
+    b.mov(i, b.d(0));
+    b.loop_();
+    b.mul(state, state, b.ud(1664525u));
+    b.add(state, state, b.ud(1013904223u));
+    auto x = b.tmp(DataType::UD);
+    b.shr(x, state, b.ud(13));
+    b.xor_(state, state, x);
+    b.add(i, i, b.d(1));
+    b.cmp(CondMod::Lt, 1, i, b.d(rounds));
+    b.endLoop(1);
+
+    auto out_v = b.tmp(DataType::D);
+    b.mov(out_v, state);
+    storeGlobal(b, out_buf, b.globalId(), out_v, DataType::D);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "urng";
+    w.description = "uniform random number generation (LCG + xorshift)";
+    w.expectDivergent = false;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const Addr dev_o = dev.allocBuffer(n * sizeof(std::int32_t));
+    w.args = {gpu::Arg::buffer(dev_o)};
+
+    w.check = [dev_o, n, rounds](gpu::Device &d) {
+        std::vector<std::int32_t> expected(n);
+        for (std::uint64_t wi = 0; wi < n; ++wi) {
+            std::uint32_t state = static_cast<std::uint32_t>(
+                wi * 747796405u + 2891336453u);
+            for (unsigned k = 0; k < rounds; ++k) {
+                state = state * 1664525u + 1013904223u;
+                state ^= state >> 13;
+            }
+            expected[wi] = static_cast<std::int32_t>(state);
+        }
+        return checkIntBuffer(d, dev_o, expected, "urng");
+    };
+    return w;
+}
+
+} // namespace iwc::workloads

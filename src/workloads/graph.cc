@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Graph and search workloads: a Floyd-Warshall relaxation step
+ * (coherent, memory heavy), binary search with early exit, and
+ * binary-tree search with variable descent depth (both divergent).
+ */
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+
+#include <algorithm>
+
+namespace iwc::workloads
+{
+
+using isa::CondMod;
+using isa::DataType;
+using isa::KernelBuilder;
+
+Workload
+makeFloydWarshall(gpu::Device &dev, unsigned scale)
+{
+    const unsigned dim = 64 * std::min(scale, 4u);
+    const std::uint64_t n = static_cast<std::uint64_t>(dim) * dim;
+    const unsigned k_pivot = 7;
+
+    KernelBuilder b("fw", 16);
+    auto dist_buf = b.argBuffer("dist");
+    auto out_buf = b.argBuffer("out");
+    auto dim_arg = b.argU("dim");
+    auto k_arg = b.argU("k");
+
+    auto row = b.tmp(DataType::UD);
+    auto col = b.tmp(DataType::UD);
+    auto tmp = b.tmp(DataType::UD);
+    b.div(row, b.globalId(), dim_arg);
+    b.mul(tmp, row, dim_arg);
+    b.sub(col, b.globalId(), tmp);
+
+    auto addr = b.tmp(DataType::UD);
+    auto d_ij = b.tmp(DataType::D);
+    auto d_ik = b.tmp(DataType::D);
+    auto d_kj = b.tmp(DataType::D);
+    auto idx = b.tmp(DataType::UD);
+
+    b.mad(addr, b.globalId(), b.ud(4), dist_buf);
+    b.gatherLoad(d_ij, addr, DataType::D);
+    b.mad(idx, row, dim_arg, k_arg);
+    b.mad(addr, idx, b.ud(4), dist_buf);
+    b.gatherLoad(d_ik, addr, DataType::D);
+    b.mad(idx, k_arg, dim_arg, col);
+    b.mad(addr, idx, b.ud(4), dist_buf);
+    b.gatherLoad(d_kj, addr, DataType::D);
+
+    auto via = b.tmp(DataType::D);
+    b.add(via, d_ik, d_kj);
+    auto best = b.tmp(DataType::D);
+    b.min_(best, d_ij, via);
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, best, DataType::D);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "fw";
+    w.description = "Floyd-Warshall single-pivot relaxation";
+    w.expectDivergent = false;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    Rng rng(141);
+    std::vector<std::int32_t> dist(n);
+    for (auto &x : dist)
+        x = static_cast<std::int32_t>(rng.below(1000));
+    const Addr dev_d = dev.uploadVector(dist);
+    const Addr dev_o = dev.allocBuffer(n * sizeof(std::int32_t));
+    w.args = {gpu::Arg::buffer(dev_d), gpu::Arg::buffer(dev_o),
+              gpu::Arg::u32(dim), gpu::Arg::u32(k_pivot)};
+
+    w.check = [dev_o, dist, dim, n, k_pivot](gpu::Device &d) {
+        std::vector<std::int32_t> expected(n);
+        for (unsigned r = 0; r < dim; ++r)
+            for (unsigned c = 0; c < dim; ++c)
+                expected[static_cast<std::size_t>(r) * dim + c] =
+                    std::min(dist[static_cast<std::size_t>(r) * dim + c],
+                             dist[static_cast<std::size_t>(r) * dim +
+                                  k_pivot] +
+                                 dist[static_cast<std::size_t>(k_pivot) *
+                                          dim + c]);
+        return checkIntBuffer(d, dev_o, expected, "fw");
+    };
+    return w;
+}
+
+Workload
+makeBinarySearch(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 2048ull * scale;
+    const unsigned haystack_size = 4096;
+
+    Rng rng(151);
+    std::vector<std::int32_t> haystack(haystack_size);
+    std::int32_t v = 0;
+    for (auto &x : haystack) {
+        v += static_cast<std::int32_t>(rng.below(8) + 1);
+        x = v;
+    }
+    std::vector<std::int32_t> keys(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        keys[i] = rng.chance(0.5)
+            ? haystack[rng.below(haystack_size)] // guaranteed hit
+            : static_cast<std::int32_t>(rng.below(v + 100));
+    }
+
+    KernelBuilder b("bsearch", 16);
+    auto hay_buf = b.argBuffer("haystack");
+    auto key_buf = b.argBuffer("keys");
+    auto out_buf = b.argBuffer("out");
+
+    auto key = loadGlobal(b, key_buf, b.globalId(), DataType::D);
+    auto lo = b.tmp(DataType::D);
+    auto hi = b.tmp(DataType::D);
+    auto mid = b.tmp(DataType::D);
+    auto mv = b.tmp(DataType::D);
+    auto found = b.tmp(DataType::D);
+    auto addr = b.tmp(DataType::UD);
+    b.mov(lo, b.d(0));
+    b.mov(hi, b.d(static_cast<std::int32_t>(haystack_size)));
+    b.mov(found, b.d(-1));
+
+    b.loop_();
+    {
+        // mid = (lo + hi) / 2
+        b.add(mid, lo, hi);
+        b.asr(mid, mid, b.d(1));
+        b.mad(addr, mid, b.ud(4), hay_buf);
+        b.gatherLoad(mv, addr, DataType::D);
+
+        // Early exit for exact matches (lanes drop out at different
+        // iterations -> loop divergence).
+        b.cmp(CondMod::Eq, 0, mv, key);
+        b.if_(0);
+        b.mov(found, mid);
+        b.endif_();
+        b.breakIf(0);
+
+        b.cmp(CondMod::Lt, 0, mv, key);
+        b.if_(0);
+        b.add(lo, mid, b.d(1));
+        b.else_();
+        b.mov(hi, mid);
+        b.endif_();
+
+        b.cmp(CondMod::Lt, 1, lo, hi);
+    }
+    b.endLoop(1);
+
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, found, DataType::D);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "bsearch";
+    w.description = "binary search with early exit";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const Addr dev_h = dev.uploadVector(haystack);
+    const Addr dev_k = dev.uploadVector(keys);
+    const Addr dev_o = dev.allocBuffer(n * sizeof(std::int32_t));
+    w.args = {gpu::Arg::buffer(dev_h), gpu::Arg::buffer(dev_k),
+              gpu::Arg::buffer(dev_o)};
+
+    w.check = [dev_o, haystack, keys, n, haystack_size](gpu::Device &d) {
+        std::vector<std::int32_t> expected(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::int32_t lo = 0;
+            std::int32_t hi =
+                static_cast<std::int32_t>(haystack_size);
+            std::int32_t found = -1;
+            while (lo < hi) {
+                const std::int32_t mid = (lo + hi) >> 1;
+                if (haystack[mid] == keys[i]) {
+                    found = mid;
+                    break;
+                }
+                if (haystack[mid] < keys[i])
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            expected[i] = found;
+        }
+        return checkIntBuffer(d, dev_o, expected, "bsearch");
+    };
+    return w;
+}
+
+Workload
+makeTreeSearch(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 2048ull * scale;
+    const unsigned tree_nodes = 2047; // complete tree, heap layout
+
+    Rng rng(161);
+    // Build a BST in heap layout via sorted fill of an inorder walk.
+    std::vector<std::int32_t> sorted(tree_nodes);
+    std::int32_t acc = 0;
+    for (auto &x : sorted) {
+        acc += static_cast<std::int32_t>(rng.below(6) + 1);
+        x = acc;
+    }
+    std::vector<std::int32_t> tree(tree_nodes);
+    std::function<void(unsigned, unsigned, unsigned)> fill =
+        [&](unsigned node, unsigned lo, unsigned hi) {
+            if (node >= tree_nodes || lo >= hi)
+                return;
+            const unsigned mid = (lo + hi) / 2;
+            tree[node] = sorted[mid];
+            fill(2 * node + 1, lo, mid);
+            fill(2 * node + 2, mid + 1, hi);
+        };
+    fill(0, 0, tree_nodes);
+
+    std::vector<std::int32_t> keys(n);
+    for (auto &x : keys)
+        x = rng.chance(0.6) ? sorted[rng.below(tree_nodes)]
+                            : static_cast<std::int32_t>(
+                                  rng.below(acc + 50));
+
+    KernelBuilder b("treesearch", 16);
+    auto tree_buf = b.argBuffer("tree");
+    auto key_buf = b.argBuffer("keys");
+    auto out_buf = b.argBuffer("out");
+
+    auto key = loadGlobal(b, key_buf, b.globalId(), DataType::D);
+    auto node = b.tmp(DataType::D);
+    auto nv = b.tmp(DataType::D);
+    auto found = b.tmp(DataType::D);
+    auto addr = b.tmp(DataType::UD);
+    b.mov(node, b.d(0));
+    b.mov(found, b.d(0));
+
+    b.loop_();
+    {
+        b.mad(addr, node, b.ud(4), tree_buf);
+        b.gatherLoad(nv, addr, DataType::D);
+        b.cmp(CondMod::Eq, 0, nv, key);
+        b.if_(0);
+        b.mov(found, b.d(1));
+        b.endif_();
+        b.breakIf(0);
+        // Descend: node = 2*node + (key < nv ? 1 : 2)
+        b.cmp(CondMod::Lt, 0, key, nv);
+        auto one_v = b.tmp(DataType::D);
+        auto two_v = b.tmp(DataType::D);
+        b.mov(one_v, b.d(1));
+        b.mov(two_v, b.d(2));
+        auto step = b.tmp(DataType::D);
+        b.sel(0, step, one_v, two_v);
+        b.mad(node, node, b.d(2), step);
+        b.cmp(CondMod::Lt, 1, node,
+              b.d(static_cast<std::int32_t>(tree_nodes)));
+    }
+    b.endLoop(1);
+
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, found, DataType::D);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "treesearch";
+    w.description = "BST membership with variable descent depth";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const Addr dev_t = dev.uploadVector(tree);
+    const Addr dev_k = dev.uploadVector(keys);
+    const Addr dev_o = dev.allocBuffer(n * sizeof(std::int32_t));
+    w.args = {gpu::Arg::buffer(dev_t), gpu::Arg::buffer(dev_k),
+              gpu::Arg::buffer(dev_o)};
+
+    w.check = [dev_o, tree, keys, n, tree_nodes](gpu::Device &d) {
+        std::vector<std::int32_t> expected(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::int32_t node = 0, found = 0;
+            while (node < static_cast<std::int32_t>(tree_nodes)) {
+                if (tree[node] == keys[i]) {
+                    found = 1;
+                    break;
+                }
+                node = node * 2 + (keys[i] < tree[node] ? 1 : 2);
+            }
+            expected[i] = found;
+        }
+        return checkIntBuffer(d, dev_o, expected, "treesearch");
+    };
+    return w;
+}
+
+} // namespace iwc::workloads

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Image and media workloads: Sobel edge filter (border branches), box
+ * filter (coherent window loop), Haar DWT (coherent), and a
+ * Mandelbrot escape-time kernel (the heavily divergent stand-in for
+ * RightWare's mandelbulb workload in execution-driven form).
+ */
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+
+namespace iwc::workloads
+{
+
+using isa::CondMod;
+using isa::DataType;
+using isa::KernelBuilder;
+
+namespace
+{
+
+std::vector<float>
+randomFloats(std::uint64_t n, std::uint64_t seed, float lo = 0.0f,
+             float hi = 1.0f)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = lo + (hi - lo) * rng.nextFloat();
+    return v;
+}
+
+} // namespace
+
+Workload
+makeSobel(gpu::Device &dev, unsigned scale)
+{
+    const unsigned dim = 64 * std::min(scale, 4u);
+    const std::uint64_t n = static_cast<std::uint64_t>(dim) * dim;
+
+    KernelBuilder b("sobel", 16);
+    auto img_buf = b.argBuffer("img");
+    auto out_buf = b.argBuffer("out");
+    auto dim_arg = b.argU("dim");
+
+    auto row = b.tmp(DataType::UD);
+    auto col = b.tmp(DataType::UD);
+    auto tmp = b.tmp(DataType::UD);
+    b.div(row, b.globalId(), dim_arg);
+    b.mul(tmp, row, dim_arg);
+    b.sub(col, b.globalId(), tmp);
+    auto dim_m1 = b.tmp(DataType::UD);
+    b.sub(dim_m1, dim_arg, b.ud(1));
+
+    auto out_v = b.tmp(DataType::F);
+    auto addr = b.tmp(DataType::UD);
+    b.mov(out_v, b.f(0.0f));
+
+    // Interior pixels compute the gradient; border pixels write zero
+    // (the classic Sobel boundary divergence).
+    b.cmp(CondMod::Gt, 0, row, b.ud(0));
+    b.if_(0);
+    b.cmp(CondMod::Lt, 0, row, dim_m1);
+    b.if_(0);
+    b.cmp(CondMod::Gt, 0, col, b.ud(0));
+    b.if_(0);
+    b.cmp(CondMod::Lt, 0, col, dim_m1);
+    b.if_(0);
+    {
+        auto gx = b.tmp(DataType::F);
+        auto gy = b.tmp(DataType::F);
+        auto pv = b.tmp(DataType::F);
+        auto idx = b.tmp(DataType::UD);
+        b.mov(gx, b.f(0.0f));
+        b.mov(gy, b.f(0.0f));
+
+        // 3x3 window with standard Sobel weights.
+        const int wx[3][3] = {{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}};
+        const int wy[3][3] = {{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}};
+        for (int dr = -1; dr <= 1; ++dr) {
+            for (int dc = -1; dc <= 1; ++dc) {
+                const std::int32_t off = dr * static_cast<int>(dim) + dc;
+                b.add(idx, b.globalId(), b.d(off));
+                b.mad(addr, idx, b.ud(4), img_buf);
+                b.gatherLoad(pv, addr, DataType::F);
+                if (wx[dr + 1][dc + 1] != 0)
+                    b.mad(gx, pv,
+                          b.f(static_cast<float>(wx[dr + 1][dc + 1])),
+                          gx);
+                if (wy[dr + 1][dc + 1] != 0)
+                    b.mad(gy, pv,
+                          b.f(static_cast<float>(wy[dr + 1][dc + 1])),
+                          gy);
+            }
+        }
+        auto mag2 = b.tmp(DataType::F);
+        b.mul(mag2, gx, gx);
+        b.mad(mag2, gy, gy, mag2);
+        b.sqrt(out_v, mag2);
+        // Saturate strong edges (data-dependent branch).
+        b.cmp(CondMod::Gt, 0, out_v, b.f(1.0f));
+        b.if_(0);
+        b.mov(out_v, b.f(1.0f));
+        b.endif_();
+    }
+    b.endif_();
+    b.endif_();
+    b.endif_();
+    b.endif_();
+
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, out_v, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "sobel";
+    w.description = "Sobel filter with border and saturation branches";
+    w.expectDivergent = false; // borders are a thin fraction
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const auto host_img = randomFloats(n, 171);
+    const Addr dev_img = dev.uploadVector(host_img);
+    const Addr dev_out = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_img), gpu::Arg::buffer(dev_out),
+              gpu::Arg::u32(dim)};
+
+    w.check = [dev_out, host_img, dim, n](gpu::Device &d) {
+        const int wx[3][3] = {{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}};
+        const int wy[3][3] = {{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}};
+        std::vector<float> expected(n, 0.0f);
+        for (unsigned r = 1; r + 1 < dim; ++r) {
+            for (unsigned c = 1; c + 1 < dim; ++c) {
+                double gx = 0, gy = 0;
+                for (int dr = -1; dr <= 1; ++dr) {
+                    for (int dc = -1; dc <= 1; ++dc) {
+                        const float pv =
+                            host_img[(r + dr) * dim + (c + dc)];
+                        if (wx[dr + 1][dc + 1])
+                            gx = static_cast<float>(
+                                double(pv) *
+                                    double(static_cast<float>(
+                                        wx[dr + 1][dc + 1])) + gx);
+                        if (wy[dr + 1][dc + 1])
+                            gy = static_cast<float>(
+                                double(pv) *
+                                    double(static_cast<float>(
+                                        wy[dr + 1][dc + 1])) + gy);
+                    }
+                }
+                double mag2 = static_cast<float>(gx * gx);
+                mag2 = static_cast<float>(gy * gy + mag2);
+                float mag =
+                    static_cast<float>(std::sqrt(double(mag2)));
+                if (mag > 1.0f)
+                    mag = 1.0f;
+                expected[r * dim + c] = mag;
+            }
+        }
+        return checkFloatBuffer(d, dev_out, expected, "sobel", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeBoxFilter(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 4096ull * scale;
+    const unsigned radius = 4;
+
+    KernelBuilder b("boxfilter", 16);
+    auto in_buf = b.argBuffer("in");
+    auto out_buf = b.argBuffer("out");
+    auto n_arg = b.argU("n");
+
+    // 1D box filter with clamped window (min/max keep it coherent).
+    auto acc = b.tmp(DataType::F);
+    auto k = b.tmp(DataType::D);
+    auto idx = b.tmp(DataType::D);
+    auto addr = b.tmp(DataType::UD);
+    auto v = b.tmp(DataType::F);
+    auto n_m1 = b.tmp(DataType::D);
+    auto n_d = b.tmp(DataType::D);
+    b.mov(n_d, n_arg);
+    b.sub(n_m1, n_d, b.d(1));
+    b.mov(acc, b.f(0.0f));
+    b.mov(k, b.d(-static_cast<std::int32_t>(radius)));
+
+    b.loop_();
+    auto gid_d = b.tmp(DataType::D);
+    b.mov(gid_d, b.globalId());
+    b.add(idx, gid_d, k);
+    b.max_(idx, idx, b.d(0));
+    b.min_(idx, idx, n_m1);
+    b.mad(addr, idx, b.ud(4), in_buf);
+    b.gatherLoad(v, addr, DataType::F);
+    b.add(acc, acc, v);
+    b.add(k, k, b.d(1));
+    b.cmp(CondMod::Le, 1, k, b.d(static_cast<std::int32_t>(radius)));
+    b.endLoop(1);
+
+    b.mul(acc, acc, b.f(1.0f / (2 * radius + 1)));
+    storeGlobal(b, out_buf, b.globalId(), acc, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "boxfilter";
+    w.description = "1D box filter with clamped window";
+    w.expectDivergent = false;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const auto host_in = randomFloats(n, 181);
+    const Addr dev_in = dev.uploadVector(host_in);
+    const Addr dev_out = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_in), gpu::Arg::buffer(dev_out),
+              gpu::Arg::u32(static_cast<std::uint32_t>(n))};
+
+    w.check = [dev_out, host_in, n, radius](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            double acc = 0;
+            for (int k = -static_cast<int>(radius);
+                 k <= static_cast<int>(radius); ++k) {
+                std::int64_t idx = static_cast<std::int64_t>(i) + k;
+                idx = std::max<std::int64_t>(idx, 0);
+                idx = std::min<std::int64_t>(
+                    idx, static_cast<std::int64_t>(n) - 1);
+                acc = static_cast<float>(acc + host_in[idx]);
+            }
+            expected[i] = static_cast<float>(
+                acc * double(1.0f / (2 * radius + 1)));
+        }
+        return checkFloatBuffer(d, dev_out, expected, "boxfilter",
+                                1e-3);
+    };
+    return w;
+}
+
+Workload
+makeDwtHaar(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t pairs = 2048ull * scale;
+
+    KernelBuilder b("dwthaar", 16);
+    auto in_buf = b.argBuffer("in");
+    auto avg_buf = b.argBuffer("avg");
+    auto diff_buf = b.argBuffer("diff");
+
+    auto addr = b.tmp(DataType::UD);
+    auto a = b.tmp(DataType::F);
+    auto c = b.tmp(DataType::F);
+    b.mul(addr, b.globalId(), b.ud(8));
+    b.add(addr, addr, in_buf);
+    b.gatherLoad(a, addr, DataType::F);
+    b.add(addr, addr, b.ud(4));
+    b.gatherLoad(c, addr, DataType::F);
+
+    auto avg = b.tmp(DataType::F);
+    auto diff = b.tmp(DataType::F);
+    b.add(avg, a, c);
+    b.mul(avg, avg, b.f(0.70710678f));
+    b.sub(diff, a, c);
+    b.mul(diff, diff, b.f(0.70710678f));
+    storeGlobal(b, avg_buf, b.globalId(), avg, DataType::F);
+    storeGlobal(b, diff_buf, b.globalId(), diff, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "dwthaar";
+    w.description = "one-level Haar wavelet transform";
+    w.expectDivergent = false;
+    w.globalSize = pairs;
+    w.localSize = 64;
+
+    const auto host_in = randomFloats(pairs * 2, 191, -1.0f, 1.0f);
+    const Addr dev_in = dev.uploadVector(host_in);
+    const Addr dev_avg = dev.allocBuffer(pairs * sizeof(float));
+    const Addr dev_diff = dev.allocBuffer(pairs * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_in), gpu::Arg::buffer(dev_avg),
+              gpu::Arg::buffer(dev_diff)};
+
+    w.check = [dev_avg, dev_diff, host_in, pairs](gpu::Device &d) {
+        std::vector<float> exp_avg(pairs), exp_diff(pairs);
+        for (std::uint64_t i = 0; i < pairs; ++i) {
+            const double a = host_in[i * 2];
+            const double c = host_in[i * 2 + 1];
+            exp_avg[i] = static_cast<float>(
+                static_cast<float>(a + c) * double(0.70710678f));
+            exp_diff[i] = static_cast<float>(
+                static_cast<float>(a - c) * double(0.70710678f));
+        }
+        return checkFloatBuffer(d, dev_avg, exp_avg, "dwthaar.avg",
+                                1e-3) &&
+            checkFloatBuffer(d, dev_diff, exp_diff, "dwthaar.diff",
+                             1e-3);
+    };
+    return w;
+}
+
+Workload
+makeMandelbrot(gpu::Device &dev, unsigned scale)
+{
+    const unsigned dim = 64 * std::min(scale, 4u);
+    const std::uint64_t n = static_cast<std::uint64_t>(dim) * dim;
+    const unsigned max_iter = 48;
+
+    KernelBuilder b("mandelbrot", 16);
+    auto out_buf = b.argBuffer("out");
+    auto dim_arg = b.argU("dim");
+
+    auto row = b.tmp(DataType::UD);
+    auto col = b.tmp(DataType::UD);
+    auto tmp = b.tmp(DataType::UD);
+    b.div(row, b.globalId(), dim_arg);
+    b.mul(tmp, row, dim_arg);
+    b.sub(col, b.globalId(), tmp);
+
+    // Map pixel to c = (-2 + 3x, -1.5 + 3y), the classic window.
+    auto cx = b.tmp(DataType::F);
+    auto cy = b.tmp(DataType::F);
+    auto dim_f = b.tmp(DataType::F);
+    auto inv_dim = b.tmp(DataType::F);
+    b.mov(dim_f, dim_arg);
+    b.inv(inv_dim, dim_f);
+    b.mov(cx, col);
+    b.mul(cx, cx, inv_dim);
+    b.mad(cx, cx, b.f(3.0f), b.f(-2.0f));
+    b.mov(cy, row);
+    b.mul(cy, cy, inv_dim);
+    b.mad(cy, cy, b.f(3.0f), b.f(-1.5f));
+
+    auto zx = b.tmp(DataType::F);
+    auto zy = b.tmp(DataType::F);
+    auto zx2 = b.tmp(DataType::F);
+    auto zy2 = b.tmp(DataType::F);
+    auto mag2 = b.tmp(DataType::F);
+    auto iter = b.tmp(DataType::D);
+    auto xy = b.tmp(DataType::F);
+    b.mov(zx, b.f(0.0f));
+    b.mov(zy, b.f(0.0f));
+    b.mov(iter, b.d(0));
+
+    b.loop_();
+    {
+        b.mul(zx2, zx, zx);
+        b.mul(zy2, zy, zy);
+        b.add(mag2, zx2, zy2);
+        b.cmp(CondMod::Gt, 0, mag2, b.f(4.0f));
+        b.breakIf(0); // escape-time divergence
+        b.mul(xy, zx, zy);
+        b.sub(zx, zx2, zy2);
+        b.add(zx, zx, cx);
+        b.mad(zy, xy, b.f(2.0f), cy);
+        b.add(iter, iter, b.d(1));
+        b.cmp(CondMod::Lt, 1, iter,
+              b.d(static_cast<std::int32_t>(max_iter)));
+    }
+    b.endLoop(1);
+
+    b.mad(tmp, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(tmp, iter, DataType::D);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "mandelbrot";
+    w.description = "escape-time fractal (per-pixel loop divergence)";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const Addr dev_out = dev.allocBuffer(n * sizeof(std::int32_t));
+    w.args = {gpu::Arg::buffer(dev_out), gpu::Arg::u32(dim)};
+
+    w.check = [dev_out, dim, n, max_iter](gpu::Device &d) {
+        std::vector<std::int32_t> expected(n);
+        for (unsigned r = 0; r < dim; ++r) {
+            for (unsigned c = 0; c < dim; ++c) {
+                const float inv_dim = static_cast<float>(
+                    1.0 / double(static_cast<float>(dim)));
+                float cx = static_cast<float>(
+                    double(static_cast<float>(c)) * inv_dim);
+                cx = static_cast<float>(
+                    double(cx) * double(3.0f) + double(-2.0f));
+                float cy = static_cast<float>(
+                    double(static_cast<float>(r)) * inv_dim);
+                cy = static_cast<float>(
+                    double(cy) * double(3.0f) + double(-1.5f));
+                float zx = 0, zy = 0;
+                std::int32_t iter = 0;
+                while (iter < static_cast<std::int32_t>(max_iter)) {
+                    const float zx2 =
+                        static_cast<float>(double(zx) * zx);
+                    const float zy2 =
+                        static_cast<float>(double(zy) * zy);
+                    const float mag2 =
+                        static_cast<float>(double(zx2) + zy2);
+                    if (mag2 > 4.0f)
+                        break;
+                    const float xy =
+                        static_cast<float>(double(zx) * zy);
+                    zx = static_cast<float>(double(zx2) - zy2);
+                    zx = static_cast<float>(double(zx) + cx);
+                    zy = static_cast<float>(
+                        double(xy) * double(2.0f) + cy);
+                    ++iter;
+                }
+                expected[r * dim + c] = iter;
+            }
+        }
+        return checkIntBuffer(d, dev_out, expected, "mandelbrot");
+    };
+    return w;
+}
+
+} // namespace iwc::workloads

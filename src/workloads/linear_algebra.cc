@@ -1,0 +1,542 @@
+/**
+ * @file
+ * Linear-algebra workloads (the coherent backbone of Table 1):
+ * vector add, dot product (SLM tree reduction), matrix-vector and
+ * matrix-matrix multiply, transpose, an 8-point DCT, and a workgroup
+ * scan.
+ */
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+
+namespace iwc::workloads
+{
+
+using isa::CondMod;
+using isa::DataType;
+using isa::KernelBuilder;
+
+namespace
+{
+
+std::vector<float>
+randomFloats(std::uint64_t n, std::uint64_t seed, float lo = -1.0f,
+             float hi = 1.0f)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = lo + (hi - lo) * rng.nextFloat();
+    return v;
+}
+
+} // namespace
+
+Workload
+makeVectorAdd(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 8192ull * scale;
+
+    KernelBuilder b("va", 16);
+    auto a_buf = b.argBuffer("a");
+    auto b_buf = b.argBuffer("b");
+    auto c_buf = b.argBuffer("c");
+
+    auto x = loadGlobal(b, a_buf, b.globalId(), DataType::F);
+    auto y = loadGlobal(b, b_buf, b.globalId(), DataType::F);
+    auto sum = b.tmp(DataType::F);
+    b.add(sum, x, y);
+    storeGlobal(b, c_buf, b.globalId(), sum, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "va";
+    w.description = "vector addition";
+    w.expectDivergent = false;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const auto host_a = randomFloats(n, 11);
+    const auto host_b = randomFloats(n, 12);
+    const Addr dev_a = dev.uploadVector(host_a);
+    const Addr dev_b = dev.uploadVector(host_b);
+    const Addr dev_c = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_a), gpu::Arg::buffer(dev_b),
+              gpu::Arg::buffer(dev_c)};
+
+    w.check = [dev_c, host_a, host_b, n](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            expected[i] = host_a[i] + host_b[i];
+        return checkFloatBuffer(d, dev_c, expected, "va");
+    };
+    return w;
+}
+
+Workload
+makeDotProduct(gpu::Device &dev, unsigned scale)
+{
+    const unsigned local = 64;
+    const std::uint64_t n = 4096ull * scale;
+    const unsigned num_wgs = static_cast<unsigned>(n / local);
+
+    KernelBuilder b("dp", 16);
+    auto a_buf = b.argBuffer("a");
+    auto b_buf = b.argBuffer("b");
+    auto partial = b.argBuffer("partials");
+    b.requireSlm(local * sizeof(float));
+
+    // prod = a[gid] * b[gid], staged into SLM at lid.
+    auto x = loadGlobal(b, a_buf, b.globalId(), DataType::F);
+    auto y = loadGlobal(b, b_buf, b.globalId(), DataType::F);
+    auto prod = b.tmp(DataType::F);
+    b.mul(prod, x, y);
+
+    auto slm_addr = b.tmp(DataType::UD);
+    b.mul(slm_addr, b.localId(), b.ud(4));
+    b.slmStore(slm_addr, prod, DataType::F);
+    b.barrier();
+
+    // Tree reduction: stride halves each step; lanes with
+    // lid >= stride sit idle (classic reduction divergence).
+    auto stride = b.tmp(DataType::UD);
+    auto other = b.tmp(DataType::F);
+    auto mine = b.tmp(DataType::F);
+    auto other_addr = b.tmp(DataType::UD);
+    b.mov(stride, b.ud(local / 2));
+    b.loop_();
+    b.cmp(CondMod::Lt, 0, b.localId(), stride);
+    b.if_(0);
+    b.slmLoad(mine, slm_addr, DataType::F);
+    b.mad(other_addr, stride, b.ud(4), slm_addr);
+    b.slmLoad(other, other_addr, DataType::F);
+    b.add(mine, mine, other);
+    b.slmStore(slm_addr, mine, DataType::F);
+    b.endif_();
+    b.barrier();
+    b.shr(stride, stride, b.ud(1));
+    b.cmp(CondMod::Gt, 1, stride, b.ud(0));
+    b.endLoop(1);
+
+    // Thread 0 lane 0 publishes the workgroup partial sum.
+    b.cmp(CondMod::Eq, 0, b.localId(), b.ud(0));
+    b.if_(0);
+    auto total = b.tmp(DataType::F);
+    b.slmLoad(total, slm_addr, DataType::F);
+    auto out_addr = b.tmp(DataType::UD);
+    b.mad(out_addr, b.groupId(), b.ud(4), partial);
+    b.scatterStore(out_addr, total, DataType::F);
+    b.endif_();
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "dp";
+    w.description = "dot product with SLM tree reduction";
+    // The log-step reduction masks off half the lanes per step.
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = local;
+
+    const auto host_a = randomFloats(n, 21);
+    const auto host_b = randomFloats(n, 22);
+    const Addr dev_a = dev.uploadVector(host_a);
+    const Addr dev_b = dev.uploadVector(host_b);
+    const Addr dev_p = dev.allocBuffer(num_wgs * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_a), gpu::Arg::buffer(dev_b),
+              gpu::Arg::buffer(dev_p)};
+
+    w.check = [dev_p, host_a, host_b, num_wgs, local](gpu::Device &d) {
+        std::vector<float> expected(num_wgs);
+        for (unsigned wg = 0; wg < num_wgs; ++wg) {
+            // Mirror the tree reduction order for float fidelity.
+            std::vector<double> vals(local);
+            for (unsigned i = 0; i < local; ++i) {
+                const std::uint64_t gi =
+                    static_cast<std::uint64_t>(wg) * local + i;
+                vals[i] = static_cast<float>(
+                    double(host_a[gi]) * double(host_b[gi]));
+            }
+            for (unsigned s = local / 2; s > 0; s >>= 1)
+                for (unsigned i = 0; i < s; ++i)
+                    vals[i] = static_cast<float>(vals[i] + vals[i + s]);
+            expected[wg] = static_cast<float>(vals[0]);
+        }
+        return checkFloatBuffer(d, dev_p, expected, "dp", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeMatVecMul(gpu::Device &dev, unsigned scale)
+{
+    const unsigned cols = 64;
+    const std::uint64_t rows = 2048ull * scale;
+
+    KernelBuilder b("mvm", 16);
+    auto mat = b.argBuffer("mat");
+    auto vec = b.argBuffer("vec");
+    auto out = b.argBuffer("out");
+
+    auto acc = b.tmp(DataType::F);
+    auto k = b.tmp(DataType::D);
+    auto row_base = b.tmp(DataType::UD);
+    auto addr = b.tmp(DataType::UD);
+    auto vaddr = b.tmp(DataType::UD);
+    auto m = b.tmp(DataType::F);
+    auto v = b.tmp(DataType::F);
+
+    b.mov(acc, b.f(0.0f));
+    b.mov(k, b.d(0));
+    b.mul(row_base, b.globalId(), b.ud(cols * 4));
+    b.add(row_base, row_base, mat);
+
+    b.loop_();
+    b.mad(addr, k, b.ud(4), row_base);
+    b.gatherLoad(m, addr, DataType::F);
+    b.mad(vaddr, k, b.ud(4), vec);
+    b.gatherLoad(v, vaddr, DataType::F);
+    b.mad(acc, m, v, acc);
+    b.add(k, k, b.d(1));
+    b.cmp(CondMod::Lt, 1, k, b.d(cols));
+    b.endLoop(1);
+
+    storeGlobal(b, out, b.globalId(), acc, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "mvm";
+    w.description = "matrix-vector multiplication";
+    w.expectDivergent = false;
+    w.globalSize = rows;
+    w.localSize = 64;
+
+    const auto host_m = randomFloats(rows * cols, 31);
+    const auto host_v = randomFloats(cols, 32);
+    const Addr dev_m = dev.uploadVector(host_m);
+    const Addr dev_v = dev.uploadVector(host_v);
+    const Addr dev_o = dev.allocBuffer(rows * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_m), gpu::Arg::buffer(dev_v),
+              gpu::Arg::buffer(dev_o)};
+
+    w.check = [dev_o, host_m, host_v, rows, cols](gpu::Device &d) {
+        std::vector<float> expected(rows);
+        for (std::uint64_t r = 0; r < rows; ++r) {
+            double acc = 0;
+            for (unsigned c = 0; c < cols; ++c)
+                acc = static_cast<float>(
+                    double(host_m[r * cols + c]) * double(host_v[c]) +
+                    acc);
+            expected[r] = static_cast<float>(acc);
+        }
+        return checkFloatBuffer(d, dev_o, expected, "mvm", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeMatMul(gpu::Device &dev, unsigned scale)
+{
+    const unsigned dim = 32 * std::min(scale, 4u); // N x N matrices
+    const unsigned k_depth = 32;
+
+    KernelBuilder b("mm", 16);
+    auto a_buf = b.argBuffer("a"); // dim x k
+    auto b_buf = b.argBuffer("b"); // k x dim
+    auto c_buf = b.argBuffer("c"); // dim x dim
+    auto dim_arg = b.argU("dim");
+
+    // Work item -> (row, col) of C.
+    auto row = b.tmp(DataType::UD);
+    auto col = b.tmp(DataType::UD);
+    b.div(row, b.globalId(), dim_arg);
+    auto tmp = b.tmp(DataType::UD);
+    b.mul(tmp, row, dim_arg);
+    b.sub(col, b.globalId(), tmp);
+
+    auto acc = b.tmp(DataType::F);
+    auto k = b.tmp(DataType::D);
+    auto a_addr = b.tmp(DataType::UD);
+    auto b_addr = b.tmp(DataType::UD);
+    auto a_val = b.tmp(DataType::F);
+    auto b_val = b.tmp(DataType::F);
+    auto a_row_base = b.tmp(DataType::UD);
+    b.mov(acc, b.f(0.0f));
+    b.mov(k, b.d(0));
+    b.mul(a_row_base, row, b.ud(k_depth * 4));
+    b.add(a_row_base, a_row_base, a_buf);
+
+    b.loop_();
+    b.mad(a_addr, k, b.ud(4), a_row_base);
+    b.gatherLoad(a_val, a_addr, DataType::F);
+    // b[k*dim + col]
+    b.mul(b_addr, k, b.ud(1)); // copy k as UD
+    b.mul(b_addr, b_addr, dim_arg);
+    b.add(b_addr, b_addr, col);
+    b.mad(b_addr, b_addr, b.ud(4), b_buf);
+    b.gatherLoad(b_val, b_addr, DataType::F);
+    b.mad(acc, a_val, b_val, acc);
+    b.add(k, k, b.d(1));
+    b.cmp(CondMod::Lt, 1, k, b.d(k_depth));
+    b.endLoop(1);
+
+    storeGlobal(b, c_buf, b.globalId(), acc, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "mm";
+    w.description = "matrix multiplication";
+    w.expectDivergent = false;
+    w.globalSize = static_cast<std::uint64_t>(dim) * dim;
+    w.localSize = 64;
+
+    const auto host_a = randomFloats(dim * k_depth, 41);
+    const auto host_b = randomFloats(k_depth * dim, 42);
+    const Addr dev_a = dev.uploadVector(host_a);
+    const Addr dev_b = dev.uploadVector(host_b);
+    const Addr dev_c =
+        dev.allocBuffer(static_cast<std::uint64_t>(dim) * dim *
+                        sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_a), gpu::Arg::buffer(dev_b),
+              gpu::Arg::buffer(dev_c), gpu::Arg::u32(dim)};
+
+    w.check = [dev_c, host_a, host_b, dim, k_depth](gpu::Device &d) {
+        std::vector<float> expected(
+            static_cast<std::size_t>(dim) * dim);
+        for (unsigned r = 0; r < dim; ++r) {
+            for (unsigned c = 0; c < dim; ++c) {
+                double acc = 0;
+                for (unsigned k = 0; k < k_depth; ++k)
+                    acc = static_cast<float>(
+                        double(host_a[r * k_depth + k]) *
+                            double(host_b[k * dim + c]) + acc);
+                expected[r * dim + c] = static_cast<float>(acc);
+            }
+        }
+        return checkFloatBuffer(d, dev_c, expected, "mm", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeTranspose(gpu::Device &dev, unsigned scale)
+{
+    const unsigned dim = 64 * std::min(scale, 4u);
+
+    KernelBuilder b("transpose", 16);
+    auto in_buf = b.argBuffer("in");
+    auto out_buf = b.argBuffer("out");
+    auto dim_arg = b.argU("dim");
+
+    auto row = b.tmp(DataType::UD);
+    auto col = b.tmp(DataType::UD);
+    auto tmp = b.tmp(DataType::UD);
+    b.div(row, b.globalId(), dim_arg);
+    b.mul(tmp, row, dim_arg);
+    b.sub(col, b.globalId(), tmp);
+
+    auto v = loadGlobal(b, in_buf, b.globalId(), DataType::F);
+    auto out_idx = b.tmp(DataType::UD);
+    b.mad(out_idx, col, dim_arg, row);
+    storeGlobal(b, out_buf, out_idx, v, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "trans";
+    w.description = "matrix transpose (column-strided stores)";
+    w.expectDivergent = false;
+    w.globalSize = static_cast<std::uint64_t>(dim) * dim;
+    w.localSize = 64;
+
+    const auto host_in =
+        randomFloats(static_cast<std::uint64_t>(dim) * dim, 51);
+    const Addr dev_in = dev.uploadVector(host_in);
+    const Addr dev_out = dev.allocBuffer(
+        static_cast<std::uint64_t>(dim) * dim * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_in), gpu::Arg::buffer(dev_out),
+              gpu::Arg::u32(dim)};
+
+    w.check = [dev_out, host_in, dim](gpu::Device &d) {
+        std::vector<float> expected(
+            static_cast<std::size_t>(dim) * dim);
+        for (unsigned r = 0; r < dim; ++r)
+            for (unsigned c = 0; c < dim; ++c)
+                expected[c * dim + r] = host_in[r * dim + c];
+        return checkFloatBuffer(d, dev_out, expected, "transpose");
+    };
+    return w;
+}
+
+Workload
+makeDct8(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t blocks = 1024ull * scale;
+    constexpr double kPi = 3.14159265358979323846;
+
+    KernelBuilder b("dct8", 16);
+    auto in_buf = b.argBuffer("in");
+    auto out_buf = b.argBuffer("out");
+
+    // Each work item computes coefficient (gid % 8) of block (gid / 8)
+    // over 8 samples, using the EM pipe's cosine.
+    auto block = b.tmp(DataType::UD);
+    auto coeff = b.tmp(DataType::UD);
+    auto tmp = b.tmp(DataType::UD);
+    b.shr(block, b.globalId(), b.ud(3));
+    b.shl(tmp, block, b.ud(3));
+    b.sub(coeff, b.globalId(), tmp);
+
+    auto coeff_f = b.tmp(DataType::F);
+    b.mov(coeff_f, coeff);
+
+    auto acc = b.tmp(DataType::F);
+    auto nidx = b.tmp(DataType::D);
+    auto nf = b.tmp(DataType::F);
+    auto angle = b.tmp(DataType::F);
+    auto cosv = b.tmp(DataType::F);
+    auto addr = b.tmp(DataType::UD);
+    auto sample = b.tmp(DataType::F);
+    auto base = b.tmp(DataType::UD);
+    b.mov(acc, b.f(0.0f));
+    b.mov(nidx, b.d(0));
+    b.mul(base, block, b.ud(8 * 4));
+    b.add(base, base, in_buf);
+
+    b.loop_();
+    b.mad(addr, nidx, b.ud(4), base);
+    b.gatherLoad(sample, addr, DataType::F);
+    b.mov(nf, nidx);
+    // angle = (2n + 1) * k * pi / 16
+    b.mad(nf, nf, b.f(2.0f), b.f(1.0f));
+    b.mul(angle, nf, coeff_f);
+    b.mul(angle, angle, b.f(static_cast<float>(kPi / 16.0)));
+    b.cos(cosv, angle);
+    b.mad(acc, sample, cosv, acc);
+    b.add(nidx, nidx, b.d(1));
+    b.cmp(CondMod::Lt, 1, nidx, b.d(8));
+    b.endLoop(1);
+
+    b.mul(acc, acc, b.f(0.5f));
+    storeGlobal(b, out_buf, b.globalId(), acc, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "dct8";
+    w.description = "8-point DCT per block";
+    w.expectDivergent = false;
+    w.globalSize = blocks * 8;
+    w.localSize = 64;
+
+    const auto host_in = randomFloats(blocks * 8, 61);
+    const Addr dev_in = dev.uploadVector(host_in);
+    const Addr dev_out = dev.allocBuffer(blocks * 8 * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_in), gpu::Arg::buffer(dev_out)};
+
+    w.check = [dev_out, host_in, blocks](gpu::Device &d) {
+        std::vector<float> expected(blocks * 8);
+        for (std::uint64_t blk = 0; blk < blocks; ++blk) {
+            for (unsigned k = 0; k < 8; ++k) {
+                double acc = 0;
+                for (unsigned n = 0; n < 8; ++n) {
+                    const double nf = static_cast<float>(
+                        double(n) * double(2.0f) + double(1.0f));
+                    double angle =
+                        static_cast<float>(nf * double(float(k)));
+                    angle = static_cast<float>(
+                        angle *
+                        double(static_cast<float>(kPi / 16.0)));
+                    const double c =
+                        static_cast<float>(std::cos(angle));
+                    acc = static_cast<float>(
+                        double(host_in[blk * 8 + n]) * c + acc);
+                }
+                expected[blk * 8 + k] =
+                    static_cast<float>(acc * double(0.5f));
+            }
+        }
+        return checkFloatBuffer(d, dev_out, expected, "dct8", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeScanLargeArray(gpu::Device &dev, unsigned scale)
+{
+    const unsigned local = 64;
+    const std::uint64_t n = 4096ull * scale;
+
+    KernelBuilder b("scla", 16);
+    auto in_buf = b.argBuffer("in");
+    auto out_buf = b.argBuffer("out");
+    b.requireSlm(local * sizeof(std::int32_t));
+
+    // Hillis-Steele inclusive scan within each workgroup.
+    auto slm_addr = b.tmp(DataType::UD);
+    b.mul(slm_addr, b.localId(), b.ud(4));
+    auto v = loadGlobal(b, in_buf, b.globalId(), DataType::D);
+    b.slmStore(slm_addr, v, DataType::D);
+    b.barrier();
+
+    auto offset = b.tmp(DataType::UD);
+    auto other = b.tmp(DataType::D);
+    auto mine = b.tmp(DataType::D);
+    auto other_addr = b.tmp(DataType::UD);
+    auto other_idx = b.tmp(DataType::D);
+    b.mov(offset, b.ud(1));
+
+    b.loop_();
+    // Lanes with lid >= offset add the value offset slots back.
+    b.cmp(CondMod::Ge, 0, b.localId(), offset);
+    b.if_(0);
+    b.slmLoad(mine, slm_addr, DataType::D);
+    b.sub(other_idx, b.localId(), offset);
+    b.mad(other_addr, other_idx, b.ud(4), b.ud(0));
+    b.slmLoad(other, other_addr, DataType::D);
+    b.add(mine, mine, other);
+    b.endif_();
+    b.barrier();
+    b.if_(0);
+    b.slmStore(slm_addr, mine, DataType::D);
+    b.endif_();
+    b.barrier();
+    b.shl(offset, offset, b.ud(1));
+    b.cmp(CondMod::Lt, 1, offset, b.ud(local));
+    b.endLoop(1);
+
+    auto result = b.tmp(DataType::D);
+    b.slmLoad(result, slm_addr, DataType::D);
+    storeGlobal(b, out_buf, b.globalId(), result, DataType::D);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "scla";
+    w.description = "workgroup inclusive scan (Hillis-Steele)";
+    w.expectDivergent = true; // half-masked steps at small offsets
+    w.globalSize = n;
+    w.localSize = local;
+
+    Rng rng(71);
+    std::vector<std::int32_t> host_in(n);
+    for (auto &x : host_in)
+        x = static_cast<std::int32_t>(rng.below(100));
+    const Addr dev_in = dev.uploadVector(host_in);
+    const Addr dev_out = dev.allocBuffer(n * sizeof(std::int32_t));
+    w.args = {gpu::Arg::buffer(dev_in), gpu::Arg::buffer(dev_out)};
+
+    w.check = [dev_out, host_in, n, local](gpu::Device &d) {
+        std::vector<std::int32_t> expected(n);
+        for (std::uint64_t base = 0; base < n; base += local) {
+            std::int32_t acc = 0;
+            for (unsigned i = 0; i < local; ++i) {
+                acc += host_in[base + i];
+                expected[base + i] = acc;
+            }
+        }
+        return checkIntBuffer(d, dev_out, expected, "scla");
+    };
+    return w;
+}
+
+} // namespace iwc::workloads

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Divergence micro-benchmarks mirroring the paper's Section 5.2
+ * study: balanced if/else blocks with controlled lane patterns
+ * (Figure 8), nested branches (Table 2), and per-lane loop-trip
+ * divergence.
+ */
+
+#include <functional>
+
+#include "common/logging.hh"
+#include "workloads/registry.hh"
+
+namespace iwc::workloads
+{
+
+using isa::CondMod;
+using isa::DataType;
+using isa::KernelBuilder;
+
+namespace
+{
+
+constexpr unsigned kIfElseIters = 12;
+constexpr unsigned kFlopsPerBlock = 8;
+
+/** Host mirror of one if/else iteration (interpreter arithmetic). */
+double
+ifElseBlock(double x, bool taken)
+{
+    for (unsigned f = 0; f < kFlopsPerBlock; ++f) {
+        x = taken
+            ? static_cast<float>(x * double(1.0001f) + double(0.5f))
+            : static_cast<float>(x * double(0.9999f) + double(0.25f));
+    }
+    return x;
+}
+
+} // namespace
+
+Workload
+makeMicroIfElseTyped(gpu::Device &dev, unsigned scale,
+                     std::uint32_t pattern, DataType type)
+{
+    const std::uint64_t n = 2048ull * scale;
+    const unsigned local = 64;
+
+    KernelBuilder b(std::string("micro_ifelse_") + isa::dataTypeName(type),
+                    16);
+    auto out = b.argBuffer("out");
+    auto pat = b.argU("pattern");
+    auto iters = b.argI("iters");
+
+    auto lane = b.tmp(DataType::UD);
+    b.and_(lane, b.localId(), b.ud(15));
+    auto bit = b.tmp(DataType::UD);
+    b.shr(bit, pat, lane);
+    b.and_(bit, bit, b.ud(1));
+    b.cmp(CondMod::Ne, 0, bit, b.ud(0));
+
+    const bool int_domain = !isa::isFloatType(type);
+    const bool word = type == DataType::W || type == DataType::UW;
+    // Word-typed kernels must keep every operand 16 bits wide so the
+    // instruction really executes as a 2-cycle SIMD16 word op.
+    auto imm_i = [&](std::int16_t v) {
+        return word ? b.w(v) : b.d(v);
+    };
+    auto x = b.tmp(type);
+    auto i = b.tmp(DataType::D);
+    if (int_domain)
+        b.mov(x, imm_i(1));
+    else
+        b.mov(x, b.f(1.0f));
+    b.mov(i, b.d(0));
+
+    b.loop_();
+    b.if_(0);
+    for (unsigned f = 0; f < kFlopsPerBlock; ++f) {
+        if (int_domain)
+            b.add(x, x, imm_i(3));
+        else
+            b.mad(x, x, b.f(1.0001f), b.f(0.5f));
+    }
+    b.else_();
+    for (unsigned f = 0; f < kFlopsPerBlock; ++f) {
+        if (int_domain)
+            b.add(x, x, imm_i(1));
+        else
+            b.mad(x, x, b.f(0.9999f), b.f(0.25f));
+    }
+    b.endif_();
+    b.add(i, i, b.d(1));
+    b.cmp(CondMod::Lt, 1, i, iters);
+    b.endLoop(1);
+
+    // Results are stored as 32-bit floats regardless of compute type.
+    auto xf = b.tmp(DataType::F);
+    b.mov(xf, x);
+    storeGlobal(b, out, b.globalId(), xf, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = w.kernel.name();
+    w.description = "balanced if/else with a fixed lane pattern";
+    w.expectDivergent = pattern != 0xffff && pattern != 0;
+    w.globalSize = n;
+    w.localSize = local;
+
+    const Addr out_buf = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(out_buf), gpu::Arg::u32(pattern),
+              gpu::Arg::i32(static_cast<std::int32_t>(kIfElseIters))};
+
+    const bool wide = type == DataType::DF;
+    w.check = [out_buf, n, pattern, wide, int_domain](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (std::uint64_t wi = 0; wi < n; ++wi) {
+            const unsigned lane = wi % 16;
+            const bool taken = (pattern >> lane) & 1;
+            if (int_domain) {
+                const int x = 1 +
+                    static_cast<int>(kIfElseIters * kFlopsPerBlock) *
+                        (taken ? 3 : 1);
+                expected[wi] = static_cast<float>(x);
+                continue;
+            }
+            double x = 1.0;
+            for (unsigned it = 0; it < kIfElseIters; ++it) {
+                if (wide) {
+                    // DF compute keeps full double precision per op.
+                    for (unsigned f = 0; f < kFlopsPerBlock; ++f) {
+                        x = taken ? x * double(1.0001f) + double(0.5f)
+                                  : x * double(0.9999f) + double(0.25f);
+                    }
+                } else {
+                    x = ifElseBlock(x, taken);
+                }
+            }
+            expected[wi] = static_cast<float>(x);
+        }
+        return checkFloatBuffer(d, out_buf, expected, "micro_ifelse",
+                                1e-3);
+    };
+    return w;
+}
+
+Workload
+makeMicroIfElsePattern(gpu::Device &dev, unsigned scale,
+                       std::uint32_t pattern)
+{
+    Workload w = makeMicroIfElseTyped(dev, scale, pattern, DataType::F);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "micro_ifelse_%04x", pattern);
+    w.name = buf;
+    return w;
+}
+
+Workload
+makeMicroIfElse(gpu::Device &dev, unsigned scale)
+{
+    return makeMicroIfElsePattern(dev, scale, 0xf0f0);
+}
+
+Workload
+makeMicroNestedDepth(gpu::Device &dev, unsigned scale, unsigned depth)
+{
+    fatal_if(depth < 1 || depth > 4, "nested micro depth must be 1..4");
+    const std::uint64_t n = 2048ull * scale;
+    const unsigned local = 64;
+    constexpr unsigned kIters = 8;
+    constexpr unsigned kLeafFlops = 6;
+
+    KernelBuilder b("micro_nested_l" + std::to_string(depth), 16);
+    auto out = b.argBuffer("out");
+    auto iters = b.argI("iters");
+
+    auto lane = b.tmp(DataType::UD);
+    b.and_(lane, b.localId(), b.ud(15));
+    auto t = b.tmp(DataType::UD);
+    auto x = b.tmp(DataType::F);
+    auto i = b.tmp(DataType::D);
+    b.mov(x, b.f(1.0f));
+    b.mov(i, b.d(0));
+
+    // Emit a full binary tree of nested if/else on lane bits; each
+    // leaf multiplies by a path-specific constant (Table 2 patterns).
+    std::function<void(unsigned, unsigned)> emit = [&](unsigned level,
+                                                       unsigned path) {
+        if (level == depth) {
+            const float c = 1.0f + 0.001f * static_cast<float>(path + 1);
+            for (unsigned f = 0; f < kLeafFlops; ++f)
+                b.mad(x, x, b.f(c), b.f(0.125f));
+            return;
+        }
+        b.and_(t, lane, b.ud(1u << level));
+        b.cmp(CondMod::Ne, 0, t, b.ud(0));
+        b.if_(0);
+        emit(level + 1, path * 2 + 1);
+        b.else_();
+        emit(level + 1, path * 2);
+        b.endif_();
+    };
+
+    b.loop_();
+    emit(0, 0);
+    b.add(i, i, b.d(1));
+    b.cmp(CondMod::Lt, 1, i, iters);
+    b.endLoop(1);
+
+    storeGlobal(b, out, b.globalId(), x, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = w.kernel.name();
+    w.description = "nested divergent branches, depth " +
+        std::to_string(depth);
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = local;
+
+    const Addr out_buf = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(out_buf),
+              gpu::Arg::i32(static_cast<std::int32_t>(kIters))};
+
+    w.check = [out_buf, n, depth](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (std::uint64_t wi = 0; wi < n; ++wi) {
+            const unsigned lane = wi % 16;
+            unsigned path = 0;
+            for (unsigned level = 0; level < depth; ++level)
+                path = path * 2 + ((lane >> level) & 1);
+            const float c =
+                1.0f + 0.001f * static_cast<float>(path + 1);
+            double x = 1.0;
+            for (unsigned it = 0; it < kIters; ++it)
+                for (unsigned f = 0; f < kLeafFlops; ++f)
+                    x = static_cast<float>(x * double(c) +
+                                           double(0.125f));
+            expected[wi] = static_cast<float>(x);
+        }
+        return checkFloatBuffer(d, out_buf, expected, "micro_nested",
+                                1e-3);
+    };
+    return w;
+}
+
+Workload
+makeMicroNested(gpu::Device &dev, unsigned scale)
+{
+    return makeMicroNestedDepth(dev, scale, 2);
+}
+
+Workload
+makeMicroLoopTrip(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 2048ull * scale;
+    const unsigned local = 64;
+
+    KernelBuilder b("micro_looptrip", 16);
+    auto out = b.argBuffer("out");
+
+    auto lane = b.tmp(DataType::UD);
+    b.and_(lane, b.localId(), b.ud(15));
+    auto trips = b.tmp(DataType::D);
+    b.add(trips, lane, b.ud(1)); // 1..16 iterations per lane
+
+    auto x = b.tmp(DataType::F);
+    auto i = b.tmp(DataType::D);
+    b.mov(x, b.f(0.0f));
+    b.mov(i, b.d(0));
+
+    b.loop_();
+    b.cmp(CondMod::Ge, 0, i, trips);
+    b.breakIf(0);
+    b.mad(x, x, b.f(1.5f), b.f(1.0f));
+    b.add(i, i, b.d(1));
+    b.cmp(CondMod::Lt, 1, i, b.d(64));
+    b.endLoop(1);
+
+    storeGlobal(b, out, b.globalId(), x, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "micro_looptrip";
+    w.description = "per-lane loop trip counts 1..16";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = local;
+
+    const Addr out_buf = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(out_buf)};
+
+    w.check = [out_buf, n](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (std::uint64_t wi = 0; wi < n; ++wi) {
+            const unsigned trips = (wi % 16) + 1;
+            double x = 0.0;
+            for (unsigned it = 0; it < trips; ++it)
+                x = static_cast<float>(x * double(1.5f) + double(1.0f));
+            expected[wi] = static_cast<float>(x);
+        }
+        return checkFloatBuffer(d, out_buf, expected, "micro_looptrip",
+                                1e-3);
+    };
+    return w;
+}
+
+} // namespace iwc::workloads

@@ -1,0 +1,632 @@
+/**
+ * @file
+ * Ray-tracing workloads: primary-ray and ambient-occlusion kernels
+ * over procedural sphere scenes, standing in for the paper's in-house
+ * ray tracer and its conference/alien/bulldozer/windmill scenes
+ * (Figure 11). AO kernels exist in SIMD8 and SIMD16 builds, matching
+ * the paper's RT-AO-*8 / RT-AO-*16 variants.
+ *
+ * The host-side reference mirrors the kernel operation-for-operation
+ * (every mul/mad rounds to float exactly as the EU does), so branches
+ * resolve identically and results compare exactly.
+ */
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+
+namespace iwc::workloads
+{
+
+using isa::CondMod;
+using isa::DataType;
+using isa::KernelBuilder;
+
+namespace
+{
+
+constexpr unsigned kImageDim = 48;
+constexpr unsigned kAoRays = 6;
+constexpr unsigned kAoSteps = 1; ///< sphere-walk stride per AO ray
+
+/** Float ops mirroring the interpreter's round-to-float behaviour. */
+float
+mulf(float a, float b)
+{
+    return static_cast<float>(double(a) * double(b));
+}
+
+float
+madf(float a, float b, float c)
+{
+    return static_cast<float>(double(a) * double(b) + double(c));
+}
+
+float
+addf(float a, float b)
+{
+    return static_cast<float>(double(a) + double(b));
+}
+
+float
+subf(float a, float b)
+{
+    return static_cast<float>(double(a) - double(b));
+}
+
+float
+sqrtf_(float a)
+{
+    return static_cast<float>(std::sqrt(double(a)));
+}
+
+float
+invf(float a)
+{
+    return static_cast<float>(1.0 / double(a));
+}
+
+struct Scene
+{
+    unsigned numSpheres;
+    std::vector<float> data; ///< cx, cy, cz, r per sphere
+};
+
+/** Procedural scenes with distinct density/coherence signatures. */
+Scene
+makeScene(const std::string &name)
+{
+    Scene scene;
+    if (name == "alien") {
+        // Clustered around the view axis: high, coherent hit rates.
+        scene.numSpheres = 24;
+        Rng rng(301);
+        for (unsigned s = 0; s < scene.numSpheres; ++s) {
+            scene.data.push_back(-0.8f + 1.6f * rng.nextFloat());
+            scene.data.push_back(-0.8f + 1.6f * rng.nextFloat());
+            scene.data.push_back(2.0f + 2.0f * rng.nextFloat());
+            scene.data.push_back(0.15f + 0.25f * rng.nextFloat());
+        }
+    } else if (name == "bulldozer") {
+        // A broad horizontal band: stripes of hits and misses.
+        scene.numSpheres = 32;
+        Rng rng(302);
+        for (unsigned s = 0; s < scene.numSpheres; ++s) {
+            scene.data.push_back(-2.0f + 4.0f * rng.nextFloat());
+            scene.data.push_back(-0.3f + 0.6f * rng.nextFloat());
+            scene.data.push_back(1.5f + 3.0f * rng.nextFloat());
+            scene.data.push_back(0.1f + 0.2f * rng.nextFloat());
+        }
+    } else if (name == "windmill") {
+        // Sparse, spread out: mostly misses with incoherent hits.
+        scene.numSpheres = 16;
+        Rng rng(303);
+        for (unsigned s = 0; s < scene.numSpheres; ++s) {
+            scene.data.push_back(-2.5f + 5.0f * rng.nextFloat());
+            scene.data.push_back(-2.5f + 5.0f * rng.nextFloat());
+            scene.data.push_back(1.0f + 4.0f * rng.nextFloat());
+            scene.data.push_back(0.1f + 0.15f * rng.nextFloat());
+        }
+    } else {
+        fatal("unknown ray tracing scene '%s'", name.c_str());
+    }
+    return scene;
+}
+
+/** Any-hit threshold: rays stop traversing once a hit is this close
+ *  (per-lane early exit -> the traversal loop itself diverges, as a
+ *  real acceleration-structure walk would). */
+constexpr float kCloseEnough = 2.5f;
+
+/** Host mirror of the primary-ray traversal. Returns (tbest, hit). */
+std::pair<float, int>
+hostTrace(const Scene &scene, float dx, float dy)
+{
+    float tbest = 1e30f;
+    int hit = -1;
+    for (unsigned s = 0; s < scene.numSpheres; ++s) {
+        const float cx = scene.data[s * 4];
+        const float cy = scene.data[s * 4 + 1];
+        const float cz = scene.data[s * 4 + 2];
+        const float r = scene.data[s * 4 + 3];
+        float bq = mulf(dx, cx);
+        bq = madf(dy, cy, bq);
+        bq = madf(1.0f, cz, bq);
+        float aq = mulf(dx, dx);
+        aq = madf(dy, dy, aq);
+        aq = addf(aq, 1.0f);
+        float cc = mulf(cx, cx);
+        cc = madf(cy, cy, cc);
+        cc = madf(cz, cz, cc);
+        float cq = subf(cc, mulf(r, r));
+        const float disc = subf(mulf(bq, bq), mulf(aq, cq));
+        if (disc > 0.0f) {
+            const float sq = sqrtf_(disc);
+            const float t = mulf(subf(bq, sq), invf(aq));
+            if (t > 0.001f && t < tbest) {
+                tbest = t;
+                hit = static_cast<int>(s);
+            }
+        }
+        if (tbest < kCloseEnough)
+            break;
+    }
+    return {tbest, hit};
+}
+
+/** Emits the sphere-intersection loop shared by both kernels. */
+struct TraceRegs
+{
+    isa::Reg tbest;
+    isa::Reg hit;
+};
+
+TraceRegs
+emitPrimaryTrace(KernelBuilder &b, const isa::Operand &scene_buf,
+                 unsigned num_spheres, isa::Reg dx, isa::Reg dy)
+{
+    auto tbest = b.tmp(DataType::F);
+    auto hit = b.tmp(DataType::D);
+    auto s = b.tmp(DataType::D);
+    auto addr = b.tmp(DataType::UD);
+    auto cx = b.tmp(DataType::F);
+    auto cy = b.tmp(DataType::F);
+    auto cz = b.tmp(DataType::F);
+    auto r = b.tmp(DataType::F);
+    auto bq = b.tmp(DataType::F);
+    auto aq = b.tmp(DataType::F);
+    auto cc = b.tmp(DataType::F);
+    auto cq = b.tmp(DataType::F);
+    auto disc = b.tmp(DataType::F);
+    auto sq = b.tmp(DataType::F);
+    auto t = b.tmp(DataType::F);
+    auto inv_aq = b.tmp(DataType::F);
+
+    b.mov(tbest, b.f(1e30f));
+    b.mov(hit, b.d(-1));
+    b.mov(s, b.d(0));
+
+    b.loop_();
+    {
+        b.mul(addr, s, b.ud(16));
+        b.add(addr, addr, scene_buf);
+        b.gatherLoad(cx, addr, DataType::F);
+        b.add(addr, addr, b.ud(4));
+        b.gatherLoad(cy, addr, DataType::F);
+        b.add(addr, addr, b.ud(4));
+        b.gatherLoad(cz, addr, DataType::F);
+        b.add(addr, addr, b.ud(4));
+        b.gatherLoad(r, addr, DataType::F);
+
+        b.mul(bq, dx, cx);
+        b.mad(bq, dy, cy, bq);
+        b.mad(bq, b.f(1.0f), cz, bq);
+        b.mul(aq, dx, dx);
+        b.mad(aq, dy, dy, aq);
+        b.add(aq, aq, b.f(1.0f));
+        b.mul(cc, cx, cx);
+        b.mad(cc, cy, cy, cc);
+        b.mad(cc, cz, cz, cc);
+        auto r2 = b.tmp(DataType::F);
+        b.mul(r2, r, r);
+        b.sub(cq, cc, r2);
+        auto aq_cq = b.tmp(DataType::F);
+        b.mul(aq_cq, aq, cq);
+        b.mul(disc, bq, bq);
+        b.sub(disc, disc, aq_cq);
+
+        b.cmp(CondMod::Gt, 0, disc, b.f(0.0f));
+        b.if_(0);
+        {
+            b.sqrt(sq, disc);
+            b.sub(t, bq, sq);
+            b.inv(inv_aq, aq);
+            b.mul(t, t, inv_aq);
+            b.cmp(CondMod::Gt, 0, t, b.f(0.001f));
+            b.if_(0);
+            b.cmp(CondMod::Lt, 0, t, tbest);
+            b.if_(0);
+            b.mov(tbest, t);
+            b.mov(hit, s);
+            b.endif_();
+            b.endif_();
+        }
+        b.endif_();
+
+        // Any-hit early exit: satisfied lanes leave the traversal.
+        b.cmp(CondMod::Gt, 0, tbest, b.f(kCloseEnough));
+        b.breakIf(0, true);
+
+        b.add(s, s, b.d(1));
+        b.cmp(CondMod::Lt, 1, s,
+              b.d(static_cast<std::int32_t>(num_spheres)));
+    }
+    b.endLoop(1);
+    return {tbest, hit};
+}
+
+/** Pixel -> ray direction (matches hostRayDir below). */
+void
+emitRayDir(KernelBuilder &b, const isa::Operand &dim_arg, isa::Reg dx,
+           isa::Reg dy)
+{
+    auto row = b.tmp(DataType::UD);
+    auto col = b.tmp(DataType::UD);
+    auto tmp = b.tmp(DataType::UD);
+    b.div(row, b.globalId(), dim_arg);
+    b.mul(tmp, row, dim_arg);
+    b.sub(col, b.globalId(), tmp);
+
+    auto dim_f = b.tmp(DataType::F);
+    auto inv_dim = b.tmp(DataType::F);
+    b.mov(dim_f, dim_arg);
+    b.inv(inv_dim, dim_f);
+    b.mov(dx, col);
+    b.mul(dx, dx, inv_dim);
+    b.mad(dx, dx, b.f(1.6f), b.f(-0.8f));
+    b.mov(dy, row);
+    b.mul(dy, dy, inv_dim);
+    b.mad(dy, dy, b.f(1.6f), b.f(-0.8f));
+}
+
+std::pair<float, float>
+hostRayDir(unsigned dim, unsigned row, unsigned col)
+{
+    const float inv_dim = invf(static_cast<float>(dim));
+    float dx = mulf(static_cast<float>(col), inv_dim);
+    dx = madf(dx, 1.6f, -0.8f);
+    float dy = mulf(static_cast<float>(row), inv_dim);
+    dy = madf(dy, 1.6f, -0.8f);
+    return {dx, dy};
+}
+
+} // namespace
+
+Workload
+makeRayTracePrimary(gpu::Device &dev, unsigned scale,
+                    const std::string &scene_name)
+{
+    const unsigned dim = kImageDim * std::min(scale, 3u);
+    const std::uint64_t n = static_cast<std::uint64_t>(dim) * dim;
+    const Scene scene = makeScene(scene_name);
+
+    KernelBuilder b("rt_pr_" + scene_name, 16);
+    auto scene_buf = b.argBuffer("scene");
+    auto out_buf = b.argBuffer("out");
+    auto dim_arg = b.argU("dim");
+
+    auto dx = b.tmp(DataType::F);
+    auto dy = b.tmp(DataType::F);
+    emitRayDir(b, dim_arg, dx, dy);
+
+    const TraceRegs trace =
+        emitPrimaryTrace(b, scene_buf, scene.numSpheres, dx, dy);
+
+    // Shade: hits run an iterative tone-map (the expensive divergent
+    // path); misses are flat background.
+    auto color = b.tmp(DataType::F);
+    b.cmp(CondMod::Ge, 0, trace.hit, b.d(0));
+    b.if_(0);
+    {
+        auto denom = b.tmp(DataType::F);
+        b.add(denom, trace.tbest, b.f(1.0f));
+        b.inv(color, denom);
+        auto gloss = b.tmp(DataType::F);
+        b.sqrt(gloss, color);
+        b.mad(color, gloss, b.f(0.3f), color);
+        auto it = b.tmp(DataType::D);
+        b.mov(it, b.d(0));
+        b.loop_();
+        b.mad(color, color, b.f(0.92f), b.f(0.03f));
+        b.sqrt(gloss, color);
+        b.mad(color, gloss, b.f(0.05f), color);
+        b.add(it, it, b.d(1));
+        b.cmp(CondMod::Lt, 1, it, b.d(10));
+        b.endLoop(1);
+    }
+    b.else_();
+    b.mov(color, b.f(0.1f));
+    b.endif_();
+
+    auto addr = b.tmp(DataType::UD);
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, color, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "rt_pr_" + scene_name;
+    w.description = "primary rays over the " + scene_name + " scene";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const Addr dev_scene = dev.uploadVector(scene.data);
+    const Addr dev_out = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_scene), gpu::Arg::buffer(dev_out),
+              gpu::Arg::u32(dim)};
+
+    w.check = [dev_out, scene, dim, n](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (unsigned row = 0; row < dim; ++row) {
+            for (unsigned col = 0; col < dim; ++col) {
+                const auto [dx, dy] = hostRayDir(dim, row, col);
+                const auto [tbest, hit] = hostTrace(scene, dx, dy);
+                float color;
+                if (hit >= 0) {
+                    color = invf(addf(tbest, 1.0f));
+                    float gloss = sqrtf_(color);
+                    color = madf(gloss, 0.3f, color);
+                    for (int it = 0; it < 10; ++it) {
+                        color = madf(color, 0.92f, 0.03f);
+                        gloss = sqrtf_(color);
+                        color = madf(gloss, 0.05f, color);
+                    }
+                } else {
+                    color = 0.1f;
+                }
+                expected[static_cast<std::size_t>(row) * dim + col] =
+                    color;
+            }
+        }
+        return checkFloatBuffer(d, dev_out, expected, "rt_pr", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeRayTraceAo(gpu::Device &dev, unsigned scale,
+               const std::string &scene_name, unsigned simd_width)
+{
+    const unsigned dim = kImageDim * std::min(scale, 3u);
+    const std::uint64_t n = static_cast<std::uint64_t>(dim) * dim;
+    const Scene scene = makeScene(scene_name);
+
+    // Per-ray jitter texture: scattered per-channel gathers make the
+    // AO walk data-cluster hungry, like real RT shading fetches. The
+    // table is sized to live in L3 so bandwidth, not DRAM latency,
+    // is what the walk leans on (the paper's Figure 11 regime).
+    constexpr unsigned kNoiseElems = 8 * 1024;
+    Rng noise_rng(777);
+    std::vector<float> noise(kNoiseElems);
+    for (auto &v : noise)
+        v = 0.8f + 0.4f * noise_rng.nextFloat();
+
+    KernelBuilder b("rt_ao_" + scene_name + std::to_string(simd_width),
+                    simd_width);
+    auto scene_buf = b.argBuffer("scene");
+    auto out_buf = b.argBuffer("out");
+    auto noise_buf = b.argBuffer("noise");
+    auto dim_arg = b.argU("dim");
+
+    auto dx = b.tmp(DataType::F);
+    auto dy = b.tmp(DataType::F);
+    emitRayDir(b, dim_arg, dx, dy);
+
+    const TraceRegs trace =
+        emitPrimaryTrace(b, scene_buf, scene.numSpheres, dx, dy);
+
+    auto occl = b.tmp(DataType::F);
+    b.mov(occl, b.f(0.0f));
+
+    // Ambient occlusion: only hit pixels shoot AO rays (branch), and
+    // each AO ray's sphere walk breaks on the first occluder (loop
+    // divergence with incoherent trip counts).
+    b.cmp(CondMod::Ge, 0, trace.hit, b.d(0));
+    b.if_(0);
+    {
+        auto k = b.tmp(DataType::D);
+        auto h = b.tmp(DataType::UD);
+        auto adx = b.tmp(DataType::F);
+        auto ady = b.tmp(DataType::F);
+        auto s = b.tmp(DataType::D);
+        auto addr = b.tmp(DataType::UD);
+        auto cx = b.tmp(DataType::F);
+        auto cy = b.tmp(DataType::F);
+        auto r = b.tmp(DataType::F);
+        auto ddx = b.tmp(DataType::F);
+        auto ddy = b.tmp(DataType::F);
+        auto d2 = b.tmp(DataType::F);
+        auto r2 = b.tmp(DataType::F);
+        auto blocked = b.tmp(DataType::F);
+        b.mov(k, b.d(0));
+
+        b.loop_();
+        {
+            // Pseudo-random AO direction from (gid, k).
+            b.mul(h, b.globalId(), b.ud(2654435761u));
+            auto kh = b.tmp(DataType::UD);
+            b.mul(kh, k, b.ud(40503u));
+            b.add(h, h, kh);
+            auto hx = b.tmp(DataType::UD);
+            b.and_(hx, h, b.ud(0xff));
+            b.mov(adx, hx);
+            b.mad(adx, adx, b.f(1.0f / 128.0f), b.f(-1.0f));
+            b.shr(hx, h, b.ud(8));
+            b.and_(hx, hx, b.ud(0xff));
+            b.mov(ady, hx);
+            b.mad(ady, ady, b.f(1.0f / 128.0f), b.f(-1.0f));
+
+            b.mov(blocked, b.f(0.0f));
+            b.mov(s, b.d(0));
+            b.loop_();
+            {
+                // Cheap occlusion proxy: the AO direction points into
+                // sphere s's lateral disc.
+                b.mul(addr, s, b.ud(16));
+                b.add(addr, addr, scene_buf);
+                b.gatherLoad(cx, addr, DataType::F);
+                b.add(addr, addr, b.ud(4));
+                b.gatherLoad(cy, addr, DataType::F);
+                b.add(addr, addr, b.ud(8)); // skip cz to the radius
+                b.gatherLoad(r, addr, DataType::F);
+                b.sub(ddx, cx, adx);
+                b.sub(ddy, cy, ady);
+                b.mul(d2, ddx, ddx);
+                b.mad(d2, ddy, ddy, d2);
+                b.mul(r2, r, r);
+                b.mul(r2, r2, b.f(4.0f));
+                // Jittered radius from the per-channel noise texture.
+                auto nidx = b.tmp(DataType::UD);
+                auto naddr = b.tmp(DataType::UD);
+                auto jit = b.tmp(DataType::F);
+                b.mul(nidx, s, b.ud(197u));
+                b.add(nidx, nidx, h);
+                b.and_(nidx, nidx, b.ud(kNoiseElems - 1));
+                b.mad(naddr, nidx, b.ud(4), noise_buf);
+                b.gatherLoad(jit, naddr, DataType::F);
+                b.mul(r2, r2, jit);
+                b.cmp(CondMod::Lt, 0, d2, r2);
+                b.if_(0);
+                b.mov(blocked, b.f(1.0f));
+                b.endif_();
+                b.breakIf(0); // first occluder terminates the walk
+                b.add(s, s, b.d(static_cast<std::int32_t>(kAoSteps)));
+                b.cmp(CondMod::Lt, 1, s,
+                      b.d(static_cast<std::int32_t>(
+                          scene.numSpheres)));
+            }
+            b.endLoop(1);
+            b.add(occl, occl, blocked);
+
+            b.add(k, k, b.d(1));
+            b.cmp(CondMod::Lt, 1, k,
+                  b.d(static_cast<std::int32_t>(kAoRays)));
+        }
+        b.endLoop(1);
+    }
+    b.endif_();
+
+    auto color = b.tmp(DataType::F);
+    b.mul(color, occl, b.f(-1.0f / kAoRays));
+    b.add(color, color, b.f(1.0f));
+
+    auto addr2 = b.tmp(DataType::UD);
+    b.mad(addr2, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr2, color, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = w.kernel.name();
+    w.description = "ambient occlusion over the " + scene_name +
+        " scene (SIMD" + std::to_string(simd_width) + ")";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const Addr dev_scene = dev.uploadVector(scene.data);
+    const Addr dev_out = dev.allocBuffer(n * sizeof(float));
+    const Addr dev_noise = dev.uploadVector(noise);
+    w.args = {gpu::Arg::buffer(dev_scene), gpu::Arg::buffer(dev_out),
+              gpu::Arg::buffer(dev_noise), gpu::Arg::u32(dim)};
+
+    w.check = [dev_out, scene, dim, n, noise](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (unsigned row = 0; row < dim; ++row) {
+            for (unsigned col = 0; col < dim; ++col) {
+                const std::uint64_t gid =
+                    static_cast<std::uint64_t>(row) * dim + col;
+                const auto [dx, dy] = hostRayDir(dim, row, col);
+                const auto [tbest, hit] = hostTrace(scene, dx, dy);
+                (void)tbest;
+                float occl = 0.0f;
+                if (hit >= 0) {
+                    for (unsigned k = 0; k < kAoRays; ++k) {
+                        const std::uint32_t h =
+                            static_cast<std::uint32_t>(gid) *
+                                2654435761u +
+                            k * 40503u;
+                        float adx = static_cast<float>(h & 0xff);
+                        adx = madf(adx, 1.0f / 128.0f, -1.0f);
+                        float ady =
+                            static_cast<float>((h >> 8) & 0xff);
+                        ady = madf(ady, 1.0f / 128.0f, -1.0f);
+                        float blocked = 0.0f;
+                        for (unsigned s = 0; s < scene.numSpheres;
+                             s += kAoSteps) {
+                            const float ddx =
+                                subf(scene.data[s * 4], adx);
+                            const float ddy =
+                                subf(scene.data[s * 4 + 1], ady);
+                            float d2 = mulf(ddx, ddx);
+                            d2 = madf(ddy, ddy, d2);
+                            float r2 = mulf(scene.data[s * 4 + 3],
+                                            scene.data[s * 4 + 3]);
+                            r2 = mulf(r2, 4.0f);
+                            const std::uint32_t nidx =
+                                (s * 197u + h) & (8u * 1024u - 1);
+                            r2 = mulf(r2, noise[nidx]);
+                            if (d2 < r2) {
+                                blocked = 1.0f;
+                                break;
+                            }
+                        }
+                        occl = addf(occl, blocked);
+                    }
+                }
+                float color = mulf(occl, -1.0f / kAoRays);
+                color = addf(color, 1.0f);
+                expected[gid] = color;
+            }
+        }
+        return checkFloatBuffer(d, dev_out, expected, "rt_ao", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeRtPrimaryAlien(gpu::Device &dev, unsigned scale)
+{
+    return makeRayTracePrimary(dev, scale, "alien");
+}
+
+Workload
+makeRtPrimaryBulldozer(gpu::Device &dev, unsigned scale)
+{
+    return makeRayTracePrimary(dev, scale, "bulldozer");
+}
+
+Workload
+makeRtPrimaryWindmill(gpu::Device &dev, unsigned scale)
+{
+    return makeRayTracePrimary(dev, scale, "windmill");
+}
+
+Workload
+makeRtAoAlien8(gpu::Device &dev, unsigned scale)
+{
+    return makeRayTraceAo(dev, scale, "alien", 8);
+}
+
+Workload
+makeRtAoBulldozer8(gpu::Device &dev, unsigned scale)
+{
+    return makeRayTraceAo(dev, scale, "bulldozer", 8);
+}
+
+Workload
+makeRtAoWindmill8(gpu::Device &dev, unsigned scale)
+{
+    return makeRayTraceAo(dev, scale, "windmill", 8);
+}
+
+Workload
+makeRtAoAlien16(gpu::Device &dev, unsigned scale)
+{
+    return makeRayTraceAo(dev, scale, "alien", 16);
+}
+
+Workload
+makeRtAoBulldozer16(gpu::Device &dev, unsigned scale)
+{
+    return makeRayTraceAo(dev, scale, "bulldozer", 16);
+}
+
+Workload
+makeRtAoWindmill16(gpu::Device &dev, unsigned scale)
+{
+    return makeRayTraceAo(dev, scale, "windmill", 16);
+}
+
+} // namespace iwc::workloads

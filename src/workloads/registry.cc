@@ -1,0 +1,125 @@
+#include "workloads/registry.hh"
+
+#include "common/logging.hh"
+
+namespace iwc::workloads
+{
+
+const std::vector<Entry> &
+registry()
+{
+    // clang-format off
+    static const std::vector<Entry> entries = {
+        // Micro-benchmarks
+        {"micro_ifelse", "balanced if/else, pattern 0xF0F0", true,
+         makeMicroIfElse},
+        {"micro_nested", "nested divergent branches", true,
+         makeMicroNested},
+        {"micro_looptrip", "per-lane loop trips", true,
+         makeMicroLoopTrip},
+        // Linear algebra
+        {"va", "vector addition", false, makeVectorAdd},
+        {"dp", "dot product (SLM reduction)", true, makeDotProduct},
+        {"mvm", "matrix-vector multiply", false, makeMatVecMul},
+        {"mm", "matrix multiply", false, makeMatMul},
+        {"trans", "matrix transpose", false, makeTranspose},
+        {"dct8", "8-point DCT", false, makeDct8},
+        {"scla", "workgroup scan", true, makeScanLargeArray},
+        // Finance / RNG
+        {"bscholes", "Black-Scholes", false, makeBlackScholes},
+        {"bop", "binomial option pricing", false, makeBinomialOptions},
+        {"mca", "Monte Carlo Asian option", false, makeMonteCarloAsian},
+        {"urng", "uniform RNG", false, makeUrng},
+        // Rodinia-style divergent set
+        {"bfs", "BFS frontier expansion", true, makeBfs},
+        {"hotspot", "thermal stencil", true, makeHotspot},
+        {"lavamd", "particle cutoff interactions", true, makeLavaMd},
+        {"nw", "sequence scoring", true, makeNeedlemanWunsch},
+        {"partfilt", "particle filter resampling", true,
+         makeParticleFilter},
+        {"path", "grid path relaxation", true, makePathFinder},
+        {"kmeans", "k-means assignment", true, makeKmeans},
+        {"srad", "speckle-reducing diffusion", true, makeSrad},
+        // Graph / search
+        {"fw", "Floyd-Warshall step", false, makeFloydWarshall},
+        {"bsearch", "binary search", true, makeBinarySearch},
+        {"treesearch", "BST membership", true, makeTreeSearch},
+        // Image / media
+        {"sobel", "Sobel filter", false, makeSobel},
+        {"boxfilter", "box filter", false, makeBoxFilter},
+        {"dwthaar", "Haar DWT", false, makeDwtHaar},
+        {"mandelbrot", "escape-time fractal", true, makeMandelbrot},
+        // Sorting / transforms / extra
+        {"bsort", "bitonic sort", true, makeBitonicSort},
+        {"fwht", "fast Walsh-Hadamard transform", true, makeFwht},
+        {"gauss", "Gaussian elimination step", false, makeGauss},
+        {"scnv", "simple convolution", false, makeSimpleConvolution},
+        // Ray tracing
+        {"rt_pr_alien", "primary rays, alien scene", true,
+         makeRtPrimaryAlien},
+        {"rt_pr_bulldozer", "primary rays, bulldozer scene", true,
+         makeRtPrimaryBulldozer},
+        {"rt_pr_windmill", "primary rays, windmill scene", true,
+         makeRtPrimaryWindmill},
+        {"rt_ao_alien8", "AO, alien scene, SIMD8", true,
+         makeRtAoAlien8},
+        {"rt_ao_bulldozer8", "AO, bulldozer scene, SIMD8", true,
+         makeRtAoBulldozer8},
+        {"rt_ao_windmill8", "AO, windmill scene, SIMD8", true,
+         makeRtAoWindmill8},
+        {"rt_ao_alien16", "AO, alien scene, SIMD16", true,
+         makeRtAoAlien16},
+        {"rt_ao_bulldozer16", "AO, bulldozer scene, SIMD16", true,
+         makeRtAoBulldozer16},
+        {"rt_ao_windmill16", "AO, windmill scene, SIMD16", true,
+         makeRtAoWindmill16},
+    };
+    // clang-format on
+    return entries;
+}
+
+const Entry &
+entryByName(const std::string &name)
+{
+    for (const Entry &entry : registry())
+        if (name == entry.name)
+            return entry;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+Workload
+make(const std::string &name, gpu::Device &dev, unsigned scale)
+{
+    return entryByName(name).factory(dev, scale);
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const Entry &entry : registry())
+        names.push_back(entry.name);
+    return names;
+}
+
+std::vector<std::string>
+divergentNames()
+{
+    std::vector<std::string> names;
+    for (const Entry &entry : registry())
+        if (entry.expectDivergent)
+            names.push_back(entry.name);
+    return names;
+}
+
+std::vector<std::string>
+coherentNames()
+{
+    std::vector<std::string> names;
+    for (const Entry &entry : registry())
+        if (!entry.expectDivergent)
+            names.push_back(entry.name);
+    return names;
+}
+
+} // namespace iwc::workloads

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The workload registry: every executable benchmark of the suite
+ * (this library's stand-in for the paper's Table 1), addressable by
+ * name for the bench drivers, tests, and examples.
+ */
+
+#ifndef IWC_WORKLOADS_REGISTRY_HH
+#define IWC_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace iwc::workloads
+{
+
+/** Registry row. */
+struct Entry
+{
+    const char *name;
+    const char *description;
+    bool expectDivergent;
+    Factory factory;
+};
+
+/** All registered workloads. */
+const std::vector<Entry> &registry();
+
+/** Lookup by name (fatal if unknown). */
+const Entry &entryByName(const std::string &name);
+
+/** Instantiates a workload by name. */
+Workload make(const std::string &name, gpu::Device &dev,
+              unsigned scale = 1);
+
+/** Names of all workloads (optionally filtered by divergence class). */
+std::vector<std::string> allNames();
+std::vector<std::string> divergentNames();
+std::vector<std::string> coherentNames();
+
+// --- Factories (defined in the category source files) -------------------
+
+// micro.cc
+Workload makeMicroIfElse(gpu::Device &, unsigned scale);
+Workload makeMicroNested(gpu::Device &, unsigned scale);
+Workload makeMicroLoopTrip(gpu::Device &, unsigned scale);
+/** Parameterized variants for the Fig. 8 / Table 2 sweeps. */
+Workload makeMicroIfElsePattern(gpu::Device &, unsigned scale,
+                                std::uint32_t pattern);
+Workload makeMicroNestedDepth(gpu::Device &, unsigned scale,
+                              unsigned depth);
+/** If/else micro-kernel with a given compute datatype (ablation). */
+Workload makeMicroIfElseTyped(gpu::Device &, unsigned scale,
+                              std::uint32_t pattern, isa::DataType type);
+
+// linear_algebra.cc
+Workload makeVectorAdd(gpu::Device &, unsigned scale);
+Workload makeDotProduct(gpu::Device &, unsigned scale);
+Workload makeMatVecMul(gpu::Device &, unsigned scale);
+Workload makeMatMul(gpu::Device &, unsigned scale);
+Workload makeTranspose(gpu::Device &, unsigned scale);
+Workload makeDct8(gpu::Device &, unsigned scale);
+Workload makeScanLargeArray(gpu::Device &, unsigned scale);
+
+// finance.cc
+Workload makeBlackScholes(gpu::Device &, unsigned scale);
+Workload makeBinomialOptions(gpu::Device &, unsigned scale);
+Workload makeMonteCarloAsian(gpu::Device &, unsigned scale);
+Workload makeUrng(gpu::Device &, unsigned scale);
+
+// rodinia.cc
+Workload makeBfs(gpu::Device &, unsigned scale);
+Workload makeHotspot(gpu::Device &, unsigned scale);
+Workload makeLavaMd(gpu::Device &, unsigned scale);
+Workload makeNeedlemanWunsch(gpu::Device &, unsigned scale);
+Workload makeParticleFilter(gpu::Device &, unsigned scale);
+Workload makePathFinder(gpu::Device &, unsigned scale);
+Workload makeKmeans(gpu::Device &, unsigned scale);
+Workload makeSrad(gpu::Device &, unsigned scale);
+
+// graph.cc
+Workload makeFloydWarshall(gpu::Device &, unsigned scale);
+Workload makeBinarySearch(gpu::Device &, unsigned scale);
+Workload makeTreeSearch(gpu::Device &, unsigned scale);
+
+// image.cc
+Workload makeSobel(gpu::Device &, unsigned scale);
+Workload makeBoxFilter(gpu::Device &, unsigned scale);
+Workload makeDwtHaar(gpu::Device &, unsigned scale);
+Workload makeMandelbrot(gpu::Device &, unsigned scale);
+
+// extra.cc
+Workload makeBitonicSort(gpu::Device &, unsigned scale);
+Workload makeFwht(gpu::Device &, unsigned scale);
+Workload makeGauss(gpu::Device &, unsigned scale);
+Workload makeSimpleConvolution(gpu::Device &, unsigned scale);
+
+// raytrace.cc
+Workload makeRayTracePrimary(gpu::Device &, unsigned scale,
+                             const std::string &scene);
+Workload makeRayTraceAo(gpu::Device &, unsigned scale,
+                        const std::string &scene, unsigned simd_width);
+Workload makeRtPrimaryAlien(gpu::Device &, unsigned scale);
+Workload makeRtPrimaryBulldozer(gpu::Device &, unsigned scale);
+Workload makeRtPrimaryWindmill(gpu::Device &, unsigned scale);
+Workload makeRtAoAlien8(gpu::Device &, unsigned scale);
+Workload makeRtAoBulldozer8(gpu::Device &, unsigned scale);
+Workload makeRtAoWindmill8(gpu::Device &, unsigned scale);
+Workload makeRtAoAlien16(gpu::Device &, unsigned scale);
+Workload makeRtAoBulldozer16(gpu::Device &, unsigned scale);
+Workload makeRtAoWindmill16(gpu::Device &, unsigned scale);
+
+} // namespace iwc::workloads
+
+#endif // IWC_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,1039 @@
+/**
+ * @file
+ * Divergent workloads after the Rodinia suite used by the paper
+ * (Table 1): BFS, HotSpot, LavaMD, Needleman-Wunsch-style sequence
+ * scoring, particle filter, PathFinder, K-means, and SRAD. Each
+ * kernel reproduces the control-flow structure that makes the
+ * original divergent; see DESIGN.md for per-kernel simplifications.
+ */
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+
+namespace iwc::workloads
+{
+
+using isa::CondMod;
+using isa::DataType;
+using isa::KernelBuilder;
+
+namespace
+{
+
+std::vector<float>
+randomFloats(std::uint64_t n, std::uint64_t seed, float lo = -1.0f,
+             float hi = 1.0f)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = lo + (hi - lo) * rng.nextFloat();
+    return v;
+}
+
+} // namespace
+
+Workload
+makeBfs(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t nodes = 4096ull * scale;
+    const unsigned max_degree = 12;
+
+    // Random graph in CSR form with skewed degrees.
+    Rng rng(81);
+    std::vector<std::int32_t> row_offsets(nodes + 1);
+    std::vector<std::int32_t> edges;
+    for (std::uint64_t v = 0; v < nodes; ++v) {
+        row_offsets[v] = static_cast<std::int32_t>(edges.size());
+        const unsigned degree =
+            static_cast<unsigned>(rng.below(max_degree + 1));
+        for (unsigned e = 0; e < degree; ++e)
+            edges.push_back(
+                static_cast<std::int32_t>(rng.below(nodes)));
+    }
+    row_offsets[nodes] = static_cast<std::int32_t>(edges.size());
+
+    // One BFS level: ~25% of nodes in the frontier, all at cost 3.
+    const std::int32_t level = 3;
+    std::vector<std::int32_t> in_frontier(nodes), visited(nodes),
+        cost(nodes, 0);
+    for (std::uint64_t v = 0; v < nodes; ++v) {
+        in_frontier[v] = rng.chance(0.25) ? 1 : 0;
+        visited[v] = in_frontier[v] | (rng.chance(0.3) ? 1 : 0);
+        if (in_frontier[v])
+            cost[v] = level;
+    }
+
+    KernelBuilder b("bfs", 16);
+    auto rows_buf = b.argBuffer("rows");
+    auto edges_buf = b.argBuffer("edges");
+    auto front_buf = b.argBuffer("frontier");
+    auto visited_buf = b.argBuffer("visited");
+    auto out_buf = b.argBuffer("out_frontier");
+    auto cost_buf = b.argBuffer("cost");
+
+    auto addr = b.tmp(DataType::UD);
+    auto in_f = b.tmp(DataType::D);
+    b.mad(addr, b.globalId(), b.ud(4), front_buf);
+    b.gatherLoad(in_f, addr, DataType::D);
+    b.cmp(CondMod::Ne, 0, in_f, b.d(0));
+    b.if_(0);
+    {
+        auto start = b.tmp(DataType::D);
+        auto end = b.tmp(DataType::D);
+        auto gid1 = b.tmp(DataType::UD);
+        b.mad(addr, b.globalId(), b.ud(4), rows_buf);
+        b.gatherLoad(start, addr, DataType::D);
+        b.add(gid1, b.globalId(), b.ud(1));
+        b.mad(addr, gid1, b.ud(4), rows_buf);
+        b.gatherLoad(end, addr, DataType::D);
+
+        auto my_cost = b.tmp(DataType::D);
+        b.mad(addr, b.globalId(), b.ud(4), cost_buf);
+        b.gatherLoad(my_cost, addr, DataType::D);
+        auto next_cost = b.tmp(DataType::D);
+        b.add(next_cost, my_cost, b.d(1));
+
+        auto i = b.tmp(DataType::D);
+        auto nb = b.tmp(DataType::D);
+        auto vis = b.tmp(DataType::D);
+        auto one = b.tmp(DataType::D);
+        b.mov(i, start);
+        b.mov(one, b.d(1));
+
+        b.cmp(CondMod::Lt, 1, i, end);
+        b.if_(1);
+        b.loop_();
+        {
+            b.mad(addr, i, b.ud(4), edges_buf);
+            b.gatherLoad(nb, addr, DataType::D);
+            b.mad(addr, nb, b.ud(4), visited_buf);
+            b.gatherLoad(vis, addr, DataType::D);
+            b.cmp(CondMod::Eq, 1, vis, b.d(0));
+            b.if_(1);
+            b.mad(addr, nb, b.ud(4), out_buf);
+            b.scatterStore(addr, one, DataType::D);
+            b.mad(addr, nb, b.ud(4), cost_buf);
+            b.scatterStore(addr, next_cost, DataType::D);
+            b.endif_();
+            b.add(i, i, b.d(1));
+            b.cmp(CondMod::Lt, 1, i, end);
+        }
+        b.endLoop(1);
+        b.endif_();
+    }
+    b.endif_();
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "bfs";
+    w.description = "one BFS frontier expansion over a CSR graph";
+    w.expectDivergent = true;
+    w.globalSize = nodes;
+    w.localSize = 64;
+
+    const Addr dev_rows = dev.uploadVector(row_offsets);
+    const Addr dev_edges = dev.uploadVector(edges);
+    const Addr dev_front = dev.uploadVector(in_frontier);
+    const Addr dev_visited = dev.uploadVector(visited);
+    std::vector<std::int32_t> zero(nodes, 0);
+    const Addr dev_out = dev.uploadVector(zero);
+    const Addr dev_cost = dev.uploadVector(cost);
+    w.args = {gpu::Arg::buffer(dev_rows), gpu::Arg::buffer(dev_edges),
+              gpu::Arg::buffer(dev_front), gpu::Arg::buffer(dev_visited),
+              gpu::Arg::buffer(dev_out), gpu::Arg::buffer(dev_cost)};
+
+    w.check = [=](gpu::Device &d) {
+        std::vector<std::int32_t> exp_out(nodes, 0);
+        std::vector<std::int32_t> exp_cost = cost;
+        for (std::uint64_t v = 0; v < nodes; ++v) {
+            if (!in_frontier[v])
+                continue;
+            for (std::int32_t e = row_offsets[v];
+                 e < row_offsets[v + 1]; ++e) {
+                const std::int32_t nb = edges[e];
+                if (!visited[nb]) {
+                    exp_out[nb] = 1;
+                    exp_cost[nb] = level + 1;
+                }
+            }
+        }
+        return checkIntBuffer(d, dev_out, exp_out, "bfs.out") &&
+            checkIntBuffer(d, dev_cost, exp_cost, "bfs.cost");
+    };
+    return w;
+}
+
+Workload
+makeHotspot(gpu::Device &dev, unsigned scale)
+{
+    const unsigned dim = 64 * std::min(scale, 4u);
+    const std::uint64_t n = static_cast<std::uint64_t>(dim) * dim;
+    const float k_coef = 0.1f;
+    const float step = 0.5f;
+
+    KernelBuilder b("hotspot", 16);
+    auto temp_buf = b.argBuffer("temp");
+    auto power_buf = b.argBuffer("power");
+    auto out_buf = b.argBuffer("out");
+    auto dim_arg = b.argU("dim");
+
+    auto row = b.tmp(DataType::UD);
+    auto col = b.tmp(DataType::UD);
+    auto tmp = b.tmp(DataType::UD);
+    b.div(row, b.globalId(), dim_arg);
+    b.mul(tmp, row, dim_arg);
+    b.sub(col, b.globalId(), tmp);
+
+    auto addr = b.tmp(DataType::UD);
+    auto t = b.tmp(DataType::F);
+    b.mad(addr, b.globalId(), b.ud(4), temp_buf);
+    b.gatherLoad(t, addr, DataType::F);
+
+    auto nsum = b.tmp(DataType::F);
+    auto nv = b.tmp(DataType::F);
+    auto idx = b.tmp(DataType::UD);
+    auto dim_m1 = b.tmp(DataType::UD);
+    b.sub(dim_m1, dim_arg, b.ud(1));
+    b.mov(nsum, b.f(0.0f));
+
+    // North neighbor (clamped at the top edge).
+    b.cmp(CondMod::Gt, 0, row, b.ud(0));
+    b.if_(0);
+    b.sub(idx, b.globalId(), dim_arg);
+    b.mad(addr, idx, b.ud(4), temp_buf);
+    b.gatherLoad(nv, addr, DataType::F);
+    b.else_();
+    b.mov(nv, t);
+    b.endif_();
+    b.add(nsum, nsum, nv);
+
+    // South neighbor.
+    b.cmp(CondMod::Lt, 0, row, dim_m1);
+    b.if_(0);
+    b.add(idx, b.globalId(), dim_arg);
+    b.mad(addr, idx, b.ud(4), temp_buf);
+    b.gatherLoad(nv, addr, DataType::F);
+    b.else_();
+    b.mov(nv, t);
+    b.endif_();
+    b.add(nsum, nsum, nv);
+
+    // West neighbor.
+    b.cmp(CondMod::Gt, 0, col, b.ud(0));
+    b.if_(0);
+    b.sub(idx, b.globalId(), b.ud(1));
+    b.mad(addr, idx, b.ud(4), temp_buf);
+    b.gatherLoad(nv, addr, DataType::F);
+    b.else_();
+    b.mov(nv, t);
+    b.endif_();
+    b.add(nsum, nsum, nv);
+
+    // East neighbor.
+    b.cmp(CondMod::Lt, 0, col, dim_m1);
+    b.if_(0);
+    b.add(idx, b.globalId(), b.ud(1));
+    b.mad(addr, idx, b.ud(4), temp_buf);
+    b.gatherLoad(nv, addr, DataType::F);
+    b.else_();
+    b.mov(nv, t);
+    b.endif_();
+    b.add(nsum, nsum, nv);
+
+    auto p = b.tmp(DataType::F);
+    b.mad(addr, b.globalId(), b.ud(4), power_buf);
+    b.gatherLoad(p, addr, DataType::F);
+
+    auto delta = b.tmp(DataType::F);
+    auto t4 = b.tmp(DataType::F);
+    b.mul(t4, t, b.f(4.0f));
+    b.sub(delta, nsum, t4);
+    b.mul(delta, delta, b.f(k_coef));
+    b.add(delta, delta, p);
+
+    // Hot cells run an iterative damping pass (the data-dependent
+    // divergent path; Rodinia's hotspot relaxes hot cells harder).
+    auto out_v = b.tmp(DataType::F);
+    b.mad(out_v, delta, b.f(step), t);
+    b.cmp(CondMod::Gt, 0, delta, b.f(0.05f));
+    b.if_(0);
+    {
+        auto it = b.tmp(DataType::D);
+        b.mov(it, b.d(0));
+        b.loop_();
+        b.mul(out_v, out_v, b.f(0.98f));
+        b.mad(out_v, out_v, b.f(1.0f), b.f(0.001f));
+        b.add(it, it, b.d(1));
+        b.cmp(CondMod::Lt, 1, it, b.d(6));
+        b.endLoop(1);
+    }
+    b.endif_();
+
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, out_v, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "hotspot";
+    w.description = "thermal stencil with boundary and hot-cell branches";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const auto host_t = randomFloats(n, 91, 0.0f, 1.0f);
+    const auto host_p = randomFloats(n, 92, 0.0f, 0.1f);
+    const Addr dev_t = dev.uploadVector(host_t);
+    const Addr dev_p = dev.uploadVector(host_p);
+    const Addr dev_o = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_t), gpu::Arg::buffer(dev_p),
+              gpu::Arg::buffer(dev_o), gpu::Arg::u32(dim)};
+
+    w.check = [dev_o, host_t, host_p, dim, n, k_coef,
+               step](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (unsigned r = 0; r < dim; ++r) {
+            for (unsigned c = 0; c < dim; ++c) {
+                const std::uint64_t i =
+                    static_cast<std::uint64_t>(r) * dim + c;
+                const double t = host_t[i];
+                double nsum = 0;
+                nsum = static_cast<float>(
+                    nsum + (r > 0 ? host_t[i - dim] : t));
+                nsum = static_cast<float>(
+                    nsum + (r < dim - 1 ? host_t[i + dim] : t));
+                nsum = static_cast<float>(
+                    nsum + (c > 0 ? host_t[i - 1] : t));
+                nsum = static_cast<float>(
+                    nsum + (c < dim - 1 ? host_t[i + 1] : t));
+                double delta = static_cast<float>(
+                    nsum - static_cast<float>(t * double(4.0f)));
+                delta = static_cast<float>(delta * double(k_coef));
+                delta = static_cast<float>(delta + host_p[i]);
+                double out = static_cast<float>(
+                    delta * double(step) + t);
+                if (delta > double(0.05f)) {
+                    for (int it = 0; it < 6; ++it) {
+                        out = static_cast<float>(out * double(0.98f));
+                        out = static_cast<float>(
+                            out * double(1.0f) + double(0.001f));
+                    }
+                }
+                expected[i] = static_cast<float>(out);
+            }
+        }
+        return checkFloatBuffer(d, dev_o, expected, "hotspot", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeLavaMd(gpu::Device &dev, unsigned scale)
+{
+    // Particles per workgroup vary 16..128 neighbors: the deliberate
+    // cross-EU imbalance that denies LavaMD execution-time gains in
+    // the paper's Figure 12 despite healthy EU-cycle savings.
+    const std::uint64_t particles = 2048ull * scale;
+    const unsigned local = 64;
+    const float cutoff2 = 0.5f;
+
+    KernelBuilder b("lavamd", 16);
+    auto pos_buf = b.argBuffer("pos"); // x,y interleaved
+    auto out_buf = b.argBuffer("out");
+    auto count_arg = b.argU("count"); // particle count (power of two)
+
+    // Neighbor loop length depends on the workgroup id (imbalance).
+    auto neighbors = b.tmp(DataType::UD);
+    b.and_(neighbors, b.groupId(), b.ud(7));
+    b.mul(neighbors, neighbors, b.ud(16));
+    b.add(neighbors, neighbors, b.ud(16));
+    auto neighbors_i = b.tmp(DataType::D);
+    b.mov(neighbors_i, neighbors);
+
+    auto mask_v = b.tmp(DataType::UD);
+    b.sub(mask_v, count_arg, b.ud(1));
+
+    auto addr = b.tmp(DataType::UD);
+    auto px = b.tmp(DataType::F);
+    auto py = b.tmp(DataType::F);
+    auto base = b.tmp(DataType::UD);
+    b.mul(base, b.globalId(), b.ud(8));
+    b.add(base, base, pos_buf);
+    b.gatherLoad(px, base, DataType::F);
+    b.add(addr, base, b.ud(4));
+    b.gatherLoad(py, addr, DataType::F);
+
+    auto acc = b.tmp(DataType::F);
+    auto k = b.tmp(DataType::D);
+    auto nb = b.tmp(DataType::UD);
+    auto nx = b.tmp(DataType::F);
+    auto ny = b.tmp(DataType::F);
+    auto dx = b.tmp(DataType::F);
+    auto dy = b.tmp(DataType::F);
+    auto r2 = b.tmp(DataType::F);
+    auto e = b.tmp(DataType::F);
+    b.mov(acc, b.f(0.0f));
+    b.mov(k, b.d(0));
+
+    b.loop_();
+    {
+        // nb = (gid * 1103515245 + k * 12345) & (count - 1)
+        b.mul(nb, b.globalId(), b.ud(1103515245u));
+        auto k_term = b.tmp(DataType::UD);
+        b.mul(k_term, k, b.ud(12345u));
+        b.add(nb, nb, k_term);
+        b.and_(nb, nb, mask_v);
+
+        b.mul(addr, nb, b.ud(8));
+        b.add(addr, addr, pos_buf);
+        b.gatherLoad(nx, addr, DataType::F);
+        b.add(addr, addr, b.ud(4));
+        b.gatherLoad(ny, addr, DataType::F);
+
+        b.sub(dx, px, nx);
+        b.sub(dy, py, ny);
+        b.mul(r2, dx, dx);
+        b.mad(r2, dy, dy, r2);
+
+        // Only close pairs contribute (the divergent cutoff branch).
+        b.cmp(CondMod::Lt, 0, r2, b.f(cutoff2));
+        b.if_(0);
+        auto neg_r2 = b.tmp(DataType::F);
+        b.mul(neg_r2, r2, b.f(-4.0f));
+        b.exp2(e, neg_r2);
+        b.mad(acc, e, b.f(0.5f), acc);
+        b.endif_();
+
+        b.add(k, k, b.d(1));
+        b.cmp(CondMod::Lt, 1, k, neighbors_i);
+    }
+    b.endLoop(1);
+
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, acc, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "lavamd";
+    w.description = "cutoff-gated particle interactions, imbalanced WGs";
+    w.expectDivergent = true;
+    w.globalSize = particles;
+    w.localSize = local;
+
+    const auto host_pos = randomFloats(particles * 2, 95, 0.0f, 2.0f);
+    const Addr dev_pos = dev.uploadVector(host_pos);
+    const Addr dev_out = dev.allocBuffer(particles * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_pos), gpu::Arg::buffer(dev_out),
+              gpu::Arg::u32(static_cast<std::uint32_t>(particles))};
+
+    w.check = [dev_out, host_pos, particles, local,
+               cutoff2](gpu::Device &d) {
+        std::vector<float> expected(particles);
+        for (std::uint64_t p = 0; p < particles; ++p) {
+            const unsigned wg = static_cast<unsigned>(p / local);
+            const unsigned neighbors = (wg & 7) * 16 + 16;
+            const float px = host_pos[p * 2];
+            const float py = host_pos[p * 2 + 1];
+            double acc = 0;
+            for (unsigned k = 0; k < neighbors; ++k) {
+                const std::uint32_t nb =
+                    (static_cast<std::uint32_t>(p) * 1103515245u +
+                     k * 12345u) &
+                    static_cast<std::uint32_t>(particles - 1);
+                const float dx = static_cast<float>(
+                    double(px) - double(host_pos[nb * 2]));
+                const float dy = static_cast<float>(
+                    double(py) - double(host_pos[nb * 2 + 1]));
+                float r2 = static_cast<float>(double(dx) * dx);
+                r2 = static_cast<float>(double(dy) * dy + r2);
+                if (r2 < cutoff2) {
+                    const float neg =
+                        static_cast<float>(double(r2) * double(-4.0f));
+                    const float e =
+                        static_cast<float>(std::exp2(double(neg)));
+                    acc = static_cast<float>(
+                        double(e) * double(0.5f) + acc);
+                }
+            }
+            expected[p] = static_cast<float>(acc);
+        }
+        return checkFloatBuffer(d, dev_out, expected, "lavamd", 1e-3);
+    };
+    return w;
+}
+
+Workload
+makeNeedlemanWunsch(gpu::Device &dev, unsigned scale)
+{
+    // Per-work-item sequence scoring with match/gap branches (the
+    // divergent inner kernel of NW; the wavefront driver is host-side
+    // in the original and does not affect EU divergence).
+    const std::uint64_t n = 2048ull * scale;
+    const unsigned seq_len = 24;
+
+    Rng rng(97);
+    std::vector<std::int32_t> seq_a(n * seq_len), seq_b(n * seq_len);
+    for (auto &x : seq_a)
+        x = static_cast<std::int32_t>(rng.below(4));
+    for (auto &x : seq_b)
+        x = static_cast<std::int32_t>(rng.below(4));
+
+    KernelBuilder b("nw", 16);
+    auto a_buf = b.argBuffer("a");
+    auto b_buf = b.argBuffer("b");
+    auto out_buf = b.argBuffer("out");
+
+    auto addr = b.tmp(DataType::UD);
+    auto base = b.tmp(DataType::UD);
+    auto score = b.tmp(DataType::D);
+    auto best = b.tmp(DataType::D);
+    auto k = b.tmp(DataType::D);
+    auto ca = b.tmp(DataType::D);
+    auto cb = b.tmp(DataType::D);
+    b.mov(score, b.d(0));
+    b.mov(best, b.d(0));
+    b.mov(k, b.d(0));
+    b.mul(base, b.globalId(), b.ud(seq_len * 4));
+
+    b.loop_();
+    {
+        b.mad(addr, k, b.ud(4), base);
+        b.add(addr, addr, a_buf);
+        b.gatherLoad(ca, addr, DataType::D);
+        b.mad(addr, k, b.ud(4), base);
+        b.add(addr, addr, b_buf);
+        b.gatherLoad(cb, addr, DataType::D);
+
+        b.cmp(CondMod::Eq, 0, ca, cb);
+        b.if_(0);
+        {
+            // Match: extend with an affine bonus schedule.
+            b.add(score, score, b.d(3));
+            b.shl(ca, ca, b.d(1));
+            b.add(score, score, ca);
+            b.and_(score, score, b.d(0xffff));
+            b.add(score, score, b.d(1));
+        }
+        b.else_();
+        {
+            b.cmp(CondMod::Gt, 1, score, b.d(4));
+            b.if_(1);
+            // Affordable gap: open + extend penalties.
+            b.sub(score, score, b.d(2));
+            b.asr(cb, score, b.d(3));
+            b.sub(score, score, cb);
+            b.max_(score, score, b.d(0));
+            b.else_();
+            b.mov(score, b.d(0)); // local restart
+            b.endif_();
+        }
+        b.endif_();
+
+        b.cmp(CondMod::Gt, 0, score, best);
+        b.if_(0);
+        b.mov(best, score);
+        b.endif_();
+
+        b.add(k, k, b.d(1));
+        b.cmp(CondMod::Lt, 1, k, b.d(seq_len));
+    }
+    b.endLoop(1);
+
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, best, DataType::D);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "nw";
+    w.description = "sequence scoring with match/gap branches";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const Addr dev_a = dev.uploadVector(seq_a);
+    const Addr dev_b = dev.uploadVector(seq_b);
+    const Addr dev_o = dev.allocBuffer(n * sizeof(std::int32_t));
+    w.args = {gpu::Arg::buffer(dev_a), gpu::Arg::buffer(dev_b),
+              gpu::Arg::buffer(dev_o)};
+
+    w.check = [dev_o, seq_a, seq_b, n, seq_len](gpu::Device &d) {
+        std::vector<std::int32_t> expected(n);
+        for (std::uint64_t wi = 0; wi < n; ++wi) {
+            std::int32_t score = 0, best = 0;
+            for (unsigned k = 0; k < seq_len; ++k) {
+                std::int32_t ca = seq_a[wi * seq_len + k];
+                const std::int32_t cb = seq_b[wi * seq_len + k];
+                if (ca == cb) {
+                    score += 3;
+                    ca <<= 1;
+                    score += ca;
+                    score &= 0xffff;
+                    score += 1;
+                } else if (score > 4) {
+                    score -= 2;
+                    score -= score >> 3;
+                    score = std::max(score, 0);
+                } else {
+                    score = 0;
+                }
+                if (score > best)
+                    best = score;
+            }
+            expected[wi] = best;
+        }
+        return checkIntBuffer(d, dev_o, expected, "nw");
+    };
+    return w;
+}
+
+Workload
+makeParticleFilter(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 2048ull * scale;
+
+    Rng rng(99);
+    std::vector<float> weights(n);
+    for (auto &x : weights)
+        x = rng.nextFloat();
+
+    KernelBuilder b("partfilt", 16);
+    auto w_buf = b.argBuffer("weights");
+    auto out_buf = b.argBuffer("out");
+    auto n_arg = b.argU("n");
+
+    // u = pseudo-random threshold per work item.
+    auto u = b.tmp(DataType::F);
+    auto h = b.tmp(DataType::UD);
+    b.mul(h, b.globalId(), b.ud(2654435761u));
+    b.and_(h, h, b.ud(0xffff));
+    b.mov(u, h);
+    b.mul(u, u, b.f(1.0f / 65536.0f));
+    b.mul(u, u, b.f(0.9f));
+
+    // Systematic resampling walk: advance until weight[idx] >= u
+    // (variable trip count -> loop divergence).
+    auto mask_v = b.tmp(DataType::UD);
+    b.sub(mask_v, n_arg, b.ud(1));
+    auto idx = b.tmp(DataType::UD);
+    auto steps = b.tmp(DataType::D);
+    auto wv = b.tmp(DataType::F);
+    auto addr = b.tmp(DataType::UD);
+    b.mov(idx, b.globalId());
+    b.mov(steps, b.d(0));
+
+    b.loop_();
+    {
+        b.mad(addr, idx, b.ud(4), w_buf);
+        b.gatherLoad(wv, addr, DataType::F);
+        b.cmp(CondMod::Ge, 0, wv, u);
+        b.breakIf(0);
+        b.add(idx, idx, b.ud(7));
+        b.and_(idx, idx, mask_v);
+        b.add(steps, steps, b.d(1));
+        b.cmp(CondMod::Lt, 1, steps, b.d(32));
+    }
+    b.endLoop(1);
+
+    auto out_v = b.tmp(DataType::D);
+    b.mov(out_v, idx);
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, out_v, DataType::D);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "partfilt";
+    w.description = "particle-filter resampling walk";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const Addr dev_w = dev.uploadVector(weights);
+    const Addr dev_o = dev.allocBuffer(n * sizeof(std::int32_t));
+    w.args = {gpu::Arg::buffer(dev_w), gpu::Arg::buffer(dev_o),
+              gpu::Arg::u32(static_cast<std::uint32_t>(n))};
+
+    w.check = [dev_o, weights, n](gpu::Device &d) {
+        std::vector<std::int32_t> expected(n);
+        for (std::uint64_t wi = 0; wi < n; ++wi) {
+            const std::uint32_t hash =
+                static_cast<std::uint32_t>(wi) * 2654435761u & 0xffff;
+            float u = static_cast<float>(
+                double(static_cast<float>(hash)) *
+                double(1.0f / 65536.0f));
+            u = static_cast<float>(double(u) * double(0.9f));
+            std::uint32_t idx = static_cast<std::uint32_t>(wi);
+            for (int s = 0; s < 32; ++s) {
+                if (weights[idx] >= u)
+                    break;
+                idx = (idx + 7) &
+                    static_cast<std::uint32_t>(n - 1);
+            }
+            expected[wi] = static_cast<std::int32_t>(idx);
+        }
+        return checkIntBuffer(d, dev_o, expected, "partfilt");
+    };
+    return w;
+}
+
+Workload
+makePathFinder(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t n = 4096ull * scale;
+
+    KernelBuilder b("path", 16);
+    auto prev_buf = b.argBuffer("prev");
+    auto data_buf = b.argBuffer("data");
+    auto out_buf = b.argBuffer("out");
+    auto n_arg = b.argU("n");
+
+    auto addr = b.tmp(DataType::UD);
+    auto left = b.tmp(DataType::D);
+    auto mid = b.tmp(DataType::D);
+    auto right = b.tmp(DataType::D);
+    auto idx = b.tmp(DataType::UD);
+    auto n_m1 = b.tmp(DataType::UD);
+    b.sub(n_m1, n_arg, b.ud(1));
+
+    b.mad(addr, b.globalId(), b.ud(4), prev_buf);
+    b.gatherLoad(mid, addr, DataType::D);
+
+    b.cmp(CondMod::Gt, 0, b.globalId(), b.ud(0));
+    b.if_(0);
+    b.sub(idx, b.globalId(), b.ud(1));
+    b.mad(addr, idx, b.ud(4), prev_buf);
+    b.gatherLoad(left, addr, DataType::D);
+    b.else_();
+    b.mov(left, mid);
+    b.endif_();
+
+    b.cmp(CondMod::Lt, 0, b.globalId(), n_m1);
+    b.if_(0);
+    b.add(idx, b.globalId(), b.ud(1));
+    b.mad(addr, idx, b.ud(4), prev_buf);
+    b.gatherLoad(right, addr, DataType::D);
+    b.else_();
+    b.mov(right, mid);
+    b.endif_();
+
+    auto best = b.tmp(DataType::D);
+    b.min_(best, left, mid);
+    b.min_(best, best, right);
+
+    // Straight-path bonus: data-dependent branch.
+    auto dv = b.tmp(DataType::D);
+    b.mad(addr, b.globalId(), b.ud(4), data_buf);
+    b.gatherLoad(dv, addr, DataType::D);
+    auto out_v = b.tmp(DataType::D);
+    b.add(out_v, best, dv);
+    b.cmp(CondMod::Eq, 0, best, mid);
+    b.if_(0);
+    b.sub(out_v, out_v, b.d(1));
+    b.endif_();
+
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, out_v, DataType::D);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "path";
+    w.description = "grid path relaxation step";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    Rng rng(103);
+    std::vector<std::int32_t> prev(n), data(n);
+    for (auto &x : prev)
+        x = static_cast<std::int32_t>(rng.below(100));
+    for (auto &x : data)
+        x = static_cast<std::int32_t>(rng.below(10));
+    const Addr dev_prev = dev.uploadVector(prev);
+    const Addr dev_data = dev.uploadVector(data);
+    const Addr dev_out = dev.allocBuffer(n * sizeof(std::int32_t));
+    w.args = {gpu::Arg::buffer(dev_prev), gpu::Arg::buffer(dev_data),
+              gpu::Arg::buffer(dev_out),
+              gpu::Arg::u32(static_cast<std::uint32_t>(n))};
+
+    w.check = [dev_out, prev, data, n](gpu::Device &d) {
+        std::vector<std::int32_t> expected(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::int32_t left = i > 0 ? prev[i - 1] : prev[i];
+            const std::int32_t right =
+                i < n - 1 ? prev[i + 1] : prev[i];
+            const std::int32_t best =
+                std::min(std::min(left, prev[i]), right);
+            std::int32_t out = best + data[i];
+            if (best == prev[i])
+                out -= 1;
+            expected[i] = out;
+        }
+        return checkIntBuffer(d, dev_out, expected, "path");
+    };
+    return w;
+}
+
+Workload
+makeKmeans(gpu::Device &dev, unsigned scale)
+{
+    const std::uint64_t points = 4096ull * scale;
+    const unsigned clusters = 8;
+
+    KernelBuilder b("kmeans", 16);
+    auto pts_buf = b.argBuffer("points"); // x,y interleaved
+    auto ctr_buf = b.argBuffer("centers");
+    auto out_buf = b.argBuffer("out");
+
+    auto addr = b.tmp(DataType::UD);
+    auto base = b.tmp(DataType::UD);
+    auto px = b.tmp(DataType::F);
+    auto py = b.tmp(DataType::F);
+    b.mul(base, b.globalId(), b.ud(8));
+    b.add(base, base, pts_buf);
+    b.gatherLoad(px, base, DataType::F);
+    b.add(addr, base, b.ud(4));
+    b.gatherLoad(py, addr, DataType::F);
+
+    auto best_d = b.tmp(DataType::F);
+    auto best_k = b.tmp(DataType::D);
+    auto k = b.tmp(DataType::D);
+    auto cx = b.tmp(DataType::F);
+    auto cy = b.tmp(DataType::F);
+    auto dx = b.tmp(DataType::F);
+    auto dy = b.tmp(DataType::F);
+    auto d2 = b.tmp(DataType::F);
+    b.mov(best_d, b.f(1e30f));
+    b.mov(best_k, b.d(-1));
+    b.mov(k, b.d(0));
+
+    b.loop_();
+    {
+        b.mul(addr, k, b.ud(8));
+        b.add(addr, addr, ctr_buf);
+        b.gatherLoad(cx, addr, DataType::F);
+        b.add(addr, addr, b.ud(4));
+        b.gatherLoad(cy, addr, DataType::F);
+        b.sub(dx, px, cx);
+        b.sub(dy, py, cy);
+        b.mul(d2, dx, dx);
+        b.mad(d2, dy, dy, d2);
+        b.cmp(CondMod::Lt, 0, d2, best_d);
+        b.if_(0);
+        b.mov(best_d, d2);
+        b.mov(best_k, k);
+        b.endif_();
+        b.add(k, k, b.d(1));
+        b.cmp(CondMod::Lt, 1, k, b.d(clusters));
+    }
+    b.endLoop(1);
+
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, best_k, DataType::D);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "kmeans";
+    w.description = "k-means nearest-cluster assignment";
+    w.expectDivergent = true;
+    w.globalSize = points;
+    w.localSize = 64;
+
+    const auto host_pts = randomFloats(points * 2, 107, 0.0f, 4.0f);
+    const auto host_ctr = randomFloats(clusters * 2, 108, 0.0f, 4.0f);
+    const Addr dev_pts = dev.uploadVector(host_pts);
+    const Addr dev_ctr = dev.uploadVector(host_ctr);
+    const Addr dev_out = dev.allocBuffer(points * sizeof(std::int32_t));
+    w.args = {gpu::Arg::buffer(dev_pts), gpu::Arg::buffer(dev_ctr),
+              gpu::Arg::buffer(dev_out)};
+
+    w.check = [dev_out, host_pts, host_ctr, points,
+               clusters](gpu::Device &d) {
+        std::vector<std::int32_t> expected(points);
+        for (std::uint64_t p = 0; p < points; ++p) {
+            float best_d = 1e30f;
+            std::int32_t best_k = -1;
+            for (unsigned k = 0; k < clusters; ++k) {
+                const float dx = static_cast<float>(
+                    double(host_pts[p * 2]) - double(host_ctr[k * 2]));
+                const float dy = static_cast<float>(
+                    double(host_pts[p * 2 + 1]) -
+                    double(host_ctr[k * 2 + 1]));
+                float d2 = static_cast<float>(double(dx) * dx);
+                d2 = static_cast<float>(double(dy) * dy + d2);
+                if (d2 < best_d) {
+                    best_d = d2;
+                    best_k = static_cast<std::int32_t>(k);
+                }
+            }
+            expected[p] = best_k;
+        }
+        return checkIntBuffer(d, dev_out, expected, "kmeans");
+    };
+    return w;
+}
+
+Workload
+makeSrad(gpu::Device &dev, unsigned scale)
+{
+    const unsigned dim = 64 * std::min(scale, 4u);
+    const std::uint64_t n = static_cast<std::uint64_t>(dim) * dim;
+
+    KernelBuilder b("srad", 16);
+    auto img_buf = b.argBuffer("img");
+    auto out_buf = b.argBuffer("out");
+    auto dim_arg = b.argU("dim");
+
+    auto row = b.tmp(DataType::UD);
+    auto col = b.tmp(DataType::UD);
+    auto tmp = b.tmp(DataType::UD);
+    b.div(row, b.globalId(), dim_arg);
+    b.mul(tmp, row, dim_arg);
+    b.sub(col, b.globalId(), tmp);
+    auto dim_m1 = b.tmp(DataType::UD);
+    b.sub(dim_m1, dim_arg, b.ud(1));
+
+    auto addr = b.tmp(DataType::UD);
+    auto t = b.tmp(DataType::F);
+    b.mad(addr, b.globalId(), b.ud(4), img_buf);
+    b.gatherLoad(t, addr, DataType::F);
+
+    // Gradient sum over clamped 4-neighborhood.
+    auto g2 = b.tmp(DataType::F);
+    auto nv = b.tmp(DataType::F);
+    auto diff = b.tmp(DataType::F);
+    auto idx = b.tmp(DataType::UD);
+    b.mov(g2, b.f(0.0f));
+
+    auto accumulate = [&]() {
+        b.sub(diff, nv, t);
+        b.mad(g2, diff, diff, g2);
+    };
+
+    b.cmp(CondMod::Gt, 0, row, b.ud(0));
+    b.if_(0);
+    b.sub(idx, b.globalId(), dim_arg);
+    b.mad(addr, idx, b.ud(4), img_buf);
+    b.gatherLoad(nv, addr, DataType::F);
+    accumulate();
+    b.endif_();
+
+    b.cmp(CondMod::Lt, 0, row, dim_m1);
+    b.if_(0);
+    b.add(idx, b.globalId(), dim_arg);
+    b.mad(addr, idx, b.ud(4), img_buf);
+    b.gatherLoad(nv, addr, DataType::F);
+    accumulate();
+    b.endif_();
+
+    b.cmp(CondMod::Gt, 0, col, b.ud(0));
+    b.if_(0);
+    b.sub(idx, b.globalId(), b.ud(1));
+    b.mad(addr, idx, b.ud(4), img_buf);
+    b.gatherLoad(nv, addr, DataType::F);
+    accumulate();
+    b.endif_();
+
+    b.cmp(CondMod::Lt, 0, col, dim_m1);
+    b.if_(0);
+    b.add(idx, b.globalId(), b.ud(1));
+    b.mad(addr, idx, b.ud(4), img_buf);
+    b.gatherLoad(nv, addr, DataType::F);
+    accumulate();
+    b.endif_();
+
+    // Diffusion coefficient with a threshold branch.
+    auto c = b.tmp(DataType::F);
+    auto denom = b.tmp(DataType::F);
+    b.add(denom, g2, b.f(1.0f));
+    b.inv(c, denom);
+    auto out_v = b.tmp(DataType::F);
+    b.cmp(CondMod::Gt, 0, g2, b.f(0.25f));
+    b.if_(0);
+    {
+        // Strong-edge cells diffuse less and get iteratively
+        // sharpened (the expensive divergent path).
+        b.mul(c, c, b.f(0.5f));
+        b.mad(out_v, c, t, t);
+        auto sharp = b.tmp(DataType::F);
+        auto it = b.tmp(DataType::D);
+        b.mov(it, b.d(0));
+        b.loop_();
+        b.mul(sharp, out_v, b.f(-0.35f));
+        b.exp2(sharp, sharp);
+        b.mad(out_v, sharp, b.f(0.02f), out_v);
+        b.add(it, it, b.d(1));
+        b.cmp(CondMod::Lt, 1, it, b.d(4));
+        b.endLoop(1);
+    }
+    b.else_();
+    b.mad(out_v, c, b.f(0.1f), t);
+    b.endif_();
+
+    b.mad(addr, b.globalId(), b.ud(4), out_buf);
+    b.scatterStore(addr, out_v, DataType::F);
+
+    Workload w;
+    w.kernel = b.build();
+    w.name = "srad";
+    w.description = "speckle-reducing diffusion with edge branches";
+    w.expectDivergent = true;
+    w.globalSize = n;
+    w.localSize = 64;
+
+    const auto host_img = randomFloats(n, 111, 0.0f, 1.0f);
+    const Addr dev_img = dev.uploadVector(host_img);
+    const Addr dev_out = dev.allocBuffer(n * sizeof(float));
+    w.args = {gpu::Arg::buffer(dev_img), gpu::Arg::buffer(dev_out),
+              gpu::Arg::u32(dim)};
+
+    w.check = [dev_out, host_img, dim, n](gpu::Device &d) {
+        std::vector<float> expected(n);
+        for (unsigned r = 0; r < dim; ++r) {
+            for (unsigned c_i = 0; c_i < dim; ++c_i) {
+                const std::uint64_t i =
+                    static_cast<std::uint64_t>(r) * dim + c_i;
+                const float t = host_img[i];
+                double g2 = 0;
+                auto acc = [&](float nv) {
+                    const float diff = static_cast<float>(
+                        double(nv) - double(t));
+                    g2 = static_cast<float>(double(diff) * diff + g2);
+                };
+                if (r > 0)
+                    acc(host_img[i - dim]);
+                if (r < dim - 1)
+                    acc(host_img[i + dim]);
+                if (c_i > 0)
+                    acc(host_img[i - 1]);
+                if (c_i < dim - 1)
+                    acc(host_img[i + 1]);
+                const float denom =
+                    static_cast<float>(g2 + double(1.0f));
+                float c = static_cast<float>(1.0 / double(denom));
+                double out;
+                if (g2 > double(0.25f)) {
+                    c = static_cast<float>(double(c) * double(0.5f));
+                    out = static_cast<float>(double(c) * t + t);
+                    for (int it = 0; it < 4; ++it) {
+                        float sharp = static_cast<float>(
+                            out * double(-0.35f));
+                        sharp = static_cast<float>(
+                            std::exp2(double(sharp)));
+                        out = static_cast<float>(
+                            double(sharp) * double(0.02f) + out);
+                    }
+                } else {
+                    out = static_cast<float>(
+                        double(c) * double(0.1f) + t);
+                }
+                expected[i] = static_cast<float>(out);
+            }
+        }
+        return checkFloatBuffer(d, dev_out, expected, "srad", 1e-3);
+    };
+    return w;
+}
+
+} // namespace iwc::workloads

@@ -1,0 +1,75 @@
+#include "workloads/workload.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace iwc::workloads
+{
+
+bool
+approxEqual(double expected, double actual, double tol)
+{
+    const double diff = std::fabs(expected - actual);
+    const double scale = std::max(std::fabs(expected), std::fabs(actual));
+    return diff <= tol * std::max(scale, 1.0);
+}
+
+bool
+checkFloatBuffer(gpu::Device &dev, Addr base,
+                 const std::vector<float> &expected, const char *what,
+                 double tol)
+{
+    const auto actual =
+        dev.downloadVector<float>(base, expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (!approxEqual(expected[i], actual[i], tol)) {
+            warn("%s: mismatch at %zu: expected %g, got %g", what, i,
+                 static_cast<double>(expected[i]),
+                 static_cast<double>(actual[i]));
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+checkIntBuffer(gpu::Device &dev, Addr base,
+               const std::vector<std::int32_t> &expected, const char *what)
+{
+    const auto actual =
+        dev.downloadVector<std::int32_t>(base, expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (expected[i] != actual[i]) {
+            warn("%s: mismatch at %zu: expected %d, got %d", what, i,
+                 expected[i], actual[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+isa::Reg
+loadGlobal(isa::KernelBuilder &b, const isa::Operand &buf,
+           const isa::Operand &idx, isa::DataType type)
+{
+    const auto addr = b.tmp(isa::DataType::UD);
+    b.mad(addr, idx, isa::KernelBuilder::ud(isa::dataTypeSize(type)),
+          buf);
+    const auto value = b.tmp(type);
+    b.gatherLoad(value, addr, type);
+    return value;
+}
+
+void
+storeGlobal(isa::KernelBuilder &b, const isa::Operand &buf,
+            const isa::Operand &idx, const isa::Operand &value,
+            isa::DataType type)
+{
+    const auto addr = b.tmp(isa::DataType::UD);
+    b.mad(addr, idx, isa::KernelBuilder::ud(isa::dataTypeSize(type)),
+          buf);
+    b.scatterStore(addr, value, type);
+}
+
+} // namespace iwc::workloads

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload framework: each workload bundles a kernel, its launch
+ * geometry and arguments, and a host-side reference check, mirroring
+ * the paper's Table 1 benchmark collection. Factories take a scale
+ * knob so tests run small and benches run representative sizes.
+ */
+
+#ifndef IWC_WORKLOADS_WORKLOAD_HH
+#define IWC_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hh"
+#include "isa/builder.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::workloads
+{
+
+/** A ready-to-launch benchmark instance. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    bool expectDivergent = false;
+    isa::Kernel kernel;
+    std::uint64_t globalSize = 0;
+    unsigned localSize = 0;
+    std::vector<gpu::Arg> args;
+    /** Downloads results and validates against the CPU reference. */
+    std::function<bool(gpu::Device &)> check;
+};
+
+/** Builds a workload instance against @p dev at problem size @p scale. */
+using Factory = Workload (*)(gpu::Device &dev, unsigned scale);
+
+// --- Host-side check helpers -------------------------------------------
+
+/** Relative/absolute float tolerance comparison. */
+bool approxEqual(double expected, double actual, double tol = 1e-4);
+
+/** Compares a device float buffer against @p expected. */
+bool checkFloatBuffer(gpu::Device &dev, Addr base,
+                      const std::vector<float> &expected,
+                      const char *what, double tol = 1e-4);
+
+/** Compares a device int32 buffer against @p expected. */
+bool checkIntBuffer(gpu::Device &dev, Addr base,
+                    const std::vector<std::int32_t> &expected,
+                    const char *what);
+
+// --- Kernel construction helpers ---------------------------------------
+
+/**
+ * Emits address computation + gather for element @p idx of buffer
+ * @p buf. Allocates two temporaries; hoist out of loops.
+ */
+isa::Reg loadGlobal(isa::KernelBuilder &b, const isa::Operand &buf,
+                    const isa::Operand &idx, isa::DataType type);
+
+/** Emits address computation + scatter of @p value to buf[idx]. */
+void storeGlobal(isa::KernelBuilder &b, const isa::Operand &buf,
+                 const isa::Operand &idx, const isa::Operand &value,
+                 isa::DataType type);
+
+} // namespace iwc::workloads
+
+#endif // IWC_WORKLOADS_WORKLOAD_HH

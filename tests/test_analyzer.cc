@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the trace analyzer, including the cross-methodology
+ * consistency property: execution-driven EU-cycle accounting equals
+ * trace-based accounting for the same kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "isa/builder.hh"
+#include "eu/eu_core.hh"
+#include "trace/analyzer.hh"
+
+namespace
+{
+
+using namespace iwc::trace;
+using iwc::compaction::Mode;
+using iwc::compaction::UtilBin;
+using iwc::gpu::Arg;
+using iwc::gpu::Device;
+using iwc::isa::CondMod;
+using iwc::isa::DataType;
+using iwc::isa::KernelBuilder;
+
+TEST(AnalyzerTest, SimdEfficiency)
+{
+    MaskTrace trace;
+    trace.records = {
+        {16, 4, InstrKind::Alu, 0xffff},
+        {16, 4, InstrKind::Alu, 0x000f},
+    };
+    const TraceAnalysis a = analyzeTrace(trace);
+    EXPECT_DOUBLE_EQ(a.simdEfficiency(), 20.0 / 32.0);
+    EXPECT_TRUE(a.isDivergent());
+}
+
+TEST(AnalyzerTest, ReductionForKnownPattern)
+{
+    // 0x1111 repeated: baseline/IVB/BCC all take 4 cycles; SCC 1.
+    MaskTrace trace;
+    for (int i = 0; i < 100; ++i)
+        trace.records.push_back({16, 4, InstrKind::Alu, 0x1111});
+    const TraceAnalysis a = analyzeTrace(trace);
+    EXPECT_EQ(a.cycles(Mode::IvbOpt), 400u);
+    EXPECT_EQ(a.cycles(Mode::Bcc), 400u);
+    EXPECT_EQ(a.cycles(Mode::Scc), 100u);
+    EXPECT_DOUBLE_EQ(a.reduction(Mode::Scc), 0.75);
+    EXPECT_DOUBLE_EQ(a.reduction(Mode::Bcc), 0.0);
+}
+
+TEST(AnalyzerTest, FixedCostKindsDiluteBenefit)
+{
+    MaskTrace trace;
+    trace.records = {
+        {16, 4, InstrKind::Alu, 0x000f},  // 4 -> 1 cycle under BCC
+        {16, 4, InstrKind::Send, 0x000f}, // fixed 2 cycles
+        {16, 4, InstrKind::Ctrl, 0x000f}, // fixed 1 cycle
+    };
+    const TraceAnalysis a = analyzeTrace(trace);
+    EXPECT_EQ(a.cycles(Mode::IvbOpt), 2u + 2 + 1); // IVB halves the alu
+    EXPECT_EQ(a.cycles(Mode::Bcc), 1u + 2 + 1);
+    EXPECT_EQ(a.aluRecords, 1u);
+}
+
+TEST(AnalyzerTest, UtilizationBins)
+{
+    MaskTrace trace;
+    trace.records = {
+        {16, 4, InstrKind::Alu, 0xffff},
+        {16, 4, InstrKind::Alu, 0x00ff},
+        {8, 4, InstrKind::Alu, 0x03},
+        {8, 4, InstrKind::Em, 0xff},
+    };
+    const TraceAnalysis a = analyzeTrace(trace);
+    EXPECT_DOUBLE_EQ(a.utilFraction(UtilBin::S16Active13To16), 0.25);
+    EXPECT_DOUBLE_EQ(a.utilFraction(UtilBin::S16Active5To8), 0.25);
+    EXPECT_DOUBLE_EQ(a.utilFraction(UtilBin::S8Active1To4), 0.25);
+    EXPECT_DOUBLE_EQ(a.utilFraction(UtilBin::S8Active5To8), 0.25);
+}
+
+TEST(AnalyzerTest, StreamingMatchesBatch)
+{
+    MaskTrace trace;
+    for (unsigned i = 0; i < 1000; ++i)
+        trace.records.push_back(
+            {16, 4, InstrKind::Alu,
+             static_cast<iwc::LaneMask>(i * 2654435761u) & 0xffff});
+    const TraceAnalysis batch = analyzeTrace(trace);
+    TraceAnalyzer streaming;
+    for (const auto &r : trace.records)
+        streaming.add(r);
+    EXPECT_EQ(batch.cycles(Mode::Scc), streaming.result().cycles(
+        Mode::Scc));
+    EXPECT_EQ(batch.sumActiveLanes, streaming.result().sumActiveLanes);
+}
+
+// The key cross-methodology property: for the same kernel, the
+// trace-based analyzer and the execution-driven EU produce identical
+// EU-cycle accounting under every mode.
+TEST(AnalyzerTest, TraceAndTimingAccountingAgree)
+{
+    KernelBuilder b("xmethod", 16);
+    auto out = b.argBuffer("out");
+    auto lane = b.tmp(DataType::UD);
+    auto x = b.tmp(DataType::F);
+    auto i = b.tmp(DataType::D);
+    b.and_(lane, b.localId(), b.ud(15));
+    b.mov(x, b.f(1.0f));
+    b.mov(i, b.d(0));
+    b.loop_();
+    {
+        auto bit = b.tmp(DataType::UD);
+        b.and_(bit, lane, b.ud(1));
+        b.cmp(CondMod::Eq, 0, bit, b.ud(0));
+        b.if_(0);
+        b.mad(x, x, b.f(1.01f), b.f(0.1f));
+        b.mad(x, x, b.f(0.99f), b.f(0.2f));
+        b.else_();
+        b.sqrt(x, x);
+        b.endif_();
+        b.add(i, i, b.d(1));
+        b.cmp(CondMod::Lt, 1, i, b.d(5));
+    }
+    b.endLoop(1);
+    auto addr = b.tmp(DataType::UD);
+    b.mad(addr, b.globalId(), b.ud(4), out);
+    b.scatterStore(addr, x, DataType::F);
+    const auto kernel = b.build();
+
+    // Trace path.
+    Device func_dev;
+    const iwc::Addr fout = func_dev.allocBuffer(512 * 4);
+    MaskTrace trace;
+    func_dev.launchFunctional(kernel, 512, 64, {Arg::buffer(fout)},
+                              captureObserver(trace));
+    const TraceAnalysis a = analyzeTrace(trace);
+
+    // Timing path.
+    Device timing_dev;
+    const iwc::Addr tout = timing_dev.allocBuffer(512 * 4);
+    const auto stats =
+        timing_dev.launch(kernel, 512, 64, {Arg::buffer(tout)});
+
+    ASSERT_EQ(a.records, stats.eu.instructions);
+    for (unsigned m = 0; m < iwc::compaction::kNumModes; ++m) {
+        EXPECT_EQ(a.euCycles[m], stats.eu.euCyclesByMode[m])
+            << "mode " << m;
+    }
+    EXPECT_EQ(a.sumActiveLanes, stats.eu.sumActiveLanes);
+    EXPECT_EQ(a.sumSimdWidth, stats.eu.sumSimdWidth);
+    for (unsigned bin = 0; bin < iwc::compaction::kNumUtilBins; ++bin)
+        EXPECT_EQ(a.utilBins[bin], stats.eu.utilBins[bin]);
+}
+
+// Guard the constant coupling the two methodologies: the analyzer's
+// default fixed costs must equal the EU config defaults, or the
+// cross-methodology equality above would silently drift.
+TEST(AnalyzerTest, DefaultCostsMatchEuConfig)
+{
+    const AnalyzerCosts costs;
+    const iwc::eu::EuConfig eu_config;
+    EXPECT_EQ(costs.sendCycles, eu_config.sendCycles);
+    EXPECT_EQ(costs.ctrlCycles, eu_config.ctrlCycles);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+/** @file Unit tests for the kernel builder: layout, patching, checks. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace iwc::isa;
+
+TEST(BuilderLayout, ArgAndTempRegisters)
+{
+    KernelBuilder b("t", 16);
+    const Operand arg0 = b.argBuffer("buf");
+    const Operand arg1 = b.argF("x");
+    // SIMD16: r0 header, r1-2 gid, r3-4 lid -> args at r5.
+    EXPECT_EQ(arg0.reg, 5);
+    EXPECT_EQ(arg1.reg, 6);
+    const Reg t0 = b.tmp(DataType::F);
+    const Reg t1 = b.tmp(DataType::W);
+    const Reg t2 = b.tmp(DataType::DF);
+    EXPECT_EQ(t0.base, 7);  // 16 floats = 2 regs
+    EXPECT_EQ(t1.base, 9);  // 16 words = 1 reg
+    EXPECT_EQ(t2.base, 10); // 16 doubles = 4 regs
+    b.mov(t0, b.f(0.0f));
+    const Kernel k = b.build();
+    EXPECT_EQ(k.firstTempReg(), 7u);
+    EXPECT_EQ(k.regsUsed(), 14u);
+    EXPECT_EQ(k.numArgs(), 2u);
+}
+
+TEST(BuilderLayout, Simd8UsesFewerIdRegs)
+{
+    KernelBuilder b("t", 8);
+    const Operand arg = b.argU("n");
+    // SIMD8: r0 header, r1 gid, r2 lid -> args at r3.
+    EXPECT_EQ(arg.reg, 3);
+    EXPECT_EQ(b.localId().reg, 2);
+}
+
+TEST(BuilderCf, IfElseTargetsPatched)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.cmp(CondMod::Eq, 0, x, b.d(0));
+    b.if_(0);
+    b.mov(x, b.d(1));
+    b.else_();
+    b.mov(x, b.d(2));
+    b.endif_();
+    const Kernel k = b.build();
+
+    // Layout: 0 cmp, 1 if, 2 mov, 3 else, 4 mov, 5 endif, 6 halt.
+    EXPECT_EQ(k.instr(1).op, Opcode::If);
+    EXPECT_EQ(k.instr(1).target0, 3); // else
+    EXPECT_EQ(k.instr(1).target1, 5); // endif
+    EXPECT_EQ(k.instr(3).target0, 5);
+}
+
+TEST(BuilderCf, IfWithoutElseTargetsEndif)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.cmp(CondMod::Eq, 0, x, b.d(0));
+    b.if_(0);
+    b.mov(x, b.d(1));
+    b.endif_();
+    const Kernel k = b.build();
+    EXPECT_EQ(k.instr(1).target0, 3);
+    EXPECT_EQ(k.instr(1).target1, 3);
+}
+
+TEST(BuilderCf, LoopBackEdgeSkipsLoopBegin)
+{
+    KernelBuilder b("t", 16);
+    auto i = b.tmp(DataType::D);
+    b.mov(i, b.d(0));
+    b.loop_();
+    b.add(i, i, b.d(1));
+    b.cmp(CondMod::Lt, 1, i, b.d(4));
+    b.endLoop(1);
+    const Kernel k = b.build();
+    // 0 mov, 1 loop, 2 add, 3 cmp, 4 while, 5 halt.
+    EXPECT_EQ(k.instr(4).op, Opcode::LoopEnd);
+    EXPECT_EQ(k.instr(4).target0, 2);
+}
+
+TEST(BuilderCf, BreakPatchedToLoopEnd)
+{
+    KernelBuilder b("t", 16);
+    auto i = b.tmp(DataType::D);
+    b.mov(i, b.d(0));
+    b.loop_();
+    b.cmp(CondMod::Gt, 0, i, b.d(2));
+    b.breakIf(0);
+    b.add(i, i, b.d(1));
+    b.cmp(CondMod::Lt, 1, i, b.d(9));
+    b.endLoop(1);
+    const Kernel k = b.build();
+    // 0 mov, 1 loop, 2 cmp, 3 break, 4 add, 5 cmp, 6 while, 7 halt.
+    EXPECT_EQ(k.instr(3).op, Opcode::Break);
+    EXPECT_EQ(k.instr(3).target0, 6);
+}
+
+TEST(BuilderCf, BreakInsideNestedIfTargetsInnermostLoop)
+{
+    KernelBuilder b("t", 16);
+    auto i = b.tmp(DataType::D);
+    b.mov(i, b.d(0));
+    b.loop_();
+    b.cmp(CondMod::Gt, 0, i, b.d(2));
+    b.if_(0);
+    b.breakIf(0);
+    b.endif_();
+    b.cmp(CondMod::Lt, 1, i, b.d(9));
+    b.endLoop(1);
+    const Kernel k = b.build();
+    // 0 mov, 1 loop, 2 cmp, 3 if, 4 break, 5 endif, 6 cmp, 7 while.
+    EXPECT_EQ(k.instr(4).op, Opcode::Break);
+    EXPECT_EQ(k.instr(4).target0, 7);
+}
+
+TEST(BuilderChaining, PredAndWidthModifiers)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.mov(x, b.d(1)).pred(1, true).width(8);
+    const Kernel k = b.build();
+    EXPECT_EQ(k.instr(0).predCtrl, PredCtrl::Inverted);
+    EXPECT_EQ(k.instr(0).predFlag, 1);
+    EXPECT_EQ(k.instr(0).simdWidth, 8);
+}
+
+TEST(BuilderValidation, RejectsUnclosedControlFlow)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.cmp(CondMod::Eq, 0, x, b.d(0));
+    b.if_(0);
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1),
+                "unclosed control flow");
+}
+
+TEST(BuilderValidation, RejectsElseWithoutIf)
+{
+    KernelBuilder b("t", 16);
+    EXPECT_EXIT(b.else_(), ::testing::ExitedWithCode(1),
+                "else without if");
+}
+
+TEST(BuilderValidation, RejectsBreakOutsideLoop)
+{
+    KernelBuilder b("t", 16);
+    EXPECT_EXIT(b.breakIf(0), ::testing::ExitedWithCode(1),
+                "break outside loop");
+}
+
+TEST(BuilderValidation, RejectsArgsAfterTemps)
+{
+    KernelBuilder b("t", 16);
+    (void)b.tmp(DataType::F);
+    EXPECT_EXIT((void)b.argU("late"), ::testing::ExitedWithCode(1),
+                "declare args before temporaries");
+}
+
+TEST(BuilderValidation, RejectsBadSimdWidth)
+{
+    EXPECT_EXIT(KernelBuilder("t", 12), ::testing::ExitedWithCode(1),
+                "SIMD width");
+}
+
+TEST(BuilderValidation, RejectsGrfOverflow)
+{
+    KernelBuilder b("t", 16);
+    EXPECT_EXIT(
+        {
+            for (int i = 0; i < 100; ++i)
+                (void)b.tmp(DataType::DF); // 4 regs each
+        },
+        ::testing::ExitedWithCode(1), "out of GRF registers");
+}
+
+TEST(BuilderKernel, SlmRequirementRecorded)
+{
+    KernelBuilder b("t", 16);
+    b.requireSlm(256);
+    auto x = b.tmp(DataType::D);
+    b.mov(x, b.d(0));
+    const Kernel k = b.build();
+    EXPECT_EQ(k.slmBytes(), 256u);
+}
+
+} // namespace

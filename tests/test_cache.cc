@@ -1,0 +1,99 @@
+/** @file Unit tests for the set-associative cache tag model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace
+{
+
+using iwc::Addr;
+using iwc::kCacheLineBytes;
+using iwc::mem::Cache;
+
+TEST(CacheTest, MissThenHit)
+{
+    Cache c("t", 8 * 1024, 4);
+    EXPECT_FALSE(c.access(0, false, 0).hit);
+    EXPECT_TRUE(c.access(0, false, 1).hit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheTest, LruEviction)
+{
+    // 2-way, tiny cache: 4 lines, 2 sets.
+    Cache c("t", 4 * kCacheLineBytes, 2);
+    ASSERT_EQ(c.numSets(), 2u);
+    const Addr set0_stride = 2 * kCacheLineBytes;
+    // Fill both ways of set 0, then touch a third line: LRU evicted.
+    c.access(0 * set0_stride, false, 0);
+    c.access(1 * set0_stride, false, 1);
+    c.access(0 * set0_stride, false, 2); // refresh line 0
+    c.access(2 * set0_stride, false, 3); // evicts line 1
+    EXPECT_TRUE(c.access(0 * set0_stride, false, 4).hit);
+    EXPECT_FALSE(c.access(1 * set0_stride, false, 5).hit);
+}
+
+TEST(CacheTest, DirtyEvictionReported)
+{
+    Cache c("t", 4 * kCacheLineBytes, 2);
+    const Addr stride = 2 * kCacheLineBytes;
+    c.access(0, true, 0); // dirty
+    c.access(stride, false, 1);
+    const auto result = c.access(2 * stride, false, 2);
+    EXPECT_TRUE(result.dirtyEviction);
+    EXPECT_EQ(c.dirtyEvictions(), 1u);
+}
+
+TEST(CacheTest, MshrMergesInFlightMisses)
+{
+    Cache c("t", 8 * 1024, 4);
+    const auto first = c.access(0, false, 0);
+    EXPECT_FALSE(first.hit);
+    c.noteFill(0, 50);
+    // Second access before the fill lands merges with it.
+    const auto merged = c.access(0, false, 10);
+    EXPECT_FALSE(merged.hit);
+    EXPECT_TRUE(merged.mergedMiss);
+    EXPECT_EQ(merged.fillReady, 50u);
+    // After the fill completes it is a plain hit.
+    const auto after = c.access(0, false, 60);
+    EXPECT_TRUE(after.hit);
+}
+
+TEST(CacheTest, FlushDropsEverything)
+{
+    Cache c("t", 8 * 1024, 4);
+    c.access(0, false, 0);
+    c.access(64, false, 0);
+    c.flush();
+    EXPECT_FALSE(c.access(0, false, 1).hit);
+}
+
+TEST(CacheTest, CapacityBehaviour)
+{
+    // Streaming through 2x the capacity hits nothing on first pass
+    // and nothing on the second pass either (capacity misses).
+    Cache c("t", 16 * kCacheLineBytes, 4);
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 32 * kCacheLineBytes;
+             a += kCacheLineBytes)
+            c.access(a, false, 0);
+    EXPECT_EQ(c.hits(), 0u);
+    // A working set that fits is all hits on the second pass.
+    Cache small("t2", 16 * kCacheLineBytes, 4);
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 16 * kCacheLineBytes;
+             a += kCacheLineBytes)
+            small.access(a, false, 0);
+    EXPECT_EQ(small.hits(), 16u);
+}
+
+TEST(CacheTest, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Cache("bad", 100, 3), ::testing::ExitedWithCode(1),
+                "bad geometry");
+}
+
+} // namespace

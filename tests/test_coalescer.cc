@@ -1,0 +1,123 @@
+/** @file Unit tests for memory coalescing and SLM conflict analysis. */
+
+#include <gtest/gtest.h>
+
+#include "mem/coalescer.hh"
+
+namespace
+{
+
+using iwc::Addr;
+using iwc::func::MemAccess;
+using iwc::isa::SendOp;
+using iwc::mem::coalesceLines;
+using iwc::mem::slmConflictDegree;
+
+MemAccess
+gather16(Addr base, Addr stride, unsigned elem_bytes = 4)
+{
+    MemAccess acc;
+    acc.op = SendOp::GatherLoad;
+    acc.elemBytes = elem_bytes;
+    acc.mask = 0xffff;
+    for (unsigned ch = 0; ch < 16; ++ch)
+        acc.addrs[ch] = base + ch * stride;
+    return acc;
+}
+
+TEST(Coalescer, UnitStrideIsOneLine)
+{
+    const auto lines = coalesceLines(gather16(0x1000, 4));
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], 0x1000u);
+}
+
+TEST(Coalescer, UnalignedUnitStrideSpansTwoLines)
+{
+    const auto lines = coalesceLines(gather16(0x1020, 4));
+    EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(Coalescer, LineStrideIsFullyDivergent)
+{
+    const auto lines = coalesceLines(gather16(0x1000, 64));
+    EXPECT_EQ(lines.size(), 16u);
+}
+
+TEST(Coalescer, DuplicateAddressesCollapse)
+{
+    MemAccess acc = gather16(0x1000, 0); // broadcast
+    const auto lines = coalesceLines(acc);
+    EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(Coalescer, MaskedChannelsIgnored)
+{
+    MemAccess acc = gather16(0x1000, 64);
+    acc.mask = 0x0003;
+    EXPECT_EQ(coalesceLines(acc).size(), 2u);
+    acc.mask = 0;
+    EXPECT_TRUE(coalesceLines(acc).empty());
+}
+
+TEST(Coalescer, StraddlingElementCountsBothLines)
+{
+    MemAccess acc;
+    acc.op = SendOp::GatherLoad;
+    acc.elemBytes = 8;
+    acc.mask = 0x1;
+    acc.addrs[0] = 60; // 8B element crossing line 0 into line 1
+    const auto lines = coalesceLines(acc);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0u);
+    EXPECT_EQ(lines[1], 64u);
+}
+
+TEST(Coalescer, BlockAccessCoversItsRange)
+{
+    MemAccess acc;
+    acc.op = SendOp::BlockLoad;
+    acc.isBlock = true;
+    acc.blockAddr = 0x1010;
+    acc.blockBytes = 128;
+    const auto lines = coalesceLines(acc);
+    ASSERT_EQ(lines.size(), 3u); // 0x1000, 0x1040, 0x1080
+    EXPECT_EQ(lines.front(), 0x1000u);
+    EXPECT_EQ(lines.back(), 0x1080u);
+}
+
+TEST(SlmConflicts, UnitStrideConflictFree)
+{
+    const auto acc = gather16(0, 4);
+    EXPECT_EQ(slmConflictDegree(acc, 16, 4), 1u);
+}
+
+TEST(SlmConflicts, PowerOfTwoStrideSerializes)
+{
+    // Stride of 16 words over 16 banks: all channels hit bank 0.
+    const auto acc = gather16(0, 64);
+    EXPECT_EQ(slmConflictDegree(acc, 16, 4), 16u);
+}
+
+TEST(SlmConflicts, BroadcastDoesNotConflict)
+{
+    const auto acc = gather16(0x40, 0);
+    EXPECT_EQ(slmConflictDegree(acc, 16, 4), 1u);
+}
+
+TEST(SlmConflicts, TwoWayConflict)
+{
+    // Stride of 2 words over 16 banks: 16 channels land on 8 banks,
+    // two distinct words each.
+    const auto acc = gather16(0, 8);
+    EXPECT_EQ(slmConflictDegree(acc, 16, 4), 2u);
+}
+
+TEST(SlmConflicts, EightWayConflict)
+{
+    // Stride of 8 words: channels alternate between banks 0 and 8.
+    const auto acc = gather16(0, 32);
+    EXPECT_EQ(slmConflictDegree(acc, 16, 4), 8u);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/** @file Unit tests for the common substrate (bits, rng, options). */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace
+{
+
+using namespace iwc;
+
+TEST(BitUtil, LaneMaskForWidth)
+{
+    EXPECT_EQ(laneMaskForWidth(0), 0u);
+    EXPECT_EQ(laneMaskForWidth(1), 0x1u);
+    EXPECT_EQ(laneMaskForWidth(8), 0xffu);
+    EXPECT_EQ(laneMaskForWidth(16), 0xffffu);
+    EXPECT_EQ(laneMaskForWidth(32), 0xffffffffu);
+}
+
+TEST(BitUtil, ExtractGroup)
+{
+    EXPECT_EQ(extractGroup(0xf0f0, 0, 4), 0x0u);
+    EXPECT_EQ(extractGroup(0xf0f0, 1, 4), 0xfu);
+    EXPECT_EQ(extractGroup(0xabcd, 2, 4), 0xbu);
+    EXPECT_EQ(extractGroup(0xabcd, 0, 8), 0xcdu);
+}
+
+TEST(BitUtil, CeilDivAndLog2)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(32), 5u);
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(48));
+    EXPECT_FALSE(isPow2(0));
+}
+
+TEST(BitUtil, Align)
+{
+    EXPECT_EQ(alignDown(127, 64), 64u);
+    EXPECT_EQ(alignUp(127, 64), 128u);
+    EXPECT_EQ(alignUp(128, 64), 128u);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(42), c2(43);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, RangesRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+        const auto v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        const float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng rng(11);
+    unsigned buckets[10] = {};
+    for (int i = 0; i < 10000; ++i)
+        ++buckets[rng.below(10)];
+    for (const unsigned count : buckets) {
+        EXPECT_GT(count, 800u);
+        EXPECT_LT(count, 1200u);
+    }
+}
+
+TEST(OptionMap, ParsesKeyValueArgs)
+{
+    const char *argv[] = {"prog", "mode=scc", "eus=12", "ratio=0.5",
+                          "flag=true", "not-an-option"};
+    OptionMap opts(6, const_cast<char **>(argv));
+    EXPECT_EQ(opts.getString("mode", "x"), "scc");
+    EXPECT_EQ(opts.getInt("eus", 0), 12);
+    EXPECT_DOUBLE_EQ(opts.getDouble("ratio", 0), 0.5);
+    EXPECT_TRUE(opts.getBool("flag", false));
+    EXPECT_FALSE(opts.has("not-an-option"));
+    EXPECT_EQ(opts.getInt("missing", 7), 7);
+}
+
+TEST(OptionMap, SetOverrides)
+{
+    OptionMap opts;
+    opts.set("k", "1");
+    EXPECT_EQ(opts.getInt("k", 0), 1);
+    opts.set("k", "2");
+    EXPECT_EQ(opts.getInt("k", 0), 2);
+}
+
+} // namespace

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit and property tests for cycle planning under all four
+ * compaction modes, including an exhaustive sweep over every SIMD16
+ * execution mask.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "compaction/cycle_plan.hh"
+
+namespace
+{
+
+using iwc::LaneMask;
+using iwc::popCount;
+using iwc::compaction::classifyUtil;
+using iwc::compaction::ExecShape;
+using iwc::compaction::groupWidth;
+using iwc::compaction::Mode;
+using iwc::compaction::numGroups;
+using iwc::compaction::planCycleCount;
+using iwc::compaction::planCycles;
+using iwc::compaction::UtilBin;
+using iwc::compaction::verifyPlan;
+
+ExecShape
+shape16(LaneMask mask, unsigned elem_bytes = 4)
+{
+    return ExecShape{16, static_cast<std::uint8_t>(elem_bytes), mask};
+}
+
+TEST(GroupGeometry, DwordTypesRunFourLanesPerCycle)
+{
+    EXPECT_EQ(groupWidth(16, 4), 4u);
+    EXPECT_EQ(numGroups(16, 4), 4u);
+    EXPECT_EQ(groupWidth(8, 4), 4u);
+    EXPECT_EQ(numGroups(8, 4), 2u);
+    EXPECT_EQ(groupWidth(32, 4), 4u);
+    EXPECT_EQ(numGroups(32, 4), 8u);
+}
+
+TEST(GroupGeometry, WordTypesRunEightLanesPerCycle)
+{
+    EXPECT_EQ(groupWidth(16, 2), 8u);
+    EXPECT_EQ(numGroups(16, 2), 2u);
+}
+
+TEST(GroupGeometry, DoubleTypesRunTwoLanesPerCycle)
+{
+    EXPECT_EQ(groupWidth(16, 8), 2u);
+    EXPECT_EQ(numGroups(16, 8), 8u);
+}
+
+TEST(GroupGeometry, GroupNeverWiderThanInstruction)
+{
+    EXPECT_EQ(groupWidth(4, 2), 4u);
+    EXPECT_EQ(numGroups(4, 2), 1u);
+}
+
+TEST(Baseline, AlwaysFullCycles)
+{
+    EXPECT_EQ(planCycleCount(Mode::Baseline, shape16(0xffff)), 4u);
+    EXPECT_EQ(planCycleCount(Mode::Baseline, shape16(0x0001)), 4u);
+    EXPECT_EQ(planCycleCount(Mode::Baseline, shape16(0x0000)), 4u);
+    EXPECT_EQ(planCycleCount(Mode::Baseline, shape16(0xffff, 8)), 8u);
+    EXPECT_EQ(planCycleCount(Mode::Baseline, shape16(0xffff, 2)), 2u);
+}
+
+// Section 5.2: SIMD16 with the upper or lower eight lanes inactive
+// executes as SIMD8.
+TEST(IvbOpt, HalfMaskedSimd16RunsAsSimd8)
+{
+    EXPECT_EQ(planCycleCount(Mode::IvbOpt, shape16(0x00ff)), 2u);
+    EXPECT_EQ(planCycleCount(Mode::IvbOpt, shape16(0xff00)), 2u);
+    EXPECT_EQ(planCycleCount(Mode::IvbOpt, shape16(0x000f)), 2u);
+    EXPECT_EQ(planCycleCount(Mode::IvbOpt, shape16(0xf000)), 2u);
+}
+
+TEST(IvbOpt, OtherPatternsNotOptimized)
+{
+    // Figure 8: 0xF0F0 and 0xAAAA are NOT helped by the IVB opt.
+    EXPECT_EQ(planCycleCount(Mode::IvbOpt, shape16(0xf0f0)), 4u);
+    EXPECT_EQ(planCycleCount(Mode::IvbOpt, shape16(0xaaaa)), 4u);
+    EXPECT_EQ(planCycleCount(Mode::IvbOpt, shape16(0xffff)), 4u);
+}
+
+TEST(IvbOpt, OnlyAppliesToSimd16)
+{
+    const ExecShape s8{8, 4, 0x0f};
+    EXPECT_EQ(planCycleCount(Mode::IvbOpt, s8), 2u);
+    const ExecShape s32{32, 4, 0x0000ffff};
+    EXPECT_EQ(planCycleCount(Mode::IvbOpt, s32), 8u);
+}
+
+TEST(Bcc, SkipsDeadQuads)
+{
+    EXPECT_EQ(planCycleCount(Mode::Bcc, shape16(0xf0f0)), 2u);
+    EXPECT_EQ(planCycleCount(Mode::Bcc, shape16(0x000f)), 1u);
+    EXPECT_EQ(planCycleCount(Mode::Bcc, shape16(0xffff)), 4u);
+    // Scattered actives defeat BCC: every quad has one live lane.
+    EXPECT_EQ(planCycleCount(Mode::Bcc, shape16(0x1111)), 4u);
+    EXPECT_EQ(planCycleCount(Mode::Bcc, shape16(0xaaaa)), 4u);
+}
+
+TEST(Bcc, FullyMaskedInstructionTakesZeroCycles)
+{
+    EXPECT_EQ(planCycleCount(Mode::Bcc, shape16(0x0000)), 0u);
+    EXPECT_EQ(planCycleCount(Mode::Scc, shape16(0x0000)), 0u);
+}
+
+TEST(Scc, ReachesOptimalCycles)
+{
+    EXPECT_EQ(planCycleCount(Mode::Scc, shape16(0x1111)), 1u);
+    EXPECT_EQ(planCycleCount(Mode::Scc, shape16(0xaaaa)), 2u);
+    EXPECT_EQ(planCycleCount(Mode::Scc, shape16(0x5555)), 2u);
+    EXPECT_EQ(planCycleCount(Mode::Scc, shape16(0xffff)), 4u);
+    EXPECT_EQ(planCycleCount(Mode::Scc, shape16(0x8421)), 1u);
+}
+
+// Table 2 of the paper: nested-branch masks and the per-mode savings.
+struct Table2Case
+{
+    LaneMask mask;
+    unsigned ivb;
+    unsigned bcc;
+    unsigned scc;
+};
+
+class Table2 : public ::testing::TestWithParam<Table2Case>
+{
+};
+
+TEST_P(Table2, CycleCountsMatchThePaper)
+{
+    const auto &c = GetParam();
+    EXPECT_EQ(planCycleCount(Mode::IvbOpt, shape16(c.mask)), c.ivb);
+    EXPECT_EQ(planCycleCount(Mode::Bcc, shape16(c.mask)), c.bcc);
+    EXPECT_EQ(planCycleCount(Mode::Scc, shape16(c.mask)), c.scc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperMasks, Table2,
+    ::testing::Values(
+        // L1: 0101... -> SCC halves the cycles (50% benefit).
+        Table2Case{0x5555, 4, 4, 2},
+        Table2Case{0xaaaa, 4, 4, 2},
+        // L2: one lane per quad -> SCC gets 1 cycle (75% benefit).
+        Table2Case{0x1111, 4, 4, 1},
+        Table2Case{0x4444, 4, 4, 1},
+        Table2Case{0x8888, 4, 4, 1},
+        Table2Case{0x2222, 4, 4, 1},
+        // L3: two quads dead -> BCC 2 cycles, SCC 1 (50% + 25%).
+        Table2Case{0x0101, 4, 2, 1},
+        Table2Case{0x1010, 4, 2, 1},
+        Table2Case{0x0404, 4, 2, 1},
+        Table2Case{0x4040, 4, 2, 1},
+        Table2Case{0x0808, 4, 2, 1},
+        Table2Case{0x8080, 4, 2, 1},
+        Table2Case{0x0202, 4, 2, 1},
+        Table2Case{0x2020, 4, 2, 1},
+        // L4: a single active lane -> IVB helps when it is in one
+        // half; BCC reaches 1 cycle.
+        Table2Case{0x0001, 2, 1, 1},
+        Table2Case{0x8000, 2, 1, 1},
+        Table2Case{0x0100, 2, 1, 1}));
+
+// Exhaustive property sweep: every SIMD16 mask, every mode.
+TEST(Property, AllSimd16MasksOrderAndValidity)
+{
+    for (std::uint32_t mask = 0; mask <= 0xffff; ++mask) {
+        const ExecShape s = shape16(mask);
+        const unsigned base = planCycleCount(Mode::Baseline, s);
+        const unsigned ivb = planCycleCount(Mode::IvbOpt, s);
+        const unsigned bcc = planCycleCount(Mode::Bcc, s);
+        const unsigned scc = planCycleCount(Mode::Scc, s);
+
+        // Monotone ordering: each technique subsumes the previous.
+        ASSERT_LE(ivb, base) << std::hex << mask;
+        ASSERT_LE(bcc, ivb) << std::hex << mask;
+        ASSERT_LE(scc, bcc) << std::hex << mask;
+        // SCC is optimal.
+        ASSERT_EQ(scc, (popCount(mask) + 3) / 4) << std::hex << mask;
+
+        // Full plans agree with the fast counts and are valid
+        // schedules (every enabled channel exactly once).
+        for (const Mode mode : {Mode::Baseline, Mode::IvbOpt, Mode::Bcc,
+                                Mode::Scc}) {
+            const auto plan = planCycles(mode, s);
+            ASSERT_EQ(plan.cycles(), planCycleCount(mode, s))
+                << std::hex << mask << " mode "
+                << iwc::compaction::modeName(mode);
+            ASSERT_TRUE(verifyPlan(plan, s))
+                << std::hex << mask << " mode "
+                << iwc::compaction::modeName(mode);
+        }
+    }
+}
+
+// The same properties for word and double element sizes.
+class ElemBytesSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ElemBytesSweep, OrderingAndValidityHold)
+{
+    const unsigned elem_bytes = GetParam();
+    const unsigned g = groupWidth(16, elem_bytes);
+    for (std::uint32_t mask = 0; mask <= 0xffff; mask += 7) {
+        const ExecShape s = shape16(mask & 0xffff, elem_bytes);
+        const unsigned base = planCycleCount(Mode::Baseline, s);
+        const unsigned ivb = planCycleCount(Mode::IvbOpt, s);
+        const unsigned bcc = planCycleCount(Mode::Bcc, s);
+        const unsigned scc = planCycleCount(Mode::Scc, s);
+        ASSERT_LE(ivb, base);
+        ASSERT_LE(bcc, ivb);
+        ASSERT_LE(scc, bcc);
+        ASSERT_EQ(scc, (popCount(mask & 0xffff) + g - 1) / g);
+        const auto plan = planCycles(Mode::Scc, s);
+        ASSERT_TRUE(verifyPlan(plan, s)) << std::hex << mask;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordDwordDouble, ElemBytesSweep,
+                         ::testing::Values(2u, 4u, 8u));
+
+TEST(Property, Simd32MasksSampled)
+{
+    // SIMD32 instructions: 8 dword groups.
+    for (std::uint64_t seed = 1; seed < 4000; ++seed) {
+        const LaneMask mask = static_cast<LaneMask>(
+            seed * 0x9e3779b97f4a7c15ull >> 32);
+        const ExecShape s{32, 4, mask};
+        const unsigned scc = planCycleCount(Mode::Scc, s);
+        ASSERT_EQ(scc, (popCount(mask) + 3) / 4);
+        ASSERT_TRUE(verifyPlan(planCycles(Mode::Scc, s), s));
+        ASSERT_TRUE(verifyPlan(planCycles(Mode::Bcc, s), s));
+    }
+}
+
+TEST(UtilBins, Figure9Classification)
+{
+    EXPECT_EQ(classifyUtil(16, 0x0003), UtilBin::S16Active1To4);
+    EXPECT_EQ(classifyUtil(16, 0x00ff), UtilBin::S16Active5To8);
+    EXPECT_EQ(classifyUtil(16, 0x0fff), UtilBin::S16Active9To12);
+    EXPECT_EQ(classifyUtil(16, 0xffff), UtilBin::S16Active13To16);
+    EXPECT_EQ(classifyUtil(8, 0x03), UtilBin::S8Active1To4);
+    EXPECT_EQ(classifyUtil(8, 0xff), UtilBin::S8Active5To8);
+    EXPECT_EQ(classifyUtil(16, 0x0000), UtilBin::Other);
+    EXPECT_EQ(classifyUtil(32, 0xffffffff), UtilBin::Other);
+}
+
+TEST(Plans, BccSuppressesOperandFetchForDeadQuads)
+{
+    const auto plan = planCycles(Mode::Bcc, shape16(0xf00f));
+    EXPECT_EQ(plan.cycles(), 2u);
+    EXPECT_EQ(plan.suppressedGroups(), 2u);
+    EXPECT_EQ(plan.swizzledLanes(), 0u);
+}
+
+TEST(Plans, BaselinePlanHasNoSwizzles)
+{
+    for (const LaneMask mask : {0xffffu, 0x8421u, 0x0f0fu}) {
+        EXPECT_EQ(planCycles(Mode::Baseline, shape16(mask))
+                      .swizzledLanes(), 0u);
+        EXPECT_EQ(planCycles(Mode::IvbOpt, shape16(mask))
+                      .swizzledLanes(), 0u);
+        EXPECT_EQ(planCycles(Mode::Bcc, shape16(mask))
+                      .swizzledLanes(), 0u);
+    }
+}
+
+} // namespace

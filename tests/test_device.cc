@@ -1,0 +1,146 @@
+/** @file Tests for the public Device API and the functional runner. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using iwc::gpu::Arg;
+using iwc::gpu::Device;
+using iwc::isa::DataType;
+using iwc::isa::Kernel;
+using iwc::isa::KernelBuilder;
+
+Kernel
+saxpyKernel()
+{
+    KernelBuilder b("saxpy", 16);
+    auto xs = b.argBuffer("x");
+    auto ys = b.argBuffer("y");
+    auto a = b.argF("a");
+    auto addr = b.tmp(DataType::UD);
+    auto x = b.tmp(DataType::F);
+    auto y = b.tmp(DataType::F);
+    b.mad(addr, b.globalId(), b.ud(4), xs);
+    b.gatherLoad(x, addr, DataType::F);
+    b.mad(addr, b.globalId(), b.ud(4), ys);
+    b.gatherLoad(y, addr, DataType::F);
+    b.mad(y, x, a, y);
+    b.scatterStore(addr, y, DataType::F);
+    return b.build();
+}
+
+TEST(DeviceTest, BufferRoundTrip)
+{
+    Device dev;
+    const std::vector<float> host = {1.f, 2.f, 3.f, 4.f};
+    const iwc::Addr buf = dev.uploadVector(host);
+    const auto back = dev.downloadVector<float>(buf, host.size());
+    EXPECT_EQ(host, back);
+}
+
+TEST(DeviceTest, ArgEncodings)
+{
+    EXPECT_EQ(Arg::u32(7).raw, 7u);
+    EXPECT_EQ(Arg::i32(-1).raw, 0xffffffffu);
+    EXPECT_EQ(Arg::f32(1.0f).raw, 0x3f800000u);
+    EXPECT_EQ(Arg::buffer(0x1000).raw, 0x1000u);
+}
+
+TEST(DeviceTest, TimingLaunchComputesSaxpy)
+{
+    Device dev;
+    const unsigned n = 512;
+    std::vector<float> xs(n), ys(n);
+    for (unsigned i = 0; i < n; ++i) {
+        xs[i] = static_cast<float>(i);
+        ys[i] = 1.0f;
+    }
+    const iwc::Addr dx = dev.uploadVector(xs);
+    const iwc::Addr dy = dev.uploadVector(ys);
+    const Kernel k = saxpyKernel();
+    const auto stats = dev.launch(k, n, 64,
+                                  {Arg::buffer(dx), Arg::buffer(dy),
+                                   Arg::f32(2.0f)});
+    EXPECT_GT(stats.totalCycles, 0u);
+    const auto out = dev.downloadVector<float>(dy, n);
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_FLOAT_EQ(out[i], 2.0f * i + 1.0f);
+}
+
+TEST(DeviceTest, FunctionalLaunchMatchesTimingResults)
+{
+    const Kernel k = saxpyKernel();
+    const unsigned n = 256;
+    std::vector<float> xs(n, 3.0f), ys(n, 0.5f);
+
+    Device timing_dev;
+    const iwc::Addr tx = timing_dev.uploadVector(xs);
+    const iwc::Addr ty = timing_dev.uploadVector(ys);
+    timing_dev.launch(k, n, 64,
+                      {Arg::buffer(tx), Arg::buffer(ty),
+                       Arg::f32(-1.5f)});
+
+    Device func_dev;
+    const iwc::Addr fx = func_dev.uploadVector(xs);
+    const iwc::Addr fy = func_dev.uploadVector(ys);
+    func_dev.launchFunctional(k, n, 64,
+                              {Arg::buffer(fx), Arg::buffer(fy),
+                               Arg::f32(-1.5f)});
+
+    EXPECT_EQ(timing_dev.downloadVector<float>(ty, n),
+              func_dev.downloadVector<float>(fy, n));
+}
+
+TEST(DeviceTest, FunctionalObserverSeesEveryInstruction)
+{
+    Device dev;
+    const Kernel k = saxpyKernel();
+    const unsigned n = 64;
+    const iwc::Addr dx = dev.allocBuffer(n * 4);
+    const iwc::Addr dy = dev.allocBuffer(n * 4);
+    std::uint64_t observed = 0;
+    const std::uint64_t total = dev.launchFunctional(
+        k, n, 64, {Arg::buffer(dx), Arg::buffer(dy), Arg::f32(1.0f)},
+        [&](const iwc::isa::Instruction &, iwc::LaneMask) {
+            ++observed;
+        });
+    // 6 instructions + halt per subgroup, 4 subgroups.
+    EXPECT_EQ(total, 7u * 4);
+    EXPECT_EQ(observed, total);
+}
+
+TEST(DeviceTest, FunctionalRunnerHandlesBarriers)
+{
+    KernelBuilder b("bar", 16);
+    auto out = b.argBuffer("out");
+    b.requireSlm(256);
+    auto slm_addr = b.tmp(DataType::UD);
+    auto v = b.tmp(DataType::D);
+    b.mul(slm_addr, b.localId(), b.ud(4));
+    b.mov(v, b.localId());
+    b.slmStore(slm_addr, v, DataType::D);
+    b.barrier();
+    auto other = b.tmp(DataType::UD);
+    b.xor_(other, b.localId(), b.ud(1)); // partner lane
+    b.mul(slm_addr, other, b.ud(4));
+    auto got = b.tmp(DataType::D);
+    b.slmLoad(got, slm_addr, DataType::D);
+    auto addr = b.tmp(DataType::UD);
+    b.mad(addr, b.globalId(), b.ud(4), out);
+    b.scatterStore(addr, got, DataType::D);
+    const Kernel k = b.build();
+
+    Device dev;
+    const unsigned n = 128;
+    const iwc::Addr out_buf = dev.allocBuffer(n * 4);
+    dev.launchFunctional(k, n, 64, {Arg::buffer(out_buf)});
+    const auto result = dev.downloadVector<std::int32_t>(out_buf, n);
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_EQ(result[i], static_cast<std::int32_t>((i % 64) ^ 1));
+}
+
+} // namespace

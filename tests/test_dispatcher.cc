@@ -1,0 +1,144 @@
+/** @file Tests for NDRange splitting, placement, and barriers. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/dispatcher.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using iwc::eu::EuConfig;
+using iwc::eu::EuCore;
+using iwc::eu::GpuHooks;
+using iwc::gpu::Dispatcher;
+using iwc::isa::DataType;
+using iwc::isa::Kernel;
+using iwc::isa::KernelBuilder;
+
+struct NullHooks : GpuHooks
+{
+    void onBarrierArrive(int) override {}
+    void onThreadDone(int) override {}
+};
+
+Kernel
+trivialKernel(unsigned simd_width = 16)
+{
+    KernelBuilder b("t", simd_width);
+    auto x = b.tmp(DataType::D);
+    b.mov(x, b.d(1));
+    return b.build();
+}
+
+class DispatcherTest : public ::testing::Test
+{
+  protected:
+    void
+    makeEus(unsigned count, unsigned threads = 6)
+    {
+        EuConfig config;
+        config.numThreads = threads;
+        mem_ = std::make_unique<iwc::mem::MemSystem>(
+            iwc::mem::MemConfig{});
+        for (unsigned i = 0; i < count; ++i) {
+            eus_.push_back(
+                std::make_unique<EuCore>(i, config, *mem_, hooks_));
+            eus_.back()->bindKernel(kernel_, gmem_);
+        }
+    }
+
+    unsigned
+    totalFreeSlots() const
+    {
+        unsigned total = 0;
+        for (const auto &eu : eus_)
+            total += eu->numFreeSlots();
+        return total;
+    }
+
+    iwc::func::GlobalMemory gmem_;
+    Kernel kernel_ = trivialKernel();
+    NullHooks hooks_;
+    std::unique_ptr<iwc::mem::MemSystem> mem_;
+    std::vector<std::unique_ptr<EuCore>> eus_;
+    std::vector<std::uint32_t> args_;
+};
+
+TEST_F(DispatcherTest, SplitsNdRangeIntoSubgroups)
+{
+    Dispatcher d(kernel_, 256, 64, args_);
+    EXPECT_EQ(d.numWorkgroups(), 4u);
+    EXPECT_EQ(d.totalThreads(), 16u); // 4 WGs x 4 SIMD16 subgroups
+}
+
+TEST_F(DispatcherTest, PartialTailWorkgroup)
+{
+    // 150 items, local 64: WGs of 64, 64, 22 -> 4+4+2 subgroups.
+    Dispatcher d(kernel_, 150, 64, args_);
+    EXPECT_EQ(d.numWorkgroups(), 3u);
+    EXPECT_EQ(d.totalThreads(), 10u);
+}
+
+TEST_F(DispatcherTest, DispatchFillsFreeSlots)
+{
+    makeEus(2, 6); // 12 slots, each WG needs 4
+    Dispatcher d(kernel_, 64 * 10, 64, args_);
+    d.tryDispatch(eus_, 0, 0);
+    // 3 whole WGs fit (12 slots), the 4th must wait.
+    EXPECT_EQ(totalFreeSlots(), 0u);
+}
+
+TEST_F(DispatcherTest, WholeWorkgroupsOnly)
+{
+    makeEus(1, 6); // 6 slots; a WG needs 4
+    Dispatcher d(kernel_, 64 * 2, 64, args_);
+    d.tryDispatch(eus_, 0, 0);
+    // Only one WG placed: the second needs 4 slots but only 2 remain.
+    EXPECT_EQ(totalFreeSlots(), 2u);
+}
+
+TEST_F(DispatcherTest, BarrierReleasesWhenAllArrive)
+{
+    Dispatcher d(kernel_, 64, 64, args_); // 1 WG, 4 threads
+    makeEus(1);
+    d.tryDispatch(eus_, 0, 0);
+    d.barrierArrive(0);
+    d.barrierArrive(0);
+    d.barrierArrive(0);
+    EXPECT_TRUE(d.takeBarrierReleases().empty());
+    d.barrierArrive(0);
+    const auto releases = d.takeBarrierReleases();
+    ASSERT_EQ(releases.size(), 1u);
+    EXPECT_EQ(releases[0], 0);
+    // The release list drains.
+    EXPECT_TRUE(d.takeBarrierReleases().empty());
+}
+
+TEST_F(DispatcherTest, BarrierAccountsForFinishedThreads)
+{
+    Dispatcher d(kernel_, 64, 64, args_);
+    makeEus(1);
+    d.tryDispatch(eus_, 0, 0);
+    d.threadDone(0);
+    d.barrierArrive(0);
+    d.barrierArrive(0);
+    d.barrierArrive(0);
+    EXPECT_EQ(d.takeBarrierReleases().size(), 1u);
+}
+
+TEST_F(DispatcherTest, CompletionTracking)
+{
+    Dispatcher d(kernel_, 128, 64, args_); // 2 WGs x 4 threads
+    makeEus(2);
+    d.tryDispatch(eus_, 0, 0);
+    EXPECT_FALSE(d.allWorkDone());
+    for (int t = 0; t < 4; ++t)
+        d.threadDone(0);
+    EXPECT_FALSE(d.allWorkDone());
+    for (int t = 0; t < 4; ++t)
+        d.threadDone(1);
+    EXPECT_TRUE(d.allWorkDone());
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+/** @file Tests for the EU timing core: issue, pipes, compaction. */
+
+#include <gtest/gtest.h>
+
+#include "eu/eu_core.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using iwc::Cycle;
+using iwc::compaction::Mode;
+using iwc::eu::DispatchInfo;
+using iwc::eu::EuConfig;
+using iwc::eu::EuCore;
+using iwc::eu::GpuHooks;
+using iwc::func::GlobalMemory;
+using iwc::isa::CondMod;
+using iwc::isa::DataType;
+using iwc::isa::Kernel;
+using iwc::isa::KernelBuilder;
+
+struct TestHooks : GpuHooks
+{
+    int barriers = 0;
+    int done = 0;
+    int lastBarrierWg = -1;
+
+    void
+    onBarrierArrive(int wg_id) override
+    {
+        ++barriers;
+        lastBarrierWg = wg_id;
+    }
+
+    void onThreadDone(int) override { ++done; }
+};
+
+/** One-EU harness with a bound kernel and manual clocking. */
+class EuHarness
+{
+  public:
+    EuHarness(Kernel kernel, Mode mode,
+              std::vector<std::uint32_t> args = {})
+        : kernel_(std::move(kernel)), args_(std::move(args))
+    {
+        config_.mode = mode;
+        mem_ = std::make_unique<iwc::mem::MemSystem>(memConfig_);
+        eu_ = std::make_unique<EuCore>(0, config_, *mem_, hooks_);
+        eu_->bindKernel(kernel_, gmem_);
+    }
+
+    void
+    dispatchThread(unsigned subgroup = 0)
+    {
+        DispatchInfo info;
+        info.wgId = 0;
+        info.subgroupIndex = subgroup;
+        info.globalIdBase = subgroup * kernel_.simdWidth();
+        info.localIdBase = subgroup * kernel_.simdWidth();
+        info.dispatchMask =
+            iwc::laneMaskForWidth(kernel_.simdWidth());
+        info.argWords = &args_;
+        info.localSize = 64;
+        info.globalSize = 64;
+        info.numGroups = 1;
+        info.subgroupsPerGroup = 4;
+        eu_->dispatch(info);
+    }
+
+    /** Ticks until idle; returns elapsed cycles. */
+    Cycle
+    runToIdle(Cycle limit = 1000000)
+    {
+        Cycle c = 0;
+        while (!eu_->idle()) {
+            eu_->tick(c);
+            ++c;
+            EXPECT_LT(c, limit) << "EU did not drain";
+            if (c >= limit)
+                break;
+        }
+        return c;
+    }
+
+    GlobalMemory gmem_;
+    Kernel kernel_;
+    std::vector<std::uint32_t> args_;
+    EuConfig config_;
+    iwc::mem::MemConfig memConfig_;
+    std::unique_ptr<iwc::mem::MemSystem> mem_;
+    TestHooks hooks_;
+    std::unique_ptr<EuCore> eu_;
+};
+
+Kernel
+aluKernel(unsigned adds)
+{
+    KernelBuilder b("alu", 16);
+    auto x = b.tmp(DataType::F);
+    auto y = b.tmp(DataType::F);
+    b.mov(x, b.f(1.0f));
+    b.mov(y, b.f(2.0f));
+    for (unsigned i = 0; i < adds; ++i)
+        b.add(i % 2 ? x : y, x, y);
+    return b.build();
+}
+
+/** If/else kernel whose lane pattern is known statically. */
+Kernel
+divergentKernel(unsigned flops)
+{
+    KernelBuilder b("div", 16);
+    auto lane = b.tmp(DataType::UD);
+    auto x = b.tmp(DataType::F);
+    b.and_(lane, b.localId(), b.ud(15));
+    b.mov(x, b.f(1.0f));
+    // Pattern 0x1111: one active lane per quad.
+    auto bit = b.tmp(DataType::UD);
+    b.and_(bit, lane, b.ud(3));
+    b.cmp(CondMod::Eq, 0, bit, b.ud(0));
+    b.if_(0);
+    for (unsigned i = 0; i < flops; ++i)
+        b.mad(x, x, b.f(1.01f), b.f(0.1f));
+    b.endif_();
+    return b.build();
+}
+
+TEST(EuCoreTest, RunsKernelAndRetiresThread)
+{
+    EuHarness h(aluKernel(10), Mode::IvbOpt);
+    h.dispatchThread();
+    h.runToIdle();
+    EXPECT_EQ(h.hooks_.done, 1);
+    EXPECT_EQ(h.eu_->stats().threadsRetired, 1u);
+    // 12 ALU movs/adds + halt.
+    EXPECT_EQ(h.eu_->stats().instructions, 13u);
+    EXPECT_EQ(h.eu_->stats().aluInstructions, 12u);
+    EXPECT_EQ(h.eu_->stats().ctrlInstructions, 1u);
+}
+
+TEST(EuCoreTest, EuCycleStatsOrderedAcrossModes)
+{
+    EuHarness h(divergentKernel(16), Mode::IvbOpt);
+    h.dispatchThread();
+    h.runToIdle();
+    const auto &s = h.eu_->stats();
+    EXPECT_GE(s.euCycles(Mode::Baseline), s.euCycles(Mode::IvbOpt));
+    EXPECT_GE(s.euCycles(Mode::IvbOpt), s.euCycles(Mode::Bcc));
+    EXPECT_GT(s.euCycles(Mode::Bcc), s.euCycles(Mode::Scc));
+}
+
+TEST(EuCoreTest, SccShortensFpuOccupancy)
+{
+    // The 0x1111 pattern needs SCC: BCC cannot skip any quad.
+    EuHarness base(divergentKernel(32), Mode::Bcc);
+    base.dispatchThread();
+    base.runToIdle();
+
+    EuHarness scc(divergentKernel(32), Mode::Scc);
+    scc.dispatchThread();
+    scc.runToIdle();
+
+    EXPECT_LT(scc.eu_->fpu().busyCycles(),
+              base.eu_->fpu().busyCycles());
+    EXPECT_GT(scc.eu_->stats().sccSwizzledLanes, 0u);
+}
+
+TEST(EuCoreTest, DualThreadsOverlapExecution)
+{
+    EuHarness h(aluKernel(40), Mode::IvbOpt);
+    h.dispatchThread(0);
+    const Cycle together_start = 0;
+    (void)together_start;
+    h.dispatchThread(1);
+    const Cycle both = h.runToIdle();
+
+    EuHarness single(aluKernel(40), Mode::IvbOpt);
+    single.dispatchThread(0);
+    const Cycle one = single.runToIdle();
+
+    // Two threads on one EU take far less than twice one thread
+    // (different threads hide each other's dependency stalls).
+    EXPECT_LT(both, 2 * one);
+    EXPECT_EQ(h.hooks_.done, 2);
+}
+
+TEST(EuCoreTest, BarrierParksThreadUntilRelease)
+{
+    KernelBuilder b("bar", 16);
+    auto x = b.tmp(DataType::F);
+    b.mov(x, b.f(1.0f));
+    b.barrier();
+    b.add(x, x, b.f(1.0f));
+    EuHarness h(b.build(), Mode::IvbOpt);
+    h.dispatchThread();
+
+    Cycle c = 0;
+    while (h.hooks_.barriers == 0 && c < 1000) {
+        h.eu_->tick(c);
+        ++c;
+    }
+    ASSERT_EQ(h.hooks_.barriers, 1);
+    EXPECT_FALSE(h.eu_->idle());
+
+    // Without a release the thread stays parked.
+    for (Cycle i = 0; i < 100; ++i)
+        h.eu_->tick(c + i);
+    EXPECT_EQ(h.hooks_.done, 0);
+
+    h.eu_->releaseBarrier(0, c + 100);
+    for (Cycle i = 0; i < 200 && !h.eu_->idle(); ++i)
+        h.eu_->tick(c + 101 + i);
+    EXPECT_EQ(h.hooks_.done, 1);
+}
+
+TEST(EuCoreTest, LoadLatencyStallsDependentInstruction)
+{
+    KernelBuilder b("ld", 16);
+    auto buf = b.argBuffer("buf");
+    auto addr = b.tmp(DataType::UD);
+    auto v = b.tmp(DataType::F);
+    b.mad(addr, b.localId(), b.ud(4), buf);
+    b.gatherLoad(v, addr, DataType::F);
+    b.add(v, v, b.f(1.0f)); // depends on the load
+    Kernel k = b.build();
+
+    GlobalMemory probe;
+    EuHarness h(std::move(k), Mode::IvbOpt, {0});
+    const iwc::Addr base = h.gmem_.allocate(64);
+    h.args_[0] = static_cast<std::uint32_t>(base);
+    h.dispatchThread();
+    const Cycle total = h.runToIdle();
+    // A cold DRAM miss dominates: far beyond pure ALU time.
+    EXPECT_GT(total, h.memConfig_.dramLatency);
+    EXPECT_EQ(h.eu_->stats().memMessages, 1u);
+}
+
+TEST(EuCoreTest, IssueBandwidthLimitsIndependentStream)
+{
+    // Fully compressed (0-cycle) work cannot beat the issue rate.
+    EuConfig narrow;
+    narrow.issueWidth = 1;
+    narrow.arbitrationPeriod = 2; // 1 instruction per 2 cycles
+    EuHarness h(aluKernel(32), Mode::IvbOpt);
+    h.config_ = narrow;
+    h.eu_ = std::make_unique<EuCore>(0, narrow, *h.mem_, h.hooks_);
+    h.eu_->bindKernel(h.kernel_, h.gmem_);
+    h.dispatchThread();
+    const Cycle total = h.runToIdle();
+    // 33+ instructions at 1 per 2 cycles.
+    EXPECT_GE(total, 2 * 33u);
+}
+
+TEST(EuCoreTest, FreeSlotAccounting)
+{
+    EuHarness h(aluKernel(4), Mode::IvbOpt);
+    EXPECT_EQ(h.eu_->numFreeSlots(), h.config_.numThreads);
+    h.dispatchThread(0);
+    h.dispatchThread(1);
+    EXPECT_EQ(h.eu_->numFreeSlots(), h.config_.numThreads - 2);
+    h.runToIdle();
+    EXPECT_EQ(h.eu_->numFreeSlots(), h.config_.numThreads);
+}
+
+} // namespace

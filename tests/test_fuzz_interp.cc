@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Property/fuzz tests: randomly generated kernels are executed by the
+ * interpreter and checked against an independent host-side evaluator
+ * of the same semantics — broad coverage of operand handling, masks,
+ * predication, and integer arithmetic beyond the hand-written cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hh"
+#include "func/interp.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using iwc::LaneMask;
+using iwc::Rng;
+using iwc::func::GlobalMemory;
+using iwc::func::Interpreter;
+using iwc::func::ThreadState;
+using iwc::isa::CondMod;
+using iwc::isa::DataType;
+using iwc::isa::Kernel;
+using iwc::isa::KernelBuilder;
+
+constexpr unsigned kVars = 6;
+
+/** Host model: per-channel values of each virtual register. */
+using HostState = std::array<std::array<std::int64_t, 16>, kVars>;
+
+/** One random straight-line integer kernel + its host mirror. */
+struct FuzzProgram
+{
+    Kernel kernel;
+    HostState expected{};
+    std::array<std::uint8_t, kVars> regBase{};
+};
+
+std::int64_t
+wrap32(std::int64_t v)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint64_t>(v));
+}
+
+FuzzProgram
+makeProgram(std::uint64_t seed, unsigned length)
+{
+    Rng rng(seed);
+    KernelBuilder b("fuzz", 16);
+
+    std::array<iwc::isa::Reg, kVars> vars;
+    FuzzProgram prog{Kernel{}, {}, {}};
+    for (unsigned v = 0; v < kVars; ++v) {
+        vars[v] = b.tmp(DataType::D);
+        prog.regBase[v] = vars[v].base;
+        const auto init = static_cast<std::int32_t>(
+            rng.range(-1000, 1000));
+        b.mov(vars[v], b.d(init));
+        for (unsigned ch = 0; ch < 16; ++ch)
+            prog.expected[v][ch] = init;
+    }
+    // Give channels distinct values via the local-id vector.
+    b.add(vars[0], vars[0], b.localId());
+    for (unsigned ch = 0; ch < 16; ++ch)
+        prog.expected[0][ch] =
+            wrap32(prog.expected[0][ch] + ch);
+
+    LaneMask flag[2] = {0, 0};
+
+    for (unsigned i = 0; i < length; ++i) {
+        const unsigned dst = static_cast<unsigned>(rng.below(kVars));
+        const unsigned s0 = static_cast<unsigned>(rng.below(kVars));
+        const unsigned s1 = static_cast<unsigned>(rng.below(kVars));
+        const unsigned op = static_cast<unsigned>(rng.below(9));
+        const bool predicated = rng.chance(0.3);
+        const unsigned pf = static_cast<unsigned>(rng.below(2));
+        const bool inverted = rng.chance(0.5);
+
+        LaneMask exec = 0xffff;
+        if (predicated)
+            exec = inverted ? ~flag[pf] & 0xffff : flag[pf] & 0xffff;
+
+        auto apply = [&](auto fn) {
+            for (unsigned ch = 0; ch < 16; ++ch) {
+                if (!(exec & (LaneMask{1} << ch)))
+                    continue;
+                prog.expected[dst][ch] = wrap32(
+                    fn(prog.expected[s0][ch], prog.expected[s1][ch]));
+            }
+        };
+
+        iwc::isa::InstrRef ref = [&] {
+            switch (op) {
+              case 0:
+                apply([](auto a, auto b2) { return a + b2; });
+                return b.add(vars[dst], vars[s0], vars[s1]);
+              case 1:
+                apply([](auto a, auto b2) { return a - b2; });
+                return b.sub(vars[dst], vars[s0], vars[s1]);
+              case 2:
+                apply([](auto a, auto b2) { return a * b2; });
+                return b.mul(vars[dst], vars[s0], vars[s1]);
+              case 3:
+                apply([](auto a, auto b2) {
+                    return std::min(a, b2);
+                });
+                return b.min_(vars[dst], vars[s0], vars[s1]);
+              case 4:
+                apply([](auto a, auto b2) {
+                    return std::max(a, b2);
+                });
+                return b.max_(vars[dst], vars[s0], vars[s1]);
+              case 5:
+                apply([](auto a, auto b2) { return a & b2; });
+                return b.and_(vars[dst], vars[s0], vars[s1]);
+              case 6:
+                apply([](auto a, auto b2) { return a | b2; });
+                return b.or_(vars[dst], vars[s0], vars[s1]);
+              case 7:
+                apply([](auto a, auto b2) { return a ^ b2; });
+                return b.xor_(vars[dst], vars[s0], vars[s1]);
+              default:
+                // mad with s0 doubling as the addend: a*b + a.
+                apply([](auto a, auto b2) { return a * b2 + a; });
+                return b.mad(vars[dst], vars[s0], vars[s1], vars[s0]);
+            }
+        }();
+        if (predicated)
+            ref.pred(pf, inverted);
+
+        // Occasionally refresh a flag from a comparison.
+        if (rng.chance(0.4)) {
+            const unsigned cf = static_cast<unsigned>(rng.below(2));
+            const unsigned a = static_cast<unsigned>(rng.below(kVars));
+            const unsigned c = static_cast<unsigned>(rng.below(kVars));
+            b.cmp(CondMod::Lt, cf, vars[a], vars[c]);
+            LaneMask bits = 0;
+            for (unsigned ch = 0; ch < 16; ++ch)
+                if (prog.expected[a][ch] < prog.expected[c][ch])
+                    bits |= LaneMask{1} << ch;
+            flag[cf] = bits;
+        }
+    }
+
+    prog.kernel = b.build();
+    return prog;
+}
+
+class FuzzInterp : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzInterp, MatchesHostEvaluator)
+{
+    // Caveat for the mad case: the generator uses a*b + a (addend is
+    // always s0), mirrored identically on the host.
+    const FuzzProgram prog = makeProgram(GetParam(), 60);
+
+    GlobalMemory gmem;
+    Interpreter interp(prog.kernel, gmem);
+    ThreadState t;
+    t.reset(0xffff);
+    for (unsigned ch = 0; ch < 16; ++ch)
+        t.writeGrf<std::uint32_t>(
+            prog.kernel.localIdReg() * iwc::kGrfRegBytes + ch * 4, ch);
+    unsigned steps = 0;
+    while (!t.halted()) {
+        interp.step(t);
+        ASSERT_LT(++steps, 10000u);
+    }
+
+    for (unsigned v = 0; v < kVars; ++v) {
+        for (unsigned ch = 0; ch < 16; ++ch) {
+            const auto got = t.readGrf<std::int32_t>(
+                prog.regBase[v] * iwc::kGrfRegBytes + ch * 4);
+            ASSERT_EQ(got,
+                      static_cast<std::int32_t>(
+                          prog.expected[v][ch]))
+                << "seed " << GetParam() << " var " << v << " ch "
+                << ch;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzInterp,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+} // namespace

@@ -1,0 +1,531 @@
+/**
+ * @file
+ * Functional interpreter tests: arithmetic semantics per datatype,
+ * flags and predication, structured control flow (if/else, loops,
+ * break/cont, nesting), and memory messages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "func/interp.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using iwc::LaneMask;
+using iwc::func::GlobalMemory;
+using iwc::func::Interpreter;
+using iwc::func::SlmMemory;
+using iwc::func::StepResult;
+using iwc::func::ThreadState;
+using iwc::isa::CondMod;
+using iwc::isa::DataType;
+using iwc::isa::Kernel;
+using iwc::isa::KernelBuilder;
+
+/** Runs a kernel to completion on one SIMD16 thread; returns state. */
+class InterpRunner
+{
+  public:
+    explicit InterpRunner(Kernel kernel, unsigned slm_bytes = 0)
+        : kernel_(std::move(kernel)), interp_(kernel_, gmem_)
+    {
+        if (slm_bytes) {
+            slm_ = std::make_unique<SlmMemory>(slm_bytes);
+            interp_.setSlm(slm_.get());
+        }
+        state_.reset(iwc::laneMaskForWidth(kernel_.simdWidth()));
+        // Populate the id vectors the dispatcher would write.
+        for (unsigned ch = 0; ch < kernel_.simdWidth(); ++ch) {
+            state_.writeGrf<std::uint32_t>(
+                kernel_.globalIdReg() * iwc::kGrfRegBytes + ch * 4, ch);
+            state_.writeGrf<std::uint32_t>(
+                kernel_.localIdReg() * iwc::kGrfRegBytes + ch * 4, ch);
+        }
+    }
+
+    void
+    run(unsigned max_steps = 100000)
+    {
+        unsigned steps = 0;
+        while (!state_.halted()) {
+            interp_.step(state_);
+            ASSERT_LT(++steps, max_steps) << "kernel did not halt";
+        }
+    }
+
+    float
+    readF(unsigned reg, unsigned ch)
+    {
+        return state_.readGrf<float>(reg * iwc::kGrfRegBytes + ch * 4);
+    }
+
+    std::int32_t
+    readD(unsigned reg, unsigned ch)
+    {
+        return state_.readGrf<std::int32_t>(reg * iwc::kGrfRegBytes +
+                                            ch * 4);
+    }
+
+    GlobalMemory gmem_;
+    Kernel kernel_;
+    std::unique_ptr<SlmMemory> slm_;
+    Interpreter interp_;
+    ThreadState state_;
+};
+
+TEST(InterpAlu, FloatArithmetic)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::F);
+    auto y = b.tmp(DataType::F);
+    b.mov(x, b.f(3.0f));
+    b.mad(x, x, b.f(2.0f), b.f(1.0f)); // 7
+    b.sub(x, x, b.f(2.5f));            // 4.5
+    b.mul(y, x, x);                    // 20.25
+    b.div(y, y, b.f(4.5f));            // 4.5
+    b.sqrt(y, y);                      // ~2.1213
+    InterpRunner r(b.build());
+    r.run();
+    for (unsigned ch = 0; ch < 16; ++ch)
+        EXPECT_NEAR(r.readF(r.kernel_.firstTempReg() + 2, ch),
+                    std::sqrt(4.5f), 1e-5f);
+}
+
+TEST(InterpAlu, IntArithmeticAndShifts)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.mov(x, b.d(-20));
+    b.asr(x, x, b.d(2));     // -5
+    b.mul(x, x, b.d(-6));    // 30
+    b.and_(x, x, b.d(0x1f)); // 30
+    b.shl(x, x, b.d(1));     // 60
+    b.or_(x, x, b.d(3));     // 63
+    b.xor_(x, x, b.d(0x21)); // 63 ^ 33 = 30
+    InterpRunner r(b.build());
+    r.run();
+    EXPECT_EQ(r.readD(r.kernel_.firstTempReg(), 5), 30);
+}
+
+TEST(InterpAlu, ShrIsLogicalOver32Bits)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::UD);
+    b.mov(x, b.ud(0x80000000u));
+    b.shr(x, x, b.ud(4));
+    InterpRunner r(b.build());
+    r.run();
+    EXPECT_EQ(static_cast<std::uint32_t>(
+                  r.readD(r.kernel_.firstTempReg(), 0)),
+              0x08000000u);
+}
+
+TEST(InterpAlu, MovConvertsBetweenDomains)
+{
+    KernelBuilder b("t", 16);
+    auto f = b.tmp(DataType::F);
+    auto d = b.tmp(DataType::D);
+    b.mov(f, b.f(-2.75f));
+    b.mov(d, f); // trunc toward zero -> -2
+    InterpRunner r(b.build());
+    r.run();
+    EXPECT_EQ(r.readD(r.kernel_.firstTempReg() + 2, 3), -2);
+}
+
+TEST(InterpAlu, WordTypeWrapsAt16Bits)
+{
+    KernelBuilder b("t", 16);
+    auto w = b.tmp(DataType::W);
+    b.mov(w, b.d(32767));
+    b.add(w, w, b.d(1)); // wraps to -32768
+    auto d = b.tmp(DataType::D);
+    b.mov(d, w);
+    InterpRunner r(b.build());
+    r.run();
+    EXPECT_EQ(r.readD(r.kernel_.firstTempReg() + 1, 0), -32768);
+}
+
+TEST(InterpAlu, SourceModifiers)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::F);
+    auto y = b.tmp(DataType::F);
+    b.mov(x, b.f(-3.0f));
+    iwc::isa::Operand abs_x = x;
+    abs_x.absolute = true;
+    b.mov(y, abs_x); // 3
+    iwc::isa::Operand neg_y = y;
+    neg_y.negate = true;
+    b.add(y, neg_y, b.f(1.0f)); // -2
+    InterpRunner r(b.build());
+    r.run();
+    EXPECT_FLOAT_EQ(r.readF(r.kernel_.firstTempReg() + 2, 7), -2.0f);
+}
+
+TEST(InterpCmp, FlagsOnlyUpdateForEnabledChannels)
+{
+    KernelBuilder b("t", 16);
+    auto lane = b.tmp(DataType::UD);
+    b.and_(lane, b.localId(), b.ud(15));
+    // f0 = lanes >= 8.
+    b.cmp(CondMod::Ge, 0, lane, b.ud(8));
+    // Under ~f0 (lanes 0-7), set f1 = true; f1 starts 0.
+    b.cmp(CondMod::Eq, 1, lane, lane).pred(0, true);
+    InterpRunner r(b.build());
+    r.run();
+    EXPECT_EQ(r.state_.flag(0) & 0xffff, 0xff00u);
+    EXPECT_EQ(r.state_.flag(1) & 0xffff, 0x00ffu);
+}
+
+TEST(InterpSel, SelectsPerChannel)
+{
+    KernelBuilder b("t", 16);
+    auto lane = b.tmp(DataType::UD);
+    auto x = b.tmp(DataType::D);
+    b.and_(lane, b.localId(), b.ud(15));
+    b.cmp(CondMod::Lt, 0, lane, b.ud(4));
+    b.sel(0, x, b.d(100), b.d(200));
+    InterpRunner r(b.build());
+    r.run();
+    // lane (UD vector) occupies two registers; x starts at +2.
+    EXPECT_EQ(r.readD(r.kernel_.firstTempReg() + 2, 2), 100);
+    EXPECT_EQ(r.readD(r.kernel_.firstTempReg() + 2, 9), 200);
+}
+
+TEST(InterpCf, IfElseSplitsChannels)
+{
+    KernelBuilder b("t", 16);
+    auto lane = b.tmp(DataType::UD);
+    auto x = b.tmp(DataType::D);
+    b.and_(lane, b.localId(), b.ud(15));
+    b.mov(x, b.d(0));
+    b.cmp(CondMod::Lt, 0, lane, b.ud(6));
+    b.if_(0);
+    b.mov(x, b.d(1));
+    b.else_();
+    b.mov(x, b.d(2));
+    b.endif_();
+    InterpRunner r(b.build());
+    r.run();
+    for (unsigned ch = 0; ch < 16; ++ch)
+        EXPECT_EQ(r.readD(r.kernel_.firstTempReg() + 2, ch),
+                  ch < 6 ? 1 : 2);
+}
+
+TEST(InterpCf, UniformlyFalseIfJumpsOverBody)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.mov(x, b.d(7));
+    b.cmp(CondMod::Lt, 0, x, b.d(0)); // false everywhere
+    b.if_(0);
+    b.mov(x, b.d(1));
+    b.else_();
+    b.mov(x, b.d(2));
+    b.endif_();
+    InterpRunner r(b.build());
+
+    // Count executed instructions: the if body must be skipped.
+    unsigned steps = 0;
+    while (!r.state_.halted()) {
+        const StepResult res = r.interp_.step(r.state_);
+        if (res.instr->op == iwc::isa::Opcode::Mov &&
+            res.ip > 2) {
+            // Only the else-mov executes among the branch bodies.
+            EXPECT_EQ(res.ip, 5u);
+        }
+        ++steps;
+    }
+    EXPECT_EQ(r.readD(r.kernel_.firstTempReg(), 0), 2);
+    // mov, cmp, if (jump), else, mov, endif, halt = 7 steps.
+    EXPECT_EQ(steps, 7u);
+}
+
+TEST(InterpCf, NestedIfRestoresMasks)
+{
+    KernelBuilder b("t", 16);
+    auto lane = b.tmp(DataType::UD);
+    auto x = b.tmp(DataType::D);
+    b.and_(lane, b.localId(), b.ud(15));
+    b.mov(x, b.d(0));
+    b.cmp(CondMod::Lt, 0, lane, b.ud(8));
+    b.if_(0);
+    {
+        b.cmp(CondMod::Lt, 0, lane, b.ud(4));
+        b.if_(0);
+        b.mov(x, b.d(11));
+        b.else_();
+        b.mov(x, b.d(12));
+        b.endif_();
+    }
+    b.else_();
+    b.mov(x, b.d(20));
+    b.endif_();
+    b.add(x, x, b.d(100)); // all channels rejoin
+    InterpRunner r(b.build());
+    r.run();
+    for (unsigned ch = 0; ch < 16; ++ch) {
+        const int inner = ch < 4 ? 11 : (ch < 8 ? 12 : 20);
+        EXPECT_EQ(r.readD(r.kernel_.firstTempReg() + 2, ch),
+                  inner + 100);
+    }
+}
+
+TEST(InterpCf, LoopWithUniformTripCount)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    auto i = b.tmp(DataType::D);
+    b.mov(x, b.d(0));
+    b.mov(i, b.d(0));
+    b.loop_();
+    b.add(x, x, b.d(5));
+    b.add(i, i, b.d(1));
+    b.cmp(CondMod::Lt, 1, i, b.d(10));
+    b.endLoop(1);
+    InterpRunner r(b.build());
+    r.run();
+    EXPECT_EQ(r.readD(r.kernel_.firstTempReg(), 15), 50);
+}
+
+TEST(InterpCf, PerLaneLoopExit)
+{
+    // Lane k iterates k+1 times.
+    KernelBuilder b("t", 16);
+    auto lane = b.tmp(DataType::D);
+    auto count = b.tmp(DataType::D);
+    auto i = b.tmp(DataType::D);
+    b.mov(lane, b.localId());
+    b.mov(count, b.d(0));
+    b.mov(i, b.d(0));
+    b.loop_();
+    b.add(count, count, b.d(1));
+    b.add(i, i, b.d(1));
+    b.cmp(CondMod::Le, 1, i, lane);
+    b.endLoop(1);
+    InterpRunner r(b.build());
+    r.run();
+    for (unsigned ch = 0; ch < 16; ++ch)
+        EXPECT_EQ(r.readD(r.kernel_.firstTempReg() + 2, ch),
+                  static_cast<int>(ch) + 1);
+}
+
+TEST(InterpCf, BreakInsideIfKeepsChannelsParked)
+{
+    // Channels < 8 break out of the loop from inside an if; the
+    // others keep iterating. After the loop, everyone reconverges.
+    KernelBuilder b("t", 16);
+    auto lane = b.tmp(DataType::D);
+    auto iters = b.tmp(DataType::D);
+    auto i = b.tmp(DataType::D);
+    b.mov(lane, b.localId());
+    b.mov(iters, b.d(0));
+    b.mov(i, b.d(0));
+    b.loop_();
+    {
+        b.add(iters, iters, b.d(1));
+        b.cmp(CondMod::Lt, 0, lane, b.d(8));
+        b.if_(0);
+        b.cmp(CondMod::Ge, 1, i, b.d(2));
+        b.breakIf(1); // low lanes leave after 3 iterations
+        b.endif_();
+        b.add(i, i, b.d(1));
+        b.cmp(CondMod::Lt, 1, i, b.d(6));
+    }
+    b.endLoop(1);
+    b.add(iters, iters, b.d(100));
+    InterpRunner r(b.build());
+    r.run();
+    for (unsigned ch = 0; ch < 16; ++ch) {
+        EXPECT_EQ(r.readD(r.kernel_.firstTempReg() + 2, ch),
+                  (ch < 8 ? 3 : 6) + 100)
+            << "lane " << ch;
+    }
+}
+
+TEST(InterpCf, ContSkipsRestOfIteration)
+{
+    // Even lanes skip the accumulate on iterations 0 and 1.
+    KernelBuilder b("t", 16);
+    auto lane = b.tmp(DataType::D);
+    auto even = b.tmp(DataType::D);
+    auto acc = b.tmp(DataType::D);
+    auto i = b.tmp(DataType::D);
+    b.mov(lane, b.localId());
+    b.and_(even, lane, b.d(1));
+    b.mov(acc, b.d(0));
+    b.mov(i, b.d(0));
+    b.loop_();
+    {
+        b.add(i, i, b.d(1));
+        b.cmp(CondMod::Eq, 0, even, b.d(0));
+        b.if_(0);
+        b.cmp(CondMod::Le, 1, i, b.d(2));
+        b.contIf(1);
+        b.endif_();
+        b.add(acc, acc, b.d(10));
+        b.cmp(CondMod::Lt, 1, i, b.d(4));
+    }
+    b.endLoop(1);
+    InterpRunner r(b.build());
+    r.run();
+    for (unsigned ch = 0; ch < 16; ++ch) {
+        const bool is_even = (ch & 1) == 0;
+        EXPECT_EQ(r.readD(r.kernel_.firstTempReg() + 4, ch),
+                  is_even ? 20 : 40)
+            << "lane " << ch;
+    }
+}
+
+TEST(InterpMem, GatherScatterRoundTrip)
+{
+    KernelBuilder b("t", 16);
+    auto src = b.argBuffer("src");
+    auto dst = b.argBuffer("dst");
+    auto addr = b.tmp(DataType::UD);
+    auto v = b.tmp(DataType::F);
+    b.mad(addr, b.localId(), b.ud(4), src);
+    b.gatherLoad(v, addr, DataType::F);
+    b.mul(v, v, b.f(2.0f));
+    b.mad(addr, b.localId(), b.ud(4), dst);
+    b.scatterStore(addr, v, DataType::F);
+
+    InterpRunner r(b.build());
+    const iwc::Addr src_base = r.gmem_.allocate(64);
+    const iwc::Addr dst_base = r.gmem_.allocate(64);
+    for (unsigned i = 0; i < 16; ++i)
+        r.gmem_.store<float>(src_base + i * 4,
+                             static_cast<float>(i) + 0.5f);
+    // Bind args and local ids directly.
+    const auto &args = r.kernel_.args();
+    r.state_.writeGrf<std::uint32_t>(args[0].reg * 32,
+                                     static_cast<std::uint32_t>(
+                                         src_base));
+    r.state_.writeGrf<std::uint32_t>(args[1].reg * 32,
+                                     static_cast<std::uint32_t>(
+                                         dst_base));
+    for (unsigned ch = 0; ch < 16; ++ch)
+        r.state_.writeGrf<std::uint32_t>(
+            r.kernel_.localIdReg() * 32 + ch * 4, ch);
+    r.run();
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_FLOAT_EQ(r.gmem_.load<float>(dst_base + i * 4),
+                        (static_cast<float>(i) + 0.5f) * 2.0f);
+}
+
+TEST(InterpMem, DisabledChannelsDoNotAccessMemory)
+{
+    KernelBuilder b("t", 16);
+    auto dst = b.argBuffer("dst");
+    auto lane = b.tmp(DataType::UD);
+    auto addr = b.tmp(DataType::UD);
+    auto v = b.tmp(DataType::D);
+    b.and_(lane, b.localId(), b.ud(15));
+    b.mov(v, b.d(42));
+    b.mad(addr, lane, b.ud(4), dst);
+    b.cmp(CondMod::Lt, 0, lane, b.ud(4));
+    b.scatterStore(addr, v, DataType::D).pred(0);
+
+    InterpRunner r(b.build());
+    const iwc::Addr dst_base = r.gmem_.allocate(64);
+    r.state_.writeGrf<std::uint32_t>(r.kernel_.args()[0].reg * 32,
+                                     static_cast<std::uint32_t>(
+                                         dst_base));
+    for (unsigned ch = 0; ch < 16; ++ch)
+        r.state_.writeGrf<std::uint32_t>(
+            r.kernel_.localIdReg() * 32 + ch * 4, ch);
+    r.run();
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(r.gmem_.load<std::int32_t>(dst_base + i * 4),
+                  i < 4 ? 42 : 0);
+}
+
+TEST(InterpMem, BlockLoadStoreMovesWholeRegisters)
+{
+    KernelBuilder b("t", 16);
+    auto src = b.argBuffer("src");
+    auto dst = b.argBuffer("dst");
+    const unsigned raw = b.allocRaw(2);
+    b.blockLoad(raw, src, 2);
+    b.blockStore(dst, raw, 2);
+
+    InterpRunner r(b.build());
+    const iwc::Addr src_base = r.gmem_.allocate(64);
+    const iwc::Addr dst_base = r.gmem_.allocate(64);
+    for (unsigned i = 0; i < 16; ++i)
+        r.gmem_.store<std::uint32_t>(src_base + i * 4, i * 3 + 1);
+    r.state_.writeGrf<std::uint32_t>(r.kernel_.args()[0].reg * 32,
+                                     static_cast<std::uint32_t>(
+                                         src_base));
+    r.state_.writeGrf<std::uint32_t>(r.kernel_.args()[1].reg * 32,
+                                     static_cast<std::uint32_t>(
+                                         dst_base));
+    r.run();
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(r.gmem_.load<std::uint32_t>(dst_base + i * 4),
+                  i * 3 + 1);
+}
+
+TEST(InterpMem, SlmAtomicAddReturnsOldValue)
+{
+    KernelBuilder b("t", 16);
+    b.requireSlm(64);
+    auto addr = b.tmp(DataType::UD);
+    auto one = b.tmp(DataType::D);
+    auto old = b.tmp(DataType::D);
+    b.mov(addr, b.ud(0)); // all channels hit the same word
+    b.mov(one, b.d(1));
+    b.slmAtomicAdd(old, addr, one);
+
+    InterpRunner r(b.build(), 64);
+    r.run();
+    // Channels serialize in ascending order: old values are 0..15.
+    for (unsigned ch = 0; ch < 16; ++ch)
+        EXPECT_EQ(r.readD(r.kernel_.firstTempReg() + 4, ch),
+                  static_cast<int>(ch));
+    EXPECT_EQ(r.slm_->load<std::int32_t>(0), 16);
+}
+
+TEST(InterpMem, BarrierReportedToCaller)
+{
+    KernelBuilder b("t", 16);
+    b.barrier();
+    InterpRunner r(b.build());
+    const StepResult res = r.interp_.step(r.state_);
+    EXPECT_TRUE(res.isBarrier);
+    EXPECT_FALSE(r.state_.halted());
+}
+
+TEST(InterpMem, StepResultCarriesChannelAddresses)
+{
+    KernelBuilder b("t", 16);
+    auto dst = b.argBuffer("dst");
+    auto addr = b.tmp(DataType::UD);
+    auto v = b.tmp(DataType::D);
+    b.mov(v, b.d(1));
+    b.mad(addr, b.localId(), b.ud(64), dst); // one line per channel
+    b.scatterStore(addr, v, DataType::D);
+
+    InterpRunner r(b.build());
+    const iwc::Addr dst_base = r.gmem_.allocate(64 * 16);
+    r.state_.writeGrf<std::uint32_t>(r.kernel_.args()[0].reg * 32,
+                                     static_cast<std::uint32_t>(
+                                         dst_base));
+    for (unsigned ch = 0; ch < 16; ++ch)
+        r.state_.writeGrf<std::uint32_t>(
+            r.kernel_.localIdReg() * 32 + ch * 4, ch);
+    // Step to the send.
+    StepResult res;
+    do {
+        res = r.interp_.step(r.state_);
+    } while (!res.hasMem);
+    EXPECT_EQ(res.mem.mask, 0xffffu);
+    for (unsigned ch = 0; ch < 16; ++ch)
+        EXPECT_EQ(res.mem.addrs[ch], dst_base + ch * 64);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/** @file Unit tests for ISA types, operands, and the disassembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/isa.hh"
+
+namespace
+{
+
+using namespace iwc::isa;
+
+TEST(DataTypes, Sizes)
+{
+    EXPECT_EQ(dataTypeSize(DataType::UW), 2u);
+    EXPECT_EQ(dataTypeSize(DataType::W), 2u);
+    EXPECT_EQ(dataTypeSize(DataType::UD), 4u);
+    EXPECT_EQ(dataTypeSize(DataType::D), 4u);
+    EXPECT_EQ(dataTypeSize(DataType::F), 4u);
+    EXPECT_EQ(dataTypeSize(DataType::DF), 8u);
+    EXPECT_EQ(dataTypeSize(DataType::Q), 8u);
+}
+
+TEST(DataTypes, Classification)
+{
+    EXPECT_TRUE(isFloatType(DataType::F));
+    EXPECT_TRUE(isFloatType(DataType::DF));
+    EXPECT_FALSE(isFloatType(DataType::D));
+    EXPECT_TRUE(isSignedType(DataType::D));
+    EXPECT_FALSE(isSignedType(DataType::UD));
+}
+
+TEST(Opcodes, PipeClassification)
+{
+    EXPECT_TRUE(isExtendedMath(Opcode::Sqrt));
+    EXPECT_TRUE(isExtendedMath(Opcode::Sin));
+    EXPECT_FALSE(isExtendedMath(Opcode::Mad));
+    EXPECT_TRUE(isControlFlow(Opcode::If));
+    EXPECT_TRUE(isControlFlow(Opcode::Halt));
+    EXPECT_FALSE(isControlFlow(Opcode::Send));
+}
+
+TEST(Operands, GrfByteOffset)
+{
+    const Operand op = grfOperand(10, DataType::F, 3);
+    EXPECT_EQ(op.grfByteOffset(), 10u * 32 + 3 * 4);
+    const Operand wop = grfOperand(2, DataType::W, 5);
+    EXPECT_EQ(wop.grfByteOffset(), 2u * 32 + 5 * 2);
+}
+
+TEST(Operands, ImmediateEncodings)
+{
+    EXPECT_EQ(immD(-1).imm, 0xffffffffull);
+    EXPECT_EQ(immUD(7).imm, 7ull);
+    const Operand f = immF(1.0f);
+    EXPECT_EQ(f.imm, 0x3f800000ull);
+    EXPECT_TRUE(f.isImm());
+    EXPECT_TRUE(nullOperand().isNull());
+}
+
+TEST(Operands, ScalarBroadcast)
+{
+    const Operand s = grfScalar(4, DataType::UD, 1);
+    EXPECT_TRUE(s.scalar);
+    EXPECT_EQ(s.subReg, 1);
+}
+
+TEST(ExecElemBytes, WidestOperandWins)
+{
+    Instruction in;
+    in.op = Opcode::Add;
+    in.dst = grfOperand(10, DataType::F);
+    in.src0 = grfOperand(11, DataType::F);
+    in.src1 = immF(1.0f);
+    EXPECT_EQ(execElemBytes(in), 4u);
+    in.dst = grfOperand(10, DataType::DF);
+    EXPECT_EQ(execElemBytes(in), 8u);
+    in.dst = grfOperand(10, DataType::W);
+    in.src0 = grfOperand(11, DataType::W);
+    in.src1 = immW(3);
+    EXPECT_EQ(execElemBytes(in), 2u);
+}
+
+TEST(Disasm, RendersInstruction)
+{
+    Instruction in;
+    in.op = Opcode::Mad;
+    in.simdWidth = 16;
+    in.dst = grfOperand(12, DataType::F);
+    in.src0 = grfOperand(8, DataType::F);
+    in.src1 = immF(2.0f);
+    in.src2 = grfOperand(9, DataType::F);
+    const std::string text = instrToString(in);
+    EXPECT_NE(text.find("mad(16)"), std::string::npos);
+    EXPECT_NE(text.find("r12.0:f"), std::string::npos);
+    EXPECT_NE(text.find("2:f"), std::string::npos);
+}
+
+TEST(Disasm, RendersPredicationAndCmp)
+{
+    Instruction in;
+    in.op = Opcode::Cmp;
+    in.simdWidth = 8;
+    in.condMod = CondMod::Lt;
+    in.condFlag = 1;
+    in.src0 = grfOperand(3, DataType::D);
+    in.src1 = immD(5);
+    in.predCtrl = PredCtrl::Inverted;
+    in.predFlag = 0;
+    const std::string text = instrToString(in);
+    EXPECT_NE(text.find("(-f0)"), std::string::npos);
+    EXPECT_NE(text.find("cmp.lt.f1(8)"), std::string::npos);
+}
+
+TEST(Disasm, RendersSend)
+{
+    Instruction in;
+    in.op = Opcode::Send;
+    in.simdWidth = 16;
+    in.send.op = SendOp::GatherLoad;
+    in.dst = grfOperand(20, DataType::F);
+    in.src0 = grfOperand(18, DataType::UD);
+    const std::string text = instrToString(in);
+    EXPECT_NE(text.find("send.gather(16)"), std::string::npos);
+}
+
+} // namespace

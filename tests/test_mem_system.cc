@@ -1,0 +1,141 @@
+/** @file Tests for the assembled memory hierarchy timing model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_system.hh"
+
+namespace
+{
+
+using iwc::Addr;
+using iwc::Cycle;
+using iwc::kCacheLineBytes;
+using iwc::mem::MemConfig;
+using iwc::mem::MemResult;
+using iwc::mem::MemSystem;
+
+MemConfig
+smallConfig()
+{
+    MemConfig config;
+    config.dramLatency = 100;
+    return config;
+}
+
+TEST(MemSystemTest, ColdMissGoesToDram)
+{
+    MemSystem mem(smallConfig());
+    const MemResult r = mem.accessGlobal({0x1000}, false, 0);
+    // DC (cycle 0) + L3 lookup (7) + LLC (10) + DRAM (100) at minimum.
+    EXPECT_GE(r.completion, 100u);
+    EXPECT_EQ(r.l3Misses, 1u);
+    EXPECT_EQ(r.llcMisses, 1u);
+}
+
+TEST(MemSystemTest, HitIsFast)
+{
+    MemSystem mem(smallConfig());
+    const MemResult miss = mem.accessGlobal({0x1000}, false, 0);
+    const Cycle warm = miss.completion + 10;
+    const MemResult hit = mem.accessGlobal({0x1000}, false, warm);
+    EXPECT_EQ(hit.l3Misses, 0u);
+    EXPECT_EQ(hit.completion, warm + smallConfig().l3Latency);
+}
+
+TEST(MemSystemTest, MergedMissCompletesWithOriginalFill)
+{
+    MemSystem mem(smallConfig());
+    const MemResult first = mem.accessGlobal({0x1000}, false, 0);
+    const MemResult second = mem.accessGlobal({0x1000}, false, 2);
+    EXPECT_EQ(second.l3Misses, 0u);
+    EXPECT_LE(second.completion,
+              std::max<Cycle>(first.completion,
+                              2 + smallConfig().l3Latency));
+    EXPECT_GE(second.completion, 2 + smallConfig().l3Latency);
+}
+
+TEST(MemSystemTest, DataClusterBandwidthSerializesLines)
+{
+    // 8 lines through DC1 need 8 transfer slots.
+    MemConfig config = smallConfig();
+    config.dcLinesPerCycle = 1;
+    MemSystem dc1(config);
+    std::vector<Addr> lines;
+    for (unsigned i = 0; i < 8; ++i)
+        lines.push_back(i * kCacheLineBytes);
+    // Warm the caches so only DC bandwidth matters.
+    dc1.accessGlobal(lines, false, 0);
+    const Cycle warm = 10000;
+    const MemResult r1 = dc1.accessGlobal(lines, false, warm);
+
+    config.dcLinesPerCycle = 2;
+    MemSystem dc2(config);
+    dc2.accessGlobal(lines, false, 0);
+    const MemResult r2 = dc2.accessGlobal(lines, false, warm);
+
+    // DC2 halves the serialization delay.
+    EXPECT_EQ(r1.completion - warm,
+              7 + config.l3Latency); // last line enters at +7
+    EXPECT_EQ(r2.completion - warm, 3 + config.l3Latency);
+}
+
+TEST(MemSystemTest, PerfectL3NeverMisses)
+{
+    MemConfig config = smallConfig();
+    config.perfectL3 = true;
+    MemSystem mem(config);
+    const MemResult r = mem.accessGlobal({0x123400}, false, 0);
+    EXPECT_EQ(r.l3Misses, 0u);
+    EXPECT_EQ(r.completion, config.l3Latency);
+}
+
+TEST(MemSystemTest, BankConflictsSerializeLookups)
+{
+    MemConfig config = smallConfig();
+    config.perfectL3 = true;   // isolate bank contention
+    config.dcLinesPerCycle = 2; // both lines arrive the same cycle
+
+    // Same bank: the second lookup waits one cycle.
+    MemSystem same(config);
+    const Addr stride = config.l3Banks * kCacheLineBytes;
+    const MemResult conflict = same.accessGlobal({0, stride}, false, 0);
+    EXPECT_EQ(conflict.completion, config.l3Latency + 1);
+
+    // Different banks: both lookups proceed in parallel.
+    MemSystem diff(config);
+    const MemResult parallel =
+        diff.accessGlobal({0, kCacheLineBytes}, false, 0);
+    EXPECT_EQ(parallel.completion, config.l3Latency);
+}
+
+TEST(MemSystemTest, SlmLatencyAndConflicts)
+{
+    MemSystem mem(smallConfig());
+    iwc::func::MemAccess acc;
+    acc.op = iwc::isa::SendOp::SlmGatherLoad;
+    acc.elemBytes = 4;
+    acc.mask = 0xffff;
+    for (unsigned ch = 0; ch < 16; ++ch)
+        acc.addrs[ch] = ch * 4;
+    EXPECT_EQ(mem.accessSlm(acc, 100), 100 + smallConfig().slmLatency);
+
+    for (unsigned ch = 0; ch < 16; ++ch)
+        acc.addrs[ch] = ch * 64; // all bank 0
+    EXPECT_EQ(mem.accessSlm(acc, 100),
+              100 + smallConfig().slmLatency + 15);
+}
+
+TEST(MemSystemTest, DivergenceStatistic)
+{
+    MemSystem mem(smallConfig());
+    mem.accessGlobal({0x0}, false, 0);
+    std::vector<Addr> divergent;
+    for (unsigned i = 0; i < 15; ++i)
+        divergent.push_back(0x10000 + i * kCacheLineBytes);
+    mem.accessGlobal(divergent, false, 0);
+    EXPECT_EQ(mem.messages(), 2u);
+    EXPECT_EQ(mem.totalLines(), 16u);
+    EXPECT_DOUBLE_EQ(mem.avgLinesPerMessage(), 8.0);
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+/** @file Unit tests for functional global memory and SLM. */
+
+#include <gtest/gtest.h>
+
+#include "func/memory.hh"
+
+namespace
+{
+
+using iwc::Addr;
+using iwc::func::GlobalMemory;
+using iwc::func::SlmMemory;
+
+TEST(GlobalMemoryTest, AllocatorNeverReturnsZeroAndAligns)
+{
+    GlobalMemory mem;
+    const Addr a = mem.allocate(100);
+    EXPECT_NE(a, 0u);
+    EXPECT_EQ(a % 64, 0u);
+    const Addr b = mem.allocate(1, 128);
+    EXPECT_EQ(b % 128, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(GlobalMemoryTest, ReadWriteRoundTrip)
+{
+    GlobalMemory mem;
+    const Addr base = mem.allocate(64);
+    mem.store<std::uint64_t>(base, 0x1122334455667788ull);
+    EXPECT_EQ(mem.load<std::uint64_t>(base), 0x1122334455667788ull);
+    EXPECT_EQ(mem.load<std::uint32_t>(base + 4), 0x11223344u);
+}
+
+TEST(GlobalMemoryTest, UntouchedMemoryReadsZero)
+{
+    GlobalMemory mem;
+    EXPECT_EQ(mem.load<std::uint32_t>(0x100000), 0u);
+}
+
+TEST(GlobalMemoryTest, CrossPageAccess)
+{
+    GlobalMemory mem;
+    const Addr base = GlobalMemory::kPageBytes - 4;
+    const std::uint64_t value = 0xa1b2c3d4e5f60718ull;
+    mem.store(base, value);
+    EXPECT_EQ(mem.load<std::uint64_t>(base), value);
+    // Parts land on both pages.
+    EXPECT_EQ(mem.load<std::uint32_t>(base),
+              static_cast<std::uint32_t>(value));
+    EXPECT_EQ(mem.load<std::uint32_t>(base + 4),
+              static_cast<std::uint32_t>(value >> 32));
+}
+
+TEST(GlobalMemoryTest, BulkTransfer)
+{
+    GlobalMemory mem;
+    std::vector<std::uint8_t> data(10000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    const Addr base = mem.allocate(data.size());
+    mem.write(base, data.data(), data.size());
+    std::vector<std::uint8_t> out(data.size());
+    mem.read(base, out.data(), out.size());
+    EXPECT_EQ(data, out);
+}
+
+TEST(SlmMemoryTest, RoundTripAndBounds)
+{
+    SlmMemory slm(256);
+    EXPECT_EQ(slm.size(), 256u);
+    slm.store<float>(16, 2.5f);
+    EXPECT_FLOAT_EQ(slm.load<float>(16), 2.5f);
+    EXPECT_DEATH(slm.store<std::uint32_t>(256, 1), "out of range");
+}
+
+} // namespace

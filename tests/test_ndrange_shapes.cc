@@ -1,0 +1,92 @@
+/**
+ * @file
+ * NDRange shape sweep: every-work-item-exactly-once through the full
+ * timing simulator for awkward geometry (partial workgroups, partial
+ * subgroups, single-item launches, SIMD8 kernels, local sizes that
+ * are not subgroup multiples).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using iwc::gpu::Arg;
+using iwc::gpu::Device;
+using iwc::isa::DataType;
+using iwc::isa::Kernel;
+using iwc::isa::KernelBuilder;
+
+Kernel
+storeGid(unsigned simd_width)
+{
+    KernelBuilder b("gid" + std::to_string(simd_width), simd_width);
+    auto out = b.argBuffer("out");
+    auto addr = b.tmp(DataType::UD);
+    b.mad(addr, b.globalId(), b.ud(4), out);
+    auto v = b.tmp(DataType::UD);
+    b.add(v, b.globalId(), b.ud(1)); // gid+1 so 0 means "not written"
+    b.scatterStore(addr, v, DataType::UD);
+    return b.build();
+}
+
+struct Shape
+{
+    unsigned simdWidth;
+    std::uint64_t globalSize;
+    unsigned localSize;
+};
+
+class NdRangeShapes : public ::testing::TestWithParam<Shape>
+{
+};
+
+TEST_P(NdRangeShapes, EveryWorkItemRunsExactlyOnce)
+{
+    const Shape shape = GetParam();
+    Device dev;
+    const Kernel k = storeGid(shape.simdWidth);
+    const iwc::Addr out =
+        dev.allocBuffer((shape.globalSize + 64) * 4);
+    dev.launch(k, shape.globalSize, shape.localSize,
+               {Arg::buffer(out)});
+    for (std::uint64_t i = 0; i < shape.globalSize; ++i)
+        ASSERT_EQ(dev.memory().load<std::uint32_t>(out + i * 4), i + 1)
+            << "work item " << i;
+    // No overrun past the NDRange.
+    for (unsigned i = 0; i < 32; ++i)
+        ASSERT_EQ(dev.memory().load<std::uint32_t>(
+                      out + (shape.globalSize + i) * 4), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NdRangeShapes,
+    ::testing::Values(Shape{16, 1, 64},    // single work item
+                      Shape{16, 15, 64},   // sub-subgroup launch
+                      Shape{16, 17, 64},   // one full + partial
+                      Shape{16, 64, 64},   // exactly one workgroup
+                      Shape{16, 65, 64},   // one WG + 1 item
+                      Shape{16, 1000, 64}, // ragged tail
+                      Shape{16, 100, 24},  // local not a SG multiple
+                      Shape{16, 300, 100}, // >1 EU's worth per WG
+                      Shape{8, 100, 24},   // SIMD8 kernel
+                      Shape{8, 333, 40},
+                      Shape{32, 500, 96},  // SIMD32 kernel
+                      Shape{32, 33, 64}));
+
+TEST(NdRangeShapes, FunctionalAndTimingAgreeOnRaggedShape)
+{
+    const Kernel k = storeGid(16);
+    Device a, b2;
+    const iwc::Addr oa = a.allocBuffer(777 * 4);
+    const iwc::Addr ob = b2.allocBuffer(777 * 4);
+    a.launch(k, 777, 48, {Arg::buffer(oa)});
+    b2.launchFunctional(k, 777, 48, {Arg::buffer(ob)});
+    EXPECT_EQ(a.downloadVector<std::uint32_t>(oa, 777),
+              b2.downloadVector<std::uint32_t>(ob, 777));
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the small EU/mem building blocks: pipe selection and
+ * occupancy, the rotating arbiter, bandwidth/bank resources, and the
+ * GPU config option plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eu/arbiter.hh"
+#include "eu/pipes.hh"
+#include "gpu/gpu_config.hh"
+#include "mem/resources.hh"
+
+namespace
+{
+
+using namespace iwc;
+
+TEST(PipeSelection, OpcodesRouteToTheRightPipe)
+{
+    isa::Instruction in;
+    in.op = isa::Opcode::Mad;
+    EXPECT_EQ(eu::pipeFor(in), eu::PipeKind::Fpu);
+    in.op = isa::Opcode::Sqrt;
+    EXPECT_EQ(eu::pipeFor(in), eu::PipeKind::Em);
+    in.op = isa::Opcode::Sin;
+    EXPECT_EQ(eu::pipeFor(in), eu::PipeKind::Em);
+    in.op = isa::Opcode::Send;
+    EXPECT_EQ(eu::pipeFor(in), eu::PipeKind::Send);
+    in.op = isa::Opcode::EndIf;
+    EXPECT_EQ(eu::pipeFor(in), eu::PipeKind::Ctrl);
+    in.op = isa::Opcode::Halt;
+    EXPECT_EQ(eu::pipeFor(in), eu::PipeKind::Ctrl);
+}
+
+TEST(ExecPipeTest, OccupancyBlocksAndAccumulates)
+{
+    eu::ExecPipe pipe;
+    EXPECT_TRUE(pipe.canAccept(0));
+    pipe.occupy(0, 4);
+    EXPECT_FALSE(pipe.canAccept(3));
+    EXPECT_TRUE(pipe.canAccept(4));
+    pipe.occupy(4, 1);
+    EXPECT_EQ(pipe.busyCycles(), 5u);
+    EXPECT_EQ(pipe.instructions(), 2u);
+}
+
+TEST(ExecPipeTest, ZeroCycleOccupancyLeavesPipeFree)
+{
+    // A fully-compressed instruction frees its slot immediately.
+    eu::ExecPipe pipe;
+    pipe.occupy(10, 0);
+    EXPECT_TRUE(pipe.canAccept(10));
+}
+
+TEST(ArbiterTest, RoundRobinIsFair)
+{
+    eu::RotatingArbiter arbiter(4);
+    std::vector<unsigned> grants(4, 0);
+    for (int round = 0; round < 100; ++round) {
+        const auto picks =
+            arbiter.pick(1, [](unsigned) { return true; });
+        ASSERT_EQ(picks.size(), 1u);
+        ++grants[picks[0]];
+    }
+    for (const unsigned g : grants)
+        EXPECT_EQ(g, 25u);
+}
+
+TEST(ArbiterTest, SkipsUnreadySlots)
+{
+    eu::RotatingArbiter arbiter(4);
+    const auto picks =
+        arbiter.pick(2, [](unsigned i) { return i == 1 || i == 3; });
+    ASSERT_EQ(picks.size(), 2u);
+    EXPECT_EQ(picks[0], 1u);
+    EXPECT_EQ(picks[1], 3u);
+}
+
+TEST(ArbiterTest, RespectsPickLimit)
+{
+    eu::RotatingArbiter arbiter(8);
+    EXPECT_EQ(arbiter.pick(3, [](unsigned) { return true; }).size(),
+              3u);
+    EXPECT_TRUE(
+        arbiter.pick(2, [](unsigned) { return false; }).empty());
+}
+
+TEST(BankedResourceTest, BanksSerializeIndependently)
+{
+    mem::BankedResource banks(2);
+    EXPECT_EQ(banks.acquire(0, 10), 10u);
+    EXPECT_EQ(banks.acquire(0, 10), 11u); // bank 0 backed up
+    EXPECT_EQ(banks.acquire(1, 10), 10u); // bank 1 untouched
+    banks.reset();
+    EXPECT_EQ(banks.acquire(0, 0), 0u);
+}
+
+TEST(ThroughputResourceTest, SlotsPerCycleHonored)
+{
+    mem::ThroughputResource link(2);
+    EXPECT_EQ(link.acquire(5), 5u);
+    EXPECT_EQ(link.acquire(5), 5u); // two slots in cycle 5
+    EXPECT_EQ(link.acquire(5), 6u); // third spills into cycle 6
+    EXPECT_EQ(link.slotsUsed(), 3u);
+}
+
+TEST(GpuConfigTest, ParseModeNames)
+{
+    using compaction::Mode;
+    EXPECT_EQ(gpu::parseMode("baseline"), Mode::Baseline);
+    EXPECT_EQ(gpu::parseMode("ivb"), Mode::IvbOpt);
+    EXPECT_EQ(gpu::parseMode("ivb-opt"), Mode::IvbOpt);
+    EXPECT_EQ(gpu::parseMode("bcc"), Mode::Bcc);
+    EXPECT_EQ(gpu::parseMode("scc"), Mode::Scc);
+    EXPECT_EXIT(gpu::parseMode("nope"), ::testing::ExitedWithCode(1),
+                "unknown compaction mode");
+}
+
+TEST(GpuConfigTest, ApplyOptionsOverridesEverything)
+{
+    OptionMap opts;
+    opts.set("mode", "scc");
+    opts.set("eus", "12");
+    opts.set("threads", "8");
+    opts.set("dc", "2");
+    opts.set("perfect_l3", "1");
+    opts.set("issue_width", "2");
+    opts.set("arb_period", "2");
+    opts.set("dram_latency", "250");
+    opts.set("l3_kb", "256");
+    opts.set("llc_kb", "4096");
+    const gpu::GpuConfig config =
+        gpu::applyOptions(gpu::ivbConfig(), opts);
+    EXPECT_EQ(config.eu.mode, compaction::Mode::Scc);
+    EXPECT_EQ(config.numEus, 12u);
+    EXPECT_EQ(config.eu.numThreads, 8u);
+    EXPECT_EQ(config.mem.dcLinesPerCycle, 2u);
+    EXPECT_TRUE(config.mem.perfectL3);
+    EXPECT_EQ(config.eu.issueWidth, 2u);
+    EXPECT_EQ(config.eu.arbitrationPeriod, 2u);
+    EXPECT_EQ(config.mem.dramLatency, 250u);
+    EXPECT_EQ(config.mem.l3Bytes, 256u * 1024);
+    EXPECT_EQ(config.mem.llcBytes, 4096u * 1024);
+}
+
+TEST(GpuConfigTest, DefaultsAreTable3)
+{
+    const gpu::GpuConfig config = gpu::ivbConfig();
+    EXPECT_EQ(config.numEus, 6u);
+    EXPECT_EQ(config.eu.numThreads, 6u);
+    EXPECT_EQ(config.mem.l3Bytes, 128u * 1024);
+    EXPECT_EQ(config.mem.l3Ways, 64u);
+    EXPECT_EQ(config.mem.l3Banks, 4u);
+    EXPECT_EQ(config.mem.l3Latency, 7u);
+    EXPECT_EQ(config.mem.llcBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(config.mem.llcWays, 16u);
+    EXPECT_EQ(config.mem.llcBanks, 8u);
+    EXPECT_EQ(config.mem.llcLatency, 10u);
+    EXPECT_EQ(config.mem.slmLatency, 5u);
+    EXPECT_EQ(config.mem.dcLinesPerCycle, 1u);
+}
+
+} // namespace

@@ -1,0 +1,64 @@
+/** @file Tests for the register-file area model (Section 4.3). */
+
+#include <gtest/gtest.h>
+
+#include "compaction/rf_area.hh"
+
+namespace
+{
+
+using namespace iwc::compaction;
+
+TEST(RfArea, BaselineNormalizesToOne)
+{
+    EXPECT_DOUBLE_EQ(rfAreaRelative(baselineRf()), 1.0);
+}
+
+TEST(RfArea, PaperOrderingHolds)
+{
+    const double bcc = rfAreaRelative(bccRf());
+    const double scc = rfAreaRelative(sccRf());
+    const double per_lane = rfAreaRelative(perLaneRf());
+
+    // Section 4.3: BCC RF ~ +10% over baseline.
+    EXPECT_GT(bcc, 1.05);
+    EXPECT_LT(bcc, 1.15);
+    // Inter-warp per-lane banking costs more than +40%.
+    EXPECT_GT(per_lane, 1.40);
+    // "the register file for SCC is wider but shorter than the
+    // baseline" -> no area increase.
+    EXPECT_LT(scc, 1.0);
+    EXPECT_GT(scc, 0.9);
+}
+
+TEST(RfArea, AreaGrowsWithCapacity)
+{
+    RfOrganization big = baselineRf();
+    big.rows *= 2;
+    EXPECT_GT(rfArea(big), rfArea(baselineRf()) * 1.9);
+}
+
+TEST(RfArea, PortsArePricey)
+{
+    RfOrganization dual = baselineRf();
+    dual.ports = 2;
+    EXPECT_GT(rfArea(dual), rfArea(baselineRf()) * 1.5);
+}
+
+TEST(RfArea, BankingAddsPeriphery)
+{
+    // Same bits, split into 4 banks: strictly more area.
+    RfOrganization banked = baselineRf();
+    banked.banks = 4;
+    banked.rows /= 4;
+    EXPECT_GT(rfArea(banked), rfArea(baselineRf()));
+}
+
+TEST(RfArea, RejectsDegenerateOrganizations)
+{
+    RfOrganization bad;
+    bad.rows = 0;
+    EXPECT_DEATH(rfArea(bad), "degenerate");
+}
+
+} // namespace

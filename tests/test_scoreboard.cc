@@ -1,0 +1,139 @@
+/** @file Unit tests for the per-thread dependence scoreboard. */
+
+#include <gtest/gtest.h>
+
+#include "eu/scoreboard.hh"
+
+namespace
+{
+
+using namespace iwc::isa;
+using iwc::eu::Scoreboard;
+
+Instruction
+add16(unsigned dst, unsigned a, unsigned b)
+{
+    Instruction in;
+    in.op = Opcode::Add;
+    in.simdWidth = 16;
+    in.dst = grfOperand(dst, DataType::F);
+    in.src0 = grfOperand(a, DataType::F);
+    in.src1 = grfOperand(b, DataType::F);
+    return in;
+}
+
+TEST(ScoreboardTest, FreshBoardIsReady)
+{
+    Scoreboard sb;
+    EXPECT_TRUE(sb.ready(add16(10, 20, 30), 0));
+}
+
+TEST(ScoreboardTest, RawHazardStallsConsumer)
+{
+    Scoreboard sb;
+    const Instruction producer = add16(10, 20, 30);
+    sb.claimDst(producer, 15);
+    // Consumer reads r10 -> waits for cycle 15.
+    const Instruction consumer = add16(40, 10, 30);
+    EXPECT_FALSE(sb.ready(consumer, 14));
+    EXPECT_TRUE(sb.ready(consumer, 15));
+    EXPECT_EQ(sb.readyCycle(consumer), 15u);
+}
+
+TEST(ScoreboardTest, Simd16OperandSpansTwoRegisters)
+{
+    Scoreboard sb;
+    sb.claimDst(add16(10, 20, 30), 15); // r10 and r11 busy
+    const Instruction consumer = add16(40, 11, 30);
+    EXPECT_FALSE(sb.ready(consumer, 0));
+    // r12 is untouched.
+    const Instruction other = add16(40, 12, 30);
+    EXPECT_TRUE(sb.ready(other, 0));
+}
+
+TEST(ScoreboardTest, WawHazardStallsOverwrite)
+{
+    Scoreboard sb;
+    sb.claimDst(add16(10, 20, 30), 15);
+    const Instruction waw = add16(10, 20, 30);
+    EXPECT_FALSE(sb.ready(waw, 5));
+    EXPECT_TRUE(sb.ready(waw, 15));
+}
+
+TEST(ScoreboardTest, ScalarOperandTouchesOneRegister)
+{
+    Scoreboard sb;
+    Instruction in = add16(10, 20, 30);
+    in.src0 = grfScalar(20, DataType::F);
+    sb.claimDst(add16(21, 40, 41), 15); // r21-22 busy
+    // Scalar read of r20 element 0 does not touch r21.
+    EXPECT_TRUE(sb.ready(in, 0));
+}
+
+TEST(ScoreboardTest, FlagDependencies)
+{
+    Scoreboard sb;
+    Instruction cmp;
+    cmp.op = Opcode::Cmp;
+    cmp.simdWidth = 16;
+    cmp.condMod = CondMod::Lt;
+    cmp.condFlag = 0;
+    cmp.src0 = grfOperand(20, DataType::F);
+    cmp.src1 = immF(0.0f);
+    sb.claimDst(cmp, 9);
+
+    Instruction predicated = add16(10, 20, 30);
+    predicated.predCtrl = PredCtrl::Normal;
+    predicated.predFlag = 0;
+    EXPECT_FALSE(sb.ready(predicated, 8));
+    EXPECT_TRUE(sb.ready(predicated, 9));
+
+    // The other flag is independent.
+    predicated.predFlag = 1;
+    EXPECT_TRUE(sb.ready(predicated, 0));
+
+    // Sel reads its selector flag.
+    Instruction sel;
+    sel.op = Opcode::Sel;
+    sel.simdWidth = 16;
+    sel.dst = grfOperand(10, DataType::F);
+    sel.src0 = grfOperand(20, DataType::F);
+    sel.src1 = grfOperand(30, DataType::F);
+    sel.condFlag = 0;
+    EXPECT_FALSE(sb.ready(sel, 8));
+}
+
+TEST(ScoreboardTest, BlockMessagesSpanNumRegs)
+{
+    Scoreboard sb;
+    Instruction load;
+    load.op = Opcode::Send;
+    load.simdWidth = 16;
+    load.send = {SendOp::BlockLoad, DataType::UD, 4};
+    load.dst = grfOperand(20, DataType::UD);
+    load.src0 = grfScalar(10, DataType::UD);
+    sb.claimDst(load, 99); // r20-23 busy
+
+    EXPECT_FALSE(sb.ready(add16(40, 23, 30), 50));
+    EXPECT_TRUE(sb.ready(add16(40, 24, 30), 50));
+
+    // Block stores read their source register range.
+    Instruction store;
+    store.op = Opcode::Send;
+    store.simdWidth = 16;
+    store.send = {SendOp::BlockStore, DataType::UD, 4};
+    store.src0 = grfScalar(10, DataType::UD);
+    store.src1 = grfOperand(22, DataType::UD);
+    EXPECT_FALSE(sb.ready(store, 50));
+    EXPECT_TRUE(sb.ready(store, 99));
+}
+
+TEST(ScoreboardTest, ResetClearsEverything)
+{
+    Scoreboard sb;
+    sb.claimDst(add16(10, 20, 30), 1000);
+    sb.reset();
+    EXPECT_TRUE(sb.ready(add16(40, 10, 30), 0));
+}
+
+} // namespace

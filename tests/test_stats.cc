@@ -1,0 +1,106 @@
+/** @file Unit tests for the statistics package and table renderer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace iwc::stats;
+
+TEST(Counter, AccumulatesAndMerges)
+{
+    Counter a, b;
+    a += 5;
+    ++a;
+    b += 10;
+    a.merge(b);
+    EXPECT_EQ(a.value(), 16u);
+    a.reset();
+    EXPECT_EQ(a.value(), 0u);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average avg;
+    EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+    avg.sample(2.0);
+    avg.sample(4.0);
+    EXPECT_DOUBLE_EQ(avg.mean(), 3.0);
+    Average other;
+    other.sample(12.0);
+    avg.merge(other);
+    EXPECT_DOUBLE_EQ(avg.mean(), 6.0);
+    EXPECT_EQ(avg.count(), 3u);
+}
+
+TEST(HistogramTest, BinsAndClamping)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1, 2);
+    h.sample(3);
+    h.sample(99); // clamps into the last bin
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.bin(1), 2u);
+    EXPECT_EQ(h.bin(3), 2u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.4);
+}
+
+TEST(HistogramTest, Merge)
+{
+    Histogram a(3), b(3);
+    a.sample(0);
+    b.sample(2, 4);
+    a.merge(b);
+    EXPECT_EQ(a.bin(2), 4u);
+    EXPECT_EQ(a.total(), 5u);
+}
+
+TEST(GroupTest, ScalarsAndDump)
+{
+    Group g("kernel");
+    g.setScalar("cycles", 123);
+    g.setScalar("eff", 0.5);
+    EXPECT_TRUE(g.hasScalar("cycles"));
+    EXPECT_FALSE(g.hasScalar("nope"));
+    EXPECT_DOUBLE_EQ(g.getScalar("eff"), 0.5);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("kernel.cycles 123"), std::string::npos);
+}
+
+TEST(TableTest, PlainTextAlignment)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cellPct(0.125);
+    t.row().cell("b").cell(std::uint64_t{42});
+    std::ostringstream os;
+    t.print(os, "demo");
+    const std::string text = os.str();
+    EXPECT_NE(text.find("== demo =="), std::string::npos);
+    EXPECT_NE(text.find("12.5%"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+}
+
+TEST(TableTest, Csv)
+{
+    Table t({"a", "b"});
+    t.row().cell(1).cell(2);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, FormatPct)
+{
+    EXPECT_EQ(formatPct(0.2), "20.0%");
+    EXPECT_EQ(formatPct(0.333, 0), "33%");
+}
+
+} // namespace

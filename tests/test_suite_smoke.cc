@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Suite-wide smoke and consistency tests: every registered kernel
+ * validates structurally, disassembles, reports a sane layout, and
+ * produces identical EU-cycle accounting from the trace and timing
+ * paths; LaunchStats exports cleanly to a stats group.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/disasm.hh"
+#include "stats/stats.hh"
+#include "trace/analyzer.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using iwc::gpu::Device;
+using iwc::workloads::Entry;
+using iwc::workloads::registry;
+using iwc::workloads::Workload;
+
+class KernelSmoke : public ::testing::TestWithParam<Entry>
+{
+};
+
+TEST_P(KernelSmoke, BuildsValidatesAndDisassembles)
+{
+    Device dev;
+    const Workload w = GetParam().factory(dev, 1);
+    // validate() is fatal on violation; reaching here means it passed
+    // at build time. Re-run it explicitly for clarity.
+    w.kernel.validate();
+    EXPECT_GT(w.kernel.size(), 1u);
+    EXPECT_LE(w.kernel.regsUsed(), iwc::kGrfRegCount);
+    EXPECT_GE(w.kernel.firstTempReg(), 1u + w.kernel.numArgs());
+    EXPECT_EQ(w.args.size(), w.kernel.numArgs());
+    EXPECT_GT(w.globalSize, 0u);
+    EXPECT_GT(w.localSize, 0u);
+    EXPECT_EQ(w.globalSize % w.localSize, 0u)
+        << "suite workloads use whole workgroups";
+
+    const std::string text = iwc::isa::kernelToString(w.kernel);
+    EXPECT_NE(text.find("kernel " + w.kernel.name()),
+              std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+std::string
+entryName(const ::testing::TestParamInfo<Entry> &info)
+{
+    std::string name = info.param.name;
+    for (char &c : name)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, KernelSmoke,
+                         ::testing::ValuesIn(registry()), entryName);
+
+// The cross-methodology invariant, suite-wide: trace-based analysis of
+// the functional run must agree exactly with the timing EU's
+// accounting for a representative mix (cheap workloads only; the
+// heavier ones are covered in test_analyzer / test_integration).
+class CrossMethod : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CrossMethod, TraceEqualsTimingAccounting)
+{
+    Device func_dev;
+    Workload wf = iwc::workloads::make(GetParam(), func_dev, 1);
+    iwc::trace::TraceAnalyzer analyzer;
+    func_dev.launchFunctional(
+        wf.kernel, wf.globalSize, wf.localSize, wf.args,
+        [&](const iwc::isa::Instruction &in, iwc::LaneMask mask) {
+            analyzer.add(iwc::trace::recordOf(in, mask));
+        });
+
+    Device timing_dev;
+    Workload wt = iwc::workloads::make(GetParam(), timing_dev, 1);
+    const auto stats = timing_dev.launch(wt.kernel, wt.globalSize,
+                                         wt.localSize, wt.args);
+
+    const auto &a = analyzer.result();
+    ASSERT_EQ(a.records, stats.eu.instructions);
+    for (unsigned m = 0; m < iwc::compaction::kNumModes; ++m)
+        EXPECT_EQ(a.euCycles[m], stats.eu.euCyclesByMode[m])
+            << GetParam() << " mode " << m;
+    EXPECT_EQ(a.sumActiveLanes, stats.eu.sumActiveLanes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mix, CrossMethod,
+                         ::testing::Values("va", "bsort", "fwht",
+                                           "gauss", "scnv", "kmeans",
+                                           "path", "srad", "bop",
+                                           "urng", "fw", "dwthaar"));
+
+TEST(LaunchStatsExport, GroupContainsHeadlineScalars)
+{
+    Device dev;
+    Workload w = iwc::workloads::make("va", dev, 1);
+    const auto stats =
+        dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
+    iwc::stats::Group group("va");
+    stats.writeTo(group);
+    EXPECT_TRUE(group.hasScalar("total_cycles"));
+    EXPECT_TRUE(group.hasScalar("simd_efficiency"));
+    EXPECT_TRUE(group.hasScalar("eu_cycles_scc"));
+    EXPECT_TRUE(group.hasScalar("dc_throughput"));
+    EXPECT_DOUBLE_EQ(group.getScalar("total_cycles"),
+                     static_cast<double>(stats.totalCycles));
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("va.total_cycles"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/** @file Tests for synthetic trace generation and the paper profiles. */
+
+#include <gtest/gtest.h>
+
+#include "compaction/cycle_plan.hh"
+#include "trace/analyzer.hh"
+#include "trace/synthetic.hh"
+
+namespace
+{
+
+using namespace iwc::trace;
+using iwc::compaction::Mode;
+
+TEST(SyntheticTest, DeterministicPerSeed)
+{
+    SyntheticProfile p;
+    p.name = "t";
+    p.instructions = 5000;
+    p.seed = 9;
+    const MaskTrace a = synthesize(p);
+    const MaskTrace b = synthesize(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i)
+        ASSERT_EQ(a.records[i].execMask, b.records[i].execMask);
+    p.seed = 10;
+    const MaskTrace c = synthesize(p);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.records.size(); ++i)
+        differs |= a.records[i].execMask != c.records[i].execMask;
+    EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTest, RespectsInstructionCountAndWidth)
+{
+    SyntheticProfile p;
+    p.name = "t";
+    p.simdWidth = 8;
+    p.instructions = 1234;
+    const MaskTrace t = synthesize(p);
+    EXPECT_EQ(t.size(), 1234u);
+    for (const auto &r : t.records)
+        EXPECT_EQ(r.simdWidth, 8);
+}
+
+TEST(SyntheticTest, CoherentProfileHasHighEfficiency)
+{
+    SyntheticProfile p;
+    p.name = "t";
+    p.divergentFraction = 0.02;
+    p.instructions = 50000;
+    const TraceAnalysis a = analyzeTrace(synthesize(p));
+    EXPECT_GT(a.simdEfficiency(), 0.95);
+}
+
+TEST(SyntheticTest, DivergentProfileHasLowEfficiency)
+{
+    SyntheticProfile p;
+    p.name = "t";
+    p.divergentFraction = 0.8;
+    p.meanActive = 0.35;
+    p.instructions = 50000;
+    const TraceAnalysis a = analyzeTrace(synthesize(p));
+    EXPECT_LT(a.simdEfficiency(), 0.8);
+}
+
+TEST(SyntheticTest, ClusteringControlsBccSccSplit)
+{
+    SyntheticProfile clustered;
+    clustered.name = "c";
+    clustered.divergentFraction = 0.8;
+    clustered.meanActive = 0.3;
+    clustered.clustering = 0.95;
+    clustered.instructions = 50000;
+
+    SyntheticProfile scattered = clustered;
+    scattered.name = "s";
+    scattered.clustering = 0.05;
+    scattered.seed = 2;
+
+    const TraceAnalysis ca = analyzeTrace(synthesize(clustered));
+    const TraceAnalysis sa = analyzeTrace(synthesize(scattered));
+
+    // Clustered masks give BCC most of the win; scattered masks leave
+    // BCC little and SCC much.
+    const double c_bcc = ca.reduction(Mode::Bcc);
+    const double c_scc_extra =
+        ca.reduction(Mode::Scc) - ca.reduction(Mode::Bcc);
+    const double s_bcc = sa.reduction(Mode::Bcc);
+    const double s_scc_extra =
+        sa.reduction(Mode::Scc) - sa.reduction(Mode::Bcc);
+    EXPECT_GT(c_bcc, s_bcc);
+    EXPECT_GT(s_scc_extra, c_scc_extra);
+}
+
+TEST(PaperProfiles, AllPresentAndLookupWorks)
+{
+    const auto &profiles = paperTraceProfiles();
+    EXPECT_GE(profiles.size(), 15u);
+    EXPECT_EQ(profileByName("luxmark_sky").simdWidth, 8u);
+    EXPECT_EXIT(profileByName("no_such_trace"),
+                ::testing::ExitedWithCode(1), "unknown synthetic");
+}
+
+TEST(PaperProfiles, DivergentTracesLandInPaperRanges)
+{
+    // Figure 10's trace workloads: BCC+SCC benefits roughly 10%-45%,
+    // with SCC always at least matching BCC.
+    for (const auto &p : paperTraceProfiles()) {
+        if (p.divergentFraction < 0.3)
+            continue; // coherent fillers
+        const TraceAnalysis a = analyzeTrace(synthesize(p));
+        const double bcc = a.reduction(Mode::Bcc);
+        const double scc = a.reduction(Mode::Scc);
+        EXPECT_GE(scc, bcc) << p.name;
+        EXPECT_GT(scc, 0.05) << p.name;
+        EXPECT_LT(scc, 0.50) << p.name;
+        EXPECT_TRUE(a.isDivergent()) << p.name;
+    }
+}
+
+TEST(PaperProfiles, CoherentTracesStayCoherent)
+{
+    for (const auto &p : paperTraceProfiles()) {
+        if (p.divergentFraction >= 0.3)
+            continue;
+        const TraceAnalysis a = analyzeTrace(synthesize(p));
+        EXPECT_FALSE(a.isDivergent()) << p.name;
+    }
+}
+
+} // namespace

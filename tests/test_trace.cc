@@ -1,0 +1,127 @@
+/** @file Tests for trace records, capture, and serialization. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpu/device.hh"
+#include "isa/builder.hh"
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace iwc::trace;
+using iwc::gpu::Arg;
+using iwc::gpu::Device;
+using iwc::isa::DataType;
+using iwc::isa::KernelBuilder;
+
+TEST(TraceRecordTest, KindClassification)
+{
+    iwc::isa::Instruction in;
+    in.op = iwc::isa::Opcode::Mad;
+    EXPECT_EQ(kindOf(in), InstrKind::Alu);
+    in.op = iwc::isa::Opcode::Sqrt;
+    EXPECT_EQ(kindOf(in), InstrKind::Em);
+    in.op = iwc::isa::Opcode::Send;
+    EXPECT_EQ(kindOf(in), InstrKind::Send);
+    in.op = iwc::isa::Opcode::EndIf;
+    EXPECT_EQ(kindOf(in), InstrKind::Ctrl);
+}
+
+TEST(TraceRecordTest, RecordCapturesShape)
+{
+    iwc::isa::Instruction in;
+    in.op = iwc::isa::Opcode::Add;
+    in.simdWidth = 16;
+    in.dst = iwc::isa::grfOperand(10, DataType::DF);
+    in.src0 = iwc::isa::grfOperand(12, DataType::DF);
+    const TraceRecord r = recordOf(in, 0xdead5555);
+    EXPECT_EQ(r.simdWidth, 16);
+    EXPECT_EQ(r.elemBytes, 8);
+    EXPECT_EQ(r.execMask, 0x5555u); // clipped to the width
+    EXPECT_EQ(r.kind, InstrKind::Alu);
+}
+
+TEST(TraceCapture, ObserverBuildsTrace)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::F);
+    b.mov(x, b.f(1.0f));
+    b.mul(x, x, b.f(2.0f));
+    const auto kernel = b.build();
+
+    Device dev;
+    MaskTrace trace;
+    trace.name = "t";
+    dev.launchFunctional(kernel, 16, 16, {}, captureObserver(trace));
+    ASSERT_EQ(trace.size(), 3u); // mov, mul, halt
+    EXPECT_EQ(trace.records[0].execMask, 0xffffu);
+    EXPECT_EQ(trace.records[2].kind, InstrKind::Ctrl);
+}
+
+MaskTrace
+sampleTrace()
+{
+    MaskTrace trace;
+    trace.name = "sample";
+    trace.records = {
+        {16, 4, InstrKind::Alu, 0xffff},
+        {16, 4, InstrKind::Alu, 0x00f0},
+        {8, 4, InstrKind::Em, 0x0f},
+        {16, 2, InstrKind::Send, 0xffff},
+        {16, 4, InstrKind::Ctrl, 0x1111},
+    };
+    return trace;
+}
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    const MaskTrace trace = sampleTrace();
+    std::stringstream ss;
+    writeBinary(ss, trace);
+    const MaskTrace back = readBinary(ss);
+    EXPECT_EQ(back.name, trace.name);
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        EXPECT_EQ(back.records[i].simdWidth, trace.records[i].simdWidth);
+        EXPECT_EQ(back.records[i].elemBytes, trace.records[i].elemBytes);
+        EXPECT_EQ(back.records[i].kind, trace.records[i].kind);
+        EXPECT_EQ(back.records[i].execMask, trace.records[i].execMask);
+    }
+}
+
+TEST(TraceIo, TextRoundTrip)
+{
+    const MaskTrace trace = sampleTrace();
+    std::stringstream ss;
+    writeText(ss, trace);
+    const MaskTrace back = readText(ss);
+    EXPECT_EQ(back.name, trace.name);
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        EXPECT_EQ(back.records[i].execMask, trace.records[i].execMask);
+        EXPECT_EQ(back.records[i].kind, trace.records[i].kind);
+    }
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const MaskTrace trace = sampleTrace();
+    const std::string path =
+        ::testing::TempDir() + "/iwc_trace_test.bin";
+    writeBinaryFile(path, trace);
+    const MaskTrace back = readBinaryFile(path);
+    EXPECT_EQ(back.size(), trace.size());
+}
+
+TEST(TraceIo, RejectsGarbage)
+{
+    std::stringstream ss("not a trace at all");
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "not an IWC trace");
+}
+
+} // namespace

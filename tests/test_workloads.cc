@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload-suite tests: every registered workload validates against
+ * its CPU reference under the functional runner, and the
+ * divergent/coherent classification matches measured SIMD efficiency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/analyzer.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using iwc::gpu::Device;
+using iwc::workloads::Entry;
+using iwc::workloads::make;
+using iwc::workloads::registry;
+using iwc::workloads::Workload;
+
+class WorkloadCorrectness : public ::testing::TestWithParam<Entry>
+{
+};
+
+TEST_P(WorkloadCorrectness, FunctionalRunMatchesReference)
+{
+    Device dev;
+    Workload w = GetParam().factory(dev, 1);
+    dev.launchFunctional(w.kernel, w.globalSize, w.localSize, w.args);
+    EXPECT_TRUE(w.check(dev)) << w.name;
+}
+
+TEST_P(WorkloadCorrectness, DivergenceClassMatchesMeasurement)
+{
+    Device dev;
+    Workload w = GetParam().factory(dev, 1);
+    iwc::trace::TraceAnalyzer analyzer;
+    dev.launchFunctional(
+        w.kernel, w.globalSize, w.localSize, w.args,
+        [&](const iwc::isa::Instruction &in, iwc::LaneMask mask) {
+            analyzer.add(iwc::trace::recordOf(in, mask));
+        });
+    const auto &a = analyzer.result();
+    if (w.expectDivergent) {
+        EXPECT_LT(a.simdEfficiency(), 0.95)
+            << w.name << " declared divergent but ran coherent";
+    } else {
+        EXPECT_GT(a.simdEfficiency(), 0.80)
+            << w.name << " declared coherent but ran very divergent";
+    }
+}
+
+std::string
+entryName(const ::testing::TestParamInfo<Entry> &info)
+{
+    std::string name = info.param.name;
+    for (char &c : name)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadCorrectness,
+                         ::testing::ValuesIn(registry()), entryName);
+
+TEST(Registry, LookupAndNameLists)
+{
+    EXPECT_GE(registry().size(), 30u);
+    EXPECT_EQ(std::string(
+                  iwc::workloads::entryByName("bfs").name), "bfs");
+    EXPECT_EXIT(iwc::workloads::entryByName("nope"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+    const auto divergent = iwc::workloads::divergentNames();
+    const auto coherent = iwc::workloads::coherentNames();
+    EXPECT_EQ(divergent.size() + coherent.size(),
+              iwc::workloads::allNames().size());
+    EXPECT_GE(divergent.size(), 14u);
+}
+
+TEST(Registry, MakeInstantiatesByName)
+{
+    Device dev;
+    const Workload w = make("va", dev, 1);
+    EXPECT_EQ(w.name, "va");
+    EXPECT_GT(w.globalSize, 0u);
+    EXPECT_EQ(w.kernel.numArgs(), w.args.size());
+}
+
+} // namespace

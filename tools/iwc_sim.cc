@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Command-line simulator driver: run any workload of the suite on any
+ * machine configuration and print the full statistics dump — the tool
+ * a downstream user reaches for first.
+ *
+ *   iwc_sim list=1                       # show available workloads
+ *   iwc_sim workload=bfs                 # run one workload (ivb-opt)
+ *   iwc_sim workload=bfs mode=scc dc=2 perfect_l3=1 scale=2
+ *   iwc_sim workload=bfs compare=1       # run all four modes
+ *   iwc_sim workload=bfs check=1         # also verify vs CPU reference
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/config.hh"
+#include "gpu/device.hh"
+#include "stats/table.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace iwc;
+
+void
+printStats(const gpu::LaunchStats &stats)
+{
+    using compaction::Mode;
+    std::printf("  total cycles          : %llu\n",
+                static_cast<unsigned long long>(stats.totalCycles));
+    std::printf("  workgroups / threads  : %u / %llu\n",
+                stats.workgroups,
+                static_cast<unsigned long long>(stats.threads));
+    std::printf("  instructions          : %llu (alu %llu, send %llu, "
+                "ctrl %llu)\n",
+                static_cast<unsigned long long>(stats.eu.instructions),
+                static_cast<unsigned long long>(
+                    stats.eu.aluInstructions),
+                static_cast<unsigned long long>(
+                    stats.eu.sendInstructions),
+                static_cast<unsigned long long>(
+                    stats.eu.ctrlInstructions));
+    std::printf("  SIMD efficiency       : %.1f%%\n",
+                stats.simdEfficiency() * 100);
+    std::printf("  EU cycles base/ivb    : %llu / %llu\n",
+                static_cast<unsigned long long>(
+                    stats.eu.euCycles(Mode::Baseline)),
+                static_cast<unsigned long long>(
+                    stats.eu.euCycles(Mode::IvbOpt)));
+    std::printf("  EU-cycle reduction    : bcc %.1f%%, scc %.1f%% "
+                "(vs ivb-opt)\n",
+                stats.euCycleReduction(Mode::Bcc) * 100,
+                stats.euCycleReduction(Mode::Scc) * 100);
+    std::printf("  FPU / EM busy cycles  : %llu / %llu\n",
+                static_cast<unsigned long long>(stats.fpuBusyCycles),
+                static_cast<unsigned long long>(stats.emBusyCycles));
+    std::printf("  mem messages / lines  : %llu / %llu "
+                "(%.2f lines/msg)\n",
+                static_cast<unsigned long long>(stats.eu.memMessages),
+                static_cast<unsigned long long>(stats.eu.memLines),
+                stats.avgLinesPerMessage);
+    std::printf("  L3 hits/misses        : %llu / %llu\n",
+                static_cast<unsigned long long>(stats.l3Hits),
+                static_cast<unsigned long long>(stats.l3Misses));
+    std::printf("  LLC hits/misses       : %llu / %llu\n",
+                static_cast<unsigned long long>(stats.llcHits),
+                static_cast<unsigned long long>(stats.llcMisses));
+    std::printf("  DRAM lines            : %llu\n",
+                static_cast<unsigned long long>(stats.dramLines));
+    std::printf("  DC throughput         : %.3f lines/cycle\n",
+                stats.dcThroughput());
+    std::printf("  SLM accesses          : %llu\n",
+                static_cast<unsigned long long>(stats.slmAccesses));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const OptionMap opts(argc, argv);
+
+    if (opts.getBool("list", false) || !opts.has("workload")) {
+        std::puts("usage: iwc_sim workload=<name> [mode=baseline|ivb|"
+                  "bcc|scc] [scale=N] [compare=1] [check=1]");
+        std::puts("       plus machine overrides: eus= threads= dc= "
+                  "perfect_l3= issue_width= arb_period= dram_latency= "
+                  "l3_kb= llc_kb=\n");
+        std::puts("workloads:");
+        for (const auto &entry : workloads::registry())
+            std::printf("  %-18s %s%s\n", entry.name,
+                        entry.description,
+                        entry.expectDivergent ? " [divergent]" : "");
+        return opts.has("workload") ? 0 : 1;
+    }
+
+    const std::string name = opts.getString("workload", "");
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 1));
+    const bool check = opts.getBool("check", false);
+
+    auto run = [&](compaction::Mode mode) {
+        gpu::GpuConfig config =
+            gpu::applyOptions(gpu::ivbConfig(mode), opts);
+        gpu::Device dev(config);
+        workloads::Workload w = workloads::make(name, dev, scale);
+        const gpu::LaunchStats stats =
+            dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
+        std::printf("%s under %s:\n", name.c_str(),
+                    compaction::modeName(mode));
+        printStats(stats);
+        if (check) {
+            const bool ok = w.check(dev);
+            std::printf("  reference check       : %s\n",
+                        ok ? "PASS" : "FAIL");
+            return ok;
+        }
+        return true;
+    };
+
+    bool ok = true;
+    if (opts.getBool("compare", false)) {
+        for (const auto mode :
+             {compaction::Mode::Baseline, compaction::Mode::IvbOpt,
+              compaction::Mode::Bcc, compaction::Mode::Scc}) {
+            ok = run(mode) && ok;
+            std::puts("");
+        }
+    } else {
+        ok = run(gpu::parseMode(opts.getString("mode", "ivb")));
+    }
+    return ok ? 0 : 1;
+}

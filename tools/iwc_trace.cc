@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Trace utility: capture execution-mask traces from workloads,
+ * synthesize the paper's trace workloads, convert between binary and
+ * text formats, and analyze any trace for BCC/SCC opportunity.
+ *
+ *   iwc_trace cmd=capture workload=bfs out=bfs.iwct [scale=N]
+ *   iwc_trace cmd=synth profile=luxmark_sky out=lux.iwct
+ *   iwc_trace cmd=analyze in=bfs.iwct
+ *   iwc_trace cmd=convert in=bfs.iwct out=bfs.txt text=1
+ *   iwc_trace cmd=profiles
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/config.hh"
+#include "gpu/device.hh"
+#include "trace/analyzer.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace iwc;
+
+int
+usage()
+{
+    std::puts(
+        "usage: iwc_trace cmd=<capture|synth|analyze|convert|profiles>"
+        "\n  capture : workload=<name> out=<file> [scale=N] [text=1]"
+        "\n  synth   : profile=<name> out=<file> [text=1]"
+        "\n  analyze : in=<file>"
+        "\n  convert : in=<file> out=<file> [text=1]"
+        "\n  profiles: list synthetic trace profiles");
+    return 1;
+}
+
+trace::MaskTrace
+readAny(const std::string &path)
+{
+    // Sniff the magic to pick the format.
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe)
+        fatal("cannot open %s", path.c_str());
+    char magic[4] = {};
+    probe.read(magic, 4);
+    probe.close();
+    if (std::string(magic, 4) == "IWCT")
+        return trace::readBinaryFile(path);
+    std::ifstream is(path);
+    return trace::readText(is);
+}
+
+void
+writeAny(const std::string &path, const trace::MaskTrace &t, bool text)
+{
+    if (text) {
+        std::ofstream os(path);
+        fatal_if(!os, "cannot open %s for writing", path.c_str());
+        trace::writeText(os, t);
+    } else {
+        trace::writeBinaryFile(path, t);
+    }
+}
+
+void
+analyze(const trace::MaskTrace &t)
+{
+    using compaction::Mode;
+    const trace::TraceAnalysis a = trace::analyzeTrace(t);
+    std::printf("trace %s: %llu records\n", t.name.c_str(),
+                static_cast<unsigned long long>(a.records));
+    std::printf("  SIMD efficiency    : %.1f%% (%s)\n",
+                a.simdEfficiency() * 100,
+                a.isDivergent() ? "divergent" : "coherent");
+    std::printf("  EU cycles baseline : %llu\n",
+                static_cast<unsigned long long>(
+                    a.cycles(Mode::Baseline)));
+    std::printf("  reduction ivb-opt  : %.1f%% (vs baseline)\n",
+                a.reduction(Mode::IvbOpt, Mode::Baseline) * 100);
+    std::printf("  reduction bcc      : %.1f%% (vs ivb-opt)\n",
+                a.reduction(Mode::Bcc) * 100);
+    std::printf("  reduction scc      : %.1f%% (vs ivb-opt)\n",
+                a.reduction(Mode::Scc) * 100);
+    std::printf("  utilization bins   :");
+    for (unsigned bin = 0; bin < compaction::kNumUtilBins; ++bin) {
+        const auto b = static_cast<compaction::UtilBin>(bin);
+        if (a.utilFraction(b) > 0.0005)
+            std::printf(" %s=%.1f%%", compaction::utilBinName(b),
+                        a.utilFraction(b) * 100);
+    }
+    std::puts("");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const OptionMap opts(argc, argv);
+    const std::string cmd = opts.getString("cmd", "");
+
+    if (cmd == "profiles") {
+        for (const auto &p : trace::paperTraceProfiles())
+            std::printf("  %-22s %s simd%u, %llu instrs\n",
+                        p.name.c_str(), p.category.c_str(),
+                        p.simdWidth,
+                        static_cast<unsigned long long>(
+                            p.instructions));
+        return 0;
+    }
+
+    if (cmd == "capture") {
+        const std::string name = opts.getString("workload", "");
+        const std::string out = opts.getString("out", "");
+        if (name.empty() || out.empty())
+            return usage();
+        gpu::Device dev;
+        workloads::Workload w = workloads::make(
+            name, dev, static_cast<unsigned>(opts.getInt("scale", 1)));
+        trace::MaskTrace t;
+        t.name = name;
+        dev.launchFunctional(w.kernel, w.globalSize, w.localSize,
+                             w.args, trace::captureObserver(t));
+        writeAny(out, t, opts.getBool("text", false));
+        std::printf("captured %llu records to %s\n",
+                    static_cast<unsigned long long>(t.size()),
+                    out.c_str());
+        analyze(t);
+        return 0;
+    }
+
+    if (cmd == "synth") {
+        const std::string profile = opts.getString("profile", "");
+        const std::string out = opts.getString("out", "");
+        if (profile.empty() || out.empty())
+            return usage();
+        const trace::MaskTrace t =
+            trace::synthesize(trace::profileByName(profile));
+        writeAny(out, t, opts.getBool("text", false));
+        std::printf("synthesized %llu records to %s\n",
+                    static_cast<unsigned long long>(t.size()),
+                    out.c_str());
+        analyze(t);
+        return 0;
+    }
+
+    if (cmd == "analyze") {
+        const std::string in = opts.getString("in", "");
+        if (in.empty())
+            return usage();
+        analyze(readAny(in));
+        return 0;
+    }
+
+    if (cmd == "convert") {
+        const std::string in = opts.getString("in", "");
+        const std::string out = opts.getString("out", "");
+        if (in.empty() || out.empty())
+            return usage();
+        writeAny(out, readAny(in), opts.getBool("text", false));
+        return 0;
+    }
+
+    return usage();
+}
