@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_issue_bw.dir/ablation_issue_bw.cc.o"
+  "CMakeFiles/ablation_issue_bw.dir/ablation_issue_bw.cc.o.d"
+  "ablation_issue_bw"
+  "ablation_issue_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_issue_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

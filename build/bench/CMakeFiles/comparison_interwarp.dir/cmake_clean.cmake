@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_interwarp.dir/comparison_interwarp.cc.o"
+  "CMakeFiles/comparison_interwarp.dir/comparison_interwarp.cc.o.d"
+  "comparison_interwarp"
+  "comparison_interwarp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_interwarp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_simd_efficiency.dir/fig03_simd_efficiency.cc.o"
+  "CMakeFiles/fig03_simd_efficiency.dir/fig03_simd_efficiency.cc.o.d"
+  "fig03_simd_efficiency"
+  "fig03_simd_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_simd_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ivb_microbench.dir/fig08_ivb_microbench.cc.o"
+  "CMakeFiles/fig08_ivb_microbench.dir/fig08_ivb_microbench.cc.o.d"
+  "fig08_ivb_microbench"
+  "fig08_ivb_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ivb_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

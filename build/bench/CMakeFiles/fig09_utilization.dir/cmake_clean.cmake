@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_utilization.dir/fig09_utilization.cc.o"
+  "CMakeFiles/fig09_utilization.dir/fig09_utilization.cc.o.d"
+  "fig09_utilization"
+  "fig09_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

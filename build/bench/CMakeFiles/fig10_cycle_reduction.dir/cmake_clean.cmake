@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cycle_reduction.dir/fig10_cycle_reduction.cc.o"
+  "CMakeFiles/fig10_cycle_reduction.dir/fig10_cycle_reduction.cc.o.d"
+  "fig10_cycle_reduction"
+  "fig10_cycle_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cycle_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

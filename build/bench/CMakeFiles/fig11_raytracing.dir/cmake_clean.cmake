@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_raytracing.dir/fig11_raytracing.cc.o"
+  "CMakeFiles/fig11_raytracing.dir/fig11_raytracing.cc.o.d"
+  "fig11_raytracing"
+  "fig11_raytracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_raytracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

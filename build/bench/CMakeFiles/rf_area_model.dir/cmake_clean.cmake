@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_area_model.dir/rf_area_model.cc.o"
+  "CMakeFiles/rf_area_model.dir/rf_area_model.cc.o.d"
+  "rf_area_model"
+  "rf_area_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_area_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

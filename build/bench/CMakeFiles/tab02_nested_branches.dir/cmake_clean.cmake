@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_nested_branches.dir/tab02_nested_branches.cc.o"
+  "CMakeFiles/tab02_nested_branches.dir/tab02_nested_branches.cc.o.d"
+  "tab02_nested_branches"
+  "tab02_nested_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_nested_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

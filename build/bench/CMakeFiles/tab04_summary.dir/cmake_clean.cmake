@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_summary.dir/tab04_summary.cc.o"
+  "CMakeFiles/tab04_summary.dir/tab04_summary.cc.o.d"
+  "tab04_summary"
+  "tab04_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

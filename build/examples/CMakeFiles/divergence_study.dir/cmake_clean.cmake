@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divergence_study.dir/divergence_study.cc.o"
+  "CMakeFiles/divergence_study.dir/divergence_study.cc.o.d"
+  "divergence_study"
+  "divergence_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divergence_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

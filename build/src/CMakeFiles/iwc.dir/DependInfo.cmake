@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/iwc.dir/common/config.cc.o" "gcc" "src/CMakeFiles/iwc.dir/common/config.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/iwc.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/iwc.dir/common/logging.cc.o.d"
+  "/root/repo/src/compaction/cycle_plan.cc" "src/CMakeFiles/iwc.dir/compaction/cycle_plan.cc.o" "gcc" "src/CMakeFiles/iwc.dir/compaction/cycle_plan.cc.o.d"
+  "/root/repo/src/compaction/energy.cc" "src/CMakeFiles/iwc.dir/compaction/energy.cc.o" "gcc" "src/CMakeFiles/iwc.dir/compaction/energy.cc.o.d"
+  "/root/repo/src/compaction/interwarp.cc" "src/CMakeFiles/iwc.dir/compaction/interwarp.cc.o" "gcc" "src/CMakeFiles/iwc.dir/compaction/interwarp.cc.o.d"
+  "/root/repo/src/compaction/mask_info.cc" "src/CMakeFiles/iwc.dir/compaction/mask_info.cc.o" "gcc" "src/CMakeFiles/iwc.dir/compaction/mask_info.cc.o.d"
+  "/root/repo/src/compaction/rf_area.cc" "src/CMakeFiles/iwc.dir/compaction/rf_area.cc.o" "gcc" "src/CMakeFiles/iwc.dir/compaction/rf_area.cc.o.d"
+  "/root/repo/src/compaction/scc_algorithm.cc" "src/CMakeFiles/iwc.dir/compaction/scc_algorithm.cc.o" "gcc" "src/CMakeFiles/iwc.dir/compaction/scc_algorithm.cc.o.d"
+  "/root/repo/src/eu/arbiter.cc" "src/CMakeFiles/iwc.dir/eu/arbiter.cc.o" "gcc" "src/CMakeFiles/iwc.dir/eu/arbiter.cc.o.d"
+  "/root/repo/src/eu/eu_core.cc" "src/CMakeFiles/iwc.dir/eu/eu_core.cc.o" "gcc" "src/CMakeFiles/iwc.dir/eu/eu_core.cc.o.d"
+  "/root/repo/src/eu/pipes.cc" "src/CMakeFiles/iwc.dir/eu/pipes.cc.o" "gcc" "src/CMakeFiles/iwc.dir/eu/pipes.cc.o.d"
+  "/root/repo/src/eu/scoreboard.cc" "src/CMakeFiles/iwc.dir/eu/scoreboard.cc.o" "gcc" "src/CMakeFiles/iwc.dir/eu/scoreboard.cc.o.d"
+  "/root/repo/src/func/interp.cc" "src/CMakeFiles/iwc.dir/func/interp.cc.o" "gcc" "src/CMakeFiles/iwc.dir/func/interp.cc.o.d"
+  "/root/repo/src/func/memory.cc" "src/CMakeFiles/iwc.dir/func/memory.cc.o" "gcc" "src/CMakeFiles/iwc.dir/func/memory.cc.o.d"
+  "/root/repo/src/func/thread_state.cc" "src/CMakeFiles/iwc.dir/func/thread_state.cc.o" "gcc" "src/CMakeFiles/iwc.dir/func/thread_state.cc.o.d"
+  "/root/repo/src/gpu/device.cc" "src/CMakeFiles/iwc.dir/gpu/device.cc.o" "gcc" "src/CMakeFiles/iwc.dir/gpu/device.cc.o.d"
+  "/root/repo/src/gpu/dispatcher.cc" "src/CMakeFiles/iwc.dir/gpu/dispatcher.cc.o" "gcc" "src/CMakeFiles/iwc.dir/gpu/dispatcher.cc.o.d"
+  "/root/repo/src/gpu/gpu_config.cc" "src/CMakeFiles/iwc.dir/gpu/gpu_config.cc.o" "gcc" "src/CMakeFiles/iwc.dir/gpu/gpu_config.cc.o.d"
+  "/root/repo/src/gpu/simulator.cc" "src/CMakeFiles/iwc.dir/gpu/simulator.cc.o" "gcc" "src/CMakeFiles/iwc.dir/gpu/simulator.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/iwc.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/iwc.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/iwc.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/iwc.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/iwc.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/iwc.dir/isa/isa.cc.o.d"
+  "/root/repo/src/isa/kernel.cc" "src/CMakeFiles/iwc.dir/isa/kernel.cc.o" "gcc" "src/CMakeFiles/iwc.dir/isa/kernel.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/iwc.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/iwc.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/coalescer.cc" "src/CMakeFiles/iwc.dir/mem/coalescer.cc.o" "gcc" "src/CMakeFiles/iwc.dir/mem/coalescer.cc.o.d"
+  "/root/repo/src/mem/data_cluster.cc" "src/CMakeFiles/iwc.dir/mem/data_cluster.cc.o" "gcc" "src/CMakeFiles/iwc.dir/mem/data_cluster.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/iwc.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/iwc.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/iwc.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/iwc.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/mem/slm.cc" "src/CMakeFiles/iwc.dir/mem/slm.cc.o" "gcc" "src/CMakeFiles/iwc.dir/mem/slm.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/iwc.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/iwc.dir/stats/stats.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/iwc.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/iwc.dir/stats/table.cc.o.d"
+  "/root/repo/src/trace/analyzer.cc" "src/CMakeFiles/iwc.dir/trace/analyzer.cc.o" "gcc" "src/CMakeFiles/iwc.dir/trace/analyzer.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/iwc.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/iwc.dir/trace/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/iwc.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/iwc.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/iwc.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/iwc.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/workloads/extra.cc" "src/CMakeFiles/iwc.dir/workloads/extra.cc.o" "gcc" "src/CMakeFiles/iwc.dir/workloads/extra.cc.o.d"
+  "/root/repo/src/workloads/finance.cc" "src/CMakeFiles/iwc.dir/workloads/finance.cc.o" "gcc" "src/CMakeFiles/iwc.dir/workloads/finance.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/iwc.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/iwc.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/image.cc" "src/CMakeFiles/iwc.dir/workloads/image.cc.o" "gcc" "src/CMakeFiles/iwc.dir/workloads/image.cc.o.d"
+  "/root/repo/src/workloads/linear_algebra.cc" "src/CMakeFiles/iwc.dir/workloads/linear_algebra.cc.o" "gcc" "src/CMakeFiles/iwc.dir/workloads/linear_algebra.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/iwc.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/iwc.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/raytrace.cc" "src/CMakeFiles/iwc.dir/workloads/raytrace.cc.o" "gcc" "src/CMakeFiles/iwc.dir/workloads/raytrace.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/iwc.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/iwc.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/rodinia.cc" "src/CMakeFiles/iwc.dir/workloads/rodinia.cc.o" "gcc" "src/CMakeFiles/iwc.dir/workloads/rodinia.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/iwc.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/iwc.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analyzer.cc" "tests/CMakeFiles/iwc_tests.dir/test_analyzer.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_analyzer.cc.o.d"
+  "/root/repo/tests/test_builder.cc" "tests/CMakeFiles/iwc_tests.dir/test_builder.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_builder.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/iwc_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_coalescer.cc" "tests/CMakeFiles/iwc_tests.dir/test_coalescer.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_coalescer.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/iwc_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_compaction.cc" "tests/CMakeFiles/iwc_tests.dir/test_compaction.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_compaction.cc.o.d"
+  "/root/repo/tests/test_device.cc" "tests/CMakeFiles/iwc_tests.dir/test_device.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_device.cc.o.d"
+  "/root/repo/tests/test_dispatcher.cc" "tests/CMakeFiles/iwc_tests.dir/test_dispatcher.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_dispatcher.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/iwc_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_eu_core.cc" "tests/CMakeFiles/iwc_tests.dir/test_eu_core.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_eu_core.cc.o.d"
+  "/root/repo/tests/test_fuzz_interp.cc" "tests/CMakeFiles/iwc_tests.dir/test_fuzz_interp.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_fuzz_interp.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/iwc_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_interp.cc" "tests/CMakeFiles/iwc_tests.dir/test_interp.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_interp.cc.o.d"
+  "/root/repo/tests/test_interwarp.cc" "tests/CMakeFiles/iwc_tests.dir/test_interwarp.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_interwarp.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/iwc_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_mem_system.cc" "tests/CMakeFiles/iwc_tests.dir/test_mem_system.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_mem_system.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/iwc_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_ndrange_shapes.cc" "tests/CMakeFiles/iwc_tests.dir/test_ndrange_shapes.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_ndrange_shapes.cc.o.d"
+  "/root/repo/tests/test_pipes_arbiter.cc" "tests/CMakeFiles/iwc_tests.dir/test_pipes_arbiter.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_pipes_arbiter.cc.o.d"
+  "/root/repo/tests/test_rf_area.cc" "tests/CMakeFiles/iwc_tests.dir/test_rf_area.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_rf_area.cc.o.d"
+  "/root/repo/tests/test_scc_algorithm.cc" "tests/CMakeFiles/iwc_tests.dir/test_scc_algorithm.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_scc_algorithm.cc.o.d"
+  "/root/repo/tests/test_scoreboard.cc" "tests/CMakeFiles/iwc_tests.dir/test_scoreboard.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_scoreboard.cc.o.d"
+  "/root/repo/tests/test_simd32.cc" "tests/CMakeFiles/iwc_tests.dir/test_simd32.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_simd32.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/iwc_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/iwc_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_suite_smoke.cc" "tests/CMakeFiles/iwc_tests.dir/test_suite_smoke.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_suite_smoke.cc.o.d"
+  "/root/repo/tests/test_synthetic.cc" "tests/CMakeFiles/iwc_tests.dir/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_synthetic.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/iwc_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/iwc_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/iwc_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iwc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

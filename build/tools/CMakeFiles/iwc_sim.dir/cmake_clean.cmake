@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iwc_sim.dir/iwc_sim.cc.o"
+  "CMakeFiles/iwc_sim.dir/iwc_sim.cc.o.d"
+  "iwc_sim"
+  "iwc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iwc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

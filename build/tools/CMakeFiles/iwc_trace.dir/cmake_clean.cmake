@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iwc_trace.dir/iwc_trace.cc.o"
+  "CMakeFiles/iwc_trace.dir/iwc_trace.cc.o.d"
+  "iwc_trace"
+  "iwc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iwc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
