@@ -7,7 +7,10 @@
  * word, float, and double compute under each mode.
  */
 
-#include "bench_util.hh"
+#include <vector>
+
+#include "run/experiment.hh"
+#include "workloads/registry.hh"
 
 int
 main(int argc, char **argv)
@@ -30,31 +33,43 @@ main(int argc, char **argv)
         {"f (32-bit)", isa::DataType::F},
         {"df (64-bit)", isa::DataType::DF},
     };
+    const Mode modes[2] = {Mode::IvbOpt, Mode::Scc};
+
+    std::vector<run::RunRequest> requests;
+    for (const TypeCase &c : cases) {
+        for (const Mode mode : modes) {
+            run::RunRequest request = run::RunRequest::timing(
+                std::string("ifelse_") + c.name,
+                gpu::applyOptions(gpu::ivbConfig(mode), opts), scale);
+            const isa::DataType type = c.type;
+            request.factory = [pattern, type](gpu::Device &dev,
+                                              unsigned s) {
+                return workloads::makeMicroIfElseTyped(dev, s, pattern,
+                                                       type);
+            };
+            requests.push_back(std::move(request));
+        }
+    }
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
 
     stats::Table table({"datatype", "cycles_ivb", "cycles_scc",
                         "scc_time_reduction", "scc_eu_reduction"});
-    for (const TypeCase &c : cases) {
-        gpu::LaunchStats runs[2];
-        const Mode modes[2] = {Mode::IvbOpt, Mode::Scc};
-        for (unsigned m = 0; m < 2; ++m) {
-            gpu::Device dev(gpu::applyOptions(gpu::ivbConfig(modes[m]),
-                                              opts));
-            workloads::Workload w = workloads::makeMicroIfElseTyped(
-                dev, scale, pattern, c.type);
-            runs[m] = dev.launch(w.kernel, w.globalSize, w.localSize,
-                                 w.args);
-        }
+    for (unsigned c = 0; c < std::size(cases); ++c) {
+        const auto &ivb = results[c * 2 + 0].stats;
+        const auto &scc = results[c * 2 + 1].stats;
         table.row()
-            .cell(c.name)
-            .cell(runs[0].totalCycles)
-            .cell(runs[1].totalCycles)
-            .cellPct(1.0 - static_cast<double>(runs[1].totalCycles) /
-                     runs[0].totalCycles)
-            .cellPct(runs[0].euCycleReduction(Mode::Scc));
+            .cell(cases[c].name)
+            .cell(ivb.totalCycles)
+            .cell(scc.totalCycles)
+            .cellPct(1.0 - static_cast<double>(scc.totalCycles) /
+                     ivb.totalCycles)
+            .cellPct(ivb.euCycleReduction(Mode::Scc));
     }
     char title[80];
     std::snprintf(title, sizeof(title),
                   "Datatype sweep, lane pattern 0x%04X", pattern);
-    bench::printTable(table, title, opts);
+    run::printTable(table, title, opts);
     return 0;
 }

@@ -7,7 +7,9 @@
  * the SCC EU-cycle gain survives in execution time.
  */
 
-#include "bench_util.hh"
+#include <vector>
+
+#include "run/experiment.hh"
 
 int
 main(int argc, char **argv)
@@ -29,33 +31,45 @@ main(int argc, char **argv)
         {"1 instr / cycle", 1, 1},
         {"2 instr / cycle", 2, 1},
     };
+    const char *names[] = {"mandelbrot", "micro_nested"};
+    const Mode modes[2] = {Mode::IvbOpt, Mode::Scc};
 
-    for (const char *workload : {"mandelbrot", "micro_nested"}) {
-        stats::Table table({"issue_rate", "cycles_ivb", "cycles_scc",
-                            "scc_time_reduction", "scc_eu_reduction"});
+    // (workload, issue rate, mode) cross-product.
+    std::vector<run::RunRequest> requests;
+    for (const char *workload : names) {
         for (const IssueRate &rate : rates) {
-            gpu::LaunchStats runs[2];
-            const Mode modes[2] = {Mode::IvbOpt, Mode::Scc};
-            for (unsigned m = 0; m < 2; ++m) {
+            for (const Mode mode : modes) {
                 gpu::GpuConfig config = gpu::applyOptions(
-                    gpu::ivbConfig(modes[m]), opts);
+                    gpu::ivbConfig(mode), opts);
                 config.eu.issueWidth = rate.width;
                 config.eu.arbitrationPeriod = rate.period;
-                runs[m] = bench::runWorkloadTiming(workload, config,
-                                                   scale);
+                requests.push_back(
+                    run::RunRequest::timing(workload, config, scale));
             }
-            table.row()
-                .cell(rate.name)
-                .cell(runs[0].totalCycles)
-                .cell(runs[1].totalCycles)
-                .cellPct(1.0 -
-                         static_cast<double>(runs[1].totalCycles) /
-                         runs[0].totalCycles)
-                .cellPct(runs[0].euCycleReduction(Mode::Scc));
         }
-        bench::printTable(table,
-                          std::string("Issue-bandwidth sensitivity: ") +
-                          workload, opts);
+    }
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
+
+    for (unsigned w = 0; w < std::size(names); ++w) {
+        stats::Table table({"issue_rate", "cycles_ivb", "cycles_scc",
+                            "scc_time_reduction", "scc_eu_reduction"});
+        for (unsigned r = 0; r < std::size(rates); ++r) {
+            const auto &ivb = results[(w * 3 + r) * 2 + 0].stats;
+            const auto &scc = results[(w * 3 + r) * 2 + 1].stats;
+            table.row()
+                .cell(rates[r].name)
+                .cell(ivb.totalCycles)
+                .cell(scc.totalCycles)
+                .cellPct(1.0 -
+                         static_cast<double>(scc.totalCycles) /
+                         ivb.totalCycles)
+                .cellPct(ivb.euCycleReduction(Mode::Scc));
+        }
+        run::printTable(table,
+                        std::string("Issue-bandwidth sensitivity: ") +
+                        names[w], opts);
     }
     return 0;
 }

@@ -9,9 +9,12 @@
  * (dynamic energy in the swizzle network).
  */
 
-#include "bench_util.hh"
+#include <vector>
+
 #include "common/bitutil.hh"
 #include "compaction/scc_algorithm.hh"
+#include "run/experiment.hh"
+#include "workloads/registry.hh"
 
 namespace
 {
@@ -48,13 +51,31 @@ main(int argc, char **argv)
     const unsigned scale =
         static_cast<unsigned>(opts.getInt("scale", 1));
 
-    // Exhaustive SIMD16 sweep.
+    run::SweepRunner runner(run::sweepOptions(opts));
+
+    // Exhaustive SIMD16 sweep, partitioned into independent chunks.
+    constexpr unsigned kChunks = 16;
+    constexpr std::uint32_t kMasks = 0xffff;
+    struct Partial
+    {
+        std::uint64_t fig6 = 0, naive = 0, lanes = 0;
+    };
+    std::vector<Partial> partials(kChunks);
+    runner.forEach(kChunks, [&](std::size_t c) {
+        Partial &p = partials[c];
+        for (std::uint32_t mask = 1 + c; mask <= kMasks;
+             mask += kChunks) {
+            const ExecShape shape{16, 4, mask};
+            p.fig6 += compaction::planScc(shape).swizzledLanes();
+            p.naive += naiveSwizzledLanes(shape);
+            p.lanes += popCount(mask);
+        }
+    });
     std::uint64_t fig6_swizzles = 0, naive_swizzles = 0, lanes = 0;
-    for (std::uint32_t mask = 1; mask <= 0xffff; ++mask) {
-        const ExecShape shape{16, 4, mask};
-        fig6_swizzles += compaction::planScc(shape).swizzledLanes();
-        naive_swizzles += naiveSwizzledLanes(shape);
-        lanes += popCount(mask);
+    for (const Partial &p : partials) {
+        fig6_swizzles += p.fig6;
+        naive_swizzles += p.naive;
+        lanes += p.lanes;
     }
 
     stats::Table table({"policy", "swizzled_lane_fraction"});
@@ -62,18 +83,23 @@ main(int argc, char **argv)
         static_cast<double>(fig6_swizzles) / lanes);
     table.row().cell("naive in-order packer").cellPct(
         static_cast<double>(naive_swizzles) / lanes);
-    bench::printTable(table,
-                      "SCC swizzle activity over all SIMD16 masks "
-                      "(both policies are cycle-optimal)", opts);
+    run::printTable(table,
+                    "SCC swizzle activity over all SIMD16 masks "
+                    "(both policies are cycle-optimal)", opts);
 
-    // The same comparison on real workload mask streams.
-    stats::Table wl({"workload", "fig6_swizzle_frac",
-                     "naive_swizzle_frac"});
-    for (const char *name : {"mandelbrot", "bfs", "rt_ao_alien16",
-                             "treesearch"}) {
+    // The same comparison on real workload mask streams, one
+    // functional run per workload.
+    const std::vector<std::string> names = {
+        "mandelbrot", "bfs", "rt_ao_alien16", "treesearch"};
+    struct WlRow
+    {
         std::uint64_t f6 = 0, nv = 0, total = 0;
+    };
+    std::vector<WlRow> wl_rows(names.size());
+    runner.forEach(names.size(), [&](std::size_t i) {
+        WlRow &row = wl_rows[i];
         gpu::Device dev;
-        workloads::Workload w = workloads::make(name, dev, scale);
+        workloads::Workload w = workloads::make(names[i], dev, scale);
         dev.launchFunctional(
             w.kernel, w.globalSize, w.localSize, w.args,
             [&](const isa::Instruction &in, LaneMask mask) {
@@ -84,16 +110,26 @@ main(int argc, char **argv)
                     in.simdWidth,
                     static_cast<std::uint8_t>(isa::execElemBytes(in)),
                     mask};
-                f6 += compaction::planScc(shape).swizzledLanes();
-                nv += naiveSwizzledLanes(shape);
-                total += popCount(mask & in.widthMask());
+                row.f6 += compaction::planScc(shape).swizzledLanes();
+                row.nv += naiveSwizzledLanes(shape);
+                row.total += popCount(mask & in.widthMask());
             });
+    });
+
+    stats::Table wl({"workload", "fig6_swizzle_frac",
+                     "naive_swizzle_frac"});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const WlRow &row = wl_rows[i];
         wl.row()
-            .cell(name)
-            .cellPct(total ? static_cast<double>(f6) / total : 0)
-            .cellPct(total ? static_cast<double>(nv) / total : 0);
+            .cell(names[i])
+            .cellPct(row.total
+                         ? static_cast<double>(row.f6) / row.total
+                         : 0)
+            .cellPct(row.total
+                         ? static_cast<double>(row.nv) / row.total
+                         : 0);
     }
-    bench::printTable(wl, "Swizzle activity on workload mask streams",
-                      opts);
+    run::printTable(wl, "Swizzle activity on workload mask streams",
+                    opts);
     return 0;
 }

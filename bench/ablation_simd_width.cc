@@ -7,10 +7,12 @@
  * across instruction widths 8/16/32 on the fixed 4-lane ALU.
  */
 
-#include "bench_util.hh"
-#include "common/rng.hh"
+#include <vector>
+
 #include "common/bitutil.hh"
+#include "common/rng.hh"
 #include "compaction/cycle_plan.hh"
+#include "run/experiment.hh"
 
 int
 main(int argc, char **argv)
@@ -21,39 +23,56 @@ main(int argc, char **argv)
     const std::uint64_t samples =
         static_cast<std::uint64_t>(opts.getInt("samples", 200000));
 
-    for (const double p_active : {0.75, 0.5, 0.25}) {
+    const double probs[] = {0.75, 0.5, 0.25};
+    const unsigned widths[] = {8u, 16u, 32u};
+
+    // Each (probability, width) cell is an independent Monte Carlo
+    // sweep with its own width-seeded Rng — scheduling cannot change
+    // the sampled mask stream.
+    struct Cell
+    {
+        std::uint64_t ivb = 0, bcc = 0, scc = 0, active = 0;
+    };
+    std::vector<Cell> cells(std::size(probs) * std::size(widths));
+    run::SweepRunner runner(run::sweepOptions(opts));
+    runner.forEach(cells.size(), [&](std::size_t i) {
+        const double p_active = probs[i / std::size(widths)];
+        const unsigned width = widths[i % std::size(widths)];
+        Cell &cell = cells[i];
+        Rng rng(1234 + width);
+        for (std::uint64_t s = 0; s < samples; ++s) {
+            LaneMask mask = 0;
+            for (unsigned ch = 0; ch < width; ++ch)
+                if (rng.chance(p_active))
+                    mask |= LaneMask{1} << ch;
+            const compaction::ExecShape shape{
+                static_cast<std::uint8_t>(width), 4, mask};
+            cell.ivb += compaction::planCycleCount(Mode::IvbOpt, shape);
+            cell.bcc += compaction::planCycleCount(Mode::Bcc, shape);
+            cell.scc += compaction::planCycleCount(Mode::Scc, shape);
+            cell.active += popCount(mask);
+        }
+    });
+
+    for (unsigned p = 0; p < std::size(probs); ++p) {
         stats::Table table({"simd_width", "simd_efficiency",
                             "bcc_reduction", "scc_reduction"});
-        for (const unsigned width : {8u, 16u, 32u}) {
-            Rng rng(1234 + width);
-            std::uint64_t base = 0, ivb = 0, bcc = 0, scc = 0;
-            std::uint64_t active = 0;
-            for (std::uint64_t i = 0; i < samples; ++i) {
-                LaneMask mask = 0;
-                for (unsigned ch = 0; ch < width; ++ch)
-                    if (rng.chance(p_active))
-                        mask |= LaneMask{1} << ch;
-                const compaction::ExecShape shape{
-                    static_cast<std::uint8_t>(width), 4, mask};
-                base += compaction::planCycleCount(Mode::Baseline,
-                                                   shape);
-                ivb += compaction::planCycleCount(Mode::IvbOpt, shape);
-                bcc += compaction::planCycleCount(Mode::Bcc, shape);
-                scc += compaction::planCycleCount(Mode::Scc, shape);
-                active += popCount(mask);
-            }
+        for (unsigned w = 0; w < std::size(widths); ++w) {
+            const Cell &cell = cells[p * std::size(widths) + w];
             table.row()
-                .cell(width)
-                .cellPct(static_cast<double>(active) /
-                         (samples * width))
-                .cellPct(1.0 - static_cast<double>(bcc) / ivb)
-                .cellPct(1.0 - static_cast<double>(scc) / ivb);
+                .cell(widths[w])
+                .cellPct(static_cast<double>(cell.active) /
+                         (samples * widths[w]))
+                .cellPct(1.0 -
+                         static_cast<double>(cell.bcc) / cell.ivb)
+                .cellPct(1.0 -
+                         static_cast<double>(cell.scc) / cell.ivb);
         }
         char title[96];
         std::snprintf(title, sizeof(title),
                       "Width sweep, per-lane active probability %.2f",
-                      p_active);
-        bench::printTable(table, title, opts);
+                      probs[p]);
+        run::printTable(table, title, opts);
     }
     return 0;
 }

@@ -17,8 +17,12 @@
  * construction).
  */
 
-#include "bench_util.hh"
+#include <algorithm>
+#include <vector>
+
 #include "compaction/interwarp.hh"
+#include "run/experiment.hh"
+#include "workloads/registry.hh"
 
 int
 main(int argc, char **argv)
@@ -28,18 +32,18 @@ main(int argc, char **argv)
     const unsigned scale =
         static_cast<unsigned>(opts.getInt("scale", 1));
 
-    stats::Table table({"workload", "intra_bcc", "intra_scc",
-                        "inter_warp_bound", "inter+scc_bound",
-                        "scc_share_of_bound", "lines_per_msg_intra",
-                        "lines_per_msg_inter", "mem_div_increase"});
+    std::vector<std::string> names;
+    for (const auto &name : workloads::divergentNames())
+        if (name.rfind("micro", 0) != 0)
+            names.push_back(name);
 
-    double sum_share = 0, sum_div = 0;
-    unsigned count = 0;
-    for (const auto &name : workloads::divergentNames()) {
-        if (name.rfind("micro", 0) == 0)
-            continue;
+    // One detailed functional run per workload, swept in parallel;
+    // each job owns its Device and InterWarpAnalyzer.
+    std::vector<compaction::InterWarpStats> per_workload(names.size());
+    run::SweepRunner runner(run::sweepOptions(opts));
+    runner.forEach(names.size(), [&](std::size_t i) {
         gpu::Device dev;
-        workloads::Workload w = workloads::make(name, dev, scale);
+        workloads::Workload w = workloads::make(names[i], dev, scale);
         compaction::InterWarpAnalyzer analyzer;
         gpu::runKernelFunctionalDetailed(
             w.kernel, dev.memory(), w.globalSize, w.localSize,
@@ -53,8 +57,18 @@ main(int argc, char **argv)
                 analyzer.add(step.workgroup, step.subgroup, step.ip,
                              step.occurrence, *step.result);
             });
-        const auto &s = analyzer.finalize();
+        per_workload[i] = analyzer.finalize();
+    });
 
+    stats::Table table({"workload", "intra_bcc", "intra_scc",
+                        "inter_warp_bound", "inter+scc_bound",
+                        "scc_share_of_bound", "lines_per_msg_intra",
+                        "lines_per_msg_inter", "mem_div_increase"});
+
+    double sum_share = 0, sum_div = 0;
+    unsigned count = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &s = per_workload[i];
         const double bcc = s.reductionVsBaseline(s.intraBccCycles);
         const double scc = s.reductionVsBaseline(s.intraSccCycles);
         const double inter = s.reductionVsBaseline(s.interWarpCycles);
@@ -69,7 +83,7 @@ main(int argc, char **argv)
             intra_div > 0 ? inter_div / intra_div - 1.0 : 0.0;
 
         table.row()
-            .cell(name)
+            .cell(names[i])
             .cellPct(bcc)
             .cellPct(scc)
             .cellPct(inter)
@@ -82,10 +96,10 @@ main(int argc, char **argv)
         sum_div += div_increase;
         ++count;
     }
-    bench::printTable(table,
-                      "Intra-warp (this paper) vs idealized inter-warp "
-                      "compaction bound (reductions vs no-compaction "
-                      "baseline)", opts);
+    run::printTable(table,
+                    "Intra-warp (this paper) vs idealized inter-warp "
+                    "compaction bound (reductions vs no-compaction "
+                    "baseline)", opts);
     std::printf("average: SCC captures %.0f%% of the idealized "
                 "inter-warp bound; inter-warp merging raises memory "
                 "divergence by %.0f%% on average, intra-warp by 0%% "

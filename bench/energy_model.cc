@@ -6,8 +6,11 @@
  * fetch energy and pays for crossbar toggles.
  */
 
-#include "bench_util.hh"
+#include <vector>
+
 #include "compaction/energy.hh"
+#include "run/experiment.hh"
+#include "workloads/registry.hh"
 
 int
 main(int argc, char **argv)
@@ -18,12 +21,19 @@ main(int argc, char **argv)
     const unsigned scale =
         static_cast<unsigned>(opts.getInt("scale", 1));
 
-    stats::Table table({"workload", "ivb_rel_energy", "bcc_rel_energy",
-                        "scc_rel_energy", "scc_swizzle_share"});
+    // Each workload's functional run feeds its own EnergyModel; the
+    // per-workload jobs are independent, so they sweep in parallel.
+    const std::vector<std::string> names = workloads::divergentNames();
+    struct Row
+    {
+        double ivb, bcc, scc, swizzle_share;
+    };
+    std::vector<Row> rows(names.size());
 
-    for (const auto &name : workloads::divergentNames()) {
+    run::SweepRunner runner(run::sweepOptions(opts));
+    runner.forEach(names.size(), [&](std::size_t i) {
         gpu::Device dev;
-        workloads::Workload w = workloads::make(name, dev, scale);
+        workloads::Workload w = workloads::make(names[i], dev, scale);
         compaction::EnergyModel model;
         dev.launchFunctional(
             w.kernel, w.globalSize, w.localSize, w.args,
@@ -42,15 +52,23 @@ main(int argc, char **argv)
                 model.addAlu(shape, std::max(srcs, 1u));
             });
         const auto &scc = model.breakdown(Mode::Scc);
+        rows[i] = {model.relative(Mode::IvbOpt),
+                   model.relative(Mode::Bcc),
+                   model.relative(Mode::Scc),
+                   scc.total() > 0 ? scc.swizzle / scc.total() : 0};
+    });
+
+    stats::Table table({"workload", "ivb_rel_energy", "bcc_rel_energy",
+                        "scc_rel_energy", "scc_swizzle_share"});
+    for (std::size_t i = 0; i < names.size(); ++i)
         table.row()
-            .cell(name)
-            .cellPct(model.relative(Mode::IvbOpt))
-            .cellPct(model.relative(Mode::Bcc))
-            .cellPct(model.relative(Mode::Scc))
-            .cellPct(scc.total() > 0 ? scc.swizzle / scc.total() : 0);
-    }
-    bench::printTable(table,
-                      "ALU + register-file dynamic energy relative to "
-                      "the no-compaction baseline (100%)", opts);
+            .cell(names[i])
+            .cellPct(rows[i].ivb)
+            .cellPct(rows[i].bcc)
+            .cellPct(rows[i].scc)
+            .cellPct(rows[i].swizzle_share);
+    run::printTable(table,
+                    "ALU + register-file dynamic energy relative to "
+                    "the no-compaction baseline (100%)", opts);
     return 0;
 }

@@ -12,7 +12,9 @@
 #include <algorithm>
 #include <vector>
 
-#include "bench_util.hh"
+#include "run/experiment.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
 
 int
 main(int argc, char **argv)
@@ -22,6 +24,18 @@ main(int argc, char **argv)
     const unsigned scale =
         static_cast<unsigned>(opts.getInt("scale", 1));
 
+    // Declare the sweep: every executable workload functionally, every
+    // paper trace profile synthetically.
+    std::vector<run::RunRequest> requests;
+    for (const auto &entry : workloads::registry())
+        requests.push_back(
+            run::RunRequest::functionalTrace(entry.name, scale));
+    for (const auto &profile : trace::paperTraceProfiles())
+        requests.push_back(run::RunRequest::syntheticTrace(profile.name));
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
+
     struct Row
     {
         std::string name;
@@ -29,20 +43,12 @@ main(int argc, char **argv)
         double efficiency;
     };
     std::vector<Row> rows;
-
-    // Execution-driven workloads.
-    for (const auto &entry : workloads::registry()) {
-        const auto analysis = bench::analyzeWorkload(entry.name, scale);
-        rows.push_back({entry.name, "exec", analysis.simdEfficiency()});
-    }
-
-    // Trace-based workloads (synthetic stand-ins, see DESIGN.md).
-    for (const auto &profile : trace::paperTraceProfiles()) {
-        const auto analysis =
-            trace::analyzeTrace(trace::synthesize(profile));
-        rows.push_back(
-            {profile.name, "trace", analysis.simdEfficiency()});
-    }
+    for (const auto &result : results)
+        rows.push_back({result.label,
+                        result.kind == run::JobKind::FunctionalTrace
+                            ? "exec"
+                            : "trace",
+                        result.analysis.simdEfficiency()});
 
     std::sort(rows.begin(), rows.end(),
               [](const Row &a, const Row &b) {
@@ -61,9 +67,9 @@ main(int argc, char **argv)
             .cellPct(row.efficiency)
             .cell(is_divergent ? "divergent" : "coherent");
     }
-    bench::printTable(table,
-                      "Figure 3: SIMD efficiency, coherent/divergent "
-                      "benchmarks", opts);
+    run::printTable(table,
+                    "Figure 3: SIMD efficiency, coherent/divergent "
+                    "benchmarks", opts);
 
     std::printf("total workloads: %zu, divergent: %u, coherent: %zu\n",
                 rows.size(), divergent, rows.size() - divergent);

@@ -11,7 +11,10 @@
  *   0xFF0F partially optimized (its else path 0x00F0 runs as SIMD8).
  */
 
-#include "bench_util.hh"
+#include <vector>
+
+#include "run/experiment.hh"
+#include "workloads/registry.hh"
 
 int
 main(int argc, char **argv)
@@ -27,19 +30,33 @@ main(int argc, char **argv)
         compaction::Mode::Baseline, compaction::Mode::IvbOpt,
         compaction::Mode::Bcc, compaction::Mode::Scc};
 
-    // Total cycles per (pattern, mode).
-    double cycles[5][4] = {};
-    for (unsigned p = 0; p < 5; ++p) {
-        for (unsigned m = 0; m < 4; ++m) {
-            gpu::Device dev(gpu::applyOptions(
-                gpu::ivbConfig(modes[m]), opts));
-            workloads::Workload w = workloads::makeMicroIfElsePattern(
-                dev, scale, patterns[p]);
-            const auto stats = dev.launch(w.kernel, w.globalSize,
-                                          w.localSize, w.args);
-            cycles[p][m] = static_cast<double>(stats.totalCycles);
+    // The (pattern, mode) cross-product as one declarative sweep.
+    std::vector<run::RunRequest> requests;
+    for (const std::uint32_t pattern : patterns) {
+        for (const compaction::Mode mode : modes) {
+            char label[24];
+            std::snprintf(label, sizeof(label), "ifelse_0x%04X",
+                          pattern);
+            run::RunRequest request = run::RunRequest::timing(
+                label, gpu::applyOptions(gpu::ivbConfig(mode), opts),
+                scale);
+            request.factory = [pattern](gpu::Device &dev, unsigned s) {
+                return workloads::makeMicroIfElsePattern(dev, s,
+                                                         pattern);
+            };
+            requests.push_back(std::move(request));
         }
     }
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
+
+    // Total cycles per (pattern, mode).
+    double cycles[5][4] = {};
+    for (unsigned p = 0; p < 5; ++p)
+        for (unsigned m = 0; m < 4; ++m)
+            cycles[p][m] = static_cast<double>(
+                results[p * 4 + m].stats.totalCycles);
 
     stats::Table table({"pattern", "rel_time_ivb", "rel_time_bcc",
                         "rel_time_scc", "rel_time_no_opt"});
@@ -53,8 +70,8 @@ main(int argc, char **argv)
             .cellPct(cycles[p][3] / cycles[0][3])
             .cellPct(cycles[p][0] / cycles[0][0]);
     }
-    bench::printTable(table,
-                      "Figure 8: relative execution time vs enabled-"
-                      "lane pattern (100% = 0xFFFF)", opts);
+    run::printTable(table,
+                    "Figure 8: relative execution time vs enabled-"
+                    "lane pattern (100% = 0xFFFF)", opts);
     return 0;
 }

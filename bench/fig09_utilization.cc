@@ -9,7 +9,11 @@
  * LuxMark-style SIMD8 kernels report only the two SIMD8 bins.
  */
 
-#include "bench_util.hh"
+#include <vector>
+
+#include "run/experiment.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
 
 int
 main(int argc, char **argv)
@@ -20,6 +24,19 @@ main(int argc, char **argv)
     const unsigned scale =
         static_cast<unsigned>(opts.getInt("scale", 1));
 
+    std::vector<run::RunRequest> requests;
+    for (const auto &name : workloads::divergentNames())
+        requests.push_back(
+            run::RunRequest::functionalTrace(name, scale));
+    for (const auto &profile : trace::paperTraceProfiles()) {
+        if (profile.divergentFraction < 0.3)
+            continue;
+        requests.push_back(run::RunRequest::syntheticTrace(profile.name));
+    }
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
+
     const UtilBin bins[] = {
         UtilBin::S16Active1To4,  UtilBin::S16Active5To8,
         UtilBin::S16Active9To12, UtilBin::S16Active13To16,
@@ -28,27 +45,17 @@ main(int argc, char **argv)
 
     stats::Table table({"workload", "source", "1-4/16", "5-8/16",
                         "9-12/16", "13-16/16", "1-4/8", "5-8/8"});
-
-    auto add_row = [&](const std::string &name,
-                       const std::string &source,
-                       const trace::TraceAnalysis &a) {
-        auto &row = table.row().cell(name).cell(source);
+    for (const auto &result : results) {
+        auto &row = table.row().cell(result.label).cell(
+            result.kind == run::JobKind::FunctionalTrace ? "exec"
+                                                         : "trace");
         for (const UtilBin bin : bins)
-            row.cellPct(a.utilFraction(bin));
-    };
-
-    for (const auto &name : workloads::divergentNames())
-        add_row(name, "exec", bench::analyzeWorkload(name, scale));
-    for (const auto &profile : trace::paperTraceProfiles()) {
-        if (profile.divergentFraction < 0.3)
-            continue;
-        add_row(profile.name, "trace",
-                trace::analyzeTrace(trace::synthesize(profile)));
+            row.cellPct(result.analysis.utilFraction(bin));
     }
 
-    bench::printTable(table,
-                      "Figure 9: SIMD utilization breakdown in "
-                      "SIMD8/SIMD16 instructions (divergent apps)",
-                      opts);
+    run::printTable(table,
+                    "Figure 9: SIMD utilization breakdown in "
+                    "SIMD8/SIMD16 instructions (divergent apps)",
+                    opts);
     return 0;
 }

@@ -9,7 +9,12 @@
  * GLBench 15-22% mostly from SCC; face detection ~30% mostly SCC.
  */
 
-#include "bench_util.hh"
+#include <algorithm>
+#include <vector>
+
+#include "run/experiment.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
 
 int
 main(int argc, char **argv)
@@ -20,19 +25,32 @@ main(int argc, char **argv)
     const unsigned scale =
         static_cast<unsigned>(opts.getInt("scale", 1));
 
+    std::vector<run::RunRequest> requests;
+    for (const auto &name : workloads::divergentNames())
+        requests.push_back(
+            run::RunRequest::functionalTrace(name, scale));
+    for (const auto &profile : trace::paperTraceProfiles()) {
+        if (profile.divergentFraction < 0.3)
+            continue;
+        requests.push_back(run::RunRequest::syntheticTrace(profile.name));
+    }
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
+
     stats::Table table({"workload", "source", "bcc_reduction",
                         "additional_scc", "total_scc_reduction"});
     double sum_bcc = 0, sum_scc = 0, max_bcc = 0, max_scc = 0;
     unsigned count = 0;
 
-    auto add_row = [&](const std::string &name,
-                       const std::string &source,
-                       const trace::TraceAnalysis &a) {
-        const double bcc = a.reduction(Mode::Bcc);
-        const double scc = a.reduction(Mode::Scc);
+    for (const auto &result : results) {
+        const double bcc = result.analysis.reduction(Mode::Bcc);
+        const double scc = result.analysis.reduction(Mode::Scc);
         table.row()
-            .cell(name)
-            .cell(source)
+            .cell(result.label)
+            .cell(result.kind == run::JobKind::FunctionalTrace
+                      ? "exec"
+                      : "trace")
             .cellPct(bcc)
             .cellPct(scc - bcc)
             .cellPct(scc);
@@ -41,24 +59,20 @@ main(int argc, char **argv)
         max_bcc = std::max(max_bcc, bcc);
         max_scc = std::max(max_scc, scc);
         ++count;
-    };
-
-    for (const auto &name : workloads::divergentNames())
-        add_row(name, "exec", bench::analyzeWorkload(name, scale));
-    for (const auto &profile : trace::paperTraceProfiles()) {
-        if (profile.divergentFraction < 0.3)
-            continue;
-        add_row(profile.name, "trace",
-                trace::analyzeTrace(trace::synthesize(profile)));
     }
 
-    bench::printTable(table,
-                      "Figure 10: EU execution-cycle reduction over "
-                      "the Ivy Bridge optimization (divergent apps)",
-                      opts);
-    std::printf("BCC: max %.1f%%, avg %.1f%% | BCC+SCC: max %.1f%%, "
-                "avg %.1f%% (n=%u)\n",
-                max_bcc * 100, sum_bcc / count * 100, max_scc * 100,
-                sum_scc / count * 100, count);
+    run::printTable(table,
+                    "Figure 10: EU execution-cycle reduction over "
+                    "the Ivy Bridge optimization (divergent apps)",
+                    opts);
+    // All profiles can be filtered out (e.g. a future pruned suite);
+    // report averages only when there is something to average.
+    if (count > 0)
+        std::printf("BCC: max %.1f%%, avg %.1f%% | BCC+SCC: max "
+                    "%.1f%%, avg %.1f%% (n=%u)\n",
+                    max_bcc * 100, sum_bcc / count * 100,
+                    max_scc * 100, sum_scc / count * 100, count);
+    else
+        std::printf("no divergent workloads selected (n=0)\n");
     return 0;
 }

@@ -11,7 +11,9 @@
  * one and two lines per cycle for most RT workloads.
  */
 
-#include "bench_util.hh"
+#include <vector>
+
+#include "run/experiment.hh"
 
 int
 main(int argc, char **argv)
@@ -28,31 +30,42 @@ main(int argc, char **argv)
         "rt_ao_alien16",    "rt_ao_bulldozer16",
         "rt_ao_windmill16",
     };
+    const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
+
+    // (workload, mode, dc) cross-product.
+    std::vector<run::RunRequest> requests;
+    for (const char *name : names) {
+        for (const Mode mode : modes) {
+            for (unsigned dc = 0; dc < 2; ++dc) {
+                gpu::GpuConfig config = gpu::applyOptions(
+                    gpu::ivbConfig(mode), opts);
+                config.mem.dcLinesPerCycle = dc + 1;
+                requests.push_back(
+                    run::RunRequest::timing(name, config, scale));
+            }
+        }
+    }
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
 
     stats::Table table({"workload", "bcc_total_dc1", "scc_total_dc1",
                         "bcc_total_dc2", "scc_total_dc2", "bcc_eu",
                         "scc_eu", "dc_tput_ivb", "dc_tput_scc"});
 
-    for (const char *name : names) {
-        gpu::LaunchStats runs[3][2]; // (ivb, bcc, scc) x (dc1, dc2)
-        const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
-        for (unsigned m = 0; m < 3; ++m) {
-            for (unsigned dc = 0; dc < 2; ++dc) {
-                gpu::GpuConfig config = gpu::applyOptions(
-                    gpu::ivbConfig(modes[m]), opts);
-                config.mem.dcLinesPerCycle = dc + 1;
-                runs[m][dc] =
-                    bench::runWorkloadTiming(name, config, scale);
-            }
-        }
+    for (unsigned w = 0; w < std::size(names); ++w) {
+        auto stats_of = [&](unsigned m, unsigned dc)
+            -> const gpu::LaunchStats & {
+            return results[(w * 3 + m) * 2 + dc].stats;
+        };
         auto total_red = [&](unsigned m, unsigned dc) {
             return 1.0 -
-                static_cast<double>(runs[m][dc].totalCycles) /
-                runs[0][dc].totalCycles;
+                static_cast<double>(stats_of(m, dc).totalCycles) /
+                stats_of(0, dc).totalCycles;
         };
-        const auto &eu = runs[0][0].eu;
+        const auto &eu = stats_of(0, 0).eu;
         table.row()
-            .cell(name)
+            .cell(names[w])
             .cellPct(total_red(1, 0))
             .cellPct(total_red(2, 0))
             .cellPct(total_red(1, 1))
@@ -61,13 +74,13 @@ main(int argc, char **argv)
                      eu.euCycles(Mode::IvbOpt))
             .cellPct(1.0 - static_cast<double>(eu.euCycles(Mode::Scc)) /
                      eu.euCycles(Mode::IvbOpt))
-            .cell(runs[0][1].dcThroughput(), 3)
-            .cell(runs[2][1].dcThroughput(), 3);
+            .cell(stats_of(0, 1).dcThroughput(), 3)
+            .cell(stats_of(2, 1).dcThroughput(), 3);
     }
 
-    bench::printTable(table,
-                      "Figure 11: ray tracing - total-cycle reduction "
-                      "(DC1/DC2) vs EU-cycle reduction, DC throughput "
-                      "(lines/cycle under DC2)", opts);
+    run::printTable(table,
+                    "Figure 11: ray tracing - total-cycle reduction "
+                    "(DC1/DC2) vs EU-cycle reduction, DC throughput "
+                    "(lines/cycle under DC2)", opts);
     return 0;
 }

@@ -10,7 +10,9 @@
  * LavaMD sees no benefit even with a perfect L3 (workload imbalance).
  */
 
-#include "bench_util.hh"
+#include <vector>
+
+#include "run/experiment.hh"
 
 int
 main(int argc, char **argv)
@@ -23,31 +25,42 @@ main(int argc, char **argv)
 
     const char *names[] = {"bfs", "hotspot", "lavamd", "nw",
                            "partfilt"};
+    const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
+
+    // (workload, mode, real/perfect-L3) cross-product.
+    std::vector<run::RunRequest> requests;
+    for (const char *name : names) {
+        for (const Mode mode : modes) {
+            for (unsigned l3 = 0; l3 < 2; ++l3) {
+                gpu::GpuConfig config = gpu::applyOptions(
+                    gpu::ivbConfig(mode), opts);
+                config.mem.perfectL3 = l3 == 1;
+                requests.push_back(
+                    run::RunRequest::timing(name, config, scale));
+            }
+        }
+    }
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
 
     stats::Table table({"workload", "bcc_total", "scc_total",
                         "bcc_total_pl3", "scc_total_pl3", "bcc_eu",
                         "scc_eu"});
 
-    for (const char *name : names) {
-        gpu::LaunchStats runs[3][2]; // (ivb,bcc,scc) x (real,perfect)
-        const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
-        for (unsigned m = 0; m < 3; ++m) {
-            for (unsigned l3 = 0; l3 < 2; ++l3) {
-                gpu::GpuConfig config = gpu::applyOptions(
-                    gpu::ivbConfig(modes[m]), opts);
-                config.mem.perfectL3 = l3 == 1;
-                runs[m][l3] =
-                    bench::runWorkloadTiming(name, config, scale);
-            }
-        }
+    for (unsigned w = 0; w < std::size(names); ++w) {
+        auto stats_of = [&](unsigned m, unsigned l3)
+            -> const gpu::LaunchStats & {
+            return results[(w * 3 + m) * 2 + l3].stats;
+        };
         auto total_red = [&](unsigned m, unsigned l3) {
             return 1.0 -
-                static_cast<double>(runs[m][l3].totalCycles) /
-                runs[0][l3].totalCycles;
+                static_cast<double>(stats_of(m, l3).totalCycles) /
+                stats_of(0, l3).totalCycles;
         };
-        const auto &eu = runs[0][0].eu;
+        const auto &eu = stats_of(0, 0).eu;
         table.row()
-            .cell(name)
+            .cell(names[w])
             .cellPct(total_red(1, 0))
             .cellPct(total_red(2, 0))
             .cellPct(total_red(1, 1))
@@ -58,9 +71,9 @@ main(int argc, char **argv)
                      eu.euCycles(Mode::IvbOpt));
     }
 
-    bench::printTable(table,
-                      "Figure 12: Rodinia kernels - total-cycle "
-                      "reduction (real and perfect L3) vs EU-cycle "
-                      "reduction", opts);
+    run::printTable(table,
+                    "Figure 12: Rodinia kernels - total-cycle "
+                    "reduction (real and perfect L3) vs EU-cycle "
+                    "reduction", opts);
     return 0;
 }

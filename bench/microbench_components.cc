@@ -2,10 +2,13 @@
  * @file
  * Component-level microbenchmarks (google-benchmark): throughput of
  * the hot simulator paths — cycle planning, the SCC control
- * algorithm, the interpreter, the coalescer, and the cache model.
+ * algorithm, the interpreter, the coalescer, the cache model, and the
+ * sweep-runner dispatch path every bench driver now rides on.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
 
 #include "compaction/cycle_plan.hh"
 #include "compaction/scc_algorithm.hh"
@@ -13,6 +16,7 @@
 #include "isa/builder.hh"
 #include "mem/cache.hh"
 #include "mem/coalescer.hh"
+#include "run/sweep_runner.hh"
 
 namespace
 {
@@ -110,5 +114,43 @@ BM_CacheAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheAccess)->Arg(10)->Arg(16);
+
+void
+BM_SweepRunnerDispatch(benchmark::State &state)
+{
+    run::SweepOptions options;
+    options.jobs = static_cast<unsigned>(state.range(0));
+    run::SweepRunner runner(options);
+    std::atomic<std::uint64_t> sink{0};
+    for (auto _ : state) {
+        runner.forEach(256, [&](std::size_t i) {
+            sink.fetch_add(i, std::memory_order_relaxed);
+        });
+    }
+    benchmark::DoNotOptimize(sink.load());
+    state.counters["jobs/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 256,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepRunnerDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_SweepTraceCache(benchmark::State &state)
+{
+    // Four modes of one workload: one functional execution plus three
+    // cache hits per sweep (the tab04/fig10 request shape).
+    std::vector<run::RunRequest> requests;
+    for (const auto mode :
+         {compaction::Mode::Baseline, compaction::Mode::IvbOpt,
+          compaction::Mode::Bcc, compaction::Mode::Scc}) {
+        run::RunRequest request = run::RunRequest::functionalTrace("va");
+        request.config = gpu::ivbConfig(mode);
+        requests.push_back(std::move(request));
+    }
+    run::SweepRunner runner;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner.run(requests));
+}
+BENCHMARK(BM_SweepTraceCache)->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -9,8 +9,10 @@
  * baseline (no overhead).
  */
 
-#include "bench_util.hh"
+#include <vector>
+
 #include "compaction/rf_area.hh"
+#include "run/experiment.hh"
 
 int
 main(int argc, char **argv)
@@ -19,36 +21,60 @@ main(int argc, char **argv)
     using namespace iwc::compaction;
     const OptionMap opts(argc, argv);
 
+    struct Case
+    {
+        const char *name;
+        RfOrganization org;
+    };
+    const std::vector<Case> cases = {
+        {"baseline (256b rows)", baselineRf()},
+        {"BCC (128b half-register)", bccRf()},
+        {"SCC (512b wide/short)", sccRf()},
+        {"per-lane 8-banked (inter-warp)", perLaneRf()},
+    };
+
+    // The area evaluations are independent points; sweep them through
+    // the harness like every other driver (trivially fast, but the
+    // jobs=N/csv=1 interface stays uniform across bench/).
+    run::SweepRunner runner(run::sweepOptions(opts));
+    std::vector<double> rel(cases.size());
+    runner.forEach(cases.size(), [&](std::size_t i) {
+        rel[i] = rfAreaRelative(cases[i].org);
+    });
+
     stats::Table table({"organization", "rows", "bits/row", "banks",
                         "relative_area", "overhead"});
-    auto add = [&](const char *name, const RfOrganization &org) {
-        const double rel = rfAreaRelative(org);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const RfOrganization &org = cases[i].org;
         table.row()
-            .cell(name)
+            .cell(cases[i].name)
             .cell(org.rows)
             .cell(org.bitsPerRow)
             .cell(org.banks)
-            .cell(rel, 3)
-            .cellPct(rel - 1.0);
-    };
-    add("baseline (256b rows)", baselineRf());
-    add("BCC (128b half-register)", bccRf());
-    add("SCC (512b wide/short)", sccRf());
-    add("per-lane 8-banked (inter-warp)", perLaneRf());
-    bench::printTable(table,
-                      "Section 4.3: register-file area comparison",
-                      opts);
+            .cell(rel[i], 3)
+            .cellPct(rel[i] - 1.0);
+    }
+    run::printTable(table,
+                    "Section 4.3: register-file area comparison",
+                    opts);
 
     // Sensitivity: area vs bank count at constant capacity.
-    stats::Table sweep({"banks", "relative_area"});
-    for (unsigned banks = 1; banks <= 16; banks *= 2) {
+    std::vector<unsigned> banks;
+    for (unsigned b = 1; b <= 16; b *= 2)
+        banks.push_back(b);
+    std::vector<double> sweep_rel(banks.size());
+    runner.forEach(banks.size(), [&](std::size_t i) {
         RfOrganization org = baselineRf();
-        org.banks = banks;
-        org.rows = baselineRf().rows / banks;
+        org.banks = banks[i];
+        org.rows = baselineRf().rows / banks[i];
         org.bitsPerRow = baselineRf().bitsPerRow;
-        sweep.row().cell(banks).cell(rfAreaRelative(org), 3);
-    }
-    bench::printTable(sweep, "Banking sweep at constant capacity",
-                      opts);
+        sweep_rel[i] = rfAreaRelative(org);
+    });
+
+    stats::Table sweep({"banks", "relative_area"});
+    for (std::size_t i = 0; i < banks.size(); ++i)
+        sweep.row().cell(banks[i]).cell(sweep_rel[i], 3);
+    run::printTable(sweep, "Banking sweep at constant capacity",
+                    opts);
     return 0;
 }

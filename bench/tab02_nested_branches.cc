@@ -16,8 +16,9 @@
 
 #include <vector>
 
-#include "bench_util.hh"
 #include "compaction/cycle_plan.hh"
+#include "run/experiment.hh"
+#include "workloads/registry.hh"
 
 int
 main(int argc, char **argv)
@@ -63,27 +64,37 @@ main(int argc, char **argv)
             .cellPct(static_cast<double>(bcc - scc) / b)
             .cellPct((b - scc) / b);
     }
-    bench::printTable(analytic,
-                      "Table 2 (analytic): benefit per technique on "
-                      "nested-branch path masks", opts);
+    run::printTable(analytic,
+                    "Table 2 (analytic): benefit per technique on "
+                    "nested-branch path masks", opts);
 
     // --- Simulated view: micro_nested kernels on the simulator ---
+    const Mode modes[4] = {Mode::Baseline, Mode::IvbOpt, Mode::Bcc,
+                           Mode::Scc};
+    std::vector<run::RunRequest> requests;
+    for (unsigned depth = 1; depth <= 4; ++depth) {
+        for (const Mode mode : modes) {
+            run::RunRequest request = run::RunRequest::timing(
+                "micro_nested_d" + std::to_string(depth),
+                gpu::applyOptions(gpu::ivbConfig(mode), opts), scale);
+            request.factory = [depth](gpu::Device &dev, unsigned s) {
+                return workloads::makeMicroNestedDepth(dev, s, depth);
+            };
+            requests.push_back(std::move(request));
+        }
+    }
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
+
     stats::Table simulated({"level", "cycles_base", "cycles_ivb",
                             "cycles_bcc", "cycles_scc", "bcc_vs_ivb",
                             "scc_vs_ivb"});
     for (unsigned depth = 1; depth <= 4; ++depth) {
         double cycles[4] = {};
-        const Mode modes[4] = {Mode::Baseline, Mode::IvbOpt, Mode::Bcc,
-                               Mode::Scc};
-        for (unsigned m = 0; m < 4; ++m) {
-            gpu::Device dev(gpu::applyOptions(
-                gpu::ivbConfig(modes[m]), opts));
-            workloads::Workload w =
-                workloads::makeMicroNestedDepth(dev, scale, depth);
-            const auto stats = dev.launch(w.kernel, w.globalSize,
-                                          w.localSize, w.args);
-            cycles[m] = static_cast<double>(stats.totalCycles);
-        }
+        for (unsigned m = 0; m < 4; ++m)
+            cycles[m] = static_cast<double>(
+                results[(depth - 1) * 4 + m].stats.totalCycles);
         simulated.row()
             .cell("L" + std::to_string(depth))
             .cell(cycles[0], 0)
@@ -93,8 +104,8 @@ main(int argc, char **argv)
             .cellPct(1.0 - cycles[2] / cycles[1])
             .cellPct(1.0 - cycles[3] / cycles[1]);
     }
-    bench::printTable(simulated,
-                      "Table 2 (simulated): micro_nested kernel "
-                      "execution time per mode", opts);
+    run::printTable(simulated,
+                    "Table 2 (simulated): micro_nested kernel "
+                    "execution time per mode", opts);
     return 0;
 }

@@ -10,9 +10,12 @@
  * 21%/7% SCC; DC2 28%/12% BCC, 36%/18% SCC.
  */
 
+#include <algorithm>
 #include <vector>
 
-#include "bench_util.hh"
+#include "run/experiment.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
 
 namespace
 {
@@ -47,46 +50,68 @@ main(int argc, char **argv)
     const unsigned timing_scale =
         static_cast<unsigned>(opts.getInt("timing_scale", scale));
 
-    MaxAvg exec_bcc, exec_scc, trace_bcc, trace_scc;
-    MaxAvg dc1_bcc, dc1_scc, dc2_bcc, dc2_scc;
+    // The whole table is one sweep: EU-cycle analyses for the
+    // execution-driven suite, synthetic analyses for the trace
+    // workloads, and the (workload, mode, DC) timing cross-product on
+    // the timing subset (the paper's 14 GPGenSim divergent benchmarks;
+    // we use the suite's divergent set minus the micro-kernels).
+    std::vector<run::RunRequest> requests;
 
-    // EU cycles, execution-driven suite.
-    for (const auto &name : workloads::divergentNames()) {
-        const auto a = bench::analyzeWorkload(name, scale);
-        exec_bcc.add(a.reduction(Mode::Bcc));
-        exec_scc.add(a.reduction(Mode::Scc));
-    }
+    const std::vector<std::string> exec_names =
+        workloads::divergentNames();
+    for (const auto &name : exec_names)
+        requests.push_back(
+            run::RunRequest::functionalTrace(name, scale));
 
-    // EU cycles, trace workloads.
+    std::vector<std::string> trace_names;
     for (const auto &profile : trace::paperTraceProfiles()) {
         if (profile.divergentFraction < 0.3)
             continue;
-        const auto a = trace::analyzeTrace(trace::synthesize(profile));
-        trace_bcc.add(a.reduction(Mode::Bcc));
-        trace_scc.add(a.reduction(Mode::Scc));
+        trace_names.push_back(profile.name);
+        requests.push_back(run::RunRequest::syntheticTrace(profile.name));
     }
 
-    // Execution time, DC1/DC2, on the timing subset (the paper's
-    // 14 GPGenSim divergent benchmarks; we use the suite's divergent
-    // set minus the micro-kernels).
-    for (const auto &name : workloads::divergentNames()) {
-        if (name.rfind("micro", 0) == 0)
-            continue;
-        gpu::LaunchStats runs[3][2];
-        const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
-        for (unsigned m = 0; m < 3; ++m) {
+    std::vector<std::string> timing_names;
+    for (const auto &name : exec_names)
+        if (name.rfind("micro", 0) != 0)
+            timing_names.push_back(name);
+    const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
+    for (const auto &name : timing_names) {
+        for (const Mode mode : modes) {
             for (unsigned dc = 0; dc < 2; ++dc) {
                 gpu::GpuConfig config = gpu::applyOptions(
-                    gpu::ivbConfig(modes[m]), opts);
+                    gpu::ivbConfig(mode), opts);
                 config.mem.dcLinesPerCycle = dc + 1;
-                runs[m][dc] = bench::runWorkloadTiming(name, config,
-                                                       timing_scale);
+                requests.push_back(run::RunRequest::timing(
+                    name, config, timing_scale));
             }
         }
+    }
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
+
+    MaxAvg exec_bcc, exec_scc, trace_bcc, trace_scc;
+    MaxAvg dc1_bcc, dc1_scc, dc2_bcc, dc2_scc;
+
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < exec_names.size(); ++i, ++at) {
+        exec_bcc.add(results[at].analysis.reduction(Mode::Bcc));
+        exec_scc.add(results[at].analysis.reduction(Mode::Scc));
+    }
+    for (std::size_t i = 0; i < trace_names.size(); ++i, ++at) {
+        trace_bcc.add(results[at].analysis.reduction(Mode::Bcc));
+        trace_scc.add(results[at].analysis.reduction(Mode::Scc));
+    }
+    for (std::size_t w = 0; w < timing_names.size(); ++w) {
+        auto stats_of = [&](unsigned m, unsigned dc)
+            -> const gpu::LaunchStats & {
+            return results[at + (w * 3 + m) * 2 + dc].stats;
+        };
         auto reduction = [&](unsigned m, unsigned dc) {
             return 1.0 -
-                static_cast<double>(runs[m][dc].totalCycles) /
-                runs[0][dc].totalCycles;
+                static_cast<double>(stats_of(m, dc).totalCycles) /
+                stats_of(0, dc).totalCycles;
         };
         dc1_bcc.add(reduction(1, 0));
         dc1_scc.add(reduction(2, 0));
@@ -110,8 +135,8 @@ main(int argc, char **argv)
     add("execution time (DC1)", dc1_bcc, dc1_scc);
     add("execution time (DC2)", dc2_bcc, dc2_scc);
 
-    bench::printTable(table,
-                      "Table 4: summary of BCC and SCC benefits "
-                      "(divergent workloads)", opts);
+    run::printTable(table,
+                    "Table 4: summary of BCC and SCC benefits "
+                    "(divergent workloads)", opts);
     return 0;
 }

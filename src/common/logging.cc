@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace iwc
 {
@@ -9,9 +10,23 @@ namespace iwc
 namespace
 {
 
+/**
+ * Serializes sink writes so messages from SweepRunner worker threads
+ * never interleave mid-line. panic()/fatal() also take the lock: the
+ * process is going down anyway, and holding it while aborting keeps
+ * the final message intact. The mutex is never taken recursively.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
 void
 vreport(const char *prefix, const char *fmt, va_list ap)
 {
+    const std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "%s: ", prefix);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
@@ -22,24 +37,30 @@ vreport(const char *prefix, const char *fmt, va_list ap)
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
-    va_list ap;
-    va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
-    va_end(ap);
-    std::fprintf(stderr, "\n");
+    {
+        const std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "panic: %s:%d: ", file, line);
+        va_list ap;
+        va_start(ap, fmt);
+        std::vfprintf(stderr, fmt, ap);
+        va_end(ap);
+        std::fprintf(stderr, "\n");
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
-    va_list ap;
-    va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
-    va_end(ap);
-    std::fprintf(stderr, "\n");
+    {
+        const std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+        va_list ap;
+        va_start(ap, fmt);
+        std::vfprintf(stderr, fmt, ap);
+        va_end(ap);
+        std::fprintf(stderr, "\n");
+    }
     std::exit(1);
 }
 

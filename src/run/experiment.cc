@@ -1,0 +1,41 @@
+#include "run/experiment.hh"
+
+#include <cstdio>
+#include <iostream>
+
+namespace iwc::run
+{
+
+SweepOptions
+sweepOptions(const OptionMap &opts)
+{
+    SweepOptions options;
+    options.jobs = static_cast<unsigned>(opts.getInt("jobs", 0));
+    if (opts.getBool("progress", false)) {
+        options.progress = [](std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "\rsweep: %zu/%zu%s", done, total,
+                         done == total ? "\n" : "");
+            std::fflush(stderr);
+        };
+    }
+    return options;
+}
+
+void
+printTable(const stats::Table &table, const std::string &title,
+           const OptionMap &opts)
+{
+    if (opts.getBool("csv", false))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout, title);
+    std::cout << '\n';
+}
+
+std::string
+pct(double fraction)
+{
+    return stats::formatPct(fraction, 1);
+}
+
+} // namespace iwc::run

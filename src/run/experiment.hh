@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared plumbing for the experiment drivers (bench/, tools/): option
+ * parsing for the sweep runner and table/percent output formatting.
+ *
+ * Every driver accepts "key=value" options: scale=N (problem size),
+ * csv=1 (CSV output), jobs=N (worker threads, default one per
+ * hardware thread, 1 = serial), progress=1 (stderr progress line),
+ * plus the machine overrides documented in gpu/gpu_config.hh.
+ */
+
+#ifndef IWC_RUN_EXPERIMENT_HH
+#define IWC_RUN_EXPERIMENT_HH
+
+#include <string>
+
+#include "common/config.hh"
+#include "run/sweep_runner.hh"
+#include "stats/table.hh"
+
+namespace iwc::run
+{
+
+/**
+ * Builds SweepOptions from driver options: "jobs" (default 0 = one
+ * worker per hardware thread) and "progress" (stderr progress line,
+ * off by default so table output stays clean).
+ */
+SweepOptions sweepOptions(const OptionMap &opts);
+
+/** Prints @p table as text or CSV per the "csv" option. */
+void printTable(const stats::Table &table, const std::string &title,
+                const OptionMap &opts);
+
+/** Percent formatting of a cycle-reduction fraction. */
+std::string pct(double fraction);
+
+} // namespace iwc::run
+
+#endif // IWC_RUN_EXPERIMENT_HH

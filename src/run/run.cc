@@ -1,0 +1,136 @@
+#include "run/run.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace.hh"
+#include "workloads/registry.hh"
+
+namespace iwc::run
+{
+
+namespace
+{
+
+workloads::Workload
+buildWorkload(const RunRequest &request, gpu::Device &dev)
+{
+    if (request.factory)
+        return request.factory(dev, request.scale);
+    return workloads::make(request.workload, dev, request.scale);
+}
+
+trace::TraceAnalysis
+analyzeBuilt(gpu::Device &dev, const workloads::Workload &w)
+{
+    trace::TraceAnalyzer analyzer;
+    dev.launchFunctional(
+        w.kernel, w.globalSize, w.localSize, w.args,
+        [&](const isa::Instruction &in, LaneMask mask) {
+            analyzer.add(trace::recordOf(in, mask));
+        });
+    return analyzer.result();
+}
+
+} // namespace
+
+RunRequest
+RunRequest::timing(std::string workload, gpu::GpuConfig config,
+                   unsigned scale)
+{
+    RunRequest request;
+    request.kind = JobKind::Timing;
+    request.workload = std::move(workload);
+    request.config = std::move(config);
+    request.scale = scale;
+    return request;
+}
+
+RunRequest
+RunRequest::functionalTrace(std::string workload, unsigned scale)
+{
+    RunRequest request;
+    request.kind = JobKind::FunctionalTrace;
+    request.workload = std::move(workload);
+    request.scale = scale;
+    return request;
+}
+
+RunRequest
+RunRequest::syntheticTrace(std::string profile)
+{
+    RunRequest request;
+    request.kind = JobKind::SyntheticTrace;
+    request.traceProfile = std::move(profile);
+    return request;
+}
+
+trace::TraceAnalysis
+analyzeWorkload(const std::string &name, unsigned scale)
+{
+    gpu::Device dev;
+    const workloads::Workload w = workloads::make(name, dev, scale);
+    return analyzeBuilt(dev, w);
+}
+
+trace::TraceAnalysis
+analyzeWorkload(const WorkloadFactory &factory, unsigned scale)
+{
+    gpu::Device dev;
+    const workloads::Workload w = factory(dev, scale);
+    return analyzeBuilt(dev, w);
+}
+
+trace::TraceAnalysis
+analyzeSyntheticProfile(const std::string &name)
+{
+    return trace::analyzeTrace(
+        trace::synthesize(trace::profileByName(name)));
+}
+
+gpu::LaunchStats
+runWorkloadTiming(const std::string &name, const gpu::GpuConfig &config,
+                  unsigned scale)
+{
+    gpu::Device dev(config);
+    const workloads::Workload w = workloads::make(name, dev, scale);
+    return dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
+}
+
+RunResult
+executeRun(const RunRequest &request)
+{
+    RunResult result;
+    result.kind = request.kind;
+
+    switch (request.kind) {
+      case JobKind::Timing: {
+        result.label = request.workload;
+        gpu::Device dev(request.config);
+        workloads::Workload w = buildWorkload(request, dev);
+        result.stats =
+            dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
+        if (request.checkOutput) {
+            result.checked = true;
+            result.checkOk = w.check ? w.check(dev) : true;
+        }
+        return result;
+      }
+      case JobKind::FunctionalTrace: {
+        result.label = request.workload;
+        gpu::Device dev(request.config);
+        workloads::Workload w = buildWorkload(request, dev);
+        result.analysis = analyzeBuilt(dev, w);
+        return result;
+      }
+      case JobKind::SyntheticTrace: {
+        result.label = request.traceProfile;
+        result.analysis = analyzeSyntheticProfile(request.traceProfile);
+        return result;
+      }
+    }
+    panic("unknown JobKind %d", static_cast<int>(request.kind));
+}
+
+} // namespace iwc::run

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * One experiment point as a pure job: a RunRequest names a workload
+ * (or trace profile), a scale, and a machine configuration; executing
+ * it produces a RunResult holding timing statistics or a trace
+ * analysis. All mutable state a job needs — the Device, its
+ * GlobalMemory, the workload inputs — is created inside the job, so
+ * two requests never share mutable state and can run on different
+ * threads (see sweep_runner.hh).
+ */
+
+#ifndef IWC_RUN_RUN_HH
+#define IWC_RUN_RUN_HH
+
+#include <functional>
+#include <string>
+
+#include "gpu/device.hh"
+#include "gpu/gpu_config.hh"
+#include "trace/analyzer.hh"
+#include "workloads/workload.hh"
+
+namespace iwc::run
+{
+
+/** What executing a request means. */
+enum class JobKind
+{
+    /** Cycle-level simulation; the result carries LaunchStats. */
+    Timing,
+    /**
+     * Functional execution feeding the trace analyzer; the result
+     * carries a TraceAnalysis (which reports EU cycles for every
+     * compaction mode at once, so one functional run answers all
+     * per-mode questions — the SweepRunner caches on this).
+     */
+    FunctionalTrace,
+    /** Synthetic mask-trace generation + analysis (trace workloads). */
+    SyntheticTrace,
+};
+
+/**
+ * Builds the workload instance a job runs. Defaults to the registry
+ * factory for RunRequest::workload; set explicitly for parameterized
+ * kernels (lane patterns, nesting depths, datatypes).
+ */
+using WorkloadFactory =
+    std::function<workloads::Workload(gpu::Device &, unsigned)>;
+
+/** See file comment. */
+struct RunRequest
+{
+    JobKind kind = JobKind::Timing;
+
+    /** Registry name; display label when @ref factory is set. */
+    std::string workload;
+    /** Optional non-registry workload builder (disables caching). */
+    WorkloadFactory factory;
+    unsigned scale = 1;
+    /** Machine configuration (compaction mode lives in config.eu.mode). */
+    gpu::GpuConfig config = gpu::ivbConfig();
+    /** Profile name for JobKind::SyntheticTrace. */
+    std::string traceProfile;
+    /** Timing only: run the host-side reference check after launch. */
+    bool checkOutput = false;
+
+    // --- Convenience constructors ---------------------------------------
+
+    static RunRequest timing(std::string workload, gpu::GpuConfig config,
+                             unsigned scale = 1);
+    static RunRequest functionalTrace(std::string workload,
+                                      unsigned scale = 1);
+    static RunRequest syntheticTrace(std::string profile);
+};
+
+/** Outcome of one executed request. */
+struct RunResult
+{
+    JobKind kind = JobKind::Timing;
+    /** Workload or profile name the job ran. */
+    std::string label;
+
+    /** Valid for JobKind::Timing. */
+    gpu::LaunchStats stats;
+    /** Valid for JobKind::FunctionalTrace / SyntheticTrace. */
+    trace::TraceAnalysis analysis;
+
+    /** Reference-check outcome (Timing with checkOutput=true). */
+    bool checked = false;
+    bool checkOk = false;
+};
+
+/**
+ * Executes one request in isolation on the calling thread: fresh
+ * Device and GlobalMemory, workload built from scratch. The building
+ * block of SweepRunner; callable directly for one-off runs.
+ */
+RunResult executeRun(const RunRequest &request);
+
+/**
+ * The functional-trace computation executeRun performs for
+ * JobKind::FunctionalTrace, exposed so the SweepRunner cache can
+ * share one execution among the requests that agree on it.
+ */
+trace::TraceAnalysis analyzeWorkload(const std::string &name,
+                                     unsigned scale);
+
+/** As analyzeWorkload, but through an explicit factory. */
+trace::TraceAnalysis analyzeWorkload(const WorkloadFactory &factory,
+                                     unsigned scale);
+
+/** Synthesizes and analyzes the named paper trace profile. */
+trace::TraceAnalysis analyzeSyntheticProfile(const std::string &name);
+
+/** Runs a workload on the timing simulator under @p config. */
+gpu::LaunchStats runWorkloadTiming(const std::string &name,
+                                   const gpu::GpuConfig &config,
+                                   unsigned scale);
+
+} // namespace iwc::run
+
+#endif // IWC_RUN_RUN_HH

@@ -1,0 +1,167 @@
+#include "run/sweep_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace iwc::run
+{
+
+namespace
+{
+
+/**
+ * One shared trace analysis: the first request to need it computes
+ * it under the once_flag; later requests (other modes of the same
+ * workload) reuse the stored result.
+ */
+struct CacheEntry
+{
+    std::once_flag once;
+    trace::TraceAnalysis analysis;
+};
+
+/** Cache key for requests whose analysis is config-independent. */
+std::string
+cacheKey(const RunRequest &request)
+{
+    if (request.factory)
+        return {}; // opaque builder: never shared
+    if (request.kind == JobKind::FunctionalTrace)
+        return "w:" + request.workload + "@" +
+               std::to_string(request.scale);
+    if (request.kind == JobKind::SyntheticTrace)
+        return "t:" + request.traceProfile;
+    return {};
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : progress_(std::move(options.progress))
+{
+    jobs_ = options.jobs;
+    if (jobs_ == 0) {
+        jobs_ = std::thread::hardware_concurrency();
+        if (jobs_ == 0)
+            jobs_ = 1;
+    }
+}
+
+void
+SweepRunner::forEach(std::size_t count,
+                     const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    auto report = [&] {
+        if (!progress_)
+            return;
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        progress_(++done, count);
+    };
+
+    // Legacy serial path: no threads, everything on the caller.
+    if (jobs_ == 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            body(i);
+            report();
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+            report();
+        }
+    };
+
+    const std::size_t workers =
+        std::min<std::size_t>(jobs_, count);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<RunRequest> &requests)
+{
+    stats_ = {};
+
+    // Per-sweep trace cache: group the requests whose analysis is
+    // identical by construction so one execution serves all of them.
+    std::map<std::string, std::shared_ptr<CacheEntry>> cache;
+    std::vector<std::shared_ptr<CacheEntry>> entry_of(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const std::string key = cacheKey(requests[i]);
+        if (key.empty())
+            continue;
+        auto [it, inserted] =
+            cache.emplace(key, std::shared_ptr<CacheEntry>());
+        if (inserted)
+            it->second = std::make_shared<CacheEntry>();
+        else
+            ++stats_.traceCacheHits;
+        entry_of[i] = it->second;
+    }
+
+    std::atomic<std::uint64_t> executions{0};
+    std::vector<RunResult> results(requests.size());
+    forEach(requests.size(), [&](std::size_t i) {
+        const RunRequest &request = requests[i];
+        if (const auto &entry = entry_of[i]) {
+            std::call_once(entry->once, [&] {
+                executions.fetch_add(1, std::memory_order_relaxed);
+                entry->analysis =
+                    request.kind == JobKind::FunctionalTrace
+                        ? analyzeWorkload(request.workload,
+                                          request.scale)
+                        : analyzeSyntheticProfile(request.traceProfile);
+            });
+            results[i].kind = request.kind;
+            results[i].label = request.kind == JobKind::FunctionalTrace
+                                   ? request.workload
+                                   : request.traceProfile;
+            results[i].analysis = entry->analysis;
+            return;
+        }
+        results[i] = executeRun(request);
+    });
+    stats_.traceExecutions = executions.load();
+    return results;
+}
+
+} // namespace iwc::run

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Parallel experiment sweeps. A SweepRunner executes a vector of
+ * RunRequests on a pool of worker threads and returns the results in
+ * submission order, bit-identical to a serial run: every job owns its
+ * whole simulation state, so scheduling cannot change any result.
+ *
+ * Functional-trace requests that agree on (workload, scale) — e.g.
+ * the four compaction modes of one workload — share a single
+ * functional execution through a per-sweep cache, and synthetic-trace
+ * requests for one profile share a single synthesis.
+ *
+ *   run::SweepRunner runner(run::sweepOptions(opts)); // jobs=N
+ *   auto results = runner.run(requests);              // ordered
+ */
+
+#ifndef IWC_RUN_SWEEP_RUNNER_HH
+#define IWC_RUN_SWEEP_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "run/run.hh"
+
+namespace iwc::run
+{
+
+/** Called after each finished job with (done, total). May print; the
+ *  runner serializes invocations. */
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/** Runner knobs, typically parsed from the command line. */
+struct SweepOptions
+{
+    /**
+     * Worker-thread count. 0 = one per hardware thread; 1 = the
+     * legacy serial path (everything runs on the calling thread, no
+     * threads are spawned).
+     */
+    unsigned jobs = 0;
+    ProgressFn progress;
+};
+
+/** Counters describing the last run() call (cache effectiveness). */
+struct SweepStats
+{
+    /** Distinct functional executions / trace syntheses performed. */
+    std::uint64_t traceExecutions = 0;
+    /** Requests whose analysis was shared from the per-sweep cache. */
+    std::uint64_t traceCacheHits = 0;
+};
+
+/** See file comment. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions options = {});
+
+    /** Resolved worker count (never 0). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Executes every request and returns results in submission order.
+     * Execution order across threads is unspecified; results are not.
+     */
+    std::vector<RunResult> run(const std::vector<RunRequest> &requests);
+
+    /**
+     * Deterministic parallel-for underlying run(): invokes
+     * @p body(0..count-1), each index exactly once, distributed over
+     * the worker pool. @p body must not touch state shared between
+     * indices without its own synchronization. Exceptions propagate
+     * to the caller after all workers drain.
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &body);
+
+    /** Cache counters of the most recent run() call. */
+    const SweepStats &lastStats() const { return stats_; }
+
+  private:
+    unsigned jobs_ = 1;
+    ProgressFn progress_;
+    SweepStats stats_;
+};
+
+} // namespace iwc::run
+
+#endif // IWC_RUN_SWEEP_RUNNER_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The run/ experiment harness: parallel sweeps must be bit-identical
+ * to the legacy serial path (every job owns its simulation state), the
+ * per-sweep trace cache must collapse the per-mode requests of one
+ * workload onto a single functional execution, and the parallel-for
+ * primitive must visit every index exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "run/experiment.hh"
+#include "run/sweep_runner.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace iwc;
+using compaction::Mode;
+
+const std::vector<std::string> kWorkloads = {"mandelbrot", "bfs",
+                                             "bsort"};
+const Mode kModes[] = {Mode::Baseline, Mode::IvbOpt, Mode::Bcc,
+                       Mode::Scc};
+
+std::vector<run::RunRequest>
+mixedSweep()
+{
+    // workloads x modes, timing and functional legs, plus synthetic
+    // trace profiles: the shape of a full bench-driver sweep.
+    std::vector<run::RunRequest> requests;
+    for (const auto &name : kWorkloads) {
+        for (const Mode mode : kModes) {
+            requests.push_back(run::RunRequest::timing(
+                name, gpu::ivbConfig(mode)));
+            run::RunRequest trace_request =
+                run::RunRequest::functionalTrace(name);
+            trace_request.config = gpu::ivbConfig(mode);
+            requests.push_back(std::move(trace_request));
+        }
+    }
+    requests.push_back(run::RunRequest::syntheticTrace("luxmark_sky"));
+    requests.push_back(run::RunRequest::syntheticTrace("glbench_egypt"));
+    return requests;
+}
+
+void
+expectIdentical(const run::RunResult &a, const run::RunResult &b)
+{
+    ASSERT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.label, b.label);
+    // LaunchStats leg: every counter that feeds a table.
+    EXPECT_EQ(a.stats.totalCycles, b.stats.totalCycles);
+    EXPECT_EQ(a.stats.eu.instructions, b.stats.eu.instructions);
+    EXPECT_EQ(a.stats.eu.sumActiveLanes, b.stats.eu.sumActiveLanes);
+    EXPECT_EQ(a.stats.eu.euCyclesByMode, b.stats.eu.euCyclesByMode);
+    EXPECT_EQ(a.stats.eu.utilBins, b.stats.eu.utilBins);
+    EXPECT_EQ(a.stats.l3Hits, b.stats.l3Hits);
+    EXPECT_EQ(a.stats.l3Misses, b.stats.l3Misses);
+    EXPECT_EQ(a.stats.dramLines, b.stats.dramLines);
+    EXPECT_EQ(a.stats.dcLines, b.stats.dcLines);
+    // TraceAnalysis leg.
+    EXPECT_EQ(a.analysis.records, b.analysis.records);
+    EXPECT_EQ(a.analysis.sumActiveLanes, b.analysis.sumActiveLanes);
+    EXPECT_EQ(a.analysis.sumSimdWidth, b.analysis.sumSimdWidth);
+    EXPECT_EQ(a.analysis.euCycles, b.analysis.euCycles);
+    EXPECT_EQ(a.analysis.utilBins, b.analysis.utilBins);
+    EXPECT_EQ(a.analysis.sccSwizzledLanes, b.analysis.sccSwizzledLanes);
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitExactly)
+{
+    const auto requests = mixedSweep();
+
+    run::SweepRunner serial({.jobs = 1});
+    const auto serial_results = serial.run(requests);
+    ASSERT_EQ(serial_results.size(), requests.size());
+
+    run::SweepRunner parallel({.jobs = 4});
+    EXPECT_EQ(parallel.jobs(), 4u);
+    const auto parallel_results = parallel.run(requests);
+    ASSERT_EQ(parallel_results.size(), requests.size());
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        SCOPED_TRACE("request " + std::to_string(i) + " (" +
+                     serial_results[i].label + ")");
+        expectIdentical(serial_results[i], parallel_results[i]);
+    }
+}
+
+TEST(SweepRunner, RepeatedParallelRunsAreDeterministic)
+{
+    const auto requests = mixedSweep();
+    run::SweepRunner runner({.jobs = 4});
+    const auto first = runner.run(requests);
+    const auto second = runner.run(requests);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        SCOPED_TRACE("request " + std::to_string(i));
+        expectIdentical(first[i], second[i]);
+    }
+}
+
+TEST(SweepRunner, TraceCacheRunsFunctionalExecutionOncePerWorkload)
+{
+    // Four modes of each workload ask for the same functional
+    // analysis; only the mode differs, which the analysis covers in
+    // one pass. Expect one execution per workload, the rest hits.
+    std::vector<run::RunRequest> requests;
+    for (const auto &name : kWorkloads) {
+        for (const Mode mode : kModes) {
+            run::RunRequest request =
+                run::RunRequest::functionalTrace(name);
+            request.config = gpu::ivbConfig(mode);
+            requests.push_back(std::move(request));
+        }
+    }
+
+    for (const unsigned jobs : {1u, 4u}) {
+        run::SweepRunner runner({.jobs = jobs});
+        const auto results = runner.run(requests);
+        EXPECT_EQ(runner.lastStats().traceExecutions,
+                  kWorkloads.size())
+            << "jobs=" << jobs;
+        EXPECT_EQ(runner.lastStats().traceCacheHits,
+                  requests.size() - kWorkloads.size())
+            << "jobs=" << jobs;
+        // All four modes of one workload see the same analysis.
+        for (std::size_t w = 0; w < kWorkloads.size(); ++w)
+            for (unsigned m = 1; m < 4; ++m)
+                EXPECT_EQ(results[w * 4].analysis.euCycles,
+                          results[w * 4 + m].analysis.euCycles);
+    }
+}
+
+TEST(SweepRunner, SyntheticTraceRequestsShareOneSynthesis)
+{
+    std::vector<run::RunRequest> requests = {
+        run::RunRequest::syntheticTrace("luxmark_sky"),
+        run::RunRequest::syntheticTrace("luxmark_sky"),
+        run::RunRequest::syntheticTrace("luxmark_sky"),
+    };
+    run::SweepRunner runner({.jobs = 2});
+    const auto results = runner.run(requests);
+    EXPECT_EQ(runner.lastStats().traceExecutions, 1u);
+    EXPECT_EQ(runner.lastStats().traceCacheHits, 2u);
+    EXPECT_EQ(results[0].analysis.records, results[1].analysis.records);
+    EXPECT_EQ(results[0].analysis.euCycles, results[2].analysis.euCycles);
+}
+
+TEST(SweepRunner, FactoryRequestsBypassTheCache)
+{
+    std::vector<run::RunRequest> requests;
+    for (unsigned i = 0; i < 3; ++i) {
+        run::RunRequest request = run::RunRequest::functionalTrace("va");
+        request.factory = [](gpu::Device &dev, unsigned scale) {
+            return workloads::make("va", dev, scale);
+        };
+        requests.push_back(std::move(request));
+    }
+    run::SweepRunner runner({.jobs = 2});
+    const auto results = runner.run(requests);
+    // Opaque builders are never shared; the cache stays cold.
+    EXPECT_EQ(runner.lastStats().traceExecutions, 0u);
+    EXPECT_EQ(runner.lastStats().traceCacheHits, 0u);
+    EXPECT_EQ(results[0].analysis.records, results[1].analysis.records);
+}
+
+TEST(SweepRunner, ForEachVisitsEveryIndexOnce)
+{
+    for (const unsigned jobs : {1u, 3u, 8u}) {
+        run::SweepRunner runner({.jobs = jobs});
+        std::vector<std::atomic<unsigned>> visits(257);
+        runner.forEach(visits.size(), [&](std::size_t i) {
+            visits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < visits.size(); ++i)
+            EXPECT_EQ(visits[i].load(), 1u)
+                << "jobs=" << jobs << " index " << i;
+    }
+}
+
+TEST(SweepRunner, ProgressReportsEveryCompletionInOrderOfCount)
+{
+    std::vector<std::size_t> seen;
+    run::SweepOptions options;
+    options.jobs = 4;
+    options.progress = [&](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, 16u);
+        seen.push_back(done); // serialized by the runner
+    };
+    run::SweepRunner runner(options);
+    runner.forEach(16, [](std::size_t) {});
+    ASSERT_EQ(seen.size(), 16u);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(SweepRunner, TimingCheckOutputRunsReferenceCheck)
+{
+    run::RunRequest request =
+        run::RunRequest::timing("va", gpu::ivbConfig());
+    request.checkOutput = true;
+    const run::RunResult result = run::executeRun(request);
+    EXPECT_TRUE(result.checked);
+    EXPECT_TRUE(result.checkOk);
+}
+
+TEST(SweepOptions, ParsedFromDriverOptions)
+{
+    const char *argv[] = {"driver", "jobs=7"};
+    const OptionMap opts(2, const_cast<char **>(argv));
+    const run::SweepOptions options = run::sweepOptions(opts);
+    EXPECT_EQ(options.jobs, 7u);
+    EXPECT_FALSE(options.progress);
+    run::SweepRunner runner(options);
+    EXPECT_EQ(runner.jobs(), 7u);
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "isa/disasm.hh"
+#include "run/sweep_runner.hh"
 #include "stats/stats.hh"
 #include "trace/analyzer.hh"
 #include "workloads/registry.hh"
@@ -72,21 +73,15 @@ class CrossMethod : public ::testing::TestWithParam<const char *>
 
 TEST_P(CrossMethod, TraceEqualsTimingAccounting)
 {
-    Device func_dev;
-    Workload wf = iwc::workloads::make(GetParam(), func_dev, 1);
-    iwc::trace::TraceAnalyzer analyzer;
-    func_dev.launchFunctional(
-        wf.kernel, wf.globalSize, wf.localSize, wf.args,
-        [&](const iwc::isa::Instruction &in, iwc::LaneMask mask) {
-            analyzer.add(iwc::trace::recordOf(in, mask));
-        });
-
-    Device timing_dev;
-    Workload wt = iwc::workloads::make(GetParam(), timing_dev, 1);
-    const auto stats = timing_dev.launch(wt.kernel, wt.globalSize,
-                                         wt.localSize, wt.args);
-
-    const auto &a = analyzer.result();
+    // Both methodology legs declared as one two-job sweep through the
+    // experiment harness (the same path the bench drivers use).
+    iwc::run::SweepRunner runner;
+    const auto results = runner.run(
+        {iwc::run::RunRequest::functionalTrace(GetParam()),
+         iwc::run::RunRequest::timing(GetParam(),
+                                      iwc::gpu::ivbConfig())});
+    const auto &a = results[0].analysis;
+    const auto &stats = results[1].stats;
     ASSERT_EQ(a.records, stats.eu.instructions);
     for (unsigned m = 0; m < iwc::compaction::kNumModes; ++m)
         EXPECT_EQ(a.euCycles[m], stats.eu.euCyclesByMode[m])

@@ -8,15 +8,17 @@
  *   iwc_sim workload=bfs                 # run one workload (ivb-opt)
  *   iwc_sim workload=bfs mode=scc dc=2 perfect_l3=1 scale=2
  *   iwc_sim workload=bfs compare=1       # run all four modes
+ *   iwc_sim workload=bfs compare=1 jobs=4  # ... on four threads
  *   iwc_sim workload=bfs check=1         # also verify vs CPU reference
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common/config.hh"
 #include "gpu/device.hh"
-#include "stats/table.hh"
+#include "run/experiment.hh"
 #include "workloads/registry.hh"
 
 namespace
@@ -101,35 +103,41 @@ main(int argc, char **argv)
         static_cast<unsigned>(opts.getInt("scale", 1));
     const bool check = opts.getBool("check", false);
 
-    auto run = [&](compaction::Mode mode) {
-        gpu::GpuConfig config =
-            gpu::applyOptions(gpu::ivbConfig(mode), opts);
-        gpu::Device dev(config);
-        workloads::Workload w = workloads::make(name, dev, scale);
-        const gpu::LaunchStats stats =
-            dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
-        std::printf("%s under %s:\n", name.c_str(),
-                    compaction::modeName(mode));
-        printStats(stats);
-        if (check) {
-            const bool ok = w.check(dev);
-            std::printf("  reference check       : %s\n",
-                        ok ? "PASS" : "FAIL");
-            return ok;
-        }
-        return true;
-    };
+    // compare=1 sweeps all four modes; otherwise one mode. Either way
+    // the runs go through the sweep harness (jobs=N parallelizes the
+    // compare sweep; printing stays in submission order).
+    std::vector<compaction::Mode> modes;
+    if (opts.getBool("compare", false))
+        modes = {compaction::Mode::Baseline, compaction::Mode::IvbOpt,
+                 compaction::Mode::Bcc, compaction::Mode::Scc};
+    else
+        modes = {gpu::parseMode(opts.getString("mode", "ivb"))};
+
+    std::vector<run::RunRequest> requests;
+    for (const compaction::Mode mode : modes) {
+        run::RunRequest request = run::RunRequest::timing(
+            name, gpu::applyOptions(gpu::ivbConfig(mode), opts),
+            scale);
+        request.checkOutput = check;
+        requests.push_back(std::move(request));
+    }
+
+    run::SweepRunner runner(run::sweepOptions(opts));
+    const auto results = runner.run(requests);
 
     bool ok = true;
-    if (opts.getBool("compare", false)) {
-        for (const auto mode :
-             {compaction::Mode::Baseline, compaction::Mode::IvbOpt,
-              compaction::Mode::Bcc, compaction::Mode::Scc}) {
-            ok = run(mode) && ok;
-            std::puts("");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const run::RunResult &result = results[i];
+        std::printf("%s under %s:\n", name.c_str(),
+                    compaction::modeName(modes[i]));
+        printStats(result.stats);
+        if (result.checked) {
+            std::printf("  reference check       : %s\n",
+                        result.checkOk ? "PASS" : "FAIL");
+            ok = result.checkOk && ok;
         }
-    } else {
-        ok = run(gpu::parseMode(opts.getString("mode", "ivb")));
+        if (results.size() > 1)
+            std::puts("");
     }
     return ok ? 0 : 1;
 }

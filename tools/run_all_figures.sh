@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench driver (the full figure/table reproduction)
+# at scale=1 with CSV output through the parallel sweep harness, and
+# iwc_sim's four-mode compare path. Fails on the first non-zero exit.
+#
+# Usage: run_all_figures.sh [build_dir] [jobs]
+#   build_dir  CMake build tree holding bench/ and tools/ (default: build)
+#   jobs       SweepRunner worker count (default: 0 = hardware threads)
+#
+# Wired into CTest as the "figures-smoke" test (see bench/CMakeLists.txt).
+
+set -u
+
+build_dir=${1:-build}
+jobs=${2:-0}
+
+if [ ! -d "$build_dir/bench" ]; then
+    echo "run_all_figures: no bench/ under '$build_dir' (build first:" \
+         "cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+    exit 1
+fi
+
+failures=0
+run_one() {
+    local label=$1
+    shift
+    echo "=== $label: $*" >&2
+    if ! "$@" > /dev/null; then
+        echo "FAIL: $label" >&2
+        failures=$((failures + 1))
+    fi
+}
+
+drivers="
+fig03_simd_efficiency
+fig08_ivb_microbench
+tab02_nested_branches
+fig09_utilization
+fig10_cycle_reduction
+fig11_raytracing
+fig12_rodinia
+tab04_summary
+rf_area_model
+comparison_interwarp
+energy_model
+ablation_scc_policy
+ablation_issue_bw
+ablation_simd_width
+ablation_datatypes
+"
+
+for driver in $drivers; do
+    run_one "$driver" "$build_dir/bench/$driver" scale=1 csv=1 "jobs=$jobs"
+done
+
+# google-benchmark driver: takes benchmark flags, not key=value options.
+run_one microbench_components "$build_dir/bench/microbench_components" \
+    --benchmark_filter='BM_SweepRunnerDispatch|BM_PlanCycleCount' \
+    --benchmark_min_time=0.02
+
+# The downstream CLI, four-mode compare with reference checking.
+run_one iwc_sim "$build_dir/tools/iwc_sim" workload=bfs compare=1 \
+    check=1 scale=1 "jobs=$jobs"
+
+if [ "$failures" -ne 0 ]; then
+    echo "run_all_figures: $failures driver(s) failed" >&2
+    exit 1
+fi
+echo "run_all_figures: all drivers passed" >&2
