@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Perf-regression smoke driver: times a fixed basket of timing
+ * launches at jobs=1 (the serial path, so the number is comparable
+ * across machines and runs) and writes the result as
+ * BENCH_results.json. The basket is the divergent non-micro suite
+ * under the three compaction modes — the same simulation mix the
+ * figure drivers spend their time in — so a hot-path regression in
+ * the interpreter, EU model, or memory system shows up directly as a
+ * cycles_per_sec drop.
+ *
+ * Options: scale=N (default 1), out=FILE (default BENCH_results.json
+ * in the working directory), csv/jobs are accepted but jobs is
+ * forced to 1 — a timing driver that raced worker threads would
+ * measure contention, not the simulator.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "run/experiment.hh"
+#include "workloads/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+    using compaction::Mode;
+    const OptionMap opts(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 1));
+    const std::string out_path =
+        opts.getString("out", "BENCH_results.json");
+
+    std::vector<run::RunRequest> requests;
+    const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
+    for (const auto &name : workloads::divergentNames()) {
+        if (name.rfind("micro", 0) == 0)
+            continue;
+        for (const Mode mode : modes) {
+            requests.push_back(run::RunRequest::timing(
+                name, gpu::applyOptions(gpu::ivbConfig(mode), opts),
+                scale));
+        }
+    }
+
+    run::SweepOptions sweep;
+    sweep.jobs = 1; // serial: wall time must measure the simulator
+    run::SweepRunner runner(sweep);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runner.run(requests);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const double wall_s =
+        std::chrono::duration<double>(t1 - t0).count();
+    std::uint64_t sim_cycles = 0;
+    for (const auto &result : results)
+        sim_cycles += result.stats.totalCycles;
+    const double cycles_per_sec =
+        wall_s > 0 ? static_cast<double>(sim_cycles) / wall_s : 0;
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    fatal_if(f == nullptr, "cannot write %s", out_path.c_str());
+    std::fprintf(f,
+                 "{\n"
+                 "  \"driver\": \"perf_smoke\",\n"
+                 "  \"wall_s\": %.3f,\n"
+                 "  \"sim_cycles\": %llu,\n"
+                 "  \"cycles_per_sec\": %.0f\n"
+                 "}\n",
+                 wall_s, static_cast<unsigned long long>(sim_cycles),
+                 cycles_per_sec);
+    std::fclose(f);
+
+    std::printf("perf_smoke: %zu launches, %.3f s wall, "
+                "%llu simulated cycles, %.2f Mcycles/s -> %s\n",
+                results.size(), wall_s,
+                static_cast<unsigned long long>(sim_cycles),
+                cycles_per_sec / 1e6, out_path.c_str());
+    return 0;
+}

@@ -1,0 +1,21 @@
+#include "compaction/plan_cache.hh"
+
+#include "compaction/scc_algorithm.hh"
+
+namespace iwc::compaction
+{
+
+PlanCosts
+PlanCache::compute(const ExecShape &shape)
+{
+    PlanCosts costs;
+    for (unsigned m = 0; m < kNumModes; ++m) {
+        costs.cycles[m] = static_cast<std::uint16_t>(
+            planCycleCount(static_cast<Mode>(m), shape));
+    }
+    costs.sccSwizzledLanes =
+        static_cast<std::uint16_t>(planScc(shape).swizzledLanes());
+    return costs;
+}
+
+} // namespace iwc::compaction

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Memoization of cycle-plan results. planCycles/planScc are pure
+ * functions of (Mode, ExecShape), and the execution masks an EU sees
+ * repeat heavily (loop bodies replay the same divergence pattern every
+ * iteration), so both the timing EU and the trace analyzer front their
+ * plan queries with a PlanCache: a direct-mapped table over the full
+ * mask space for SIMD widths up to 16 and a hash map for SIMD32. One
+ * entry carries the per-mode cycle counts and the SCC swizzle count —
+ * everything the hot paths derive from a plan — computed once from the
+ * same planCycleCount/planScc code the uncached paths use, so cached
+ * and uncached results are identical by construction (tested
+ * exhaustively in test_cycle_plan_cache.cc).
+ */
+
+#ifndef IWC_COMPACTION_PLAN_CACHE_HH
+#define IWC_COMPACTION_PLAN_CACHE_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "compaction/cycle_plan.hh"
+#include "stats/stats.hh"
+
+namespace iwc::compaction
+{
+
+/** Everything the issue/analysis hot paths need from a CyclePlan. */
+struct PlanCosts
+{
+    /** Execution cycles under each compaction mode. */
+    std::array<std::uint16_t, kNumModes> cycles{};
+    /** Lanes the SCC schedule routes through the crossbar. */
+    std::uint16_t sccSwizzledLanes = 0;
+};
+
+/** See file comment. */
+class PlanCache
+{
+  public:
+    /** Plan costs for @p shape, memoized. */
+    const PlanCosts &
+    costs(const ExecShape &shape)
+    {
+        const unsigned width = shape.simdWidth;
+        const unsigned shift = elemShift(shape.elemBytes);
+        if (width <= kDirectMappedWidth) {
+            Table &table = tables_[widthIndex(width)][shift];
+            if (table.empty())
+                table.assign(std::size_t{1} << width, Entry{});
+            Entry &entry = table[shape.maskedExec()];
+            if (!entry.valid) {
+                entry.costs = compute(shape);
+                entry.valid = true;
+                ++misses_;
+            } else {
+                ++hits_;
+            }
+            return entry.costs;
+        }
+        const auto [it, inserted] =
+            wide_[shift].try_emplace(shape.maskedExec());
+        if (inserted) {
+            it->second = compute(shape);
+            ++misses_;
+        } else {
+            ++hits_;
+        }
+        return it->second;
+    }
+
+    /** Uncached reference computation (what the cache memoizes). */
+    static PlanCosts compute(const ExecShape &shape);
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    /** Publishes hit/miss counters into a stats group. */
+    void
+    writeTo(stats::Group &group) const
+    {
+        group.setScalar("plan_cache_hits", static_cast<double>(hits()));
+        group.setScalar("plan_cache_misses",
+                        static_cast<double>(misses()));
+    }
+
+  private:
+    /** Widths whose whole mask space is table-indexed. */
+    static constexpr unsigned kDirectMappedWidth = 16;
+
+    struct Entry
+    {
+        PlanCosts costs;
+        bool valid = false;
+    };
+    using Table = std::vector<Entry>;
+
+    /** Dense index for the legal SIMD widths 1/4/8/16. */
+    static unsigned
+    widthIndex(unsigned width)
+    {
+        // 1 -> 0, 4 -> 2, 8 -> 3, 16 -> 4 (width 2 unused but legal).
+        return static_cast<unsigned>(std::bit_width(width) - 1);
+    }
+
+    /** log2 of the element size in bytes (2/4/8 -> 1/2/3). */
+    static unsigned
+    elemShift(unsigned elem_bytes)
+    {
+        return static_cast<unsigned>(std::bit_width(elem_bytes) - 1);
+    }
+
+    /** [widthIndex][elemShift] lazily-built direct-mapped tables. */
+    std::array<std::array<Table, 4>, 5> tables_;
+    /** SIMD32 masks, per element shift. */
+    std::array<std::unordered_map<LaneMask, PlanCosts>, 4> wide_;
+    stats::Counter hits_;
+    stats::Counter misses_;
+};
+
+} // namespace iwc::compaction
+
+#endif // IWC_COMPACTION_PLAN_CACHE_HH

@@ -8,6 +8,8 @@
 #ifndef IWC_EU_ARBITER_HH
 #define IWC_EU_ARBITER_HH
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace iwc::eu
@@ -21,21 +23,42 @@ class RotatingArbiter
 
     /**
      * Picks up to @p max_picks slot indices for which @p issueable
-     * returns true, scanning from the rotating start position.
+     * returns true, scanning from the rotating start position. Writes
+     * into @p out (caller guarantees room for min(max_picks, slots)
+     * entries) and returns the count — the issue loop calls this every
+     * arbitration cycle, so no allocation.
      */
+    template <typename IssueableFn>
+    unsigned
+    pickInto(unsigned max_picks, IssueableFn &&issueable, unsigned *out)
+    {
+        unsigned n = 0;
+        for (unsigned i = 0; i < slots_ && n < max_picks; ++i) {
+            // start_ < slots_ and i < slots_, so one conditional
+            // subtract replaces the modulo (hot: every slot scan).
+            unsigned slot = start_ + i;
+            if (slot >= slots_)
+                slot -= slots_;
+            if (issueable(slot))
+                out[n++] = slot;
+        }
+        if (n > 0) {
+            start_ = out[n - 1] + 1;
+            if (start_ >= slots_)
+                start_ -= slots_;
+        }
+        return n;
+    }
+
+    /** Convenience wrapper returning the picks as a vector. */
     template <typename IssueableFn>
     std::vector<unsigned>
     pick(unsigned max_picks, IssueableFn &&issueable)
     {
-        std::vector<unsigned> picks;
-        for (unsigned i = 0; i < slots_ && picks.size() < max_picks;
-             ++i) {
-            const unsigned slot = (start_ + i) % slots_;
-            if (issueable(slot))
-                picks.push_back(slot);
-        }
-        if (!picks.empty())
-            start_ = (picks.back() + 1) % slots_;
+        std::vector<unsigned> picks(std::min(max_picks, slots_));
+        const unsigned n = pickInto(
+            max_picks, std::forward<IssueableFn>(issueable), picks.data());
+        picks.resize(n);
         return picks;
     }
 

@@ -4,7 +4,6 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
-#include "compaction/scc_algorithm.hh"
 #include "mem/coalescer.hh"
 
 namespace iwc::eu
@@ -40,7 +39,8 @@ EuStats::merge(const EuStats &other)
 EuCore::EuCore(unsigned id, const EuConfig &config, mem::MemSystem &mem,
                GpuHooks &hooks)
     : id_(id), config_(config), mem_(mem), hooks_(hooks),
-      slots_(config.numThreads), arbiter_(config.numThreads)
+      slots_(config.numThreads), arbiter_(config.numThreads),
+      pickBuf_(config.numThreads), freeSlots_(config.numThreads)
 {
     fatal_if(config.numThreads == 0, "EU needs at least one thread");
     fatal_if(config.issueWidth == 0 || config.arbitrationPeriod == 0,
@@ -52,6 +52,8 @@ EuCore::bindKernel(const isa::Kernel &kernel, func::GlobalMemory &gmem)
 {
     kernel_ = &kernel;
     interp_ = std::make_unique<func::Interpreter>(kernel, gmem);
+    decoded_ = &interp_->decoded();
+    depPool_ = decoded_->depPool();
 }
 
 int
@@ -69,12 +71,7 @@ EuCore::findFreeSlot() const
 unsigned
 EuCore::numFreeSlots() const
 {
-    unsigned free_slots = 0;
-    for (const ThreadSlot &slot : slots_)
-        if (slot.status == SlotStatus::Idle ||
-            slot.status == SlotStatus::Done)
-            ++free_slots;
-    return free_slots;
+    return freeSlots_;
 }
 
 void
@@ -139,6 +136,9 @@ EuCore::dispatch(const DispatchInfo &info)
     slot.resumeAt = info.readyAt;
     slot.lastMemDone = 0;
     writePayload(slot, info);
+    updateSlotReady(slot);
+    --freeSlots_;
+    nextIssueAt_ = 0; // rescan on the next tick
 }
 
 void
@@ -149,6 +149,8 @@ EuCore::releaseBarrier(int wg_id, Cycle now)
             slot.wgId == wg_id) {
             slot.status = SlotStatus::Active;
             slot.resumeAt = now + 1;
+            updateSlotReady(slot);
+            nextIssueAt_ = 0; // rescan on the next tick
         }
     }
 }
@@ -166,12 +168,9 @@ EuCore::idle() const
 bool
 EuCore::canIssue(const ThreadSlot &slot, Cycle now) const
 {
-    if (slot.status != SlotStatus::Active || slot.resumeAt > now)
+    if (slot.status != SlotStatus::Active || slot.readyAt > now)
         return false;
-    const Instruction &in = kernel_->instr(slot.state.ip());
-    if (!slot.sb.ready(in, now))
-        return false;
-    switch (pipeFor(in)) {
+    switch (slot.pipe) {
       case PipeKind::Fpu:
         return fpu_.canAccept(now);
       case PipeKind::Em:
@@ -184,27 +183,88 @@ EuCore::canIssue(const ThreadSlot &slot, Cycle now) const
     return false;
 }
 
-void
-EuCore::issueAlu(ThreadSlot &slot, const Instruction &in, LaneMask exec,
-                 PipeKind pk, Cycle now)
+/** pipeFor over the decoded form (no Instruction deref). */
+static PipeKind
+pipeKindOf(const func::DecodedInstr &d)
 {
-    const ExecShape shape{
-        in.simdWidth,
-        static_cast<std::uint8_t>(isa::execElemBytes(in)),
-        exec,
-    };
+    using func::ExecClass;
+    switch (d.cls) {
+      case ExecClass::AluFloat:
+      case ExecClass::AluInt:
+      case ExecClass::CmpFloat:
+      case ExecClass::CmpInt:
+        return isa::isExtendedMath(d.op) ? PipeKind::Em : PipeKind::Fpu;
+      case ExecClass::Send:
+        return PipeKind::Send;
+      default:
+        return PipeKind::Ctrl;
+    }
+}
+
+void
+EuCore::updateSlotReady(ThreadSlot &slot)
+{
+    if (slot.status != SlotStatus::Active)
+        return;
+    const func::DecodedInstr &d = decoded_->at(slot.state.ip());
+    slot.readyAt = std::max(
+        slot.resumeAt,
+        slot.sb.readyCycle(depPool_ + d.depOff, d.depCount,
+                           d.flagDepMask));
+    slot.pipe = pipeKindOf(d);
+}
+
+Cycle
+EuCore::nextIssueCycle(Cycle from) const
+{
+    const Cycle period = config_.arbitrationPeriod;
+    const Cycle fpu_free = fpu_.nextFree();
+    const Cycle em_free = em_.nextFree();
+    const Cycle send_free = send_.nextFree();
+    Cycle best = kNeverIssues;
+    for (const ThreadSlot &slot : slots_) {
+        if (slot.status != SlotStatus::Active)
+            continue;
+        Cycle at = std::max(from, slot.readyAt);
+        switch (slot.pipe) {
+          case PipeKind::Fpu:
+            at = std::max(at, fpu_free);
+            break;
+          case PipeKind::Em:
+            at = std::max(at, em_free);
+            break;
+          case PipeKind::Send:
+            at = std::max(at, send_free);
+            break;
+          case PipeKind::Ctrl:
+            break;
+        }
+        // tick() only arbitrates on period boundaries; the division is
+        // hot enough to dodge for the default period of 1.
+        if (period > 1)
+            at = (at + period - 1) / period * period;
+        best = std::min(best, at);
+    }
+    return best;
+}
+
+void
+EuCore::issueAlu(ThreadSlot &slot, const func::DecodedInstr &d,
+                 LaneMask exec, PipeKind pk, Cycle now)
+{
+    const ExecShape shape{d.simdWidth, d.execBytes, exec};
 
     // Account what this instruction would cost under every mode; the
-    // configured mode drives actual pipe occupancy.
-    for (unsigned m = 0; m < compaction::kNumModes; ++m) {
-        stats_.euCyclesByMode[m] +=
-            compaction::planCycleCount(static_cast<Mode>(m), shape);
-    }
+    // configured mode drives actual pipe occupancy. Loop bodies replay
+    // the same masks, so the plan costs come from the memoization cache.
+    const compaction::PlanCosts &costs = planCache_.costs(shape);
+    for (unsigned m = 0; m < compaction::kNumModes; ++m)
+        stats_.euCyclesByMode[m] += costs.cycles[m];
 
-    const unsigned cycles = compaction::planCycleCount(config_.mode, shape);
+    const unsigned cycles =
+        costs.cycles[static_cast<unsigned>(config_.mode)];
     if (config_.mode == Mode::Scc)
-        stats_.sccSwizzledLanes +=
-            compaction::planScc(shape).swizzledLanes();
+        stats_.sccSwizzledLanes += costs.sccSwizzledLanes;
 
     ExecPipe &pipe = pk == PipeKind::Em ? em_ : fpu_;
     pipe.occupy(now, cycles);
@@ -212,18 +272,18 @@ EuCore::issueAlu(ThreadSlot &slot, const Instruction &in, LaneMask exec,
     const Cycle latency =
         pk == PipeKind::Em ? config_.emLatency : config_.fpuLatency;
     const Cycle writeback = now + std::max(cycles, 1u) + latency;
-    slot.sb.claimDst(in, writeback);
+    slot.sb.claimDst(depPool_ + d.claimOff, d.claimCount, d.claimFlag,
+                     writeback);
 
     ++stats_.aluInstructions;
-    const auto bin = compaction::classifyUtil(in.simdWidth, exec);
+    const auto bin = compaction::classifyUtil(d.simdWidth, exec);
     ++stats_.utilBins[static_cast<unsigned>(bin)];
 }
 
 void
-EuCore::issueSend(ThreadSlot &slot, const func::StepResult &result,
-                  Cycle now)
+EuCore::issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
+                  const func::StepResult &result, Cycle now)
 {
-    const Instruction &in = *result.instr;
     send_.occupy(now, 1);
     ++stats_.sendInstructions;
     for (unsigned m = 0; m < compaction::kNumModes; ++m)
@@ -235,7 +295,7 @@ EuCore::issueSend(ThreadSlot &slot, const func::StepResult &result,
         return;
     }
 
-    if (in.send.op == SendOp::Fence) {
+    if (d.sendOp == SendOp::Fence) {
         // Fence: stall the thread until its outstanding accesses land.
         slot.resumeAt = std::max(slot.resumeAt, slot.lastMemDone);
         return;
@@ -246,46 +306,49 @@ EuCore::issueSend(ThreadSlot &slot, const func::StepResult &result,
 
     const Cycle entry = now + config_.sendIssueLatency;
     Cycle done;
-    if (isa::isSlmSend(in.send.op)) {
+    if (isa::isSlmSend(d.sendOp)) {
         done = mem_.accessSlm(result.mem, entry);
         ++stats_.slmMessages;
     } else {
-        const auto lines = mem::coalesceLines(result.mem);
-        const bool is_write = in.send.op == SendOp::ScatterStore ||
-            in.send.op == SendOp::BlockStore;
+        mem::coalesceLinesInto(result.mem, lineBuf_);
+        const bool is_write = d.sendOp == SendOp::ScatterStore ||
+            d.sendOp == SendOp::BlockStore;
         const mem::MemResult res =
-            mem_.accessGlobal(lines, is_write, entry);
+            mem_.accessGlobal(lineBuf_, is_write, entry);
         done = res.completion;
         stats_.memLines += res.lines;
     }
     ++stats_.memMessages;
     slot.lastMemDone = std::max(slot.lastMemDone, done);
 
-    if (isa::isLoadSend(in.send.op))
-        slot.sb.claimDst(in, done + config_.writebackLatency);
+    if (isa::isLoadSend(d.sendOp))
+        slot.sb.claimDst(depPool_ + d.claimOff, d.claimCount,
+                         d.claimFlag, done + config_.writebackLatency);
 }
 
 void
 EuCore::issue(ThreadSlot &slot, Cycle now)
 {
     interp_->setSlm(slot.slm);
-    const func::StepResult result = interp_->step(slot.state);
-    const Instruction &in = *result.instr;
+    interp_->step(slot.state, stepBuf_);
+    const func::StepResult &result = stepBuf_;
+    const func::DecodedInstr &d = decoded_->at(result.ip);
 
     ++stats_.instructions;
     ++stats_.issueSlotsUsed;
     stats_.sumActiveLanes += popCount(result.execMask);
-    stats_.sumSimdWidth += in.simdWidth;
+    stats_.sumSimdWidth += d.simdWidth;
 
-    switch (pipeFor(in)) {
+    // slot.pipe was computed from the same ip the step just executed.
+    switch (slot.pipe) {
       case PipeKind::Fpu:
-        issueAlu(slot, in, result.execMask, PipeKind::Fpu, now);
+        issueAlu(slot, d, result.execMask, PipeKind::Fpu, now);
         break;
       case PipeKind::Em:
-        issueAlu(slot, in, result.execMask, PipeKind::Em, now);
+        issueAlu(slot, d, result.execMask, PipeKind::Em, now);
         break;
       case PipeKind::Send:
-        issueSend(slot, result, now);
+        issueSend(slot, d, result, now);
         break;
       case PipeKind::Ctrl:
         ++stats_.ctrlInstructions;
@@ -293,24 +356,37 @@ EuCore::issue(ThreadSlot &slot, Cycle now)
             stats_.euCyclesByMode[m] += config_.ctrlCycles;
         if (result.isHalt) {
             slot.status = SlotStatus::Done;
+            ++freeSlots_;
             ++stats_.threadsRetired;
             hooks_.onThreadDone(slot.wgId);
         }
         break;
     }
+
+    // Slot state (ip, scoreboard, resumeAt) settled; refresh the cached
+    // readiness the arbiter and the simulator's idle skip consult.
+    updateSlotReady(slot);
 }
 
 void
 EuCore::tick(Cycle now)
 {
-    if (now % config_.arbitrationPeriod != 0)
+    if (config_.arbitrationPeriod > 1 &&
+        now % config_.arbitrationPeriod != 0)
+        return;
+    // nextIssueAt_ lower-bounds the next issueable cycle given no
+    // external event; dispatch() and releaseBarrier() reset it, so a
+    // pick before then would come back empty — skip the slot scan.
+    if (now < nextIssueAt_)
         return;
 
-    const auto picks = arbiter_.pick(config_.issueWidth, [&](unsigned i) {
-        return canIssue(slots_[i], now);
-    });
-    for (const unsigned i : picks)
-        issue(slots_[i], now);
+    const unsigned n = arbiter_.pickInto(
+        config_.issueWidth,
+        [&](unsigned i) { return canIssue(slots_[i], now); },
+        pickBuf_.data());
+    for (unsigned k = 0; k < n; ++k)
+        issue(slots_[pickBuf_[k]], now);
+    nextIssueAt_ = nextIssueCycle(now + 1);
 }
 
 } // namespace iwc::eu

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "compaction/cycle_plan.hh"
+#include "compaction/plan_cache.hh"
 #include "eu/arbiter.hh"
 #include "eu/pipes.hh"
 #include "eu/scoreboard.hh"
@@ -145,10 +146,30 @@ class EuCore
     /** Advances the EU by one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle >= @p from at which some slot could issue, given
+     * no intervening event (issue, dispatch, barrier release) changes
+     * EU state — the simulator's idle-skip contract. Returns
+     * kNeverIssues when no active slot exists (waiting on a barrier or
+     * drained), in which case only an event on another EU can wake
+     * this one.
+     */
+    Cycle nextIssueCycle(Cycle from) const;
+
+    /**
+     * Cached lower bound on the next cycle this EU can issue,
+     * maintained by tick() and reset by dispatch()/releaseBarrier().
+     * A value <= the current cycle means "unknown, scan on next tick".
+     */
+    Cycle nextIssueAt() const { return nextIssueAt_; }
+
+    static constexpr Cycle kNeverIssues = ~Cycle{0};
+
     /** True when no slot holds live work. */
     bool idle() const;
 
     const EuStats &stats() const { return stats_; }
+    const compaction::PlanCache &planCache() const { return planCache_; }
     const ExecPipe &fpu() const { return fpu_; }
     const ExecPipe &em() const { return em_; }
     const ExecPipe &sendPipe() const { return send_; }
@@ -173,14 +194,25 @@ class EuCore
         int wgId = -1;
         Cycle resumeAt = 0;
         Cycle lastMemDone = 0;
+        /**
+         * Cached max(resumeAt, scoreboard-ready cycle) of the slot's
+         * current instruction, plus its pipe. Both are pure functions
+         * of slot state, which only changes when the slot issues, is
+         * dispatched, or is released from a barrier — recomputed there
+         * (updateSlotReady) so canIssue is a compare instead of a
+         * scoreboard scan.
+         */
+        Cycle readyAt = 0;
+        PipeKind pipe = PipeKind::Ctrl;
     };
 
     bool canIssue(const ThreadSlot &slot, Cycle now) const;
+    void updateSlotReady(ThreadSlot &slot);
     void issue(ThreadSlot &slot, Cycle now);
-    void issueAlu(ThreadSlot &slot, const isa::Instruction &in,
+    void issueAlu(ThreadSlot &slot, const func::DecodedInstr &d,
                   LaneMask exec, PipeKind pk, Cycle now);
-    void issueSend(ThreadSlot &slot, const func::StepResult &result,
-                   Cycle now);
+    void issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
+                   const func::StepResult &result, Cycle now);
     void writePayload(ThreadSlot &slot, const DispatchInfo &info);
 
     unsigned id_;
@@ -189,12 +221,26 @@ class EuCore
     GpuHooks &hooks_;
     const isa::Kernel *kernel_ = nullptr;
     std::unique_ptr<func::Interpreter> interp_;
+    /** Cached views into the interpreter's DecodedKernel. */
+    const func::DecodedKernel *decoded_ = nullptr;
+    const std::uint8_t *depPool_ = nullptr;
     std::vector<ThreadSlot> slots_;
     RotatingArbiter arbiter_;
     ExecPipe fpu_;
     ExecPipe em_;
     ExecPipe send_;
     EuStats stats_;
+    compaction::PlanCache planCache_;
+    /** Reused per-issue StepResult; avoids copying MemAccess around. */
+    func::StepResult stepBuf_;
+    /** Reused coalescer output buffer. */
+    std::vector<Addr> lineBuf_;
+    /** Reused arbiter pick buffer (capacity numThreads). */
+    std::vector<unsigned> pickBuf_;
+    /** See nextIssueAt(). */
+    Cycle nextIssueAt_ = 0;
+    /** Slots in Idle/Done state, tracked so dispatch checks are O(1). */
+    unsigned freeSlots_ = 0;
 };
 
 } // namespace iwc::eu

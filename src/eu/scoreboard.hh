@@ -8,6 +8,7 @@
 #ifndef IWC_EU_SCOREBOARD_HH
 #define IWC_EU_SCOREBOARD_HH
 
+#include <algorithm>
 #include <array>
 
 #include "common/types.hh"
@@ -41,6 +42,40 @@ class Scoreboard
 
     /** Marks the instruction's destinations busy until @p ready_at. */
     void claimDst(const isa::Instruction &in, Cycle ready_at);
+
+    /**
+     * readyCycle over a predecoded register list (indices validated at
+     * decode time) plus a 2-bit flag dependence mask — same result as
+     * the instruction-walking form, without re-deriving operand spans.
+     */
+    Cycle
+    readyCycle(const std::uint8_t *regs, unsigned count,
+               unsigned flag_mask) const
+    {
+        Cycle ready = 0;
+        for (unsigned i = 0; i < count; ++i)
+            ready = std::max(ready, regReadyAt_[regs[i]]);
+        if (flag_mask & 1u)
+            ready = std::max(ready, flagReadyAt_[0]);
+        if (flag_mask & 2u)
+            ready = std::max(ready, flagReadyAt_[1]);
+        return ready;
+    }
+
+    /** claimDst over a predecoded register list (claim_flag < 0: none). */
+    void
+    claimDst(const std::uint8_t *regs, unsigned count, int claim_flag,
+             Cycle ready_at)
+    {
+        for (unsigned i = 0; i < count; ++i) {
+            Cycle &at = regReadyAt_[regs[i]];
+            at = std::max(at, ready_at);
+        }
+        if (claim_flag >= 0) {
+            Cycle &at = flagReadyAt_[claim_flag & 1];
+            at = std::max(at, ready_at);
+        }
+    }
 
   private:
     template <typename Fn>

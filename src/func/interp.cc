@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
@@ -13,95 +14,127 @@ using isa::CondMod;
 using isa::DataType;
 using isa::Instruction;
 using isa::Opcode;
-using isa::Operand;
 using isa::PredCtrl;
-using isa::RegFile;
 using isa::SendOp;
 
 Interpreter::Interpreter(const isa::Kernel &kernel, GlobalMemory &gmem)
-    : kernel_(kernel), gmem_(gmem)
+    : kernel_(kernel), decoded_(kernel), gmem_(gmem)
 {
 }
 
 namespace
 {
 
+/**
+ * Element accessors over predecoded operands. Offsets and strides were
+ * resolved and bounds-checked at decode time, so these run straight
+ * memcpys (which compile to single loads/stores) on the GRF backing
+ * store, with one switch on the element type instead of the old
+ * size-then-type cascade.
+ */
+
 /** Raw bits of one element of a GRF or immediate operand. */
 std::uint64_t
-rawElement(const Operand &op, const ThreadState &t, unsigned ch)
+rawElement(const DecodedOperand &op, const ThreadState &t, unsigned ch)
 {
-    if (op.isImm())
-        return op.imm;
-    const unsigned elem = op.scalar ? 0 : ch;
-    const unsigned off =
-        op.grfByteOffset() + elem * isa::dataTypeSize(op.type);
-    switch (isa::dataTypeSize(op.type)) {
-      case 2:
-        return t.readGrf<std::uint16_t>(off);
-      case 4:
-        return t.readGrf<std::uint32_t>(off);
-      case 8:
-        return t.readGrf<std::uint64_t>(off);
+    if (op.isImm)
+        return op.immBits;
+    const std::uint8_t *p = t.grfData() + op.baseOff + ch * op.stride;
+    switch (op.elemBytes) {
+      case 2: {
+        std::uint16_t v;
+        std::memcpy(&v, p, 2);
+        return v;
+      }
+      case 4: {
+        std::uint32_t v;
+        std::memcpy(&v, p, 4);
+        return v;
+      }
+      default: {
+        std::uint64_t v;
+        std::memcpy(&v, p, 8);
+        return v;
+      }
     }
-    panic("bad operand element size");
 }
 
 /** Writes raw bits to one element of a GRF operand (load data path). */
 void
-writeRawElement(const Operand &op, ThreadState &t, unsigned ch,
+writeRawElement(const DecodedOperand &op, ThreadState &t, unsigned ch,
                 std::uint64_t bits, unsigned bytes)
 {
-    panic_if(isa::dataTypeSize(op.type) != bytes,
-             "load destination type width mismatch");
-    const unsigned off = op.grfByteOffset() + ch * bytes;
+    std::uint8_t *p = t.grfData() + op.baseOff + ch * bytes;
     switch (bytes) {
-      case 2:
-        t.writeGrf(off, static_cast<std::uint16_t>(bits));
+      case 2: {
+        const auto v = static_cast<std::uint16_t>(bits);
+        std::memcpy(p, &v, 2);
         break;
-      case 4:
-        t.writeGrf(off, static_cast<std::uint32_t>(bits));
+      }
+      case 4: {
+        const auto v = static_cast<std::uint32_t>(bits);
+        std::memcpy(p, &v, 4);
         break;
-      case 8:
-        t.writeGrf(off, bits);
-        break;
+      }
       default:
-        panic("bad load element size");
+        std::memcpy(p, &bits, 8);
+        break;
     }
 }
 
-} // namespace
-
 double
-Interpreter::readF(const Operand &op, const ThreadState &t,
-                   unsigned ch) const
+readF(const DecodedOperand &op, const ThreadState &t, unsigned ch)
 {
-    const std::uint64_t bits = rawElement(op, t, ch);
+    if (op.isImm)
+        return op.immF;
+    const std::uint8_t *p = t.grfData() + op.baseOff + ch * op.stride;
     double v = 0;
     switch (op.type) {
-      case DataType::F:
-        v = std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+      case DataType::F: {
+        float f;
+        std::memcpy(&f, p, 4);
+        v = f;
         break;
+      }
       case DataType::DF:
-        v = std::bit_cast<double>(bits);
+        std::memcpy(&v, p, 8);
         break;
-      case DataType::UW:
-        v = static_cast<double>(static_cast<std::uint16_t>(bits));
+      case DataType::UW: {
+        std::uint16_t x;
+        std::memcpy(&x, p, 2);
+        v = x;
         break;
-      case DataType::W:
-        v = static_cast<double>(static_cast<std::int16_t>(bits));
+      }
+      case DataType::W: {
+        std::int16_t x;
+        std::memcpy(&x, p, 2);
+        v = x;
         break;
-      case DataType::UD:
-        v = static_cast<double>(static_cast<std::uint32_t>(bits));
+      }
+      case DataType::UD: {
+        std::uint32_t x;
+        std::memcpy(&x, p, 4);
+        v = x;
         break;
-      case DataType::D:
-        v = static_cast<double>(static_cast<std::int32_t>(bits));
+      }
+      case DataType::D: {
+        std::int32_t x;
+        std::memcpy(&x, p, 4);
+        v = x;
         break;
-      case DataType::UQ:
-        v = static_cast<double>(bits);
+      }
+      case DataType::UQ: {
+        std::uint64_t x;
+        std::memcpy(&x, p, 8);
+        v = static_cast<double>(x);
         break;
-      case DataType::Q:
-        v = static_cast<double>(static_cast<std::int64_t>(bits));
+      }
+      case DataType::Q: {
+        std::int64_t x;
+        std::memcpy(&x, p, 8);
+        v = static_cast<double>(x);
         break;
+      }
     }
     if (op.absolute)
         v = std::fabs(v);
@@ -111,35 +144,56 @@ Interpreter::readF(const Operand &op, const ThreadState &t,
 }
 
 std::int64_t
-Interpreter::readI(const Operand &op, const ThreadState &t,
-                   unsigned ch) const
+readI(const DecodedOperand &op, const ThreadState &t, unsigned ch)
 {
-    const std::uint64_t bits = rawElement(op, t, ch);
+    if (op.isImm)
+        return op.immI;
+    const std::uint8_t *p = t.grfData() + op.baseOff + ch * op.stride;
     std::int64_t v = 0;
     switch (op.type) {
-      case DataType::F:
-        v = static_cast<std::int64_t>(
-            std::bit_cast<float>(static_cast<std::uint32_t>(bits)));
+      case DataType::F: {
+        float f;
+        std::memcpy(&f, p, 4);
+        v = static_cast<std::int64_t>(f);
         break;
-      case DataType::DF:
-        v = static_cast<std::int64_t>(std::bit_cast<double>(bits));
+      }
+      case DataType::DF: {
+        double d;
+        std::memcpy(&d, p, 8);
+        v = static_cast<std::int64_t>(d);
         break;
-      case DataType::UW:
-        v = static_cast<std::uint16_t>(bits);
+      }
+      case DataType::UW: {
+        std::uint16_t x;
+        std::memcpy(&x, p, 2);
+        v = x;
         break;
-      case DataType::W:
-        v = static_cast<std::int16_t>(bits);
+      }
+      case DataType::W: {
+        std::int16_t x;
+        std::memcpy(&x, p, 2);
+        v = x;
         break;
-      case DataType::UD:
-        v = static_cast<std::uint32_t>(bits);
+      }
+      case DataType::UD: {
+        std::uint32_t x;
+        std::memcpy(&x, p, 4);
+        v = x;
         break;
-      case DataType::D:
-        v = static_cast<std::int32_t>(bits);
+      }
+      case DataType::D: {
+        std::int32_t x;
+        std::memcpy(&x, p, 4);
+        v = x;
         break;
+      }
       case DataType::UQ:
-      case DataType::Q:
-        v = static_cast<std::int64_t>(bits);
+      case DataType::Q: {
+        std::uint64_t x;
+        std::memcpy(&x, p, 8);
+        v = static_cast<std::int64_t>(x);
         break;
+      }
     }
     if (op.absolute)
         v = v < 0 ? -v : v;
@@ -148,21 +202,23 @@ Interpreter::readI(const Operand &op, const ThreadState &t,
     return v;
 }
 
+void writeI(const DecodedOperand &op, ThreadState &t, unsigned ch,
+            std::int64_t v);
+
 void
-Interpreter::writeF(const Operand &op, ThreadState &t, unsigned ch,
-                    double v) const
+writeF(const DecodedOperand &op, ThreadState &t, unsigned ch, double v)
 {
-    if (op.isNull())
+    if (op.isNull)
         return;
-    const unsigned elem = op.scalar ? 0 : ch;
-    const unsigned off =
-        op.grfByteOffset() + elem * isa::dataTypeSize(op.type);
+    std::uint8_t *p = t.grfData() + op.baseOff + ch * op.stride;
     switch (op.type) {
-      case DataType::F:
-        t.writeGrf(off, static_cast<float>(v));
+      case DataType::F: {
+        const auto f = static_cast<float>(v);
+        std::memcpy(p, &f, 4);
         break;
+      }
       case DataType::DF:
-        t.writeGrf(off, v);
+        std::memcpy(p, &v, 8);
         break;
       default:
         // Float-to-integer conversion truncates toward zero.
@@ -172,49 +228,54 @@ Interpreter::writeF(const Operand &op, ThreadState &t, unsigned ch,
 }
 
 void
-Interpreter::writeI(const Operand &op, ThreadState &t, unsigned ch,
-                    std::int64_t v) const
+writeI(const DecodedOperand &op, ThreadState &t, unsigned ch,
+       std::int64_t v)
 {
-    if (op.isNull())
+    if (op.isNull)
         return;
-    const unsigned elem = op.scalar ? 0 : ch;
-    const unsigned off =
-        op.grfByteOffset() + elem * isa::dataTypeSize(op.type);
+    std::uint8_t *p = t.grfData() + op.baseOff + ch * op.stride;
     switch (op.type) {
-      case DataType::F:
-        t.writeGrf(off, static_cast<float>(v));
+      case DataType::F: {
+        const auto f = static_cast<float>(v);
+        std::memcpy(p, &f, 4);
         break;
-      case DataType::DF:
-        t.writeGrf(off, static_cast<double>(v));
+      }
+      case DataType::DF: {
+        const auto d = static_cast<double>(v);
+        std::memcpy(p, &d, 8);
         break;
+      }
       case DataType::UW:
-      case DataType::W:
-        t.writeGrf(off, static_cast<std::uint16_t>(v));
+      case DataType::W: {
+        const auto x = static_cast<std::uint16_t>(v);
+        std::memcpy(p, &x, 2);
         break;
+      }
       case DataType::UD:
-      case DataType::D:
-        t.writeGrf(off, static_cast<std::uint32_t>(v));
+      case DataType::D: {
+        const auto x = static_cast<std::uint32_t>(v);
+        std::memcpy(p, &x, 4);
         break;
+      }
       case DataType::UQ:
-      case DataType::Q:
-        t.writeGrf(off, static_cast<std::uint64_t>(v));
+      case DataType::Q: {
+        const auto x = static_cast<std::uint64_t>(v);
+        std::memcpy(p, &x, 8);
         break;
+      }
     }
 }
 
-namespace
-{
-
 LaneMask
-predBits(const Instruction &in, const ThreadState &t)
+predBits(PredCtrl ctrl, unsigned flag, const ThreadState &t)
 {
-    switch (in.predCtrl) {
+    switch (ctrl) {
       case PredCtrl::None:
         return ~LaneMask{0};
       case PredCtrl::Normal:
-        return t.flag(in.predFlag);
+        return t.flag(flag);
       case PredCtrl::Inverted:
-        return ~t.flag(in.predFlag);
+        return ~t.flag(flag);
     }
     return ~LaneMask{0};
 }
@@ -224,49 +285,46 @@ predBits(const Instruction &in, const ThreadState &t)
 LaneMask
 Interpreter::execMaskFor(const Instruction &in, const ThreadState &t) const
 {
-    return t.activeMask() & predBits(in, t) & in.widthMask();
+    return t.activeMask() & predBits(in.predCtrl, in.predFlag, t) &
+        in.widthMask();
 }
 
 void
-Interpreter::execAlu(const Instruction &in, ThreadState &t,
+Interpreter::execAlu(const DecodedInstr &d, ThreadState &t,
                      LaneMask exec) const
 {
-    const bool float_domain = isa::isFloatType(in.src0.type);
-
-    for (unsigned ch = 0; ch < in.simdWidth; ++ch) {
-        if (!(exec & (LaneMask{1} << ch)))
-            continue;
-
-        if (float_domain) {
-            const double a = readF(in.src0, t, ch);
+    if (d.cls == ExecClass::AluFloat) {
+        for (LaneMask rem = exec; rem != 0; rem &= rem - 1) {
+            const auto ch =
+                static_cast<unsigned>(std::countr_zero(rem));
+            const double a = readF(d.src0, t, ch);
             double r = 0;
-            switch (in.op) {
+            switch (d.op) {
               case Opcode::Mov:  r = a; break;
-              case Opcode::Add:  r = a + readF(in.src1, t, ch); break;
-              case Opcode::Sub:  r = a - readF(in.src1, t, ch); break;
-              case Opcode::Mul:  r = a * readF(in.src1, t, ch); break;
+              case Opcode::Add:  r = a + readF(d.src1, t, ch); break;
+              case Opcode::Sub:  r = a - readF(d.src1, t, ch); break;
+              case Opcode::Mul:  r = a * readF(d.src1, t, ch); break;
               case Opcode::Mad:
-                r = a * readF(in.src1, t, ch) + readF(in.src2, t, ch);
+                r = a * readF(d.src1, t, ch) + readF(d.src2, t, ch);
                 break;
               case Opcode::Min:
-                r = std::fmin(a, readF(in.src1, t, ch));
+                r = std::fmin(a, readF(d.src1, t, ch));
                 break;
               case Opcode::Max:
-                r = std::fmax(a, readF(in.src1, t, ch));
+                r = std::fmax(a, readF(d.src1, t, ch));
                 break;
               case Opcode::Avg:
-                r = (a + readF(in.src1, t, ch)) * 0.5;
+                r = (a + readF(d.src1, t, ch)) * 0.5;
                 break;
               case Opcode::Sel: {
-                const bool take =
-                    (t.flag(in.condFlag) >> ch) & 1;
-                r = take ? a : readF(in.src1, t, ch);
+                const bool take = (t.flag(d.condFlag) >> ch) & 1;
+                r = take ? a : readF(d.src1, t, ch);
                 break;
               }
               case Opcode::Rndd: r = std::floor(a); break;
               case Opcode::Frc:  r = a - std::floor(a); break;
               case Opcode::Inv:  r = 1.0 / a; break;
-              case Opcode::Div:  r = a / readF(in.src1, t, ch); break;
+              case Opcode::Div:  r = a / readF(d.src1, t, ch); break;
               case Opcode::Sqrt: r = std::sqrt(a); break;
               case Opcode::Rsqrt: r = 1.0 / std::sqrt(a); break;
               case Opcode::Sin:  r = std::sin(a); break;
@@ -274,98 +332,99 @@ Interpreter::execAlu(const Instruction &in, ThreadState &t,
               case Opcode::Exp2: r = std::exp2(a); break;
               case Opcode::Log2: r = std::log2(a); break;
               case Opcode::Pow:
-                r = std::pow(a, readF(in.src1, t, ch));
+                r = std::pow(a, readF(d.src1, t, ch));
                 break;
               default:
                 panic("float-domain execution of %s",
-                      isa::opcodeName(in.op));
+                      isa::opcodeName(d.op));
             }
             // Single-precision ops round intermediates to float.
-            if (in.dst.type == DataType::F)
+            if (d.dstIsF)
                 r = static_cast<float>(r);
-            writeF(in.dst, t, ch, r);
-        } else {
-            const std::int64_t a = readI(in.src0, t, ch);
-            std::int64_t r = 0;
-            switch (in.op) {
-              case Opcode::Mov:  r = a; break;
-              case Opcode::Add:  r = a + readI(in.src1, t, ch); break;
-              case Opcode::Sub:  r = a - readI(in.src1, t, ch); break;
-              case Opcode::Mul:  r = a * readI(in.src1, t, ch); break;
-              case Opcode::Mad:
-                r = a * readI(in.src1, t, ch) + readI(in.src2, t, ch);
-                break;
-              case Opcode::Min:
-                r = std::min(a, readI(in.src1, t, ch));
-                break;
-              case Opcode::Max:
-                r = std::max(a, readI(in.src1, t, ch));
-                break;
-              case Opcode::Avg:
-                r = (a + readI(in.src1, t, ch) + 1) >> 1;
-                break;
-              case Opcode::And:
-                r = a & readI(in.src1, t, ch);
-                break;
-              case Opcode::Or:
-                r = a | readI(in.src1, t, ch);
-                break;
-              case Opcode::Xor:
-                r = a ^ readI(in.src1, t, ch);
-                break;
-              case Opcode::Not:
-                r = ~a;
-                break;
-              case Opcode::Shl:
-                r = a << (readI(in.src1, t, ch) & 63);
-                break;
-              case Opcode::Shr:
-                r = static_cast<std::int64_t>(
-                    static_cast<std::uint64_t>(
-                        a & 0xffffffffull) >>
-                    (readI(in.src1, t, ch) & 63));
-                break;
-              case Opcode::Asr:
-                r = a >> (readI(in.src1, t, ch) & 63);
-                break;
-              case Opcode::Sel: {
-                const bool take = (t.flag(in.condFlag) >> ch) & 1;
-                r = take ? a : readI(in.src1, t, ch);
-                break;
-              }
-              case Opcode::Div: {
-                const std::int64_t b = readI(in.src1, t, ch);
-                r = b == 0 ? 0 : a / b;
-                break;
-              }
-              default:
-                panic("int-domain execution of %s",
-                      isa::opcodeName(in.op));
-            }
-            // Float destinations convert; integers truncate on write.
-            if (isa::isFloatType(in.dst.type))
-                writeF(in.dst, t, ch, static_cast<double>(r));
-            else
-                writeI(in.dst, t, ch, r);
+            writeF(d.dst, t, ch, r);
         }
+        return;
+    }
+
+    for (LaneMask rem = exec; rem != 0; rem &= rem - 1) {
+        const auto ch = static_cast<unsigned>(std::countr_zero(rem));
+        const std::int64_t a = readI(d.src0, t, ch);
+        std::int64_t r = 0;
+        switch (d.op) {
+          case Opcode::Mov:  r = a; break;
+          case Opcode::Add:  r = a + readI(d.src1, t, ch); break;
+          case Opcode::Sub:  r = a - readI(d.src1, t, ch); break;
+          case Opcode::Mul:  r = a * readI(d.src1, t, ch); break;
+          case Opcode::Mad:
+            r = a * readI(d.src1, t, ch) + readI(d.src2, t, ch);
+            break;
+          case Opcode::Min:
+            r = std::min(a, readI(d.src1, t, ch));
+            break;
+          case Opcode::Max:
+            r = std::max(a, readI(d.src1, t, ch));
+            break;
+          case Opcode::Avg:
+            r = (a + readI(d.src1, t, ch) + 1) >> 1;
+            break;
+          case Opcode::And:
+            r = a & readI(d.src1, t, ch);
+            break;
+          case Opcode::Or:
+            r = a | readI(d.src1, t, ch);
+            break;
+          case Opcode::Xor:
+            r = a ^ readI(d.src1, t, ch);
+            break;
+          case Opcode::Not:
+            r = ~a;
+            break;
+          case Opcode::Shl:
+            r = a << (readI(d.src1, t, ch) & 63);
+            break;
+          case Opcode::Shr:
+            r = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a & 0xffffffffull) >>
+                (readI(d.src1, t, ch) & 63));
+            break;
+          case Opcode::Asr:
+            r = a >> (readI(d.src1, t, ch) & 63);
+            break;
+          case Opcode::Sel: {
+            const bool take = (t.flag(d.condFlag) >> ch) & 1;
+            r = take ? a : readI(d.src1, t, ch);
+            break;
+          }
+          case Opcode::Div: {
+            const std::int64_t b = readI(d.src1, t, ch);
+            r = b == 0 ? 0 : a / b;
+            break;
+          }
+          default:
+            panic("int-domain execution of %s", isa::opcodeName(d.op));
+        }
+        // Float destinations convert; integers truncate on write.
+        if (d.dstIsFloat)
+            writeF(d.dst, t, ch, static_cast<double>(r));
+        else
+            writeI(d.dst, t, ch, r);
     }
 }
 
 void
-Interpreter::execCmp(const Instruction &in, ThreadState &t,
+Interpreter::execCmp(const DecodedInstr &d, ThreadState &t,
                      LaneMask exec) const
 {
-    const bool float_domain = isa::isFloatType(in.src0.type);
+    const bool float_domain = d.cls == ExecClass::CmpFloat;
     LaneMask result = 0;
 
-    for (unsigned ch = 0; ch < in.simdWidth; ++ch) {
-        if (!(exec & (LaneMask{1} << ch)))
-            continue;
+    for (LaneMask rem = exec; rem != 0; rem &= rem - 1) {
+        const auto ch = static_cast<unsigned>(std::countr_zero(rem));
         bool cond = false;
         if (float_domain) {
-            const double a = readF(in.src0, t, ch);
-            const double b = readF(in.src1, t, ch);
-            switch (in.condMod) {
+            const double a = readF(d.src0, t, ch);
+            const double b = readF(d.src1, t, ch);
+            switch (d.condMod) {
               case CondMod::Eq: cond = a == b; break;
               case CondMod::Ne: cond = a != b; break;
               case CondMod::Lt: cond = a < b; break;
@@ -375,9 +434,9 @@ Interpreter::execCmp(const Instruction &in, ThreadState &t,
               case CondMod::None: panic("cmp without condition");
             }
         } else {
-            const std::int64_t a = readI(in.src0, t, ch);
-            const std::int64_t b = readI(in.src1, t, ch);
-            switch (in.condMod) {
+            const std::int64_t a = readI(d.src0, t, ch);
+            const std::int64_t b = readI(d.src1, t, ch);
+            switch (d.condMod) {
               case CondMod::Eq: cond = a == b; break;
               case CondMod::Ne: cond = a != b; break;
               case CondMod::Lt: cond = a < b; break;
@@ -392,18 +451,17 @@ Interpreter::execCmp(const Instruction &in, ThreadState &t,
     }
 
     // Only enabled channels update their flag bit.
-    const LaneMask old = t.flag(in.condFlag);
-    t.setFlag(in.condFlag, (old & ~exec) | result);
+    const LaneMask old = t.flag(d.condFlag);
+    t.setFlag(d.condFlag, (old & ~exec) | result);
 }
 
 void
-Interpreter::execSend(const Instruction &in, ThreadState &t,
+Interpreter::execSend(const DecodedInstr &d, ThreadState &t,
                       LaneMask exec, StepResult &result)
 {
-    const isa::SendDesc &send = in.send;
-    const unsigned elem_bytes = isa::dataTypeSize(send.type);
+    const unsigned elem_bytes = d.sendElemBytes;
 
-    switch (send.op) {
+    switch (d.sendOp) {
       case SendOp::Barrier:
         result.isBarrier = true;
         return;
@@ -415,17 +473,18 @@ Interpreter::execSend(const Instruction &in, ThreadState &t,
 
     MemAccess &mem = result.mem;
     result.hasMem = true;
-    mem.op = send.op;
+    mem.op = d.sendOp;
     mem.elemBytes = elem_bytes;
     mem.mask = exec;
 
-    if (send.op == SendOp::BlockLoad || send.op == SendOp::BlockStore) {
+    if (d.sendOp == SendOp::BlockLoad || d.sendOp == SendOp::BlockStore) {
+        const Instruction &in = *d.instr;
         mem.isBlock = true;
-        mem.blockAddr = static_cast<std::uint32_t>(readI(in.src0, t, 0));
-        mem.blockBytes = send.numRegs * kGrfRegBytes;
+        mem.blockAddr = static_cast<std::uint32_t>(readI(d.src0, t, 0));
+        mem.blockBytes = in.send.numRegs * kGrfRegBytes;
         std::uint8_t buf[kGrfRegBytes * 8];
         panic_if(mem.blockBytes > sizeof(buf), "block message too large");
-        if (send.op == SendOp::BlockLoad) {
+        if (d.sendOp == SendOp::BlockLoad) {
             gmem_.read(mem.blockAddr, buf, mem.blockBytes);
             t.writeGrfBytes(in.dst.reg * kGrfRegBytes, buf,
                             mem.blockBytes);
@@ -436,43 +495,43 @@ Interpreter::execSend(const Instruction &in, ThreadState &t,
         }
         return;
     }
+    mem.isBlock = false;
 
-    const bool is_slm = isa::isSlmSend(send.op);
+    const bool is_slm = isa::isSlmSend(d.sendOp);
     panic_if(is_slm && slm_ == nullptr,
              "kernel %s uses SLM but none is bound",
              kernel_.name().c_str());
 
-    for (unsigned ch = 0; ch < in.simdWidth; ++ch) {
-        if (!(exec & (LaneMask{1} << ch)))
-            continue;
+    for (LaneMask rem = exec; rem != 0; rem &= rem - 1) {
+        const auto ch = static_cast<unsigned>(std::countr_zero(rem));
         const Addr addr =
-            static_cast<std::uint32_t>(readI(in.src0, t, ch));
+            static_cast<std::uint32_t>(readI(d.src0, t, ch));
         mem.addrs[ch] = addr;
 
         std::uint64_t bits = 0;
-        switch (send.op) {
+        switch (d.sendOp) {
           case SendOp::GatherLoad:
             gmem_.read(addr, &bits, elem_bytes);
-            writeRawElement(in.dst, t, ch, bits, elem_bytes);
+            writeRawElement(d.dst, t, ch, bits, elem_bytes);
             break;
           case SendOp::ScatterStore:
-            bits = rawElement(in.src1, t, ch);
+            bits = rawElement(d.src1, t, ch);
             gmem_.write(addr, &bits, elem_bytes);
             break;
           case SendOp::SlmGatherLoad:
             slm_->read(addr, &bits, elem_bytes);
-            writeRawElement(in.dst, t, ch, bits, elem_bytes);
+            writeRawElement(d.dst, t, ch, bits, elem_bytes);
             break;
           case SendOp::SlmScatterStore:
-            bits = rawElement(in.src1, t, ch);
+            bits = rawElement(d.src1, t, ch);
             slm_->write(addr, &bits, elem_bytes);
             break;
           case SendOp::SlmAtomicAdd: {
             const auto old = slm_->load<std::int32_t>(addr);
             const auto addend =
-                static_cast<std::int32_t>(readI(in.src1, t, ch));
+                static_cast<std::int32_t>(readI(d.src1, t, ch));
             slm_->store<std::int32_t>(addr, old + addend);
-            writeI(in.dst, t, ch, old);
+            writeI(d.dst, t, ch, old);
             break;
           }
           default:
@@ -481,28 +540,30 @@ Interpreter::execSend(const Instruction &in, ThreadState &t,
     }
 }
 
-StepResult
-Interpreter::step(ThreadState &t)
+void
+Interpreter::step(ThreadState &t, StepResult &result)
 {
     panic_if(t.halted(), "stepping a halted thread");
     const std::uint32_t ip = t.ip();
     panic_if(ip >= kernel_.size(), "ip %u out of range", ip);
-    const Instruction &in = kernel_.instr(ip);
+    const DecodedInstr &d = decoded_.at(ip);
 
-    StepResult result;
-    result.instr = &in;
+    result.instr = d.instr;
     result.ip = ip;
+    result.isBarrier = false;
+    result.isHalt = false;
+    result.hasMem = false;
 
-    const LaneMask pred = predBits(in, t);
-    const LaneMask exec = t.activeMask() & pred & in.widthMask();
+    const LaneMask pred = predBits(d.predCtrl, d.predFlag, t);
+    const LaneMask exec = t.activeMask() & pred & d.widthMask;
     result.execMask = exec;
 
     std::uint32_t next_ip = ip + 1;
 
-    switch (in.op) {
-      case Opcode::If: {
+    switch (d.cls) {
+      case ExecClass::If: {
         const LaneMask cur = t.activeMask();
-        const LaneMask taken = cur & pred & in.widthMask();
+        const LaneMask taken = cur & pred & d.widthMask;
         CfFrame frame;
         frame.kind = CfFrame::Kind::If;
         frame.savedMask = cur;
@@ -510,19 +571,19 @@ Interpreter::step(ThreadState &t)
         t.pushFrame(frame);
         t.setActiveMask(taken);
         if (taken == 0)
-            next_ip = static_cast<std::uint32_t>(in.target0);
+            next_ip = d.target0;
         break;
       }
-      case Opcode::Else: {
+      case ExecClass::Else: {
         CfFrame &frame = t.topFrame();
         panic_if(frame.kind != CfFrame::Kind::If, "else without if");
         t.setActiveMask(frame.elseMask);
         frame.elseMask = 0;
         if (t.activeMask() == 0)
-            next_ip = static_cast<std::uint32_t>(in.target0);
+            next_ip = d.target0;
         break;
       }
-      case Opcode::EndIf: {
+      case ExecClass::EndIf: {
         const CfFrame frame = t.popFrame();
         panic_if(frame.kind != CfFrame::Kind::If, "endif without if");
         // Channels parked by break/cont of the enclosing loop while
@@ -530,14 +591,14 @@ Interpreter::step(ThreadState &t)
         t.setActiveMask(frame.savedMask & ~t.loopOffMask());
         break;
       }
-      case Opcode::LoopBegin: {
+      case ExecClass::LoopBegin: {
         CfFrame frame;
         frame.kind = CfFrame::Kind::Loop;
         frame.savedMask = t.activeMask();
         t.pushFrame(frame);
         break;
       }
-      case Opcode::Break: {
+      case ExecClass::Break: {
         CfFrame *loop = t.innermostLoop();
         panic_if(loop == nullptr, "break outside loop");
         loop->breakMask |= exec;
@@ -545,51 +606,52 @@ Interpreter::step(ThreadState &t)
         // Jump to the loop end only when structurally safe: every
         // channel gone and no intervening if frames to unwind.
         if (t.activeMask() == 0 && &t.topFrame() == loop)
-            next_ip = static_cast<std::uint32_t>(in.target0);
+            next_ip = d.target0;
         break;
       }
-      case Opcode::Cont: {
+      case ExecClass::Cont: {
         CfFrame *loop = t.innermostLoop();
         panic_if(loop == nullptr, "cont outside loop");
         loop->contMask |= exec;
         t.setActiveMask(t.activeMask() & ~exec);
         if (t.activeMask() == 0 && &t.topFrame() == loop)
-            next_ip = static_cast<std::uint32_t>(in.target0);
+            next_ip = d.target0;
         break;
       }
-      case Opcode::LoopEnd: {
+      case ExecClass::LoopEnd: {
         CfFrame &loop = t.topFrame();
         panic_if(loop.kind != CfFrame::Kind::Loop, "while without loop");
         // Channels parked by cont rejoin for the trip test.
         const LaneMask candidates = t.activeMask() | loop.contMask;
         loop.contMask = 0;
-        const LaneMask continuing = candidates & pred & in.widthMask();
+        const LaneMask continuing = candidates & pred & d.widthMask;
         if (continuing != 0) {
             t.setActiveMask(continuing);
-            next_ip = static_cast<std::uint32_t>(in.target0);
+            next_ip = d.target0;
         } else {
             const CfFrame frame = t.popFrame();
             t.setActiveMask(frame.savedMask & ~t.loopOffMask());
         }
         break;
       }
-      case Opcode::Halt:
+      case ExecClass::Halt:
         t.halt();
         result.isHalt = true;
         break;
-      case Opcode::Cmp:
-        execCmp(in, t, exec);
+      case ExecClass::CmpFloat:
+      case ExecClass::CmpInt:
+        execCmp(d, t, exec);
         break;
-      case Opcode::Send:
-        execSend(in, t, exec, result);
+      case ExecClass::Send:
+        execSend(d, t, exec, result);
         break;
-      default:
-        execAlu(in, t, exec);
+      case ExecClass::AluFloat:
+      case ExecClass::AluInt:
+        execAlu(d, t, exec);
         break;
     }
 
     t.setIp(next_ip);
-    return result;
 }
 
 } // namespace iwc::func

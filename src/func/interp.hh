@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "func/memory.hh"
+#include "func/predecode.hh"
 #include "func/thread_state.hh"
 #include "isa/kernel.hh"
 
@@ -58,9 +59,20 @@ class Interpreter
 
     /**
      * Executes the instruction at the thread's ip and advances control
-     * flow. Must not be called on a halted thread.
+     * flow. Must not be called on a halted thread. The out-param form
+     * lets issue loops reuse one StepResult buffer: every field it
+     * reports is (re)written, but mem.addrs slots of inactive lanes
+     * keep whatever the previous step left there.
      */
-    StepResult step(ThreadState &t);
+    void step(ThreadState &t, StepResult &result);
+
+    StepResult
+    step(ThreadState &t)
+    {
+        StepResult result;
+        step(t, result);
+        return result;
+    }
 
     /** Computes the execution mask the instruction at ip would get. */
     LaneMask execMaskFor(const isa::Instruction &in,
@@ -68,24 +80,19 @@ class Interpreter
 
     const isa::Kernel &kernel() const { return kernel_; }
 
-  private:
-    double readF(const isa::Operand &op, const ThreadState &t,
-                 unsigned ch) const;
-    std::int64_t readI(const isa::Operand &op, const ThreadState &t,
-                       unsigned ch) const;
-    void writeF(const isa::Operand &op, ThreadState &t, unsigned ch,
-                double v) const;
-    void writeI(const isa::Operand &op, ThreadState &t, unsigned ch,
-                std::int64_t v) const;
+    /** The bind-time decoded form (operand spans, dependence lists). */
+    const DecodedKernel &decoded() const { return decoded_; }
 
-    void execAlu(const isa::Instruction &in, ThreadState &t,
+  private:
+    void execAlu(const DecodedInstr &d, ThreadState &t,
                  LaneMask exec) const;
-    void execCmp(const isa::Instruction &in, ThreadState &t,
+    void execCmp(const DecodedInstr &d, ThreadState &t,
                  LaneMask exec) const;
-    void execSend(const isa::Instruction &in, ThreadState &t,
-                  LaneMask exec, StepResult &result);
+    void execSend(const DecodedInstr &d, ThreadState &t, LaneMask exec,
+                  StepResult &result);
 
     const isa::Kernel &kernel_;
+    DecodedKernel decoded_;
     GlobalMemory &gmem_;
     SlmMemory *slm_ = nullptr;
 };

@@ -21,16 +21,28 @@ GlobalMemory::allocate(std::uint64_t bytes, std::uint64_t align)
 const GlobalMemory::Page *
 GlobalMemory::findPage(std::uint64_t page_num) const
 {
+    if (page_num == cachedPageNum_)
+        return cachedPage_;
     const auto it = pages_.find(page_num);
-    return it == pages_.end() ? nullptr : &it->second;
+    if (it == pages_.end())
+        return nullptr; // don't cache misses: a write may create it
+    cachedPageNum_ = page_num;
+    // Caching is logically const; GlobalMemory objects are never
+    // const-qualified storage, so the cast is safe.
+    cachedPage_ = const_cast<Page *>(&it->second);
+    return cachedPage_;
 }
 
 GlobalMemory::Page &
 GlobalMemory::touchPage(std::uint64_t page_num)
 {
+    if (page_num == cachedPageNum_ && cachedPage_ != nullptr)
+        return *cachedPage_;
     Page &page = pages_[page_num];
     if (page.empty())
         page.assign(kPageBytes, 0);
+    cachedPageNum_ = page_num;
+    cachedPage_ = &page;
     return page;
 }
 

@@ -62,6 +62,15 @@ class GlobalMemory
 
     std::unordered_map<std::uint64_t, Page> pages_;
     Addr nextFree_ = kPageBytes; // skip page 0 => address 0 stays null
+
+    /**
+     * Last page touched, fronting the hash lookup: per-lane gathers
+     * walk the same page, so nearly every access hits. Mapped values
+     * in an unordered_map are node-stable, so the pointer survives
+     * later insertions.
+     */
+    mutable std::uint64_t cachedPageNum_ = ~std::uint64_t{0};
+    mutable Page *cachedPage_ = nullptr;
 };
 
 /** Per-workgroup shared local memory (flat, byte addressed). */

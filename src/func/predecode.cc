@@ -1,0 +1,257 @@
+#include "func/predecode.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace iwc::func
+{
+
+using isa::DataType;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+
+namespace
+{
+
+/** The immediate as readF() would see it, modifiers applied. */
+double
+immAsDouble(const Operand &op)
+{
+    const std::uint64_t bits = op.imm;
+    double v = 0;
+    switch (op.type) {
+      case DataType::F:
+        v = std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+        break;
+      case DataType::DF:
+        v = std::bit_cast<double>(bits);
+        break;
+      case DataType::UW:
+        v = static_cast<double>(static_cast<std::uint16_t>(bits));
+        break;
+      case DataType::W:
+        v = static_cast<double>(static_cast<std::int16_t>(bits));
+        break;
+      case DataType::UD:
+        v = static_cast<double>(static_cast<std::uint32_t>(bits));
+        break;
+      case DataType::D:
+        v = static_cast<double>(static_cast<std::int32_t>(bits));
+        break;
+      case DataType::UQ:
+        v = static_cast<double>(bits);
+        break;
+      case DataType::Q:
+        v = static_cast<double>(static_cast<std::int64_t>(bits));
+        break;
+    }
+    if (op.absolute)
+        v = std::fabs(v);
+    if (op.negate)
+        v = -v;
+    return v;
+}
+
+/** The immediate as readI() would see it, modifiers applied. */
+std::int64_t
+immAsInt(const Operand &op)
+{
+    const std::uint64_t bits = op.imm;
+    std::int64_t v = 0;
+    switch (op.type) {
+      case DataType::F:
+        v = static_cast<std::int64_t>(
+            std::bit_cast<float>(static_cast<std::uint32_t>(bits)));
+        break;
+      case DataType::DF:
+        v = static_cast<std::int64_t>(std::bit_cast<double>(bits));
+        break;
+      case DataType::UW:
+        v = static_cast<std::uint16_t>(bits);
+        break;
+      case DataType::W:
+        v = static_cast<std::int16_t>(bits);
+        break;
+      case DataType::UD:
+        v = static_cast<std::uint32_t>(bits);
+        break;
+      case DataType::D:
+        v = static_cast<std::int32_t>(bits);
+        break;
+      case DataType::UQ:
+      case DataType::Q:
+        v = static_cast<std::int64_t>(bits);
+        break;
+    }
+    if (op.absolute)
+        v = v < 0 ? -v : v;
+    if (op.negate)
+        v = -v;
+    return v;
+}
+
+DecodedOperand
+decodeOperand(const Operand &op, unsigned simd_width)
+{
+    DecodedOperand d;
+    d.type = op.type;
+    d.elemBytes = static_cast<std::uint8_t>(isa::dataTypeSize(op.type));
+    d.isImm = op.isImm();
+    d.isNull = op.isNull();
+    d.negate = op.negate;
+    d.absolute = op.absolute;
+    if (d.isImm) {
+        d.immBits = op.imm;
+        d.immF = immAsDouble(op);
+        d.immI = immAsInt(op);
+        return d;
+    }
+    d.baseOff = op.grfByteOffset();
+    d.stride = op.scalar ? 0 : d.elemBytes;
+    // Bounds were checked per element access before predecode; check
+    // the whole region once here so the hot path can go unchecked.
+    const unsigned end =
+        d.baseOff + (simd_width - 1) * d.stride + d.elemBytes;
+    panic_if(end > kGrfRegCount * kGrfRegBytes,
+             "operand region [%u, %u) exceeds the GRF", d.baseOff, end);
+    return d;
+}
+
+ExecClass
+classOf(const Instruction &in)
+{
+    const bool float_domain = isa::isFloatType(in.src0.type);
+    switch (in.op) {
+      case Opcode::If:        return ExecClass::If;
+      case Opcode::Else:      return ExecClass::Else;
+      case Opcode::EndIf:     return ExecClass::EndIf;
+      case Opcode::LoopBegin: return ExecClass::LoopBegin;
+      case Opcode::LoopEnd:   return ExecClass::LoopEnd;
+      case Opcode::Break:     return ExecClass::Break;
+      case Opcode::Cont:      return ExecClass::Cont;
+      case Opcode::Halt:      return ExecClass::Halt;
+      case Opcode::Cmp:
+        return float_domain ? ExecClass::CmpFloat : ExecClass::CmpInt;
+      case Opcode::Send:      return ExecClass::Send;
+      default:
+        return float_domain ? ExecClass::AluFloat : ExecClass::AluInt;
+    }
+}
+
+/**
+ * GRF registers covered by one operand — must mirror
+ * Scoreboard::forEachReg so decoded dependence lists gate issue on
+ * exactly the registers the instruction-walking scoreboard would.
+ */
+void
+appendRegs(const Operand &op, unsigned simd_width,
+           std::vector<std::uint8_t> &pool)
+{
+    if (!op.isGrf())
+        return;
+    const unsigned elems = op.scalar ? 1 : simd_width;
+    const unsigned first = op.grfByteOffset();
+    const unsigned last = first + elems * isa::dataTypeSize(op.type) - 1;
+    for (unsigned r = first / kGrfRegBytes; r <= last / kGrfRegBytes;
+         ++r) {
+        panic_if(r >= kGrfRegCount, "operand register out of range");
+        pool.push_back(static_cast<std::uint8_t>(r));
+    }
+}
+
+/** Registers claimed by the instruction's writeback (dst side). */
+void
+appendDstRegs(const Instruction &in, std::vector<std::uint8_t> &pool)
+{
+    if (in.op == Opcode::Send && in.send.op == isa::SendOp::BlockLoad) {
+        for (unsigned r = 0; r < in.send.numRegs; ++r) {
+            panic_if(in.dst.reg + r >= kGrfRegCount,
+                     "block load register out of range");
+            pool.push_back(static_cast<std::uint8_t>(in.dst.reg + r));
+        }
+        return;
+    }
+    appendRegs(in.dst, in.simdWidth, pool);
+}
+
+} // namespace
+
+DecodedKernel::DecodedKernel(const isa::Kernel &kernel)
+{
+    instrs_.reserve(kernel.size());
+    for (std::uint32_t ip = 0; ip < kernel.size(); ++ip) {
+        const Instruction &in = kernel.instr(ip);
+        DecodedInstr d;
+        d.instr = &in;
+        d.cls = classOf(in);
+        d.op = in.op;
+        d.simdWidth = in.simdWidth;
+        d.predCtrl = in.predCtrl;
+        d.predFlag = in.predFlag;
+        d.condFlag = in.condFlag;
+        d.condMod = in.condMod;
+        d.dstIsF = in.dst.type == DataType::F;
+        d.dstIsFloat = isa::isFloatType(in.dst.type);
+        d.widthMask = in.widthMask();
+        d.target0 = static_cast<std::uint32_t>(in.target0);
+        d.target1 = static_cast<std::uint32_t>(in.target1);
+        d.sendOp = in.send.op;
+        d.sendElemBytes =
+            static_cast<std::uint8_t>(isa::dataTypeSize(in.send.type));
+        d.execBytes =
+            static_cast<std::uint8_t>(isa::execElemBytes(in));
+        d.dst = decodeOperand(in.dst, in.simdWidth);
+        d.src0 = decodeOperand(in.src0, in.simdWidth);
+        d.src1 = decodeOperand(in.src1, in.simdWidth);
+        d.src2 = decodeOperand(in.src2, in.simdWidth);
+        panic_if(d.predFlag >= 2 || d.condFlag >= 2,
+                 "flag register out of range at ip %u", ip);
+        panic_if(in.op == Opcode::Send &&
+                     (d.sendOp == isa::SendOp::GatherLoad ||
+                      d.sendOp == isa::SendOp::SlmGatherLoad) &&
+                     d.dst.elemBytes != d.sendElemBytes,
+                 "load destination type width mismatch");
+
+        // Issue-gating registers: sources (plus block-store payload)
+        // and the destination (in-order WAW), as in
+        // Scoreboard::readyCycle.
+        d.depOff = static_cast<std::uint32_t>(depPool_.size());
+        appendRegs(in.src0, in.simdWidth, depPool_);
+        appendRegs(in.src1, in.simdWidth, depPool_);
+        appendRegs(in.src2, in.simdWidth, depPool_);
+        if (in.op == Opcode::Send &&
+            in.send.op == isa::SendOp::BlockStore) {
+            for (unsigned r = 0; r < in.send.numRegs; ++r) {
+                panic_if(in.src1.reg + r >= kGrfRegCount,
+                         "block store register out of range");
+                depPool_.push_back(
+                    static_cast<std::uint8_t>(in.src1.reg + r));
+            }
+        }
+        appendDstRegs(in, depPool_);
+        panic_if(depPool_.size() - d.depOff > 255,
+                 "dependence list overflows at ip %u", ip);
+        d.depCount =
+            static_cast<std::uint8_t>(depPool_.size() - d.depOff);
+
+        d.claimOff = static_cast<std::uint32_t>(depPool_.size());
+        appendDstRegs(in, depPool_);
+        d.claimCount =
+            static_cast<std::uint8_t>(depPool_.size() - d.claimOff);
+
+        if (in.predCtrl != isa::PredCtrl::None)
+            d.flagDepMask |= std::uint8_t{1} << (in.predFlag & 1);
+        if (in.op == Opcode::Sel)
+            d.flagDepMask |= std::uint8_t{1} << (in.condFlag & 1);
+        if (in.op == Opcode::Cmp)
+            d.claimFlag = static_cast<std::int8_t>(in.condFlag & 1);
+
+        instrs_.push_back(d);
+    }
+}
+
+} // namespace iwc::func

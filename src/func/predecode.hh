@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bind-time lowering of a kernel into a flat, cache-friendly decoded
+ * form. The interpreter's per-step hot path pays for generality in the
+ * isa::Instruction representation: every element read re-derives the
+ * operand's byte offset (two switches over DataType), every step
+ * re-tests the float/int domain and re-builds the width mask, and
+ * every GRF access re-checks bounds. All of that is a pure function of
+ * the instruction, so DecodedKernel resolves it once when a kernel is
+ * bound: operand offsets and strides, pre-converted immediates with
+ * source modifiers applied, an execution-class index that fuses the
+ * opcode dispatch with the domain test, resolved branch targets, and a
+ * decode-time bounds check that lets the interpreter use unchecked GRF
+ * access afterwards. Execution semantics are bit-identical to
+ * interpreting the undecoded form (enforced by test_predecode.cc).
+ */
+
+#ifndef IWC_FUNC_PREDECODE_HH
+#define IWC_FUNC_PREDECODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::func
+{
+
+/** Top-level dispatch class of one instruction in step(). */
+enum class ExecClass : std::uint8_t
+{
+    AluFloat, ///< ALU op whose sources are F/DF
+    AluInt,   ///< ALU op whose sources are integer
+    CmpFloat,
+    CmpInt,
+    Send,
+    If,
+    Else,
+    EndIf,
+    LoopBegin,
+    LoopEnd,
+    Break,
+    Cont,
+    Halt,
+};
+
+/** Flat operand: everything element access needs, resolved. */
+struct DecodedOperand
+{
+    std::uint32_t baseOff = 0; ///< GRF byte offset of element 0
+    std::uint8_t stride = 0;   ///< bytes between channels (0 = scalar)
+    std::uint8_t elemBytes = 4;
+    isa::DataType type = isa::DataType::D;
+    bool isImm = false;
+    bool isNull = true;
+    bool negate = false;
+    bool absolute = false;
+    std::uint64_t immBits = 0; ///< raw immediate bits
+    double immF = 0;           ///< immediate as double, modifiers applied
+    std::int64_t immI = 0;     ///< immediate as int64, modifiers applied
+};
+
+/** Flat decoded instruction the interpreter hot path consumes. */
+struct DecodedInstr
+{
+    const isa::Instruction *instr = nullptr; ///< original (cold paths)
+    ExecClass cls = ExecClass::AluInt;
+    isa::Opcode op = isa::Opcode::Mov;
+    std::uint8_t simdWidth = 16;
+    isa::PredCtrl predCtrl = isa::PredCtrl::None;
+    std::uint8_t predFlag = 0;
+    std::uint8_t condFlag = 0;
+    isa::CondMod condMod = isa::CondMod::None;
+    bool dstIsF = false;     ///< dst.type == F: round intermediates
+    bool dstIsFloat = false; ///< dst is F/DF: int results convert
+    LaneMask widthMask = 0;
+    std::uint32_t target0 = 0; ///< resolved branch targets
+    std::uint32_t target1 = 0;
+    isa::SendOp sendOp = isa::SendOp::Fence;
+    std::uint8_t sendElemBytes = 4;
+    /** isa::execElemBytes(in): element size driving the cycle plan. */
+    std::uint8_t execBytes = 4;
+    DecodedOperand dst;
+    DecodedOperand src0;
+    DecodedOperand src1;
+    DecodedOperand src2;
+
+    // Scoreboard dependences, resolved at decode time so the issue
+    // path scans flat register lists instead of re-walking operands
+    // (see DecodedKernel::depPool). depOff/depCount list every GRF
+    // register the instruction reads or WAW-checks; claimOff/
+    // claimCount list the registers its writeback claims.
+    std::uint32_t depOff = 0;
+    std::uint32_t claimOff = 0;
+    std::uint8_t depCount = 0;
+    std::uint8_t claimCount = 0;
+    /** Bit f set: issue waits on flag register f (pred / Sel). */
+    std::uint8_t flagDepMask = 0;
+    /** Flag register the instruction writes (Cmp), or -1. */
+    std::int8_t claimFlag = -1;
+};
+
+/** The decoded form of a whole kernel. */
+class DecodedKernel
+{
+  public:
+    explicit DecodedKernel(const isa::Kernel &kernel);
+
+    const DecodedInstr &
+    at(std::uint32_t ip) const
+    {
+        return instrs_[ip];
+    }
+
+    /** Backing store for the instructions' register dependence lists. */
+    const std::uint8_t *depPool() const { return depPool_.data(); }
+
+  private:
+    std::vector<DecodedInstr> instrs_;
+    std::vector<std::uint8_t> depPool_;
+};
+
+} // namespace iwc::func
+
+#endif // IWC_FUNC_PREDECODE_HH

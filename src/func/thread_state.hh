@@ -87,6 +87,13 @@ class ThreadState
         std::memcpy(dst, grf_.data() + byte_offset, bytes);
     }
 
+    /**
+     * Raw GRF bytes for accesses whose bounds were already validated
+     * (the predecoder checks each operand's whole region at bind time).
+     */
+    const std::uint8_t *grfData() const { return grf_.data(); }
+    std::uint8_t *grfData() { return grf_.data(); }
+
     // --- Flags ---
     std::uint32_t
     flag(unsigned idx) const

@@ -58,6 +58,9 @@ runKernelFunctionalDetailed(const isa::Kernel &kernel,
 
     func::Interpreter interp(kernel, gmem);
     std::uint64_t instructions = 0;
+    // One StepResult for the whole launch: step() rewrites every field
+    // it reports, so reuse avoids a ~300-byte copy per instruction.
+    func::StepResult r;
 
     for (unsigned wg = 0; wg < num_wgs; ++wg) {
         const std::uint64_t wg_base =
@@ -105,7 +108,7 @@ runKernelFunctionalDetailed(const isa::Kernel &kernel,
                 if (t.halted() || at_barrier[sg])
                     continue;
                 while (!t.halted()) {
-                    const func::StepResult r = interp.step(t);
+                    interp.step(t, r);
                     ++instructions;
                     if (observer) {
                         DetailedStep step;
@@ -191,6 +194,18 @@ Device::launchFunctional(const isa::Kernel &kernel,
 {
     return runKernelFunctional(kernel, gmem_, global_size, local_size,
                                argWords(args), observer);
+}
+
+std::uint64_t
+Device::launchFunctionalDetailed(const isa::Kernel &kernel,
+                                 std::uint64_t global_size,
+                                 unsigned local_size,
+                                 const std::vector<Arg> &args,
+                                 const DetailedObserver &observer)
+{
+    return runKernelFunctionalDetailed(kernel, gmem_, global_size,
+                                       local_size, argWords(args),
+                                       observer);
 }
 
 } // namespace iwc::gpu

@@ -131,6 +131,12 @@ class Device
                                    const InstrObserver &observer =
                                        nullptr);
 
+    /** As launchFunctional but with the ip-carrying observer. */
+    std::uint64_t launchFunctionalDetailed(
+        const isa::Kernel &kernel, std::uint64_t global_size,
+        unsigned local_size, const std::vector<Arg> &args,
+        const DetailedObserver &observer);
+
     GpuConfig &config() { return config_; }
     const GpuConfig &config() const { return config_; }
     func::GlobalMemory &memory() { return gmem_; }

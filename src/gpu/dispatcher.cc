@@ -99,6 +99,18 @@ Dispatcher::tryDispatch(
     }
 }
 
+bool
+Dispatcher::canDispatch(
+    const std::vector<std::unique_ptr<eu::EuCore>> &eus) const
+{
+    if (nextWg_ == numWgs_)
+        return false;
+    unsigned free_slots = 0;
+    for (const auto &eu : eus)
+        free_slots += eu->numFreeSlots();
+    return free_slots >= wgThreadCount(nextWg_);
+}
+
 void
 Dispatcher::barrierArrive(int wg_id)
 {

@@ -33,12 +33,24 @@ class Dispatcher
     void tryDispatch(const std::vector<std::unique_ptr<eu::EuCore>> &eus,
                      Cycle now, Cycle dispatch_latency);
 
+    /**
+     * True when the next pending workgroup would fit right now. Free
+     * slots only change when a thread retires (an issue event), so a
+     * false answer stays false until some EU issues — which lets the
+     * simulator skip idle cycles without missing a dispatch.
+     */
+    bool
+    canDispatch(const std::vector<std::unique_ptr<eu::EuCore>> &eus) const;
+
     /** GpuHooks plumbing (called by EUs through the simulator). */
     void barrierArrive(int wg_id);
     void threadDone(int wg_id);
 
     /** Workgroups whose barrier released this cycle (drains the list). */
     std::vector<int> takeBarrierReleases();
+
+    /** Cheap per-cycle guard for takeBarrierReleases. */
+    bool hasPendingReleases() const { return !pendingReleases_.empty(); }
 
     /** True once every workgroup has fully completed. */
     bool allWorkDone() const;

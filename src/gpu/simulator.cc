@@ -1,5 +1,7 @@
 #include "gpu/simulator.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace iwc::gpu
@@ -83,11 +85,16 @@ Simulator::run(const isa::Kernel &kernel, std::uint64_t global_size,
     Cycle cycle = 0;
     while (true) {
         dispatcher.tryDispatch(eus_, cycle, config_.dispatchLatency);
-        for (auto &eu : eus_)
-            eu->tick(cycle);
-        for (const int wg : dispatcher.takeBarrierReleases())
-            for (auto &eu : eus_)
-                eu->releaseBarrier(wg, cycle);
+        for (auto &eu : eus_) {
+            // Inline copy of tick()'s idle early-out: saves the call
+            // for EUs that provably cannot issue this cycle.
+            if (cycle >= eu->nextIssueAt())
+                eu->tick(cycle);
+        }
+        if (dispatcher.hasPendingReleases())
+            for (const int wg : dispatcher.takeBarrierReleases())
+                for (auto &eu : eus_)
+                    eu->releaseBarrier(wg, cycle);
 
         if (dispatcher.allWorkDone()) {
             bool all_idle = true;
@@ -96,7 +103,25 @@ Simulator::run(const isa::Kernel &kernel, std::uint64_t global_size,
             if (all_idle)
                 break;
         }
-        ++cycle;
+
+        // Next-event estimation: between here and the next issue,
+        // dispatch, or barrier-release event no EU state changes, and
+        // every one of those events requires either a dispatchable
+        // workgroup (checked below) or some slot reaching its cached
+        // ready cycle — so jump straight there instead of ticking
+        // empty cycles. A pending workgroup that now fits must be
+        // placed at cycle + 1 (slots freed during this cycle's tick).
+        Cycle next = cycle + 1;
+        if (!dispatcher.canDispatch(eus_)) {
+            Cycle best = eu::EuCore::kNeverIssues;
+            for (const auto &eu : eus_)
+                best = std::min(best, eu->nextIssueAt());
+            if (best == eu::EuCore::kNeverIssues)
+                next = config_.maxCycles; // deadlock: land on the guard
+            else
+                next = std::max(best, cycle + 1);
+        }
+        cycle = next;
         fatal_if(cycle >= config_.maxCycles,
                  "kernel %s exceeded the %llu-cycle guard (deadlock?)",
                  kernel.name().c_str(),

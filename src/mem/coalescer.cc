@@ -11,13 +11,21 @@ std::vector<Addr>
 coalesceLines(const func::MemAccess &access)
 {
     std::vector<Addr> lines;
+    coalesceLinesInto(access, lines);
+    return lines;
+}
+
+void
+coalesceLinesInto(const func::MemAccess &access, std::vector<Addr> &lines)
+{
+    lines.clear();
     if (access.isBlock) {
         const Addr first = alignDown(access.blockAddr, kCacheLineBytes);
         const Addr last = alignDown(
             access.blockAddr + access.blockBytes - 1, kCacheLineBytes);
         for (Addr a = first; a <= last; a += kCacheLineBytes)
             lines.push_back(a);
-        return lines;
+        return;
     }
 
     for (unsigned ch = 0; ch < kMaxSimdWidth; ++ch) {
@@ -32,27 +40,41 @@ coalesceLines(const func::MemAccess &access)
     }
     std::sort(lines.begin(), lines.end());
     lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
-    return lines;
 }
 
 unsigned
 slmConflictDegree(const func::MemAccess &access, unsigned banks,
                   unsigned bank_word_bytes)
 {
-    std::vector<std::vector<Addr>> bank_words(banks);
+    // At most one distinct word per channel, so dedup on the stack
+    // instead of materializing per-bank vectors.
+    Addr words[kMaxSimdWidth];
+    unsigned word_banks[kMaxSimdWidth];
+    unsigned n = 0;
     for (unsigned ch = 0; ch < kMaxSimdWidth; ++ch) {
         if (!(access.mask & (LaneMask{1} << ch)))
             continue;
         const Addr word = access.addrs[ch] / bank_word_bytes;
-        const unsigned bank = static_cast<unsigned>(word % banks);
-        auto &words = bank_words[bank];
-        if (std::find(words.begin(), words.end(), word) == words.end())
-            words.push_back(word);
+        bool seen = false;
+        for (unsigned i = 0; i < n; ++i) {
+            if (words[i] == word) {
+                seen = true;
+                break;
+            }
+        }
+        if (seen)
+            continue;
+        words[n] = word;
+        word_banks[n] = static_cast<unsigned>(word % banks);
+        ++n;
     }
     unsigned degree = 1;
-    for (const auto &words : bank_words)
-        degree = std::max(degree,
-                          static_cast<unsigned>(words.size()));
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned same_bank = 0;
+        for (unsigned j = 0; j < n; ++j)
+            same_bank += word_banks[j] == word_banks[i];
+        degree = std::max(degree, same_bank);
+    }
     return degree;
 }
 

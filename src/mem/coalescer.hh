@@ -22,6 +22,13 @@ namespace iwc::mem
 std::vector<Addr> coalesceLines(const func::MemAccess &access);
 
 /**
+ * Same, writing into a caller-owned buffer (cleared first) so issue
+ * loops can reuse one allocation across messages.
+ */
+void coalesceLinesInto(const func::MemAccess &access,
+                       std::vector<Addr> &lines);
+
+/**
  * SLM bank-conflict degree: the maximum number of distinct words
  * mapping to the same bank, i.e. the serialization factor of a banked
  * SLM access (1 = conflict free). Broadcasts of the same word do not

@@ -25,10 +25,23 @@ trace::TraceAnalysis
 analyzeBuilt(gpu::Device &dev, const workloads::Workload &w)
 {
     trace::TraceAnalyzer analyzer;
-    dev.launchFunctional(
+    // Every TraceRecord field except execMask is a pure function of
+    // the static instruction, so derive them once per ip up front
+    // instead of once per dynamic instruction.
+    std::vector<trace::TraceRecord> tmpl;
+    std::vector<LaneMask> width_mask;
+    tmpl.reserve(w.kernel.size());
+    width_mask.reserve(w.kernel.size());
+    for (const isa::Instruction &in : w.kernel.instructions()) {
+        tmpl.push_back(trace::recordOf(in, 0));
+        width_mask.push_back(in.widthMask());
+    }
+    dev.launchFunctionalDetailed(
         w.kernel, w.globalSize, w.localSize, w.args,
-        [&](const isa::Instruction &in, LaneMask mask) {
-            analyzer.add(trace::recordOf(in, mask));
+        [&](const gpu::DetailedStep &step) {
+            trace::TraceRecord r = tmpl[step.ip];
+            r.execMask = step.result->execMask & width_mask[step.ip];
+            analyzer.add(r);
         });
     return analyzer.result();
 }

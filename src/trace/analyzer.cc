@@ -1,7 +1,6 @@
 #include "trace/analyzer.hh"
 
 #include "common/bitutil.hh"
-#include "compaction/scc_algorithm.hh"
 
 namespace iwc::trace
 {
@@ -28,11 +27,10 @@ TraceAnalyzer::add(const TraceRecord &record)
 
     const compaction::ExecShape shape{record.simdWidth, record.elemBytes,
                                       record.execMask};
-    for (unsigned m = 0; m < compaction::kNumModes; ++m) {
-        a.euCycles[m] += compaction::planCycleCount(
-            static_cast<compaction::Mode>(m), shape);
-    }
-    a.sccSwizzledLanes += compaction::planScc(shape).swizzledLanes();
+    const compaction::PlanCosts &plan_costs = planCache_.costs(shape);
+    for (unsigned m = 0; m < compaction::kNumModes; ++m)
+        a.euCycles[m] += plan_costs.cycles[m];
+    a.sccSwizzledLanes += plan_costs.sccSwizzledLanes;
 
     ++a.aluRecords;
     const auto bin =

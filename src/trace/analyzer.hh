@@ -13,6 +13,7 @@
 #include <array>
 
 #include "compaction/cycle_plan.hh"
+#include "compaction/plan_cache.hh"
 #include "trace/trace.hh"
 
 namespace iwc::trace
@@ -95,10 +96,12 @@ class TraceAnalyzer
 
     void add(const TraceRecord &record);
     const TraceAnalysis &result() const { return analysis_; }
+    const compaction::PlanCache &planCache() const { return planCache_; }
 
   private:
     AnalyzerCosts costs_;
     TraceAnalysis analysis_;
+    compaction::PlanCache planCache_;
 };
 
 } // namespace iwc::trace

@@ -41,6 +41,7 @@ recordOf(const isa::Instruction &in, LaneMask exec_mask)
 gpu::InstrObserver
 captureObserver(MaskTrace &out)
 {
+    out.reserve(1u << 16); // skip the early reallocation storm
     return [&out](const isa::Instruction &in, LaneMask exec_mask) {
         out.append(recordOf(in, exec_mask));
     };

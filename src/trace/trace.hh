@@ -54,6 +54,8 @@ struct MaskTrace
     {
         records.push_back(r);
     }
+    /** Pre-sizes the record buffer (captures run to millions). */
+    void reserve(std::uint64_t n) { records.reserve(n); }
 };
 
 /** Classifies an instruction for trace purposes. */

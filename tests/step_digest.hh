@@ -1,0 +1,133 @@
+/**
+ * @file
+ * FNV-1a digests of a functional StepResult stream and of timing
+ * LaunchStats, shared by the predecode/tick-skip differential tests.
+ * The golden values in test_predecode.cc were captured from the
+ * interpreter and simulator as they existed before the hot-path
+ * optimizations (predecode, cycle-plan memoization, idle-cycle
+ * skipping, allocation pooling), so a digest match proves the
+ * optimized model is bit-identical to the original.
+ */
+
+#ifndef IWC_TESTS_STEP_DIGEST_HH
+#define IWC_TESTS_STEP_DIGEST_HH
+
+#include <cstdint>
+
+#include "gpu/device.hh"
+#include "gpu/simulator.hh"
+
+namespace iwc::testsupport
+{
+
+/** Incremental 64-bit FNV-1a over 64-bit words. */
+class Fnv64
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash_ ^= (v >> (i * 8)) & 0xff;
+            hash_ *= 1099511628211ull;
+        }
+    }
+
+    void
+    addDouble(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        add(bits);
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+/** Folds one observed functional step into @p fnv. */
+inline void
+addStep(Fnv64 &fnv, const gpu::DetailedStep &step)
+{
+    const func::StepResult &r = *step.result;
+    fnv.add(step.workgroup);
+    fnv.add(step.subgroup);
+    fnv.add(step.occurrence);
+    fnv.add(r.ip);
+    fnv.add(r.execMask);
+    fnv.add((std::uint64_t{r.isBarrier} << 2) |
+            (std::uint64_t{r.isHalt} << 1) | std::uint64_t{r.hasMem});
+    if (!r.hasMem)
+        return;
+    const func::MemAccess &mem = r.mem;
+    fnv.add(static_cast<std::uint64_t>(mem.op));
+    fnv.add(mem.elemBytes);
+    fnv.add(mem.mask);
+    if (mem.isBlock) {
+        fnv.add(mem.blockAddr);
+        fnv.add(mem.blockBytes);
+        return;
+    }
+    // Only lanes named by the mask carry defined addresses; inactive
+    // lanes may hold stale data once the access buffers are pooled.
+    for (unsigned ch = 0; ch < kMaxSimdWidth; ++ch)
+        if (mem.mask & (LaneMask{1} << ch))
+            fnv.add(mem.addrs[ch]);
+}
+
+/** Digest of the full per-instruction StepResult stream of a launch. */
+inline std::uint64_t
+digestFunctionalRun(const isa::Kernel &kernel, func::GlobalMemory &gmem,
+                    std::uint64_t global_size, unsigned local_size,
+                    const std::vector<std::uint32_t> &arg_words)
+{
+    Fnv64 fnv;
+    gpu::runKernelFunctionalDetailed(
+        kernel, gmem, global_size, local_size, arg_words,
+        [&fnv](const gpu::DetailedStep &step) { addStep(fnv, step); });
+    return fnv.value();
+}
+
+/** Digest of every counter a timing launch produces. */
+inline std::uint64_t
+digestLaunchStats(const gpu::LaunchStats &stats)
+{
+    Fnv64 fnv;
+    fnv.add(stats.totalCycles);
+    fnv.add(stats.eu.instructions);
+    fnv.add(stats.eu.aluInstructions);
+    fnv.add(stats.eu.sendInstructions);
+    fnv.add(stats.eu.ctrlInstructions);
+    fnv.add(stats.eu.sumActiveLanes);
+    fnv.add(stats.eu.sumSimdWidth);
+    for (const std::uint64_t c : stats.eu.euCyclesByMode)
+        fnv.add(c);
+    for (const std::uint64_t b : stats.eu.utilBins)
+        fnv.add(b);
+    fnv.add(stats.eu.memMessages);
+    fnv.add(stats.eu.memLines);
+    fnv.add(stats.eu.slmMessages);
+    fnv.add(stats.eu.sccSwizzledLanes);
+    fnv.add(stats.eu.issueSlotsUsed);
+    fnv.add(stats.eu.threadsRetired);
+    fnv.add(stats.fpuBusyCycles);
+    fnv.add(stats.emBusyCycles);
+    fnv.add(stats.l3Hits);
+    fnv.add(stats.l3Misses);
+    fnv.add(stats.llcHits);
+    fnv.add(stats.llcMisses);
+    fnv.add(stats.dramLines);
+    fnv.add(stats.dcLines);
+    fnv.add(stats.slmAccesses);
+    fnv.addDouble(stats.avgLinesPerMessage);
+    fnv.add(static_cast<std::uint64_t>(stats.workgroups));
+    fnv.add(stats.threads);
+    return fnv.value();
+}
+
+} // namespace iwc::testsupport
+
+#endif // IWC_TESTS_STEP_DIGEST_HH

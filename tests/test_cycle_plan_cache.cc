@@ -1,0 +1,202 @@
+/**
+ * @file
+ * PlanCache equivalence: the memoized plan costs must be
+ * indistinguishable from the uncached planCycleCount/planScc results
+ * for every reachable shape. Exhaustive over the full mask space at
+ * the direct-mapped widths (8/16) and randomized for SIMD32, plus
+ * hit/miss accounting and the stats::Group plumbing.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "compaction/cycle_plan.hh"
+#include "compaction/plan_cache.hh"
+#include "compaction/scc_algorithm.hh"
+#include "stats/stats.hh"
+
+namespace iwc::compaction
+{
+namespace
+{
+
+/** The uncached reference, straight from the plan functions. */
+PlanCosts
+referenceCosts(const ExecShape &shape)
+{
+    PlanCosts costs;
+    for (unsigned m = 0; m < kNumModes; ++m) {
+        costs.cycles[m] = static_cast<std::uint16_t>(
+            planCycleCount(static_cast<Mode>(m), shape));
+    }
+    costs.sccSwizzledLanes =
+        static_cast<std::uint16_t>(planScc(shape).swizzledLanes());
+    return costs;
+}
+
+void
+expectCostsEqual(const PlanCosts &got, const PlanCosts &want,
+                 const ExecShape &shape)
+{
+    for (unsigned m = 0; m < kNumModes; ++m) {
+        ASSERT_EQ(got.cycles[m], want.cycles[m])
+            << "mode " << m << " width " << unsigned(shape.simdWidth)
+            << " elem " << unsigned(shape.elemBytes) << " mask 0x"
+            << std::hex << shape.execMask;
+    }
+    ASSERT_EQ(got.sccSwizzledLanes, want.sccSwizzledLanes)
+        << "width " << unsigned(shape.simdWidth) << " mask 0x"
+        << std::hex << shape.execMask;
+}
+
+TEST(PlanCacheTest, ExhaustiveSimd8And16MatchesUncached)
+{
+    for (const unsigned width : {8u, 16u}) {
+        for (const unsigned elem_bytes : {2u, 4u, 8u}) {
+            PlanCache cache;
+            const LaneMask masks = LaneMask{1} << width;
+            for (LaneMask mask = 0; mask < masks; ++mask) {
+                const ExecShape shape{static_cast<std::uint8_t>(width),
+                                      static_cast<std::uint8_t>(elem_bytes),
+                                      mask};
+                expectCostsEqual(cache.costs(shape),
+                                 referenceCosts(shape), shape);
+            }
+            // The whole mask space again: every query must now hit.
+            const std::uint64_t misses_before = cache.misses();
+            for (LaneMask mask = 0; mask < masks; ++mask) {
+                const ExecShape shape{static_cast<std::uint8_t>(width),
+                                      static_cast<std::uint8_t>(elem_bytes),
+                                      mask};
+                expectCostsEqual(cache.costs(shape),
+                                 referenceCosts(shape), shape);
+            }
+            EXPECT_EQ(cache.misses(), misses_before);
+        }
+    }
+}
+
+TEST(PlanCacheTest, NarrowWidthsMatchUncached)
+{
+    PlanCache cache;
+    for (const unsigned width : {1u, 4u}) {
+        for (const unsigned elem_bytes : {2u, 4u, 8u}) {
+            const LaneMask masks = LaneMask{1} << width;
+            for (LaneMask mask = 0; mask < masks; ++mask) {
+                const ExecShape shape{static_cast<std::uint8_t>(width),
+                                      static_cast<std::uint8_t>(elem_bytes),
+                                      mask};
+                expectCostsEqual(cache.costs(shape),
+                                 referenceCosts(shape), shape);
+            }
+        }
+    }
+}
+
+TEST(PlanCacheTest, RandomizedSimd32MatchesUncached)
+{
+    std::mt19937 rng(0x5ca1ab1e);
+    PlanCache cache;
+    for (const unsigned elem_bytes : {2u, 4u, 8u}) {
+        for (unsigned i = 0; i < 2000; ++i) {
+            // Mix dense, sparse, and structured masks.
+            LaneMask mask = rng();
+            if (i % 3 == 1)
+                mask &= rng();
+            if (i % 3 == 2)
+                mask |= rng();
+            const ExecShape shape{32,
+                                  static_cast<std::uint8_t>(elem_bytes),
+                                  mask};
+            expectCostsEqual(cache.costs(shape), referenceCosts(shape),
+                             shape);
+            // Re-query through the hash-map path.
+            expectCostsEqual(cache.costs(shape), referenceCosts(shape),
+                             shape);
+        }
+    }
+    // Boundary masks the random draw may have missed.
+    for (const LaneMask mask : {LaneMask{0}, ~LaneMask{0}, LaneMask{1},
+                                LaneMask{1} << 31, LaneMask{0xffff0000},
+                                LaneMask{0x0000ffff}}) {
+        const ExecShape shape{32, 4, mask};
+        expectCostsEqual(cache.costs(shape), referenceCosts(shape),
+                         shape);
+    }
+}
+
+TEST(PlanCacheTest, CachedCostsComeFromVerifiedPlans)
+{
+    // The costs the cache stores are cycle counts of real schedules:
+    // materialize the plan behind every (mode, shape) sample and check
+    // that it passes verifyPlan and that its length equals the cached
+    // cycle count.
+    PlanCache cache;
+    std::mt19937 rng(0xfeedface);
+    for (const unsigned width : {8u, 16u, 32u}) {
+        for (unsigned i = 0; i < 200; ++i) {
+            const LaneMask mask =
+                rng() & laneMaskForWidth(width);
+            const ExecShape shape{static_cast<std::uint8_t>(width), 4,
+                                  mask};
+            const PlanCosts &costs = cache.costs(shape);
+            for (unsigned m = 0; m < kNumModes; ++m) {
+                const Mode mode = static_cast<Mode>(m);
+                const CyclePlan plan = planCycles(mode, shape);
+                EXPECT_TRUE(verifyPlan(plan, shape))
+                    << "mode " << m << " mask 0x" << std::hex << mask;
+                EXPECT_EQ(plan.cycles(), costs.cycles[m]);
+            }
+        }
+    }
+}
+
+TEST(PlanCacheTest, HitMissCounters)
+{
+    PlanCache cache;
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+
+    const ExecShape a{16, 4, 0x00ff};
+    const ExecShape b{16, 4, 0x0f0f};
+    cache.costs(a);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.costs(a);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.costs(b);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 2u);
+
+    // SIMD32 goes through the hash-map path; counters keep counting.
+    const ExecShape wide{32, 4, 0xdeadbeef};
+    cache.costs(wide);
+    cache.costs(wide);
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 3u);
+
+    // Same mask, different element size: a distinct entry.
+    const ExecShape wide2{32, 8, 0xdeadbeef};
+    cache.costs(wide2);
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(PlanCacheTest, WriteToPublishesCounters)
+{
+    PlanCache cache;
+    cache.costs(ExecShape{8, 4, 0x3c});
+    cache.costs(ExecShape{8, 4, 0x3c});
+    cache.costs(ExecShape{8, 4, 0xff});
+
+    stats::Group group("plan_cache");
+    cache.writeTo(group);
+    ASSERT_TRUE(group.hasScalar("plan_cache_hits"));
+    ASSERT_TRUE(group.hasScalar("plan_cache_misses"));
+    EXPECT_EQ(group.getScalar("plan_cache_hits"), 1.0);
+    EXPECT_EQ(group.getScalar("plan_cache_misses"), 2.0);
+}
+
+} // namespace
+} // namespace iwc::compaction

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Differential tests for the hot-path optimizations: the predecoded
+ * interpreter, scoreboard dependence lists, cycle-plan memoization,
+ * and idle-cycle skipping must leave every observable result
+ * bit-identical to the pre-optimization model. The golden digests
+ * below were captured from the interpreter and simulator as they
+ * existed before those changes (see tests/step_digest.hh); the tests
+ * replay every registry workload and demand an exact match.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "eu/scoreboard.hh"
+#include "func/interp.hh"
+#include "func/predecode.hh"
+#include "gpu/gpu_config.hh"
+#include "step_digest.hh"
+#include "workloads/registry.hh"
+
+namespace iwc
+{
+namespace
+{
+
+/** One registry workload's pre-optimization digests at scale=1. */
+struct GoldenRow
+{
+    const char *name;
+    std::uint64_t funcDigest;
+    /** Timing digests under Mode::IvbOpt, Mode::Bcc, Mode::Scc. */
+    std::uint64_t timing[3];
+};
+
+// Captured from the pre-predecode interpreter/simulator (commit
+// "Extract a src/run experiment harness...") by hashing the full
+// StepResult stream and every LaunchStats counter per workload.
+const GoldenRow kGoldens[] = {
+    {"micro_ifelse", 0x1d16438d006e5425ull,
+     {0xc4f4978ac4a9885bull, 0x84050bad749def49ull, 0x84050bad749def49ull}},
+    {"micro_nested", 0xc6fccb8e4825b0a5ull,
+     {0x8ba02b6c62ec7deeull, 0x8ba02b6c62ec7deeull, 0x4100a25a81a84591ull}},
+    {"micro_looptrip", 0x01b33074eff04965ull,
+     {0x1ec6b35e58fac75aull, 0x787e9d540043b55dull, 0x787e9d540043b55dull}},
+    {"va", 0xa6b82f30054973a5ull,
+     {0xe3a6c9d02dbbcd94ull, 0xe3a6c9d02dbbcd94ull, 0xe3a6c9d02dbbcd94ull}},
+    {"dp", 0x4ee1bbd0c0aaf225ull,
+     {0x0395f1f18f9c641full, 0xecb27cceedf8425full, 0xecb27cceedf8425full}},
+    {"mvm", 0x9608cd97e10283a5ull,
+     {0x45b63e78c62a00b5ull, 0x45b63e78c62a00b5ull, 0x45b63e78c62a00b5ull}},
+    {"mm", 0xeea9009158abce65ull,
+     {0x5743239623df88abull, 0x5743239623df88abull, 0x5743239623df88abull}},
+    {"trans", 0xf10e4481b47551a5ull,
+     {0xeaaafc5a643f6760ull, 0xeaaafc5a643f6760ull, 0xeaaafc5a643f6760ull}},
+    {"dct8", 0x6a5cf1be64ddc265ull,
+     {0xc67b060a3d81238aull, 0xc67b060a3d81238aull, 0xc67b060a3d81238aull}},
+    {"scla", 0x800a55866eadd7a5ull,
+     {0x8d794293ad31bea4ull, 0x119847798061d604ull, 0x119847798061d604ull}},
+    {"bscholes", 0x0b54a8d80556cb25ull,
+     {0xa2d105315d1d84d9ull, 0xa2d105315d1d84d9ull, 0xa2d105315d1d84d9ull}},
+    {"bop", 0x970a4f13db394c25ull,
+     {0x9ac498412f941289ull, 0x9ac498412f941289ull, 0x9ac498412f941289ull}},
+    {"mca", 0x3b9d7ebc9cc9fbccull,
+     {0x0c4140260140c7d7ull, 0x0c4140260140c7d7ull, 0x0c4140260140c7d7ull}},
+    {"urng", 0x683f7edd1ed41da5ull,
+     {0xf57231860d590fcdull, 0xf57231860d590fcdull, 0xf57231860d590fcdull}},
+    {"bfs", 0x1e0afbc9b0f126ecull,
+     {0x707eb51a19fe4663ull, 0xd62f3aeec4ad9958ull, 0x5bf5b33defc8783dull}},
+    {"hotspot", 0x4484ba22494b0283ull,
+     {0x72f1e8b8fe24e6ecull, 0x87a2dc6b515f51bbull, 0x23b88444e04154e6ull}},
+    {"lavamd", 0x2a1af5927f7affaaull,
+     {0xdc44f649ff7625fdull, 0xb648e178faf1f95full, 0xca22d671a8867db8ull}},
+    {"nw", 0x3e4ac6f7c76e9db7ull,
+     {0x677743f6e9ca3277ull, 0xb56dbb3dff408ec9ull, 0xfb70e2a79aee6db4ull}},
+    {"partfilt", 0xbdb92545d91cb95cull,
+     {0x1988427ea6727a6cull, 0x41b5be08c95dfbe2ull, 0x44cb5bec63a8d016ull}},
+    {"path", 0xa5c6d2c6ab373a0aull,
+     {0xc2a7b4f8a8a29987ull, 0xe0b9cfb008ce7aadull, 0x3191a51b233d13f9ull}},
+    {"kmeans", 0x94d85e6fb1feaf55ull,
+     {0x701c47cf87704947ull, 0x9d56ab35d6cd56c9ull, 0xdc471bc7090021d6ull}},
+    {"srad", 0xa5fbb0d5bbd80004ull,
+     {0x612d1cac891b8c88ull, 0x29d71c67c6a7cdd5ull, 0x12414bc78f34a3c8ull}},
+    {"fw", 0x094c75356b62a8a5ull,
+     {0xf0a80d6ebd766fa7ull, 0xf0a80d6ebd766fa7ull, 0xf0a80d6ebd766fa7ull}},
+    {"bsearch", 0xaf1817e0ba264219ull,
+     {0xa544cb60b887bb46ull, 0xe426cbb4aca07c2aull, 0x6096dbda07cdec5bull}},
+    {"treesearch", 0x231f0835674f390aull,
+     {0x9bc5feea68698576ull, 0xd79471d4e23900c3ull, 0xfe207e304011465dull}},
+    {"sobel", 0x71167433e61cc2efull,
+     {0xbbdb167329b43dccull, 0xc7a583f3530c4104ull, 0xd56c1db0c43fea43ull}},
+    {"boxfilter", 0xa8965ffd843670edull,
+     {0x187a4d4167bf4c2aull, 0x187a4d4167bf4c2aull, 0x187a4d4167bf4c2aull}},
+    {"dwthaar", 0x85ba883b026ad6e5ull,
+     {0x3b6e6c60253bc589ull, 0x3b6e6c60253bc589ull, 0x3b6e6c60253bc589ull}},
+    {"mandelbrot", 0x420b435fe128fd79ull,
+     {0x3cdbf43d5e0bb9edull, 0x6a6945182cd3babfull, 0x3e42e4720b494156ull}},
+    {"bsort", 0xb90903c168164105ull,
+     {0x6bcd05bd2c333924ull, 0x302df1dc9da86011ull, 0x6719b84b4434f7f3ull}},
+    {"fwht", 0x00213e346ee646a5ull,
+     {0x8ac2a4c6435d154bull, 0xaff3a870d15fed02ull, 0xfa2c8b64575bb3c8ull}},
+    {"gauss", 0xc47a851327358752ull,
+     {0x59f19e6335ad597eull, 0xc403821874d16a14ull, 0xc403821874d16a14ull}},
+    {"scnv", 0x89acc3135a0b2e0dull,
+     {0x34aefb764a63769dull, 0x34aefb764a63769dull, 0x34aefb764a63769dull}},
+    {"rt_pr_alien", 0xf886ac40786d7e5aull,
+     {0x205542350fdcadc7ull, 0xbfd15b92ddb3ed16ull, 0x6108a3218b50a517ull}},
+    {"rt_pr_bulldozer", 0x2261042e25714e80ull,
+     {0x80cfa3620ae278c7ull, 0x4778ab1eec706d4cull, 0x3f0cdaed5a19f8feull}},
+    {"rt_pr_windmill", 0x6ec32ee53b5cf523ull,
+     {0x3fe6698c36ef6de9ull, 0x7d5b4184a4f9aa82ull, 0xa4c95cfba6ec69c1ull}},
+    {"rt_ao_alien8", 0xf4cbee4ebc99a9e2ull,
+     {0x45f3ef91b8f54368ull, 0x73ef214dcb8e77f3ull, 0x026ceb9595a5f4f2ull}},
+    {"rt_ao_bulldozer8", 0x0682838988576061ull,
+     {0x192983d7af92afb1ull, 0x237bde1db762f0deull, 0x295400820c565a59ull}},
+    {"rt_ao_windmill8", 0x83d976414ed74653ull,
+     {0x9df43dc5d91bd46eull, 0x1c510959d51bdc30ull, 0x8d0f477b142476d7ull}},
+    {"rt_ao_alien16", 0x0616ef5fc4f0d9acull,
+     {0x60e0c32a24f3bb75ull, 0x5e094dc75eddd580ull, 0xdd138d3d2eb731bcull}},
+    {"rt_ao_bulldozer16", 0x476e4a03250dfb21ull,
+     {0xf6f6b3c9919bb3cbull, 0x269090d0196d0af2ull, 0x16872983c08eeafcull}},
+    {"rt_ao_windmill16", 0xf2694b06f9118ad9ull,
+     {0x2c160183cf88d9aeull, 0xc1daeba22381c139ull, 0xc8c364b94f55179cull}},
+};
+
+const GoldenRow *
+goldenFor(const std::string &name)
+{
+    for (const GoldenRow &row : kGoldens)
+        if (name == row.name)
+            return &row;
+    return nullptr;
+}
+
+TEST(PredecodeDifferentialTest, GoldenTableCoversTheWholeRegistry)
+{
+    const auto &reg = workloads::registry();
+    EXPECT_EQ(reg.size(), std::size(kGoldens));
+    for (const auto &entry : reg)
+        EXPECT_NE(goldenFor(entry.name), nullptr)
+            << "no golden digest for workload " << entry.name
+            << " — regenerate the table (see tests/step_digest.hh)";
+}
+
+TEST(PredecodeDifferentialTest, FunctionalStreamMatchesPreOptimization)
+{
+    for (const auto &entry : workloads::registry()) {
+        const GoldenRow *row = goldenFor(entry.name);
+        if (row == nullptr)
+            continue; // reported by the coverage test
+        gpu::Device dev;
+        const auto w = workloads::make(entry.name, dev, 1);
+        std::vector<std::uint32_t> words;
+        for (const auto &arg : w.args)
+            words.push_back(arg.raw);
+        const std::uint64_t digest = testsupport::digestFunctionalRun(
+            w.kernel, dev.memory(), w.globalSize, w.localSize, words);
+        EXPECT_EQ(digest, row->funcDigest)
+            << "functional StepResult stream diverged for "
+            << entry.name;
+    }
+}
+
+TEST(PredecodeDifferentialTest, TimingStatsMatchPreOptimization)
+{
+    using compaction::Mode;
+    const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
+    for (const auto &entry : workloads::registry()) {
+        const GoldenRow *row = goldenFor(entry.name);
+        if (row == nullptr)
+            continue;
+        for (unsigned m = 0; m < 3; ++m) {
+            gpu::Device dev(gpu::ivbConfig(modes[m]));
+            const auto w = workloads::make(entry.name, dev, 1);
+            const auto stats =
+                dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
+            EXPECT_EQ(testsupport::digestLaunchStats(stats),
+                      row->timing[m])
+                << "timing stats diverged for " << entry.name
+                << " mode " << m;
+        }
+    }
+}
+
+// The scoreboard fast paths consume register lists flattened at decode
+// time; they must agree with the instruction-walking originals on
+// every static instruction of every registry kernel.
+TEST(PredecodeDifferentialTest, DependenceListsMatchInstructionWalk)
+{
+    std::mt19937 rng(0xdec0de);
+    for (const auto &entry : workloads::registry()) {
+        gpu::Device dev;
+        const auto w = workloads::make(entry.name, dev, 1);
+        func::Interpreter interp(w.kernel, dev.memory());
+        const func::DecodedKernel &dk = interp.decoded();
+        const std::uint8_t *pool = dk.depPool();
+
+        eu::Scoreboard legacy;
+        eu::Scoreboard fast;
+        for (std::uint32_t ip = 0; ip < w.kernel.size(); ++ip) {
+            const isa::Instruction &in = w.kernel.instr(ip);
+            const func::DecodedInstr &d = dk.at(ip);
+
+            EXPECT_EQ(d.execBytes, isa::execElemBytes(in));
+            // Same dependence answer on identically-claimed boards.
+            EXPECT_EQ(legacy.readyCycle(in),
+                      fast.readyCycle(pool + d.depOff, d.depCount,
+                                      d.flagDepMask))
+                << entry.name << " ip " << ip;
+
+            // Claim through the two paths in lockstep; any drift shows
+            // up in a later readyCycle comparison.
+            const Cycle t = 1 + rng() % 997;
+            legacy.claimDst(in, t);
+            fast.claimDst(pool + d.claimOff, d.claimCount, d.claimFlag,
+                          t);
+        }
+
+        // Probe every register and flag of the final boards.
+        for (unsigned reg = 0; reg < kGrfRegCount; ++reg) {
+            const std::uint8_t one[1] = {
+                static_cast<std::uint8_t>(reg)};
+            EXPECT_EQ(legacy.readyCycle(one, 1, 0),
+                      fast.readyCycle(one, 1, 0))
+                << entry.name << " reg " << reg;
+        }
+        for (unsigned f = 1; f <= 3; ++f)
+            EXPECT_EQ(legacy.readyCycle(nullptr, 0, f),
+                      fast.readyCycle(nullptr, 0, f))
+                << entry.name << " flag mask " << f;
+    }
+}
+
+} // namespace
+} // namespace iwc
