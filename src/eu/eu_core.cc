@@ -5,6 +5,7 @@
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 #include "mem/coalescer.hh"
+#include "obs/sink.hh"
 
 namespace iwc::eu
 {
@@ -139,6 +140,20 @@ EuCore::dispatch(const DispatchInfo &info)
     updateSlotReady(slot);
     --freeSlots_;
     nextIssueAt_ = 0; // rescan on the next tick
+
+    if (sink_ != nullptr) [[unlikely]] {
+        // The slot holds work from here but cannot issue before
+        // readyAt (dispatch latency), so the trace treats readyAt as
+        // the start of the slot's live interval.
+        slot.waitBase = info.readyAt;
+        obs::Event ev;
+        ev.cycle = info.readyAt;
+        ev.kind = obs::EventKind::Dispatch;
+        ev.eu = static_cast<std::uint8_t>(id_);
+        ev.slot = slotIndex(slot);
+        ev.thread = {info.wgId, info.subgroupIndex};
+        sink_->emit(ev);
+    }
 }
 
 void
@@ -151,6 +166,16 @@ EuCore::releaseBarrier(int wg_id, Cycle now)
             slot.resumeAt = now + 1;
             updateSlotReady(slot);
             nextIssueAt_ = 0; // rescan on the next tick
+            if (sink_ != nullptr) [[unlikely]] {
+                slot.waitBase = now + 1;
+                obs::Event ev;
+                ev.cycle = now;
+                ev.kind = obs::EventKind::BarrierRelease;
+                ev.eu = static_cast<std::uint8_t>(id_);
+                ev.slot = slotIndex(slot);
+                ev.thread = {wg_id, 0};
+                sink_->emit(ev);
+            }
         }
     }
 }
@@ -249,8 +274,77 @@ EuCore::nextIssueCycle(Cycle from) const
 }
 
 void
+EuCore::emitIssue(const ThreadSlot &slot, const func::DecodedInstr &d,
+                  std::uint32_t ip, LaneMask exec, PipeKind pk,
+                  unsigned occ, const compaction::PlanCosts *costs,
+                  Cycle now)
+{
+    const auto saturate16 = [](Cycle v) {
+        return static_cast<std::uint16_t>(std::min<Cycle>(v, 0xffff));
+    };
+
+    obs::Event ev;
+    ev.cycle = now;
+    ev.ip = ip;
+    ev.kind = obs::EventKind::InstrIssue;
+    ev.eu = static_cast<std::uint8_t>(id_);
+    ev.slot = slotIndex(slot);
+
+    obs::IssuePayload &p = ev.issue;
+    p.execMask = exec;
+    if (costs != nullptr) {
+        for (unsigned m = 0; m < compaction::kNumModes; ++m)
+            p.modeCycles[m] = costs->cycles[m];
+    } else {
+        // Fixed-cost kinds (send/control) cost the same under every
+        // mode, mirroring the EuStats accounting.
+        for (unsigned m = 0; m < compaction::kNumModes; ++m)
+            p.modeCycles[m] = static_cast<std::uint16_t>(occ);
+    }
+    p.occCycles = static_cast<std::uint16_t>(occ);
+    p.pipe = static_cast<std::uint8_t>(pk);
+    p.simdWidth = d.simdWidth;
+
+    // Stall attribution: the slot sat from waitBase to now. The
+    // scoreboard's share is how far past waitBase the slowest operand
+    // dependence pushed readiness; the rest is resume waits (dispatch
+    // latency, fences) and pipe/arbitration contention. The slot's
+    // scoreboard is untouched between updateSlotReady() and here (its
+    // own claims land below), so this recomputation sees exactly the
+    // state that gated issue.
+    const Cycle base = slot.waitBase;
+    const Cycle wait = now > base ? now - base : 0;
+    Cycle sb_ready = 0;
+    std::int16_t block = obs::kBlockNone;
+    const std::uint8_t *regs = depPool_ + d.depOff;
+    for (unsigned i = 0; i < d.depCount; ++i) {
+        const Cycle at = slot.sb.regReadyAt(regs[i]);
+        if (at > sb_ready) {
+            sb_ready = at;
+            block = regs[i];
+        }
+    }
+    for (unsigned f = 0; f < 2; ++f) {
+        if ((d.flagDepMask & (1u << f)) != 0) {
+            const Cycle at = slot.sb.flagReadyAt(f);
+            if (at > sb_ready) {
+                sb_ready = at;
+                block = obs::kBlockFlag;
+            }
+        }
+    }
+    Cycle wait_sb = sb_ready > base ? sb_ready - base : 0;
+    wait_sb = std::min(wait_sb, wait);
+    p.waitTotal = saturate16(wait);
+    p.waitSb = saturate16(wait_sb);
+    p.blockReg = wait_sb > 0 ? block : obs::kBlockNone;
+
+    sink_->emit(ev);
+}
+
+void
 EuCore::issueAlu(ThreadSlot &slot, const func::DecodedInstr &d,
-                 LaneMask exec, PipeKind pk, Cycle now)
+                 std::uint32_t ip, LaneMask exec, PipeKind pk, Cycle now)
 {
     const ExecShape shape{d.simdWidth, d.execBytes, exec};
 
@@ -265,6 +359,9 @@ EuCore::issueAlu(ThreadSlot &slot, const func::DecodedInstr &d,
         costs.cycles[static_cast<unsigned>(config_.mode)];
     if (config_.mode == Mode::Scc)
         stats_.sccSwizzledLanes += costs.sccSwizzledLanes;
+
+    if (sink_ != nullptr) [[unlikely]]
+        emitIssue(slot, d, ip, exec, pk, cycles, &costs, now);
 
     ExecPipe &pipe = pk == PipeKind::Em ? em_ : fpu_;
     pipe.occupy(now, cycles);
@@ -289,8 +386,22 @@ EuCore::issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
     for (unsigned m = 0; m < compaction::kNumModes; ++m)
         stats_.euCyclesByMode[m] += config_.sendCycles;
 
+    if (sink_ != nullptr) [[unlikely]]
+        emitIssue(slot, d, result.ip, result.execMask, PipeKind::Send,
+                  config_.sendCycles, nullptr, now);
+
     if (result.isBarrier) {
         slot.status = SlotStatus::WaitBarrier;
+        if (sink_ != nullptr) [[unlikely]] {
+            obs::Event ev;
+            ev.cycle = now;
+            ev.ip = result.ip;
+            ev.kind = obs::EventKind::BarrierArrive;
+            ev.eu = static_cast<std::uint8_t>(id_);
+            ev.slot = slotIndex(slot);
+            ev.thread = {slot.wgId, 0};
+            sink_->emit(ev);
+        }
         hooks_.onBarrierArrive(slot.wgId);
         return;
     }
@@ -306,20 +417,37 @@ EuCore::issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
 
     const Cycle entry = now + config_.sendIssueLatency;
     Cycle done;
-    if (isa::isSlmSend(d.sendOp)) {
+    unsigned lines = 1;
+    bool is_write = false;
+    const bool is_slm = isa::isSlmSend(d.sendOp);
+    if (is_slm) {
         done = mem_.accessSlm(result.mem, entry);
         ++stats_.slmMessages;
     } else {
         mem::coalesceLinesInto(result.mem, lineBuf_);
-        const bool is_write = d.sendOp == SendOp::ScatterStore ||
+        is_write = d.sendOp == SendOp::ScatterStore ||
             d.sendOp == SendOp::BlockStore;
         const mem::MemResult res =
             mem_.accessGlobal(lineBuf_, is_write, entry);
         done = res.completion;
+        lines = res.lines;
         stats_.memLines += res.lines;
     }
     ++stats_.memMessages;
     slot.lastMemDone = std::max(slot.lastMemDone, done);
+
+    if (sink_ != nullptr) [[unlikely]] {
+        obs::Event ev;
+        ev.cycle = now;
+        ev.ip = result.ip;
+        ev.kind = obs::EventKind::MemAccess;
+        ev.eu = static_cast<std::uint8_t>(id_);
+        ev.slot = slotIndex(slot);
+        ev.mem = {lines, static_cast<std::uint32_t>(done - now),
+                  static_cast<std::uint8_t>(is_write),
+                  static_cast<std::uint8_t>(is_slm)};
+        sink_->emit(ev);
+    }
 
     if (isa::isLoadSend(d.sendOp))
         slot.sb.claimDst(depPool_ + d.claimOff, d.claimCount,
@@ -342,10 +470,12 @@ EuCore::issue(ThreadSlot &slot, Cycle now)
     // slot.pipe was computed from the same ip the step just executed.
     switch (slot.pipe) {
       case PipeKind::Fpu:
-        issueAlu(slot, d, result.execMask, PipeKind::Fpu, now);
+        issueAlu(slot, d, result.ip, result.execMask, PipeKind::Fpu,
+                 now);
         break;
       case PipeKind::Em:
-        issueAlu(slot, d, result.execMask, PipeKind::Em, now);
+        issueAlu(slot, d, result.ip, result.execMask, PipeKind::Em,
+                 now);
         break;
       case PipeKind::Send:
         issueSend(slot, d, result, now);
@@ -354,10 +484,23 @@ EuCore::issue(ThreadSlot &slot, Cycle now)
         ++stats_.ctrlInstructions;
         for (unsigned m = 0; m < compaction::kNumModes; ++m)
             stats_.euCyclesByMode[m] += config_.ctrlCycles;
+        if (sink_ != nullptr) [[unlikely]]
+            emitIssue(slot, d, result.ip, result.execMask,
+                      PipeKind::Ctrl, config_.ctrlCycles, nullptr, now);
         if (result.isHalt) {
             slot.status = SlotStatus::Done;
             ++freeSlots_;
             ++stats_.threadsRetired;
+            if (sink_ != nullptr) [[unlikely]] {
+                obs::Event ev;
+                ev.cycle = now;
+                ev.ip = result.ip;
+                ev.kind = obs::EventKind::ThreadRetire;
+                ev.eu = static_cast<std::uint8_t>(id_);
+                ev.slot = slotIndex(slot);
+                ev.thread = {slot.wgId, 0};
+                sink_->emit(ev);
+            }
             hooks_.onThreadDone(slot.wgId);
         }
         break;
@@ -366,6 +509,8 @@ EuCore::issue(ThreadSlot &slot, Cycle now)
     // Slot state (ip, scoreboard, resumeAt) settled; refresh the cached
     // readiness the arbiter and the simulator's idle skip consult.
     updateSlotReady(slot);
+    if (sink_ != nullptr) [[unlikely]]
+        slot.waitBase = now + 1;
 }
 
 void

@@ -23,6 +23,11 @@
 #include "func/interp.hh"
 #include "mem/mem_system.hh"
 
+namespace iwc::obs
+{
+class EventSink;
+}
+
 namespace iwc::eu
 {
 
@@ -168,6 +173,13 @@ class EuCore
     /** True when no slot holds live work. */
     bool idle() const;
 
+    /**
+     * Attaches an event sink (null disables tracing, the default).
+     * Every instrumentation point is guarded by one null check, so a
+     * sink-less EU runs the exact pre-observability code path.
+     */
+    void setSink(obs::EventSink *sink) { sink_ = sink; }
+
     const EuStats &stats() const { return stats_; }
     const compaction::PlanCache &planCache() const { return planCache_; }
     const ExecPipe &fpu() const { return fpu_; }
@@ -204,16 +216,34 @@ class EuCore
          */
         Cycle readyAt = 0;
         PipeKind pipe = PipeKind::Ctrl;
+        /**
+         * Tracing only: earliest cycle the slot could have attempted
+         * its current instruction (previous issue + 1, dispatch
+         * readiness, or barrier release). The gap to the actual issue
+         * cycle is the stall the issue event reports. Maintained only
+         * while a sink is attached.
+         */
+        Cycle waitBase = 0;
     };
 
     bool canIssue(const ThreadSlot &slot, Cycle now) const;
     void updateSlotReady(ThreadSlot &slot);
     void issue(ThreadSlot &slot, Cycle now);
     void issueAlu(ThreadSlot &slot, const func::DecodedInstr &d,
-                  LaneMask exec, PipeKind pk, Cycle now);
+                  std::uint32_t ip, LaneMask exec, PipeKind pk,
+                  Cycle now);
     void issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
                    const func::StepResult &result, Cycle now);
     void writePayload(ThreadSlot &slot, const DispatchInfo &info);
+    /** Emits one InstrIssue event with stall attribution (sink_ set). */
+    void emitIssue(const ThreadSlot &slot, const func::DecodedInstr &d,
+                   std::uint32_t ip, LaneMask exec, PipeKind pk,
+                   unsigned occ, const compaction::PlanCosts *costs,
+                   Cycle now);
+    std::uint8_t slotIndex(const ThreadSlot &slot) const
+    {
+        return static_cast<std::uint8_t>(&slot - slots_.data());
+    }
 
     unsigned id_;
     EuConfig config_;
@@ -237,6 +267,8 @@ class EuCore
     std::vector<Addr> lineBuf_;
     /** Reused arbiter pick buffer (capacity numThreads). */
     std::vector<unsigned> pickBuf_;
+    /** Event sink; null (the default) disables all tracing work. */
+    obs::EventSink *sink_ = nullptr;
     /** See nextIssueAt(). */
     Cycle nextIssueAt_ = 0;
     /** Slots in Idle/Done state, tracked so dispatch checks are O(1). */

@@ -62,6 +62,15 @@ class Scoreboard
         return ready;
     }
 
+    /**
+     * Ready cycle of one GRF register / flag register — the raw state
+     * behind readyCycle(), exposed so the observability layer can
+     * attribute a stall to the specific register that gated issue
+     * longest (see obs/event.hh IssuePayload::blockReg).
+     */
+    Cycle regReadyAt(unsigned reg) const { return regReadyAt_[reg]; }
+    Cycle flagReadyAt(unsigned flag) const { return flagReadyAt_[flag]; }
+
     /** claimDst over a predecoded register list (claim_flag < 0: none). */
     void
     claimDst(const std::uint8_t *regs, unsigned count, int claim_flag,

@@ -4,15 +4,17 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "obs/sink.hh"
 
 namespace iwc::gpu
 {
 
 Dispatcher::Dispatcher(const isa::Kernel &kernel,
                        std::uint64_t global_size, unsigned local_size,
-                       const std::vector<std::uint32_t> &arg_words)
-    : kernel_(kernel), globalSize_(global_size), localSize_(local_size),
-      argWords_(arg_words)
+                       const std::vector<std::uint32_t> &arg_words,
+                       obs::EventSink *sink)
+    : kernel_(kernel), sink_(sink), globalSize_(global_size),
+      localSize_(local_size), argWords_(arg_words)
 {
     fatal_if(global_size == 0, "empty NDRange");
     fatal_if(local_size == 0, "zero workgroup size");
@@ -94,6 +96,14 @@ Dispatcher::tryDispatch(
             info.subgroupsPerGroup = subgroupsPerGroup_;
             info.readyAt = now + dispatch_latency;
             target->dispatch(info);
+        }
+        if (sink_ != nullptr) [[unlikely]] {
+            obs::Event ev;
+            ev.cycle = now;
+            ev.kind = obs::EventKind::WgDispatch;
+            ev.eu = obs::kGlobalEu;
+            ev.wg = {static_cast<std::int32_t>(wg), threads};
+            sink_->emit(ev);
         }
         ++nextWg_;
     }

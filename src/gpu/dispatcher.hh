@@ -15,6 +15,11 @@
 #include "func/memory.hh"
 #include "isa/kernel.hh"
 
+namespace iwc::obs
+{
+class EventSink;
+}
+
 namespace iwc::gpu
 {
 
@@ -22,9 +27,11 @@ namespace iwc::gpu
 class Dispatcher
 {
   public:
+    /** @param sink optional observability sink (WgDispatch events). */
     Dispatcher(const isa::Kernel &kernel, std::uint64_t global_size,
                unsigned local_size,
-               const std::vector<std::uint32_t> &arg_words);
+               const std::vector<std::uint32_t> &arg_words,
+               obs::EventSink *sink = nullptr);
 
     /**
      * Places as many whole pending workgroups as the free thread
@@ -74,6 +81,7 @@ class Dispatcher
     unsigned wgWorkItems(unsigned wg) const;
 
     const isa::Kernel &kernel_;
+    obs::EventSink *sink_ = nullptr;
     std::uint64_t globalSize_;
     unsigned localSize_;
     std::vector<std::uint32_t> argWords_;

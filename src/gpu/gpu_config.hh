@@ -13,6 +13,11 @@
 #include "eu/eu_core.hh"
 #include "mem/mem_system.hh"
 
+namespace iwc::obs
+{
+class EventSink;
+}
+
 namespace iwc::gpu
 {
 
@@ -24,6 +29,16 @@ struct GpuConfig
     mem::MemConfig mem;
     Cycle dispatchLatency = 26; ///< thread-spawn to first-issue latency
     Cycle maxCycles = 1ull << 33; ///< runaway-simulation guard
+
+    /**
+     * Observability sink wired into every EU, the dispatcher, and the
+     * simulator top level (see src/obs). Null — the default — turns
+     * tracing off entirely: no events are built, and the timing model
+     * runs the exact pre-observability code path. The sink is not
+     * owned and must outlive every launch; runs executing concurrently
+     * (SweepRunner jobs) must not share one sink.
+     */
+    obs::EventSink *sink = nullptr;
 };
 
 /** Table 3 configuration (Ivy Bridge-like, DC1 memory subsystem). */

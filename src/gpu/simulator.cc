@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/sink.hh"
 
 namespace iwc::gpu
 {
@@ -41,6 +42,13 @@ LaunchStats::writeTo(stats::Group &group) const
     group.setScalar("dc_lines", static_cast<double>(dcLines));
     group.setScalar("dc_throughput", dcThroughput());
     group.setScalar("slm_accesses", static_cast<double>(slmAccesses));
+    group.setScalar("plan_cache_hits",
+                    static_cast<double>(planCacheHits));
+    group.setScalar("plan_cache_misses",
+                    static_cast<double>(planCacheMisses));
+    group.setScalar("idle_cycles_skipped",
+                    static_cast<double>(idleCyclesSkipped));
+    group.setScalar("idle_skips", static_cast<double>(idleSkips));
     group.setScalar("mem_messages",
                     static_cast<double>(eu.memMessages));
     group.setScalar("mem_lines", static_cast<double>(eu.memLines));
@@ -56,6 +64,7 @@ Simulator::Simulator(const GpuConfig &config, func::GlobalMemory &gmem)
     for (unsigned i = 0; i < config.numEus; ++i) {
         eus_.push_back(std::make_unique<eu::EuCore>(i, config.eu, *mem_,
                                                     *this));
+        eus_.back()->setSink(config.sink);
     }
 }
 
@@ -76,12 +85,15 @@ Simulator::run(const isa::Kernel &kernel, std::uint64_t global_size,
                unsigned local_size,
                const std::vector<std::uint32_t> &arg_words)
 {
-    Dispatcher dispatcher(kernel, global_size, local_size, arg_words);
+    Dispatcher dispatcher(kernel, global_size, local_size, arg_words,
+                          config_.sink);
     dispatcher_ = &dispatcher;
 
     for (auto &eu : eus_)
         eu->bindKernel(kernel, gmem_);
 
+    std::uint64_t idle_cycles_skipped = 0;
+    std::uint64_t idle_skips = 0;
     Cycle cycle = 0;
     while (true) {
         dispatcher.tryDispatch(eus_, cycle, config_.dispatchLatency);
@@ -121,6 +133,18 @@ Simulator::run(const isa::Kernel &kernel, std::uint64_t global_size,
             else
                 next = std::max(best, cycle + 1);
         }
+        if (next > cycle + 1) {
+            idle_cycles_skipped += next - (cycle + 1);
+            ++idle_skips;
+            if (config_.sink != nullptr) [[unlikely]] {
+                obs::Event ev;
+                ev.cycle = cycle + 1; // first cycle jumped over
+                ev.kind = obs::EventKind::IdleSkip;
+                ev.eu = obs::kGlobalEu;
+                ev.skip = {next};
+                config_.sink->emit(ev);
+            }
+        }
         cycle = next;
         fatal_if(cycle >= config_.maxCycles,
                  "kernel %s exceeded the %llu-cycle guard (deadlock?)",
@@ -131,10 +155,14 @@ Simulator::run(const isa::Kernel &kernel, std::uint64_t global_size,
 
     LaunchStats stats;
     stats.totalCycles = cycle + 1;
+    stats.idleCyclesSkipped = idle_cycles_skipped;
+    stats.idleSkips = idle_skips;
     for (const auto &eu : eus_) {
         stats.eu.merge(eu->stats());
         stats.fpuBusyCycles += eu->fpu().busyCycles();
         stats.emBusyCycles += eu->em().busyCycles();
+        stats.planCacheHits += eu->planCache().hits();
+        stats.planCacheMisses += eu->planCache().misses();
     }
     stats.l3Hits = mem_->l3().hits();
     stats.l3Misses = mem_->l3().misses();

@@ -39,6 +39,14 @@ struct LaunchStats
     std::uint64_t slmAccesses = 0;
     double avgLinesPerMessage = 0;
 
+    /** Cycle-plan memoization effectiveness, merged across EUs. */
+    std::uint64_t planCacheHits = 0;
+    std::uint64_t planCacheMisses = 0;
+    /** Dead cycles the simulator's next-event skip jumped over. */
+    std::uint64_t idleCyclesSkipped = 0;
+    /** Number of idle-skip jumps taken. */
+    std::uint64_t idleSkips = 0;
+
     unsigned workgroups = 0;
     std::uint64_t threads = 0;
 

@@ -1,0 +1,274 @@
+#include "obs/chrome_trace.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "common/logging.hh"
+#include "eu/pipes.hh"
+#include "isa/disasm.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::obs
+{
+
+namespace
+{
+
+/** Synthetic pid for whole-GPU events (kGlobalEu). */
+constexpr unsigned kSimPid = 255;
+/** Memory-transaction tracks sit at tid = slot + this offset. */
+constexpr unsigned kMemTidBase = 64;
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+sliceName(const Event &e, const isa::Kernel *kernel)
+{
+    if (kernel != nullptr && e.ip < kernel->size())
+        return jsonEscape(isa::instrToString(kernel->instructions()[e.ip]));
+    char buf[48];
+    const char *pipe = "ctrl";
+    switch (static_cast<eu::PipeKind>(e.issue.pipe)) {
+      case eu::PipeKind::Fpu:
+        pipe = "fpu";
+        break;
+      case eu::PipeKind::Em:
+        pipe = "em";
+        break;
+      case eu::PipeKind::Send:
+        pipe = "send";
+        break;
+      case eu::PipeKind::Ctrl:
+        pipe = "ctrl";
+        break;
+    }
+    std::snprintf(buf, sizeof(buf), "ip %u (%s)", e.ip, pipe);
+    return buf;
+}
+
+/** Emits one complete ("X") slice. */
+void
+slice(std::ostream &os, bool &first, const std::string &name,
+      unsigned pid, unsigned tid, Cycle ts, std::uint64_t dur,
+      const std::string &args)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"", first ? "" : ",\n");
+    os << buf << name << "\",\"ph\":\"X\",\"ts\":" << ts
+       << ",\"dur\":" << dur << ",\"pid\":" << pid << ",\"tid\":" << tid;
+    if (!args.empty())
+        os << ",\"args\":{" << args << "}";
+    os << "}";
+    first = false;
+}
+
+/** Emits one instant ("i") marker. */
+void
+instant(std::ostream &os, bool &first, const std::string &name,
+        unsigned pid, unsigned tid, Cycle ts, const std::string &args)
+{
+    os << (first ? "" : ",\n") << "{\"name\":\"" << name
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts
+       << ",\"pid\":" << pid << ",\"tid\":" << tid;
+    if (!args.empty())
+        os << ",\"args\":{" << args << "}";
+    os << "}";
+    first = false;
+}
+
+/** Emits one metadata ("M") record naming a process or thread. */
+void
+metadata(std::ostream &os, bool &first, const char *what, unsigned pid,
+         int tid, const std::string &name)
+{
+    os << (first ? "" : ",\n") << "{\"name\":\"" << what
+       << "\",\"ph\":\"M\",\"pid\":" << pid;
+    if (tid >= 0)
+        os << ",\"tid\":" << tid;
+    os << ",\"args\":{\"name\":\"" << name << "\"}}";
+    first = false;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<Event> &events,
+                 const ChromeTraceOptions &options)
+{
+    os << "{\n\"traceEvents\": [\n";
+    bool first = true;
+
+    // Name every (pid, tid) pair that will appear, so Perfetto shows
+    // "EU0 / slot2" instead of raw ids.
+    std::set<std::pair<unsigned, unsigned>> tracks;
+    bool sim_track = false;
+    for (const Event &e : events) {
+        if (e.eu == kGlobalEu) {
+            sim_track = true;
+            continue;
+        }
+        tracks.emplace(e.eu, e.slot);
+        if (options.mem && e.kind == EventKind::MemAccess)
+            tracks.emplace(e.eu, e.slot + kMemTidBase);
+    }
+    std::set<unsigned> pids;
+    for (const auto &[pid, tid] : tracks)
+        pids.insert(pid);
+    for (const unsigned pid : pids)
+        metadata(os, first, "process_name", pid, -1,
+                 "EU" + std::to_string(pid));
+    for (const auto &[pid, tid] : tracks) {
+        const std::string name = tid >= kMemTidBase
+            ? "slot" + std::to_string(tid - kMemTidBase) + ".mem"
+            : "slot" + std::to_string(tid);
+        metadata(os, first, "thread_name", pid, static_cast<int>(tid),
+                 name);
+    }
+    if (sim_track) {
+        metadata(os, first, "process_name", kSimPid, -1, "simulator");
+        metadata(os, first, "thread_name", kSimPid, 0, "scheduler");
+    }
+
+    char args[192];
+    for (const Event &e : events) {
+        switch (e.kind) {
+          case EventKind::InstrIssue: {
+            const IssuePayload &p = e.issue;
+            if (options.stalls && p.waitTotal > 0) {
+                const bool sb = p.waitSb > 0;
+                std::string name = "wait:other";
+                if (sb) {
+                    name = p.blockReg == kBlockFlag
+                        ? "wait:sb(flag)"
+                        : "wait:sb(r" + std::to_string(p.blockReg) + ")";
+                }
+                std::snprintf(args, sizeof(args),
+                              "\"wait_sb\":%u,\"wait_total\":%u",
+                              p.waitSb, p.waitTotal);
+                slice(os, first, name, e.eu, e.slot,
+                      e.cycle - p.waitTotal, p.waitTotal, args);
+            }
+            using compaction::Mode;
+            const unsigned ivb =
+                p.modeCycles[static_cast<unsigned>(Mode::IvbOpt)];
+            const unsigned bcc =
+                p.modeCycles[static_cast<unsigned>(Mode::Bcc)];
+            const unsigned scc =
+                p.modeCycles[static_cast<unsigned>(Mode::Scc)];
+            std::snprintf(
+                args, sizeof(args),
+                "\"ip\":%u,\"mask\":\"0x%x\",\"lanes\":%d,"
+                "\"saved_bcc\":%d,\"saved_scc\":%d",
+                e.ip, p.execMask,
+                std::popcount(static_cast<std::uint32_t>(p.execMask)),
+                static_cast<int>(ivb) - static_cast<int>(bcc),
+                static_cast<int>(ivb) - static_cast<int>(scc));
+            // Zero-cycle issues (a fully-skipped BCC group) still get
+            // a minimal slice so they are visible in the viewer.
+            slice(os, first, sliceName(e, options.kernel), e.eu, e.slot,
+                  e.cycle, std::max<unsigned>(p.occCycles, 1), args);
+            break;
+          }
+          case EventKind::MemAccess:
+            if (options.mem) {
+                const MemPayload &p = e.mem;
+                std::snprintf(args, sizeof(args),
+                              "\"ip\":%u,\"lines\":%u,\"latency\":%u",
+                              e.ip, p.lines, p.latency);
+                slice(os, first,
+                      p.isSlm ? "slm" : (p.isWrite ? "store" : "load"),
+                      e.eu, e.slot + kMemTidBase, e.cycle, p.latency,
+                      args);
+            }
+            break;
+          case EventKind::Dispatch:
+            if (options.instants) {
+                std::snprintf(args, sizeof(args),
+                              "\"wg\":%d,\"subgroup\":%u", e.thread.wgId,
+                              e.thread.subgroup);
+                instant(os, first, "dispatch", e.eu, e.slot, e.cycle,
+                        args);
+            }
+            break;
+          case EventKind::BarrierArrive:
+          case EventKind::BarrierRelease:
+          case EventKind::ThreadRetire:
+            if (options.instants) {
+                std::snprintf(args, sizeof(args), "\"wg\":%d",
+                              e.thread.wgId);
+                instant(os, first, eventKindName(e.kind), e.eu, e.slot,
+                        e.cycle, args);
+            }
+            break;
+          case EventKind::WgDispatch:
+            if (options.instants) {
+                std::snprintf(args, sizeof(args),
+                              "\"wg\":%d,\"threads\":%u", e.wg.wgId,
+                              e.wg.threads);
+                instant(os, first, "wg_dispatch", kSimPid, 0, e.cycle,
+                        args);
+            }
+            break;
+          case EventKind::IdleSkip: {
+            std::snprintf(args, sizeof(args), "\"cycles\":%" PRIu64,
+                          e.skip.resumeCycle - e.cycle);
+            slice(os, first, "idle-skip", kSimPid, 0, e.cycle,
+                  e.skip.resumeCycle - e.cycle, args);
+            break;
+          }
+        }
+    }
+
+    os << "\n],\n\"displayTimeUnit\": \"ms\",\n"
+       << "\"otherData\": {\"tool\": \"iwc obs\", "
+       << "\"time_unit\": \"1 us = 1 simulated cycle\"}\n}\n";
+}
+
+void
+writeChromeTraceFile(const std::string &path,
+                     const std::vector<Event> &events,
+                     const ChromeTraceOptions &options)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot open %s for writing", path.c_str());
+    writeChromeTrace(os, events, options);
+}
+
+} // namespace iwc::obs

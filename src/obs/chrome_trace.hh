@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Chrome Trace Format (JSON) exporter, loadable in Perfetto or
+ * chrome://tracing. Each EU becomes one process, each EU thread slot
+ * one thread track; instruction issues and their preceding stalls are
+ * complete ("X") slices, memory transactions get per-slot side tracks,
+ * and dispatch/barrier/retire markers are instant events. Whole-GPU
+ * events (workgroup dispatch, idle skips) land on a synthetic
+ * "simulator" process. Timestamps are simulated cycles rendered as
+ * microseconds (1 cycle = 1 us), the usual convention for simulator
+ * traces.
+ */
+
+#ifndef IWC_OBS_CHROME_TRACE_HH
+#define IWC_OBS_CHROME_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace iwc::isa
+{
+class Kernel;
+}
+
+namespace iwc::obs
+{
+
+/** Exporter knobs. */
+struct ChromeTraceOptions
+{
+    /** When set, slices are named by disassembly instead of "ip N". */
+    const isa::Kernel *kernel = nullptr;
+    /** Emit dispatch/barrier/retire instant markers. */
+    bool instants = true;
+    /** Emit wait:sb / wait:other slices preceding stalled issues. */
+    bool stalls = true;
+    /** Emit memory-transaction slices on per-slot "mem" tracks. */
+    bool mem = true;
+};
+
+/** Writes @p events (see RingBufferSink::collect) as trace JSON. */
+void writeChromeTrace(std::ostream &os, const std::vector<Event> &events,
+                      const ChromeTraceOptions &options = {});
+
+/** As writeChromeTrace, to a file (fatal on open failure). */
+void writeChromeTraceFile(const std::string &path,
+                          const std::vector<Event> &events,
+                          const ChromeTraceOptions &options = {});
+
+} // namespace iwc::obs
+
+#endif // IWC_OBS_CHROME_TRACE_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Structured simulation events: the vocabulary of the observability
+ * subsystem. Every instrumentation point in the timing stack (EU issue,
+ * scoreboard stalls, dispatch, barriers, memory transactions, the
+ * simulator's idle-cycle skips) emits one fixed-size POD Event into an
+ * EventSink (see sink.hh). Events are deliberately small and flat —
+ * one 48-byte record per dynamic instruction keeps multi-million-cycle
+ * captures cheap — and carry everything the exporters (chrome_trace.hh,
+ * profile.hh) need without re-running the simulation.
+ */
+
+#ifndef IWC_OBS_EVENT_HH
+#define IWC_OBS_EVENT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "compaction/cycle_plan.hh"
+
+namespace iwc::obs
+{
+
+/** What happened. Determines which Event payload member is valid. */
+enum class EventKind : std::uint8_t
+{
+    /**
+     * One instruction issued on an EU thread slot. Carries the final
+     * execution mask, the per-mode cycle plan (planned cycles under
+     * Baseline/IvbOpt/Bcc/Scc regardless of the configured mode, so
+     * "cycles skipped by BCC/SCC/IVB" is derivable per instruction),
+     * the cycles actually occupied, and the stall attribution for the
+     * wait that preceded the issue.
+     */
+    InstrIssue,
+    /** One memory message left an EU (global or SLM). */
+    MemAccess,
+    /** A subgroup was placed on an EU thread slot. */
+    Dispatch,
+    /** A thread arrived at its workgroup barrier (slot blocks). */
+    BarrierArrive,
+    /** A thread's barrier released (slot resumes next cycle). */
+    BarrierRelease,
+    /** A thread executed Halt and retired from its slot. */
+    ThreadRetire,
+    /** The dispatcher started a whole workgroup. */
+    WgDispatch,
+    /** The simulator jumped over provably-dead cycles. */
+    IdleSkip,
+};
+
+const char *eventKindName(EventKind kind);
+
+/** Event::blockReg value meaning "the flag register, not a GRF". */
+constexpr std::int16_t kBlockFlag = -2;
+/** Event::blockReg value meaning "no scoreboard stall". */
+constexpr std::int16_t kBlockNone = -1;
+
+/** Payload of EventKind::InstrIssue. */
+struct IssuePayload
+{
+    LaneMask execMask;   ///< final execution mask
+    /** Planned EU cycles under every compaction mode (Baseline, IvbOpt,
+     *  Bcc, Scc — indexed by compaction::Mode). */
+    std::uint16_t modeCycles[compaction::kNumModes];
+    std::uint16_t occCycles; ///< cycles occupied under the active mode
+    /** Cycles the slot sat unable to issue before this instruction
+     *  (since its previous issue / dispatch / barrier release),
+     *  saturated at 0xffff. */
+    std::uint16_t waitTotal;
+    /** Portion of waitTotal gated by the scoreboard (RAW/WAW). */
+    std::uint16_t waitSb;
+    /** GRF register that gated issue longest (scoreboard attribution);
+     *  kBlockFlag for a flag register, kBlockNone when waitSb == 0. */
+    std::int16_t blockReg;
+    std::uint8_t pipe; ///< eu::PipeKind the instruction went to
+    std::uint8_t simdWidth;
+};
+
+/** Payload of EventKind::MemAccess. */
+struct MemPayload
+{
+    std::uint32_t lines;   ///< distinct cache lines (1 per SLM message)
+    std::uint32_t latency; ///< issue-to-completion cycles
+    std::uint8_t isWrite;
+    std::uint8_t isSlm;
+};
+
+/** Payload of EventKind::Dispatch / BarrierArrive / BarrierRelease /
+ *  ThreadRetire. */
+struct ThreadPayload
+{
+    std::int32_t wgId;
+    std::uint32_t subgroup; ///< Dispatch only; 0 elsewhere
+};
+
+/** Payload of EventKind::WgDispatch. */
+struct WgPayload
+{
+    std::int32_t wgId;
+    std::uint32_t threads; ///< EU threads the workgroup occupies
+};
+
+/** Payload of EventKind::IdleSkip (cycle = jump origin). */
+struct SkipPayload
+{
+    Cycle resumeCycle; ///< first simulated cycle after the jump
+};
+
+/** EU id used for whole-GPU events (WgDispatch, IdleSkip). */
+constexpr std::uint8_t kGlobalEu = 0xff;
+
+/** One simulation event. See the payload structs for field meaning. */
+struct Event
+{
+    Cycle cycle = 0;      ///< when it happened (simulated cycles)
+    std::uint32_t ip = 0; ///< static instruction index (issue/mem/retire)
+    EventKind kind = EventKind::InstrIssue;
+    std::uint8_t eu = 0;   ///< EU id, or kGlobalEu
+    std::uint8_t slot = 0; ///< EU thread slot
+    union {
+        IssuePayload issue;
+        MemPayload mem;
+        ThreadPayload thread;
+        WgPayload wg;
+        SkipPayload skip;
+    };
+
+    Event() : issue{} {}
+};
+
+static_assert(sizeof(Event) <= 48, "events are meant to stay compact");
+
+} // namespace iwc::obs
+
+#endif // IWC_OBS_EVENT_HH

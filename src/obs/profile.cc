@@ -1,0 +1,275 @@
+#include "obs/profile.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "isa/disasm.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::obs
+{
+
+namespace
+{
+
+/** Counter deltas applied when a sweep reaches a given cycle. */
+struct Deltas
+{
+    int busy = 0;    ///< pipes executing an instruction
+    int live = 0;    ///< dispatched, not-yet-retired slots
+    int barrier = 0; ///< live slots blocked at a barrier
+};
+
+} // namespace
+
+std::vector<EuOccupancy>
+computeOccupancy(const std::vector<Event> &events, Cycle total_cycles,
+                 unsigned num_eus)
+{
+    std::vector<EuOccupancy> occ(num_eus);
+    // Per-EU edge lists for the interval sweep. Intervals:
+    //  - busy:    [issue, issue + occCycles)
+    //  - live:    [dispatch readyAt, retire + 1) — the retiring Halt
+    //             still issues on its cycle
+    //  - barrier: [arrive + 1, release + 1) — the barrier instruction
+    //             itself issues on the arrival cycle
+    std::vector<std::map<Cycle, Deltas>> edges(num_eus);
+    for (const Event &e : events) {
+        if (e.eu >= num_eus)
+            continue; // whole-GPU events carry no EU occupancy
+        EuOccupancy &o = occ[e.eu];
+        std::map<Cycle, Deltas> &ed = edges[e.eu];
+        switch (e.kind) {
+          case EventKind::InstrIssue: {
+            const IssuePayload &p = e.issue;
+            ++o.instructions;
+            o.waitSb += p.waitSb;
+            o.waitOther += p.waitTotal - p.waitSb;
+            if (p.occCycles > 0) {
+                ++ed[e.cycle].busy;
+                --ed[e.cycle + p.occCycles].busy;
+            }
+            break;
+          }
+          case EventKind::MemAccess:
+            ++o.memMessages;
+            break;
+          case EventKind::Dispatch:
+            ++ed[e.cycle].live;
+            break;
+          case EventKind::ThreadRetire:
+            --ed[e.cycle + 1].live;
+            break;
+          case EventKind::BarrierArrive:
+            ++ed[e.cycle + 1].barrier;
+            break;
+          case EventKind::BarrierRelease:
+            --ed[e.cycle + 1].barrier;
+            break;
+          case EventKind::WgDispatch:
+          case EventKind::IdleSkip:
+            break;
+        }
+    }
+
+    for (unsigned i = 0; i < num_eus; ++i) {
+        EuOccupancy &o = occ[i];
+        Cycle prev = 0;
+        int busy = 0, live = 0, barrier = 0;
+        auto classify = [&](Cycle until) {
+            const Cycle end = std::min(until, total_cycles);
+            if (end <= prev)
+                return;
+            const std::uint64_t span = end - prev;
+            if (busy > 0)
+                o.busy += span;
+            else if (live <= 0)
+                o.idle += span;
+            else if (barrier >= live)
+                o.barrier += span;
+            else
+                o.stall += span;
+        };
+        for (const auto &[cycle, d] : edges[i]) {
+            classify(cycle);
+            prev = std::min(cycle, total_cycles);
+            busy += d.busy;
+            live += d.live;
+            barrier += d.barrier;
+        }
+        classify(total_cycles);
+    }
+    return occ;
+}
+
+void
+writeOccupancyCsv(std::ostream &os,
+                  const std::vector<EuOccupancy> &occupancy,
+                  Cycle total_cycles, const RunCounters &counters)
+{
+    os << "eu,total_cycles,busy_cycles,stall_cycles,"
+          "stall_barrier_cycles,idle_cycles,busy_pct,"
+          "wait_sb_slot_cycles,wait_other_slot_cycles,"
+          "instructions,mem_messages,"
+          "plan_cache_hits,plan_cache_misses,"
+          "idle_cycles_skipped,idle_skips\n";
+    char buf[256];
+    EuOccupancy sum;
+    auto row = [&](const std::string &label, const EuOccupancy &o,
+                   std::uint64_t total, const RunCounters &c) {
+        const double pct = total != 0
+            ? 100.0 * static_cast<double>(o.busy) / total
+            : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "%s,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      ",%" PRIu64 ",%.2f,%" PRIu64 ",%" PRIu64
+                      ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      ",%" PRIu64 ",%" PRIu64 "\n",
+                      label.c_str(), total,
+                      o.busy, o.stall + o.barrier, o.barrier, o.idle, pct,
+                      o.waitSb, o.waitOther, o.instructions, o.memMessages,
+                      c.planCacheHits, c.planCacheMisses,
+                      c.idleCyclesSkipped, c.idleSkips);
+        os << buf;
+    };
+    for (std::size_t i = 0; i < occupancy.size(); ++i) {
+        const EuOccupancy &o = occupancy[i];
+        // Per-EU rows leave the run-level counter columns at zero.
+        row("eu" + std::to_string(i), o, total_cycles, RunCounters{});
+        sum.busy += o.busy;
+        sum.stall += o.stall;
+        sum.barrier += o.barrier;
+        sum.idle += o.idle;
+        sum.waitSb += o.waitSb;
+        sum.waitOther += o.waitOther;
+        sum.instructions += o.instructions;
+        sum.memMessages += o.memMessages;
+    }
+    // The total row keeps the identity busy + stall + idle == total by
+    // reporting EU-cycles (num_eus * total_cycles) as its total.
+    row("total", sum, total_cycles * occupancy.size(), counters);
+}
+
+std::vector<IpProfile>
+computeHotspots(const std::vector<Event> &events)
+{
+    std::map<std::uint32_t, IpProfile> by_ip;
+    for (const Event &e : events) {
+        if (e.kind != EventKind::InstrIssue)
+            continue;
+        const IssuePayload &p = e.issue;
+        IpProfile &prof = by_ip[e.ip];
+        prof.ip = e.ip;
+        prof.simdWidth = p.simdWidth;
+        ++prof.count;
+        const unsigned lanes = static_cast<unsigned>(
+            std::popcount(static_cast<std::uint32_t>(p.execMask)));
+        prof.sumLanes += lanes;
+        prof.laneHist[std::min<unsigned>(lanes, kMaxSimdWidth)]++;
+        for (unsigned m = 0; m < compaction::kNumModes; ++m)
+            prof.cyclesByMode[m] += p.modeCycles[m];
+    }
+    std::vector<IpProfile> out;
+    out.reserve(by_ip.size());
+    for (auto &[ip, prof] : by_ip)
+        out.push_back(prof);
+    return out;
+}
+
+namespace
+{
+
+std::string
+laneHistString(const IpProfile &p)
+{
+    std::string out;
+    char buf[48];
+    for (unsigned lanes = 0; lanes <= kMaxSimdWidth; ++lanes) {
+        if (p.laneHist[lanes] == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "%s%u:%" PRIu64,
+                      out.empty() ? "" : " ", lanes, p.laneHist[lanes]);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeHotspotReport(std::ostream &os,
+                   const std::vector<IpProfile> &profiles,
+                   const isa::Kernel *kernel, std::size_t top_n)
+{
+    using compaction::Mode;
+    std::vector<IpProfile> ranked = profiles;
+    auto saved = [](const IpProfile &p, Mode m) {
+        return static_cast<std::int64_t>(p.cycles(Mode::IvbOpt))
+            - static_cast<std::int64_t>(p.cycles(m));
+    };
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&](const IpProfile &a, const IpProfile &b) {
+                         const std::int64_t sa = saved(a, Mode::Scc);
+                         const std::int64_t sb = saved(b, Mode::Scc);
+                         if (sa != sb)
+                             return sa > sb;
+                         return a.cycles(Mode::IvbOpt)
+                             > b.cycles(Mode::IvbOpt);
+                     });
+    if (top_n != 0 && ranked.size() > top_n)
+        ranked.resize(top_n);
+
+    IpProfile total;
+    for (const IpProfile &p : profiles) {
+        total.count += p.count;
+        total.sumLanes += p.sumLanes;
+        for (unsigned m = 0; m < compaction::kNumModes; ++m)
+            total.cyclesByMode[m] += p.cyclesByMode[m];
+    }
+
+    os << "divergence hotspots (ranked by EU cycles SCC saves vs "
+          "IvbOpt)\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "total: %" PRIu64 " instructions, EU cycles "
+                  "base=%" PRIu64 " ivb=%" PRIu64 " bcc=%" PRIu64
+                  " scc=%" PRIu64 " (bcc saves %" PRId64
+                  ", scc saves %" PRId64 ")\n\n",
+                  total.count, total.cycles(Mode::Baseline),
+                  total.cycles(Mode::IvbOpt), total.cycles(Mode::Bcc),
+                  total.cycles(Mode::Scc), saved(total, Mode::Bcc),
+                  saved(total, Mode::Scc));
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "%6s %10s %8s %10s %10s %10s %10s %10s %10s  %s\n",
+                  "ip", "execs", "avg_occ", "cyc_base", "cyc_ivb",
+                  "cyc_bcc", "cyc_scc", "saved_bcc", "saved_scc",
+                  "instruction / lane histogram");
+    os << buf;
+    for (const IpProfile &p : ranked) {
+        const double avg_occ = p.count != 0 && p.simdWidth != 0
+            ? static_cast<double>(p.sumLanes)
+                / (static_cast<double>(p.count) * p.simdWidth)
+            : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "%6u %10" PRIu64 " %7.1f%% %10" PRIu64
+                      " %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                      " %10" PRId64 " %10" PRId64 "  ",
+                      p.ip, p.count, 100.0 * avg_occ,
+                      p.cycles(Mode::Baseline), p.cycles(Mode::IvbOpt),
+                      p.cycles(Mode::Bcc), p.cycles(Mode::Scc),
+                      saved(p, Mode::Bcc), saved(p, Mode::Scc));
+        os << buf;
+        if (kernel != nullptr && p.ip < kernel->size())
+            os << isa::instrToString(kernel->instructions()[p.ip]);
+        else
+            os << "ip " << p.ip;
+        os << "  [" << laneHistString(p) << "]\n";
+    }
+}
+
+} // namespace iwc::obs

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Profile reductions over an event stream: per-EU occupancy / stall
+ * breakdown and the per-instruction-pointer divergence hotspot report
+ * — the numbers a kernel author reads to decide whether BCC/SCC pays
+ * for a given kernel and where its cycles actually go.
+ *
+ * Occupancy classifies every simulated cycle of every EU into exactly
+ * one of busy / stall / barrier / idle (priority in that order when
+ * states overlap across slots), so busy + stall + barrier + idle ==
+ * totalCycles per EU by construction. The classification is derived
+ * from the event stream by an interval sweep, not by re-simulating:
+ *  - busy:    some pipe on the EU is executing an instruction,
+ *  - stall:   no pipe busy, but a live slot is blocked (scoreboard,
+ *             memory, fence, pipe contention),
+ *  - barrier: every live slot is waiting at a workgroup barrier,
+ *  - idle:    no live slots (before dispatch / after drain; the
+ *             dispatch-latency ramp counts as idle).
+ * Exact results require a capture with no ring-buffer drops.
+ */
+
+#ifndef IWC_OBS_PROFILE_HH
+#define IWC_OBS_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace iwc::isa
+{
+class Kernel;
+}
+
+namespace iwc::obs
+{
+
+/** Cycle breakdown of one EU; see file comment for the taxonomy. */
+struct EuOccupancy
+{
+    std::uint64_t busy = 0;
+    std::uint64_t stall = 0;
+    std::uint64_t barrier = 0;
+    std::uint64_t idle = 0;
+
+    /** Slot-weighted stall attribution (sums slot-cycles, so one EU
+     *  cycle with three waiting slots counts three; complements the
+     *  exclusive per-EU classification above). */
+    std::uint64_t waitSb = 0;
+    std::uint64_t waitOther = 0;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t memMessages = 0;
+
+    std::uint64_t total() const { return busy + stall + barrier + idle; }
+};
+
+/** Per-EU occupancy from an event stream (see RingBufferSink::collect). */
+std::vector<EuOccupancy> computeOccupancy(const std::vector<Event> &events,
+                                          Cycle total_cycles,
+                                          unsigned num_eus);
+
+/** Run-level counters folded into the CSV's total row. */
+struct RunCounters
+{
+    std::uint64_t planCacheHits = 0;
+    std::uint64_t planCacheMisses = 0;
+    std::uint64_t idleCyclesSkipped = 0;
+    std::uint64_t idleSkips = 0;
+};
+
+/**
+ * Writes the occupancy breakdown as CSV: one row per EU plus a total
+ * row carrying the run-level counters. The stall_cycles column folds
+ * barrier waits in (broken out in stall_barrier_cycles), so per row
+ * busy + stall + idle == total simulated cycles.
+ */
+void writeOccupancyCsv(std::ostream &os,
+                       const std::vector<EuOccupancy> &occupancy,
+                       Cycle total_cycles,
+                       const RunCounters &counters = {});
+
+/** Aggregated issue profile of one static instruction. */
+struct IpProfile
+{
+    std::uint32_t ip = 0;
+    unsigned simdWidth = 16;
+    std::uint64_t count = 0;    ///< dynamic executions
+    std::uint64_t sumLanes = 0; ///< enabled lanes summed over executions
+    /** EU cycles this ip would cost under each compaction mode. */
+    std::array<std::uint64_t, compaction::kNumModes> cyclesByMode{};
+    /** Execution-mask histogram keyed by enabled-lane count. */
+    std::array<std::uint64_t, kMaxSimdWidth + 1> laneHist{};
+
+    std::uint64_t
+    cycles(compaction::Mode m) const
+    {
+        return cyclesByMode[static_cast<unsigned>(m)];
+    }
+};
+
+/** Per-ip profiles (ascending ip) from an event stream. */
+std::vector<IpProfile> computeHotspots(const std::vector<Event> &events);
+
+/**
+ * Writes the divergence hotspot report: per-ip executions, mean
+ * occupancy, per-mode cycles, cycles saved by BCC/SCC relative to
+ * IvbOpt, and the mask histogram, ranked by SCC savings. @p kernel
+ * (optional) names rows by disassembly. @p top_n limits rows (0 = all).
+ */
+void writeHotspotReport(std::ostream &os,
+                        const std::vector<IpProfile> &profiles,
+                        const isa::Kernel *kernel = nullptr,
+                        std::size_t top_n = 0);
+
+} // namespace iwc::obs
+
+#endif // IWC_OBS_PROFILE_HH

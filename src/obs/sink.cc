@@ -1,0 +1,124 @@
+#include "obs/sink.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace iwc::obs
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::InstrIssue:
+        return "issue";
+      case EventKind::MemAccess:
+        return "mem";
+      case EventKind::Dispatch:
+        return "dispatch";
+      case EventKind::BarrierArrive:
+        return "barrier_arrive";
+      case EventKind::BarrierRelease:
+        return "barrier_release";
+      case EventKind::ThreadRetire:
+        return "retire";
+      case EventKind::WgDispatch:
+        return "wg_dispatch";
+      case EventKind::IdleSkip:
+        return "idle_skip";
+    }
+    return "unknown";
+}
+
+RingBufferSink::RingBufferSink(unsigned num_eus, std::size_t capacity)
+    : streams_(num_eus + 1), capacity_(capacity)
+{
+    fatal_if(num_eus == 0, "RingBufferSink needs at least one EU");
+}
+
+RingBufferSink::Stream &
+RingBufferSink::streamFor(std::uint8_t eu)
+{
+    const unsigned index =
+        eu == kGlobalEu ? numEus() : std::min<unsigned>(eu, numEus());
+    return streams_[index];
+}
+
+void
+RingBufferSink::emit(const Event &event)
+{
+    Stream &s = streamFor(event.eu);
+    if (capacity_ == 0) {
+        s.events.push_back(event);
+        return;
+    }
+    if (s.events.size() < capacity_) {
+        s.events.push_back(event);
+        return;
+    }
+    // Ring: overwrite the oldest event, keep the newest capacity_.
+    s.events[s.head] = event;
+    s.head = (s.head + 1) % capacity_;
+    s.wrapped = true;
+    ++s.drops;
+}
+
+std::vector<Event>
+RingBufferSink::stream(unsigned index) const
+{
+    const Stream &s = streams_.at(index);
+    if (!s.wrapped)
+        return s.events;
+    std::vector<Event> out;
+    out.reserve(s.events.size());
+    out.insert(out.end(), s.events.begin() + static_cast<long>(s.head),
+               s.events.end());
+    out.insert(out.end(), s.events.begin(),
+               s.events.begin() + static_cast<long>(s.head));
+    return out;
+}
+
+std::uint64_t
+RingBufferSink::dropped(unsigned index) const
+{
+    return streams_.at(index).drops;
+}
+
+std::uint64_t
+RingBufferSink::totalDropped() const
+{
+    std::uint64_t total = 0;
+    for (const Stream &s : streams_)
+        total += s.drops;
+    return total;
+}
+
+std::uint64_t
+RingBufferSink::totalEvents() const
+{
+    std::uint64_t total = 0;
+    for (const Stream &s : streams_)
+        total += s.events.size();
+    return total;
+}
+
+std::vector<Event>
+RingBufferSink::collect() const
+{
+    std::vector<Event> all;
+    all.reserve(static_cast<std::size_t>(totalEvents()));
+    for (unsigned i = 0; i < numStreams(); ++i) {
+        const std::vector<Event> s = stream(i);
+        all.insert(all.end(), s.begin(), s.end());
+    }
+    // Streams are individually cycle-ordered; stable_sort by cycle
+    // yields a global order with ties broken by (stream, emission).
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return all;
+}
+
+} // namespace iwc::obs

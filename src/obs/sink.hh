@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Event sinks: where instrumentation points deliver their events.
+ *
+ * The disabled state is not a sink at all — every instrumentation
+ * point holds a raw `EventSink *` that defaults to nullptr and guards
+ * emission with a single predictable branch, so a run without tracing
+ * executes no observability code beyond that null check (perf_smoke
+ * stays within noise and all outputs are bit-identical; see
+ * docs/observability.md for the overhead argument). NullSink exists
+ * for call sites that want a non-null sink that discards everything.
+ *
+ * RingBufferSink is the capture sink: one independent buffer per EU
+ * (plus one for whole-GPU events), so concurrently-ticked EUs would
+ * never contend on a shared tail — "lock-free enough" for the current
+ * single-threaded Simulator and for any future per-EU threading.
+ * Capacity 0 keeps every event; a bounded capacity keeps the newest
+ * events per stream and counts the drops.
+ */
+
+#ifndef IWC_OBS_SINK_HH
+#define IWC_OBS_SINK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace iwc::obs
+{
+
+/** Abstract destination for simulation events. */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+
+    /** Delivers one event. Must not throw on the hot path. */
+    virtual void emit(const Event &event) = 0;
+};
+
+/** Discards everything (explicit "tracing off" object). */
+class NullSink final : public EventSink
+{
+  public:
+    void emit(const Event &) override {}
+};
+
+/** See file comment. */
+class RingBufferSink final : public EventSink
+{
+  public:
+    /**
+     * @param num_eus     EU count of the machine being traced; events
+     *                    with eu == kGlobalEu land in an extra stream.
+     * @param capacity    max events kept per stream; 0 = unbounded.
+     */
+    explicit RingBufferSink(unsigned num_eus, std::size_t capacity = 0);
+
+    void emit(const Event &event) override;
+
+    /** Streams: one per EU, plus the whole-GPU stream at index numEus(). */
+    unsigned numStreams() const
+    {
+        return static_cast<unsigned>(streams_.size());
+    }
+    unsigned numEus() const { return numStreams() - 1; }
+
+    /** Events of one stream in emission order (oldest first). */
+    std::vector<Event> stream(unsigned index) const;
+
+    /** Events dropped from one stream (bounded capacity only). */
+    std::uint64_t dropped(unsigned index) const;
+    std::uint64_t totalDropped() const;
+
+    /** Events currently held across all streams. */
+    std::uint64_t totalEvents() const;
+
+    /**
+     * All held events merged into one sequence ordered by cycle
+     * (ties: stream order, then emission order) — the form the
+     * exporters consume.
+     */
+    std::vector<Event> collect() const;
+
+  private:
+    struct Stream
+    {
+        std::vector<Event> events; ///< ring when bounded, else append
+        std::size_t head = 0;      ///< oldest element when wrapped
+        std::uint64_t drops = 0;
+        bool wrapped = false;
+    };
+
+    Stream &streamFor(std::uint8_t eu);
+
+    std::vector<Stream> streams_;
+    std::size_t capacity_;
+};
+
+} // namespace iwc::obs
+
+#endif // IWC_OBS_SINK_HH

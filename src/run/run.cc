@@ -120,7 +120,13 @@ executeRun(const RunRequest &request)
     switch (request.kind) {
       case JobKind::Timing: {
         result.label = request.workload;
-        gpu::Device dev(request.config);
+        gpu::GpuConfig config = request.config;
+        if (request.trace) {
+            result.events = std::make_shared<obs::RingBufferSink>(
+                config.numEus, request.traceCapacity);
+            config.sink = result.events.get();
+        }
+        gpu::Device dev(config);
         workloads::Workload w = buildWorkload(request, dev);
         result.stats =
             dev.launch(w.kernel, w.globalSize, w.localSize, w.args);

@@ -13,10 +13,12 @@
 #define IWC_RUN_RUN_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "gpu/device.hh"
 #include "gpu/gpu_config.hh"
+#include "obs/sink.hh"
 #include "trace/analyzer.hh"
 #include "workloads/workload.hh"
 
@@ -63,6 +65,14 @@ struct RunRequest
     std::string traceProfile;
     /** Timing only: run the host-side reference check after launch. */
     bool checkOutput = false;
+    /**
+     * Timing only: record observability events (see obs/event.hh) into
+     * RunResult::events. Off by default — tracing multi-million-cycle
+     * sweeps would dwarf the simulation itself in memory.
+     */
+    bool trace = false;
+    /** Max events kept per EU stream when tracing; 0 = unbounded. */
+    std::size_t traceCapacity = 0;
 
     // --- Convenience constructors ---------------------------------------
 
@@ -88,6 +98,9 @@ struct RunResult
     /** Reference-check outcome (Timing with checkOutput=true). */
     bool checked = false;
     bool checkOk = false;
+
+    /** Captured event streams (Timing with trace=true), else null. */
+    std::shared_ptr<obs::RingBufferSink> events;
 };
 
 /**

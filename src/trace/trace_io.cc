@@ -1,5 +1,7 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -42,6 +44,33 @@ kindFromByte(std::uint8_t b)
     return static_cast<InstrKind>(b);
 }
 
+/** Longest workload name either reader accepts; anything bigger is a
+ *  corrupt or hostile length field, not a real trace. */
+constexpr std::uint32_t kMaxNameLen = 4096;
+
+/** Rejects records no simulator component could have produced, so a
+ *  corrupt trace fails here with a message instead of deep inside the
+ *  cycle planner. */
+void
+validateRecord(const TraceRecord &r, std::uint64_t index)
+{
+    fatal_if(r.simdWidth == 0 || r.simdWidth > kMaxSimdWidth,
+             "trace record %llu: bad SIMD width %u (expected 1..%u)",
+             static_cast<unsigned long long>(index), r.simdWidth,
+             kMaxSimdWidth);
+    fatal_if(r.elemBytes == 0 || r.elemBytes > kAluDatapathBytes ||
+                 (r.elemBytes & (r.elemBytes - 1)) != 0,
+             "trace record %llu: bad element size %u bytes "
+             "(expected a power of two <= %u)",
+             static_cast<unsigned long long>(index), r.elemBytes,
+             kAluDatapathBytes);
+    fatal_if((r.execMask & ~laneMaskForWidth(r.simdWidth)) != 0,
+             "trace record %llu: mask %08x has bits beyond SIMD "
+             "width %u",
+             static_cast<unsigned long long>(index), r.execMask,
+             r.simdWidth);
+}
+
 } // namespace
 
 void
@@ -74,18 +103,27 @@ readBinary(std::istream &is)
 
     MaskTrace trace;
     const auto name_len = readPod<std::uint32_t>(is);
+    fatal_if(name_len > kMaxNameLen,
+             "trace name length %u exceeds the %u-byte cap "
+             "(corrupt header?)",
+             name_len, kMaxNameLen);
     trace.name.resize(name_len);
     is.read(trace.name.data(), name_len);
     fatal_if(!is, "truncated trace stream");
 
     const auto count = readPod<std::uint64_t>(is);
-    trace.records.reserve(count);
+    // A lying record count cannot force a huge up-front allocation:
+    // cap the reservation and let the per-record reads hit the
+    // truncation check.
+    trace.records.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
     for (std::uint64_t i = 0; i < count; ++i) {
         TraceRecord r;
         r.simdWidth = readPod<std::uint8_t>(is);
         r.elemBytes = readPod<std::uint8_t>(is);
         r.kind = kindFromByte(readPod<std::uint8_t>(is));
         r.execMask = readPod<LaneMask>(is);
+        validateRecord(r, i);
         trace.records.push_back(r);
     }
     return trace;
@@ -140,6 +178,9 @@ readText(std::istream &is)
         std::string hex;
         ls >> width >> bytes >> kind >> hex;
         fatal_if(!ls, "bad trace line: %s", line.c_str());
+        fatal_if(width > 0xff || bytes > 0xff,
+                 "bad trace line (field out of range): %s",
+                 line.c_str());
         TraceRecord r;
         r.simdWidth = static_cast<std::uint8_t>(width);
         r.elemBytes = static_cast<std::uint8_t>(bytes);
@@ -153,8 +194,14 @@ readText(std::istream &is)
             r.kind = InstrKind::Ctrl;
         else
             fatal("bad instruction kind '%s'", kind.c_str());
-        r.execMask =
-            static_cast<LaneMask>(std::strtoul(hex.c_str(), nullptr, 16));
+        char *end = nullptr;
+        const unsigned long mask = std::strtoul(hex.c_str(), &end, 16);
+        fatal_if(end == hex.c_str() || *end != '\0' ||
+                     mask > ~LaneMask{0},
+                 "bad execution mask '%s' in trace line: %s",
+                 hex.c_str(), line.c_str());
+        r.execMask = static_cast<LaneMask>(mask);
+        validateRecord(r, trace.records.size());
         trace.records.push_back(r);
     }
     return trace;

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Chrome Trace exporter tests: the JSON must actually parse, every
+ * trace event must carry the fields Perfetto requires, slices must be
+ * well-formed, and the output must be deterministic for a fixed
+ * workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hh"
+#include "obs/event.hh"
+#include "run/run.hh"
+
+namespace
+{
+
+using namespace iwc;
+using namespace iwc::obs;
+
+// --- A minimal JSON parser: just enough to validate the exporter. ----
+
+struct JsonValue
+{
+    enum Type { Null, Bool, Number, String, Array, Object } type = Null;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> items;                          ///< Array
+    std::vector<std::pair<std::string, JsonValue>> fields; ///< Object
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : fields)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        const JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = why + " at offset " + std::to_string(pos_);
+        }
+        pos_ = text_.size(); // stop making progress
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end");
+            return {};
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return number();
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            JsonValue v;
+            v.type = JsonValue::Bool;
+            v.number = 1;
+            return v;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            JsonValue v;
+            v.type = JsonValue::Bool;
+            return v;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return {};
+        }
+        fail("unexpected character");
+        return {};
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.type = JsonValue::Object;
+        consume('{');
+        if (consume('}'))
+            return v;
+        do {
+            const JsonValue key = string();
+            if (!consume(':')) {
+                fail("expected ':'");
+                return v;
+            }
+            v.fields.emplace_back(key.str, value());
+        } while (consume(','));
+        if (!consume('}'))
+            fail("expected '}'");
+        return v;
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.type = JsonValue::Array;
+        consume('[');
+        if (consume(']'))
+            return v;
+        do {
+            v.items.push_back(value());
+        } while (consume(','));
+        if (!consume(']'))
+            fail("expected ']'");
+        return v;
+    }
+
+    JsonValue
+    string()
+    {
+        JsonValue v;
+        v.type = JsonValue::String;
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+            fail("expected string");
+            return v;
+        }
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    break;
+            }
+            v.str += text_[pos_++];
+        }
+        if (pos_ >= text_.size()) {
+            fail("unterminated string");
+            return v;
+        }
+        ++pos_; // closing quote
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        JsonValue v;
+        v.type = JsonValue::Number;
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) {
+            fail("expected number");
+            return v;
+        }
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+std::string
+traceFor(const std::string &workload)
+{
+    run::RunRequest request =
+        run::RunRequest::timing(workload, gpu::ivbConfig(), 1);
+    request.trace = true;
+    const run::RunResult result = run::executeRun(request);
+    std::stringstream ss;
+    writeChromeTrace(ss, result.events->collect());
+    return ss.str();
+}
+
+TEST(ChromeTrace, WorkloadTraceParsesAsJson)
+{
+    const std::string json = traceFor("micro_ifelse");
+    JsonParser parser(json);
+    const JsonValue root = parser.parse();
+    ASSERT_TRUE(parser.ok()) << parser.error();
+    ASSERT_EQ(root.type, JsonValue::Object);
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->type, JsonValue::Array);
+    EXPECT_GT(events->items.size(), 10u);
+    EXPECT_NE(root.find("displayTimeUnit"), nullptr);
+}
+
+TEST(ChromeTrace, EveryEventCarriesRequiredFields)
+{
+    const std::string json = traceFor("micro_ifelse");
+    JsonParser parser(json);
+    const JsonValue root = parser.parse();
+    ASSERT_TRUE(parser.ok()) << parser.error();
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    std::size_t slices = 0, instants = 0, meta = 0;
+    for (const JsonValue &e : events->items) {
+        ASSERT_EQ(e.type, JsonValue::Object);
+        const JsonValue *ph = e.find("ph");
+        ASSERT_NE(ph, nullptr);
+        ASSERT_EQ(ph->type, JsonValue::String);
+        ASSERT_NE(e.find("name"), nullptr);
+        ASSERT_NE(e.find("pid"), nullptr);
+        if (ph->str == "M") {
+            ++meta;
+            continue; // metadata carries no timestamp
+        }
+        ASSERT_NE(e.find("tid"), nullptr);
+        const JsonValue *ts = e.find("ts");
+        ASSERT_NE(ts, nullptr);
+        ASSERT_EQ(ts->type, JsonValue::Number);
+        EXPECT_GE(ts->number, 0);
+        if (ph->str == "X") {
+            ++slices;
+            const JsonValue *dur = e.find("dur");
+            ASSERT_NE(dur, nullptr);
+            EXPECT_GE(dur->number, 0); // complete slices: no dangling B/E
+        } else if (ph->str == "i") {
+            ++instants;
+            ASSERT_NE(e.find("s"), nullptr);
+        } else {
+            FAIL() << "unexpected phase '" << ph->str << "'";
+        }
+    }
+    EXPECT_GT(slices, 0u);
+    EXPECT_GT(instants, 0u);
+    EXPECT_GT(meta, 0u);
+}
+
+TEST(ChromeTrace, DeterministicForFixedWorkload)
+{
+    EXPECT_EQ(traceFor("micro_ifelse"), traceFor("micro_ifelse"));
+}
+
+TEST(ChromeTrace, GoldenSingleIssueSlice)
+{
+    Event e;
+    e.cycle = 10;
+    e.ip = 3;
+    e.kind = EventKind::InstrIssue;
+    e.eu = 1;
+    e.slot = 2;
+    e.issue.execMask = 0x00f0;
+    e.issue.modeCycles[0] = 4;
+    e.issue.modeCycles[1] = 4;
+    e.issue.modeCycles[2] = 2;
+    e.issue.modeCycles[3] = 1;
+    e.issue.occCycles = 2;
+    e.issue.waitTotal = 0;
+    e.issue.waitSb = 0;
+    e.issue.blockReg = kBlockNone;
+    e.issue.pipe = 0;
+    e.issue.simdWidth = 16;
+
+    std::stringstream ss;
+    ChromeTraceOptions options;
+    options.instants = false;
+    options.stalls = false;
+    options.mem = false;
+    writeChromeTrace(ss, {e}, options);
+    const std::string json = ss.str();
+
+    JsonParser parser(json);
+    const JsonValue root = parser.parse();
+    ASSERT_TRUE(parser.ok()) << parser.error();
+    // The exact slice the event must map to, stable across runs.
+    EXPECT_NE(json.find("{\"name\":\"ip 3 (fpu)\",\"ph\":\"X\","
+                        "\"ts\":10,\"dur\":2,\"pid\":1,\"tid\":2,"
+                        "\"args\":{\"ip\":3,\"mask\":\"0xf0\","
+                        "\"lanes\":4,\"saved_bcc\":2,\"saved_scc\":3}}"),
+              std::string::npos)
+        << json;
+}
+
+TEST(ChromeTrace, StallSlicePrecedesIssue)
+{
+    Event e;
+    e.cycle = 20;
+    e.ip = 1;
+    e.kind = EventKind::InstrIssue;
+    e.eu = 0;
+    e.slot = 0;
+    e.issue.execMask = 0xffff;
+    for (unsigned m = 0; m < compaction::kNumModes; ++m)
+        e.issue.modeCycles[m] = 4;
+    e.issue.occCycles = 4;
+    e.issue.waitTotal = 6;
+    e.issue.waitSb = 5;
+    e.issue.blockReg = 42;
+    e.issue.pipe = 0;
+    e.issue.simdWidth = 16;
+
+    std::stringstream ss;
+    writeChromeTrace(ss, {e});
+    const std::string json = ss.str();
+    EXPECT_NE(json.find("\"wait:sb(r42)\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ts\":14,\"dur\":6"), std::string::npos)
+        << json;
+}
+
+} // namespace

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Observability subsystem tests: ring-buffer sink semantics, and the
+ * two accounting identities the profile exporters promise — per-EU
+ * busy + stall + idle covering every simulated cycle exactly, and
+ * hotspot per-ip cycle totals agreeing with the simulator's aggregate
+ * per-mode counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "obs/event.hh"
+#include "obs/profile.hh"
+#include "obs/sink.hh"
+#include "run/run.hh"
+
+namespace
+{
+
+using namespace iwc;
+using namespace iwc::obs;
+
+Event
+issueAt(Cycle cycle, std::uint8_t eu, std::uint32_t ip = 0)
+{
+    Event e;
+    e.cycle = cycle;
+    e.ip = ip;
+    e.kind = EventKind::InstrIssue;
+    e.eu = eu;
+    return e;
+}
+
+TEST(RingBufferSink, UnboundedKeepsEverythingPerStream)
+{
+    RingBufferSink sink(2); // 2 EUs -> 3 streams (global last)
+    EXPECT_EQ(sink.numStreams(), 3u);
+    EXPECT_EQ(sink.numEus(), 2u);
+
+    sink.emit(issueAt(5, 0));
+    sink.emit(issueAt(6, 1));
+    sink.emit(issueAt(7, 0));
+    Event global = issueAt(1, kGlobalEu);
+    global.kind = EventKind::IdleSkip;
+    sink.emit(global);
+
+    EXPECT_EQ(sink.totalEvents(), 4u);
+    EXPECT_EQ(sink.totalDropped(), 0u);
+    EXPECT_EQ(sink.stream(0).size(), 2u);
+    EXPECT_EQ(sink.stream(1).size(), 1u);
+    EXPECT_EQ(sink.stream(2).size(), 1u); // global stream
+    EXPECT_EQ(sink.stream(2)[0].kind, EventKind::IdleSkip);
+}
+
+TEST(RingBufferSink, BoundedKeepsNewestAndCountsDrops)
+{
+    RingBufferSink sink(1, 3);
+    for (Cycle c = 1; c <= 8; ++c)
+        sink.emit(issueAt(c, 0));
+
+    EXPECT_EQ(sink.dropped(0), 5u);
+    EXPECT_EQ(sink.totalDropped(), 5u);
+    const std::vector<Event> kept = sink.stream(0);
+    ASSERT_EQ(kept.size(), 3u);
+    // Newest three, oldest first.
+    EXPECT_EQ(kept[0].cycle, 6u);
+    EXPECT_EQ(kept[1].cycle, 7u);
+    EXPECT_EQ(kept[2].cycle, 8u);
+}
+
+TEST(RingBufferSink, CollectMergesSortedByCycle)
+{
+    RingBufferSink sink(3);
+    sink.emit(issueAt(30, 2));
+    sink.emit(issueAt(10, 0));
+    sink.emit(issueAt(20, 1));
+    sink.emit(issueAt(5, 1));
+
+    const std::vector<Event> all = sink.collect();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(all.begin(), all.end(),
+                               [](const Event &a, const Event &b) {
+                                   return a.cycle < b.cycle;
+                               }));
+    EXPECT_EQ(all.front().cycle, 5u);
+    EXPECT_EQ(all.back().cycle, 30u);
+}
+
+run::RunResult
+tracedRun(const std::string &workload)
+{
+    run::RunRequest request =
+        run::RunRequest::timing(workload, gpu::ivbConfig(), 1);
+    request.trace = true;
+    run::RunResult result = run::executeRun(request);
+    EXPECT_NE(result.events, nullptr);
+    EXPECT_EQ(result.events->totalDropped(), 0u);
+    return result;
+}
+
+/** The exporter identity: every EU cycle lands in exactly one bucket. */
+void
+expectOccupancyCoversEveryCycle(const std::string &workload)
+{
+    const run::RunResult result = tracedRun(workload);
+    const unsigned num_eus = gpu::ivbConfig().numEus;
+    const auto occ = computeOccupancy(result.events->collect(),
+                                      result.stats.totalCycles, num_eus);
+    ASSERT_EQ(occ.size(), num_eus);
+    std::uint64_t instructions = 0, mem_messages = 0;
+    for (unsigned i = 0; i < num_eus; ++i) {
+        EXPECT_EQ(occ[i].total(), result.stats.totalCycles)
+            << workload << " eu" << i << ": busy " << occ[i].busy
+            << " + stall " << occ[i].stall << " + barrier "
+            << occ[i].barrier << " + idle " << occ[i].idle;
+        instructions += occ[i].instructions;
+        mem_messages += occ[i].memMessages;
+    }
+    EXPECT_EQ(instructions, result.stats.eu.instructions);
+    EXPECT_EQ(mem_messages, result.stats.eu.memMessages);
+}
+
+TEST(Occupancy, CoversEveryCycleDivergent)
+{
+    expectOccupancyCoversEveryCycle("micro_ifelse");
+}
+
+TEST(Occupancy, CoversEveryCycleWithBarriers)
+{
+    expectOccupancyCoversEveryCycle("dp"); // SLM reduction: barriers
+}
+
+TEST(Occupancy, CsvRowsSumExactly)
+{
+    const run::RunResult result = tracedRun("micro_ifelse");
+    const unsigned num_eus = gpu::ivbConfig().numEus;
+    const auto occ = computeOccupancy(result.events->collect(),
+                                      result.stats.totalCycles, num_eus);
+    std::stringstream ss;
+    writeOccupancyCsv(ss, occ, result.stats.totalCycles,
+                      {1, 2, 3, 4});
+    std::string line;
+    std::getline(ss, line); // header
+    EXPECT_NE(line.find("busy_cycles"), std::string::npos);
+    std::size_t rows = 0;
+    while (std::getline(ss, line)) {
+        ++rows;
+        // label,total,busy,stall,stall_barrier,idle,...
+        std::stringstream fields(line);
+        std::string label, total, busy, stall, barrier, idle;
+        std::getline(fields, label, ',');
+        std::getline(fields, total, ',');
+        std::getline(fields, busy, ',');
+        std::getline(fields, stall, ',');
+        std::getline(fields, barrier, ',');
+        std::getline(fields, idle, ',');
+        EXPECT_EQ(std::stoull(busy) + std::stoull(stall) +
+                      std::stoull(idle),
+                  std::stoull(total))
+            << line;
+    }
+    EXPECT_EQ(rows, num_eus + 1u); // per-EU rows plus the total row
+}
+
+TEST(Hotspots, TotalsAgreeWithAggregateCounters)
+{
+    using compaction::Mode;
+    const run::RunResult result = tracedRun("micro_ifelse");
+    const auto profiles = computeHotspots(result.events->collect());
+    ASSERT_FALSE(profiles.empty());
+
+    std::uint64_t count = 0;
+    std::array<std::uint64_t, compaction::kNumModes> cycles{};
+    for (const IpProfile &p : profiles) {
+        count += p.count;
+        for (unsigned m = 0; m < compaction::kNumModes; ++m)
+            cycles[m] += p.cyclesByMode[m];
+    }
+    // The per-event mode cycles are copied from the same plans the
+    // EU stats accumulate, so the totals must agree exactly.
+    EXPECT_EQ(count, result.stats.eu.instructions);
+    EXPECT_EQ(cycles[0], result.stats.eu.euCycles(Mode::Baseline));
+    EXPECT_EQ(cycles[1], result.stats.eu.euCycles(Mode::IvbOpt));
+    EXPECT_EQ(cycles[2], result.stats.eu.euCycles(Mode::Bcc));
+    EXPECT_EQ(cycles[3], result.stats.eu.euCycles(Mode::Scc));
+}
+
+TEST(Hotspots, ReportRanksBySccSavings)
+{
+    const run::RunResult result = tracedRun("micro_ifelse");
+    const auto profiles = computeHotspots(result.events->collect());
+    std::stringstream ss;
+    writeHotspotReport(ss, profiles, nullptr, 5);
+    const std::string report = ss.str();
+    EXPECT_NE(report.find("divergence hotspots"), std::string::npos);
+    EXPECT_NE(report.find("saved_scc"), std::string::npos);
+    // top_n limits the body to five ranked rows (+3 header lines).
+    EXPECT_LE(std::count(report.begin(), report.end(), '\n'),
+              static_cast<long>(5 + 4));
+}
+
+TEST(TracingOff, ResultCarriesNoSink)
+{
+    run::RunRequest request =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1);
+    const run::RunResult result = run::executeRun(request);
+    EXPECT_EQ(result.events, nullptr);
+}
+
+TEST(TracingOnOff, IdenticalTimingResults)
+{
+    run::RunRequest request =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1);
+    const run::RunResult off = run::executeRun(request);
+    request.trace = true;
+    const run::RunResult on = run::executeRun(request);
+    // Instrumentation must never perturb simulated behaviour.
+    EXPECT_EQ(off.stats.totalCycles, on.stats.totalCycles);
+    EXPECT_EQ(off.stats.eu.instructions, on.stats.eu.instructions);
+    EXPECT_EQ(off.stats.eu.euCycles(compaction::Mode::Scc),
+              on.stats.eu.euCycles(compaction::Mode::Scc));
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Malformed-input tests for the trace readers: every corruption a
+ * truncated download or a hand-edited text trace can produce must die
+ * with a clear fatal message, never crash or silently misparse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace iwc::trace;
+
+MaskTrace
+smallTrace()
+{
+    MaskTrace trace;
+    trace.name = "err";
+    trace.records = {
+        {16, 4, InstrKind::Alu, 0x00ff},
+        {8, 2, InstrKind::Send, 0x0f},
+    };
+    return trace;
+}
+
+std::string
+serialized()
+{
+    std::stringstream ss;
+    writeBinary(ss, smallTrace());
+    return ss.str();
+}
+
+/** Binary header layout: magic(4) version(4) name_len(4) name(n). */
+constexpr std::size_t kVersionOff = 4;
+constexpr std::size_t kNameLenOff = 8;
+
+TEST(TraceIoErrors, BinaryRoundTripStillWorks)
+{
+    std::stringstream ss(serialized());
+    const MaskTrace back = readBinary(ss);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back.records[0].execMask, 0x00ffu);
+    EXPECT_EQ(back.records[1].simdWidth, 8);
+}
+
+TEST(TraceIoErrors, BinaryBadMagic)
+{
+    std::string blob = serialized();
+    blob[0] = 'X';
+    std::stringstream ss(blob);
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "not an IWC trace");
+}
+
+TEST(TraceIoErrors, BinaryEmptyStream)
+{
+    std::stringstream ss("");
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "not an IWC trace");
+}
+
+TEST(TraceIoErrors, BinaryBadVersion)
+{
+    std::string blob = serialized();
+    blob[kVersionOff] = 99;
+    std::stringstream ss(blob);
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "unsupported trace version");
+}
+
+TEST(TraceIoErrors, BinaryHostileNameLength)
+{
+    std::string blob = serialized();
+    const std::uint32_t huge = 0x7fffffff;
+    std::memcpy(&blob[kNameLenOff], &huge, sizeof(huge));
+    std::stringstream ss(blob);
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "name length .* exceeds");
+}
+
+TEST(TraceIoErrors, BinaryTruncatedMidRecords)
+{
+    const std::string blob = serialized();
+    // Drop the last few bytes: the record count still promises two
+    // records, so the reader must hit the truncation check.
+    std::stringstream ss(blob.substr(0, blob.size() - 3));
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "truncated trace stream");
+}
+
+TEST(TraceIoErrors, BinaryLyingRecordCount)
+{
+    std::string blob = serialized();
+    // The count field sits right after the header + 3-byte name.
+    const std::size_t count_off = kNameLenOff + 4 + 3;
+    const std::uint64_t lie = ~std::uint64_t{0};
+    std::memcpy(&blob[count_off], &lie, sizeof(lie));
+    std::stringstream ss(blob);
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "truncated trace stream");
+}
+
+TEST(TraceIoErrors, BinaryBadKindByte)
+{
+    std::string blob = serialized();
+    // First record starts after header + name + count; kind is its
+    // third byte.
+    const std::size_t kind_off = kNameLenOff + 4 + 3 + 8 + 2;
+    blob[kind_off] = 0x7f;
+    std::stringstream ss(blob);
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "bad instruction kind");
+}
+
+TEST(TraceIoErrors, BinaryBadSimdWidth)
+{
+    std::string blob = serialized();
+    const std::size_t width_off = kNameLenOff + 4 + 3 + 8;
+    blob[width_off] = 77; // > kMaxSimdWidth
+    std::stringstream ss(blob);
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "bad SIMD width 77");
+}
+
+TEST(TraceIoErrors, BinaryBadElemBytes)
+{
+    std::string blob = serialized();
+    const std::size_t elem_off = kNameLenOff + 4 + 3 + 8 + 1;
+    blob[elem_off] = 3; // not a power of two
+    std::stringstream ss(blob);
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "bad element size 3");
+}
+
+TEST(TraceIoErrors, BinaryMaskBeyondWidth)
+{
+    std::string blob = serialized();
+    // Second record is SIMD8; give it a 16-bit mask.
+    const std::size_t mask_off = kNameLenOff + 4 + 3 + 8 + 7 + 3;
+    const std::uint32_t wide = 0xff00;
+    std::memcpy(&blob[mask_off], &wide, sizeof(wide));
+    std::stringstream ss(blob);
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "bits beyond SIMD width 8");
+}
+
+TEST(TraceIoErrors, TextRoundTripStillWorks)
+{
+    std::stringstream out;
+    writeText(out, smallTrace());
+    std::stringstream in(out.str());
+    const MaskTrace back = readText(in);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back.records[0].execMask, 0x00ffu);
+}
+
+TEST(TraceIoErrors, TextGarbageHexMask)
+{
+    std::stringstream ss("16 4 alu zz34\n");
+    EXPECT_EXIT(readText(ss), ::testing::ExitedWithCode(1),
+                "bad execution mask 'zz34'");
+}
+
+TEST(TraceIoErrors, TextTrailingGarbageInMask)
+{
+    std::stringstream ss("16 4 alu 00ffq\n");
+    EXPECT_EXIT(readText(ss), ::testing::ExitedWithCode(1),
+                "bad execution mask '00ffq'");
+}
+
+TEST(TraceIoErrors, TextMissingFields)
+{
+    std::stringstream ss("16 4 alu\n");
+    EXPECT_EXIT(readText(ss), ::testing::ExitedWithCode(1),
+                "bad trace line");
+}
+
+TEST(TraceIoErrors, TextUnknownKind)
+{
+    std::stringstream ss("16 4 frobnicate 00ff\n");
+    EXPECT_EXIT(readText(ss), ::testing::ExitedWithCode(1),
+                "bad instruction kind 'frobnicate'");
+}
+
+TEST(TraceIoErrors, TextFieldOutOfRange)
+{
+    std::stringstream ss("70000 4 alu 00ff\n");
+    EXPECT_EXIT(readText(ss), ::testing::ExitedWithCode(1),
+                "field out of range");
+}
+
+TEST(TraceIoErrors, TextZeroSimdWidth)
+{
+    std::stringstream ss("0 4 alu 0\n");
+    EXPECT_EXIT(readText(ss), ::testing::ExitedWithCode(1),
+                "bad SIMD width 0");
+}
+
+TEST(TraceIoErrors, TextMaskBeyondWidth)
+{
+    std::stringstream ss("8 4 alu ffff\n");
+    EXPECT_EXIT(readText(ss), ::testing::ExitedWithCode(1),
+                "bits beyond SIMD width 8");
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Profiling driver: run one workload with full event tracing and emit
+ * every observability artifact in one go (see docs/observability.md):
+ *
+ *   <prefix>.trace.json     Chrome Trace / Perfetto timeline
+ *   <prefix>.occupancy.csv  per-EU busy / stall / idle breakdown
+ *   <prefix>.hotspots.txt   per-instruction divergence hotspot report
+ *
+ *   iwc_profile workload=bfs                       # ivb-opt, prefix bfs
+ *   iwc_profile workload=bfs mode=scc scale=2 out=/tmp/bfs_scc
+ *   iwc_profile workload=bfs capacity=100000 top=20
+ *
+ * Machine overrides (eus=, dc=, perfect_l3=, ...) apply as in iwc_sim.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "gpu/device.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/profile.hh"
+#include "obs/sink.hh"
+#include "workloads/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iwc;
+
+    const OptionMap opts(argc, argv);
+    if (opts.getBool("list", false) || !opts.has("workload")) {
+        std::puts("usage: iwc_profile workload=<name> [mode=baseline|"
+                  "ivb|bcc|scc] [scale=N] [out=<prefix>]");
+        std::puts("       [capacity=N]  max events kept per EU "
+                  "(0 = keep everything)");
+        std::puts("       [top=N]       hotspot rows (0 = all)");
+        std::puts("       plus the iwc_sim machine overrides\n");
+        std::puts("workloads:");
+        for (const auto &entry : workloads::registry())
+            std::printf("  %-18s %s%s\n", entry.name,
+                        entry.description,
+                        entry.expectDivergent ? " [divergent]" : "");
+        return opts.has("workload") ? 0 : 1;
+    }
+
+    const std::string name = opts.getString("workload", "");
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 1));
+    const std::string prefix = opts.getString("out", name);
+    const std::size_t capacity =
+        static_cast<std::size_t>(opts.getInt("capacity", 0));
+    const std::size_t top_n =
+        static_cast<std::size_t>(opts.getInt("top", 0));
+
+    gpu::GpuConfig config = gpu::applyOptions(
+        gpu::ivbConfig(gpu::parseMode(opts.getString("mode", "ivb"))),
+        opts);
+    obs::RingBufferSink sink(config.numEus, capacity);
+    config.sink = &sink;
+
+    gpu::Device dev(config);
+    const workloads::Workload w = workloads::make(name, dev, scale);
+    const gpu::LaunchStats stats =
+        dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
+
+    const std::vector<obs::Event> events = sink.collect();
+    std::printf("%s: %llu cycles, %llu events captured",
+                name.c_str(),
+                static_cast<unsigned long long>(stats.totalCycles),
+                static_cast<unsigned long long>(events.size()));
+    if (sink.totalDropped() != 0)
+        std::printf(" (%llu dropped; raise capacity=)",
+                    static_cast<unsigned long long>(
+                        sink.totalDropped()));
+    std::puts("");
+
+    obs::ChromeTraceOptions trace_opts;
+    trace_opts.kernel = &w.kernel;
+    const std::string trace_path = prefix + ".trace.json";
+    obs::writeChromeTraceFile(trace_path, events, trace_opts);
+
+    const std::string csv_path = prefix + ".occupancy.csv";
+    {
+        const auto occ = obs::computeOccupancy(events, stats.totalCycles,
+                                               config.numEus);
+        const obs::RunCounters counters{
+            stats.planCacheHits, stats.planCacheMisses,
+            stats.idleCyclesSkipped, stats.idleSkips};
+        std::ofstream os(csv_path);
+        fatal_if(!os, "cannot open %s", csv_path.c_str());
+        obs::writeOccupancyCsv(os, occ, stats.totalCycles, counters);
+    }
+
+    const std::string hot_path = prefix + ".hotspots.txt";
+    {
+        std::ofstream os(hot_path);
+        fatal_if(!os, "cannot open %s", hot_path.c_str());
+        obs::writeHotspotReport(os, obs::computeHotspots(events),
+                                &w.kernel, top_n);
+    }
+
+    std::printf("wrote %s, %s, %s\n", trace_path.c_str(),
+                csv_path.c_str(), hot_path.c_str());
+    return 0;
+}

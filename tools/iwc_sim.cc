@@ -13,11 +13,16 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "gpu/device.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/profile.hh"
 #include "run/experiment.hh"
 #include "workloads/registry.hh"
 
@@ -75,6 +80,26 @@ printStats(const gpu::LaunchStats &stats)
                 stats.dcThroughput());
     std::printf("  SLM accesses          : %llu\n",
                 static_cast<unsigned long long>(stats.slmAccesses));
+    std::printf("  plan cache hit/miss   : %llu / %llu\n",
+                static_cast<unsigned long long>(stats.planCacheHits),
+                static_cast<unsigned long long>(stats.planCacheMisses));
+    std::printf("  idle cycles skipped   : %llu (in %llu jumps)\n",
+                static_cast<unsigned long long>(
+                    stats.idleCyclesSkipped),
+                static_cast<unsigned long long>(stats.idleSkips));
+}
+
+/** "out.json" + "scc" -> "out.scc.json" (multi-mode artifact names). */
+std::string
+withModeSuffix(const std::string &path, const std::string &mode,
+               bool multi)
+{
+    if (!multi)
+        return path;
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos || path.find('/', dot) != std::string::npos)
+        return path + "." + mode;
+    return path.substr(0, dot) + "." + mode + path.substr(dot);
 }
 
 } // namespace
@@ -87,6 +112,8 @@ main(int argc, char **argv)
     if (opts.getBool("list", false) || !opts.has("workload")) {
         std::puts("usage: iwc_sim workload=<name> [mode=baseline|ivb|"
                   "bcc|scc] [scale=N] [compare=1] [check=1]");
+        std::puts("       tracing: trace_out=<file.json> (Chrome trace) "
+                  "profile=<prefix> (occupancy CSV + hotspot report)");
         std::puts("       plus machine overrides: eus= threads= dc= "
                   "perfect_l3= issue_width= arb_period= dram_latency= "
                   "l3_kb= llc_kb=\n");
@@ -113,13 +140,30 @@ main(int argc, char **argv)
     else
         modes = {gpu::parseMode(opts.getString("mode", "ivb"))};
 
+    const std::string trace_out = opts.getString("trace_out", "");
+    const std::string profile = opts.getString("profile", "");
+    const bool tracing = !trace_out.empty() || !profile.empty();
+
     std::vector<run::RunRequest> requests;
     for (const compaction::Mode mode : modes) {
         run::RunRequest request = run::RunRequest::timing(
             name, gpu::applyOptions(gpu::ivbConfig(mode), opts),
             scale);
         request.checkOutput = check;
+        request.trace = tracing;
+        request.traceCapacity = static_cast<std::size_t>(
+            opts.getInt("trace_capacity", 0));
         requests.push_back(std::move(request));
+    }
+
+    // The exporters can name slices/hotspots by disassembly; build the
+    // workload once on a throwaway device just to hold its kernel.
+    std::unique_ptr<gpu::Device> naming_dev;
+    std::unique_ptr<workloads::Workload> naming_w;
+    if (tracing) {
+        naming_dev = std::make_unique<gpu::Device>();
+        naming_w = std::make_unique<workloads::Workload>(
+            workloads::make(name, *naming_dev, scale));
     }
 
     run::SweepRunner runner(run::sweepOptions(opts));
@@ -135,6 +179,52 @@ main(int argc, char **argv)
             std::printf("  reference check       : %s\n",
                         result.checkOk ? "PASS" : "FAIL");
             ok = result.checkOk && ok;
+        }
+        if (result.events) {
+            const std::vector<obs::Event> events =
+                result.events->collect();
+            const std::string mode = compaction::modeName(modes[i]);
+            const bool multi = results.size() > 1;
+            if (result.events->totalDropped() != 0)
+                std::printf("  trace events dropped  : %llu (raise "
+                            "trace_capacity=)\n",
+                            static_cast<unsigned long long>(
+                                result.events->totalDropped()));
+            if (!trace_out.empty()) {
+                const std::string path =
+                    withModeSuffix(trace_out, mode, multi);
+                obs::ChromeTraceOptions trace_opts;
+                trace_opts.kernel = &naming_w->kernel;
+                obs::writeChromeTraceFile(path, events, trace_opts);
+                std::printf("  trace written         : %s\n",
+                            path.c_str());
+            }
+            if (!profile.empty()) {
+                const auto occ = obs::computeOccupancy(
+                    events, result.stats.totalCycles,
+                    requests[i].config.numEus);
+                const obs::RunCounters counters{
+                    result.stats.planCacheHits,
+                    result.stats.planCacheMisses,
+                    result.stats.idleCyclesSkipped,
+                    result.stats.idleSkips};
+                const std::string csv = withModeSuffix(
+                    profile + ".occupancy.csv", mode, multi);
+                std::ofstream csv_os(csv);
+                fatal_if(!csv_os, "cannot open %s", csv.c_str());
+                obs::writeOccupancyCsv(csv_os, occ,
+                                       result.stats.totalCycles,
+                                       counters);
+                const std::string hot = withModeSuffix(
+                    profile + ".hotspots.txt", mode, multi);
+                std::ofstream hot_os(hot);
+                fatal_if(!hot_os, "cannot open %s", hot.c_str());
+                obs::writeHotspotReport(hot_os,
+                                        obs::computeHotspots(events),
+                                        &naming_w->kernel);
+                std::printf("  profile written       : %s, %s\n",
+                            csv.c_str(), hot.c_str());
+            }
         }
         if (results.size() > 1)
             std::puts("");
