@@ -95,8 +95,13 @@ main(int argc, char **argv)
         for (unsigned m = 0; m < 4; ++m)
             cycles[m] = static_cast<double>(
                 results[(depth - 1) * 4 + m].stats.totalCycles);
+        // Built with += rather than "L" + to_string(...): the
+        // char*+string&& overload trips GCC 12's -Wrestrict false
+        // positive (PR105651).
+        std::string label("L");
+        label += std::to_string(depth);
         simulated.row()
-            .cell("L" + std::to_string(depth))
+            .cell(label)
             .cell(cycles[0], 0)
             .cell(cycles[1], 0)
             .cell(cycles[2], 0)

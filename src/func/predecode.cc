@@ -114,10 +114,15 @@ decodeOperand(const Operand &op, unsigned simd_width)
     d.stride = op.scalar ? 0 : d.elemBytes;
     // Bounds were checked per element access before predecode; check
     // the whole region once here so the hot path can go unchecked.
-    const unsigned end =
-        d.baseOff + (simd_width - 1) * d.stride + d.elemBytes;
-    panic_if(end > kGrfRegCount * kGrfRegBytes,
-             "operand region [%u, %u) exceeds the GRF", d.baseOff, end);
+    // Null operands carry no region: a well-formed instruction never
+    // reads one, and writes to them are discarded before addressing.
+    if (!d.isNull) {
+        const unsigned end =
+            d.baseOff + (simd_width - 1) * d.stride + d.elemBytes;
+        panic_if(end > kGrfRegCount * kGrfRegBytes,
+                 "operand region [%u, %u) exceeds the GRF", d.baseOff,
+                 end);
+    }
     return d;
 }
 
@@ -181,10 +186,16 @@ appendDstRegs(const Instruction &in, std::vector<std::uint8_t> &pool)
 } // namespace
 
 DecodedKernel::DecodedKernel(const isa::Kernel &kernel)
+    : DecodedKernel(kernel.instructions().data(), kernel.size())
 {
-    instrs_.reserve(kernel.size());
-    for (std::uint32_t ip = 0; ip < kernel.size(); ++ip) {
-        const Instruction &in = kernel.instr(ip);
+}
+
+DecodedKernel::DecodedKernel(const isa::Instruction *instrs,
+                             std::uint32_t size)
+{
+    instrs_.reserve(size);
+    for (std::uint32_t ip = 0; ip < size; ++ip) {
+        const Instruction &in = instrs[ip];
         DecodedInstr d;
         d.instr = &in;
         d.cls = classOf(in);

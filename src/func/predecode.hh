@@ -107,6 +107,13 @@ class DecodedKernel
   public:
     explicit DecodedKernel(const isa::Kernel &kernel);
 
+    /**
+     * Decodes a borrowed instruction span that never went through
+     * Kernel validation (the lint passes decode raw streams to reuse
+     * the dependence lists). The span must outlive the decoded form.
+     */
+    DecodedKernel(const isa::Instruction *instrs, std::uint32_t size);
+
     const DecodedInstr &
     at(std::uint32_t ip) const
     {

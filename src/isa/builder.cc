@@ -541,8 +541,19 @@ KernelBuilder::build()
     if (!argsFrozen_)
         firstTempReg_ = nextReg_;
     emit(Opcode::Halt);
-    return Kernel(name_, simdWidth_, std::move(instrs_), std::move(args_),
-                  firstTempReg_, nextReg_, slmBytes_);
+    Kernel kernel(name_, simdWidth_, std::move(instrs_),
+                  std::move(args_), firstTempReg_, nextReg_, slmBytes_);
+    if (buildHook_ != nullptr)
+        buildHook_(kernel);
+    return kernel;
+}
+
+KernelBuilder::BuildHook KernelBuilder::buildHook_ = nullptr;
+
+void
+KernelBuilder::setBuildHook(BuildHook hook)
+{
+    buildHook_ = hook;
 }
 
 } // namespace iwc::isa

@@ -195,6 +195,14 @@ class KernelBuilder
     /** Terminates the kernel and runs validation. */
     Kernel build();
 
+    /**
+     * Hook applied to every kernel build() produces, process-wide.
+     * Used to opt into static verification at construction time (see
+     * lint::installBuildVerifier); nullptr disables it.
+     */
+    using BuildHook = void (*)(const Kernel &);
+    static void setBuildHook(BuildHook hook);
+
     unsigned simdWidth() const { return simdWidth_; }
 
   private:
@@ -216,6 +224,8 @@ class KernelBuilder
     {
         return static_cast<std::int32_t>(instrs_.size());
     }
+
+    static BuildHook buildHook_;
 
     std::string name_;
     unsigned simdWidth_;

@@ -1,0 +1,332 @@
+#include "lint/cfg.hh"
+
+#include <algorithm>
+
+namespace iwc::lint
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+KernelView
+KernelView::of(const isa::Kernel &kernel)
+{
+    KernelView view;
+    view.name = kernel.name();
+    view.simdWidth = kernel.simdWidth();
+    view.instrs = kernel.instructions().data();
+    view.size = kernel.size();
+    view.firstTempReg = kernel.firstTempReg();
+    view.slmBytes = kernel.slmBytes();
+    view.args = &kernel.args();
+    return view;
+}
+
+RegSpan
+operandRegs(const isa::Operand &op, unsigned width)
+{
+    if (!op.isGrf())
+        return {};
+    const unsigned elems = op.scalar ? 1 : width;
+    const unsigned begin = op.grfByteOffset();
+    const unsigned end = begin + elems * isa::dataTypeSize(op.type);
+    if (end > kGrfRegCount * kGrfRegBytes)
+        return {}; // out of bounds: the region pass reports it
+    return {begin / kGrfRegBytes, (end - 1) / kGrfRegBytes, true};
+}
+
+namespace
+{
+
+/** In-range instruction index? (targets are untrusted input here). */
+bool
+inRange(std::int32_t t, std::uint32_t n)
+{
+    return t >= 0 && static_cast<std::uint32_t>(t) < n;
+}
+
+struct Frame
+{
+    Region::Kind kind;
+    std::int32_t regionIdx;
+};
+
+} // namespace
+
+Cfg
+Cfg::build(const KernelView &view, Report &report)
+{
+    Cfg cfg;
+    const std::uint32_t n = view.size;
+    cfg.size_ = n;
+
+    if (n == 0) {
+        report.add(Check::Structure, Severity::Error, -1,
+                   "empty instruction stream");
+        return cfg;
+    }
+    if (view.at(n - 1).op != Opcode::Halt) {
+        report.add(Check::Structure, Severity::Error,
+                   static_cast<std::int32_t>(n - 1),
+                   "kernel does not end in halt");
+    }
+
+    const std::size_t before = report.diags.size();
+    cfg.regionOf_.assign(n, -1);
+
+    // One forward scan pairing the structured opcodes, mirroring the
+    // builder's frame stack. Each pairing also cross-checks the branch
+    // targets the builder should have patched.
+    std::vector<Frame> stack;
+    for (std::uint32_t ip = 0; ip < n; ++ip) {
+        const Instruction &in = view.at(ip);
+        const auto sip = static_cast<std::int32_t>(ip);
+        cfg.regionOf_[ip] =
+            stack.empty() ? -1 : stack.back().regionIdx;
+
+        switch (in.op) {
+          case Opcode::If: {
+            Region region;
+            region.kind = Region::Kind::If;
+            region.parent = stack.empty() ? -1 : stack.back().regionIdx;
+            region.headIp = sip;
+            const auto idx =
+                static_cast<std::int32_t>(cfg.regions_.size());
+            cfg.regions_.push_back(region);
+            stack.push_back({Region::Kind::If, idx});
+            break;
+          }
+          case Opcode::Else: {
+            if (stack.empty() ||
+                stack.back().kind != Region::Kind::If) {
+                report.add(Check::Structure, Severity::Error, sip,
+                           "else without matching if");
+                break;
+            }
+            Region &region = cfg.regions_[stack.back().regionIdx];
+            if (region.elseIp >= 0) {
+                report.add(Check::Structure, Severity::Error, sip,
+                           "duplicate else for if at ip %d",
+                           region.headIp);
+                break;
+            }
+            region.elseIp = sip;
+            break;
+          }
+          case Opcode::EndIf: {
+            if (stack.empty() ||
+                stack.back().kind != Region::Kind::If) {
+                report.add(Check::Structure, Severity::Error, sip,
+                           "endif without matching if");
+                break;
+            }
+            Region &region = cfg.regions_[stack.back().regionIdx];
+            region.endIp = sip;
+            stack.pop_back();
+
+            const Instruction &if_in =
+                view.at(static_cast<std::uint32_t>(region.headIp));
+            const std::int32_t want0 =
+                region.elseIp >= 0 ? region.elseIp : sip;
+            if (if_in.target0 != want0) {
+                report.add(Check::Structure, Severity::Error,
+                           region.headIp,
+                           "if target0 is %d, expected %d",
+                           if_in.target0, want0);
+            }
+            if (if_in.target1 != sip) {
+                report.add(Check::Structure, Severity::Error,
+                           region.headIp,
+                           "if target1 is %d, expected endif at %d",
+                           if_in.target1, sip);
+            }
+            if (region.elseIp >= 0) {
+                const Instruction &else_in =
+                    view.at(static_cast<std::uint32_t>(region.elseIp));
+                if (else_in.target0 != sip) {
+                    report.add(Check::Structure, Severity::Error,
+                               region.elseIp,
+                               "else target0 is %d, expected endif "
+                               "at %d", else_in.target0, sip);
+                }
+            }
+            break;
+          }
+          case Opcode::LoopBegin: {
+            Region region;
+            region.kind = Region::Kind::Loop;
+            region.parent = stack.empty() ? -1 : stack.back().regionIdx;
+            region.headIp = sip;
+            const auto idx =
+                static_cast<std::int32_t>(cfg.regions_.size());
+            cfg.regions_.push_back(region);
+            stack.push_back({Region::Kind::Loop, idx});
+            break;
+          }
+          case Opcode::Break:
+          case Opcode::Cont: {
+            // Break/Cont may sit under nested ifs; find the loop.
+            std::int32_t loop = -1;
+            for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+                if (it->kind == Region::Kind::Loop) {
+                    loop = it->regionIdx;
+                    break;
+                }
+            }
+            if (loop < 0) {
+                report.add(Check::Structure, Severity::Error, sip,
+                           "%s outside any loop",
+                           isa::opcodeName(in.op));
+                break;
+            }
+            cfg.regions_[loop].exitIps.push_back(sip);
+            break;
+          }
+          case Opcode::LoopEnd: {
+            if (stack.empty() ||
+                stack.back().kind != Region::Kind::Loop) {
+                report.add(Check::Structure, Severity::Error, sip,
+                           "loop end without matching loop begin");
+                break;
+            }
+            Region &region = cfg.regions_[stack.back().regionIdx];
+            region.endIp = sip;
+            stack.pop_back();
+
+            if (in.target0 != region.headIp + 1) {
+                report.add(Check::Structure, Severity::Error, sip,
+                           "loop end target0 is %d, expected body "
+                           "start at %d", in.target0,
+                           region.headIp + 1);
+            }
+            for (const std::int32_t exit_ip : region.exitIps) {
+                const Instruction &exit_in =
+                    view.at(static_cast<std::uint32_t>(exit_ip));
+                if (exit_in.target0 != sip) {
+                    report.add(Check::Structure, Severity::Error,
+                               exit_ip,
+                               "%s target0 is %d, expected loop end "
+                               "at %d",
+                               isa::opcodeName(exit_in.op),
+                               exit_in.target0, sip);
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        const Region &region = cfg.regions_[it->regionIdx];
+        report.add(Check::Structure, Severity::Error, region.headIp,
+                   "unclosed %s",
+                   region.kind == Region::Kind::If ? "if" : "loop");
+    }
+
+    // Range-check every branch target independently of the pairing, so
+    // a wild target cannot crash the passes that follow the edges.
+    for (std::uint32_t ip = 0; ip < n; ++ip) {
+        const Instruction &in = view.at(ip);
+        const auto sip = static_cast<std::int32_t>(ip);
+        const bool needs0 = in.op == Opcode::If ||
+            in.op == Opcode::Else || in.op == Opcode::Break ||
+            in.op == Opcode::Cont || in.op == Opcode::LoopEnd;
+        if (needs0 && !inRange(in.target0, n)) {
+            report.add(Check::Structure, Severity::Error, sip,
+                       "%s target0 %d out of range",
+                       isa::opcodeName(in.op), in.target0);
+        }
+        if (in.op == Opcode::If && !inRange(in.target1, n)) {
+            report.add(Check::Structure, Severity::Error, sip,
+                       "if target1 %d out of range", in.target1);
+        }
+    }
+
+    cfg.structureOk_ = report.diags.size() == before;
+    if (!cfg.structureOk_)
+        return cfg;
+
+    // Successor edges, mirroring Interpreter::step's transitions.
+    cfg.succs_.assign(n, {});
+    for (std::uint32_t ip = 0; ip < n; ++ip) {
+        const Instruction &in = view.at(ip);
+        auto &succs = cfg.succs_[ip];
+        const auto t0 = static_cast<std::uint32_t>(in.target0);
+        switch (in.op) {
+          case Opcode::If: {
+            // An If jumps (to the else, or to the endif when there is
+            // no else) exactly when its mask comes up empty — which
+            // makes the else mask full, so the Else's own jump to the
+            // endif cannot follow. Landing the jump edge on the else
+            // *body* rather than the Else instruction excludes that
+            // mask-infeasible both-arms-skipped path, which would
+            // otherwise demote joins of registers defined in both arms
+            // to partially-defined.
+            const std::uint32_t jump =
+                view.at(t0).op == Opcode::Else ? t0 + 1 : t0;
+            succs.push_back(ip + 1);
+            if (jump != ip + 1)
+                succs.push_back(jump);
+            break;
+          }
+          case Opcode::Else:
+          case Opcode::Break:
+          case Opcode::Cont:
+            succs.push_back(ip + 1);
+            if (t0 != ip + 1)
+                succs.push_back(t0);
+            break;
+          case Opcode::LoopEnd:
+            succs.push_back(t0); // back edge (channels continuing)
+            succs.push_back(ip + 1);
+            break;
+          case Opcode::Halt:
+            break;
+          default:
+            succs.push_back(ip + 1);
+            break;
+        }
+    }
+
+    cfg.reachable_.assign(n, false);
+    std::vector<std::uint32_t> work{0};
+    cfg.reachable_[0] = true;
+    while (!work.empty()) {
+        const std::uint32_t ip = work.back();
+        work.pop_back();
+        for (const std::uint32_t succ : cfg.succs_[ip]) {
+            if (succ < n && !cfg.reachable_[succ]) {
+                cfg.reachable_[succ] = true;
+                work.push_back(succ);
+            }
+        }
+    }
+    return cfg;
+}
+
+void
+Cfg::reportUnreachable(Report &report) const
+{
+    if (!structureOk_)
+        return;
+    for (std::uint32_t ip = 0; ip < size_; ++ip) {
+        if (reachable_[ip])
+            continue;
+        std::uint32_t end = ip;
+        while (end + 1 < size_ && !reachable_[end + 1])
+            ++end;
+        if (end == ip) {
+            report.add(Check::Unreachable, Severity::Warning,
+                       static_cast<std::int32_t>(ip),
+                       "unreachable instruction");
+        } else {
+            report.add(Check::Unreachable, Severity::Warning,
+                       static_cast<std::int32_t>(ip),
+                       "unreachable instructions [%u, %u]", ip, end);
+        }
+        ip = end;
+    }
+}
+
+} // namespace iwc::lint

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Control-flow graph construction over a kernel's instruction stream.
+ * The builder pairs structured control flow (If/Else/EndIf,
+ * LoopBegin/LoopEnd with Break/Cont, Halt), rejecting malformed
+ * nesting and inconsistent branch targets with ip-level diagnostics,
+ * and derives what the later passes consume: per-ip successor edges
+ * that mirror the interpreter's transitions, the structured region
+ * tree (which instruction sits under which If/Loop), and entry
+ * reachability.
+ *
+ * Everything operates on a KernelView — a borrowed instruction span —
+ * rather than an isa::Kernel, because the interesting inputs are
+ * exactly the ones Kernel's constructor would fatal() on: the lint
+ * tests and the fuzzer feed deliberately malformed streams.
+ */
+
+#ifndef IWC_LINT_CFG_HH
+#define IWC_LINT_CFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "lint/report.hh"
+
+namespace iwc::lint
+{
+
+/** Borrowed, unvalidated view of a kernel's instruction stream. */
+struct KernelView
+{
+    std::string name;
+    unsigned simdWidth = 16;
+    const isa::Instruction *instrs = nullptr;
+    std::uint32_t size = 0;
+    unsigned firstTempReg = 0;
+    unsigned slmBytes = 0;
+    /** Argument metadata when known (initial-definedness seeding). */
+    const std::vector<isa::ArgInfo> *args = nullptr;
+
+    static KernelView of(const isa::Kernel &kernel);
+
+    const isa::Instruction &at(std::uint32_t ip) const
+    {
+        return instrs[ip];
+    }
+};
+
+/**
+ * GRF registers [first, last] covered by one operand access; invalid
+ * when the operand is not in the GRF or overruns the register file.
+ */
+struct RegSpan
+{
+    unsigned first = 0;
+    unsigned last = 0;
+    bool valid = false;
+};
+
+RegSpan operandRegs(const isa::Operand &op, unsigned width);
+
+/** One structured control-flow region (an If/Else/EndIf or a loop). */
+struct Region
+{
+    enum class Kind : std::uint8_t { If, Loop };
+
+    Kind kind = Kind::If;
+    std::int32_t parent = -1; ///< enclosing region index, -1 = top level
+    std::int32_t headIp = -1; ///< ip of If / LoopBegin
+    std::int32_t elseIp = -1; ///< ip of Else (If regions only)
+    std::int32_t endIp = -1;  ///< ip of EndIf / LoopEnd
+    /** Break/Cont instructions targeting this loop (Loop regions). */
+    std::vector<std::int32_t> exitIps;
+};
+
+/**
+ * The verified control-flow graph. Only meaningful when structureOk():
+ * a stream with malformed nesting gets diagnostics but no usable
+ * edges, and the dataflow passes skip it.
+ */
+class Cfg
+{
+  public:
+    /**
+     * Parses @p view's control structure, appending Structure
+     * diagnostics (and target-consistency errors) to @p report.
+     */
+    static Cfg build(const KernelView &view, Report &report);
+
+    bool structureOk() const { return structureOk_; }
+    std::uint32_t size() const { return size_; }
+
+    /** Successor ips of @p ip (0, 1, or 2 entries). */
+    const std::vector<std::uint32_t> &succs(std::uint32_t ip) const
+    {
+        return succs_[ip];
+    }
+
+    const std::vector<Region> &regions() const { return regions_; }
+
+    /** Innermost region containing @p ip, -1 for top-level code. */
+    std::int32_t regionOf(std::uint32_t ip) const
+    {
+        return regionOf_[ip];
+    }
+
+    /** True if some path from the entry reaches @p ip. */
+    bool reachable(std::uint32_t ip) const { return reachable_[ip]; }
+
+    /** Appends an Unreachable warning per unreachable ip range. */
+    void reportUnreachable(Report &report) const;
+
+  private:
+    bool structureOk_ = false;
+    std::uint32_t size_ = 0;
+    std::vector<std::vector<std::uint32_t>> succs_;
+    std::vector<Region> regions_;
+    std::vector<std::int32_t> regionOf_;
+    std::vector<bool> reachable_;
+};
+
+} // namespace iwc::lint
+
+#endif // IWC_LINT_CFG_HH

@@ -1,0 +1,467 @@
+#include "lint/divergence.hh"
+
+#include <array>
+
+#include "compaction/cycle_plan.hh"
+#include "compaction/mask_info.hh"
+#include "isa/disasm.hh"
+
+namespace iwc::lint
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::PredCtrl;
+using isa::SendOp;
+
+namespace
+{
+
+/** Lattice values: uniform (all channels equal) / varying. */
+constexpr std::uint8_t kUniform = 0;
+constexpr std::uint8_t kVarying = 1;
+
+constexpr unsigned kNumFlags = 2;
+
+/** Group-support enumeration limit: beyond this, fall back to G. */
+constexpr unsigned kMaxEnumGroups = 8;
+
+struct VState
+{
+    std::array<std::uint8_t, kGrfRegCount> reg{};
+    std::array<std::uint8_t, kNumFlags> flag{};
+
+    bool operator==(const VState &) const = default;
+};
+
+bool
+mergeInto(VState &into, const VState &from)
+{
+    bool changed = false;
+    for (unsigned r = 0; r < kGrfRegCount; ++r) {
+        const std::uint8_t m = into.reg[r] | from.reg[r];
+        changed |= m != into.reg[r];
+        into.reg[r] = m;
+    }
+    for (unsigned f = 0; f < kNumFlags; ++f) {
+        const std::uint8_t m = into.flag[f] | from.flag[f];
+        changed |= m != into.flag[f];
+        into.flag[f] = m;
+    }
+    return changed;
+}
+
+/** ALU/EM source arity (mirrors the interpreter's reads). */
+unsigned
+numAluSrcs(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov:
+      case Opcode::Not:
+      case Opcode::Rndd:
+      case Opcode::Frc:
+      case Opcode::Inv:
+      case Opcode::Sqrt:
+      case Opcode::Rsqrt:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::Exp2:
+      case Opcode::Log2:
+        return 1;
+      case Opcode::Mad:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+/**
+ * Value a source operand contributes. Immediates are uniform, and so
+ * are scalar reads: broadcasting element 0 gives every channel the
+ * same value regardless of how the register was produced.
+ */
+std::uint8_t
+srcVal(const VState &state, const Operand &op, unsigned width)
+{
+    if (!op.isGrf() || op.scalar)
+        return kUniform;
+    const RegSpan span = operandRegs(op, width);
+    if (!span.valid)
+        return kVarying;
+    std::uint8_t v = kUniform;
+    for (unsigned r = span.first; r <= span.last; ++r)
+        v |= state.reg[r];
+    return v;
+}
+
+/** The value dataflow plus the region-divergence outer iteration. */
+class Analyzer
+{
+  public:
+    Analyzer(const KernelView &view, const Cfg &cfg)
+        : view_(view), cfg_(cfg),
+          regionDiv_(cfg.regions().size(), false)
+    {
+    }
+
+    void
+    run()
+    {
+        // Region divergence feeds the transfer function (writes under
+        // divergent flow taint their destination) and itself depends
+        // on the flag values the dataflow computes, so iterate the
+        // pair to a joint fixpoint. Divergence only ever grows, so
+        // this terminates within |regions| + 1 rounds.
+        for (;;) {
+            flow();
+            if (!recomputeRegionDivergence())
+                break;
+        }
+    }
+
+    bool
+    branchDivergent(std::uint32_t ip) const
+    {
+        const Instruction &in = view_.at(ip);
+        if (in.predCtrl == PredCtrl::None || !hasIn_[ip])
+            return false;
+        return in_[ip].flag[in.predFlag % kNumFlags] == kVarying;
+    }
+
+    /** Divergent control-flow context of one instruction. */
+    bool
+    ctxDivergent(std::uint32_t ip) const
+    {
+        const std::int32_t region = cfg_.regionOf(ip);
+        return region >= 0 && regionDiv_[static_cast<unsigned>(region)];
+    }
+
+    /** Context or predication makes any submask reachable here. */
+    bool
+    anyMaskReachable(std::uint32_t ip) const
+    {
+        if (ctxDivergent(ip))
+            return true;
+        const Instruction &in = view_.at(ip);
+        return in.predCtrl != PredCtrl::None && hasIn_[ip] &&
+            in_[ip].flag[in.predFlag % kNumFlags] == kVarying;
+    }
+
+  private:
+    void
+    flow()
+    {
+        const std::uint32_t n = view_.size;
+        in_.assign(n, VState{});
+        hasIn_.assign(n, false);
+
+        // Entry: the id vectors are per-channel by construction;
+        // r0 and the argument registers hold broadcast scalars.
+        VState entry;
+        const unsigned id_regs =
+            (view_.simdWidth * 4 + kGrfRegBytes - 1) / kGrfRegBytes;
+        for (unsigned r = 1; r < 1 + 2 * id_regs && r < kGrfRegCount;
+             ++r)
+            entry.reg[r] = kVarying;
+        in_[0] = entry;
+        hasIn_[0] = true;
+
+        std::vector<std::uint32_t> work{0};
+        while (!work.empty()) {
+            const std::uint32_t ip = work.back();
+            work.pop_back();
+            VState out = in_[ip];
+            transfer(ip, out);
+            for (const std::uint32_t succ : cfg_.succs(ip)) {
+                if (!hasIn_[succ]) {
+                    in_[succ] = out;
+                    hasIn_[succ] = true;
+                    work.push_back(succ);
+                } else if (mergeInto(in_[succ], out)) {
+                    work.push_back(succ);
+                }
+            }
+        }
+    }
+
+    void
+    transfer(std::uint32_t ip, VState &state) const
+    {
+        const Instruction &in = view_.at(ip);
+        if (isa::isControlFlow(in.op))
+            return;
+        if (in.op == Opcode::Send) {
+            transferSend(ip, in, state);
+            return;
+        }
+
+        const unsigned arity = numAluSrcs(in.op);
+        std::uint8_t v = srcVal(state, in.src0, in.simdWidth);
+        if (arity >= 2)
+            v |= srcVal(state, in.src1, in.simdWidth);
+        if (arity >= 3)
+            v |= srcVal(state, in.src2, in.simdWidth);
+        if (in.op == Opcode::Sel)
+            v |= state.flag[in.condFlag % kNumFlags];
+
+        const bool predicated = in.predCtrl != PredCtrl::None;
+        const std::uint8_t pred_v =
+            predicated ? state.flag[in.predFlag % kNumFlags] : kUniform;
+        // Writes that touch only part of the destination's channels
+        // leave the rest stale and can never prove it uniform: scalar
+        // or narrower-than-kernel writes mix elements outright;
+        // divergent context or a varying predicate mixes old and new
+        // per channel; a uniform predicate keeps either all-old or
+        // all-new, so it joins the two.
+        const bool elementwise_partial =
+            in.dst.scalar || in.simdWidth < view_.simdWidth;
+        const bool ctx_div = ctxDivergent(ip);
+
+        if (in.op == Opcode::Cmp) {
+            const unsigned f = in.condFlag % kNumFlags;
+            if (elementwise_partial || ctx_div || pred_v == kVarying)
+                state.flag[f] = kVarying;
+            else if (predicated)
+                state.flag[f] |= v;
+            else
+                state.flag[f] = v;
+            return; // cmp writes no GRF destination
+        }
+
+        const RegSpan span = operandRegs(in.dst, in.simdWidth);
+        if (!span.valid)
+            return;
+        for (unsigned r = span.first; r <= span.last; ++r) {
+            if (elementwise_partial || ctx_div || pred_v == kVarying)
+                state.reg[r] = kVarying;
+            else if (predicated)
+                state.reg[r] |= v;
+            else
+                state.reg[r] = v;
+        }
+    }
+
+    void
+    transferSend(std::uint32_t ip, const Instruction &in,
+                 VState &state) const
+    {
+        (void)ip;
+        switch (in.send.op) {
+          case SendOp::GatherLoad:
+          case SendOp::SlmGatherLoad:
+          case SendOp::SlmAtomicAdd: {
+            // Loaded data is opaque: assume per-channel values.
+            const RegSpan span = operandRegs(in.dst, in.simdWidth);
+            if (span.valid)
+                for (unsigned r = span.first; r <= span.last; ++r)
+                    state.reg[r] = kVarying;
+            return;
+          }
+          case SendOp::BlockLoad:
+            if (in.dst.isGrf()) {
+                for (unsigned i = 0; i < in.send.numRegs; ++i) {
+                    const unsigned r = in.dst.reg + i;
+                    if (r < kGrfRegCount)
+                        state.reg[r] = kVarying;
+                }
+            }
+            return;
+          default:
+            return; // stores, barrier, fence: no GRF writes
+        }
+    }
+
+    bool
+    recomputeRegionDivergence()
+    {
+        bool changed = false;
+        const std::vector<Region> &regions = cfg_.regions();
+        // Regions are recorded in open order, so parents precede
+        // children and one forward sweep inherits correctly.
+        for (unsigned i = 0; i < regions.size(); ++i) {
+            const Region &region = regions[i];
+            bool div = region.parent >= 0 &&
+                regionDiv_[static_cast<unsigned>(region.parent)];
+            if (region.kind == Region::Kind::If) {
+                div = div ||
+                    branchDivergent(
+                        static_cast<std::uint32_t>(region.headIp));
+            } else {
+                div = div ||
+                    branchDivergent(
+                        static_cast<std::uint32_t>(region.endIp));
+                for (const std::int32_t exit_ip : region.exitIps) {
+                    div = div ||
+                        branchDivergent(
+                            static_cast<std::uint32_t>(exit_ip));
+                }
+            }
+            changed |= div && !regionDiv_[i];
+            regionDiv_[i] = regionDiv_[i] || div;
+        }
+        return changed;
+    }
+
+    const KernelView &view_;
+    const Cfg &cfg_;
+    std::vector<bool> regionDiv_;
+    std::vector<VState> in_;
+    std::vector<bool> hasIn_;
+};
+
+/** Can this launch ever dispatch a subgroup with a partial mask? */
+bool
+launchHasTails(const LaunchShape &launch, unsigned simd_width)
+{
+    if (launch.globalSize == 0 || launch.localSize == 0)
+        return true; // unknown launch: assume the worst
+    return launch.localSize % simd_width != 0 ||
+        launch.globalSize % launch.localSize != 0;
+}
+
+/** Max IvbOpt-vs-mode savings over a set of candidate masks. */
+void
+maxSavings(const Instruction &in, const std::vector<LaneMask> &masks,
+           unsigned &save_bcc, unsigned &save_scc)
+{
+    const auto eb = static_cast<std::uint8_t>(isa::execElemBytes(in));
+    save_bcc = 0;
+    save_scc = 0;
+    for (const LaneMask mask : masks) {
+        const compaction::ExecShape shape{in.simdWidth, eb, mask};
+        const unsigned ivb =
+            compaction::planCycleCount(compaction::Mode::IvbOpt, shape);
+        const unsigned bcc =
+            compaction::planCycleCount(compaction::Mode::Bcc, shape);
+        const unsigned scc =
+            compaction::planCycleCount(compaction::Mode::Scc, shape);
+        if (ivb > bcc && ivb - bcc > save_bcc)
+            save_bcc = ivb - bcc;
+        if (ivb > scc && ivb - scc > save_scc)
+            save_scc = ivb - scc;
+    }
+}
+
+} // namespace
+
+DivergenceReport
+analyzeDivergence(const KernelView &view, const LaunchShape &launch)
+{
+    DivergenceReport report;
+    report.kernel = view.name;
+
+    Report scratch;
+    const Cfg cfg = Cfg::build(view, scratch);
+    if (!cfg.structureOk())
+        return report;
+    report.valid = true;
+
+    Analyzer analyzer(view, cfg);
+    analyzer.run();
+
+    const std::uint32_t n = view.size;
+    report.divergentCtx.assign(n, false);
+    report.maxSaveBcc.assign(n, 0);
+    report.maxSaveScc.assign(n, 0);
+
+    for (std::uint32_t ip = 0; ip < n; ++ip) {
+        const Instruction &in = view.at(ip);
+        report.divergentCtx[ip] = analyzer.ctxDivergent(ip);
+
+        if (in.op == Opcode::If || in.op == Opcode::LoopEnd ||
+            in.op == Opcode::Break || in.op == Opcode::Cont) {
+            report.branches.push_back(
+                {ip, in.op, analyzer.branchDivergent(ip)});
+        }
+
+        // Control flow and sends cost the same cycles in every mode;
+        // only ALU/EM instructions are compressible.
+        if (isa::isControlFlow(in.op) || in.op == Opcode::Send)
+            continue;
+
+        const auto eb =
+            static_cast<std::uint8_t>(isa::execElemBytes(in));
+        const unsigned gw = compaction::groupWidth(in.simdWidth, eb);
+        const unsigned groups = compaction::numGroups(in.simdWidth, eb);
+        std::vector<LaneMask> masks;
+
+        if (analyzer.anyMaskReachable(ip)) {
+            if (groups > kMaxEnumGroups) {
+                // IvbOpt never exceeds `groups` cycles and BCC/SCC
+                // never go negative, so `groups` bounds the savings.
+                report.maxSaveBcc[ip] = groups;
+                report.maxSaveScc[ip] = groups;
+                continue;
+            }
+            // IvbOpt/BCC cycles depend only on which groups are
+            // non-empty, and SCC is minimized at one channel per
+            // group — so one representative per group-support set
+            // dominates every reachable mask.
+            for (unsigned support = 0; support < (1u << groups);
+                 ++support) {
+                LaneMask mask = 0;
+                for (unsigned g = 0; g < groups; ++g)
+                    if (support & (1u << g))
+                        mask |= LaneMask{1} << (g * gw);
+                masks.push_back(mask);
+            }
+        } else {
+            // Uniform context: the dispatcher only ever produces
+            // prefix masks, full unless the launch has tails.
+            if (launchHasTails(launch, view.simdWidth)) {
+                for (unsigned k = 1; k <= in.simdWidth; ++k)
+                    masks.push_back(laneMaskForWidth(k));
+            } else {
+                masks.push_back(laneMaskForWidth(in.simdWidth));
+            }
+            if (in.predCtrl != PredCtrl::None)
+                masks.push_back(0); // uniform all-false predicate
+        }
+        maxSavings(in, masks, report.maxSaveBcc[ip],
+                   report.maxSaveScc[ip]);
+    }
+    return report;
+}
+
+DivergenceReport
+analyzeDivergence(const isa::Kernel &kernel, const LaunchShape &launch)
+{
+    return analyzeDivergence(KernelView::of(kernel), launch);
+}
+
+std::string
+renderDivergence(const DivergenceReport &report,
+                 const isa::Kernel *kernel)
+{
+    std::string out = report.kernel + ": ";
+    if (!report.valid) {
+        out += "not analyzable (kernel fails verification)\n";
+        return out;
+    }
+    out += std::to_string(report.branches.size()) + " branches, " +
+        std::to_string(report.divergentBranchCount()) + " divergent\n";
+    for (const BranchClass &b : report.branches) {
+        out += "  @" + std::to_string(b.ip) + ": ";
+        out += b.divergent ? "divergent" : "uniform  ";
+        if (kernel != nullptr && b.ip < kernel->size()) {
+            out += "  ";
+            out += isa::instrToString(kernel->instr(b.ip));
+        } else {
+            out += "  ";
+            out += isa::opcodeName(b.op);
+        }
+        out += "\n";
+    }
+    unsigned long long bcc = 0, scc = 0;
+    for (const unsigned s : report.maxSaveBcc)
+        bcc += s;
+    for (const unsigned s : report.maxSaveScc)
+        scc += s;
+    out += "  static savable upper bound (cycles per single pass): "
+           "bcc=" + std::to_string(bcc) + " scc=" + std::to_string(scc) +
+        "\n";
+    return out;
+}
+
+} // namespace iwc::lint

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Static divergence analysis: a uniform/varying value lattice
+ * propagated from thread-id provenance through the kernel's dataflow,
+ * classifying every structured branch as warp-uniform (all channels
+ * always agree, so the EU never splits the mask there) or potentially
+ * divergent — and from that, a per-instruction static upper bound on
+ * the execution cycles BCC/SCC compaction can ever reclaim relative
+ * to the IvbOpt baseline.
+ *
+ * Sources of varying values: the per-channel global/local id vectors,
+ * anything loaded from memory, and partial writes (predicated on a
+ * varying flag, or performed under divergent control flow, where
+ * inactive channels keep stale data). Scalar (broadcast) operands and
+ * immediates are always uniform, whatever register they read.
+ *
+ * The cycle bound is sound by construction against the simulator:
+ *  - In uniform context the execution mask is provably a prefix mask
+ *    (the dispatcher builds subgroup masks as laneMaskForWidth(k)),
+ *    so the bound maximizes IvbOpt-vs-BCC/SCC savings over prefix
+ *    masks — and only when the launch shape can produce tails at all.
+ *  - In divergent context any submask is possible; since IvbOpt and
+ *    BCC cycle counts depend only on which channel groups are
+ *    non-empty and SCC is minimized at one channel per group, the
+ *    maximum over all 2^numGroups group-support sets (taken with a
+ *    one-channel representative each) dominates every reachable mask.
+ * tests/test_lint_divergence.cc cross-checks the bound against
+ * measured per-mode cycles on every registered workload.
+ */
+
+#ifndef IWC_LINT_DIVERGENCE_HH
+#define IWC_LINT_DIVERGENCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/cfg.hh"
+
+namespace iwc::lint
+{
+
+/** Launch geometry, for tail reasoning. Zeroes mean "unknown". */
+struct LaunchShape
+{
+    std::uint64_t globalSize = 0;
+    std::uint64_t localSize = 0;
+};
+
+/** Classification of one structured branch point. */
+struct BranchClass
+{
+    std::uint32_t ip = 0;
+    isa::Opcode op = isa::Opcode::If;
+    bool divergent = false;
+};
+
+/** Everything the divergence analysis derives about one kernel. */
+struct DivergenceReport
+{
+    std::string kernel;
+    /** False when the kernel fails structural verification. */
+    bool valid = false;
+    /** Every If / LoopEnd / Break / Cont, classified. */
+    std::vector<BranchClass> branches;
+    /** Per ip: executes under potentially divergent control flow. */
+    std::vector<bool> divergentCtx;
+    /**
+     * Per ip, per execution: max EU cycles BCC (resp. SCC) can save
+     * over IvbOpt for any mask this instruction can execute with.
+     */
+    std::vector<unsigned> maxSaveBcc;
+    std::vector<unsigned> maxSaveScc;
+
+    unsigned
+    divergentBranchCount() const
+    {
+        unsigned n = 0;
+        for (const BranchClass &b : branches)
+            n += b.divergent;
+        return n;
+    }
+};
+
+/**
+ * Runs the analysis. The kernel must be structurally valid (verify()
+ * reports no errors); otherwise the report comes back with
+ * valid == false and no classifications.
+ */
+DivergenceReport analyzeDivergence(const KernelView &view,
+                                   const LaunchShape &launch = {});
+
+DivergenceReport analyzeDivergence(const isa::Kernel &kernel,
+                                   const LaunchShape &launch = {});
+
+/** Human-readable rendering of the per-branch classification. */
+std::string renderDivergence(const DivergenceReport &report,
+                             const isa::Kernel *kernel = nullptr);
+
+} // namespace iwc::lint
+
+#endif // IWC_LINT_DIVERGENCE_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Diagnostic container for the static kernel verifier: every check
+ * emits ip-anchored Diag records into a Report instead of calling
+ * fatal(), so one lint run can surface every defect of a kernel at
+ * once and tools/tests can assert on exact diagnostics.
+ */
+
+#ifndef IWC_LINT_REPORT_HH
+#define IWC_LINT_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iwc::isa
+{
+class Kernel;
+}
+
+namespace iwc::lint
+{
+
+/** The distinct verifier checks (one enumerator per diagnostic kind). */
+enum class Check : std::uint8_t
+{
+    Structure,   ///< malformed If/Loop nesting or inconsistent targets
+    UndefRead,   ///< GRF or flag register read before any definition
+    Width,       ///< illegal/oversized SIMD width, bad flag index
+    Region,      ///< operand region outside the GRF, immediate dst
+    BadSend,     ///< inconsistent Send descriptor / operands
+    SelfHazard,  ///< send reads a register its own writeback claims
+    Unreachable, ///< code no execution path reaches
+    NumChecks,
+};
+
+constexpr unsigned kNumChecks = static_cast<unsigned>(Check::NumChecks);
+
+const char *checkName(Check check);
+
+/** Diagnostic weight: errors make a kernel unfit to simulate. */
+enum class Severity : std::uint8_t
+{
+    Error,
+    Warning,
+};
+
+const char *severityName(Severity severity);
+
+/** One diagnostic, anchored to the instruction that provoked it. */
+struct Diag
+{
+    Check check = Check::Structure;
+    Severity severity = Severity::Error;
+    std::int32_t ip = -1; ///< instruction index, -1 = whole kernel
+    std::string message;
+};
+
+/** Everything one verifier run found about one kernel. */
+struct Report
+{
+    std::string kernel;
+    std::vector<Diag> diags;
+
+    bool clean() const { return diags.empty(); }
+
+    bool
+    hasErrors() const
+    {
+        for (const Diag &d : diags)
+            if (d.severity == Severity::Error)
+                return true;
+        return false;
+    }
+
+    unsigned
+    count(Check check) const
+    {
+        unsigned n = 0;
+        for (const Diag &d : diags)
+            if (d.check == check)
+                ++n;
+        return n;
+    }
+
+    /** Appends a printf-formatted diagnostic. */
+    void add(Check check, Severity severity, std::int32_t ip,
+             const char *fmt, ...)
+        __attribute__((format(printf, 5, 6)));
+};
+
+/**
+ * Human-readable rendering, one line per diagnostic; when @p kernel is
+ * given each line carries the disassembly of the offending instruction.
+ */
+std::string renderText(const Report &report,
+                       const isa::Kernel *kernel = nullptr);
+
+/** Machine-readable rendering (a JSON object, diagnostics as array). */
+std::string renderJson(const Report &report);
+
+} // namespace iwc::lint
+
+#endif // IWC_LINT_REPORT_HH

@@ -1,0 +1,634 @@
+#include "lint/verifier.hh"
+
+#include <array>
+#include <vector>
+
+#include "common/logging.hh"
+#include "func/predecode.hh"
+#include "isa/builder.hh"
+
+namespace iwc::lint
+{
+
+using isa::DataType;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::PredCtrl;
+using isa::SendOp;
+
+namespace
+{
+
+/** EU flag register count (f0/f1, as in ThreadState). */
+constexpr unsigned kNumFlags = 2;
+
+bool
+legalSimdWidth(unsigned w)
+{
+    return w == 1 || w == 4 || w == 8 || w == 16 || w == 32;
+}
+
+/** ALU/EM source arity; how many of src0..src2 the interpreter reads. */
+unsigned
+numAluSrcs(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov:
+      case Opcode::Not:
+      case Opcode::Rndd:
+      case Opcode::Frc:
+      case Opcode::Inv:
+      case Opcode::Sqrt:
+      case Opcode::Rsqrt:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::Exp2:
+      case Opcode::Log2:
+        return 1;
+      case Opcode::Mad:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+// --- Pass: SIMD widths, flag indices, condition modifiers -------------
+
+void
+checkWidth(const KernelView &view, std::uint32_t ip,
+           const Instruction &in, Report &report)
+{
+    const auto sip = static_cast<std::int32_t>(ip);
+    if (!legalSimdWidth(in.simdWidth)) {
+        report.add(Check::Width, Severity::Error, sip,
+                   "illegal SIMD width %u", in.simdWidth);
+    } else if (in.simdWidth > view.simdWidth) {
+        report.add(Check::Width, Severity::Error, sip,
+                   "SIMD%u instruction in a SIMD%u kernel",
+                   in.simdWidth, view.simdWidth);
+    }
+    // Out-of-range flag fields are errors even when the instruction
+    // never reads them: predecode rejects them unconditionally.
+    if (in.predFlag >= kNumFlags) {
+        report.add(Check::Width, Severity::Error, sip,
+                   "predicate flag f%u out of range", in.predFlag);
+    }
+    if (in.condFlag >= kNumFlags) {
+        report.add(Check::Width, Severity::Error, sip,
+                   "condition flag f%u out of range", in.condFlag);
+    }
+    if (in.op == Opcode::Cmp && in.condMod == isa::CondMod::None) {
+        report.add(Check::Width, Severity::Error, sip,
+                   "cmp without condition modifier");
+    }
+    if (in.op != Opcode::Cmp && in.condMod != isa::CondMod::None) {
+        report.add(Check::Width, Severity::Warning, sip,
+                   "condition modifier on %s is ignored",
+                   isa::opcodeName(in.op));
+    }
+}
+
+// --- Pass: operand regions and arity ----------------------------------
+
+void
+checkOperandRegion(std::uint32_t ip, const Instruction &in,
+                   const Operand &op, const char *which, Report &report)
+{
+    if (!op.isGrf())
+        return;
+    const unsigned elems = op.scalar ? 1 : in.simdWidth;
+    const unsigned begin = op.grfByteOffset();
+    const unsigned end = begin + elems * isa::dataTypeSize(op.type);
+    if (end > kGrfRegCount * kGrfRegBytes) {
+        report.add(Check::Region, Severity::Error,
+                   static_cast<std::int32_t>(ip),
+                   "%s region r%u [%u, %u) overruns the GRF", which,
+                   op.reg, begin, end);
+    }
+}
+
+void
+checkRegion(std::uint32_t ip, const Instruction &in, Report &report)
+{
+    const auto sip = static_cast<std::int32_t>(ip);
+    if (in.dst.isImm()) {
+        report.add(Check::Region, Severity::Error, sip,
+                   "immediate destination");
+    }
+    checkOperandRegion(ip, in, in.dst, "dst", report);
+    checkOperandRegion(ip, in, in.src0, "src0", report);
+    checkOperandRegion(ip, in, in.src1, "src1", report);
+    checkOperandRegion(ip, in, in.src2, "src2", report);
+
+    if (isa::isControlFlow(in.op)) {
+        if (!in.dst.isNull() || !in.src0.isNull() || !in.src1.isNull() ||
+            !in.src2.isNull()) {
+            report.add(Check::Region, Severity::Warning, sip,
+                       "%s ignores its operands",
+                       isa::opcodeName(in.op));
+        }
+        return;
+    }
+    if (in.op == Opcode::Send)
+        return; // the send pass owns operand shape
+
+    const unsigned arity = numAluSrcs(in.op);
+    const Operand *srcs[3] = {&in.src0, &in.src1, &in.src2};
+    const char *names[3] = {"src0", "src1", "src2"};
+    for (unsigned i = 0; i < 3; ++i) {
+        if (i < arity && srcs[i]->isNull()) {
+            report.add(Check::Region, Severity::Error, sip,
+                       "%s reads %s but it is null",
+                       isa::opcodeName(in.op), names[i]);
+        } else if (i >= arity && !srcs[i]->isNull()) {
+            report.add(Check::Region, Severity::Warning, sip,
+                       "%s does not read %s", isa::opcodeName(in.op),
+                       names[i]);
+        }
+    }
+    if (in.dst.isNull() && in.op != Opcode::Cmp) {
+        report.add(Check::Region, Severity::Warning, sip,
+                   "%s result is discarded (null dst)",
+                   isa::opcodeName(in.op));
+    }
+}
+
+// --- Pass: Send descriptor validation ---------------------------------
+
+void
+checkSend(const KernelView &view, std::uint32_t ip,
+          const Instruction &in, Report &report)
+{
+    if (in.op != Opcode::Send)
+        return;
+    const auto sip = static_cast<std::int32_t>(ip);
+    const SendOp sop = in.send.op;
+    const unsigned send_bytes = isa::dataTypeSize(in.send.type);
+
+    if (sop == SendOp::Barrier || sop == SendOp::Fence) {
+        if (!in.dst.isNull() || !in.src0.isNull() || !in.src1.isNull()) {
+            report.add(Check::BadSend, Severity::Error, sip,
+                       "%s takes no operands", isa::sendOpName(sop));
+        }
+        return;
+    }
+
+    // Every memory message carries addresses in src0.
+    if (in.src0.isNull()) {
+        report.add(Check::BadSend, Severity::Error, sip,
+                   "%s has no address operand (src0)",
+                   isa::sendOpName(sop));
+    } else {
+        const bool block =
+            sop == SendOp::BlockLoad || sop == SendOp::BlockStore;
+        if (block) {
+            if (in.src0.isGrf() && !in.src0.scalar) {
+                report.add(Check::BadSend, Severity::Warning, sip,
+                           "%s address should be scalar (only element "
+                           "0 is read)", isa::sendOpName(sop));
+            }
+        } else if (!in.src0.isGrf()) {
+            report.add(Check::BadSend, Severity::Error, sip,
+                       "%s per-channel addresses must live in the GRF",
+                       isa::sendOpName(sop));
+        }
+        if (in.src0.isGrf() &&
+            isa::dataTypeSize(in.src0.type) != 4) {
+            report.add(Check::BadSend, Severity::Warning, sip,
+                       "address operand is %s, expected a 32-bit type",
+                       isa::dataTypeName(in.src0.type));
+        }
+    }
+
+    if (isa::isSlmSend(sop) && view.slmBytes == 0) {
+        report.add(Check::BadSend, Severity::Error, sip,
+                   "%s but the kernel declares no SLM",
+                   isa::sendOpName(sop));
+    }
+
+    switch (sop) {
+      case SendOp::GatherLoad:
+      case SendOp::SlmGatherLoad:
+        if (!in.dst.isGrf()) {
+            report.add(Check::BadSend, Severity::Error, sip,
+                       "%s needs a GRF destination",
+                       isa::sendOpName(sop));
+        } else if (isa::dataTypeSize(in.dst.type) != send_bytes) {
+            report.add(Check::BadSend, Severity::Error, sip,
+                       "%s moves %u-byte elements into a %u-byte dst",
+                       isa::sendOpName(sop), send_bytes,
+                       isa::dataTypeSize(in.dst.type));
+        }
+        break;
+      case SendOp::ScatterStore:
+      case SendOp::SlmScatterStore:
+        if (!in.src1.isGrf()) {
+            report.add(Check::BadSend, Severity::Error, sip,
+                       "%s needs GRF store data in src1",
+                       isa::sendOpName(sop));
+        } else if (isa::dataTypeSize(in.src1.type) != send_bytes) {
+            report.add(Check::BadSend, Severity::Error, sip,
+                       "%s stores %u-byte elements from a %u-byte src1",
+                       isa::sendOpName(sop), send_bytes,
+                       isa::dataTypeSize(in.src1.type));
+        }
+        if (!in.dst.isNull()) {
+            report.add(Check::BadSend, Severity::Warning, sip,
+                       "%s writes nothing back (dst is ignored)",
+                       isa::sendOpName(sop));
+        }
+        break;
+      case SendOp::SlmAtomicAdd:
+        if (in.src1.isNull()) {
+            report.add(Check::BadSend, Severity::Error, sip,
+                       "atomic add has no addend operand (src1)");
+        }
+        break;
+      case SendOp::BlockLoad:
+      case SendOp::BlockStore: {
+        if (in.send.numRegs == 0) {
+            report.add(Check::BadSend, Severity::Error, sip,
+                       "block message moves zero registers");
+        }
+        const Operand &data =
+            sop == SendOp::BlockLoad ? in.dst : in.src1;
+        const char *what =
+            sop == SendOp::BlockLoad ? "destination" : "source";
+        if (!data.isGrf()) {
+            report.add(Check::BadSend, Severity::Error, sip,
+                       "block %s must be a GRF register", what);
+        } else if (data.reg + in.send.numRegs > kGrfRegCount) {
+            report.add(Check::BadSend, Severity::Error, sip,
+                       "block %s r%u..r%u overruns the GRF", what,
+                       data.reg, data.reg + in.send.numRegs - 1);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+// --- Pass: def-before-use dataflow ------------------------------------
+
+/**
+ * Per-register definedness. "Partial" means defined for some channels
+ * or elements only: predicated or scalar writes, and writes that
+ * happened on only one path into a control-flow join, never promote a
+ * register past Partial.
+ */
+enum class DefState : std::uint8_t
+{
+    Undef,
+    Partial,
+    Def,
+};
+
+struct FlowState
+{
+    std::array<DefState, kGrfRegCount> reg{};
+    std::array<DefState, kNumFlags> flag{};
+
+    bool operator==(const FlowState &) const = default;
+};
+
+/** Join at control-flow merges: agree, or drop to Partial. */
+DefState
+mergeState(DefState a, DefState b)
+{
+    return a == b ? a : DefState::Partial;
+}
+
+bool
+mergeInto(FlowState &into, const FlowState &from)
+{
+    bool changed = false;
+    for (unsigned r = 0; r < kGrfRegCount; ++r) {
+        const DefState m = mergeState(into.reg[r], from.reg[r]);
+        changed |= m != into.reg[r];
+        into.reg[r] = m;
+    }
+    for (unsigned f = 0; f < kNumFlags; ++f) {
+        const DefState m = mergeState(into.flag[f], from.flag[f]);
+        changed |= m != into.flag[f];
+        into.flag[f] = m;
+    }
+    return changed;
+}
+
+/** The dataflow engine for the def-before-use pass. */
+class DefUse
+{
+  public:
+    DefUse(const KernelView &view, const Cfg &cfg,
+           const VerifyOptions &options)
+        : view_(view), cfg_(cfg), options_(options)
+    {
+    }
+
+    void
+    run(Report &report)
+    {
+        const std::uint32_t n = view_.size;
+        in_.assign(n, FlowState{});
+        hasIn_.assign(n, false);
+
+        // Entry state: the dispatch payload (r0, the id vectors, one
+        // register per argument — everything below firstTempReg) is
+        // preloaded; temporaries and flags start undefined.
+        FlowState entry;
+        const unsigned preloaded =
+            view_.firstTempReg > 0 ? view_.firstTempReg : 1;
+        for (unsigned r = 0; r < preloaded && r < kGrfRegCount; ++r)
+            entry.reg[r] = DefState::Def;
+        in_[0] = entry;
+        hasIn_[0] = true;
+
+        std::vector<std::uint32_t> work{0};
+        while (!work.empty()) {
+            const std::uint32_t ip = work.back();
+            work.pop_back();
+            FlowState out = in_[ip];
+            transfer(ip, out, nullptr);
+            for (const std::uint32_t succ : cfg_.succs(ip)) {
+                if (!hasIn_[succ]) {
+                    in_[succ] = out;
+                    hasIn_[succ] = true;
+                    work.push_back(succ);
+                } else if (mergeInto(in_[succ], out)) {
+                    work.push_back(succ);
+                }
+            }
+        }
+
+        // Fixpoint reached: replay each reachable instruction once,
+        // reporting against its final input state.
+        for (std::uint32_t ip = 0; ip < n; ++ip) {
+            if (!hasIn_[ip])
+                continue;
+            FlowState state = in_[ip];
+            transfer(ip, state, &report);
+        }
+    }
+
+  private:
+    void
+    readRegs(const Instruction &in, const Operand &op, const char *which,
+             std::uint32_t ip, const FlowState &state, Report *report)
+    {
+        const RegSpan range = operandRegs(op, in.simdWidth);
+        if (!range.valid || report == nullptr)
+            return;
+        for (unsigned r = range.first; r <= range.last; ++r) {
+            if (state.reg[r] == DefState::Undef) {
+                report->add(Check::UndefRead, Severity::Error,
+                            static_cast<std::int32_t>(ip),
+                            "%s reads r%u before any definition", which,
+                            r);
+            } else if (state.reg[r] == DefState::Partial &&
+                       options_.warnPartialReads && !op.scalar &&
+                       in.predCtrl == PredCtrl::None) {
+                report->add(Check::UndefRead, Severity::Warning,
+                            static_cast<std::int32_t>(ip),
+                            "%s reads r%u, defined only for some "
+                            "channels", which, r);
+            }
+        }
+    }
+
+    void
+    readFlag(unsigned flag, std::uint32_t ip, const FlowState &state,
+             Report *report)
+    {
+        if (report == nullptr || flag >= kNumFlags)
+            return;
+        if (state.flag[flag] == DefState::Undef) {
+            report->add(Check::UndefRead, Severity::Error,
+                        static_cast<std::int32_t>(ip),
+                        "f%u read before any cmp defines it", flag);
+        }
+    }
+
+    void
+    writeRegs(const Operand &op, unsigned width, bool full,
+              FlowState &state)
+    {
+        const RegSpan range = operandRegs(op, width);
+        if (!range.valid)
+            return;
+        const bool partial = !full || op.scalar;
+        for (unsigned r = range.first; r <= range.last; ++r) {
+            state.reg[r] = partial
+                ? mergeState(state.reg[r], DefState::Def)
+                : DefState::Def;
+        }
+    }
+
+    /**
+     * Applies instruction @p ip to @p state; with @p report set, also
+     * emits UndefRead diagnostics for the reads it performs.
+     */
+    void
+    transfer(std::uint32_t ip, FlowState &state, Report *report)
+    {
+        const Instruction &in = view_.at(ip);
+        const bool predicated = in.predCtrl != PredCtrl::None;
+
+        switch (in.op) {
+          case Opcode::If:
+          case Opcode::Break:
+          case Opcode::Cont:
+          case Opcode::LoopEnd:
+            if (predicated)
+                readFlag(in.predFlag, ip, state, report);
+            return;
+          case Opcode::Else:
+          case Opcode::EndIf:
+          case Opcode::LoopBegin:
+          case Opcode::Halt:
+            return;
+          default:
+            break;
+        }
+        if (predicated)
+            readFlag(in.predFlag, ip, state, report);
+
+        if (in.op == Opcode::Send) {
+            transferSend(ip, in, state, report);
+            return;
+        }
+
+        const unsigned arity = numAluSrcs(in.op);
+        readRegs(in, in.src0, "src0", ip, state, report);
+        if (arity >= 2)
+            readRegs(in, in.src1, "src1", ip, state, report);
+        if (arity >= 3)
+            readRegs(in, in.src2, "src2", ip, state, report);
+        if (in.op == Opcode::Sel)
+            readFlag(in.condFlag, ip, state, report);
+
+        if (in.op == Opcode::Cmp) {
+            // Only enabled channels update their flag bit, so a
+            // predicated or narrower-than-kernel cmp leaves the rest
+            // of the flag stale.
+            const bool full =
+                !predicated && in.simdWidth >= view_.simdWidth;
+            if (in.condFlag < kNumFlags) {
+                state.flag[in.condFlag] = full
+                    ? DefState::Def
+                    : mergeState(state.flag[in.condFlag], DefState::Def);
+            }
+        }
+        writeRegs(in.dst, in.simdWidth, !predicated, state);
+    }
+
+    void
+    transferSend(std::uint32_t ip, const Instruction &in,
+                 FlowState &state, Report *report)
+    {
+        const bool predicated = in.predCtrl != PredCtrl::None;
+        switch (in.send.op) {
+          case SendOp::Barrier:
+          case SendOp::Fence:
+            return;
+          case SendOp::BlockLoad:
+            readRegs(in, in.src0, "address", ip, state, report);
+            // A block load fills whole registers regardless of mask.
+            if (in.dst.isGrf()) {
+                for (unsigned i = 0; i < in.send.numRegs; ++i) {
+                    const unsigned r = in.dst.reg + i;
+                    if (r < kGrfRegCount)
+                        state.reg[r] = DefState::Def;
+                }
+            }
+            return;
+          case SendOp::BlockStore:
+            readRegs(in, in.src0, "address", ip, state, report);
+            if (in.src1.isGrf() && report != nullptr) {
+                for (unsigned i = 0; i < in.send.numRegs; ++i) {
+                    const unsigned r = in.src1.reg + i;
+                    if (r < kGrfRegCount &&
+                        state.reg[r] == DefState::Undef) {
+                        report->add(Check::UndefRead, Severity::Error,
+                                    static_cast<std::int32_t>(ip),
+                                    "block store reads r%u before any "
+                                    "definition", r);
+                    }
+                }
+            }
+            return;
+          case SendOp::GatherLoad:
+          case SendOp::SlmGatherLoad:
+            readRegs(in, in.src0, "address", ip, state, report);
+            writeRegs(in.dst, in.simdWidth, !predicated, state);
+            return;
+          case SendOp::ScatterStore:
+          case SendOp::SlmScatterStore:
+            readRegs(in, in.src0, "address", ip, state, report);
+            readRegs(in, in.src1, "data", ip, state, report);
+            return;
+          case SendOp::SlmAtomicAdd:
+            readRegs(in, in.src0, "address", ip, state, report);
+            readRegs(in, in.src1, "addend", ip, state, report);
+            writeRegs(in.dst, in.simdWidth, !predicated, state);
+            return;
+        }
+    }
+
+    const KernelView &view_;
+    const Cfg &cfg_;
+    const VerifyOptions &options_;
+    std::vector<FlowState> in_;
+    std::vector<bool> hasIn_;
+};
+
+// --- Pass: scoreboard self-hazard -------------------------------------
+
+/**
+ * A Send whose writeback claims a register its own payload reads would
+ * race that payload in hardware (the message engine drains the payload
+ * asynchronously while the writeback lands). Detected over predecode's
+ * flattened dependence lists: the claim registers are appended last, so
+ * the leading depCount - claimCount entries are exactly the payload.
+ */
+void
+checkSelfHazard(const KernelView &view, Report &report)
+{
+    const func::DecodedKernel decoded(view.instrs, view.size);
+    for (std::uint32_t ip = 0; ip < view.size; ++ip) {
+        const func::DecodedInstr &d = decoded.at(ip);
+        if (d.op != Opcode::Send || d.claimCount == 0)
+            continue;
+        const std::uint8_t *payload = decoded.depPool() + d.depOff;
+        const unsigned payload_count = d.depCount - d.claimCount;
+        const std::uint8_t *claims = decoded.depPool() + d.claimOff;
+        for (unsigned i = 0; i < payload_count; ++i) {
+            bool hit = false;
+            for (unsigned j = 0; j < d.claimCount && !hit; ++j)
+                hit = payload[i] == claims[j];
+            if (hit) {
+                report.add(Check::SelfHazard, Severity::Error,
+                           static_cast<std::int32_t>(ip),
+                           "send payload register r%u is claimed by "
+                           "its own writeback", payload[i]);
+            }
+        }
+    }
+}
+
+} // namespace
+
+Report
+verify(const KernelView &view, const VerifyOptions &options)
+{
+    Report report;
+    report.kernel = view.name;
+
+    if (!legalSimdWidth(view.simdWidth)) {
+        report.add(Check::Width, Severity::Error, -1,
+                   "illegal kernel SIMD width %u", view.simdWidth);
+    }
+
+    const Cfg cfg = Cfg::build(view, report);
+    for (std::uint32_t ip = 0; ip < view.size; ++ip) {
+        const Instruction &in = view.at(ip);
+        checkWidth(view, ip, in, report);
+        checkRegion(ip, in, report);
+        checkSend(view, ip, in, report);
+    }
+
+    // The dataflow passes assume the per-instruction invariants the
+    // earlier passes establish (in-range regions and targets, legal
+    // widths); skip them the moment anything is structurally wrong.
+    if (cfg.structureOk() && !report.hasErrors()) {
+        DefUse(view, cfg, options).run(report);
+        checkSelfHazard(view, report);
+    }
+    if (options.warnUnreachable)
+        cfg.reportUnreachable(report);
+    return report;
+}
+
+Report
+verify(const isa::Kernel &kernel, const VerifyOptions &options)
+{
+    return verify(KernelView::of(kernel), options);
+}
+
+void
+verifyOrDie(const isa::Kernel &kernel)
+{
+    const Report report = verify(kernel);
+    if (!report.clean())
+        fatal("kernel fails verification:\n%s",
+              renderText(report, &kernel).c_str());
+}
+
+void
+installBuildVerifier()
+{
+    isa::KernelBuilder::setBuildHook(&verifyOrDie);
+}
+
+} // namespace iwc::lint

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The static kernel verifier: a pass pipeline over the lint CFG that
+ * proves a kernel well-formed before it is ever simulated.
+ *
+ * Passes, in order:
+ *  1. structure   — If/Loop pairing and branch-target consistency
+ *                   (Cfg::build); a failure here skips passes 4-6.
+ *  2. width       — SIMD width legality (1/4/8/16/32, never wider than
+ *                   the kernel), flag register indices, Cmp/condMod
+ *                   pairing.
+ *  3. region      — operand regions inside the GRF, no immediate or
+ *                   multi-register-crossing destinations the datapath
+ *                   cannot retire.
+ *  4. send        — Send descriptor validation: operand shape per
+ *                   SendOp, block register counts, SLM messages
+ *                   require declared SLM, load width agreement.
+ *  5. def-use     — forward dataflow proving every GRF/flag read is
+ *                   preceded by a definition on every path. The
+ *                   analysis is per-channel aware through the CFG
+ *                   encoding: a write inside an If body only counts
+ *                   for paths through the body (exactly the channels
+ *                   that executed it), and a predicated or
+ *                   narrower-than-kernel write only ever produces a
+ *                   partial definition.
+ *  6. self-hazard — a Send reading a register its own writeback
+ *                   claims (async writeback would race the payload),
+ *                   detected over predecode's flattened register
+ *                   lists.
+ *  7. unreachable — instructions no interpreter path can reach.
+ */
+
+#ifndef IWC_LINT_VERIFIER_HH
+#define IWC_LINT_VERIFIER_HH
+
+#include "lint/cfg.hh"
+#include "lint/report.hh"
+
+namespace iwc::lint
+{
+
+/** Pass selection / severity knobs (defaults run everything). */
+struct VerifyOptions
+{
+    /** Report reads of partially-defined registers (Warning). */
+    bool warnPartialReads = true;
+    /** Report unreachable code (Warning). */
+    bool warnUnreachable = true;
+};
+
+/** Runs the whole pipeline over a borrowed instruction stream. */
+Report verify(const KernelView &view, const VerifyOptions &options = {});
+
+/** Convenience overload for built kernels. */
+Report verify(const isa::Kernel &kernel,
+              const VerifyOptions &options = {});
+
+/**
+ * Lints @p kernel and fatal()s with the rendered report if any
+ * diagnostic (error or warning) survives — the opt-in build/run hook.
+ */
+void verifyOrDie(const isa::Kernel &kernel);
+
+/**
+ * Registers verifyOrDie as the KernelBuilder finalize hook, so every
+ * subsequently built kernel is verified the moment it is built.
+ */
+void installBuildVerifier();
+
+} // namespace iwc::lint
+
+#endif // IWC_LINT_VERIFIER_HH

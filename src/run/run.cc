@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "lint/verifier.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace.hh"
 #include "workloads/registry.hh"
@@ -128,6 +129,8 @@ executeRun(const RunRequest &request)
         }
         gpu::Device dev(config);
         workloads::Workload w = buildWorkload(request, dev);
+        if (request.lint)
+            lint::verifyOrDie(w.kernel);
         result.stats =
             dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
         if (request.checkOutput) {
@@ -140,6 +143,8 @@ executeRun(const RunRequest &request)
         result.label = request.workload;
         gpu::Device dev(request.config);
         workloads::Workload w = buildWorkload(request, dev);
+        if (request.lint)
+            lint::verifyOrDie(w.kernel);
         result.analysis = analyzeBuilt(dev, w);
         return result;
       }

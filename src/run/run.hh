@@ -73,6 +73,12 @@ struct RunRequest
     bool trace = false;
     /** Max events kept per EU stream when tracing; 0 = unbounded. */
     std::size_t traceCapacity = 0;
+    /**
+     * Run the static kernel verifier (src/lint) over the built kernel
+     * before simulating; any diagnostic is fatal. Cheap next to any
+     * simulation, but opt-in so sweeps choose their own strictness.
+     */
+    bool lint = false;
 
     // --- Convenience constructors ---------------------------------------
 

@@ -485,6 +485,10 @@ makeScanLargeArray(gpu::Device &dev, unsigned scale)
     auto other_addr = b.tmp(DataType::UD);
     auto other_idx = b.tmp(DataType::D);
     b.mov(offset, b.ud(1));
+    // Lanes below the offset never store `mine` (both if-blocks share
+    // f0), but give it a value on every channel so the store's data
+    // operand is fully defined on every path through the loop.
+    b.mov(mine, v);
 
     b.loop_();
     // Lanes with lid >= offset add the value offset slots back.

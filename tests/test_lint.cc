@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Tests for the static kernel verifier (src/lint): golden ip-level
+ * diagnostics for every check kind, corpus cleanliness over all
+ * registered workloads, robustness against arbitrary malformed
+ * instruction streams, and the build/run wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gpu/device.hh"
+#include "isa/builder.hh"
+#include "lint/divergence.hh"
+#include "lint/verifier.hh"
+#include "run/run.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace iwc;
+using isa::CondMod;
+using isa::DataType;
+using isa::Instruction;
+using isa::Kernel;
+using isa::KernelBuilder;
+using isa::Opcode;
+using isa::PredCtrl;
+using isa::SendOp;
+using lint::Check;
+using lint::Report;
+using lint::Severity;
+
+/** Wraps a raw instruction vector as an unvalidated lint input. */
+lint::KernelView
+viewOf(const std::vector<Instruction> &instrs, unsigned simd_width = 16,
+       unsigned first_temp = 7, unsigned slm_bytes = 0)
+{
+    lint::KernelView view;
+    view.name = "test";
+    view.simdWidth = simd_width;
+    view.instrs = instrs.data();
+    view.size = static_cast<std::uint32_t>(instrs.size());
+    view.firstTempReg = first_temp;
+    view.slmBytes = slm_bytes;
+    return view;
+}
+
+Instruction
+instr(Opcode op)
+{
+    Instruction in;
+    in.op = op;
+    return in;
+}
+
+Instruction
+haltInstr()
+{
+    return instr(Opcode::Halt);
+}
+
+/** True if the report holds a diagnostic of @p check at @p ip. */
+bool
+hasDiag(const Report &report, Check check, std::int32_t ip,
+        Severity severity)
+{
+    for (const lint::Diag &d : report.diags) {
+        if (d.check == check && d.ip == ip && d.severity == severity)
+            return true;
+    }
+    return false;
+}
+
+// --- Golden diagnostics, one per check kind ---------------------------
+
+TEST(LintStructure, EndifWithoutIf)
+{
+    const std::vector<Instruction> instrs{instr(Opcode::EndIf),
+                                          haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(hasDiag(report, Check::Structure, 0, Severity::Error));
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(LintStructure, UnclosedIf)
+{
+    Instruction if_in = instr(Opcode::If);
+    if_in.predCtrl = PredCtrl::Normal;
+    if_in.target0 = 1;
+    if_in.target1 = 1;
+    const std::vector<Instruction> instrs{if_in, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(hasDiag(report, Check::Structure, 0, Severity::Error));
+}
+
+TEST(LintStructure, CorruptedIfTargetIsPinpointed)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.cmp(CondMod::Eq, 0, b.globalId(), b.ud(0)); // @0
+    b.if_(0);                                     // @1
+    b.mov(x, b.d(1));                             // @2
+    b.endif_();                                   // @3
+    const Kernel k = b.build();
+
+    std::vector<Instruction> instrs = k.instructions();
+    instrs[1].target1 = 2; // should point at the endif (ip 3)
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(hasDiag(report, Check::Structure, 1, Severity::Error));
+}
+
+TEST(LintWidth, IllegalSimdWidth)
+{
+    Instruction mov = instr(Opcode::Mov);
+    mov.simdWidth = 3;
+    mov.dst = isa::grfOperand(10, DataType::D);
+    mov.src0 = isa::immD(1);
+    const std::vector<Instruction> instrs{mov, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(hasDiag(report, Check::Width, 0, Severity::Error));
+}
+
+TEST(LintWidth, OutOfRangeFlagField)
+{
+    Instruction mov = instr(Opcode::Mov);
+    mov.dst = isa::grfOperand(10, DataType::D);
+    mov.src0 = isa::immD(1);
+    mov.predCtrl = PredCtrl::Normal;
+    mov.predFlag = 5;
+    const std::vector<Instruction> instrs{mov, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(hasDiag(report, Check::Width, 0, Severity::Error));
+}
+
+TEST(LintWidth, CmpWithoutCondMod)
+{
+    Instruction cmp = instr(Opcode::Cmp);
+    cmp.src0 = isa::immD(1);
+    cmp.src1 = isa::immD(2);
+    const std::vector<Instruction> instrs{cmp, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(hasDiag(report, Check::Width, 0, Severity::Error));
+}
+
+TEST(LintRegion, GrfOverrun)
+{
+    Instruction mov = instr(Opcode::Mov);
+    mov.dst = isa::grfOperand(127, DataType::D); // 16 dwords from r127
+    mov.src0 = isa::immD(0);
+    const std::vector<Instruction> instrs{mov, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(hasDiag(report, Check::Region, 0, Severity::Error));
+}
+
+TEST(LintRegion, MissingSource)
+{
+    Instruction add = instr(Opcode::Add);
+    add.dst = isa::grfOperand(10, DataType::D);
+    add.src0 = isa::immD(1); // src1 left null
+    const std::vector<Instruction> instrs{add, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(hasDiag(report, Check::Region, 0, Severity::Error));
+}
+
+TEST(LintRegion, ImmediateDestination)
+{
+    Instruction mov = instr(Opcode::Mov);
+    mov.dst = isa::immD(0);
+    mov.src0 = isa::immD(1);
+    const std::vector<Instruction> instrs{mov, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(hasDiag(report, Check::Region, 0, Severity::Error));
+}
+
+TEST(LintBadSend, SlmAccessWithoutSlm)
+{
+    Instruction send = instr(Opcode::Send);
+    send.send.op = SendOp::SlmGatherLoad;
+    send.send.type = DataType::D;
+    send.dst = isa::grfOperand(10, DataType::D);
+    send.src0 = isa::grfOperand(8, DataType::UD);
+    const std::vector<Instruction> instrs{send, haltInstr()};
+    const Report report =
+        lint::verify(viewOf(instrs, 16, 12, /*slm_bytes=*/0));
+    EXPECT_TRUE(hasDiag(report, Check::BadSend, 0, Severity::Error));
+}
+
+TEST(LintBadSend, GatherElementSizeMismatch)
+{
+    Instruction send = instr(Opcode::Send);
+    send.send.op = SendOp::GatherLoad;
+    send.send.type = DataType::UD;                // 4-byte elements...
+    send.dst = isa::grfOperand(10, DataType::UW); // ...into 2-byte dst
+    send.src0 = isa::grfOperand(8, DataType::UD);
+    const std::vector<Instruction> instrs{send, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs, 16, 12));
+    EXPECT_TRUE(hasDiag(report, Check::BadSend, 0, Severity::Error));
+}
+
+TEST(LintSelfHazard, GatherDestinationOverlapsAddressPayload)
+{
+    Instruction send = instr(Opcode::Send);
+    send.send.op = SendOp::GatherLoad;
+    send.send.type = DataType::UD;
+    send.dst = isa::grfOperand(8, DataType::UD); // r8-r9 writeback...
+    send.src0 = isa::grfOperand(8, DataType::UD); // ...races r8-r9 reads
+    const std::vector<Instruction> instrs{send, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs, 16, 12));
+    EXPECT_TRUE(hasDiag(report, Check::SelfHazard, 0, Severity::Error));
+}
+
+TEST(LintUnreachable, CodeAfterHalt)
+{
+    Instruction mov = instr(Opcode::Mov);
+    mov.dst = isa::grfOperand(10, DataType::D);
+    mov.src0 = isa::immD(1);
+    const std::vector<Instruction> instrs{haltInstr(), mov, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(
+        hasDiag(report, Check::Unreachable, 1, Severity::Warning));
+    EXPECT_FALSE(report.hasErrors());
+}
+
+// --- Def-before-use ----------------------------------------------------
+
+TEST(LintUndefRead, TemporaryReadBeforeDefinition)
+{
+    Instruction add = instr(Opcode::Add);
+    add.dst = isa::grfOperand(10, DataType::D);
+    add.src0 = isa::grfOperand(12, DataType::D); // never written
+    add.src1 = isa::immD(1);
+    const std::vector<Instruction> instrs{add, haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    EXPECT_TRUE(hasDiag(report, Check::UndefRead, 0, Severity::Error));
+}
+
+TEST(LintUndefRead, PartialDefinitionFromOneArmWarns)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    auto y = b.tmp(DataType::D);
+    b.cmp(CondMod::Gt, 0, b.globalId(), b.ud(4)); // @0
+    b.if_(0);                                     // @1
+    b.mov(x, b.d(1));                             // @2
+    b.endif_();                                   // @3
+    b.add(y, x, b.d(0));                          // @4: x partial here
+    const Kernel k = b.build();
+
+    const Report report = lint::verify(k);
+    EXPECT_TRUE(
+        hasDiag(report, Check::UndefRead, 4, Severity::Warning));
+    EXPECT_FALSE(report.hasErrors());
+}
+
+TEST(LintUndefRead, DefinitionInBothArmsIsClean)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    auto y = b.tmp(DataType::D);
+    b.cmp(CondMod::Gt, 0, b.globalId(), b.ud(4));
+    b.if_(0);
+    b.mov(x, b.d(1));
+    b.else_();
+    b.mov(x, b.d(2));
+    b.endif_();
+    b.add(y, x, b.d(0)); // fully defined on every feasible path
+    const Kernel k = b.build();
+
+    const Report report = lint::verify(k);
+    EXPECT_TRUE(report.clean()) << lint::renderText(report, &k);
+}
+
+TEST(LintUndefRead, FlagReadBeforeAnyCmp)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.mov(x, b.d(1)).pred(0); // f0 never written by a cmp
+    const Kernel k = b.build();
+
+    const Report report = lint::verify(k);
+    EXPECT_TRUE(hasDiag(report, Check::UndefRead, 0, Severity::Error));
+}
+
+// --- Corpus and robustness --------------------------------------------
+
+TEST(LintCorpus, AllRegisteredWorkloadsVerifyClean)
+{
+    for (const std::string &name : workloads::allNames()) {
+        gpu::Device dev;
+        const workloads::Workload w = workloads::make(name, dev, 1);
+        const Report report = lint::verify(w.kernel);
+        EXPECT_TRUE(report.clean())
+            << name << ":\n" << lint::renderText(report, &w.kernel);
+    }
+}
+
+/** Arbitrary in-domain instruction streams must never crash verify. */
+TEST(LintFuzz, RandomStreamsNeverCrash)
+{
+    constexpr Opcode kOps[] = {
+        Opcode::Mov,  Opcode::Add,    Opcode::Mad,     Opcode::Cmp,
+        Opcode::Sel,  Opcode::Div,    Opcode::If,      Opcode::Else,
+        Opcode::EndIf, Opcode::LoopBegin, Opcode::LoopEnd,
+        Opcode::Break, Opcode::Cont,  Opcode::Halt,    Opcode::Send,
+    };
+    constexpr unsigned kWidths[] = {1, 3, 4, 8, 16, 32, 200};
+
+    Rng rng(0xfeedbeef);
+    // Raw construction, bypassing the factory helpers' own range
+    // checks: out-of-range registers must flow into the verifier.
+    auto random_operand = [&rng]() {
+        isa::Operand op;
+        switch (rng.below(4)) {
+          case 0:
+            return op; // null
+          case 1:
+            return isa::immD(static_cast<std::int32_t>(rng.below(100)));
+          default:
+            op.file = isa::RegFile::Grf;
+            op.reg = static_cast<std::uint8_t>(rng.below(132));
+            op.subReg = static_cast<std::uint8_t>(rng.below(12));
+            op.type = static_cast<DataType>(rng.below(8));
+            op.scalar = rng.chance(0.3);
+            return op;
+        }
+    };
+
+    for (unsigned iter = 0; iter < 400; ++iter) {
+        const unsigned len = 1 + static_cast<unsigned>(rng.below(12));
+        std::vector<Instruction> instrs;
+        for (unsigned i = 0; i < len; ++i) {
+            Instruction in;
+            in.op = kOps[rng.below(std::size(kOps))];
+            in.simdWidth = static_cast<std::uint8_t>(
+                kWidths[rng.below(std::size(kWidths))]);
+            in.dst = random_operand();
+            in.src0 = random_operand();
+            in.src1 = random_operand();
+            in.src2 = random_operand();
+            in.predCtrl = static_cast<PredCtrl>(rng.below(3));
+            in.predFlag = static_cast<std::uint8_t>(rng.below(4));
+            in.condMod = static_cast<CondMod>(rng.below(7));
+            in.condFlag = static_cast<std::uint8_t>(rng.below(4));
+            in.target0 =
+                static_cast<std::int32_t>(rng.below(len + 4)) - 2;
+            in.target1 =
+                static_cast<std::int32_t>(rng.below(len + 4)) - 2;
+            in.send.op = static_cast<SendOp>(rng.below(9));
+            in.send.type = static_cast<DataType>(rng.below(8));
+            in.send.numRegs =
+                static_cast<std::uint8_t>(rng.below(140));
+            instrs.push_back(in);
+        }
+        if (rng.chance(0.5))
+            instrs.push_back(haltInstr());
+
+        const lint::KernelView view = viewOf(
+            instrs, 16, static_cast<unsigned>(rng.below(16)),
+            static_cast<unsigned>(rng.below(2)) * 256);
+        const Report report = lint::verify(view);
+        if (!report.hasErrors())
+            lint::analyzeDivergence(view);
+    }
+    SUCCEED();
+}
+
+/** Random single-field corruptions of a real kernel: same property. */
+TEST(LintFuzz, MutatedBuilderKernelsNeverCrash)
+{
+    KernelBuilder b("seed", 16);
+    auto buf = b.argBuffer("buf");
+    auto x = b.tmp(DataType::D);
+    auto addr = b.tmp(DataType::UD);
+    b.mad(addr, b.globalId(), b.ud(4), buf);
+    b.gatherLoad(x, addr, DataType::D);
+    b.loop_();
+    b.cmp(CondMod::Gt, 0, x, b.d(0));
+    b.if_(0);
+    b.sub(x, x, b.d(3));
+    b.else_();
+    b.add(x, x, b.d(1));
+    b.endif_();
+    b.cmp(CondMod::Gt, 1, x, b.d(100));
+    b.breakIf(1);
+    b.cmp(CondMod::Ne, 1, x, b.d(0));
+    b.endLoop(1);
+    b.scatterStore(addr, x, DataType::D);
+    const Kernel seed = b.build();
+    ASSERT_TRUE(lint::verify(seed).clean());
+
+    Rng rng(0xabad1dea);
+    for (unsigned iter = 0; iter < 400; ++iter) {
+        std::vector<Instruction> instrs = seed.instructions();
+        const unsigned mutations = 1 + static_cast<unsigned>(rng.below(3));
+        for (unsigned m = 0; m < mutations; ++m) {
+            Instruction &in =
+                instrs[rng.below(instrs.size())];
+            switch (rng.below(6)) {
+              case 0:
+                in.op = static_cast<Opcode>(
+                    rng.below(static_cast<unsigned>(Opcode::NumOpcodes)));
+                break;
+              case 1:
+                in.target0 = static_cast<std::int32_t>(
+                    rng.below(instrs.size() + 4)) - 2;
+                break;
+              case 2:
+                in.simdWidth =
+                    static_cast<std::uint8_t>(rng.below(64));
+                break;
+              case 3:
+                in.dst.reg = static_cast<std::uint8_t>(rng.below(255));
+                break;
+              case 4:
+                in.predFlag = static_cast<std::uint8_t>(rng.below(8));
+                in.predCtrl = static_cast<PredCtrl>(rng.below(3));
+                break;
+              default:
+                in.src0.file = static_cast<isa::RegFile>(rng.below(3));
+                break;
+            }
+        }
+        const lint::KernelView view = viewOf(instrs, 16,
+                                             seed.firstTempReg());
+        const Report report = lint::verify(view);
+        if (!report.hasErrors())
+            lint::analyzeDivergence(view);
+    }
+    SUCCEED();
+}
+
+// --- Wiring ------------------------------------------------------------
+
+TEST(LintWiring, BuildHookAcceptsCleanKernels)
+{
+    lint::installBuildVerifier();
+    KernelBuilder b("hooked", 16);
+    auto x = b.tmp(DataType::D);
+    b.mov(x, b.d(7));
+    const Kernel k = b.build(); // would fatal() if the verifier flagged it
+    KernelBuilder::setBuildHook(nullptr);
+    EXPECT_GT(k.size(), 0u);
+}
+
+TEST(LintWiring, RunRequestLintFlagVerifiesBeforeExecuting)
+{
+    run::RunRequest request = run::RunRequest::functionalTrace("va", 1);
+    request.lint = true;
+    const run::RunResult result = run::executeRun(request);
+    EXPECT_GT(result.analysis.records, 0u);
+}
+
+TEST(LintRender, TextAndJsonCarryDiagnostics)
+{
+    const std::vector<Instruction> instrs{instr(Opcode::EndIf),
+                                          haltInstr()};
+    const Report report = lint::verify(viewOf(instrs));
+    ASSERT_FALSE(report.clean());
+    const std::string text = lint::renderText(report);
+    EXPECT_NE(text.find("structure"), std::string::npos);
+    const std::string json = lint::renderJson(report);
+    EXPECT_NE(json.find("\"check\""), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the static divergence analyzer: branch classification from
+ * thread-id provenance, divergent-context propagation, and — the load
+ * bearing property — soundness of the static compressible-cycle upper
+ * bound against the simulator: on every registered workload, the
+ * measured BCC/SCC cycle savings over IvbOpt must never exceed the
+ * bound the analyzer derives without executing anything.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compaction/cycle_plan.hh"
+#include "gpu/device.hh"
+#include "isa/builder.hh"
+#include "lint/divergence.hh"
+#include "lint/verifier.hh"
+#include "trace/analyzer.hh"
+#include "trace/trace.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace iwc;
+using compaction::Mode;
+using isa::CondMod;
+using isa::DataType;
+using isa::Kernel;
+using isa::KernelBuilder;
+using lint::DivergenceReport;
+using lint::LaunchShape;
+
+// --- Branch classification --------------------------------------------
+
+TEST(DivergenceClass, BranchOnScalarGroupIdIsUniform)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.cmp(CondMod::Eq, 0, b.groupId(), b.ud(0));
+    b.if_(0);
+    b.mov(x, b.d(1));
+    b.endif_();
+    const Kernel k = b.build();
+    ASSERT_TRUE(lint::verify(k).clean());
+
+    const DivergenceReport report = lint::analyzeDivergence(k);
+    ASSERT_TRUE(report.valid);
+    ASSERT_EQ(report.branches.size(), 1u);
+    EXPECT_FALSE(report.branches[0].divergent);
+    EXPECT_EQ(report.divergentBranchCount(), 0u);
+}
+
+TEST(DivergenceClass, BranchOnGlobalIdIsDivergent)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.cmp(CondMod::Gt, 0, b.globalId(), b.ud(7));
+    b.if_(0);
+    b.mov(x, b.d(1));
+    b.endif_();
+    const Kernel k = b.build();
+
+    const DivergenceReport report = lint::analyzeDivergence(k);
+    ASSERT_TRUE(report.valid);
+    ASSERT_EQ(report.branches.size(), 1u);
+    EXPECT_TRUE(report.branches[0].divergent);
+}
+
+TEST(DivergenceClass, LoadedValuesAreVarying)
+{
+    KernelBuilder b("t", 16);
+    auto buf = b.argBuffer("buf");
+    auto addr = b.tmp(DataType::UD);
+    auto v = b.tmp(DataType::UD);
+    auto x = b.tmp(DataType::D);
+    b.mov(addr, buf); // scalar arg broadcast: still uniform
+    b.gatherLoad(v, addr, DataType::UD); // loaded data: varying
+    b.cmp(CondMod::Gt, 0, v, b.ud(0));
+    b.if_(0);
+    b.mov(x, b.d(1));
+    b.endif_();
+    const Kernel k = b.build();
+
+    const DivergenceReport report = lint::analyzeDivergence(k);
+    ASSERT_TRUE(report.valid);
+    ASSERT_EQ(report.branches.size(), 1u);
+    EXPECT_TRUE(report.branches[0].divergent);
+}
+
+TEST(DivergenceClass, UniformLoopStaysUniform)
+{
+    KernelBuilder b("t", 16);
+    auto n = b.argU("n");
+    auto i = b.tmp(DataType::UD);
+    auto acc = b.tmp(DataType::UD);
+    b.mov(i, b.ud(0));
+    b.mov(acc, b.ud(0));
+    b.loop_();
+    b.add(acc, acc, i);
+    b.add(i, i, b.ud(1));
+    b.cmp(CondMod::Lt, 0, i, n); // trip count from a scalar argument
+    b.endLoop(0);
+    const Kernel k = b.build();
+
+    const DivergenceReport report = lint::analyzeDivergence(k);
+    ASSERT_TRUE(report.valid);
+    ASSERT_EQ(report.branches.size(), 1u);
+    EXPECT_FALSE(report.branches[0].divergent);
+}
+
+TEST(DivergenceCtx, DivergentIfTaintsItsBodyOnly)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    auto y = b.tmp(DataType::D);
+    b.mov(y, b.d(0));                             // @0: top level
+    b.cmp(CondMod::Gt, 0, b.globalId(), b.ud(4)); // @1
+    b.if_(0);                                     // @2
+    b.mov(x, b.d(1));                             // @3: divergent ctx
+    b.endif_();                                   // @4
+    b.add(y, y, b.d(1));                          // @5: top level again
+    const Kernel k = b.build();
+
+    const DivergenceReport report = lint::analyzeDivergence(k);
+    ASSERT_TRUE(report.valid);
+    EXPECT_FALSE(report.divergentCtx[0]);
+    EXPECT_TRUE(report.divergentCtx[3]);
+    EXPECT_FALSE(report.divergentCtx[5]);
+}
+
+TEST(DivergenceCtx, ValueWrittenUnderDivergentFlowTurnsVarying)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    auto y = b.tmp(DataType::D);
+    b.mov(x, b.d(0)); // uniform here
+    b.cmp(CondMod::Gt, 0, b.globalId(), b.ud(4));
+    b.if_(0);
+    b.mov(x, b.d(1)); // partial per-channel update: x now varying
+    b.endif_();
+    b.cmp(CondMod::Gt, 1, x, b.d(0));
+    b.if_(1); // must classify as divergent
+    b.mov(y, b.d(2));
+    b.endif_();
+    const Kernel k = b.build();
+
+    const DivergenceReport report = lint::analyzeDivergence(k);
+    ASSERT_TRUE(report.valid);
+    ASSERT_EQ(report.branches.size(), 2u);
+    EXPECT_TRUE(report.branches[0].divergent);
+    EXPECT_TRUE(report.branches[1].divergent);
+}
+
+// --- Static cycle bound ------------------------------------------------
+
+TEST(DivergenceBound, UniformStraightLineWithoutTailsSavesNothing)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::F);
+    b.mov(x, b.f(1.0f));
+    b.add(x, x, b.f(2.0f));
+    b.mul(x, x, x);
+    const Kernel k = b.build();
+
+    // 64 work items in groups of 16: every dispatch mask is full.
+    const DivergenceReport report =
+        lint::analyzeDivergence(k, LaunchShape{64, 16});
+    ASSERT_TRUE(report.valid);
+    for (std::uint32_t ip = 0; ip < k.size(); ++ip) {
+        EXPECT_EQ(report.maxSaveBcc[ip], 0u) << "ip " << ip;
+        EXPECT_EQ(report.maxSaveScc[ip], 0u) << "ip " << ip;
+    }
+}
+
+TEST(DivergenceBound, DivergentBodyAdmitsPositiveSavings)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::F);
+    b.mov(x, b.f(0.0f));
+    b.cmp(CondMod::Gt, 0, b.globalId(), b.ud(3));
+    b.if_(0);
+    b.add(x, x, b.f(1.0f)); // 4 dword groups; sparse masks reachable
+    b.endif_();
+    const Kernel k = b.build();
+
+    const DivergenceReport report = lint::analyzeDivergence(k);
+    ASSERT_TRUE(report.valid);
+    unsigned long long bcc = 0, scc = 0;
+    for (std::uint32_t ip = 0; ip < k.size(); ++ip) {
+        bcc += report.maxSaveBcc[ip];
+        scc += report.maxSaveScc[ip];
+    }
+    EXPECT_GT(bcc, 0u);
+    EXPECT_GE(scc, bcc); // SCC can always compact at least as hard
+}
+
+TEST(DivergenceRender, ReportsBranchTable)
+{
+    KernelBuilder b("t", 16);
+    auto x = b.tmp(DataType::D);
+    b.cmp(CondMod::Gt, 0, b.globalId(), b.ud(7));
+    b.if_(0);
+    b.mov(x, b.d(1));
+    b.endif_();
+    const Kernel k = b.build();
+
+    const std::string text =
+        lint::renderDivergence(lint::analyzeDivergence(k), &k);
+    EXPECT_NE(text.find("divergent"), std::string::npos);
+    EXPECT_NE(text.find("bcc="), std::string::npos);
+}
+
+// --- Soundness against the simulator ----------------------------------
+
+/**
+ * For one workload: replay the functional execution, measure the
+ * per-mode EU cycles the trace analyzer reports, and compare the
+ * realized BCC/SCC savings against the static per-instruction bound
+ * weighted by how often each instruction actually executed. The
+ * static bound must dominate on every workload, else the analyzer's
+ * uniformity or mask reasoning is unsound somewhere.
+ */
+void
+checkBoundAgainstSimulator(const std::string &name)
+{
+    gpu::Device dev;
+    const workloads::Workload w = workloads::make(name, dev, 1);
+
+    const DivergenceReport bound = lint::analyzeDivergence(
+        w.kernel, LaunchShape{w.globalSize, w.localSize});
+    ASSERT_TRUE(bound.valid) << name;
+
+    trace::TraceAnalyzer analyzer;
+    std::vector<std::uint64_t> exec_count(w.kernel.size(), 0);
+    std::vector<trace::TraceRecord> tmpl;
+    for (const isa::Instruction &in : w.kernel.instructions())
+        tmpl.push_back(trace::recordOf(in, 0));
+    dev.launchFunctionalDetailed(
+        w.kernel, w.globalSize, w.localSize, w.args,
+        [&](const gpu::DetailedStep &step) {
+            trace::TraceRecord r = tmpl[step.ip];
+            r.execMask = step.result->execMask &
+                w.kernel.instr(step.ip).widthMask();
+            analyzer.add(r);
+            ++exec_count[step.ip];
+        });
+    const trace::TraceAnalysis measured = analyzer.result();
+
+    unsigned long long bound_bcc = 0, bound_scc = 0;
+    for (std::uint32_t ip = 0; ip < w.kernel.size(); ++ip) {
+        bound_bcc += bound.maxSaveBcc[ip] * exec_count[ip];
+        bound_scc += bound.maxSaveScc[ip] * exec_count[ip];
+    }
+
+    const std::uint64_t ivb = measured.cycles(Mode::IvbOpt);
+    EXPECT_LE(ivb - measured.cycles(Mode::Bcc), bound_bcc) << name;
+    EXPECT_LE(ivb - measured.cycles(Mode::Scc), bound_scc) << name;
+}
+
+TEST(DivergenceSoundness, StaticBoundDominatesMeasuredSavings)
+{
+    for (const std::string &name : workloads::allNames())
+        checkBoundAgainstSimulator(name);
+}
+
+} // namespace

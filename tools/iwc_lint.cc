@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Static kernel linter: runs the src/lint verifier (structure,
+ * def-before-use, widths/regions, send descriptors, self-hazards,
+ * unreachable code) and the static divergence analyzer over workload
+ * kernels, without simulating anything.
+ *
+ *   iwc_lint all=1 [scale=N] [json=1] [divergence=1]
+ *   iwc_lint workload=<name> [scale=N] [json=1] [divergence=1]
+ *
+ * Exit status is 0 when every checked kernel is clean, 1 otherwise —
+ * usable as a CI gate over the whole registered corpus.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "gpu/device.hh"
+#include "lint/divergence.hh"
+#include "lint/verifier.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace iwc;
+
+int
+usage()
+{
+    std::puts(
+        "usage: iwc_lint <all=1 | workload=name> [scale=N] [json=1]"
+        " [divergence=1]"
+        "\n  all=1        lint every registered workload"
+        "\n  workload=    lint one workload by registry name"
+        "\n  scale=N      workload scale factor (default 1)"
+        "\n  json=1       machine-readable output"
+        "\n  divergence=1 also print the branch divergence analysis");
+    return 1;
+}
+
+struct KernelResult
+{
+    lint::Report report;
+    lint::DivergenceReport divergence;
+};
+
+KernelResult
+lintOne(const std::string &name, unsigned scale, bool want_divergence,
+        bool json)
+{
+    gpu::Device dev;
+    const workloads::Workload w = workloads::make(name, dev, scale);
+
+    KernelResult result;
+    result.report = lint::verify(w.kernel);
+    if (want_divergence && !result.report.hasErrors()) {
+        result.divergence = lint::analyzeDivergence(
+            w.kernel, {w.globalSize, w.localSize});
+    }
+
+    if (json) {
+        std::fputs(lint::renderJson(result.report).c_str(), stdout);
+        std::fputs("\n", stdout);
+    } else {
+        std::fputs(lint::renderText(result.report, &w.kernel).c_str(),
+                   stdout);
+        if (want_divergence && !result.report.hasErrors()) {
+            std::fputs(
+                lint::renderDivergence(result.divergence, &w.kernel)
+                    .c_str(),
+                stdout);
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const OptionMap opts(argc, argv);
+    const bool all = opts.getBool("all", false);
+    const std::string one = opts.getString("workload", "");
+    if (!all && one.empty())
+        return usage();
+
+    const auto scale = static_cast<unsigned>(opts.getInt("scale", 1));
+    const bool json = opts.getBool("json", false);
+    const bool divergence = opts.getBool("divergence", false);
+
+    std::vector<std::string> names;
+    if (all)
+        names = workloads::allNames();
+    else
+        names.push_back(one);
+
+    unsigned dirty = 0;
+    for (const std::string &name : names) {
+        const KernelResult result =
+            lintOne(name, scale, divergence, json);
+        dirty += !result.report.clean();
+    }
+    if (!json) {
+        std::printf("%zu kernel(s) checked, %u with diagnostics\n",
+                    names.size(), dirty);
+    }
+    return dirty == 0 ? 0 : 1;
+}

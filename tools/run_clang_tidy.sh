@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (configuration in .clang-tidy at the repo root) over
+# every first-party translation unit, using the compile commands of an
+# existing build directory.
+#
+#   tools/run_clang_tidy.sh [build-dir]
+#
+# The build directory defaults to ./build and must have been configured
+# with CMAKE_EXPORT_COMPILE_COMMANDS=ON (the CI job does this; locally,
+# re-run cmake with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON once).
+# Exits non-zero if clang-tidy reports anything, so it works as a gate.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "error: $build_dir/compile_commands.json not found." >&2
+    echo "Configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." >&2
+    exit 2
+fi
+
+tidy=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$tidy" > /dev/null 2>&1; then
+    echo "error: $tidy not found in PATH (set CLANG_TIDY to override)." >&2
+    exit 2
+fi
+
+# First-party sources only: the vendored/third-party code pulled in by
+# the build (gtest, benchmark) is not ours to lint.
+files=$(find "$repo_root/src" "$repo_root/tools" "$repo_root/bench" \
+             "$repo_root/examples" "$repo_root/tests" \
+             -name '*.cc' | sort)
+
+# shellcheck disable=SC2086 — word splitting of $files is intended.
+exec "$tidy" -p "$build_dir" --quiet $files
