@@ -1,18 +1,24 @@
 /**
  * @file
- * Perf-regression smoke driver: times a fixed basket of timing
- * launches at jobs=1 (the serial path, so the number is comparable
- * across machines and runs) and writes the result as
- * BENCH_results.json. The basket is the divergent non-micro suite
- * under the three compaction modes — the same simulation mix the
- * figure drivers spend their time in — so a hot-path regression in
- * the interpreter, EU model, or memory system shows up directly as a
- * cycles_per_sec drop.
+ * Perf-regression smoke driver, now backend-aware. Two baskets:
  *
- * Options: scale=N (default 1), out=FILE (default BENCH_results.json
- * in the working directory), csv/jobs are accepted but jobs is
- * forced to 1 — a timing driver that raced worker threads would
- * measure contention, not the simulator.
+ *  1. The timing basket (divergent non-micro suite under the three
+ *     compaction modes, jobs=1) run once per execution backend —
+ *     catches hot-path regressions in the interpreter, EU model, or
+ *     memory system, and shows what the vectorized backend buys the
+ *     cycle-level simulator (which interleaves functional execution
+ *     with the timing model, so the gain is diluted by the latter).
+ *
+ *  2. Functional-throughput rows: ALU-heavy workloads executed on the
+ *     observer-free functional runner (where macro-stepping and the
+ *     host-SIMD lane kernels both engage) under the scalar and vector
+ *     backends, reporting the per-workload speedup. This is the
+ *     undiluted backend comparison.
+ *
+ * Results land in BENCH_results.json. Options: scale=N (default 1),
+ * func_reps=N (default 3), out=FILE; jobs is forced to 1 — a timing
+ * driver that raced worker threads would measure contention, not the
+ * simulator.
  */
 
 #include <chrono>
@@ -24,26 +30,42 @@
 #include "run/experiment.hh"
 #include "workloads/registry.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace iwc;
-    using compaction::Mode;
-    const OptionMap opts(argc, argv);
-    const unsigned scale =
-        static_cast<unsigned>(opts.getInt("scale", 1));
-    const std::string out_path =
-        opts.getString("out", "BENCH_results.json");
 
+using namespace iwc;
+
+double
+seconds_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct TimingRow
+{
+    func::BackendKind backend;
+    double wallS = 0;
+    std::uint64_t simCycles = 0;
+};
+
+TimingRow
+runTimingBasket(func::BackendKind backend, unsigned scale,
+                const OptionMap &opts)
+{
+    using compaction::Mode;
     std::vector<run::RunRequest> requests;
     const Mode modes[3] = {Mode::IvbOpt, Mode::Bcc, Mode::Scc};
     for (const auto &name : workloads::divergentNames()) {
         if (name.rfind("micro", 0) == 0)
             continue;
         for (const Mode mode : modes) {
-            requests.push_back(run::RunRequest::timing(
+            run::RunRequest request = run::RunRequest::timing(
                 name, gpu::applyOptions(gpu::ivbConfig(mode), opts),
-                scale));
+                scale);
+            request.backend = backend;
+            requests.push_back(std::move(request));
         }
     }
 
@@ -51,35 +73,141 @@ main(int argc, char **argv)
     sweep.jobs = 1; // serial: wall time must measure the simulator
     run::SweepRunner runner(sweep);
 
+    TimingRow row;
+    row.backend = backend;
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = runner.run(requests);
-    const auto t1 = std::chrono::steady_clock::now();
-
-    const double wall_s =
-        std::chrono::duration<double>(t1 - t0).count();
-    std::uint64_t sim_cycles = 0;
+    row.wallS = seconds_since(t0);
     for (const auto &result : results)
-        sim_cycles += result.stats.totalCycles;
-    const double cycles_per_sec =
-        wall_s > 0 ? static_cast<double>(sim_cycles) / wall_s : 0;
+        row.simCycles += result.stats.totalCycles;
+    return row;
+}
+
+struct FunctionalRow
+{
+    std::string workload;
+    unsigned simdWidth = 0;
+    std::uint64_t instructions = 0;
+    double scalarWallS = 0;
+    double vectorWallS = 0;
+
+    double
+    speedup() const
+    {
+        return vectorWallS > 0 ? scalarWallS / vectorWallS : 0;
+    }
+};
+
+FunctionalRow
+runFunctional(const std::string &name, unsigned scale, unsigned reps)
+{
+    FunctionalRow row;
+    row.workload = name;
+    const func::BackendKind kinds[2] = {func::BackendKind::Scalar,
+                                        func::BackendKind::Vector};
+    for (const func::BackendKind kind : kinds) {
+        double wall = 0;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            gpu::GpuConfig config = gpu::ivbConfig();
+            config.eu.backend = kind;
+            gpu::Device dev(config);
+            const auto w = workloads::make(name, dev, scale);
+            row.simdWidth = w.kernel.simdWidth();
+            const auto t0 = std::chrono::steady_clock::now();
+            row.instructions = dev.launchFunctional(
+                w.kernel, w.globalSize, w.localSize, w.args);
+            wall += seconds_since(t0);
+        }
+        if (kind == func::BackendKind::Scalar)
+            row.scalarWallS = wall;
+        else
+            row.vectorWallS = wall;
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const OptionMap opts(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(opts.getInt("scale", 1));
+    const unsigned reps =
+        static_cast<unsigned>(opts.getInt("func_reps", 3));
+    const std::string out_path =
+        opts.getString("out", "BENCH_results.json");
+
+    TimingRow timing[2] = {
+        runTimingBasket(func::BackendKind::Scalar, scale, opts),
+        runTimingBasket(func::BackendKind::Vector, scale, opts),
+    };
+
+    // ALU-dominated workloads where the lane kernels engage; the
+    // divergent suite above covers the fallback-heavy mixes.
+    const char *func_names[] = {"mandelbrot", "urng", "mm", "bscholes"};
+    std::vector<FunctionalRow> func_rows;
+    for (const char *name : func_names)
+        func_rows.push_back(runFunctional(name, scale, reps));
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     fatal_if(f == nullptr, "cannot write %s", out_path.c_str());
-    std::fprintf(f,
-                 "{\n"
-                 "  \"driver\": \"perf_smoke\",\n"
-                 "  \"wall_s\": %.3f,\n"
-                 "  \"sim_cycles\": %llu,\n"
-                 "  \"cycles_per_sec\": %.0f\n"
-                 "}\n",
-                 wall_s, static_cast<unsigned long long>(sim_cycles),
-                 cycles_per_sec);
+    std::fprintf(f, "{\n  \"results\": [\n");
+    for (unsigned i = 0; i < 2; ++i) {
+        const TimingRow &row = timing[i];
+        const double cps = row.wallS > 0
+            ? static_cast<double>(row.simCycles) / row.wallS
+            : 0;
+        std::fprintf(f,
+                     "    {\n"
+                     "      \"driver\": \"perf_smoke_timing\",\n"
+                     "      \"backend\": \"%s\",\n"
+                     "      \"wall_s\": %.3f,\n"
+                     "      \"sim_cycles\": %llu,\n"
+                     "      \"cycles_per_sec\": %.0f\n"
+                     "    },\n",
+                     func::backendKindName(row.backend), row.wallS,
+                     static_cast<unsigned long long>(row.simCycles),
+                     cps);
+    }
+    for (std::size_t i = 0; i < func_rows.size(); ++i) {
+        const FunctionalRow &row = func_rows[i];
+        std::fprintf(
+            f,
+            "    {\n"
+            "      \"driver\": \"perf_smoke_functional\",\n"
+            "      \"workload\": \"%s\",\n"
+            "      \"simd_width\": %u,\n"
+            "      \"instructions\": %llu,\n"
+            "      \"scalar_wall_s\": %.3f,\n"
+            "      \"vector_wall_s\": %.3f,\n"
+            "      \"speedup\": %.2f\n"
+            "    }%s\n",
+            row.workload.c_str(), row.simdWidth,
+            static_cast<unsigned long long>(row.instructions),
+            row.scalarWallS, row.vectorWallS, row.speedup(),
+            i + 1 == func_rows.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
 
-    std::printf("perf_smoke: %zu launches, %.3f s wall, "
-                "%llu simulated cycles, %.2f Mcycles/s -> %s\n",
-                results.size(), wall_s,
-                static_cast<unsigned long long>(sim_cycles),
-                cycles_per_sec / 1e6, out_path.c_str());
+    for (const TimingRow &row : timing) {
+        std::printf("perf_smoke timing basket [%s]: %.3f s wall, "
+                    "%llu simulated cycles, %.2f Mcycles/s\n",
+                    func::backendKindName(row.backend), row.wallS,
+                    static_cast<unsigned long long>(row.simCycles),
+                    row.wallS > 0
+                        ? static_cast<double>(row.simCycles) /
+                            row.wallS / 1e6
+                        : 0);
+    }
+    for (const FunctionalRow &row : func_rows) {
+        std::printf("perf_smoke functional [%s simd%u]: scalar %.3f s, "
+                    "vector %.3f s, speedup %.2fx\n",
+                    row.workload.c_str(), row.simdWidth,
+                    row.scalarWallS, row.vectorWallS, row.speedup());
+    }
+    std::printf("-> %s\n", out_path.c_str());
     return 0;
 }

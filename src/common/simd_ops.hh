@@ -1,0 +1,775 @@
+/**
+ * @file
+ * Portable host-SIMD primitives for the vectorized execution backend.
+ * Two fixed-width value types cover everything the lane kernels need:
+ *
+ *   V8  — eight 32-bit lanes (integers, f32 bit patterns, lane masks)
+ *   V4D — four f64 lanes (the float domain computes in double, like
+ *         the scalar oracle)
+ *
+ * The implementation is chosen per translation unit by the
+ * compiler's target macros: AVX2 intrinsics under __AVX2__, NEON
+ * intrinsics for the integer lanes under __ARM_NEON, and plain
+ * scalar loops otherwise. The same kernel source compiled into
+ * different TUs with different target flags therefore yields
+ * independent kernel tables (see func/vector_kernels_impl.hh), which
+ * is also why everything here is `static inline`: each TU must get
+ * its own internal-linkage copy, never a deduplicated external one.
+ *
+ * Semantics contract (differentially tested in test_simd_ops.cc):
+ * every operation is bit-identical to the scalar oracle's
+ * sign/zero-extend-to-64-bit integer semantics and
+ * compute-in-double float semantics, including NaN propagation,
+ * signed wraparound and out-of-range shift counts.
+ */
+
+#ifndef IWC_COMMON_SIMD_OPS_HH
+#define IWC_COMMON_SIMD_OPS_HH
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace iwc::simd
+{
+
+#if defined(__AVX2__)
+
+using V8 = __m256i;
+using V4D = __m256d;
+
+#elif defined(__ARM_NEON)
+
+struct V8
+{
+    uint32x4_t lo;
+    uint32x4_t hi;
+};
+
+struct V4D
+{
+    double v[4];
+};
+
+#else
+
+struct V8
+{
+    std::uint32_t v[8];
+};
+
+struct V4D
+{
+    double v[4];
+};
+
+#endif
+
+// ---------------------------------------------------------------- V8
+
+/** Unaligned load of eight 32-bit lanes. */
+static inline V8
+v8load(const void *p)
+{
+#if defined(__AVX2__)
+    return _mm256_loadu_si256(static_cast<const __m256i *>(p));
+#elif defined(__ARM_NEON)
+    const auto *u = static_cast<const std::uint32_t *>(p);
+    return {vld1q_u32(u), vld1q_u32(u + 4)};
+#else
+    V8 r;
+    std::memcpy(r.v, p, sizeof(r.v));
+    return r;
+#endif
+}
+
+/** Unaligned store of eight 32-bit lanes. */
+static inline void
+v8store(void *p, V8 x)
+{
+#if defined(__AVX2__)
+    _mm256_storeu_si256(static_cast<__m256i *>(p), x);
+#elif defined(__ARM_NEON)
+    auto *u = static_cast<std::uint32_t *>(p);
+    vst1q_u32(u, x.lo);
+    vst1q_u32(u + 4, x.hi);
+#else
+    std::memcpy(p, x.v, sizeof(x.v));
+#endif
+}
+
+static inline V8
+v8splat(std::uint32_t v)
+{
+#if defined(__AVX2__)
+    return _mm256_set1_epi32(static_cast<int>(v));
+#elif defined(__ARM_NEON)
+    return {vdupq_n_u32(v), vdupq_n_u32(v)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = v;
+    return r;
+#endif
+}
+
+static inline V8
+v8and(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_and_si256(a, b);
+#elif defined(__ARM_NEON)
+    return {vandq_u32(a.lo, b.lo), vandq_u32(a.hi, b.hi)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = a.v[i] & b.v[i];
+    return r;
+#endif
+}
+
+static inline V8
+v8or(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_or_si256(a, b);
+#elif defined(__ARM_NEON)
+    return {vorrq_u32(a.lo, b.lo), vorrq_u32(a.hi, b.hi)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = a.v[i] | b.v[i];
+    return r;
+#endif
+}
+
+static inline V8
+v8xor(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_xor_si256(a, b);
+#elif defined(__ARM_NEON)
+    return {veorq_u32(a.lo, b.lo), veorq_u32(a.hi, b.hi)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = a.v[i] ^ b.v[i];
+    return r;
+#endif
+}
+
+static inline V8
+v8not(V8 a)
+{
+    return v8xor(a, v8splat(~std::uint32_t{0}));
+}
+
+static inline V8
+v8add(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_add_epi32(a, b);
+#elif defined(__ARM_NEON)
+    return {vaddq_u32(a.lo, b.lo), vaddq_u32(a.hi, b.hi)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = a.v[i] + b.v[i];
+    return r;
+#endif
+}
+
+static inline V8
+v8sub(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_sub_epi32(a, b);
+#elif defined(__ARM_NEON)
+    return {vsubq_u32(a.lo, b.lo), vsubq_u32(a.hi, b.hi)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = a.v[i] - b.v[i];
+    return r;
+#endif
+}
+
+/** Low 32 bits of the lanewise product (congruent mod 2^32). */
+static inline V8
+v8mul(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_mullo_epi32(a, b);
+#elif defined(__ARM_NEON)
+    return {vmulq_u32(a.lo, b.lo), vmulq_u32(a.hi, b.hi)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = a.v[i] * b.v[i];
+    return r;
+#endif
+}
+
+static inline V8
+v8mins(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_min_epi32(a, b);
+#elif defined(__ARM_NEON)
+    return {vreinterpretq_u32_s32(vminq_s32(vreinterpretq_s32_u32(a.lo),
+                                            vreinterpretq_s32_u32(b.lo))),
+            vreinterpretq_u32_s32(vminq_s32(vreinterpretq_s32_u32(a.hi),
+                                            vreinterpretq_s32_u32(b.hi)))};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i) {
+        const auto x = static_cast<std::int32_t>(a.v[i]);
+        const auto y = static_cast<std::int32_t>(b.v[i]);
+        r.v[i] = static_cast<std::uint32_t>(x < y ? x : y);
+    }
+    return r;
+#endif
+}
+
+static inline V8
+v8minu(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_min_epu32(a, b);
+#elif defined(__ARM_NEON)
+    return {vminq_u32(a.lo, b.lo), vminq_u32(a.hi, b.hi)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+    return r;
+#endif
+}
+
+static inline V8
+v8maxs(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_max_epi32(a, b);
+#elif defined(__ARM_NEON)
+    return {vreinterpretq_u32_s32(vmaxq_s32(vreinterpretq_s32_u32(a.lo),
+                                            vreinterpretq_s32_u32(b.lo))),
+            vreinterpretq_u32_s32(vmaxq_s32(vreinterpretq_s32_u32(a.hi),
+                                            vreinterpretq_s32_u32(b.hi)))};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i) {
+        const auto x = static_cast<std::int32_t>(a.v[i]);
+        const auto y = static_cast<std::int32_t>(b.v[i]);
+        r.v[i] = static_cast<std::uint32_t>(x > y ? x : y);
+    }
+    return r;
+#endif
+}
+
+static inline V8
+v8maxu(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_max_epu32(a, b);
+#elif defined(__ARM_NEON)
+    return {vmaxq_u32(a.lo, b.lo), vmaxq_u32(a.hi, b.hi)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+    return r;
+#endif
+}
+
+/**
+ * Lanewise shift left by (count & 63): the scalar model computes in
+ * 64 bits and truncates, so masked counts in [32, 63] yield zero.
+ */
+static inline V8
+v8shl(V8 a, V8 count)
+{
+#if defined(__AVX2__)
+    // vpsllvd already zeroes lanes whose count is >= 32.
+    return _mm256_sllv_epi32(a, v8and(count, v8splat(63)));
+#else
+    std::uint32_t av[8], cv[8], rv[8];
+    v8store(av, a);
+    v8store(cv, count);
+    for (unsigned i = 0; i < 8; ++i) {
+        const unsigned c = cv[i] & 63;
+        rv[i] = c >= 32 ? 0 : av[i] << c;
+    }
+    return v8load(rv);
+#endif
+}
+
+/** Lanewise logical shift right by (count & 63); >= 32 yields zero. */
+static inline V8
+v8shrl(V8 a, V8 count)
+{
+#if defined(__AVX2__)
+    return _mm256_srlv_epi32(a, v8and(count, v8splat(63)));
+#else
+    std::uint32_t av[8], cv[8], rv[8];
+    v8store(av, a);
+    v8store(cv, count);
+    for (unsigned i = 0; i < 8; ++i) {
+        const unsigned c = cv[i] & 63;
+        rv[i] = c >= 32 ? 0 : av[i] >> c;
+    }
+    return v8load(rv);
+#endif
+}
+
+/**
+ * Lanewise arithmetic shift right by (count & 63); masked counts in
+ * [32, 63] fill with the sign bit, matching 64-bit sign-extended
+ * shifts truncated to 32 bits (and vpsravd's saturating behaviour).
+ */
+static inline V8
+v8shra(V8 a, V8 count)
+{
+#if defined(__AVX2__)
+    return _mm256_srav_epi32(a, v8and(count, v8splat(63)));
+#else
+    std::uint32_t av[8], cv[8], rv[8];
+    v8store(av, a);
+    v8store(cv, count);
+    for (unsigned i = 0; i < 8; ++i) {
+        const unsigned c = cv[i] & 63;
+        const auto s = static_cast<std::int32_t>(av[i]);
+        const std::int64_t wide = static_cast<std::int64_t>(s) >>
+            (c >= 32 ? 32 : c);
+        rv[i] = static_cast<std::uint32_t>(wide);
+    }
+    return v8load(rv);
+#endif
+}
+
+/** Bitwise select: lanes of @p mask are all-ones or all-zeros. */
+static inline V8
+v8blend(V8 oldv, V8 newv, V8 mask)
+{
+#if defined(__AVX2__)
+    return _mm256_blendv_epi8(oldv, newv, mask);
+#elif defined(__ARM_NEON)
+    return {vbslq_u32(mask.lo, newv.lo, oldv.lo),
+            vbslq_u32(mask.hi, newv.hi, oldv.hi)};
+#else
+    return v8or(v8and(newv, mask), v8and(oldv, v8not(mask)));
+#endif
+}
+
+static inline V8
+v8eq(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_cmpeq_epi32(a, b);
+#elif defined(__ARM_NEON)
+    return {vceqq_u32(a.lo, b.lo), vceqq_u32(a.hi, b.hi)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = a.v[i] == b.v[i] ? ~std::uint32_t{0} : 0;
+    return r;
+#endif
+}
+
+/** Lanewise signed a > b, as a 0/~0 lane mask. */
+static inline V8
+v8gts(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    return _mm256_cmpgt_epi32(a, b);
+#elif defined(__ARM_NEON)
+    return {vcgtq_s32(vreinterpretq_s32_u32(a.lo),
+                      vreinterpretq_s32_u32(b.lo)),
+            vcgtq_s32(vreinterpretq_s32_u32(a.hi),
+                      vreinterpretq_s32_u32(b.hi))};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i) {
+        r.v[i] = static_cast<std::int32_t>(a.v[i]) >
+                static_cast<std::int32_t>(b.v[i])
+            ? ~std::uint32_t{0}
+            : 0;
+    }
+    return r;
+#endif
+}
+
+/** Lanewise unsigned a > b, as a 0/~0 lane mask. */
+static inline V8
+v8gtu(V8 a, V8 b)
+{
+#if defined(__AVX2__)
+    // No unsigned compare before AVX-512: bias into signed range.
+    const V8 bias = v8splat(0x80000000u);
+    return _mm256_cmpgt_epi32(v8xor(a, bias), v8xor(b, bias));
+#elif defined(__ARM_NEON)
+    return {vcgtq_u32(a.lo, b.lo), vcgtq_u32(a.hi, b.hi)};
+#else
+    V8 r;
+    for (unsigned i = 0; i < 8; ++i)
+        r.v[i] = a.v[i] > b.v[i] ? ~std::uint32_t{0} : 0;
+    return r;
+#endif
+}
+
+/** One bit per lane: the lane's most significant (sign/mask) bit. */
+static inline std::uint32_t
+v8msb(V8 a)
+{
+#if defined(__AVX2__)
+    return static_cast<std::uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(a)));
+#else
+    std::uint32_t av[8];
+    v8store(av, a);
+    std::uint32_t bits = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        bits |= (av[i] >> 31) << i;
+    return bits;
+#endif
+}
+
+// --------------------------------------------------------------- V4D
+
+/** Widens lanes 0..3 of eight f32 bit patterns to doubles. */
+static inline V4D
+v4dwidenlo(V8 x)
+{
+#if defined(__AVX2__)
+    return _mm256_cvtps_pd(_mm_castsi128_ps(_mm256_castsi256_si128(x)));
+#else
+    std::uint32_t xv[8];
+    v8store(xv, x);
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = static_cast<double>(std::bit_cast<float>(xv[i]));
+    return r;
+#endif
+}
+
+/** Widens lanes 4..7 of eight f32 bit patterns to doubles. */
+static inline V4D
+v4dwidenhi(V8 x)
+{
+#if defined(__AVX2__)
+    return _mm256_cvtps_pd(
+        _mm_castsi128_ps(_mm256_extracti128_si256(x, 1)));
+#else
+    std::uint32_t xv[8];
+    v8store(xv, x);
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = static_cast<double>(std::bit_cast<float>(xv[i + 4]));
+    return r;
+#endif
+}
+
+/** Rounds eight doubles back to f32 bit patterns (round-to-nearest). */
+static inline V8
+v8narrow(V4D lo, V4D hi)
+{
+#if defined(__AVX2__)
+    const __m128 l = _mm256_cvtpd_ps(lo);
+    const __m128 h = _mm256_cvtpd_ps(hi);
+    return _mm256_castps_si256(
+        _mm256_insertf128_ps(_mm256_castps128_ps256(l), h, 1));
+#else
+    V8 r;
+    for (unsigned i = 0; i < 4; ++i) {
+        r.v[i] =
+            std::bit_cast<std::uint32_t>(static_cast<float>(lo.v[i]));
+        r.v[i + 4] =
+            std::bit_cast<std::uint32_t>(static_cast<float>(hi.v[i]));
+    }
+    return r;
+#endif
+}
+
+static inline V4D
+v4dsplat(double v)
+{
+#if defined(__AVX2__)
+    return _mm256_set1_pd(v);
+#else
+    return {{v, v, v, v}};
+#endif
+}
+
+static inline V4D
+v4dadd(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    return _mm256_add_pd(a, b);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = a.v[i] + b.v[i];
+    return r;
+#endif
+}
+
+static inline V4D
+v4dsub(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    return _mm256_sub_pd(a, b);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = a.v[i] - b.v[i];
+    return r;
+#endif
+}
+
+static inline V4D
+v4dmul(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    return _mm256_mul_pd(a, b);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = a.v[i] * b.v[i];
+    return r;
+#endif
+}
+
+/**
+ * a * b + c with the product rounded before the add (no FMA
+ * contraction), matching the scalar oracle's two-operation form.
+ */
+static inline V4D
+v4dmad(V4D a, V4D b, V4D c)
+{
+#if defined(__AVX2__)
+    return _mm256_add_pd(_mm256_mul_pd(a, b), c);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i) {
+        const double p = a.v[i] * b.v[i];
+        r.v[i] = p + c.v[i];
+    }
+    return r;
+#endif
+}
+
+static inline V4D
+v4ddiv(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    return _mm256_div_pd(a, b);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = a.v[i] / b.v[i];
+    return r;
+#endif
+}
+
+static inline V4D
+v4dsqrt(V4D a)
+{
+#if defined(__AVX2__)
+    return _mm256_sqrt_pd(a);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = std::sqrt(a.v[i]);
+    return r;
+#endif
+}
+
+static inline V4D
+v4dfloor(V4D a)
+{
+#if defined(__AVX2__)
+    return _mm256_floor_pd(a);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = std::floor(a.v[i]);
+    return r;
+#endif
+}
+
+/**
+ * Pinned min select (deliberately NOT libm fmin, whose tie and NaN
+ * ordering rules vary across implementations): a wins when a < b or
+ * when b is NaN; ties and an a-only NaN take b. Both operands NaN
+ * leaves a NaN, which the lane kernels canonicalize (v4dcanon), so
+ * no payload ever escapes.
+ */
+static inline V4D
+v4dfmin(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    const V4D lt = _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+    const V4D b_nan = _mm256_cmp_pd(b, b, _CMP_UNORD_Q);
+    return _mm256_blendv_pd(b, a, _mm256_or_pd(lt, b_nan));
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] =
+            (a.v[i] < b.v[i] || std::isnan(b.v[i])) ? a.v[i] : b.v[i];
+    return r;
+#endif
+}
+
+/** Pinned max select; mirror of v4dfmin. */
+static inline V4D
+v4dfmax(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    const V4D gt = _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+    const V4D b_nan = _mm256_cmp_pd(b, b, _CMP_UNORD_Q);
+    return _mm256_blendv_pd(b, a, _mm256_or_pd(gt, b_nan));
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] =
+            (a.v[i] > b.v[i] || std::isnan(b.v[i])) ? a.v[i] : b.v[i];
+    return r;
+#endif
+}
+
+/**
+ * Replaces NaN lanes with the default quiet NaN. Float ALU results
+ * pass through this before narrowing: NaN payload propagation is not
+ * pinnable (compilers may commute operands and hardware NaN selection
+ * rules differ), so the pinned ISA semantics canonicalize instead.
+ */
+static inline V4D
+v4dcanon(V4D r)
+{
+#if defined(__AVX2__)
+    const V4D nan = _mm256_cmp_pd(r, r, _CMP_UNORD_Q);
+    return _mm256_blendv_pd(
+        r, _mm256_set1_pd(std::numeric_limits<double>::quiet_NaN()),
+        nan);
+#else
+    for (unsigned i = 0; i < 4; ++i)
+        if (std::isnan(r.v[i]))
+            r.v[i] = std::numeric_limits<double>::quiet_NaN();
+    return r;
+#endif
+}
+
+/** Comparison predicates as 0/~0 lane masks (quiet, NaN => false
+ * except Ne, which is true on NaN like C's !=). */
+static inline V4D
+v4deq(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    return _mm256_cmp_pd(a, b, _CMP_EQ_OQ);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = std::bit_cast<double>(
+            a.v[i] == b.v[i] ? ~std::uint64_t{0} : std::uint64_t{0});
+    return r;
+#endif
+}
+
+static inline V4D
+v4dne(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    return _mm256_cmp_pd(a, b, _CMP_NEQ_UQ);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = std::bit_cast<double>(
+            a.v[i] != b.v[i] ? ~std::uint64_t{0} : std::uint64_t{0});
+    return r;
+#endif
+}
+
+static inline V4D
+v4dlt(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    return _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = std::bit_cast<double>(
+            a.v[i] < b.v[i] ? ~std::uint64_t{0} : std::uint64_t{0});
+    return r;
+#endif
+}
+
+static inline V4D
+v4dle(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    return _mm256_cmp_pd(a, b, _CMP_LE_OQ);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = std::bit_cast<double>(
+            a.v[i] <= b.v[i] ? ~std::uint64_t{0} : std::uint64_t{0});
+    return r;
+#endif
+}
+
+static inline V4D
+v4dgt(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    return _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = std::bit_cast<double>(
+            a.v[i] > b.v[i] ? ~std::uint64_t{0} : std::uint64_t{0});
+    return r;
+#endif
+}
+
+static inline V4D
+v4dge(V4D a, V4D b)
+{
+#if defined(__AVX2__)
+    return _mm256_cmp_pd(a, b, _CMP_GE_OQ);
+#else
+    V4D r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.v[i] = std::bit_cast<double>(
+            a.v[i] >= b.v[i] ? ~std::uint64_t{0} : std::uint64_t{0});
+    return r;
+#endif
+}
+
+/** One bit per double lane: its most significant (mask) bit. */
+static inline std::uint32_t
+v4dmsb(V4D a)
+{
+#if defined(__AVX2__)
+    return static_cast<std::uint32_t>(_mm256_movemask_pd(a));
+#else
+    std::uint32_t bits = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        bits |= static_cast<std::uint32_t>(
+                    std::bit_cast<std::uint64_t>(a.v[i]) >> 63)
+            << i;
+    }
+    return bits;
+#endif
+}
+
+} // namespace iwc::simd
+
+#endif // IWC_COMMON_SIMD_OPS_HH

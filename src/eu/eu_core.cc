@@ -52,7 +52,8 @@ void
 EuCore::bindKernel(const isa::Kernel &kernel, func::GlobalMemory &gmem)
 {
     kernel_ = &kernel;
-    interp_ = std::make_unique<func::Interpreter>(kernel, gmem);
+    interp_ =
+        std::make_unique<func::Interpreter>(kernel, gmem, config_.backend);
     decoded_ = &interp_->decoded();
     depPool_ = decoded_->depPool();
 }

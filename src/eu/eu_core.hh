@@ -37,6 +37,9 @@ struct EuConfig
     unsigned numThreads = 6;
     compaction::Mode mode = compaction::Mode::IvbOpt;
 
+    /** Functional execution backend used at issue time. */
+    func::BackendKind backend = func::BackendKind::Auto;
+
     /**
      * Issue bandwidth: up to issueWidth instructions from distinct
      * threads every arbitrationPeriod cycles. The default (1 per

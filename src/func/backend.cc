@@ -1,0 +1,170 @@
+#include "func/exec_backend.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "func/backend_vector.hh"
+#include "func/exec_ops.hh"
+#include "func/ops_alu.hh"
+#include "func/ops_control.hh"
+#include "func/ops_send.hh"
+
+namespace iwc::func
+{
+
+const char *
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Auto:   return "auto";
+      case BackendKind::Scalar: return "scalar";
+      case BackendKind::Vector: return "vector";
+    }
+    return "?";
+}
+
+bool
+parseBackendKind(std::string_view name, BackendKind &out)
+{
+    if (name == "auto") {
+        out = BackendKind::Auto;
+    } else if (name == "scalar") {
+        out = BackendKind::Scalar;
+    } else if (name == "vector") {
+        out = BackendKind::Vector;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+BackendKind
+resolveBackendKind(BackendKind requested)
+{
+    if (requested != BackendKind::Auto)
+        return requested;
+    if (const char *env = std::getenv("IWC_BACKEND")) {
+        BackendKind kind;
+        if (!parseBackendKind(env, kind))
+            warn("ignoring unknown IWC_BACKEND value '%s'", env);
+        else if (kind != BackendKind::Auto)
+            return kind;
+    }
+    return BackendKind::Vector;
+}
+
+ExecBackend::ExecBackend(const isa::Kernel &kernel, GlobalMemory &gmem)
+    : kernel_(kernel), decoded_(kernel), gmem_(gmem)
+{
+}
+
+ExecBackend::~ExecBackend() = default;
+
+LaneMask
+ExecBackend::execMaskFor(const isa::Instruction &in,
+                         const ThreadState &t) const
+{
+    return t.activeMask() &
+        ops::predBits(in.predCtrl, in.predFlag, t) & in.widthMask();
+}
+
+void
+ExecBackend::step(ThreadState &t, StepResult &result)
+{
+    panic_if(t.halted(), "stepping a halted thread");
+    const std::uint32_t ip = t.ip();
+    panic_if(ip >= kernel_.size(), "ip %u out of range", ip);
+    const DecodedInstr &d = decoded_.at(ip);
+
+    result.instr = d.instr;
+    result.ip = ip;
+    result.isBarrier = false;
+    result.isHalt = false;
+    result.hasMem = false;
+
+    const LaneMask pred = ops::predBits(d.predCtrl, d.predFlag, t);
+    const LaneMask exec = t.activeMask() & pred & d.widthMask;
+    result.execMask = exec;
+
+    std::uint32_t next_ip = ip + 1;
+
+    switch (d.cls) {
+      case ExecClass::AluFloat:
+      case ExecClass::AluInt:
+        execAlu(d, t, exec);
+        break;
+      case ExecClass::CmpFloat:
+      case ExecClass::CmpInt:
+        execCmp(d, t, exec);
+        break;
+      case ExecClass::Send:
+        ops::execSend(d, t, exec, result, gmem_, slm_, kernel_);
+        break;
+      default:
+        next_ip = ops::stepControl(d, t, pred, exec, ip);
+        if (d.cls == ExecClass::Halt)
+            result.isHalt = true;
+        break;
+    }
+
+    t.setIp(next_ip);
+}
+
+unsigned
+ExecBackend::stepMacro(ThreadState &t)
+{
+    panic_if(t.halted(), "stepping a halted thread");
+    std::uint32_t ip = t.ip();
+    panic_if(ip >= kernel_.size(), "ip %u out of range", ip);
+
+    const unsigned len = decoded_.at(ip).macroLen;
+    if (len <= 1)
+        return 0;
+
+    // No control flow in the run, so the active mask is loop
+    // invariant; flags written by cmps inside the run are never read
+    // for predication inside it (predecode guarantees this), and Sel
+    // reads flags as data in program order, so live state is exact.
+    for (unsigned i = 0; i < len; ++i, ++ip) {
+        const DecodedInstr &d = decoded_.at(ip);
+        const LaneMask pred =
+            ops::predBits(d.predCtrl, d.predFlag, t);
+        const LaneMask exec = t.activeMask() & pred & d.widthMask;
+        if (d.cls == ExecClass::CmpFloat ||
+            d.cls == ExecClass::CmpInt) {
+            execCmp(d, t, exec);
+        } else {
+            execAlu(d, t, exec);
+        }
+    }
+    t.setIp(ip);
+    return len;
+}
+
+void
+ScalarBackend::execAlu(const DecodedInstr &d, ThreadState &t,
+                       LaneMask exec)
+{
+    ops::scalarAlu(d, t, exec);
+}
+
+void
+ScalarBackend::execCmp(const DecodedInstr &d, ThreadState &t,
+                       LaneMask exec)
+{
+    ops::scalarCmp(d, t, exec);
+}
+
+std::unique_ptr<ExecBackend>
+makeBackend(BackendKind kind, const isa::Kernel &kernel,
+            GlobalMemory &gmem)
+{
+    switch (resolveBackendKind(kind)) {
+      case BackendKind::Vector:
+        return std::make_unique<VectorBackend>(kernel, gmem);
+      default:
+        return std::make_unique<ScalarBackend>(kernel, gmem);
+    }
+}
+
+} // namespace iwc::func

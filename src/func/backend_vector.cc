@@ -1,0 +1,509 @@
+#include "func/backend_vector.hh"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.hh"
+#include "func/exec_ops.hh"
+#include "func/ops_alu.hh"
+
+namespace iwc::func
+{
+
+using isa::CondMod;
+using isa::DataType;
+using isa::Opcode;
+
+const VecKernelTable &
+activeVecKernels()
+{
+#if defined(__x86_64__)
+    if (__builtin_cpu_supports("avx2"))
+        return avx2VecKernels();
+#endif
+    return hostVecKernels();
+}
+
+const char *
+activeVecKernelIsa()
+{
+#if defined(__x86_64__)
+    if (__builtin_cpu_supports("avx2"))
+        return "avx2";
+#endif
+#if defined(__ARM_NEON)
+    return "neon";
+#else
+    return "generic";
+#endif
+}
+
+namespace
+{
+
+/** Half-open byte ranges [aOff, aOff+aLen) and [bOff, bOff+bLen). */
+bool
+rangesOverlap(std::uint32_t a_off, std::uint32_t a_len,
+              std::uint32_t b_off, std::uint32_t b_len)
+{
+    return a_off < b_off + b_len && b_off < a_off + a_len;
+}
+
+/** Operand sign class for sign-sensitive integer ops. */
+enum class IntClass
+{
+    Any,      ///< op is congruent mod 2^32; extension never matters
+    Signed,   ///< operands compare as sign-extended values
+    Unsigned, ///< operands compare as zero-extended values
+};
+
+/**
+ * Detects the common sign class of two integer operands. Fails on
+ * D/UD mixes (64-bit extended comparisons diverge from 32-bit lanes),
+ * on non-dword GRF operands, and when both are immediates (nothing to
+ * anchor the class; such constant ops stay on the scalar path).
+ */
+bool
+commonSignClass(const DecodedOperand &x, const DecodedOperand &y,
+                IntClass &cls)
+{
+    bool saw_s = false;
+    bool saw_u = false;
+    for (const DecodedOperand *op : {&x, &y}) {
+        if (op->isImm)
+            continue;
+        if (op->isNull)
+            return false;
+        if (op->type == DataType::D)
+            saw_s = true;
+        else if (op->type == DataType::UD)
+            saw_u = true;
+        else
+            return false;
+    }
+    if (saw_s == saw_u) // mixed, or both immediate
+        return false;
+    cls = saw_s ? IntClass::Signed : IntClass::Unsigned;
+    return true;
+}
+
+std::uint8_t
+floatCmpOf(CondMod m)
+{
+    switch (m) {
+      case CondMod::Eq: return kCFEq;
+      case CondMod::Ne: return kCFNe;
+      case CondMod::Lt: return kCFLt;
+      case CondMod::Le: return kCFLe;
+      case CondMod::Gt: return kCFGt;
+      case CondMod::Ge: return kCFGe;
+      case CondMod::None: break;
+    }
+    return 0xff;
+}
+
+std::uint8_t
+intCmpOf(CondMod m, bool is_signed)
+{
+    switch (m) {
+      case CondMod::Eq: return kCIEq;
+      case CondMod::Ne: return kCINe;
+      case CondMod::Lt: return is_signed ? kCILtS : kCILtU;
+      case CondMod::Le: return is_signed ? kCILeS : kCILeU;
+      case CondMod::Gt: return is_signed ? kCIGtS : kCIGtU;
+      case CondMod::Ge: return is_signed ? kCIGeS : kCIGeU;
+      case CondMod::None: break;
+    }
+    return 0xff;
+}
+
+} // namespace
+
+VectorBackend::VectorBackend(const isa::Kernel &kernel,
+                             GlobalMemory &gmem)
+    : ExecBackend(kernel, gmem), table_(&activeVecKernels())
+{
+    buildPlan();
+}
+
+void
+VectorBackend::buildPlan()
+{
+    plan_.resize(decoded_.size());
+
+    const auto addImm = [&](std::uint32_t bits) -> std::uint16_t {
+        panic_if(immPool_.size() >
+                     std::numeric_limits<std::uint16_t>::max(),
+                 "immediate pool overflow");
+        std::array<std::uint32_t, kMaxSimdWidth> lanes;
+        lanes.fill(bits);
+        immPool_.push_back(lanes);
+        return static_cast<std::uint16_t>(immPool_.size() - 1);
+    };
+
+    // Plans a float source. Grf sources must be contiguous (or
+    // broadcast) dword F; immediates must survive the f32 roundtrip
+    // exactly. When a destination span is given, sources read in
+    // 8-lane chunks must either not overlap it or coincide with it
+    // exactly (same lane reads its own slot, as in the scalar loop);
+    // sources staged through scratch are read before any store.
+    const auto planFSrc = [&](const DecodedOperand &op, unsigned n,
+                              const DecodedOperand *dst,
+                              VecSrc &out) -> bool {
+        if (op.isImm) {
+            const float f = static_cast<float>(op.immF);
+            if (static_cast<double>(f) != op.immF)
+                return false; // not representable (or NaN): stay scalar
+            out.kind = VecSrc::Kind::SplatImm;
+            out.immSlot = addImm(std::bit_cast<std::uint32_t>(f));
+            return true;
+        }
+        if (op.isNull || op.type != DataType::F)
+            return false;
+        const std::uint32_t am = op.absolute ? 0x7fffffffu : ~0u;
+        const std::uint32_t xm = op.negate ? 0x80000000u : 0u;
+        if (op.stride == 0) {
+            if (dst && rangesOverlap(op.baseOff, 4, dst->baseOff, 4 * n))
+                return false; // lane writes feed later lane reads
+            out.kind = VecSrc::Kind::SplatGrf;
+            out.baseOff = op.baseOff;
+            out.andMask = am;
+            out.xorMask = xm;
+            return true;
+        }
+        if (op.stride != 4)
+            return false;
+        if (op.negate || op.absolute) {
+            out.kind = VecSrc::Kind::Copy;
+            out.baseOff = op.baseOff;
+            out.andMask = am;
+            out.xorMask = xm;
+            return true;
+        }
+        if (dst && op.baseOff != dst->baseOff &&
+            rangesOverlap(op.baseOff, 4 * n, dst->baseOff, 4 * n)) {
+            return false;
+        }
+        out.kind = VecSrc::Kind::Direct;
+        out.baseOff = op.baseOff;
+        return true;
+    };
+
+    // Plans an integer source under a sign class. Only dword D/UD
+    // lanes without source modifiers; immediates must fit the class
+    // (any value is fine for congruent ops, since only its low 32
+    // bits can reach a dword result).
+    const auto planISrc = [&](const DecodedOperand &op, unsigned n,
+                              const DecodedOperand *dst, IntClass cls,
+                              VecSrc &out) -> bool {
+        if (op.isImm) {
+            if (cls == IntClass::Signed &&
+                (op.immI < std::numeric_limits<std::int32_t>::min() ||
+                 op.immI > std::numeric_limits<std::int32_t>::max())) {
+                return false;
+            }
+            if (cls == IntClass::Unsigned &&
+                (op.immI < 0 ||
+                 op.immI > std::numeric_limits<std::uint32_t>::max())) {
+                return false;
+            }
+            out.kind = VecSrc::Kind::SplatImm;
+            out.immSlot = addImm(static_cast<std::uint32_t>(op.immI));
+            return true;
+        }
+        if (op.isNull || op.negate || op.absolute)
+            return false;
+        if (op.type != DataType::D && op.type != DataType::UD)
+            return false;
+        if (cls == IntClass::Signed && op.type != DataType::D)
+            return false;
+        if (cls == IntClass::Unsigned && op.type != DataType::UD)
+            return false;
+        if (op.stride == 0) {
+            if (dst && rangesOverlap(op.baseOff, 4, dst->baseOff, 4 * n))
+                return false;
+            out.kind = VecSrc::Kind::SplatGrf;
+            out.baseOff = op.baseOff;
+            out.andMask = ~0u;
+            out.xorMask = 0;
+            return true;
+        }
+        if (op.stride != 4)
+            return false;
+        if (dst && op.baseOff != dst->baseOff &&
+            rangesOverlap(op.baseOff, 4 * n, dst->baseOff, 4 * n)) {
+            return false;
+        }
+        out.kind = VecSrc::Kind::Direct;
+        out.baseOff = op.baseOff;
+        return true;
+    };
+
+    const auto dstOk = [](const DecodedInstr &d, bool want_float) {
+        const DecodedOperand &dst = d.dst;
+        if (dst.isNull || dst.isImm)
+            return false;
+        if (dst.stride != 4 || dst.elemBytes != 4)
+            return false;
+        return want_float ? d.dstIsF : !d.dstIsFloat;
+    };
+
+    for (std::uint32_t ip = 0; ip < decoded_.size(); ++ip) {
+        const DecodedInstr &d = decoded_.at(ip);
+        VecPlan p;
+        const unsigned n = d.simdWidth;
+        // Lane kernels work in whole 8-lane chunks; narrower widths
+        // would read and write past the operand spans.
+        if (n < 8 || n % 8 != 0) {
+            plan_[ip] = p;
+            continue;
+        }
+
+        switch (d.cls) {
+          case ExecClass::AluFloat: {
+            if (!dstOk(d, true))
+                break;
+            std::uint8_t k = kVecNone;
+            unsigned nsrc = 0;
+            bool flag_sel = false;
+            switch (d.op) {
+              case Opcode::Mov:   k = kFMov;   nsrc = 1; break;
+              case Opcode::Add:   k = kFAdd;   nsrc = 2; break;
+              case Opcode::Sub:   k = kFSub;   nsrc = 2; break;
+              case Opcode::Mul:   k = kFMul;   nsrc = 2; break;
+              case Opcode::Mad:   k = kFMad;   nsrc = 3; break;
+              case Opcode::Min:   k = kFMin;   nsrc = 2; break;
+              case Opcode::Max:   k = kFMax;   nsrc = 2; break;
+              case Opcode::Avg:   k = kFAvg;   nsrc = 2; break;
+              case Opcode::Sel:
+                k = kFSel;
+                nsrc = 2;
+                flag_sel = true;
+                break;
+              case Opcode::Rndd:  k = kFRndd;  nsrc = 1; break;
+              case Opcode::Frc:   k = kFFrc;   nsrc = 1; break;
+              case Opcode::Inv:   k = kFInv;   nsrc = 1; break;
+              case Opcode::Div:   k = kFDiv;   nsrc = 2; break;
+              case Opcode::Sqrt:  k = kFSqrt;  nsrc = 1; break;
+              case Opcode::Rsqrt: k = kFRsqrt; nsrc = 1; break;
+              default: // transcendentals et al: libm stays scalar
+                break;
+            }
+            if (k == kVecNone)
+                break;
+            if (!planFSrc(d.src0, n, &d.dst, p.a))
+                break;
+            if (nsrc >= 2 && !planFSrc(d.src1, n, &d.dst, p.b))
+                break;
+            if (nsrc >= 3 && !planFSrc(d.src2, n, &d.dst, p.c))
+                break;
+            if (flag_sel) {
+                p.c.kind = VecSrc::Kind::FlagMask;
+                p.c.baseOff = d.condFlag;
+            }
+            p.alu = k;
+            break;
+          }
+
+          case ExecClass::AluInt: {
+            if (!dstOk(d, false))
+                break;
+            std::uint8_t k = kVecNone;
+            unsigned nsrc = 0;
+            bool flag_sel = false;
+            IntClass cls = IntClass::Any;
+            switch (d.op) {
+              case Opcode::Mov: k = kIMov; nsrc = 1; break;
+              case Opcode::Add: k = kIAdd; nsrc = 2; break;
+              case Opcode::Sub: k = kISub; nsrc = 2; break;
+              case Opcode::Mul: k = kIMul; nsrc = 2; break;
+              case Opcode::Mad: k = kIMad; nsrc = 3; break;
+              case Opcode::And: k = kIAnd; nsrc = 2; break;
+              case Opcode::Or:  k = kIOr;  nsrc = 2; break;
+              case Opcode::Xor: k = kIXor; nsrc = 2; break;
+              case Opcode::Not: k = kINot; nsrc = 1; break;
+              case Opcode::Shl: k = kIShl; nsrc = 2; break;
+              case Opcode::Shr: k = kIShrL; nsrc = 2; break;
+              case Opcode::Asr:
+                // Signedness comes from the shifted operand alone;
+                // immediates stay scalar (the extension is baked into
+                // the 64-bit immI, not recoverable per lane).
+                if (d.src0.isImm || d.src0.isNull)
+                    break;
+                if (d.src0.type == DataType::D)
+                    k = kIShrA;
+                else if (d.src0.type == DataType::UD)
+                    k = kIShrL;
+                else
+                    break;
+                nsrc = 2;
+                break;
+              case Opcode::Min:
+              case Opcode::Max:
+                if (!commonSignClass(d.src0, d.src1, cls))
+                    break;
+                if (d.op == Opcode::Min) {
+                    k = cls == IntClass::Signed ? kIMinS : kIMinU;
+                } else {
+                    k = cls == IntClass::Signed ? kIMaxS : kIMaxU;
+                }
+                nsrc = 2;
+                break;
+              case Opcode::Sel:
+                k = kISel;
+                nsrc = 2;
+                flag_sel = true;
+                break;
+              default: // Avg needs 33 bits, Div traps on 0: scalar
+                break;
+            }
+            if (k == kVecNone)
+                break;
+            if (!planISrc(d.src0, n, &d.dst, cls, p.a))
+                break;
+            if (nsrc >= 2 && !planISrc(d.src1, n, &d.dst, cls, p.b))
+                break;
+            if (nsrc >= 3 && !planISrc(d.src2, n, &d.dst, cls, p.c))
+                break;
+            if (flag_sel) {
+                p.c.kind = VecSrc::Kind::FlagMask;
+                p.c.baseOff = d.condFlag;
+            }
+            p.alu = k;
+            break;
+          }
+
+          case ExecClass::CmpFloat: {
+            if (d.condMod == CondMod::None)
+                break;
+            VecSrc a, b;
+            if (!planFSrc(d.src0, n, nullptr, a) ||
+                !planFSrc(d.src1, n, nullptr, b)) {
+                break;
+            }
+            p.a = a;
+            p.b = b;
+            p.cmp = floatCmpOf(d.condMod);
+            break;
+          }
+
+          case ExecClass::CmpInt: {
+            if (d.condMod == CondMod::None)
+                break;
+            IntClass cls = IntClass::Any;
+            if (!commonSignClass(d.src0, d.src1, cls))
+                break;
+            VecSrc a, b;
+            if (!planISrc(d.src0, n, nullptr, cls, a) ||
+                !planISrc(d.src1, n, nullptr, cls, b)) {
+                break;
+            }
+            p.a = a;
+            p.b = b;
+            p.cmp = intCmpOf(d.condMod, cls == IntClass::Signed);
+            break;
+          }
+
+          default:
+            break;
+        }
+
+        if (p.alu != kVecNone || p.cmp != 0xff)
+            ++vectorized_;
+        plan_[ip] = p;
+    }
+}
+
+const VecPlan &
+VectorBackend::planFor(const DecodedInstr &d) const
+{
+    const auto ip = static_cast<std::size_t>(&d - &decoded_.at(0));
+    return plan_[ip];
+}
+
+const void *
+VectorBackend::resolveSrc(const VecSrc &s, const ThreadState &t,
+                          unsigned n, std::uint32_t *scratch)
+{
+    switch (s.kind) {
+      case VecSrc::Kind::Unused:
+        return scratch; // readable garbage; the kernel ignores it
+      case VecSrc::Kind::Direct:
+        return t.grfData() + s.baseOff;
+      case VecSrc::Kind::Copy: {
+        const std::uint8_t *src = t.grfData() + s.baseOff;
+        for (unsigned i = 0; i < n; ++i) {
+            std::uint32_t v;
+            std::memcpy(&v, src + 4u * i, 4);
+            scratch[i] = (v & s.andMask) ^ s.xorMask;
+        }
+        return scratch;
+      }
+      case VecSrc::Kind::SplatImm:
+        return immPool_[s.immSlot].data();
+      case VecSrc::Kind::SplatGrf: {
+        std::uint32_t v;
+        std::memcpy(&v, t.grfData() + s.baseOff, 4);
+        v = (v & s.andMask) ^ s.xorMask;
+        for (unsigned i = 0; i < n; ++i)
+            scratch[i] = v;
+        return scratch;
+      }
+      case VecSrc::Kind::FlagMask: {
+        const LaneMask f = t.flag(s.baseOff);
+        for (unsigned i = 0; i < n; ++i)
+            scratch[i] = (f >> i) & 1 ? ~0u : 0u;
+        return scratch;
+      }
+    }
+    return scratch;
+}
+
+void
+VectorBackend::buildWriteMask(LaneMask exec, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        wrMask_[i] = (exec >> i) & 1 ? ~0u : 0u;
+}
+
+void
+VectorBackend::execAlu(const DecodedInstr &d, ThreadState &t,
+                       LaneMask exec)
+{
+    if (exec == 0)
+        return;
+    const VecPlan &p = planFor(d);
+    if (p.alu == kVecNone) {
+        ops::scalarAlu(d, t, exec);
+        return;
+    }
+    const unsigned n = d.simdWidth;
+    buildWriteMask(exec, n);
+    const void *a = resolveSrc(p.a, t, n, scratch_[0]);
+    const void *b = resolveSrc(p.b, t, n, scratch_[1]);
+    const void *c = resolveSrc(p.c, t, n, scratch_[2]);
+    table_->alu[p.alu](t.grfData() + d.dst.baseOff, a, b, c, wrMask_,
+                       n);
+}
+
+void
+VectorBackend::execCmp(const DecodedInstr &d, ThreadState &t,
+                       LaneMask exec)
+{
+    if (exec == 0)
+        return; // flag bits outside exec are preserved: no-op
+    const VecPlan &p = planFor(d);
+    if (p.cmp == 0xff) {
+        ops::scalarCmp(d, t, exec);
+        return;
+    }
+    const unsigned n = d.simdWidth;
+    const void *a = resolveSrc(p.a, t, n, scratch_[0]);
+    const void *b = resolveSrc(p.b, t, n, scratch_[1]);
+    const std::uint32_t cond = table_->cmp[p.cmp](a, b, n);
+    const LaneMask old = t.flag(d.condFlag);
+    t.setFlag(d.condFlag, (old & ~exec) | (cond & exec));
+}
+
+} // namespace iwc::func

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Host-SIMD vectorized execution backend. At bind time it analyzes
+ * every ALU/cmp instruction and builds a per-ip plan: either a lane
+ * kernel (vector_kernels.hh) plus operand preparation descriptors, or
+ * a fallback to the shared scalar units. The plan only admits operand
+ * mixes where 32-bit lane arithmetic (integers) or the
+ * widen-to-double pipeline (floats) is provably bit-identical to the
+ * scalar oracle; everything else — sends, control flow, rare ops,
+ * narrow/wide types, sign-hazardous mixes, overlapping operand
+ * regions — takes the oracle path, so the backend is always safe to
+ * select.
+ */
+
+#ifndef IWC_FUNC_BACKEND_VECTOR_HH
+#define IWC_FUNC_BACKEND_VECTOR_HH
+
+#include <array>
+#include <vector>
+
+#include "func/exec_backend.hh"
+#include "func/vector_kernels.hh"
+
+namespace iwc::func
+{
+
+/** How one source operand is materialized for a lane kernel. */
+struct VecSrc
+{
+    enum class Kind : std::uint8_t
+    {
+        Unused,   ///< kernel ignores this slot
+        Direct,   ///< contiguous GRF span, used in place
+        Copy,     ///< GRF span copied to scratch with bit modifiers
+        SplatImm, ///< plan-time constant, pre-splatted in immPool
+        SplatGrf, ///< GRF scalar broadcast, splatted at exec time
+        FlagMask, ///< flag register expanded to a 0/~0 lane mask
+    };
+
+    Kind kind = Kind::Unused;
+    std::uint32_t baseOff = 0;   ///< GRF byte offset / flag index
+    std::uint32_t andMask = ~0u; ///< float |abs| modifier bit mask
+    std::uint32_t xorMask = 0;   ///< float negate modifier bit mask
+    std::uint16_t immSlot = 0;   ///< SplatImm: index into immPool
+};
+
+/** Bind-time plan for one instruction. */
+struct VecPlan
+{
+    std::uint8_t alu = kVecNone;  ///< VecAluOp; kVecNone = fallback
+    std::uint8_t cmp = 0xff;      ///< VecCmpOp; 0xff = fallback
+    VecSrc a, b, c;
+};
+
+class VectorBackend final : public ExecBackend
+{
+  public:
+    VectorBackend(const isa::Kernel &kernel, GlobalMemory &gmem);
+
+    const char *name() const override { return "vector"; }
+
+    /** Number of instructions with a lane-kernel fast path (stats). */
+    unsigned vectorizedCount() const { return vectorized_; }
+
+  protected:
+    void execAlu(const DecodedInstr &d, ThreadState &t,
+                 LaneMask exec) override;
+    void execCmp(const DecodedInstr &d, ThreadState &t,
+                 LaneMask exec) override;
+
+  private:
+    void buildPlan();
+    const VecPlan &planFor(const DecodedInstr &d) const;
+    const void *resolveSrc(const VecSrc &s, const ThreadState &t,
+                           unsigned n, std::uint32_t *scratch);
+    void buildWriteMask(LaneMask exec, unsigned n);
+
+    const VecKernelTable *table_;
+    std::vector<VecPlan> plan_;
+    std::vector<std::array<std::uint32_t, kMaxSimdWidth>> immPool_;
+    unsigned vectorized_ = 0;
+    // Per-step staging buffers; a backend instance is used by one
+    // simulation thread at a time (like the GRF it mutates).
+    alignas(32) std::uint32_t scratch_[3][kMaxSimdWidth];
+    alignas(32) std::uint32_t wrMask_[kMaxSimdWidth];
+};
+
+} // namespace iwc::func
+
+#endif // IWC_FUNC_BACKEND_VECTOR_HH

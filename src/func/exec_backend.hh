@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Pluggable execution backends for the functional model. A backend
+ * steps one predecoded instruction for all active channels against a
+ * ThreadState. Control flow and sends are inherently scalar and are
+ * shared by every backend (ops_control / ops_send); backends differ
+ * only in how they execute the data-parallel ALU and compare
+ * families:
+ *
+ *  - ScalarBackend runs the channel-at-a-time reference semantics
+ *    (ops_alu) and serves as the differential oracle.
+ *  - VectorBackend (backend_vector.hh) maps channels onto host SIMD
+ *    lanes where that is provably bit-identical, falling back to the
+ *    shared scalar units otherwise.
+ *
+ * Backends also implement macro-stepping: where the predecode pass
+ * proved a straight-line run of ALU/cmp instructions keeps the
+ * channel mask stable (DecodedInstr::macroLen), stepMacro() executes
+ * the whole run per dispatch without per-instruction StepResult
+ * bookkeeping.
+ */
+
+#ifndef IWC_FUNC_EXEC_BACKEND_HH
+#define IWC_FUNC_EXEC_BACKEND_HH
+
+#include <memory>
+#include <string_view>
+
+#include "func/memory.hh"
+#include "func/predecode.hh"
+#include "func/step_result.hh"
+#include "func/thread_state.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::func
+{
+
+/** Which execution backend runs the data-parallel op families. */
+enum class BackendKind
+{
+    Auto,   ///< environment override, else the vectorized backend
+    Scalar, ///< channel-at-a-time reference semantics (the oracle)
+    Vector, ///< host-SIMD fast paths with per-instruction fallback
+};
+
+/** Short stable name ("auto", "scalar", "vector"). */
+const char *backendKindName(BackendKind kind);
+
+/** Parses a backend name; returns false on unknown input. */
+bool parseBackendKind(std::string_view name, BackendKind &out);
+
+/**
+ * Resolves a requested backend to a concrete one: an explicit request
+ * wins, then the IWC_BACKEND environment variable, then Vector (whose
+ * fast paths are gated per instruction, so it is always safe).
+ */
+BackendKind resolveBackendKind(BackendKind requested);
+
+/**
+ * Executes kernel instructions against a ThreadState. Stateless apart
+ * from the bound kernel and memories, so one backend serves many
+ * threads. The step() scaffold (mask computation, dispatch, control
+ * flow, sends) is common; subclasses plug in the ALU/cmp executors.
+ */
+class ExecBackend
+{
+  public:
+    ExecBackend(const isa::Kernel &kernel, GlobalMemory &gmem);
+    virtual ~ExecBackend();
+
+    ExecBackend(const ExecBackend &) = delete;
+    ExecBackend &operator=(const ExecBackend &) = delete;
+
+    /** Binds the SLM segment of the thread's workgroup (may be null). */
+    void setSlm(SlmMemory *slm) { slm_ = slm; }
+
+    /**
+     * Executes the instruction at the thread's ip and advances control
+     * flow. Must not be called on a halted thread. The out-param form
+     * lets issue loops reuse one StepResult buffer: every field it
+     * reports is (re)written, but mem.addrs slots of inactive lanes
+     * keep whatever the previous step left there.
+     */
+    void step(ThreadState &t, StepResult &result);
+
+    /**
+     * Executes the whole mask-stable run starting at the thread's ip
+     * in one dispatch, if predecode proved one (macroLen > 1), and
+     * returns the number of instructions executed; returns 0 if there
+     * is no run, in which case the caller must use step(). Runs never
+     * contain sends, barriers, control flow or halts, so there is no
+     * StepResult; only callers that do not observe per-instruction
+     * results may use this.
+     */
+    unsigned stepMacro(ThreadState &t);
+
+    /** Computes the execution mask the instruction would get. */
+    LaneMask execMaskFor(const isa::Instruction &in,
+                         const ThreadState &t) const;
+
+    const isa::Kernel &kernel() const { return kernel_; }
+
+    /** The bind-time decoded form (operand spans, dependence lists). */
+    const DecodedKernel &decoded() const { return decoded_; }
+
+    /** Backend name for stats and diagnostics ("scalar", "vector"). */
+    virtual const char *name() const = 0;
+
+  protected:
+    /** Executes one ALU instruction for the channels in @p exec. */
+    virtual void execAlu(const DecodedInstr &d, ThreadState &t,
+                         LaneMask exec) = 0;
+    /** Executes one compare, updating flag bits for @p exec. */
+    virtual void execCmp(const DecodedInstr &d, ThreadState &t,
+                         LaneMask exec) = 0;
+
+    const isa::Kernel &kernel_;
+    DecodedKernel decoded_;
+    GlobalMemory &gmem_;
+    SlmMemory *slm_ = nullptr;
+};
+
+/**
+ * Channel-at-a-time reference backend. This is the bit-for-bit oracle
+ * the vectorized backend is differentially tested against; its op
+ * semantics live in ops_alu so both backends share one definition.
+ */
+class ScalarBackend final : public ExecBackend
+{
+  public:
+    using ExecBackend::ExecBackend;
+
+    const char *name() const override { return "scalar"; }
+
+  protected:
+    void execAlu(const DecodedInstr &d, ThreadState &t,
+                 LaneMask exec) override;
+    void execCmp(const DecodedInstr &d, ThreadState &t,
+                 LaneMask exec) override;
+};
+
+/** Creates the backend for @p kind (resolving Auto) bound to a kernel. */
+std::unique_ptr<ExecBackend> makeBackend(BackendKind kind,
+                                         const isa::Kernel &kernel,
+                                         GlobalMemory &gmem);
+
+} // namespace iwc::func
+
+#endif // IWC_FUNC_EXEC_BACKEND_HH

@@ -3,59 +3,43 @@
  * Functional interpreter for the EU ISA. The interpreter is the single
  * source of execution-mask truth: both the timing model (which calls
  * step() when an instruction issues) and the trace generator consume
- * its StepResult.
+ * its StepResult. It is a thin facade over a pluggable execution
+ * backend (exec_backend.hh): the scalar oracle or the host-SIMD
+ * vectorized backend, selected per launch.
  */
 
 #ifndef IWC_FUNC_INTERP_HH
 #define IWC_FUNC_INTERP_HH
 
-#include <array>
-#include <cstdint>
+#include <memory>
 
+#include "func/exec_backend.hh"
 #include "func/memory.hh"
 #include "func/predecode.hh"
+#include "func/step_result.hh"
 #include "func/thread_state.hh"
 #include "isa/kernel.hh"
 
 namespace iwc::func
 {
 
-/** Memory behaviour of one executed Send, for the timing model. */
-struct MemAccess
-{
-    isa::SendOp op = isa::SendOp::Fence;
-    unsigned elemBytes = 4;
-    LaneMask mask = 0;             ///< channels that accessed memory
-    std::array<Addr, kMaxSimdWidth> addrs{}; ///< per-channel byte addrs
-    bool isBlock = false;
-    Addr blockAddr = 0;
-    unsigned blockBytes = 0;
-};
-
-/** Everything the caller learns from executing one instruction. */
-struct StepResult
-{
-    const isa::Instruction *instr = nullptr;
-    std::uint32_t ip = 0;      ///< ip the instruction was fetched from
-    LaneMask execMask = 0;     ///< final computed execution mask
-    bool isBarrier = false;    ///< thread must wait at a WG barrier
-    bool isHalt = false;       ///< thread terminated
-    bool hasMem = false;       ///< mem contains a valid access
-    MemAccess mem;
-};
-
 /**
  * Executes kernel instructions against a ThreadState. Stateless apart
  * from the bound kernel and memories, so one interpreter serves many
- * threads.
+ * threads. All semantics live in the owned backend; see
+ * exec_backend.hh for the dispatch scaffold and backend contract.
  */
 class Interpreter
 {
   public:
-    Interpreter(const isa::Kernel &kernel, GlobalMemory &gmem);
+    Interpreter(const isa::Kernel &kernel, GlobalMemory &gmem,
+                BackendKind backend = BackendKind::Auto)
+        : backend_(makeBackend(backend, kernel, gmem))
+    {
+    }
 
     /** Binds the SLM segment of the thread's workgroup (may be null). */
-    void setSlm(SlmMemory *slm) { slm_ = slm; }
+    void setSlm(SlmMemory *slm) { backend_->setSlm(slm); }
 
     /**
      * Executes the instruction at the thread's ip and advances control
@@ -64,7 +48,10 @@ class Interpreter
      * reports is (re)written, but mem.addrs slots of inactive lanes
      * keep whatever the previous step left there.
      */
-    void step(ThreadState &t, StepResult &result);
+    void step(ThreadState &t, StepResult &result)
+    {
+        backend_->step(t, result);
+    }
 
     StepResult
     step(ThreadState &t)
@@ -74,27 +61,31 @@ class Interpreter
         return result;
     }
 
-    /** Computes the execution mask the instruction at ip would get. */
-    LaneMask execMaskFor(const isa::Instruction &in,
-                         const ThreadState &t) const;
+    /**
+     * Executes the whole mask-stable run at the thread's ip in one
+     * dispatch (see ExecBackend::stepMacro); returns the instruction
+     * count, or 0 if there is no run and the caller must step().
+     * Only valid when no per-instruction StepResult is observed.
+     */
+    unsigned stepMacro(ThreadState &t) { return backend_->stepMacro(t); }
 
-    const isa::Kernel &kernel() const { return kernel_; }
+    /** Computes the execution mask the instruction at ip would get. */
+    LaneMask
+    execMaskFor(const isa::Instruction &in, const ThreadState &t) const
+    {
+        return backend_->execMaskFor(in, t);
+    }
+
+    const isa::Kernel &kernel() const { return backend_->kernel(); }
 
     /** The bind-time decoded form (operand spans, dependence lists). */
-    const DecodedKernel &decoded() const { return decoded_; }
+    const DecodedKernel &decoded() const { return backend_->decoded(); }
+
+    /** Name of the backend actually executing ("scalar", "vector"). */
+    const char *backendName() const { return backend_->name(); }
 
   private:
-    void execAlu(const DecodedInstr &d, ThreadState &t,
-                 LaneMask exec) const;
-    void execCmp(const DecodedInstr &d, ThreadState &t,
-                 LaneMask exec) const;
-    void execSend(const DecodedInstr &d, ThreadState &t, LaneMask exec,
-                  StepResult &result);
-
-    const isa::Kernel &kernel_;
-    DecodedKernel decoded_;
-    GlobalMemory &gmem_;
-    SlmMemory *slm_ = nullptr;
+    std::unique_ptr<ExecBackend> backend_;
 };
 
 } // namespace iwc::func

@@ -1,0 +1,278 @@
+#include "func/ops_alu.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.hh"
+#include "func/exec_ops.hh"
+
+namespace iwc::func::ops
+{
+
+using isa::CondMod;
+using isa::Opcode;
+
+namespace
+{
+
+/**
+ * Raw element bits of a float operand for move-class ops (Mov/Sel
+ * between same-typed float operands). Source modifiers are sign-bit
+ * operations here, never a NaN-quieting trip through the FPU, so the
+ * result is a pure bit pattern both backends reproduce exactly.
+ * Returns false when the operand needs the arithmetic path instead
+ * (type conversion, or a NaN immediate).
+ */
+bool
+rawMoveBits(const DecodedOperand &op, const ThreadState &t, unsigned ch,
+            const DecodedOperand &dst, std::uint64_t &bits)
+{
+    if (op.isImm) {
+        // Non-NaN immediates round-trip exactly through the f32/f64
+        // value; NaN immediates take the (canonicalizing) value path.
+        if (std::isnan(op.immF))
+            return false;
+        if (dst.type == isa::DataType::F)
+            bits = std::bit_cast<std::uint32_t>(
+                static_cast<float>(op.immF));
+        else
+            bits = std::bit_cast<std::uint64_t>(op.immF);
+        return true;
+    }
+    if (op.type != dst.type)
+        return false;
+    bits = rawElement(op, t, ch);
+    const std::uint64_t sign = op.elemBytes == 8
+        ? 0x8000000000000000ull
+        : 0x80000000ull;
+    if (op.absolute)
+        bits &= sign - 1;
+    if (op.negate)
+        bits ^= sign;
+    return true;
+}
+
+/** True when every source of a Mov/Sel supports the raw bit path. */
+bool
+isRawMove(const DecodedInstr &d)
+{
+    if (d.dst.type != isa::DataType::F &&
+        d.dst.type != isa::DataType::DF) {
+        return false;
+    }
+    const auto srcOk = [&](const DecodedOperand &op) {
+        return op.isImm ? !std::isnan(op.immF) : op.type == d.dst.type;
+    };
+    if (d.op == Opcode::Mov)
+        return srcOk(d.src0);
+    return srcOk(d.src0) && srcOk(d.src1);
+}
+
+} // namespace
+
+void
+scalarAlu(const DecodedInstr &d, ThreadState &t, LaneMask exec)
+{
+    if (d.cls == ExecClass::AluFloat) {
+        // Mov and Sel between same-typed float operands move raw
+        // bits: NaN payloads survive untouched, exactly like the
+        // vectorized lane kernels (pinned ISA semantics).
+        if ((d.op == Opcode::Mov || d.op == Opcode::Sel) &&
+            isRawMove(d)) {
+            for (LaneMask rem = exec; rem != 0; rem &= rem - 1) {
+                const auto ch =
+                    static_cast<unsigned>(std::countr_zero(rem));
+                const bool take = d.op == Opcode::Mov ||
+                    ((t.flag(d.condFlag) >> ch) & 1);
+                std::uint64_t bits = 0;
+                rawMoveBits(take ? d.src0 : d.src1, t, ch, d.dst,
+                            bits);
+                std::uint8_t *p = t.grfData() + d.dst.baseOff +
+                    ch * d.dst.stride;
+                if (d.dst.elemBytes == 8) {
+                    std::memcpy(p, &bits, 8);
+                } else {
+                    const auto v = static_cast<std::uint32_t>(bits);
+                    std::memcpy(p, &v, 4);
+                }
+            }
+            return;
+        }
+        for (LaneMask rem = exec; rem != 0; rem &= rem - 1) {
+            const auto ch =
+                static_cast<unsigned>(std::countr_zero(rem));
+            const double a = readF(d.src0, t, ch);
+            double r = 0;
+            switch (d.op) {
+              case Opcode::Mov:  r = a; break;
+              case Opcode::Add:  r = a + readF(d.src1, t, ch); break;
+              case Opcode::Sub:  r = a - readF(d.src1, t, ch); break;
+              case Opcode::Mul:  r = a * readF(d.src1, t, ch); break;
+              case Opcode::Mad:
+                r = a * readF(d.src1, t, ch) + readF(d.src2, t, ch);
+                break;
+              case Opcode::Min: {
+                // Pinned select semantics (not libm fmin, whose tie
+                // and NaN ordering varies by implementation): a wins
+                // below b or when b is NaN; ties take b. A NaN result
+                // (both operands NaN) canonicalizes below.
+                const double b2 = readF(d.src1, t, ch);
+                r = (a < b2 || std::isnan(b2)) ? a : b2;
+                break;
+              }
+              case Opcode::Max: {
+                const double b2 = readF(d.src1, t, ch);
+                r = (a > b2 || std::isnan(b2)) ? a : b2;
+                break;
+              }
+              case Opcode::Avg:
+                r = (a + readF(d.src1, t, ch)) * 0.5;
+                break;
+              case Opcode::Sel: {
+                const bool take = (t.flag(d.condFlag) >> ch) & 1;
+                r = take ? a : readF(d.src1, t, ch);
+                break;
+              }
+              case Opcode::Rndd: r = std::floor(a); break;
+              case Opcode::Frc:  r = a - std::floor(a); break;
+              case Opcode::Inv:  r = 1.0 / a; break;
+              case Opcode::Div:  r = a / readF(d.src1, t, ch); break;
+              case Opcode::Sqrt: r = std::sqrt(a); break;
+              case Opcode::Rsqrt: r = 1.0 / std::sqrt(a); break;
+              case Opcode::Sin:  r = std::sin(a); break;
+              case Opcode::Cos:  r = std::cos(a); break;
+              case Opcode::Exp2: r = std::exp2(a); break;
+              case Opcode::Log2: r = std::log2(a); break;
+              case Opcode::Pow:
+                r = std::pow(a, readF(d.src1, t, ch));
+                break;
+              default:
+                panic("float-domain execution of %s",
+                      isa::opcodeName(d.op));
+            }
+            // NaN results canonicalize to the default quiet NaN:
+            // payload propagation through arithmetic is not pinnable
+            // (compilers may commute operands, and hardware NaN
+            // selection rules differ), so no payload ever survives.
+            if (std::isnan(r))
+                r = std::numeric_limits<double>::quiet_NaN();
+            // Single-precision ops round intermediates to float.
+            if (d.dstIsF)
+                r = static_cast<float>(r);
+            writeF(d.dst, t, ch, r);
+        }
+        return;
+    }
+
+    for (LaneMask rem = exec; rem != 0; rem &= rem - 1) {
+        const auto ch = static_cast<unsigned>(std::countr_zero(rem));
+        const std::int64_t a = readI(d.src0, t, ch);
+        std::int64_t r = 0;
+        switch (d.op) {
+          case Opcode::Mov:  r = a; break;
+          case Opcode::Add:  r = a + readI(d.src1, t, ch); break;
+          case Opcode::Sub:  r = a - readI(d.src1, t, ch); break;
+          case Opcode::Mul:  r = a * readI(d.src1, t, ch); break;
+          case Opcode::Mad:
+            r = a * readI(d.src1, t, ch) + readI(d.src2, t, ch);
+            break;
+          case Opcode::Min:
+            r = std::min(a, readI(d.src1, t, ch));
+            break;
+          case Opcode::Max:
+            r = std::max(a, readI(d.src1, t, ch));
+            break;
+          case Opcode::Avg:
+            r = (a + readI(d.src1, t, ch) + 1) >> 1;
+            break;
+          case Opcode::And:
+            r = a & readI(d.src1, t, ch);
+            break;
+          case Opcode::Or:
+            r = a | readI(d.src1, t, ch);
+            break;
+          case Opcode::Xor:
+            r = a ^ readI(d.src1, t, ch);
+            break;
+          case Opcode::Not:
+            r = ~a;
+            break;
+          case Opcode::Shl:
+            r = a << (readI(d.src1, t, ch) & 63);
+            break;
+          case Opcode::Shr:
+            r = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a & 0xffffffffull) >>
+                (readI(d.src1, t, ch) & 63));
+            break;
+          case Opcode::Asr:
+            r = a >> (readI(d.src1, t, ch) & 63);
+            break;
+          case Opcode::Sel: {
+            const bool take = (t.flag(d.condFlag) >> ch) & 1;
+            r = take ? a : readI(d.src1, t, ch);
+            break;
+          }
+          case Opcode::Div: {
+            const std::int64_t b = readI(d.src1, t, ch);
+            r = b == 0 ? 0 : a / b;
+            break;
+          }
+          default:
+            panic("int-domain execution of %s", isa::opcodeName(d.op));
+        }
+        // Float destinations convert; integers truncate on write.
+        if (d.dstIsFloat)
+            writeF(d.dst, t, ch, static_cast<double>(r));
+        else
+            writeI(d.dst, t, ch, r);
+    }
+}
+
+void
+scalarCmp(const DecodedInstr &d, ThreadState &t, LaneMask exec)
+{
+    const bool float_domain = d.cls == ExecClass::CmpFloat;
+    LaneMask result = 0;
+
+    for (LaneMask rem = exec; rem != 0; rem &= rem - 1) {
+        const auto ch = static_cast<unsigned>(std::countr_zero(rem));
+        bool cond = false;
+        if (float_domain) {
+            const double a = readF(d.src0, t, ch);
+            const double b = readF(d.src1, t, ch);
+            switch (d.condMod) {
+              case CondMod::Eq: cond = a == b; break;
+              case CondMod::Ne: cond = a != b; break;
+              case CondMod::Lt: cond = a < b; break;
+              case CondMod::Le: cond = a <= b; break;
+              case CondMod::Gt: cond = a > b; break;
+              case CondMod::Ge: cond = a >= b; break;
+              case CondMod::None: panic("cmp without condition");
+            }
+        } else {
+            const std::int64_t a = readI(d.src0, t, ch);
+            const std::int64_t b = readI(d.src1, t, ch);
+            switch (d.condMod) {
+              case CondMod::Eq: cond = a == b; break;
+              case CondMod::Ne: cond = a != b; break;
+              case CondMod::Lt: cond = a < b; break;
+              case CondMod::Le: cond = a <= b; break;
+              case CondMod::Gt: cond = a > b; break;
+              case CondMod::Ge: cond = a >= b; break;
+              case CondMod::None: panic("cmp without condition");
+            }
+        }
+        if (cond)
+            result |= LaneMask{1} << ch;
+    }
+
+    // Only enabled channels update their flag bit.
+    const LaneMask old = t.flag(d.condFlag);
+    t.setFlag(d.condFlag, (old & ~exec) | result);
+}
+
+} // namespace iwc::func::ops

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Scalar (per-channel) execution of the ALU/mov/cmp op family. These
+ * are the reference semantics of the ISA: the ScalarBackend runs them
+ * for every instruction, and the VectorBackend falls back to them for
+ * every op, operand shape, or element type its host-SIMD fast paths
+ * do not cover — so the two backends are bit-identical by
+ * construction everywhere the fast paths do not apply, and the fast
+ * paths themselves are differentially tested against these units.
+ */
+
+#ifndef IWC_FUNC_OPS_ALU_HH
+#define IWC_FUNC_OPS_ALU_HH
+
+#include "func/predecode.hh"
+#include "func/thread_state.hh"
+
+namespace iwc::func::ops
+{
+
+/** Executes one AluFloat/AluInt instruction channel by channel. */
+void scalarAlu(const DecodedInstr &d, ThreadState &t, LaneMask exec);
+
+/** Executes one CmpFloat/CmpInt instruction channel by channel. */
+void scalarCmp(const DecodedInstr &d, ThreadState &t, LaneMask exec);
+
+} // namespace iwc::func::ops
+
+#endif // IWC_FUNC_OPS_ALU_HH

@@ -1,0 +1,98 @@
+#include "func/ops_control.hh"
+
+#include "common/logging.hh"
+
+namespace iwc::func::ops
+{
+
+std::uint32_t
+stepControl(const DecodedInstr &d, ThreadState &t, LaneMask pred,
+            LaneMask exec, std::uint32_t ip)
+{
+    std::uint32_t next_ip = ip + 1;
+
+    switch (d.cls) {
+      case ExecClass::If: {
+        const LaneMask cur = t.activeMask();
+        const LaneMask taken = cur & pred & d.widthMask;
+        CfFrame frame;
+        frame.kind = CfFrame::Kind::If;
+        frame.savedMask = cur;
+        frame.elseMask = cur & ~taken;
+        t.pushFrame(frame);
+        t.setActiveMask(taken);
+        if (taken == 0)
+            next_ip = d.target0;
+        break;
+      }
+      case ExecClass::Else: {
+        CfFrame &frame = t.topFrame();
+        panic_if(frame.kind != CfFrame::Kind::If, "else without if");
+        t.setActiveMask(frame.elseMask);
+        frame.elseMask = 0;
+        if (t.activeMask() == 0)
+            next_ip = d.target0;
+        break;
+      }
+      case ExecClass::EndIf: {
+        const CfFrame frame = t.popFrame();
+        panic_if(frame.kind != CfFrame::Kind::If, "endif without if");
+        // Channels parked by break/cont of the enclosing loop while
+        // inside this if must stay parked.
+        t.setActiveMask(frame.savedMask & ~t.loopOffMask());
+        break;
+      }
+      case ExecClass::LoopBegin: {
+        CfFrame frame;
+        frame.kind = CfFrame::Kind::Loop;
+        frame.savedMask = t.activeMask();
+        t.pushFrame(frame);
+        break;
+      }
+      case ExecClass::Break: {
+        CfFrame *loop = t.innermostLoop();
+        panic_if(loop == nullptr, "break outside loop");
+        loop->breakMask |= exec;
+        t.setActiveMask(t.activeMask() & ~exec);
+        // Jump to the loop end only when structurally safe: every
+        // channel gone and no intervening if frames to unwind.
+        if (t.activeMask() == 0 && &t.topFrame() == loop)
+            next_ip = d.target0;
+        break;
+      }
+      case ExecClass::Cont: {
+        CfFrame *loop = t.innermostLoop();
+        panic_if(loop == nullptr, "cont outside loop");
+        loop->contMask |= exec;
+        t.setActiveMask(t.activeMask() & ~exec);
+        if (t.activeMask() == 0 && &t.topFrame() == loop)
+            next_ip = d.target0;
+        break;
+      }
+      case ExecClass::LoopEnd: {
+        CfFrame &loop = t.topFrame();
+        panic_if(loop.kind != CfFrame::Kind::Loop, "while without loop");
+        // Channels parked by cont rejoin for the trip test.
+        const LaneMask candidates = t.activeMask() | loop.contMask;
+        loop.contMask = 0;
+        const LaneMask continuing = candidates & pred & d.widthMask;
+        if (continuing != 0) {
+            t.setActiveMask(continuing);
+            next_ip = d.target0;
+        } else {
+            const CfFrame frame = t.popFrame();
+            t.setActiveMask(frame.savedMask & ~t.loopOffMask());
+        }
+        break;
+      }
+      case ExecClass::Halt:
+        t.halt();
+        break;
+      default:
+        panic("control-flow execution of %s", isa::opcodeName(d.op));
+    }
+
+    return next_ip;
+}
+
+} // namespace iwc::func::ops

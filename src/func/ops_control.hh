@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The structured-control-flow op family: If/Else/EndIf, loops with
+ * Break/Cont, and Halt, operating on the thread's channel-mask stack.
+ * Control flow is inherently scalar (it manipulates masks, not
+ * channel data), so every execution backend shares this one unit.
+ */
+
+#ifndef IWC_FUNC_OPS_CONTROL_HH
+#define IWC_FUNC_OPS_CONTROL_HH
+
+#include <cstdint>
+
+#include "func/predecode.hh"
+#include "func/thread_state.hh"
+
+namespace iwc::func::ops
+{
+
+/**
+ * Executes one control-flow instruction (d.cls is one of If..Halt)
+ * at @p ip and returns the next instruction pointer. @p pred are the
+ * instruction's predication bits and @p exec its final execution
+ * mask; Halt is reported by the caller via d.cls, not here.
+ */
+std::uint32_t stepControl(const DecodedInstr &d, ThreadState &t,
+                          LaneMask pred, LaneMask exec,
+                          std::uint32_t ip);
+
+} // namespace iwc::func::ops
+
+#endif // IWC_FUNC_OPS_CONTROL_HH

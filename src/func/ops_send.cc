@@ -1,0 +1,101 @@
+#include "func/ops_send.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "func/exec_ops.hh"
+#include "func/step_result.hh"
+
+namespace iwc::func::ops
+{
+
+using isa::Instruction;
+using isa::SendOp;
+
+void
+execSend(const DecodedInstr &d, ThreadState &t, LaneMask exec,
+         StepResult &result, GlobalMemory &gmem, SlmMemory *slm,
+         const isa::Kernel &kernel)
+{
+    const unsigned elem_bytes = d.sendElemBytes;
+
+    switch (d.sendOp) {
+      case SendOp::Barrier:
+        result.isBarrier = true;
+        return;
+      case SendOp::Fence:
+        return; // functional memory is always coherent
+      default:
+        break;
+    }
+
+    MemAccess &mem = result.mem;
+    result.hasMem = true;
+    mem.op = d.sendOp;
+    mem.elemBytes = elem_bytes;
+    mem.mask = exec;
+
+    if (d.sendOp == SendOp::BlockLoad || d.sendOp == SendOp::BlockStore) {
+        const Instruction &in = *d.instr;
+        mem.isBlock = true;
+        mem.blockAddr = static_cast<std::uint32_t>(readI(d.src0, t, 0));
+        mem.blockBytes = in.send.numRegs * kGrfRegBytes;
+        std::uint8_t buf[kGrfRegBytes * 8];
+        panic_if(mem.blockBytes > sizeof(buf), "block message too large");
+        if (d.sendOp == SendOp::BlockLoad) {
+            gmem.read(mem.blockAddr, buf, mem.blockBytes);
+            t.writeGrfBytes(in.dst.reg * kGrfRegBytes, buf,
+                            mem.blockBytes);
+        } else {
+            t.readGrfBytes(in.src1.reg * kGrfRegBytes, buf,
+                           mem.blockBytes);
+            gmem.write(mem.blockAddr, buf, mem.blockBytes);
+        }
+        return;
+    }
+    mem.isBlock = false;
+
+    const bool is_slm = isa::isSlmSend(d.sendOp);
+    panic_if(is_slm && slm == nullptr,
+             "kernel %s uses SLM but none is bound",
+             kernel.name().c_str());
+
+    for (LaneMask rem = exec; rem != 0; rem &= rem - 1) {
+        const auto ch = static_cast<unsigned>(std::countr_zero(rem));
+        const Addr addr =
+            static_cast<std::uint32_t>(readI(d.src0, t, ch));
+        mem.addrs[ch] = addr;
+
+        std::uint64_t bits = 0;
+        switch (d.sendOp) {
+          case SendOp::GatherLoad:
+            gmem.read(addr, &bits, elem_bytes);
+            writeRawElement(d.dst, t, ch, bits, elem_bytes);
+            break;
+          case SendOp::ScatterStore:
+            bits = rawElement(d.src1, t, ch);
+            gmem.write(addr, &bits, elem_bytes);
+            break;
+          case SendOp::SlmGatherLoad:
+            slm->read(addr, &bits, elem_bytes);
+            writeRawElement(d.dst, t, ch, bits, elem_bytes);
+            break;
+          case SendOp::SlmScatterStore:
+            bits = rawElement(d.src1, t, ch);
+            slm->write(addr, &bits, elem_bytes);
+            break;
+          case SendOp::SlmAtomicAdd: {
+            const auto old = slm->load<std::int32_t>(addr);
+            const auto addend =
+                static_cast<std::int32_t>(readI(d.src1, t, ch));
+            slm->store<std::int32_t>(addr, old + addend);
+            writeI(d.dst, t, ch, old);
+            break;
+          }
+          default:
+            panic("unhandled send op");
+        }
+    }
+}
+
+} // namespace iwc::func::ops

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The send op family: gather/scatter and block memory messages, SLM
+ * accesses and atomics, barriers and fences. Sends touch simulated
+ * memory one channel at a time (the memory system models coalescing
+ * separately), so every execution backend shares this one unit.
+ */
+
+#ifndef IWC_FUNC_OPS_SEND_HH
+#define IWC_FUNC_OPS_SEND_HH
+
+#include "func/memory.hh"
+#include "func/predecode.hh"
+#include "func/thread_state.hh"
+#include "isa/kernel.hh"
+
+namespace iwc::func
+{
+struct StepResult;
+}
+
+namespace iwc::func::ops
+{
+
+/**
+ * Executes one Send instruction against global memory @p gmem and the
+ * thread's SLM segment @p slm (may be null for kernels without SLM).
+ * Fills @p result with the memory behaviour the timing model needs.
+ * @p kernel provides diagnostics context only.
+ */
+void execSend(const DecodedInstr &d, ThreadState &t, LaneMask exec,
+              StepResult &result, GlobalMemory &gmem, SlmMemory *slm,
+              const isa::Kernel &kernel);
+
+} // namespace iwc::func::ops
+
+#endif // IWC_FUNC_OPS_SEND_HH

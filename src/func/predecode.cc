@@ -263,6 +263,42 @@ DecodedKernel::DecodedKernel(const isa::Instruction *instrs,
 
         instrs_.push_back(d);
     }
+
+    computeMacroRuns();
+}
+
+void
+DecodedKernel::computeMacroRuns()
+{
+    const auto in_run = [](ExecClass cls) {
+        return cls == ExecClass::AluFloat || cls == ExecClass::AluInt ||
+            cls == ExecClass::CmpFloat || cls == ExecClass::CmpInt;
+    };
+
+    // O(n * run length): kernels are short and this runs once at bind.
+    const auto size = static_cast<std::uint32_t>(instrs_.size());
+    for (std::uint32_t ip = 0; ip < size; ++ip) {
+        if (!in_run(instrs_[ip].cls))
+            continue;
+        std::uint8_t written = 0; // flags written by cmps in the run
+        std::uint32_t end = ip;
+        while (end < size && end - ip < 0xffff) {
+            const DecodedInstr &d = instrs_[end];
+            if (!in_run(d.cls))
+                break;
+            // A predication mask must be run invariant: reject
+            // instructions predicated on a flag a cmp in the run has
+            // already (re)written.
+            if (d.predCtrl != isa::PredCtrl::None &&
+                (written >> (d.predFlag & 1)) & 1) {
+                break;
+            }
+            if (d.claimFlag >= 0)
+                written |= std::uint8_t{1} << d.claimFlag;
+            ++end;
+        }
+        instrs_[ip].macroLen = static_cast<std::uint16_t>(end - ip);
+    }
 }
 
 } // namespace iwc::func

@@ -99,6 +99,17 @@ struct DecodedInstr
     std::uint8_t flagDepMask = 0;
     /** Flag register the instruction writes (Cmp), or -1. */
     std::int8_t claimFlag = -1;
+
+    /**
+     * Length of the longest mask-stable straight-line run starting
+     * here: consecutive ALU/cmp instructions (no control flow, sends,
+     * barriers or halts) where no instruction is predicated on a flag
+     * a cmp earlier in the run writes. Within such a run the active
+     * mask and every predication mask are loop invariant, so a
+     * backend may execute the whole run per dispatch (stepMacro).
+     * Always >= 1 for ALU/cmp instructions; 1 means no run.
+     */
+    std::uint16_t macroLen = 1;
 };
 
 /** The decoded form of a whole kernel. */
@@ -123,7 +134,15 @@ class DecodedKernel
     /** Backing store for the instructions' register dependence lists. */
     const std::uint8_t *depPool() const { return depPool_.data(); }
 
+    std::uint32_t
+    size() const
+    {
+        return static_cast<std::uint32_t>(instrs_.size());
+    }
+
   private:
+    void computeMacroRuns();
+
     std::vector<DecodedInstr> instrs_;
     std::vector<std::uint8_t> depPool_;
 };

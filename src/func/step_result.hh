@@ -1,0 +1,47 @@
+/**
+ * @file
+ * What the caller learns from executing one instruction, independent
+ * of which execution backend ran it. Split out of interp.hh so the op
+ * family units and the backends can share it without pulling in the
+ * interpreter facade.
+ */
+
+#ifndef IWC_FUNC_STEP_RESULT_HH
+#define IWC_FUNC_STEP_RESULT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace iwc::func
+{
+
+/** Memory behaviour of one executed Send, for the timing model. */
+struct MemAccess
+{
+    isa::SendOp op = isa::SendOp::Fence;
+    unsigned elemBytes = 4;
+    LaneMask mask = 0;             ///< channels that accessed memory
+    std::array<Addr, kMaxSimdWidth> addrs{}; ///< per-channel byte addrs
+    bool isBlock = false;
+    Addr blockAddr = 0;
+    unsigned blockBytes = 0;
+};
+
+/** Everything the caller learns from executing one instruction. */
+struct StepResult
+{
+    const isa::Instruction *instr = nullptr;
+    std::uint32_t ip = 0;      ///< ip the instruction was fetched from
+    LaneMask execMask = 0;     ///< final computed execution mask
+    bool isBarrier = false;    ///< thread must wait at a WG barrier
+    bool isHalt = false;       ///< thread terminated
+    bool hasMem = false;       ///< mem contains a valid access
+    MemAccess mem;
+};
+
+} // namespace iwc::func
+
+#endif // IWC_FUNC_STEP_RESULT_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Lane-kernel tables for the vectorized execution backend. A lane
+ * kernel executes one op for n channels laid out contiguously as
+ * 32-bit elements (f32 bit patterns or integers), writing only the
+ * lanes whose entry in the write-mask array is all-ones. Compare
+ * kernels return the condition as a lane bitmask instead of writing.
+ *
+ * The kernel implementations (vector_kernels_impl.hh) are compiled
+ * once per target ISA: vector_kernels_host.cc with the build's
+ * baseline flags and, on x86-64, vector_kernels_avx2.cc with -mavx2.
+ * Each TU produces its own table of internal-linkage kernels; the
+ * backend picks a table at runtime from CPU features, so the binary
+ * stays runnable on hosts without AVX2.
+ */
+
+#ifndef IWC_FUNC_VECTOR_KERNELS_HH
+#define IWC_FUNC_VECTOR_KERNELS_HH
+
+#include <cstdint>
+
+namespace iwc::func
+{
+
+/**
+ * ALU lane-kernel index. Float kernels widen f32 lanes to double,
+ * compute, and round back, matching the scalar oracle bit for bit;
+ * integer kernels are restricted by the backend's plan to operand
+ * mixes where 32-bit lane arithmetic is congruent with the oracle's
+ * 64-bit extended arithmetic.
+ */
+enum VecAluOp : std::uint8_t
+{
+    kVecNone = 0, ///< no fast path: fall back to the scalar unit
+    // Float domain (operands a, b, c are f32 bit patterns).
+    kFMov,  ///< a, through the f64 roundtrip (quiets sNaNs)
+    kFAdd, kFSub, kFMul,
+    kFMad,  ///< a * b + c, product rounded before the add
+    kFMin, kFMax, ///< std::fmin / std::fmax NaN semantics
+    kFAvg,  ///< (a + b) * 0.5
+    kFSel,  ///< c is a 0/~0 select mask: c ? a : b, then roundtrip
+    kFRndd, kFFrc, kFInv, kFDiv, kFSqrt, kFRsqrt,
+    // Integer domain (operands are 32-bit lanes).
+    kIMov, kIAdd, kISub, kIMul,
+    kIMad,  ///< a * b + c mod 2^32
+    kIAnd, kIOr, kIXor, kINot,
+    kIShl,  ///< shift count masked to [0, 63]; >= 32 yields zero
+    kIShrL, ///< logical right shift, same count handling
+    kIShrA, ///< arithmetic right shift; counts >= 32 fill with sign
+    kIMinS, kIMinU, kIMaxS, kIMaxU,
+    kISel,  ///< c is a 0/~0 select mask: c ? a : b
+    kNumVecAlu,
+};
+
+/** Compare lane-kernel index (result is a condition bitmask). */
+enum VecCmpOp : std::uint8_t
+{
+    // Float domain: quiet comparisons, NaN => false (Ne: true).
+    kCFEq, kCFNe, kCFLt, kCFLe, kCFGt, kCFGe,
+    // Integer domain: Eq/Ne are sign-agnostic; ordering kernels come
+    // in signed and unsigned variants.
+    kCIEq, kCINe,
+    kCILtS, kCILeS, kCIGtS, kCIGeS,
+    kCILtU, kCILeU, kCIGtU, kCIGeU,
+    kNumVecCmp,
+};
+
+/**
+ * dst/a/b/c point at n contiguous 32-bit elements (c may be a select
+ * mask); wr is the per-lane write mask (0 or ~0); n is a multiple
+ * of 8. Lanes with wr zero keep their previous dst value.
+ */
+using VecAluFn = void (*)(void *dst, const void *a, const void *b,
+                          const void *c, const std::uint32_t *wr,
+                          unsigned n);
+
+/** Returns the condition bitmask over n lanes (bit i = lane i). */
+using VecCmpFn = std::uint32_t (*)(const void *a, const void *b,
+                                   unsigned n);
+
+struct VecKernelTable
+{
+    VecAluFn alu[kNumVecAlu];
+    VecCmpFn cmp[kNumVecCmp];
+};
+
+/** Table built with the build's baseline flags (always safe). */
+const VecKernelTable &hostVecKernels();
+
+#if defined(__x86_64__)
+/** Table built with -mavx2; only dispatch to it after a cpuid check. */
+const VecKernelTable &avx2VecKernels();
+#endif
+
+/** The table for this machine, picked once from runtime CPU features. */
+const VecKernelTable &activeVecKernels();
+
+/** Name of the active table's ISA: "avx2", "neon" or "generic". */
+const char *activeVecKernelIsa();
+
+} // namespace iwc::func
+
+#endif // IWC_FUNC_VECTOR_KERNELS_HH

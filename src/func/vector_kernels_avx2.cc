@@ -1,0 +1,8 @@
+// Lane kernels compiled with -mavx2 (see src/CMakeLists.txt). Only
+// reached through runtime dispatch after a cpuid check, so the rest
+// of the binary stays runnable on pre-AVX2 hosts.
+#if !defined(__AVX2__)
+#error "vector_kernels_avx2.cc must be compiled with -mavx2"
+#endif
+#define IWC_VEC_TABLE_FN avx2VecKernels
+#include "func/vector_kernels_impl.hh"

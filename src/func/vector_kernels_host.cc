@@ -1,0 +1,4 @@
+// Lane kernels compiled with the build's baseline target flags: the
+// always-available table (NEON on aarch64, scalar loops elsewhere).
+#define IWC_VEC_TABLE_FN hostVecKernels
+#include "func/vector_kernels_impl.hh"

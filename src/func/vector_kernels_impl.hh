@@ -1,0 +1,611 @@
+/**
+ * @file
+ * Lane-kernel definitions, included by exactly one .cc per target ISA
+ * with IWC_VEC_TABLE_FN set to the table accessor to define (see
+ * vector_kernels.hh). Everything except the accessor lives in an
+ * anonymous namespace: the same source compiles to different code per
+ * TU (simd_ops.hh picks intrinsics from the target macros), so none
+ * of it may have external linkage.
+ */
+
+#ifndef IWC_VEC_TABLE_FN
+#error "define IWC_VEC_TABLE_FN before including vector_kernels_impl.hh"
+#endif
+
+#include <cstdint>
+
+#include "common/simd_ops.hh"
+#include "func/vector_kernels.hh"
+
+namespace iwc::func
+{
+namespace
+{
+
+using simd::V4D;
+using simd::V8;
+
+inline const std::uint8_t *
+bytes(const void *p)
+{
+    return static_cast<const std::uint8_t *>(p);
+}
+
+/** Masked store of one 8-lane chunk at element index i. */
+inline void
+blendStore(void *dst, unsigned i, V8 res, const std::uint32_t *wr)
+{
+    auto *p = static_cast<std::uint8_t *>(dst) + 4u * i;
+    const V8 old = simd::v8load(p);
+    simd::v8store(p, simd::v8blend(old, res, simd::v8load(wr + i)));
+}
+
+/**
+ * Unary float kernel: per-4-double op F applied to widened lanes.
+ * Results canonicalize NaN before narrowing (v4dcanon) — pinned ISA
+ * semantics, matching the scalar oracle.
+ */
+template <typename F>
+inline void
+fmap1(void *dst, const void *a, const std::uint32_t *wr, unsigned n,
+      F op)
+{
+    for (unsigned i = 0; i < n; i += 8) {
+        const V8 av = simd::v8load(bytes(a) + 4u * i);
+        blendStore(dst, i,
+                   simd::v8narrow(
+                       simd::v4dcanon(op(simd::v4dwidenlo(av))),
+                       simd::v4dcanon(op(simd::v4dwidenhi(av)))),
+                   wr);
+    }
+}
+
+/** Binary float kernel; NaN results canonicalized, see fmap1. */
+template <typename F>
+inline void
+fmap2(void *dst, const void *a, const void *b, const std::uint32_t *wr,
+      unsigned n, F op)
+{
+    for (unsigned i = 0; i < n; i += 8) {
+        const V8 av = simd::v8load(bytes(a) + 4u * i);
+        const V8 bv = simd::v8load(bytes(b) + 4u * i);
+        blendStore(dst, i,
+                   simd::v8narrow(simd::v4dcanon(op(
+                                      simd::v4dwidenlo(av),
+                                      simd::v4dwidenlo(bv))),
+                                  simd::v4dcanon(op(
+                                      simd::v4dwidenhi(av),
+                                      simd::v4dwidenhi(bv)))),
+                   wr);
+    }
+}
+
+/** Ternary float kernel (mad); NaN results canonicalized. */
+template <typename F>
+inline void
+fmap3(void *dst, const void *a, const void *b, const void *c,
+      const std::uint32_t *wr, unsigned n, F op)
+{
+    for (unsigned i = 0; i < n; i += 8) {
+        const V8 av = simd::v8load(bytes(a) + 4u * i);
+        const V8 bv = simd::v8load(bytes(b) + 4u * i);
+        const V8 cv = simd::v8load(bytes(c) + 4u * i);
+        blendStore(dst, i,
+                   simd::v8narrow(simd::v4dcanon(op(
+                                      simd::v4dwidenlo(av),
+                                      simd::v4dwidenlo(bv),
+                                      simd::v4dwidenlo(cv))),
+                                  simd::v4dcanon(op(
+                                      simd::v4dwidenhi(av),
+                                      simd::v4dwidenhi(bv),
+                                      simd::v4dwidenhi(cv)))),
+                   wr);
+    }
+}
+
+/** Unary integer kernel. */
+template <typename F>
+inline void
+imap1(void *dst, const void *a, const std::uint32_t *wr, unsigned n,
+      F op)
+{
+    for (unsigned i = 0; i < n; i += 8)
+        blendStore(dst, i, op(simd::v8load(bytes(a) + 4u * i)), wr);
+}
+
+/** Binary integer kernel. */
+template <typename F>
+inline void
+imap2(void *dst, const void *a, const void *b, const std::uint32_t *wr,
+      unsigned n, F op)
+{
+    for (unsigned i = 0; i < n; i += 8) {
+        blendStore(dst, i,
+                   op(simd::v8load(bytes(a) + 4u * i),
+                      simd::v8load(bytes(b) + 4u * i)),
+                   wr);
+    }
+}
+
+/** Ternary integer kernel. */
+template <typename F>
+inline void
+imap3(void *dst, const void *a, const void *b, const void *c,
+      const std::uint32_t *wr, unsigned n, F op)
+{
+    for (unsigned i = 0; i < n; i += 8) {
+        blendStore(dst, i,
+                   op(simd::v8load(bytes(a) + 4u * i),
+                      simd::v8load(bytes(b) + 4u * i),
+                      simd::v8load(bytes(c) + 4u * i)),
+                   wr);
+    }
+}
+
+/** Float compare kernel: predicate P over widened lanes to bits. */
+template <typename P>
+inline std::uint32_t
+fcmp(const void *a, const void *b, unsigned n, P pred)
+{
+    std::uint32_t bits = 0;
+    for (unsigned i = 0; i < n; i += 8) {
+        const V8 av = simd::v8load(bytes(a) + 4u * i);
+        const V8 bv = simd::v8load(bytes(b) + 4u * i);
+        const std::uint32_t lo =
+            simd::v4dmsb(pred(simd::v4dwidenlo(av),
+                              simd::v4dwidenlo(bv)));
+        const std::uint32_t hi =
+            simd::v4dmsb(pred(simd::v4dwidenhi(av),
+                              simd::v4dwidenhi(bv)));
+        bits |= (lo | (hi << 4)) << i;
+    }
+    return bits;
+}
+
+/** Integer compare kernel: P yields a 0/~0 lane mask. */
+template <typename P>
+inline std::uint32_t
+icmp(const void *a, const void *b, unsigned n, P pred)
+{
+    std::uint32_t bits = 0;
+    for (unsigned i = 0; i < n; i += 8) {
+        bits |= simd::v8msb(pred(simd::v8load(bytes(a) + 4u * i),
+                                 simd::v8load(bytes(b) + 4u * i)))
+            << i;
+    }
+    return bits;
+}
+
+// ------------------------------------------------------ ALU kernels
+
+void
+opFMov(void *d, const void *a, const void *, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    // Float mov is a raw bit copy (pinned semantics; the planner's
+    // source stage already applied any sign-bit modifiers). NaN
+    // payloads — signalling or not — survive untouched, exactly like
+    // the scalar oracle's raw move path.
+    for (unsigned i = 0; i < n; i += 8)
+        blendStore(d, i, simd::v8load(bytes(a) + 4u * i), wr);
+}
+
+void
+opFAdd(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    fmap2(d, a, b, wr, n, [](V4D x, V4D y) { return simd::v4dadd(x, y); });
+}
+
+void
+opFSub(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    fmap2(d, a, b, wr, n, [](V4D x, V4D y) { return simd::v4dsub(x, y); });
+}
+
+void
+opFMul(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    fmap2(d, a, b, wr, n, [](V4D x, V4D y) { return simd::v4dmul(x, y); });
+}
+
+void
+opFMad(void *d, const void *a, const void *b, const void *c,
+       const std::uint32_t *wr, unsigned n)
+{
+    fmap3(d, a, b, c, wr, n, [](V4D x, V4D y, V4D z) {
+        return simd::v4dmad(x, y, z);
+    });
+}
+
+void
+opFMin(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    fmap2(d, a, b, wr, n,
+          [](V4D x, V4D y) { return simd::v4dfmin(x, y); });
+}
+
+void
+opFMax(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    fmap2(d, a, b, wr, n,
+          [](V4D x, V4D y) { return simd::v4dfmax(x, y); });
+}
+
+void
+opFAvg(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    fmap2(d, a, b, wr, n, [](V4D x, V4D y) {
+        return simd::v4dmul(simd::v4dadd(x, y), simd::v4dsplat(0.5));
+    });
+}
+
+void
+opFSel(void *d, const void *a, const void *b, const void *c,
+       const std::uint32_t *wr, unsigned n)
+{
+    // Raw select in the f32 bit domain (pinned semantics, like
+    // opFMov): the chosen operand's bits are stored verbatim.
+    for (unsigned i = 0; i < n; i += 8) {
+        blendStore(d, i,
+                   simd::v8blend(simd::v8load(bytes(b) + 4u * i),
+                                 simd::v8load(bytes(a) + 4u * i),
+                                 simd::v8load(bytes(c) + 4u * i)),
+                   wr);
+    }
+}
+
+void
+opFRndd(void *d, const void *a, const void *, const void *,
+        const std::uint32_t *wr, unsigned n)
+{
+    fmap1(d, a, wr, n, [](V4D x) { return simd::v4dfloor(x); });
+}
+
+void
+opFFrc(void *d, const void *a, const void *, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    fmap1(d, a, wr, n,
+          [](V4D x) { return simd::v4dsub(x, simd::v4dfloor(x)); });
+}
+
+void
+opFInv(void *d, const void *a, const void *, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    fmap1(d, a, wr, n,
+          [](V4D x) { return simd::v4ddiv(simd::v4dsplat(1.0), x); });
+}
+
+void
+opFDiv(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    fmap2(d, a, b, wr, n, [](V4D x, V4D y) { return simd::v4ddiv(x, y); });
+}
+
+void
+opFSqrt(void *d, const void *a, const void *, const void *,
+        const std::uint32_t *wr, unsigned n)
+{
+    fmap1(d, a, wr, n, [](V4D x) { return simd::v4dsqrt(x); });
+}
+
+void
+opFRsqrt(void *d, const void *a, const void *, const void *,
+         const std::uint32_t *wr, unsigned n)
+{
+    fmap1(d, a, wr, n, [](V4D x) {
+        return simd::v4ddiv(simd::v4dsplat(1.0), simd::v4dsqrt(x));
+    });
+}
+
+void
+opIMov(void *d, const void *a, const void *, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    imap1(d, a, wr, n, [](V8 x) { return x; });
+}
+
+void
+opIAdd(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8add(x, y); });
+}
+
+void
+opISub(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8sub(x, y); });
+}
+
+void
+opIMul(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8mul(x, y); });
+}
+
+void
+opIMad(void *d, const void *a, const void *b, const void *c,
+       const std::uint32_t *wr, unsigned n)
+{
+    imap3(d, a, b, c, wr, n, [](V8 x, V8 y, V8 z) {
+        return simd::v8add(simd::v8mul(x, y), z);
+    });
+}
+
+void
+opIAnd(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8and(x, y); });
+}
+
+void
+opIOr(void *d, const void *a, const void *b, const void *,
+      const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8or(x, y); });
+}
+
+void
+opIXor(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8xor(x, y); });
+}
+
+void
+opINot(void *d, const void *a, const void *, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    imap1(d, a, wr, n, [](V8 x) { return simd::v8not(x); });
+}
+
+void
+opIShl(void *d, const void *a, const void *b, const void *,
+       const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8shl(x, y); });
+}
+
+void
+opIShrL(void *d, const void *a, const void *b, const void *,
+        const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8shrl(x, y); });
+}
+
+void
+opIShrA(void *d, const void *a, const void *b, const void *,
+        const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8shra(x, y); });
+}
+
+void
+opIMinS(void *d, const void *a, const void *b, const void *,
+        const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8mins(x, y); });
+}
+
+void
+opIMinU(void *d, const void *a, const void *b, const void *,
+        const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8minu(x, y); });
+}
+
+void
+opIMaxS(void *d, const void *a, const void *b, const void *,
+        const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8maxs(x, y); });
+}
+
+void
+opIMaxU(void *d, const void *a, const void *b, const void *,
+        const std::uint32_t *wr, unsigned n)
+{
+    imap2(d, a, b, wr, n, [](V8 x, V8 y) { return simd::v8maxu(x, y); });
+}
+
+void
+opISel(void *d, const void *a, const void *b, const void *c,
+       const std::uint32_t *wr, unsigned n)
+{
+    imap3(d, a, b, c, wr, n, [](V8 x, V8 y, V8 m) {
+        return simd::v8blend(y, x, m);
+    });
+}
+
+// -------------------------------------------------- compare kernels
+
+std::uint32_t
+cmpFEq(const void *a, const void *b, unsigned n)
+{
+    return fcmp(a, b, n,
+                [](V4D x, V4D y) { return simd::v4deq(x, y); });
+}
+
+std::uint32_t
+cmpFNe(const void *a, const void *b, unsigned n)
+{
+    return fcmp(a, b, n,
+                [](V4D x, V4D y) { return simd::v4dne(x, y); });
+}
+
+std::uint32_t
+cmpFLt(const void *a, const void *b, unsigned n)
+{
+    return fcmp(a, b, n,
+                [](V4D x, V4D y) { return simd::v4dlt(x, y); });
+}
+
+std::uint32_t
+cmpFLe(const void *a, const void *b, unsigned n)
+{
+    return fcmp(a, b, n,
+                [](V4D x, V4D y) { return simd::v4dle(x, y); });
+}
+
+std::uint32_t
+cmpFGt(const void *a, const void *b, unsigned n)
+{
+    return fcmp(a, b, n,
+                [](V4D x, V4D y) { return simd::v4dgt(x, y); });
+}
+
+std::uint32_t
+cmpFGe(const void *a, const void *b, unsigned n)
+{
+    return fcmp(a, b, n,
+                [](V4D x, V4D y) { return simd::v4dge(x, y); });
+}
+
+std::uint32_t
+cmpIEq(const void *a, const void *b, unsigned n)
+{
+    return icmp(a, b, n,
+                [](V8 x, V8 y) { return simd::v8eq(x, y); });
+}
+
+std::uint32_t
+cmpINe(const void *a, const void *b, unsigned n)
+{
+    return icmp(a, b, n, [](V8 x, V8 y) {
+        return simd::v8not(simd::v8eq(x, y));
+    });
+}
+
+std::uint32_t
+cmpILtS(const void *a, const void *b, unsigned n)
+{
+    return icmp(a, b, n,
+                [](V8 x, V8 y) { return simd::v8gts(y, x); });
+}
+
+std::uint32_t
+cmpILeS(const void *a, const void *b, unsigned n)
+{
+    return icmp(a, b, n, [](V8 x, V8 y) {
+        return simd::v8not(simd::v8gts(x, y));
+    });
+}
+
+std::uint32_t
+cmpIGtS(const void *a, const void *b, unsigned n)
+{
+    return icmp(a, b, n,
+                [](V8 x, V8 y) { return simd::v8gts(x, y); });
+}
+
+std::uint32_t
+cmpIGeS(const void *a, const void *b, unsigned n)
+{
+    return icmp(a, b, n, [](V8 x, V8 y) {
+        return simd::v8not(simd::v8gts(y, x));
+    });
+}
+
+std::uint32_t
+cmpILtU(const void *a, const void *b, unsigned n)
+{
+    return icmp(a, b, n,
+                [](V8 x, V8 y) { return simd::v8gtu(y, x); });
+}
+
+std::uint32_t
+cmpILeU(const void *a, const void *b, unsigned n)
+{
+    return icmp(a, b, n, [](V8 x, V8 y) {
+        return simd::v8not(simd::v8gtu(x, y));
+    });
+}
+
+std::uint32_t
+cmpIGtU(const void *a, const void *b, unsigned n)
+{
+    return icmp(a, b, n,
+                [](V8 x, V8 y) { return simd::v8gtu(x, y); });
+}
+
+std::uint32_t
+cmpIGeU(const void *a, const void *b, unsigned n)
+{
+    return icmp(a, b, n, [](V8 x, V8 y) {
+        return simd::v8not(simd::v8gtu(y, x));
+    });
+}
+
+} // namespace
+
+const VecKernelTable &
+IWC_VEC_TABLE_FN()
+{
+    static const VecKernelTable table = [] {
+        VecKernelTable t{};
+        t.alu[kFMov] = opFMov;
+        t.alu[kFAdd] = opFAdd;
+        t.alu[kFSub] = opFSub;
+        t.alu[kFMul] = opFMul;
+        t.alu[kFMad] = opFMad;
+        t.alu[kFMin] = opFMin;
+        t.alu[kFMax] = opFMax;
+        t.alu[kFAvg] = opFAvg;
+        t.alu[kFSel] = opFSel;
+        t.alu[kFRndd] = opFRndd;
+        t.alu[kFFrc] = opFFrc;
+        t.alu[kFInv] = opFInv;
+        t.alu[kFDiv] = opFDiv;
+        t.alu[kFSqrt] = opFSqrt;
+        t.alu[kFRsqrt] = opFRsqrt;
+        t.alu[kIMov] = opIMov;
+        t.alu[kIAdd] = opIAdd;
+        t.alu[kISub] = opISub;
+        t.alu[kIMul] = opIMul;
+        t.alu[kIMad] = opIMad;
+        t.alu[kIAnd] = opIAnd;
+        t.alu[kIOr] = opIOr;
+        t.alu[kIXor] = opIXor;
+        t.alu[kINot] = opINot;
+        t.alu[kIShl] = opIShl;
+        t.alu[kIShrL] = opIShrL;
+        t.alu[kIShrA] = opIShrA;
+        t.alu[kIMinS] = opIMinS;
+        t.alu[kIMinU] = opIMinU;
+        t.alu[kIMaxS] = opIMaxS;
+        t.alu[kIMaxU] = opIMaxU;
+        t.alu[kISel] = opISel;
+        t.cmp[kCFEq] = cmpFEq;
+        t.cmp[kCFNe] = cmpFNe;
+        t.cmp[kCFLt] = cmpFLt;
+        t.cmp[kCFLe] = cmpFLe;
+        t.cmp[kCFGt] = cmpFGt;
+        t.cmp[kCFGe] = cmpFGe;
+        t.cmp[kCIEq] = cmpIEq;
+        t.cmp[kCINe] = cmpINe;
+        t.cmp[kCILtS] = cmpILtS;
+        t.cmp[kCILeS] = cmpILeS;
+        t.cmp[kCIGtS] = cmpIGtS;
+        t.cmp[kCIGeS] = cmpIGeS;
+        t.cmp[kCILtU] = cmpILtU;
+        t.cmp[kCILeU] = cmpILeU;
+        t.cmp[kCIGtU] = cmpIGtU;
+        t.cmp[kCIGeU] = cmpIGeU;
+        return t;
+    }();
+    return table;
+}
+
+} // namespace iwc::func

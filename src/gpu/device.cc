@@ -27,18 +27,20 @@ std::uint64_t
 runKernelFunctional(const isa::Kernel &kernel, func::GlobalMemory &gmem,
                     std::uint64_t global_size, unsigned local_size,
                     const std::vector<std::uint32_t> &arg_words,
-                    const InstrObserver &observer)
+                    const InstrObserver &observer,
+                    func::BackendKind backend)
 {
     if (!observer) {
         return runKernelFunctionalDetailed(kernel, gmem, global_size,
                                            local_size, arg_words,
-                                           nullptr);
+                                           nullptr, backend);
     }
     return runKernelFunctionalDetailed(
         kernel, gmem, global_size, local_size, arg_words,
         [&observer](const DetailedStep &step) {
             observer(*step.result->instr, step.result->execMask);
-        });
+        },
+        backend);
 }
 
 std::uint64_t
@@ -47,7 +49,8 @@ runKernelFunctionalDetailed(const isa::Kernel &kernel,
                             std::uint64_t global_size,
                             unsigned local_size,
                             const std::vector<std::uint32_t> &arg_words,
-                            const DetailedObserver &observer)
+                            const DetailedObserver &observer,
+                            func::BackendKind backend)
 {
     fatal_if(global_size == 0 || local_size == 0, "empty NDRange");
     const unsigned width = kernel.simdWidth();
@@ -56,7 +59,7 @@ runKernelFunctionalDetailed(const isa::Kernel &kernel,
     const unsigned sg_per_group =
         static_cast<unsigned>(ceilDiv(local_size, width));
 
-    func::Interpreter interp(kernel, gmem);
+    func::Interpreter interp(kernel, gmem, backend);
     std::uint64_t instructions = 0;
     // One StepResult for the whole launch: step() rewrites every field
     // it reports, so reuse avoids a ~300-byte copy per instruction.
@@ -108,6 +111,17 @@ runKernelFunctionalDetailed(const isa::Kernel &kernel,
                 if (t.halted() || at_barrier[sg])
                     continue;
                 while (!t.halted()) {
+                    if (!observer) {
+                        // Macro-step mask-stable straight-line runs in
+                        // one dispatch. Runs never contain sends or
+                        // control flow, so barrier/halt handling below
+                        // is unaffected.
+                        const unsigned n = interp.stepMacro(t);
+                        if (n != 0) {
+                            instructions += n;
+                            continue;
+                        }
+                    }
                     interp.step(t, r);
                     ++instructions;
                     if (observer) {
@@ -193,7 +207,8 @@ Device::launchFunctional(const isa::Kernel &kernel,
                          const InstrObserver &observer)
 {
     return runKernelFunctional(kernel, gmem_, global_size, local_size,
-                               argWords(args), observer);
+                               argWords(args), observer,
+                               config_.eu.backend);
 }
 
 std::uint64_t
@@ -205,7 +220,7 @@ Device::launchFunctionalDetailed(const isa::Kernel &kernel,
 {
     return runKernelFunctionalDetailed(kernel, gmem_, global_size,
                                        local_size, argWords(args),
-                                       observer);
+                                       observer, config_.eu.backend);
 }
 
 } // namespace iwc::gpu

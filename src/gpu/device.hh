@@ -74,7 +74,8 @@ std::uint64_t runKernelFunctional(
     const isa::Kernel &kernel, func::GlobalMemory &gmem,
     std::uint64_t global_size, unsigned local_size,
     const std::vector<std::uint32_t> &arg_words,
-    const InstrObserver &observer = nullptr);
+    const InstrObserver &observer = nullptr,
+    func::BackendKind backend = func::BackendKind::Auto);
 
 /**
  * As runKernelFunctional, but the observer also learns the thread
@@ -85,7 +86,8 @@ std::uint64_t runKernelFunctionalDetailed(
     const isa::Kernel &kernel, func::GlobalMemory &gmem,
     std::uint64_t global_size, unsigned local_size,
     const std::vector<std::uint32_t> &arg_words,
-    const DetailedObserver &observer);
+    const DetailedObserver &observer,
+    func::BackendKind backend = func::BackendKind::Auto);
 
 /** See file comment. */
 class Device

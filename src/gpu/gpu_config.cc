@@ -38,6 +38,12 @@ applyOptions(GpuConfig config, const OptionMap &opts)
 {
     if (opts.has("mode"))
         config.eu.mode = parseMode(opts.getString("mode", ""));
+    if (opts.has("backend")) {
+        const std::string name = opts.getString("backend", "");
+        if (!func::parseBackendKind(name, config.eu.backend))
+            fatal("unknown backend '%s' (auto|scalar|vector)",
+                  name.c_str());
+    }
     config.numEus = static_cast<unsigned>(
         opts.getInt("eus", config.numEus));
     config.eu.numThreads = static_cast<unsigned>(

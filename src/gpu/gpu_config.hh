@@ -48,9 +48,10 @@ GpuConfig ivbConfig();
 GpuConfig ivbConfig(compaction::Mode mode);
 
 /**
- * Applies "key=value" overrides: mode=baseline|ivb|bcc|scc, eus=N,
- * threads=N, dc=1|2, perfect_l3=0|1, issue_width=N, arb_period=N,
- * dram_latency=N, l3_kb=N, llc_kb=N.
+ * Applies "key=value" overrides: mode=baseline|ivb|bcc|scc,
+ * backend=auto|scalar|vector, eus=N, threads=N, dc=1|2,
+ * perfect_l3=0|1, issue_width=N, arb_period=N, dram_latency=N,
+ * l3_kb=N, llc_kb=N.
  */
 GpuConfig applyOptions(GpuConfig config, const OptionMap &opts);
 

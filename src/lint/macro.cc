@@ -1,0 +1,70 @@
+#include "lint/macro.hh"
+
+#include "func/predecode.hh"
+#include "isa/disasm.hh"
+
+namespace iwc::lint
+{
+
+MacroReport
+analyzeMacroRegions(const isa::Kernel &kernel, const LaunchShape &launch)
+{
+    MacroReport report;
+    report.kernel = kernel.name();
+    report.instructionCount = kernel.size();
+
+    const DivergenceReport div = analyzeDivergence(kernel, launch);
+    if (!div.valid)
+        return report;
+    report.valid = true;
+
+    const func::DecodedKernel decoded(kernel);
+    for (std::uint32_t ip = 0; ip < decoded.size();) {
+        const std::uint32_t len = decoded.at(ip).macroLen;
+        if (len <= 1) {
+            ++ip;
+            continue;
+        }
+        MacroRegion region;
+        region.beginIp = ip;
+        region.length = len;
+        // No control flow inside a run, so the whole run shares the
+        // context of its first instruction.
+        region.divergent = div.divergentCtx[ip];
+        report.regions.push_back(region);
+        ip += len;
+    }
+    return report;
+}
+
+std::string
+renderMacroReport(const MacroReport &report, const isa::Kernel *kernel)
+{
+    std::string out = report.kernel + ": ";
+    if (!report.valid) {
+        out += "not analyzable (kernel fails verification)\n";
+        return out;
+    }
+    out += std::to_string(report.regions.size()) +
+        " macro-steppable region(s), " +
+        std::to_string(report.coveredInstructions()) + "/" +
+        std::to_string(report.instructionCount) +
+        " static instructions (" +
+        std::to_string(
+               static_cast<unsigned>(report.coverage() * 100 + 0.5)) +
+        "%)\n";
+    for (const MacroRegion &r : report.regions) {
+        out += "  @" + std::to_string(r.beginIp) + "+" +
+            std::to_string(r.length) + ": ";
+        out += r.divergent ? "divergent-ctx" : "uniform-ctx ";
+        if (kernel != nullptr && r.beginIp < kernel->size()) {
+            out += "  ";
+            out += isa::instrToString(kernel->instr(r.beginIp));
+            out += " ...";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace iwc::lint

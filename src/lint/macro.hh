@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Macro-steppable-region report: marries the predecoder's mask-stable
+ * run discovery (DecodedInstr::macroLen — straight-line ALU/cmp runs
+ * whose execution mask provably cannot change mid-run) with the
+ * divergence lattice (lint/divergence.hh), which tells us whether each
+ * run executes in uniform or potentially divergent control-flow
+ * context. Uniform regions macro-step with a full subgroup mask;
+ * divergent ones still macro-step safely (the mask is stable within
+ * the run either way) but with whatever submask the enclosing branch
+ * left active. The report is what `iwc_lint macro=1` prints, and what
+ * the vector backend's batching actually exploits at run time.
+ */
+
+#ifndef IWC_LINT_MACRO_HH
+#define IWC_LINT_MACRO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/divergence.hh"
+
+namespace iwc::lint
+{
+
+/** One mask-stable straight-line run of ALU/cmp instructions. */
+struct MacroRegion
+{
+    std::uint32_t beginIp = 0;
+    std::uint32_t length = 0; ///< instructions in the run (>= 2)
+    /** Runs under potentially divergent control flow (lattice). */
+    bool divergent = false;
+};
+
+/** Everything the macro-region analysis derives about one kernel. */
+struct MacroReport
+{
+    std::string kernel;
+    /** False when the kernel fails structural verification. */
+    bool valid = false;
+    std::uint32_t instructionCount = 0;
+    /** Regions of length >= 2, in program order, non-overlapping. */
+    std::vector<MacroRegion> regions;
+
+    /** Static instructions inside some macro-steppable region. */
+    std::uint32_t
+    coveredInstructions() const
+    {
+        std::uint32_t n = 0;
+        for (const MacroRegion &r : regions)
+            n += r.length;
+        return n;
+    }
+
+    double
+    coverage() const
+    {
+        return instructionCount
+            ? static_cast<double>(coveredInstructions()) /
+                instructionCount
+            : 0.0;
+    }
+};
+
+/**
+ * Runs the analysis: predecodes the kernel for run discovery and the
+ * divergence lattice for context classification. Returns valid ==
+ * false (no regions) when the kernel fails structural verification.
+ */
+MacroReport analyzeMacroRegions(const isa::Kernel &kernel,
+                                const LaunchShape &launch = {});
+
+/** Human-readable rendering of the per-region report. */
+std::string renderMacroReport(const MacroReport &report,
+                              const isa::Kernel *kernel = nullptr);
+
+} // namespace iwc::lint
+
+#endif // IWC_LINT_MACRO_HH

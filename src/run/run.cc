@@ -122,6 +122,8 @@ executeRun(const RunRequest &request)
       case JobKind::Timing: {
         result.label = request.workload;
         gpu::GpuConfig config = request.config;
+        if (request.backend != func::BackendKind::Auto)
+            config.eu.backend = request.backend;
         if (request.trace) {
             result.events = std::make_shared<obs::RingBufferSink>(
                 config.numEus, request.traceCapacity);
@@ -141,7 +143,10 @@ executeRun(const RunRequest &request)
       }
       case JobKind::FunctionalTrace: {
         result.label = request.workload;
-        gpu::Device dev(request.config);
+        gpu::GpuConfig config = request.config;
+        if (request.backend != func::BackendKind::Auto)
+            config.eu.backend = request.backend;
+        gpu::Device dev(config);
         workloads::Workload w = buildWorkload(request, dev);
         if (request.lint)
             lint::verifyOrDie(w.kernel);

@@ -61,6 +61,12 @@ struct RunRequest
     unsigned scale = 1;
     /** Machine configuration (compaction mode lives in config.eu.mode). */
     gpu::GpuConfig config = gpu::ivbConfig();
+    /**
+     * Functional execution backend. Anything other than Auto overrides
+     * config.eu.backend for this job (both the timing model's
+     * issue-time execution and functional-trace runs).
+     */
+    func::BackendKind backend = func::BackendKind::Auto;
     /** Profile name for JobKind::SyntheticTrace. */
     std::string traceProfile;
     /** Timing only: run the host-side reference check after launch. */

@@ -82,12 +82,14 @@ addStep(Fnv64 &fnv, const gpu::DetailedStep &step)
 inline std::uint64_t
 digestFunctionalRun(const isa::Kernel &kernel, func::GlobalMemory &gmem,
                     std::uint64_t global_size, unsigned local_size,
-                    const std::vector<std::uint32_t> &arg_words)
+                    const std::vector<std::uint32_t> &arg_words,
+                    func::BackendKind backend = func::BackendKind::Auto)
 {
     Fnv64 fnv;
     gpu::runKernelFunctionalDetailed(
         kernel, gmem, global_size, local_size, arg_words,
-        [&fnv](const gpu::DetailedStep &step) { addStep(fnv, step); });
+        [&fnv](const gpu::DetailedStep &step) { addStep(fnv, step); },
+        backend);
     return fnv.value();
 }
 

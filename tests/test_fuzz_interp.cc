@@ -4,11 +4,15 @@
  * interpreter and checked against an independent host-side evaluator
  * of the same semantics — broad coverage of operand handling, masks,
  * predication, and integer arithmetic beyond the hand-written cases.
+ * Every fuzzed kernel runs under both execution backends (and under
+ * macro-stepping), and the full architectural state — GRF and flags —
+ * must agree bit for bit across all of them.
  */
 
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstring>
 
 #include "common/rng.hh"
 #include "func/interp.hh"
@@ -19,6 +23,7 @@ namespace
 
 using iwc::LaneMask;
 using iwc::Rng;
+using iwc::func::BackendKind;
 using iwc::func::GlobalMemory;
 using iwc::func::Interpreter;
 using iwc::func::ThreadState;
@@ -154,28 +159,54 @@ class FuzzInterp : public ::testing::TestWithParam<std::uint64_t>
 {
 };
 
-TEST_P(FuzzInterp, MatchesHostEvaluator)
+/** Runs @p prog to completion under one backend; when @p use_macro is
+ *  set, mask-stable runs go through stepMacro. Returns final state. */
+ThreadState
+runProgram(const FuzzProgram &prog, BackendKind kind, bool use_macro,
+           unsigned &retired)
 {
-    // Caveat for the mad case: the generator uses a*b + a (addend is
-    // always s0), mirrored identically on the host.
-    const FuzzProgram prog = makeProgram(GetParam(), 60);
-
     GlobalMemory gmem;
-    Interpreter interp(prog.kernel, gmem);
+    Interpreter interp(prog.kernel, gmem, kind);
     ThreadState t;
     t.reset(0xffff);
     for (unsigned ch = 0; ch < 16; ++ch)
         t.writeGrf<std::uint32_t>(
             prog.kernel.localIdReg() * iwc::kGrfRegBytes + ch * 4, ch);
-    unsigned steps = 0;
-    while (!t.halted()) {
+    retired = 0;
+    unsigned dispatches = 0;
+    while (!t.halted() && ++dispatches < 10000) {
+        if (use_macro) {
+            const unsigned n = interp.stepMacro(t);
+            if (n != 0) {
+                retired += n;
+                continue;
+            }
+        }
         interp.step(t);
-        ASSERT_LT(++steps, 10000u);
+        ++retired;
     }
+    EXPECT_TRUE(t.halted()) << "kernel did not terminate";
+    return t;
+}
 
+TEST_P(FuzzInterp, MatchesHostEvaluatorUnderAllBackends)
+{
+    // Caveat for the mad case: the generator uses a*b + a (addend is
+    // always s0), mirrored identically on the host.
+    const FuzzProgram prog = makeProgram(GetParam(), 60);
+
+    unsigned scalar_n = 0, vector_n = 0, macro_n = 0;
+    const ThreadState scalar =
+        runProgram(prog, BackendKind::Scalar, false, scalar_n);
+    const ThreadState vector =
+        runProgram(prog, BackendKind::Vector, false, vector_n);
+    const ThreadState macro =
+        runProgram(prog, BackendKind::Vector, true, macro_n);
+
+    // The scalar oracle must match the independent host evaluator.
     for (unsigned v = 0; v < kVars; ++v) {
         for (unsigned ch = 0; ch < 16; ++ch) {
-            const auto got = t.readGrf<std::int32_t>(
+            const auto got = scalar.readGrf<std::int32_t>(
                 prog.regBase[v] * iwc::kGrfRegBytes + ch * 4);
             ASSERT_EQ(got,
                       static_cast<std::int32_t>(
@@ -184,6 +215,27 @@ TEST_P(FuzzInterp, MatchesHostEvaluator)
                 << ch;
         }
     }
+
+    // Both backends (and the macro-stepped run) must agree with the
+    // oracle on every byte of architectural state.
+    const std::size_t grf_bytes =
+        std::size_t{iwc::kGrfRegCount} * iwc::kGrfRegBytes;
+    EXPECT_EQ(std::memcmp(scalar.grfData(), vector.grfData(),
+                          grf_bytes),
+              0)
+        << "vector backend GRF diverged, seed " << GetParam();
+    EXPECT_EQ(std::memcmp(scalar.grfData(), macro.grfData(), grf_bytes),
+              0)
+        << "macro-stepped GRF diverged, seed " << GetParam();
+    for (unsigned f = 0; f < 2; ++f) {
+        EXPECT_EQ(scalar.flag(f), vector.flag(f))
+            << "flag " << f << " seed " << GetParam();
+        EXPECT_EQ(scalar.flag(f), macro.flag(f))
+            << "flag " << f << " seed " << GetParam();
+    }
+    EXPECT_EQ(scalar_n, vector_n);
+    EXPECT_EQ(scalar_n, macro_n)
+        << "macro-stepping retired a different instruction count";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzInterp,

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the host-SIMD lane kernels (src/func/vector_kernels)
+ * against scalar references of the pinned ISA semantics: float ops
+ * compute in double and round to float with NaN results canonicalized
+ * to the default quiet NaN, min/max are explicit selects (a wins
+ * below b or when b is NaN; ties take b), mov/sel are raw bit copies,
+ * integer ops wrap mod 2^32, and shifts honor the count-mod-64 rule
+ * with its 32..63 saturation. Both dispatch tables are tested: the
+ * always-available host table and, where the CPU supports it, the
+ * AVX2 table.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "func/vector_kernels.hh"
+
+namespace
+{
+
+using namespace iwc;
+using func::VecKernelTable;
+
+constexpr unsigned kN = 16;
+
+struct NamedTable
+{
+    const char *name;
+    const VecKernelTable *table;
+};
+
+std::vector<NamedTable>
+tables()
+{
+    std::vector<NamedTable> v = {{"host", &func::hostVecKernels()}};
+#if defined(__x86_64__)
+    if (__builtin_cpu_supports("avx2"))
+        v.push_back({"avx2", &func::avx2VecKernels()});
+#endif
+    return v;
+}
+
+/** Float lane soup: NaNs with payloads (quiet + signalling), both-NaN
+ *  pairs, signed zeros, infinities, denormals, ordinary values. */
+const std::uint32_t kFa[kN] = {
+    0x7fc00000u, 0x7fc12345u, 0x7fa00001u, 0xffc00000u,
+    0x80000000u, 0x00000000u, 0x7f800000u, 0xff800000u,
+    0x00000001u, 0x807fffffu, 0x3f800000u, 0xbf800000u,
+    0x7f7fffffu, 0x00800000u, 0x40490fdbu, 0xc2f6e979u,
+};
+const std::uint32_t kFb[kN] = {
+    0x7fc54321u, 0x3f800000u, 0x7fc00000u, 0xffc00001u,
+    0x00000000u, 0x80000000u, 0xff800000u, 0x7f800000u,
+    0x80000001u, 0x007fffffu, 0xbf800000u, 0x3f800000u,
+    0x00800000u, 0x7f7fffffu, 0xc2f6e979u, 0x40490fdbu,
+};
+
+/** Integer lane soup: INT_MIN/INT_MAX boundaries and bit patterns. */
+const std::uint32_t kIa[kN] = {
+    0x80000000u, 0x7fffffffu, 0xffffffffu, 0x00000000u,
+    0x00000001u, 0x80000000u, 0x7fffffffu, 0xfffe1dc0u,
+    0xdeadbeefu, 0x80000000u, 0x40000000u, 0xfffffffeu,
+    0x7fffffffu, 0x00000002u, 0x80000001u, 0x12345678u,
+};
+/** Doubles as shift counts: 0/1/31/32/33/63/64/-1 and extremes. */
+const std::uint32_t kIb[kN] = {
+    0xffffffffu, 0x00000001u, 0x80000000u, 0x80000000u,
+    0x0000001fu, 0x00000020u, 0x00000021u, 0x0000003fu,
+    0x00000040u, 0xffffffffu, 0x00000001u, 0x7fffffffu,
+    0x7fffffffu, 0x0000001eu, 0x80000000u, 0x00000000u,
+};
+
+const std::uint32_t kFullMask[kN] = {
+    ~0u, ~0u, ~0u, ~0u, ~0u, ~0u, ~0u, ~0u,
+    ~0u, ~0u, ~0u, ~0u, ~0u, ~0u, ~0u, ~0u,
+};
+
+float
+asF(std::uint32_t bits)
+{
+    return std::bit_cast<float>(bits);
+}
+
+std::uint32_t
+asU(float v)
+{
+    return std::bit_cast<std::uint32_t>(v);
+}
+
+/** Canonical f32 quiet NaN every NaN-producing ALU op must yield. */
+constexpr std::uint32_t kCanonNan = 0x7fc00000u;
+
+/** Reference for the oracle's float pipeline: widen, op, narrow,
+ *  with NaN results canonicalized (pinned semantics — this also
+ *  makes the reference immune to compile-time sNaN folding). */
+template <typename F>
+std::uint32_t
+refF(std::uint32_t a, std::uint32_t b, F op)
+{
+    const double x = asF(a);
+    const double y = asF(b);
+    const double r = op(x, y);
+    if (std::isnan(r))
+        return kCanonNan;
+    return asU(static_cast<float>(r));
+}
+
+template <typename F>
+void
+checkFloat2(const NamedTable &nt, unsigned op, F ref)
+{
+    alignas(32) std::uint32_t out[kN] = {};
+    nt.table->alu[op](out, kFa, kFb, kFa, kFullMask, kN);
+    for (unsigned ch = 0; ch < kN; ++ch)
+        EXPECT_EQ(out[ch], refF(kFa[ch], kFb[ch], ref))
+            << nt.name << " op " << op << " lane " << ch;
+}
+
+TEST(SimdOpsFloat, MinMaxArePinnedSelects)
+{
+    // Deliberately not libm fmin/fmax, whose tie and NaN ordering
+    // rules vary by implementation: a wins below b or when b is NaN,
+    // ties take b, and a both-NaN result canonicalizes.
+    for (const NamedTable &nt : tables()) {
+        checkFloat2(nt, func::kFMin, [](double x, double y) {
+            return (x < y || std::isnan(y)) ? x : y;
+        });
+        checkFloat2(nt, func::kFMax, [](double x, double y) {
+            return (x > y || std::isnan(y)) ? x : y;
+        });
+    }
+}
+
+TEST(SimdOpsFloat, ArithmeticMatchesWidenedDoubles)
+{
+    for (const NamedTable &nt : tables()) {
+        checkFloat2(nt, func::kFAdd,
+                    [](double x, double y) { return x + y; });
+        checkFloat2(nt, func::kFSub,
+                    [](double x, double y) { return x - y; });
+        checkFloat2(nt, func::kFMul,
+                    [](double x, double y) { return x * y; });
+        checkFloat2(nt, func::kFAvg,
+                    [](double x, double y) { return (x + y) * 0.5; });
+        checkFloat2(nt, func::kFDiv,
+                    [](double x, double y) { return x / y; });
+    }
+}
+
+TEST(SimdOpsFloat, MadIsMulThenAddWithoutFmaContraction)
+{
+    for (const NamedTable &nt : tables()) {
+        alignas(32) std::uint32_t out[kN] = {};
+        nt.table->alu[func::kFMad](out, kFa, kFb, kFb, kFullMask, kN);
+        for (unsigned ch = 0; ch < kN; ++ch) {
+            const double x = asF(kFa[ch]);
+            const double y = asF(kFb[ch]);
+            // Explicit product-then-sum in double; an FMA-contracted
+            // kernel would differ on nothing here (the product of two
+            // f32-derived doubles is exact), so also pin a case where
+            // contraction at f32 precision would show: handled by the
+            // widen-to-double pipeline itself.
+            const double r = x * y + y;
+            const std::uint32_t expect =
+                std::isnan(r) ? kCanonNan : asU(static_cast<float>(r));
+            EXPECT_EQ(out[ch], expect) << nt.name << " lane " << ch;
+        }
+    }
+}
+
+TEST(SimdOpsFloat, MovIsARawBitCopy)
+{
+    // Pinned semantics: float mov copies bits verbatim — even the
+    // signalling NaN in lane 2 survives with its quiet bit clear.
+    // (A widen/narrow roundtrip would be unpinnable: compilers fold
+    // it to a raw copy at will under default NaN assumptions.)
+    for (const NamedTable &nt : tables()) {
+        alignas(32) std::uint32_t out[kN] = {};
+        nt.table->alu[func::kFMov](out, kFa, kFa, kFa, kFullMask, kN);
+        for (unsigned ch = 0; ch < kN; ++ch)
+            EXPECT_EQ(out[ch], kFa[ch]) << nt.name << " lane " << ch;
+        EXPECT_EQ(out[2] & 0x00400000u, 0u) << "sNaN must stay raw";
+    }
+}
+
+template <typename P>
+void
+checkFloatCmp(const NamedTable &nt, unsigned op, P pred)
+{
+    const std::uint32_t bits = nt.table->cmp[op](kFa, kFb, kN);
+    for (unsigned ch = 0; ch < kN; ++ch) {
+        const double x = asF(kFa[ch]);
+        const double y = asF(kFb[ch]);
+        EXPECT_EQ((bits >> ch) & 1u, pred(x, y) ? 1u : 0u)
+            << nt.name << " cmp " << op << " lane " << ch;
+    }
+}
+
+TEST(SimdOpsFloat, ComparesAreOrderedExceptNotEqual)
+{
+    for (const NamedTable &nt : tables()) {
+        checkFloatCmp(nt, func::kCFEq,
+                      [](double x, double y) { return x == y; });
+        checkFloatCmp(nt, func::kCFNe,
+                      [](double x, double y) { return !(x == y); });
+        checkFloatCmp(nt, func::kCFLt,
+                      [](double x, double y) { return x < y; });
+        checkFloatCmp(nt, func::kCFLe,
+                      [](double x, double y) { return x <= y; });
+        checkFloatCmp(nt, func::kCFGt,
+                      [](double x, double y) { return x > y; });
+        checkFloatCmp(nt, func::kCFGe,
+                      [](double x, double y) { return x >= y; });
+    }
+}
+
+template <typename F>
+void
+checkInt2(const NamedTable &nt, unsigned op, F ref)
+{
+    alignas(32) std::uint32_t out[kN] = {};
+    nt.table->alu[op](out, kIa, kIb, kIa, kFullMask, kN);
+    for (unsigned ch = 0; ch < kN; ++ch)
+        EXPECT_EQ(out[ch], ref(kIa[ch], kIb[ch]))
+            << nt.name << " op " << op << " lane " << ch;
+}
+
+TEST(SimdOpsInt, ArithmeticWrapsMod32)
+{
+    using U = std::uint32_t;
+    for (const NamedTable &nt : tables()) {
+        checkInt2(nt, func::kIAdd, [](U a, U b) { return a + b; });
+        checkInt2(nt, func::kISub, [](U a, U b) { return a - b; });
+        checkInt2(nt, func::kIMul, [](U a, U b) { return a * b; });
+        checkInt2(nt, func::kIAnd, [](U a, U b) { return a & b; });
+        checkInt2(nt, func::kIOr, [](U a, U b) { return a | b; });
+        checkInt2(nt, func::kIXor, [](U a, U b) { return a ^ b; });
+    }
+}
+
+TEST(SimdOpsInt, MinMaxRespectSignedness)
+{
+    using U = std::uint32_t;
+    const auto s = [](U v) { return static_cast<std::int32_t>(v); };
+    for (const NamedTable &nt : tables()) {
+        checkInt2(nt, func::kIMinS, [&](U a, U b) {
+            return static_cast<U>(std::min(s(a), s(b)));
+        });
+        checkInt2(nt, func::kIMaxS, [&](U a, U b) {
+            return static_cast<U>(std::max(s(a), s(b)));
+        });
+        checkInt2(nt, func::kIMinU,
+                  [](U a, U b) { return std::min(a, b); });
+        checkInt2(nt, func::kIMaxU,
+                  [](U a, U b) { return std::max(a, b); });
+    }
+}
+
+TEST(SimdOpsInt, ShiftsHonorCountMod64WithSaturationAbove31)
+{
+    using U = std::uint32_t;
+    for (const NamedTable &nt : tables()) {
+        checkInt2(nt, func::kIShl, [](U a, U b) {
+            const unsigned c = b & 63u;
+            return c >= 32 ? 0u : a << c;
+        });
+        checkInt2(nt, func::kIShrL, [](U a, U b) {
+            const unsigned c = b & 63u;
+            return c >= 32 ? 0u : a >> c;
+        });
+        checkInt2(nt, func::kIShrA, [](U a, U b) {
+            const auto wide =
+                static_cast<std::int64_t>(static_cast<std::int32_t>(a));
+            return static_cast<U>(wide >> (b & 63u));
+        });
+    }
+}
+
+TEST(SimdOpsInt, ComparesRespectSignednessAtBoundaries)
+{
+    using U = std::uint32_t;
+    for (const NamedTable &nt : tables()) {
+        struct Row
+        {
+            unsigned op;
+            bool (*pred)(U, U);
+        };
+        const Row rows[] = {
+            {func::kCIEq, [](U a, U b) { return a == b; }},
+            {func::kCINe, [](U a, U b) { return a != b; }},
+            {func::kCILtS,
+             [](U a, U b) {
+                 return static_cast<std::int32_t>(a) <
+                     static_cast<std::int32_t>(b);
+             }},
+            {func::kCIGeS,
+             [](U a, U b) {
+                 return static_cast<std::int32_t>(a) >=
+                     static_cast<std::int32_t>(b);
+             }},
+            {func::kCILtU, [](U a, U b) { return a < b; }},
+            {func::kCIGtU, [](U a, U b) { return a > b; }},
+        };
+        for (const Row &row : rows) {
+            const std::uint32_t bits =
+                nt.table->cmp[row.op](kIa, kIb, kN);
+            for (unsigned ch = 0; ch < kN; ++ch)
+                EXPECT_EQ((bits >> ch) & 1u,
+                          row.pred(kIa[ch], kIb[ch]) ? 1u : 0u)
+                    << nt.name << " cmp " << row.op << " lane " << ch;
+        }
+    }
+}
+
+TEST(SimdOps, MaskedStorePreservesInactiveLanes)
+{
+    alignas(32) std::uint32_t mask[kN];
+    alignas(32) std::uint32_t out[kN];
+    for (unsigned ch = 0; ch < kN; ++ch) {
+        mask[ch] = (ch & 1) ? ~0u : 0u;
+        out[ch] = 0xcafe0000u + ch;
+    }
+    for (const NamedTable &nt : tables()) {
+        alignas(32) std::uint32_t dst[kN];
+        std::copy(out, out + kN, dst);
+        nt.table->alu[func::kIAdd](dst, kIa, kIb, kIa, mask, kN);
+        for (unsigned ch = 0; ch < kN; ++ch) {
+            const std::uint32_t expect =
+                (ch & 1) ? kIa[ch] + kIb[ch] : out[ch];
+            EXPECT_EQ(dst[ch], expect)
+                << nt.name << " lane " << ch;
+        }
+    }
+}
+
+} // namespace

@@ -5,8 +5,8 @@
  * unreachable code) and the static divergence analyzer over workload
  * kernels, without simulating anything.
  *
- *   iwc_lint all=1 [scale=N] [json=1] [divergence=1]
- *   iwc_lint workload=<name> [scale=N] [json=1] [divergence=1]
+ *   iwc_lint all=1 [scale=N] [json=1] [divergence=1] [macro=1]
+ *   iwc_lint workload=<name> [scale=N] [json=1] [divergence=1] [macro=1]
  *
  * Exit status is 0 when every checked kernel is clean, 1 otherwise —
  * usable as a CI gate over the whole registered corpus.
@@ -19,6 +19,7 @@
 #include "common/config.hh"
 #include "gpu/device.hh"
 #include "lint/divergence.hh"
+#include "lint/macro.hh"
 #include "lint/verifier.hh"
 #include "workloads/registry.hh"
 
@@ -32,12 +33,15 @@ usage()
 {
     std::puts(
         "usage: iwc_lint <all=1 | workload=name> [scale=N] [json=1]"
-        " [divergence=1]"
+        " [divergence=1] [macro=1]"
         "\n  all=1        lint every registered workload"
         "\n  workload=    lint one workload by registry name"
         "\n  scale=N      workload scale factor (default 1)"
         "\n  json=1       machine-readable output"
-        "\n  divergence=1 also print the branch divergence analysis");
+        "\n  divergence=1 also print the branch divergence analysis"
+        "\n  macro=1      also print macro-steppable regions (mask-"
+        "stable runs\n               classified by the divergence "
+        "lattice)");
     return 1;
 }
 
@@ -45,11 +49,12 @@ struct KernelResult
 {
     lint::Report report;
     lint::DivergenceReport divergence;
+    lint::MacroReport macro;
 };
 
 KernelResult
 lintOne(const std::string &name, unsigned scale, bool want_divergence,
-        bool json)
+        bool want_macro, bool json)
 {
     gpu::Device dev;
     const workloads::Workload w = workloads::make(name, dev, scale);
@@ -58,6 +63,10 @@ lintOne(const std::string &name, unsigned scale, bool want_divergence,
     result.report = lint::verify(w.kernel);
     if (want_divergence && !result.report.hasErrors()) {
         result.divergence = lint::analyzeDivergence(
+            w.kernel, {w.globalSize, w.localSize});
+    }
+    if (want_macro && !result.report.hasErrors()) {
+        result.macro = lint::analyzeMacroRegions(
             w.kernel, {w.globalSize, w.localSize});
     }
 
@@ -70,6 +79,12 @@ lintOne(const std::string &name, unsigned scale, bool want_divergence,
         if (want_divergence && !result.report.hasErrors()) {
             std::fputs(
                 lint::renderDivergence(result.divergence, &w.kernel)
+                    .c_str(),
+                stdout);
+        }
+        if (want_macro && !result.report.hasErrors()) {
+            std::fputs(
+                lint::renderMacroReport(result.macro, &w.kernel)
                     .c_str(),
                 stdout);
         }
@@ -91,6 +106,7 @@ main(int argc, char **argv)
     const auto scale = static_cast<unsigned>(opts.getInt("scale", 1));
     const bool json = opts.getBool("json", false);
     const bool divergence = opts.getBool("divergence", false);
+    const bool macro = opts.getBool("macro", false);
 
     std::vector<std::string> names;
     if (all)
@@ -101,7 +117,7 @@ main(int argc, char **argv)
     unsigned dirty = 0;
     for (const std::string &name : names) {
         const KernelResult result =
-            lintOne(name, scale, divergence, json);
+            lintOne(name, scale, divergence, macro, json);
         dirty += !result.report.clean();
     }
     if (!json) {

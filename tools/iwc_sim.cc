@@ -20,6 +20,7 @@
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "func/vector_kernels.hh"
 #include "gpu/device.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/profile.hh"
@@ -114,6 +115,8 @@ main(int argc, char **argv)
                   "bcc|scc] [scale=N] [compare=1] [check=1]");
         std::puts("       tracing: trace_out=<file.json> (Chrome trace) "
                   "profile=<prefix> (occupancy CSV + hotspot report)");
+        std::puts("       backend=auto|scalar|vector selects the "
+                  "functional execution backend (or set IWC_BACKEND)");
         std::puts("       plus machine overrides: eus= threads= dc= "
                   "perfect_l3= issue_width= arb_period= dram_latency= "
                   "l3_kb= llc_kb=\n");
@@ -165,6 +168,14 @@ main(int argc, char **argv)
         naming_w = std::make_unique<workloads::Workload>(
             workloads::make(name, *naming_dev, scale));
     }
+
+    const func::BackendKind resolved_backend = func::resolveBackendKind(
+        requests.front().config.eu.backend);
+    std::printf("execution backend: %s",
+                func::backendKindName(resolved_backend));
+    if (resolved_backend == func::BackendKind::Vector)
+        std::printf(" (%s lane kernels)", func::activeVecKernelIsa());
+    std::puts("");
 
     run::SweepRunner runner(run::sweepOptions(opts));
     const auto results = runner.run(requests);
