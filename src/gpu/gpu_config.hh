@@ -58,6 +58,27 @@ GpuConfig applyOptions(GpuConfig config, const OptionMap &opts);
 /** Parses a compaction mode name (baseline/ivb/bcc/scc). */
 compaction::Mode parseMode(const std::string &name);
 
+/**
+ * Canonical text encoding of a config: one "key=value" line per
+ * field in a fixed order, covering every simulation-relevant field
+ * (the observability sink pointer is excluded — it never changes a
+ * result). Two configs encode identically iff they simulate
+ * identically, regardless of how or in what order their fields were
+ * assigned, so the encoding (and its digest) is the config half of
+ * the service cache key and the form a config crosses the wire in.
+ */
+std::string encodeCanonical(const GpuConfig &config);
+
+/**
+ * Strict inverse of encodeCanonical: parses the canonical text back
+ * into a config. Returns false (leaving @p out unspecified) on any
+ * unknown key, malformed value, or unsupported version line.
+ */
+bool decodeCanonical(const std::string &text, GpuConfig &out);
+
+/** Stable 64-bit digest of encodeCanonical(config). */
+std::uint64_t configDigest(const GpuConfig &config);
+
 } // namespace iwc::gpu
 
 #endif // IWC_GPU_GPU_CONFIG_HH

@@ -1,6 +1,7 @@
 #include "isa/kernel.hh"
 
 #include "common/bitutil.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace iwc::isa
@@ -88,6 +89,60 @@ Kernel::validate() const
             break;
         }
     }
+}
+
+namespace
+{
+
+void
+addOperand(Fnv64 &h, const Operand &op)
+{
+    h.addByte(static_cast<std::uint8_t>(op.file));
+    h.addByte(op.reg);
+    h.addByte(op.subReg);
+    h.addByte(static_cast<std::uint8_t>(op.type));
+    h.addByte(static_cast<std::uint8_t>(op.scalar));
+    h.addByte(static_cast<std::uint8_t>(op.negate));
+    h.addByte(static_cast<std::uint8_t>(op.absolute));
+    h.add(op.imm);
+}
+
+} // namespace
+
+std::uint64_t
+Kernel::digest() const
+{
+    Fnv64 h;
+    h.add(simdWidth_);
+    h.add(firstTempReg_);
+    h.add(regsUsed_);
+    h.add(slmBytes_);
+    h.add(args_.size());
+    for (const ArgInfo &a : args_) {
+        h.addByte(static_cast<std::uint8_t>(a.kind));
+        h.addByte(a.reg);
+    }
+    h.add(instrs_.size());
+    for (const Instruction &in : instrs_) {
+        h.addByte(static_cast<std::uint8_t>(in.op));
+        h.addByte(in.simdWidth);
+        addOperand(h, in.dst);
+        addOperand(h, in.src0);
+        addOperand(h, in.src1);
+        addOperand(h, in.src2);
+        h.addByte(static_cast<std::uint8_t>(in.predCtrl));
+        h.addByte(in.predFlag);
+        h.addByte(static_cast<std::uint8_t>(in.condMod));
+        h.addByte(in.condFlag);
+        h.add(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(in.target0)));
+        h.add(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(in.target1)));
+        h.addByte(static_cast<std::uint8_t>(in.send.op));
+        h.addByte(static_cast<std::uint8_t>(in.send.type));
+        h.addByte(in.send.numRegs);
+    }
+    return h.value();
 }
 
 } // namespace iwc::isa

@@ -101,6 +101,16 @@ class Kernel
      */
     void validate() const;
 
+    /**
+     * Stable 64-bit digest of everything that determines execution:
+     * SIMD width, every instruction field, argument layout, and SLM
+     * size (the display name is excluded). Serialized field-by-field,
+     * so the value is independent of struct padding and identical
+     * across builds — usable as the kernel half of a service cache
+     * key and as a wire-level identity check.
+     */
+    std::uint64_t digest() const;
+
   private:
     std::string name_;
     unsigned simdWidth_ = 16;

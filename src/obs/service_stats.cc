@@ -1,0 +1,27 @@
+#include "obs/service_stats.hh"
+
+#include "stats/stats.hh"
+
+namespace iwc::obs
+{
+
+void
+ServiceStats::writeTo(stats::Group &group) const
+{
+    group.setScalar("svc.submitted", static_cast<double>(submitted));
+    group.setScalar("svc.completed", static_cast<double>(completed));
+    group.setScalar("svc.executed", static_cast<double>(executed));
+    group.setScalar("svc.cache_hits", static_cast<double>(cacheHits));
+    group.setScalar("svc.cache_misses", static_cast<double>(cacheMisses));
+    group.setScalar("svc.coalesced", static_cast<double>(coalesced));
+    group.setScalar("svc.rejected_busy",
+                    static_cast<double>(rejectedBusy));
+    group.setScalar("svc.rejected_untagged_factory",
+                    static_cast<double>(rejectedUntagged));
+    group.setScalar("svc.rejected_bad_request",
+                    static_cast<double>(rejectedBad));
+    group.setScalar("svc.rejected_shutdown",
+                    static_cast<double>(rejectedShutdown));
+}
+
+} // namespace iwc::obs

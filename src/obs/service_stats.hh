@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Service-level observability: the counters the simulation daemon
+ * (src/svc) exports — submissions, cache hits/misses, in-flight
+ * coalesces, admission rejections — through the same stats path the
+ * rest of the tree uses (stats::Group, cf. LaunchStats::writeTo).
+ *
+ * ServiceCounters is the live, thread-safe accumulator: every field
+ * is an independent relaxed atomic, because each one is a statistic,
+ * not a synchronization point — readers take a snapshot() that is
+ * approximately consistent, which is all a monitoring counter means
+ * under concurrency.
+ */
+
+#ifndef IWC_OBS_SERVICE_STATS_HH
+#define IWC_OBS_SERVICE_STATS_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace iwc::stats
+{
+class Group;
+}
+
+namespace iwc::obs
+{
+
+/** Point-in-time copy of the service counters. */
+struct ServiceStats
+{
+    std::uint64_t submitted = 0;  ///< requests entering submit()
+    std::uint64_t completed = 0;  ///< replies delivered (any status)
+    std::uint64_t executed = 0;   ///< actual simulations performed
+    std::uint64_t cacheHits = 0;  ///< served from the result cache
+    std::uint64_t cacheMisses = 0; ///< scheduled a fresh execution
+    std::uint64_t coalesced = 0;  ///< joined an identical in-flight job
+    std::uint64_t rejectedBusy = 0;      ///< admission control
+    std::uint64_t rejectedUntagged = 0;  ///< untagged factory requests
+    std::uint64_t rejectedBad = 0;       ///< malformed / unknown workload
+    std::uint64_t rejectedShutdown = 0;  ///< submitted while draining
+
+    /** Exports every counter into @p group ("svc.cache_hits", ...). */
+    void writeTo(stats::Group &group) const;
+};
+
+/** See file comment. */
+class ServiceCounters
+{
+  public:
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> cacheHits{0};
+    std::atomic<std::uint64_t> cacheMisses{0};
+    std::atomic<std::uint64_t> coalesced{0};
+    std::atomic<std::uint64_t> rejectedBusy{0};
+    std::atomic<std::uint64_t> rejectedUntagged{0};
+    std::atomic<std::uint64_t> rejectedBad{0};
+    std::atomic<std::uint64_t> rejectedShutdown{0};
+
+    ServiceStats
+    snapshot() const
+    {
+        ServiceStats s;
+        s.submitted = submitted.load(std::memory_order_relaxed);
+        s.completed = completed.load(std::memory_order_relaxed);
+        s.executed = executed.load(std::memory_order_relaxed);
+        s.cacheHits = cacheHits.load(std::memory_order_relaxed);
+        s.cacheMisses = cacheMisses.load(std::memory_order_relaxed);
+        s.coalesced = coalesced.load(std::memory_order_relaxed);
+        s.rejectedBusy = rejectedBusy.load(std::memory_order_relaxed);
+        s.rejectedUntagged =
+            rejectedUntagged.load(std::memory_order_relaxed);
+        s.rejectedBad = rejectedBad.load(std::memory_order_relaxed);
+        s.rejectedShutdown =
+            rejectedShutdown.load(std::memory_order_relaxed);
+        return s;
+    }
+};
+
+} // namespace iwc::obs
+
+#endif // IWC_OBS_SERVICE_STATS_HH

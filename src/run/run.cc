@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "lint/verifier.hh"
 #include "trace/synthetic.hh"
@@ -48,6 +49,44 @@ analyzeBuilt(gpu::Device &dev, const workloads::Workload &w)
 }
 
 } // namespace
+
+std::uint64_t
+CacheKey::hash() const
+{
+    Fnv64 h;
+    h.add(workloadDigest);
+    h.add(configDigest);
+    h.add(scale);
+    h.addByte(kind);
+    h.addByte(backend);
+    h.addByte(flags);
+    return h.value();
+}
+
+std::optional<CacheKey>
+cacheKeyFor(const RunRequest &request)
+{
+    if (request.trace)
+        return std::nullopt;
+
+    CacheKey key;
+    if (request.kind == JobKind::SyntheticTrace) {
+        key.workloadDigest = fnv64("t:" + request.traceProfile);
+    } else if (request.factory) {
+        if (request.cacheTag.empty())
+            return std::nullopt;
+        key.workloadDigest = fnv64("f:" + request.cacheTag);
+    } else {
+        key.workloadDigest = fnv64("w:" + request.workload);
+    }
+    key.configDigest = gpu::configDigest(request.config);
+    key.scale = request.scale;
+    key.kind = static_cast<std::uint8_t>(request.kind);
+    key.backend = static_cast<std::uint8_t>(request.backend);
+    key.flags = static_cast<std::uint8_t>(
+        (request.checkOutput ? 1u : 0u) | (request.lint ? 2u : 0u));
+    return key;
+}
 
 RunRequest
 RunRequest::timing(std::string workload, gpu::GpuConfig config,
@@ -131,6 +170,7 @@ executeRun(const RunRequest &request)
         }
         gpu::Device dev(config);
         workloads::Workload w = buildWorkload(request, dev);
+        result.kernelDigest = w.kernel.digest();
         if (request.lint)
             lint::verifyOrDie(w.kernel);
         result.stats =
@@ -148,6 +188,7 @@ executeRun(const RunRequest &request)
             config.eu.backend = request.backend;
         gpu::Device dev(config);
         workloads::Workload w = buildWorkload(request, dev);
+        result.kernelDigest = w.kernel.digest();
         if (request.lint)
             lint::verifyOrDie(w.kernel);
         result.analysis = analyzeBuilt(dev, w);

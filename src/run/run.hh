@@ -12,8 +12,10 @@
 #ifndef IWC_RUN_RUN_HH
 #define IWC_RUN_RUN_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "gpu/device.hh"
@@ -58,6 +60,17 @@ struct RunRequest
     std::string workload;
     /** Optional non-registry workload builder (disables caching). */
     WorkloadFactory factory;
+    /**
+     * Caller-supplied cache identity for @ref factory requests. A
+     * factory is an opaque closure, so the harness cannot derive a
+     * cache key from it; the caller asserts one here ("every request
+     * with this tag, scale, and config builds the same workload").
+     * Empty (the default) means "no cache identity": such requests
+     * are uncacheable, and the service daemon rejects them outright
+     * rather than silently re-simulating (see svc::Engine). Ignored
+     * for registry requests, whose name is already their identity.
+     */
+    std::string cacheTag;
     unsigned scale = 1;
     /** Machine configuration (compaction mode lives in config.eu.mode). */
     gpu::GpuConfig config = gpu::ivbConfig();
@@ -95,12 +108,56 @@ struct RunRequest
     static RunRequest syntheticTrace(std::string profile);
 };
 
+/**
+ * Full identity of a request for result caching: anything that can
+ * change a RunResult bit is either part of this key or makes the
+ * request uncacheable (see cacheKeyFor). Two requests with equal
+ * keys produce bit-identical results by the same argument that makes
+ * SweepRunner's per-sweep sharing sound — every job builds its whole
+ * world from (workload identity, scale, config).
+ */
+struct CacheKey
+{
+    /** Digest of the workload identity (registry name, cache tag, or
+     *  synthetic profile name, tagged by origin). */
+    std::uint64_t workloadDigest = 0;
+    /** gpu::configDigest of the request's machine configuration. */
+    std::uint64_t configDigest = 0;
+    std::uint32_t scale = 1;
+    std::uint8_t kind = 0;
+    std::uint8_t backend = 0;
+    /** checkOutput/lint bits — they add fields to the result. */
+    std::uint8_t flags = 0;
+
+    bool operator==(const CacheKey &) const = default;
+
+    /** Stable 64-bit fold of the key (map hashing / wire export). */
+    std::uint64_t hash() const;
+};
+
+/**
+ * The cache identity of @p request, or nullopt for requests that
+ * must not be served from a cache: factory requests without a
+ * cacheTag (opaque builder, no asserted identity) and tracing
+ * requests (their value is the event stream, which is unique to an
+ * execution).
+ */
+std::optional<CacheKey> cacheKeyFor(const RunRequest &request);
+
 /** Outcome of one executed request. */
 struct RunResult
 {
     JobKind kind = JobKind::Timing;
     /** Workload or profile name the job ran. */
     std::string label;
+
+    /**
+     * isa::Kernel::digest() of the kernel the job built and ran; 0
+     * for synthetic-trace jobs, which have no kernel. Lets callers
+     * (and the service protocol) verify that two runs claiming the
+     * same cache identity really executed the same instructions.
+     */
+    std::uint64_t kernelDigest = 0;
 
     /** Valid for JobKind::Timing. */
     gpu::LaunchStats stats;

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bounded LRU cache from run::CacheKey to serialized RunResult
+ * bytes. Storing the encoded bytes (not the RunResult) makes the
+ * bit-identity guarantee structural: a cache hit replays exactly the
+ * frame the first execution produced, and sharing is a shared_ptr
+ * copy, so a hit costs no allocation proportional to the result.
+ *
+ * Thread-safe; all methods take an internal mutex. The lock is never
+ * held across anything slower than a map operation, so contention is
+ * invisible next to even the cheapest simulation.
+ */
+
+#ifndef IWC_SVC_CACHE_HH
+#define IWC_SVC_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "run/run.hh"
+
+namespace iwc::svc
+{
+
+/** Shared immutable result bytes (see file comment). */
+using ResultBytes = std::shared_ptr<const std::string>;
+
+/** See file comment. */
+class ResultCache
+{
+  public:
+    /** @param max_entries bound on resident results; 0 disables. */
+    explicit ResultCache(std::size_t max_entries)
+        : maxEntries_(max_entries)
+    {
+    }
+
+    /** Looks up @p key, refreshing recency. Null on miss. */
+    ResultBytes
+    get(const run::CacheKey &key)
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->bytes;
+    }
+
+    /** Inserts (or refreshes) @p key, evicting the LRU tail. */
+    void
+    put(const run::CacheKey &key, ResultBytes bytes)
+    {
+        if (maxEntries_ == 0)
+            return;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            it->second->bytes = std::move(bytes);
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return;
+        }
+        lru_.push_front(Entry{key, std::move(bytes)});
+        map_.emplace(key, lru_.begin());
+        if (map_.size() > maxEntries_) {
+            map_.erase(lru_.back().key);
+            lru_.pop_back();
+            ++evictions_;
+        }
+    }
+
+    std::size_t
+    size() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return map_.size();
+    }
+
+    std::uint64_t
+    hits() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return hits_;
+    }
+
+    std::uint64_t
+    misses() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return misses_;
+    }
+
+    std::uint64_t
+    evictions() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return evictions_;
+    }
+
+  private:
+    struct Entry
+    {
+        run::CacheKey key;
+        ResultBytes bytes;
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const run::CacheKey &key) const
+        {
+            return static_cast<std::size_t>(key.hash());
+        }
+    };
+
+    const std::size_t maxEntries_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; ///< front = most recently used
+    std::unordered_map<run::CacheKey, std::list<Entry>::iterator, KeyHash>
+        map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace iwc::svc
+
+#endif // IWC_SVC_CACHE_HH

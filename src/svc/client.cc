@@ -1,0 +1,143 @@
+#include "svc/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace iwc::svc
+{
+
+bool
+Client::connect(const std::string &socket_path, int wait_ms)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(wait_ms);
+    for (;;) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return false;
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            fd_ = fd;
+            return true;
+        }
+        ::close(fd);
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::sendSubmit(const run::RunRequest &request, std::uint64_t req_id)
+{
+    if (fd_ < 0)
+        return false;
+    return writeFrame(fd_, MsgType::Submit,
+                      encodeSubmit({req_id, request}));
+}
+
+bool
+Client::recvReply(ClientReply &out)
+{
+    MsgType type;
+    std::string payload;
+    for (;;) {
+        if (fd_ < 0 || !readFrame(fd_, type, payload))
+            return false;
+        if (type == MsgType::Result) {
+            WireReader r(payload);
+            out.reqId = r.u64();
+            if (!r.ok())
+                return false;
+            out.status = Status::Ok;
+            out.raw = payload.substr(8);
+            out.message.clear();
+            return decodeRunResult(out.raw, out.result);
+        }
+        if (type == MsgType::Error) {
+            ErrorMsg err;
+            if (!decodeError(payload, err))
+                return false;
+            out.reqId = err.reqId;
+            out.status = err.status;
+            out.raw.clear();
+            out.result = run::RunResult{};
+            out.message = std::move(err.message);
+            return true;
+        }
+        // Unsolicited frame (e.g. a Pong from an earlier control
+        // message): skip and keep looking for a reply.
+    }
+}
+
+bool
+Client::call(const run::RunRequest &request, ClientReply &out)
+{
+    const std::uint64_t id = nextId_++;
+    if (!sendSubmit(request, id))
+        return false;
+    if (!recvReply(out))
+        return false;
+    return out.reqId == id;
+}
+
+bool
+Client::ping()
+{
+    if (fd_ < 0 || !writeFrame(fd_, MsgType::Ping, {}))
+        return false;
+    MsgType type;
+    std::string payload;
+    if (!readFrame(fd_, type, payload))
+        return false;
+    return type == MsgType::Pong;
+}
+
+bool
+Client::stats(StatsSnapshot &out)
+{
+    if (fd_ < 0 || !writeFrame(fd_, MsgType::StatsReq, {}))
+        return false;
+    MsgType type;
+    std::string payload;
+    if (!readFrame(fd_, type, payload))
+        return false;
+    return type == MsgType::StatsReply && decodeStats(payload, out);
+}
+
+bool
+Client::shutdownDaemon()
+{
+    if (fd_ < 0 || !writeFrame(fd_, MsgType::Shutdown, {}))
+        return false;
+    MsgType type;
+    std::string payload;
+    if (!readFrame(fd_, type, payload))
+        return false;
+    return type == MsgType::Pong;
+}
+
+} // namespace iwc::svc

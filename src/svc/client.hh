@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Blocking client for the simulation daemon. One Client wraps one
+ * connection and is meant to be driven by one thread (loadtest and
+ * sweep clients open one Client per thread); it supports both simple
+ * synchronous round trips (call) and explicit pipelining
+ * (sendSubmit / recvReply) for keeping many requests in flight.
+ */
+
+#ifndef IWC_SVC_CLIENT_HH
+#define IWC_SVC_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "svc/wire.hh"
+
+namespace iwc::svc
+{
+
+/** A decoded daemon reply. */
+struct ClientReply
+{
+    std::uint64_t reqId = 0;
+    Status status = Status::InternalError;
+    /** Serialized RunResult exactly as the daemon sent it (byte-
+     *  comparable against wire::encodeRunResult of a local run). */
+    std::string raw;
+    /** Decoded form of @ref raw (valid when status == Ok). */
+    run::RunResult result;
+    std::string message;
+};
+
+/** See file comment. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connects to @p socket_path. With @p wait_ms > 0, retries while
+     * the socket is absent or refusing (a daemon still starting up)
+     * until the budget runs out.
+     */
+    bool connect(const std::string &socket_path, int wait_ms = 0);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** Synchronous submit: one request, wait for its reply. */
+    bool call(const run::RunRequest &request, ClientReply &out);
+
+    // --- Pipelining -----------------------------------------------------
+
+    /** Sends a Submit frame tagged @p req_id without waiting. */
+    bool sendSubmit(const run::RunRequest &request, std::uint64_t req_id);
+
+    /** Receives the next Result/Error frame (any req_id). */
+    bool recvReply(ClientReply &out);
+
+    // --- Control --------------------------------------------------------
+
+    /** Round-trips a Ping. */
+    bool ping();
+
+    /** Fetches the daemon's service counters. */
+    bool stats(StatsSnapshot &out);
+
+    /** Asks the daemon to drain and exit (acknowledged before the
+     *  drain begins). */
+    bool shutdownDaemon();
+
+  private:
+    int fd_ = -1;
+    std::uint64_t nextId_ = 1; ///< call() request ids
+};
+
+} // namespace iwc::svc
+
+#endif // IWC_SVC_CLIENT_HH

@@ -1,0 +1,314 @@
+#include "svc/daemon.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace iwc::svc
+{
+
+namespace
+{
+
+sockaddr_un
+socketAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    fatal_if(path.size() >= sizeof(addr.sun_path),
+             "socket path too long (%zu bytes, max %zu): %s",
+             path.size(), sizeof(addr.sun_path) - 1, path.c_str());
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+void
+Daemon::Connection::shutdownIo()
+{
+    const std::lock_guard<std::mutex> lock(writeMutex);
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+Daemon::Connection::closeFd()
+{
+    const std::lock_guard<std::mutex> lock(writeMutex);
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), engine_(options_.engine)
+{
+    fatal_if(options_.socketPath.empty(), "daemon needs a socket path");
+}
+
+Daemon::~Daemon()
+{
+    if (started_)
+        stop();
+    if (stopPipe_[0] >= 0)
+        ::close(stopPipe_[0]);
+    if (stopPipe_[1] >= 0)
+        ::close(stopPipe_[1]);
+}
+
+void
+Daemon::cleanStaleSocket()
+{
+    const std::string &path = options_.socketPath;
+    struct stat st{};
+    if (::lstat(path.c_str(), &st) != 0)
+        return; // nothing there
+    fatal_if(!S_ISSOCK(st.st_mode),
+             "%s exists and is not a socket; refusing to remove it",
+             path.c_str());
+
+    // Probe it: a live daemon accepts, a stale file from a crashed
+    // one refuses.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatal_if(fd < 0, "socket(): %s", std::strerror(errno));
+    const sockaddr_un addr = socketAddress(path);
+    const int rc = ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                             sizeof(addr));
+    ::close(fd);
+    fatal_if(rc == 0, "a daemon is already serving on %s", path.c_str());
+    warn("removing stale socket %s", path.c_str());
+    fatal_if(::unlink(path.c_str()) != 0, "unlink(%s): %s", path.c_str(),
+             std::strerror(errno));
+}
+
+void
+Daemon::start()
+{
+    fatal_if(started_, "daemon already started");
+    fatal_if(::pipe(stopPipe_) != 0, "pipe(): %s", std::strerror(errno));
+
+    cleanStaleSocket();
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatal_if(listenFd_ < 0, "socket(): %s", std::strerror(errno));
+    const sockaddr_un addr = socketAddress(options_.socketPath);
+    fatal_if(::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+                    sizeof(addr)) != 0,
+             "bind(%s): %s", options_.socketPath.c_str(),
+             std::strerror(errno));
+    fatal_if(::listen(listenFd_, 128) != 0, "listen(): %s",
+             std::strerror(errno));
+
+    engine_.start();
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    started_ = true;
+    inform("iwc_simd serving on %s (%u workers, %u queues, "
+           "%zu-entry cache)",
+           options_.socketPath.c_str(), engine_.workers(),
+           engine_.queues(), options_.engine.cacheEntries);
+}
+
+void
+Daemon::requestStop()
+{
+    if (stopRequested_.exchange(true))
+        return;
+    // Only async-signal-safe calls here: this runs from SIGINT /
+    // SIGTERM handlers.
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(stopPipe_[1], &byte, 1);
+}
+
+void
+Daemon::serveUntilStopped()
+{
+    char byte;
+    for (;;) {
+        const ssize_t n = ::read(stopPipe_[0], &byte, 1);
+        if (n > 0 || (n < 0 && errno != EINTR))
+            break;
+    }
+    stop();
+}
+
+void
+Daemon::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    stopRequested_.store(true);
+
+    // 1. Stop accepting: no new clients while draining.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    acceptThread_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+
+    // 2. Drain the engine. Reader threads are still alive, so every
+    //    queued and in-flight job delivers its reply over its
+    //    connection; submissions arriving during the drain get
+    //    ShuttingDown replies.
+    engine_.stop();
+
+    // 3. Tear the connections down: unblock every reader, wait for
+    //    all of them to exit, then release the descriptors. Replies
+    //    are already delivered (the engine drain joined the workers
+    //    that write them).
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        std::unique_lock<std::mutex> lock(connsMutex_);
+        conns = conns_;
+        for (const auto &conn : conns)
+            conn->shutdownIo();
+        connsCv_.wait(lock, [&] { return activeReaders_ == 0; });
+        conns_.clear();
+    }
+    for (const auto &conn : conns)
+        conn->closeFd();
+
+    if (::unlink(options_.socketPath.c_str()) != 0 && errno != ENOENT)
+        warn("unlink(%s): %s", options_.socketPath.c_str(),
+             std::strerror(errno));
+    inform("iwc_simd drained and stopped");
+}
+
+void
+Daemon::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listen socket shut down (or fatal accept error)
+        }
+        if (stopRequested_.load()) {
+            ::close(fd);
+            continue;
+        }
+        // A hung or vanished client must not wedge a reply writer
+        // (and with it the drain) forever.
+        timeval send_timeout{30, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                     sizeof(send_timeout));
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            const std::lock_guard<std::mutex> lock(connsMutex_);
+            conn->id = nextClientId_++;
+            conns_.push_back(conn);
+            ++activeReaders_;
+        }
+        std::thread([this, conn] { readerLoop(conn); }).detach();
+    }
+}
+
+void
+Daemon::sendReply(const std::shared_ptr<Connection> &conn,
+                  std::uint64_t req_id, const Reply &reply)
+{
+    if (reply.status == Status::Ok) {
+        // Result frame: reqId + the cached/serialized result bytes.
+        WireWriter w;
+        w.u64(req_id);
+        std::string payload = w.take();
+        payload += *reply.result;
+        const std::lock_guard<std::mutex> lock(conn->writeMutex);
+        if (conn->fd >= 0)
+            writeFrame(conn->fd, MsgType::Result, payload);
+        return;
+    }
+    const std::string payload =
+        encodeError({req_id, reply.status, reply.message});
+    const std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (conn->fd >= 0)
+        writeFrame(conn->fd, MsgType::Error, payload);
+}
+
+void
+Daemon::readerLoop(const std::shared_ptr<Connection> &conn)
+{
+    MsgType type;
+    std::string payload;
+    while (readFrame(conn->fd, type, payload, options_.maxFrameBytes)) {
+        switch (type) {
+          case MsgType::Submit: {
+            SubmitMsg msg;
+            if (!decodeSubmit(payload, msg)) {
+                Reply reply;
+                reply.status = Status::BadRequest;
+                reply.message = "malformed Submit frame";
+                sendReply(conn, msg.reqId, reply);
+                break;
+            }
+            const std::uint64_t req_id = msg.reqId;
+            conn->pending.fetch_add(1);
+            engine_.submit(msg.request, conn->id,
+                           [this, conn, req_id](const Reply &reply) {
+                               sendReply(conn, req_id, reply);
+                               if (conn->pending.fetch_sub(1) == 1 &&
+                                   conn->eof.load())
+                                   conn->closeFd();
+                           });
+            break;
+          }
+          case MsgType::Ping: {
+            const std::lock_guard<std::mutex> lock(conn->writeMutex);
+            if (conn->fd >= 0)
+                writeFrame(conn->fd, MsgType::Pong, {});
+            break;
+          }
+          case MsgType::StatsReq: {
+            const std::string stats = encodeStats(engine_.wireStats());
+            const std::lock_guard<std::mutex> lock(conn->writeMutex);
+            if (conn->fd >= 0)
+                writeFrame(conn->fd, MsgType::StatsReply, stats);
+            break;
+          }
+          case MsgType::Shutdown: {
+            {
+                const std::lock_guard<std::mutex> lock(conn->writeMutex);
+                if (conn->fd >= 0)
+                    writeFrame(conn->fd, MsgType::Pong, {});
+            }
+            requestStop();
+            break;
+          }
+          default: {
+            const std::string err = encodeError(
+                {0, Status::BadRequest, "unknown frame type"});
+            const std::lock_guard<std::mutex> lock(conn->writeMutex);
+            if (conn->fd >= 0)
+                writeFrame(conn->fd, MsgType::Error, err);
+            break;
+          }
+        }
+    }
+    // Peer went away (or shutdownIo during stop()). Drop the
+    // connection from the live set; the fd is released by the last
+    // in-flight reply (pending refcount) or right here when none is
+    // outstanding — never earlier, so a late reply cannot write
+    // into a recycled descriptor.
+    {
+        const std::lock_guard<std::mutex> lock(connsMutex_);
+        conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                     conns_.end());
+        --activeReaders_;
+    }
+    connsCv_.notify_all();
+    conn->eof.store(true);
+    if (conn->pending.load() == 0)
+        conn->closeFd();
+}
+
+} // namespace iwc::svc

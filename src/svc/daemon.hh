@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The simulation daemon: a Unix-domain stream server wrapping
+ * svc::Engine. One reader thread per connection decodes frames and
+ * feeds the engine; replies are written back from whichever engine
+ * thread completes them, serialized per connection, and matched to
+ * submissions by the client-chosen request id (clients pipeline
+ * freely; replies may arrive out of order).
+ *
+ * Lifecycle: start() binds the socket (cleaning up a stale one left
+ * by a crashed daemon — detected by a refused probe connect) and
+ * begins accepting. requestStop() is async-signal-safe (one write()
+ * on a self-pipe), so SIGINT/SIGTERM handlers can trigger a graceful
+ * drain: stop accepting, let the engine finish every queued and
+ * in-flight job (new submissions are refused with ShuttingDown),
+ * deliver all replies, then close connections and unlink the socket.
+ */
+
+#ifndef IWC_SVC_DAEMON_HH
+#define IWC_SVC_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/engine.hh"
+
+namespace iwc::svc
+{
+
+/** Daemon knobs. */
+struct DaemonOptions
+{
+    /** Filesystem path of the Unix-domain socket. */
+    std::string socketPath;
+    EngineOptions engine;
+    /** Per-frame payload ceiling for incoming frames. */
+    std::size_t maxFrameBytes = kMaxFrameBytes;
+};
+
+/** See file comment. */
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions options);
+    ~Daemon();
+
+    /** Binds, listens, starts the engine and the accept loop.
+     *  fatal() on an unusable socket path or a live daemon. */
+    void start();
+
+    /** Triggers a graceful stop; safe from signal handlers and from
+     *  connection threads. Returns immediately. */
+    void requestStop();
+
+    /** Blocks until requestStop(), then performs the full drain. */
+    void serveUntilStopped();
+
+    /** The drain itself (see file comment). Idempotent. */
+    void stop();
+
+    Engine &engine() { return engine_; }
+    const std::string &socketPath() const { return options_.socketPath; }
+
+  private:
+    /**
+     * One client connection. The reader thread is detached; the
+     * object is kept alive by shared_ptrs from the reader and from
+     * every in-flight reply callback. The fd is closed exactly once,
+     * by whichever of {reader-at-EOF, last pending reply, stop()}
+     * comes last — until then the descriptor number stays reserved
+     * so a late reply can never write into a recycled fd.
+     */
+    struct Connection
+    {
+        int fd = -1;
+        std::uint64_t id = 0;
+        std::mutex writeMutex; ///< one reply frame at a time
+        std::atomic<int> pending{0}; ///< replies not yet written
+        std::atomic<bool> eof{false}; ///< reader loop has exited
+
+        /** Unblocks reader/writer syscalls without releasing the fd. */
+        void shutdownIo();
+        void closeFd(); ///< idempotent
+    };
+
+    void acceptLoop();
+    void readerLoop(const std::shared_ptr<Connection> &conn);
+    void sendReply(const std::shared_ptr<Connection> &conn,
+                   std::uint64_t req_id, const Reply &reply);
+
+    /** Removes a dead socket file; fatal() if a daemon answers. */
+    void cleanStaleSocket();
+
+    DaemonOptions options_;
+    Engine engine_;
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    std::atomic<bool> stopRequested_{false};
+    bool started_ = false;
+    bool stopped_ = false;
+    std::thread acceptThread_;
+    std::mutex connsMutex_;
+    std::condition_variable connsCv_;
+    std::vector<std::shared_ptr<Connection>> conns_; ///< live only
+    std::size_t activeReaders_ = 0;
+    std::uint64_t nextClientId_ = 0;
+};
+
+} // namespace iwc::svc
+
+#endif // IWC_SVC_DAEMON_HH

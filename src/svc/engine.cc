@@ -1,0 +1,324 @@
+#include "svc/engine.hh"
+
+#include <exception>
+#include <utility>
+
+#include "common/logging.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace iwc::svc
+{
+
+Engine::Engine(EngineOptions options) : options_(options),
+    cache_(options.cacheEntries)
+{
+    if (options_.queues == 0)
+        options_.queues = 1;
+    if (options_.maxQueueDepth == 0)
+        options_.maxQueueDepth = 1;
+    queues_.resize(options_.queues);
+    workerCount_ = options_.workers;
+    if (workerCount_ == 0) {
+        workerCount_ = std::thread::hardware_concurrency();
+        if (workerCount_ == 0)
+            workerCount_ = 1;
+    }
+}
+
+Engine::~Engine()
+{
+    stop();
+}
+
+void
+Engine::start()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (started_ || stopping_)
+        return;
+    started_ = true;
+    workers_.reserve(workerCount_);
+    for (unsigned i = 0; i < workerCount_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+Engine::stop()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    // Jobs queued before start() with no workers to drain them would
+    // deadlock the join; run them on this thread instead.
+    if (workers_.empty())
+        workerLoop();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+bool
+Engine::stopping() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stopping_;
+}
+
+Status
+Engine::validate(const run::RunRequest &request,
+                 std::string &message) const
+{
+    if (request.trace) {
+        message = "event-trace capture is not servable: the result "
+                  "would be the event stream, which is unique to an "
+                  "execution (run locally via run::executeRun)";
+        return Status::Unsupported;
+    }
+    if (request.kind == run::JobKind::SyntheticTrace) {
+        for (const trace::SyntheticProfile &p :
+             trace::paperTraceProfiles())
+            if (p.name == request.traceProfile)
+                return Status::Ok;
+        message = "unknown synthetic trace profile '" +
+                  request.traceProfile + "'";
+        return Status::BadRequest;
+    }
+    if (request.scale == 0 || request.scale > options_.maxScale) {
+        message = "scale " + std::to_string(request.scale) +
+                  " outside [1, " + std::to_string(options_.maxScale) +
+                  "]";
+        return Status::BadRequest;
+    }
+    if (request.factory) {
+        if (request.cacheTag.empty()) {
+            message =
+                "factory request without a cacheTag: the service "
+                "cannot key an opaque workload builder, and silently "
+                "re-simulating would defeat the result cache; set "
+                "RunRequest::cacheTag to a stable identity";
+            return Status::UntaggedFactory;
+        }
+    } else {
+        bool known = false;
+        for (const workloads::Entry &e : workloads::registry())
+            if (request.workload == e.name) {
+                known = true;
+                break;
+            }
+        if (!known) {
+            message = "unknown workload '" + request.workload + "'";
+            return Status::BadRequest;
+        }
+    }
+    const gpu::GpuConfig &c = request.config;
+    if (c.numEus == 0 || c.eu.numThreads == 0 || c.eu.issueWidth == 0 ||
+        c.eu.arbitrationPeriod == 0 || c.mem.dcLinesPerCycle == 0) {
+        message = "degenerate machine configuration (zero-sized "
+                  "resource)";
+        return Status::BadRequest;
+    }
+    return Status::Ok;
+}
+
+void
+Engine::submit(const run::RunRequest &request, std::uint64_t client,
+               ReplyFn done)
+{
+    counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+    Reply immediate;
+    {
+        std::string message;
+        const Status status = validate(request, message);
+        if (status != Status::Ok) {
+            switch (status) {
+              case Status::Busy:
+                counters_.rejectedBusy.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+              case Status::UntaggedFactory:
+                counters_.rejectedUntagged.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+              default:
+                counters_.rejectedBad.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+            }
+            counters_.completed.fetch_add(1, std::memory_order_relaxed);
+            immediate.status = status;
+            immediate.message = std::move(message);
+            done(immediate);
+            return;
+        }
+    }
+
+    const std::optional<run::CacheKey> key = run::cacheKeyFor(request);
+    panic_if(!key, "validated request has no cache key");
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_) {
+            counters_.rejectedShutdown.fetch_add(
+                1, std::memory_order_relaxed);
+            counters_.completed.fetch_add(1, std::memory_order_relaxed);
+            immediate.status = Status::ShuttingDown;
+            immediate.message = "service is draining";
+            lock.unlock();
+            done(immediate);
+            return;
+        }
+
+        // Result cache (under the engine lock so a hit cannot race a
+        // concurrent completion's insert-then-erase-inflight window).
+        if (ResultBytes bytes = cache_.get(*key)) {
+            counters_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+            counters_.completed.fetch_add(1, std::memory_order_relaxed);
+            immediate.status = Status::Ok;
+            immediate.result = std::move(bytes);
+            lock.unlock();
+            done(immediate);
+            return;
+        }
+
+        // In-flight dedup: join an identical pending job.
+        if (const auto it = inflight_.find(*key);
+            it != inflight_.end()) {
+            counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
+            it->second->waiters.push_back(std::move(done));
+            return;
+        }
+
+        // Admission control on the client's submission queue.
+        auto &queue = queues_[client % queues_.size()];
+        if (queue.size() >= options_.maxQueueDepth) {
+            counters_.rejectedBusy.fetch_add(
+                1, std::memory_order_relaxed);
+            counters_.completed.fetch_add(1, std::memory_order_relaxed);
+            immediate.status = Status::Busy;
+            immediate.message = "submission queue full (depth " +
+                                std::to_string(queue.size()) +
+                                "); retry with backoff";
+            lock.unlock();
+            done(immediate);
+            return;
+        }
+
+        counters_.cacheMisses.fetch_add(1, std::memory_order_relaxed);
+        auto job = std::make_shared<Job>();
+        job->request = request;
+        job->key = *key;
+        job->waiters.push_back(std::move(done));
+        inflight_.emplace(*key, job);
+        queue.push_back(std::move(job));
+        ++queuedJobs_;
+    }
+    cv_.notify_one();
+}
+
+Reply
+Engine::call(const run::RunRequest &request, std::uint64_t client)
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    Reply out;
+    submit(request, client, [&](const Reply &reply) {
+        const std::lock_guard<std::mutex> lock(m);
+        out = reply;
+        ready = true;
+        cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return ready; });
+    return out;
+}
+
+StatsSnapshot
+Engine::wireStats() const
+{
+    const obs::ServiceStats s = counters_.snapshot();
+    StatsSnapshot out;
+    out.submitted = s.submitted;
+    out.completed = s.completed;
+    out.executed = s.executed;
+    out.cacheHits = s.cacheHits;
+    out.cacheMisses = s.cacheMisses;
+    out.coalesced = s.coalesced;
+    out.rejectedBusy = s.rejectedBusy;
+    out.rejectedUntagged = s.rejectedUntagged;
+    out.rejectedBad = s.rejectedBad;
+    out.rejectedShutdown = s.rejectedShutdown;
+    out.cacheEntries = cache_.size();
+    out.cacheEvictions = cache_.evictions();
+    return out;
+}
+
+void
+Engine::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] {
+                return queuedJobs_ > 0 || stopping_;
+            });
+            if (queuedJobs_ == 0) {
+                if (stopping_)
+                    return; // drained
+                continue;
+            }
+            // Round-robin across the submission queues: each pop
+            // starts scanning one queue past the previous winner, so
+            // a deep queue cannot monopolize the pool.
+            const unsigned n = static_cast<unsigned>(queues_.size());
+            for (unsigned i = 0; i < n; ++i) {
+                const unsigned q = (rrNext_ + i) % n;
+                if (queues_[q].empty())
+                    continue;
+                job = std::move(queues_[q].front());
+                queues_[q].pop_front();
+                rrNext_ = q + 1;
+                break;
+            }
+            --queuedJobs_;
+        }
+        panic_if(!job, "worker woke with queued jobs but found none");
+
+        Reply reply;
+        try {
+            const run::RunResult result = run::executeRun(job->request);
+            reply.status = Status::Ok;
+            reply.result = std::make_shared<const std::string>(
+                encodeRunResult(result));
+        } catch (const std::exception &e) {
+            reply.status = Status::InternalError;
+            reply.message = e.what();
+        } catch (...) {
+            reply.status = Status::InternalError;
+            reply.message = "unknown execution failure";
+        }
+
+        std::vector<ReplyFn> waiters;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (reply.status == Status::Ok)
+                cache_.put(job->key, reply.result);
+            inflight_.erase(job->key);
+            waiters = std::move(job->waiters);
+        }
+        counters_.executed.fetch_add(1, std::memory_order_relaxed);
+        counters_.completed.fetch_add(waiters.size(),
+                                      std::memory_order_relaxed);
+        for (const ReplyFn &done : waiters)
+            done(reply);
+    }
+}
+
+} // namespace iwc::svc

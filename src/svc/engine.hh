@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The service execution engine: everything the daemon does except
+ * sockets, so tests (and in-process embedders) can drive batching,
+ * deduplication, caching, fairness, and drain deterministically
+ * without a wire.
+ *
+ * Structure (modelled on a multi-queue storage host: N submission
+ * queues in front of a worker pool):
+ *
+ *   submit() ──► admission ──► result cache ──► in-flight dedup ──►
+ *     per-client submission queue ──► worker pool ──► executeRun()
+ *
+ *  - Admission control: each submission queue is depth-bounded; a
+ *    full queue rejects with Status::Busy immediately (backpressure
+ *    the client can see) instead of queueing unboundedly.
+ *  - Result cache: a bounded LRU over serialized RunResults keyed by
+ *    run::CacheKey; a hit replies without touching the simulator.
+ *  - Dedup: identical requests in flight coalesce onto one job; all
+ *    waiters receive the same result bytes, so coalesced replies are
+ *    bit-identical by construction.
+ *  - Fairness: clients hash onto queues (client id mod N) and the
+ *    workers service queues round-robin, so one client sweeping a
+ *    huge config space cannot starve interactive clients — it can
+ *    only fill (and then be backpressured on) its own queue.
+ *  - Drain: stop() rejects new submissions with ShuttingDown,
+ *    finishes every queued and executing job, delivers all replies,
+ *    and joins the workers.
+ *
+ * Every reply callback is invoked with no engine lock held — it may
+ * re-enter the engine.
+ */
+
+#ifndef IWC_SVC_ENGINE_HH
+#define IWC_SVC_ENGINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/service_stats.hh"
+#include "svc/cache.hh"
+#include "svc/wire.hh"
+
+namespace iwc::svc
+{
+
+/** Engine sizing knobs. */
+struct EngineOptions
+{
+    /** Worker threads. 0 = one per hardware thread. */
+    unsigned workers = 0;
+    /** Submission queues (fairness granularity). */
+    unsigned queues = 4;
+    /** Admission bound per queue; a full queue replies Busy. */
+    std::size_t maxQueueDepth = 1024;
+    /** Result-cache capacity in entries; 0 disables caching. */
+    std::size_t cacheEntries = 4096;
+    /** Largest accepted RunRequest::scale (memory guard). */
+    unsigned maxScale = 64;
+};
+
+/** Outcome delivered to a submitter. */
+struct Reply
+{
+    Status status = Status::InternalError;
+    /** Serialized RunResult (wire::encodeRunResult) when Ok. */
+    ResultBytes result;
+    /** Human-readable detail for non-Ok statuses. */
+    std::string message;
+};
+
+using ReplyFn = std::function<void(const Reply &)>;
+
+/** See file comment. */
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions options = {});
+    ~Engine();
+
+    /** Spawns the worker pool. Submissions before start() queue up
+     *  (useful for deterministic tests). */
+    void start();
+
+    /**
+     * Graceful drain: rejects new submissions, completes every
+     * queued and in-flight job (delivering all replies), joins the
+     * workers. Idempotent.
+     */
+    void stop();
+
+    bool stopping() const;
+
+    /**
+     * Submits one request. @p client selects the fairness queue
+     * (client mod queues). @p done is invoked exactly once, from
+     * this call (rejections, cache hits) or from a worker thread
+     * (executions, coalesced joins).
+     */
+    void submit(const run::RunRequest &request, std::uint64_t client,
+                ReplyFn done);
+
+    /** Synchronous submit (blocks until the reply; requires start()
+     *  unless the reply is immediate). */
+    Reply call(const run::RunRequest &request, std::uint64_t client = 0);
+
+    /** Live counters (hit/miss/coalesce/reject; obs stats path). */
+    obs::ServiceStats stats() const { return counters_.snapshot(); }
+
+    /** Counter snapshot in wire form (includes cache occupancy). */
+    StatsSnapshot wireStats() const;
+
+    const ResultCache &cache() const { return cache_; }
+
+    unsigned workers() const { return workerCount_; }
+    unsigned queues() const
+    {
+        return static_cast<unsigned>(queues_.size());
+    }
+
+  private:
+    struct Job
+    {
+        run::RunRequest request;
+        run::CacheKey key;
+        std::vector<ReplyFn> waiters;
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const run::CacheKey &key) const
+        {
+            return static_cast<std::size_t>(key.hash());
+        }
+    };
+
+    /** Pre-admission validation; Ok means executeRun cannot fatal()
+     *  on the request's account. */
+    Status validate(const run::RunRequest &request,
+                    std::string &message) const;
+
+    void workerLoop();
+
+    EngineOptions options_;
+    unsigned workerCount_ = 1;
+    ResultCache cache_;
+    obs::ServiceCounters counters_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::deque<std::shared_ptr<Job>>> queues_;
+    std::unordered_map<run::CacheKey, std::shared_ptr<Job>, KeyHash>
+        inflight_;
+    std::size_t queuedJobs_ = 0; ///< jobs in queues_ (not yet popped)
+    unsigned rrNext_ = 0;        ///< round-robin scan start
+    bool started_ = false;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace iwc::svc
+
+#endif // IWC_SVC_ENGINE_HH

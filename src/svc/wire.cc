@@ -1,0 +1,469 @@
+#include "svc/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "gpu/gpu_config.hh"
+
+namespace iwc::svc
+{
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Ok:              return "ok";
+      case Status::Busy:            return "busy";
+      case Status::BadRequest:      return "bad-request";
+      case Status::UntaggedFactory: return "untagged-factory";
+      case Status::ShuttingDown:    return "shutting-down";
+      case Status::Unsupported:     return "unsupported";
+      case Status::InternalError:   return "internal-error";
+    }
+    return "?";
+}
+
+void
+WireWriter::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+bool
+WireReader::take(std::size_t n)
+{
+    if (!ok_ || data_.size() - pos_ < n) {
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
+std::uint8_t
+WireReader::u8()
+{
+    if (!take(1))
+        return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t
+WireReader::u32()
+{
+    if (!take(4))
+        return 0;
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (i * 8);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+WireReader::u64()
+{
+    if (!take(8))
+        return 0;
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (i * 8);
+    pos_ += 8;
+    return v;
+}
+
+double
+WireReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+WireReader::str()
+{
+    const std::uint32_t len = u32();
+    if (!take(len))
+        return {};
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+}
+
+// --- Submit -------------------------------------------------------------
+
+namespace
+{
+
+constexpr std::uint8_t kFlagCheckOutput = 1u << 0;
+constexpr std::uint8_t kFlagLint = 1u << 1;
+constexpr std::uint8_t kFlagTrace = 1u << 2;
+
+} // namespace
+
+std::string
+encodeSubmit(const SubmitMsg &msg)
+{
+    const run::RunRequest &r = msg.request;
+    fatal_if(static_cast<bool>(r.factory),
+             "factory requests cannot cross the wire: a workload "
+             "factory is an opaque closure (submit in-process via "
+             "svc::Engine, or use a registry workload)");
+    WireWriter w;
+    w.u64(msg.reqId);
+    w.u8(static_cast<std::uint8_t>(r.kind));
+    w.u8(static_cast<std::uint8_t>(r.backend));
+    w.u32(r.scale);
+    std::uint8_t flags = 0;
+    if (r.checkOutput)
+        flags |= kFlagCheckOutput;
+    if (r.lint)
+        flags |= kFlagLint;
+    if (r.trace)
+        flags |= kFlagTrace;
+    w.u8(flags);
+    w.u64(r.traceCapacity);
+    w.str(r.workload);
+    w.str(r.traceProfile);
+    w.str(r.cacheTag);
+    w.str(gpu::encodeCanonical(r.config));
+    return w.take();
+}
+
+bool
+decodeSubmit(std::string_view payload, SubmitMsg &out)
+{
+    WireReader r(payload);
+    out = SubmitMsg{};
+    out.reqId = r.u64();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(run::JobKind::SyntheticTrace))
+        return false;
+    out.request.kind = static_cast<run::JobKind>(kind);
+    const std::uint8_t backend = r.u8();
+    if (backend > static_cast<std::uint8_t>(func::BackendKind::Vector))
+        return false;
+    out.request.backend = static_cast<func::BackendKind>(backend);
+    out.request.scale = r.u32();
+    const std::uint8_t flags = r.u8();
+    out.request.checkOutput = flags & kFlagCheckOutput;
+    out.request.lint = flags & kFlagLint;
+    out.request.trace = flags & kFlagTrace;
+    out.request.traceCapacity = r.u64();
+    out.request.workload = r.str();
+    out.request.traceProfile = r.str();
+    out.request.cacheTag = r.str();
+    const std::string config = r.str();
+    if (!r.done())
+        return false;
+    return gpu::decodeCanonical(config, out.request.config);
+}
+
+// --- RunResult ----------------------------------------------------------
+
+namespace
+{
+
+void
+encodeEuStats(WireWriter &w, const eu::EuStats &s)
+{
+    w.u64(s.instructions);
+    w.u64(s.aluInstructions);
+    w.u64(s.sendInstructions);
+    w.u64(s.ctrlInstructions);
+    w.u64(s.sumActiveLanes);
+    w.u64(s.sumSimdWidth);
+    for (const std::uint64_t v : s.euCyclesByMode)
+        w.u64(v);
+    for (const std::uint64_t v : s.utilBins)
+        w.u64(v);
+    w.u64(s.memMessages);
+    w.u64(s.memLines);
+    w.u64(s.slmMessages);
+    w.u64(s.sccSwizzledLanes);
+    w.u64(s.issueSlotsUsed);
+    w.u64(s.threadsRetired);
+}
+
+void
+decodeEuStats(WireReader &r, eu::EuStats &s)
+{
+    s.instructions = r.u64();
+    s.aluInstructions = r.u64();
+    s.sendInstructions = r.u64();
+    s.ctrlInstructions = r.u64();
+    s.sumActiveLanes = r.u64();
+    s.sumSimdWidth = r.u64();
+    for (std::uint64_t &v : s.euCyclesByMode)
+        v = r.u64();
+    for (std::uint64_t &v : s.utilBins)
+        v = r.u64();
+    s.memMessages = r.u64();
+    s.memLines = r.u64();
+    s.slmMessages = r.u64();
+    s.sccSwizzledLanes = r.u64();
+    s.issueSlotsUsed = r.u64();
+    s.threadsRetired = r.u64();
+}
+
+void
+encodeLaunchStats(WireWriter &w, const gpu::LaunchStats &s)
+{
+    w.u64(s.totalCycles);
+    encodeEuStats(w, s.eu);
+    w.u64(s.fpuBusyCycles);
+    w.u64(s.emBusyCycles);
+    w.u64(s.l3Hits);
+    w.u64(s.l3Misses);
+    w.u64(s.llcHits);
+    w.u64(s.llcMisses);
+    w.u64(s.dramLines);
+    w.u64(s.dcLines);
+    w.u64(s.slmAccesses);
+    w.f64(s.avgLinesPerMessage);
+    w.u64(s.planCacheHits);
+    w.u64(s.planCacheMisses);
+    w.u64(s.idleCyclesSkipped);
+    w.u64(s.idleSkips);
+    w.u32(s.workgroups);
+    w.u64(s.threads);
+}
+
+void
+decodeLaunchStats(WireReader &r, gpu::LaunchStats &s)
+{
+    s.totalCycles = r.u64();
+    decodeEuStats(r, s.eu);
+    s.fpuBusyCycles = r.u64();
+    s.emBusyCycles = r.u64();
+    s.l3Hits = r.u64();
+    s.l3Misses = r.u64();
+    s.llcHits = r.u64();
+    s.llcMisses = r.u64();
+    s.dramLines = r.u64();
+    s.dcLines = r.u64();
+    s.slmAccesses = r.u64();
+    s.avgLinesPerMessage = r.f64();
+    s.planCacheHits = r.u64();
+    s.planCacheMisses = r.u64();
+    s.idleCyclesSkipped = r.u64();
+    s.idleSkips = r.u64();
+    s.workgroups = r.u32();
+    s.threads = r.u64();
+}
+
+void
+encodeAnalysis(WireWriter &w, const trace::TraceAnalysis &a)
+{
+    w.u64(a.records);
+    w.u64(a.sumActiveLanes);
+    w.u64(a.sumSimdWidth);
+    for (const std::uint64_t v : a.euCycles)
+        w.u64(v);
+    for (const std::uint64_t v : a.utilBins)
+        w.u64(v);
+    w.u64(a.aluRecords);
+    w.u64(a.sccSwizzledLanes);
+}
+
+void
+decodeAnalysis(WireReader &r, trace::TraceAnalysis &a)
+{
+    a.records = r.u64();
+    a.sumActiveLanes = r.u64();
+    a.sumSimdWidth = r.u64();
+    for (std::uint64_t &v : a.euCycles)
+        v = r.u64();
+    for (std::uint64_t &v : a.utilBins)
+        v = r.u64();
+    a.aluRecords = r.u64();
+    a.sccSwizzledLanes = r.u64();
+}
+
+} // namespace
+
+std::string
+encodeRunResult(const run::RunResult &result)
+{
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(result.kind));
+    w.str(result.label);
+    w.u64(result.kernelDigest);
+    w.u8(static_cast<std::uint8_t>(result.checked));
+    w.u8(static_cast<std::uint8_t>(result.checkOk));
+    encodeLaunchStats(w, result.stats);
+    encodeAnalysis(w, result.analysis);
+    return w.take();
+}
+
+bool
+decodeRunResult(std::string_view payload, run::RunResult &out)
+{
+    WireReader r(payload);
+    out = run::RunResult{};
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(run::JobKind::SyntheticTrace))
+        return false;
+    out.kind = static_cast<run::JobKind>(kind);
+    out.label = r.str();
+    out.kernelDigest = r.u64();
+    out.checked = r.u8();
+    out.checkOk = r.u8();
+    decodeLaunchStats(r, out.stats);
+    decodeAnalysis(r, out.analysis);
+    return r.done();
+}
+
+// --- Error / Stats ------------------------------------------------------
+
+std::string
+encodeError(const ErrorMsg &msg)
+{
+    WireWriter w;
+    w.u64(msg.reqId);
+    w.u8(static_cast<std::uint8_t>(msg.status));
+    w.str(msg.message);
+    return w.take();
+}
+
+bool
+decodeError(std::string_view payload, ErrorMsg &out)
+{
+    WireReader r(payload);
+    out.reqId = r.u64();
+    const std::uint8_t status = r.u8();
+    if (status > static_cast<std::uint8_t>(Status::InternalError))
+        return false;
+    out.status = static_cast<Status>(status);
+    out.message = r.str();
+    return r.done();
+}
+
+std::string
+encodeStats(const StatsSnapshot &stats)
+{
+    WireWriter w;
+    w.u64(stats.submitted);
+    w.u64(stats.completed);
+    w.u64(stats.executed);
+    w.u64(stats.cacheHits);
+    w.u64(stats.cacheMisses);
+    w.u64(stats.coalesced);
+    w.u64(stats.rejectedBusy);
+    w.u64(stats.rejectedUntagged);
+    w.u64(stats.rejectedBad);
+    w.u64(stats.rejectedShutdown);
+    w.u64(stats.cacheEntries);
+    w.u64(stats.cacheEvictions);
+    return w.take();
+}
+
+bool
+decodeStats(std::string_view payload, StatsSnapshot &out)
+{
+    WireReader r(payload);
+    out.submitted = r.u64();
+    out.completed = r.u64();
+    out.executed = r.u64();
+    out.cacheHits = r.u64();
+    out.cacheMisses = r.u64();
+    out.coalesced = r.u64();
+    out.rejectedBusy = r.u64();
+    out.rejectedUntagged = r.u64();
+    out.rejectedBad = r.u64();
+    out.rejectedShutdown = r.u64();
+    out.cacheEntries = r.u64();
+    out.cacheEvictions = r.u64();
+    return r.done();
+}
+
+// --- Frame I/O ----------------------------------------------------------
+
+namespace
+{
+
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        // MSG_NOSIGNAL: a peer that vanished mid-reply must surface
+        // as EPIPE to this writer, not SIGPIPE to the whole daemon.
+        ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, data, size); // pipes in tests
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::read(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF mid-frame (or clean EOF at a boundary)
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, MsgType type, std::string_view payload)
+{
+    char header[5];
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    for (unsigned i = 0; i < 4; ++i)
+        header[i] = static_cast<char>(len >> (i * 8));
+    header[4] = static_cast<char>(type);
+    if (!writeAll(fd, header, sizeof(header)))
+        return false;
+    return writeAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, MsgType &type, std::string &payload,
+          std::size_t max_payload)
+{
+    char header[5];
+    if (!readAll(fd, header, sizeof(header)))
+        return false;
+    std::uint32_t len = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(
+                   static_cast<std::uint8_t>(header[i]))
+               << (i * 8);
+    if (len > max_payload)
+        return false;
+    type = static_cast<MsgType>(header[4]);
+    payload.resize(len);
+    return len == 0 || readAll(fd, payload.data(), len);
+}
+
+} // namespace iwc::svc

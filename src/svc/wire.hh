@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Wire protocol of the simulation service: length-prefixed frames
+ * carrying explicitly serialized messages over a Unix-domain stream
+ * socket.
+ *
+ * Framing: every message is `u32 payload_length (LE) | u8 type |
+ * payload`. Payloads are built field-by-field with WireWriter /
+ * WireReader — fixed-width little-endian integers, doubles as raw
+ * IEEE-754 bit patterns, strings length-prefixed — never from raw
+ * struct memory, so the encoding is independent of host padding and
+ * a RunResult round-trips bit-identically (the property the result
+ * cache and the golden cross-check tests rely on).
+ *
+ * A Submit carries a client-chosen request id that the matching
+ * Result/Error echoes, so clients may pipeline many requests per
+ * connection and accept replies out of order.
+ */
+
+#ifndef IWC_SVC_WIRE_HH
+#define IWC_SVC_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "run/run.hh"
+
+namespace iwc::svc
+{
+
+/** Frame types. */
+enum class MsgType : std::uint8_t
+{
+    Submit = 1,     ///< client -> daemon: reqId + RunRequest
+    Result = 2,     ///< daemon -> client: reqId + serialized RunResult
+    Error = 3,      ///< daemon -> client: reqId + Status + message
+    StatsReq = 4,   ///< client -> daemon: service-counter query
+    StatsReply = 5, ///< daemon -> client: StatsSnapshot
+    Ping = 6,       ///< client -> daemon: liveness / readiness probe
+    Pong = 7,       ///< daemon -> client: Ping (or Shutdown) ack
+    Shutdown = 8,   ///< client -> daemon: request graceful shutdown
+};
+
+/** Reply status for Error frames and the in-process engine API. */
+enum class Status : std::uint8_t
+{
+    Ok = 0,
+    /** Admission control: the client's submission queue is full. */
+    Busy = 1,
+    /** Malformed or unknown-workload request. */
+    BadRequest = 2,
+    /** Factory request without a cacheTag (see run::RunRequest). */
+    UntaggedFactory = 3,
+    /** Daemon is draining; no new submissions accepted. */
+    ShuttingDown = 4,
+    /** Valid request the service cannot serve (e.g. trace capture). */
+    Unsupported = 5,
+    InternalError = 6,
+};
+
+/** Short stable name ("ok", "busy", ...). */
+const char *statusName(Status status);
+
+/** Appends fields to a payload buffer (see file comment). */
+class WireWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (i * 8)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (i * 8)));
+    }
+
+    void f64(double v);
+
+    /** Length-prefixed string (u32 length + bytes). */
+    void
+    str(std::string_view s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.append(s.data(), s.size());
+    }
+
+    const std::string &bytes() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked payload parser. Any overrun sticks: ok() turns
+ * false and every later read returns zero/empty, so decoders can
+ * parse straight-line and check ok() once at the end.
+ */
+class WireReader
+{
+  public:
+    explicit WireReader(std::string_view data) : data_(data) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+
+    /** ok() and the whole payload was consumed. */
+    bool done() const { return ok_ && atEnd(); }
+
+  private:
+    bool take(std::size_t n);
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+// --- Message payloads ---------------------------------------------------
+
+/** Submit payload: client request id + the request itself. */
+struct SubmitMsg
+{
+    std::uint64_t reqId = 0;
+    run::RunRequest request;
+};
+
+/**
+ * Encodes a Submit payload. The request must not carry a factory —
+ * closures cannot cross the wire; fatal() if one is set. Ignores
+ * RunRequest::config.sink (observability is daemon-local).
+ */
+std::string encodeSubmit(const SubmitMsg &msg);
+bool decodeSubmit(std::string_view payload, SubmitMsg &out);
+
+/**
+ * Serializes a RunResult (every field except the captured event
+ * streams, which the service never produces). The encoded bytes are
+ * the canonical result representation: the cache stores them, every
+ * coalesced waiter receives the same bytes, and "bit-identical" in
+ * tests means byte-equal encodings.
+ */
+std::string encodeRunResult(const run::RunResult &result);
+bool decodeRunResult(std::string_view payload, run::RunResult &out);
+
+/** Error payload. */
+struct ErrorMsg
+{
+    std::uint64_t reqId = 0;
+    Status status = Status::InternalError;
+    std::string message;
+};
+
+std::string encodeError(const ErrorMsg &msg);
+bool decodeError(std::string_view payload, ErrorMsg &out);
+
+/** Service counters as exported over the wire (see obs counters). */
+struct StatsSnapshot
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t rejectedBusy = 0;
+    std::uint64_t rejectedUntagged = 0;
+    std::uint64_t rejectedBad = 0;
+    std::uint64_t rejectedShutdown = 0;
+    std::uint64_t cacheEntries = 0;
+    std::uint64_t cacheEvictions = 0;
+};
+
+std::string encodeStats(const StatsSnapshot &stats);
+bool decodeStats(std::string_view payload, StatsSnapshot &out);
+
+// --- Frame I/O ----------------------------------------------------------
+
+/** Default ceiling on accepted frame payloads (defense in depth). */
+constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/**
+ * Writes one frame, handling short writes. Not thread-safe per fd;
+ * concurrent writers must serialize externally. Returns false on any
+ * I/O error (including EPIPE from a vanished peer).
+ */
+bool writeFrame(int fd, MsgType type, std::string_view payload);
+
+/**
+ * Reads one frame. Returns false on EOF, I/O error, or a payload
+ * longer than @p max_payload.
+ */
+bool readFrame(int fd, MsgType &type, std::string &payload,
+               std::size_t max_payload = kMaxFrameBytes);
+
+} // namespace iwc::svc
+
+#endif // IWC_SVC_WIRE_HH

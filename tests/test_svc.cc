@@ -1,0 +1,694 @@
+/**
+ * @file
+ * Tests for the simulation service: canonical config encoding and
+ * digests, cache keys, the wire protocol, the LRU result cache, the
+ * execution engine (dedup, validation, drain), and the socket daemon
+ * (golden cross-check against direct library calls, lifecycle).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "gpu/gpu_config.hh"
+#include "run/run.hh"
+#include "svc/cache.hh"
+#include "svc/client.hh"
+#include "svc/daemon.hh"
+#include "svc/engine.hh"
+#include "svc/wire.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace iwc;
+
+// --- Canonical config encoding / digest ---------------------------------
+
+/** One mutation per encoded field (keep in step with fieldTable()). */
+const std::vector<std::function<void(gpu::GpuConfig &)>> &
+fieldMutations()
+{
+    using C = gpu::GpuConfig;
+    static const std::vector<std::function<void(C &)>> muts = {
+        [](C &c) { c.numEus += 1; },
+        [](C &c) { c.dispatchLatency += 1; },
+        [](C &c) { c.maxCycles += 1; },
+        [](C &c) { c.eu.numThreads += 1; },
+        [](C &c) { c.eu.mode = compaction::Mode::Baseline; },
+        [](C &c) { c.eu.backend = func::BackendKind::Scalar; },
+        [](C &c) { c.eu.issueWidth += 1; },
+        [](C &c) { c.eu.arbitrationPeriod += 1; },
+        [](C &c) { c.eu.fpuLatency += 1; },
+        [](C &c) { c.eu.emLatency += 1; },
+        [](C &c) { c.eu.sendIssueLatency += 1; },
+        [](C &c) { c.eu.writebackLatency += 1; },
+        [](C &c) { c.eu.ctrlCycles += 1; },
+        [](C &c) { c.eu.sendCycles += 1; },
+        [](C &c) { c.mem.l3Bytes *= 2; },
+        [](C &c) { c.mem.l3Ways *= 2; },
+        [](C &c) { c.mem.l3Banks *= 2; },
+        [](C &c) { c.mem.l3Latency += 1; },
+        [](C &c) { c.mem.llcBytes *= 2; },
+        [](C &c) { c.mem.llcWays *= 2; },
+        [](C &c) { c.mem.llcBanks *= 2; },
+        [](C &c) { c.mem.llcLatency += 1; },
+        [](C &c) { c.mem.dcLinesPerCycle += 1; },
+        [](C &c) { c.mem.dramLatency += 1; },
+        [](C &c) { c.mem.dramCyclesPerLine += 1; },
+        [](C &c) { c.mem.slmLatency += 1; },
+        [](C &c) { c.mem.slmBanks *= 2; },
+        [](C &c) { c.mem.slmBankBytes *= 2; },
+        [](C &c) { c.mem.perfectL3 = !c.mem.perfectL3; },
+    };
+    return muts;
+}
+
+TEST(ConfigDigest, ValueNotAssignmentOrderDeterminesDigest)
+{
+    // Build the same config twice with fields assigned in opposite
+    // orders; the digest depends only on the resulting values.
+    gpu::GpuConfig a = gpu::ivbConfig();
+    a.numEus = 8;
+    a.eu.fpuLatency = 9;
+    a.mem.dramLatency = 200;
+
+    gpu::GpuConfig b = gpu::ivbConfig();
+    b.mem.dramLatency = 200;
+    b.eu.fpuLatency = 9;
+    b.numEus = 8;
+
+    EXPECT_EQ(gpu::encodeCanonical(a), gpu::encodeCanonical(b));
+    EXPECT_EQ(gpu::configDigest(a), gpu::configDigest(b));
+}
+
+TEST(ConfigDigest, EveryFieldChangesTheDigest)
+{
+    const gpu::GpuConfig base = gpu::ivbConfig();
+    const std::uint64_t base_digest = gpu::configDigest(base);
+
+    std::set<std::uint64_t> digests{base_digest};
+    for (std::size_t i = 0; i < fieldMutations().size(); ++i) {
+        gpu::GpuConfig mutated = base;
+        fieldMutations()[i](mutated);
+        const std::uint64_t d = gpu::configDigest(mutated);
+        EXPECT_NE(d, base_digest) << "field mutation " << i
+                                  << " did not change the digest";
+        digests.insert(d);
+    }
+    // All mutations are distinct configs; their digests must be too.
+    EXPECT_EQ(digests.size(), fieldMutations().size() + 1);
+}
+
+TEST(ConfigDigest, SinkPointerIsExcluded)
+{
+    gpu::GpuConfig with_sink = gpu::ivbConfig();
+    with_sink.sink = reinterpret_cast<obs::EventSink *>(0x1234);
+    EXPECT_EQ(gpu::configDigest(with_sink),
+              gpu::configDigest(gpu::ivbConfig()));
+}
+
+TEST(ConfigDigest, CanonicalRoundTrip)
+{
+    for (std::size_t i = 0; i < fieldMutations().size(); ++i) {
+        gpu::GpuConfig config = gpu::ivbConfig();
+        fieldMutations()[i](config);
+        gpu::GpuConfig decoded;
+        ASSERT_TRUE(gpu::decodeCanonical(gpu::encodeCanonical(config),
+                                         decoded))
+            << "mutation " << i;
+        EXPECT_EQ(gpu::encodeCanonical(decoded),
+                  gpu::encodeCanonical(config))
+            << "mutation " << i;
+    }
+}
+
+TEST(ConfigDigest, DecodeRejectsMalformedText)
+{
+    gpu::GpuConfig out;
+    EXPECT_FALSE(gpu::decodeCanonical("", out));
+    EXPECT_FALSE(gpu::decodeCanonical("iwc_config=2\n", out));
+    EXPECT_FALSE(gpu::decodeCanonical("iwc_config=1\nbogus_key=3\n", out));
+
+    std::string good = gpu::encodeCanonical(gpu::ivbConfig());
+    EXPECT_TRUE(gpu::decodeCanonical(good, out));
+    EXPECT_FALSE(gpu::decodeCanonical(good + "extra=1\n", out));
+
+    // Malformed value on a known key.
+    const std::size_t pos = good.find("num_eus=");
+    ASSERT_NE(pos, std::string::npos);
+    std::string bad = good;
+    bad.replace(pos, std::string("num_eus=6").size(), "num_eus=abc");
+    EXPECT_FALSE(gpu::decodeCanonical(bad, out));
+}
+
+// --- Kernel digest ------------------------------------------------------
+
+TEST(KernelDigest, StableAcrossRunsAndDistinctAcrossWorkloads)
+{
+    const auto req = run::RunRequest::functionalTrace("micro_ifelse", 1);
+    const run::RunResult first = run::executeRun(req);
+    const run::RunResult second = run::executeRun(req);
+    EXPECT_NE(first.kernelDigest, 0u);
+    EXPECT_EQ(first.kernelDigest, second.kernelDigest);
+
+    const run::RunResult other =
+        run::executeRun(run::RunRequest::functionalTrace("va", 1));
+    EXPECT_NE(other.kernelDigest, first.kernelDigest);
+}
+
+// --- Cache keys ---------------------------------------------------------
+
+TEST(CacheKey, IdentityAndSensitivity)
+{
+    const auto req =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1);
+    const auto key = run::cacheKeyFor(req);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(key, run::cacheKeyFor(req));
+
+    auto scaled = req;
+    scaled.scale = 2;
+    EXPECT_NE(key, run::cacheKeyFor(scaled));
+
+    auto checked = req;
+    checked.checkOutput = true;
+    EXPECT_NE(key, run::cacheKeyFor(checked));
+
+    auto reconfigured = req;
+    reconfigured.config.eu.mode = compaction::Mode::Baseline;
+    EXPECT_NE(key, run::cacheKeyFor(reconfigured));
+
+    auto functional = run::RunRequest::functionalTrace("micro_ifelse", 1);
+    EXPECT_NE(key, run::cacheKeyFor(functional));
+}
+
+TEST(CacheKey, UncacheableRequests)
+{
+    auto traced =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1);
+    traced.trace = true;
+    EXPECT_FALSE(run::cacheKeyFor(traced).has_value());
+
+    run::RunRequest untagged;
+    untagged.factory = [](gpu::Device &dev, unsigned scale) {
+        return workloads::make("micro_ifelse", dev, scale);
+    };
+    untagged.workload = "custom";
+    EXPECT_FALSE(run::cacheKeyFor(untagged).has_value());
+
+    auto tagged = untagged;
+    tagged.cacheTag = "custom-v1";
+    ASSERT_TRUE(run::cacheKeyFor(tagged).has_value());
+
+    // A factory tag and a registry name never collide, even when the
+    // strings are equal: the digests are origin-tagged.
+    auto registry_req = run::RunRequest::functionalTrace("custom-v1", 1);
+    registry_req.config = tagged.config;
+    EXPECT_NE(run::cacheKeyFor(tagged)->workloadDigest,
+              run::cacheKeyFor(registry_req)->workloadDigest);
+}
+
+// --- Wire protocol ------------------------------------------------------
+
+TEST(Wire, SubmitRoundTrip)
+{
+    svc::SubmitMsg msg;
+    msg.reqId = 0xfeedfacecafeull;
+    msg.request =
+        run::RunRequest::timing("micro_nested", gpu::ivbConfig(), 3);
+    msg.request.config.eu.mode = compaction::Mode::Scc;
+    msg.request.backend = func::BackendKind::Scalar;
+    msg.request.checkOutput = true;
+    msg.request.lint = true;
+    msg.request.cacheTag = "tag";
+
+    svc::SubmitMsg out;
+    ASSERT_TRUE(svc::decodeSubmit(svc::encodeSubmit(msg), out));
+    EXPECT_EQ(out.reqId, msg.reqId);
+    EXPECT_EQ(out.request.kind, msg.request.kind);
+    EXPECT_EQ(out.request.workload, msg.request.workload);
+    EXPECT_EQ(out.request.scale, msg.request.scale);
+    EXPECT_EQ(out.request.backend, msg.request.backend);
+    EXPECT_EQ(out.request.checkOutput, msg.request.checkOutput);
+    EXPECT_EQ(out.request.lint, msg.request.lint);
+    EXPECT_EQ(out.request.cacheTag, msg.request.cacheTag);
+    EXPECT_EQ(gpu::configDigest(out.request.config),
+              gpu::configDigest(msg.request.config));
+    // The decoded request has the same cache identity.
+    EXPECT_EQ(run::cacheKeyFor(out.request),
+              run::cacheKeyFor(msg.request));
+}
+
+TEST(Wire, RunResultReEncodesBitIdentically)
+{
+    const run::RunResult result = run::executeRun(
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1));
+    const std::string bytes = svc::encodeRunResult(result);
+
+    run::RunResult decoded;
+    ASSERT_TRUE(svc::decodeRunResult(bytes, decoded));
+    EXPECT_EQ(svc::encodeRunResult(decoded), bytes);
+    EXPECT_EQ(decoded.kind, result.kind);
+    EXPECT_EQ(decoded.label, result.label);
+    EXPECT_EQ(decoded.kernelDigest, result.kernelDigest);
+    EXPECT_EQ(decoded.stats.totalCycles, result.stats.totalCycles);
+
+    // Truncations never decode.
+    for (std::size_t cut = 0; cut < bytes.size();
+         cut += 1 + bytes.size() / 37)
+        EXPECT_FALSE(svc::decodeRunResult(bytes.substr(0, cut), decoded));
+}
+
+TEST(Wire, ErrorAndStatsRoundTrip)
+{
+    svc::ErrorMsg err{7, svc::Status::UntaggedFactory, "no tag"};
+    svc::ErrorMsg err_out;
+    ASSERT_TRUE(svc::decodeError(svc::encodeError(err), err_out));
+    EXPECT_EQ(err_out.reqId, 7u);
+    EXPECT_EQ(err_out.status, svc::Status::UntaggedFactory);
+    EXPECT_EQ(err_out.message, "no tag");
+
+    svc::StatsSnapshot stats{};
+    stats.submitted = 1;
+    stats.cacheHits = 2;
+    stats.coalesced = 3;
+    stats.cacheEvictions = 4;
+    svc::StatsSnapshot stats_out{};
+    ASSERT_TRUE(svc::decodeStats(svc::encodeStats(stats), stats_out));
+    EXPECT_EQ(stats_out.submitted, 1u);
+    EXPECT_EQ(stats_out.cacheHits, 2u);
+    EXPECT_EQ(stats_out.coalesced, 3u);
+    EXPECT_EQ(stats_out.cacheEvictions, 4u);
+}
+
+TEST(Wire, FramesOverAPipe)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_TRUE(svc::writeFrame(fds[1], svc::MsgType::Ping, "abc"));
+    svc::MsgType type;
+    std::string payload;
+    ASSERT_TRUE(svc::readFrame(fds[0], type, payload));
+    EXPECT_EQ(type, svc::MsgType::Ping);
+    EXPECT_EQ(payload, "abc");
+
+    // Oversized frames are refused without reading the payload.
+    ASSERT_TRUE(svc::writeFrame(fds[1], svc::MsgType::Ping, "abcdef"));
+    EXPECT_FALSE(svc::readFrame(fds[0], type, payload, 3));
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+// --- Result cache (LRU) -------------------------------------------------
+
+run::CacheKey
+keyNo(std::uint64_t n)
+{
+    run::CacheKey key;
+    key.workloadDigest = n;
+    key.configDigest = ~n;
+    return key;
+}
+
+svc::ResultBytes
+bytesOf(const std::string &s)
+{
+    return std::make_shared<const std::string>(s);
+}
+
+TEST(ResultCache, BoundedLruEviction)
+{
+    svc::ResultCache cache(2);
+    cache.put(keyNo(1), bytesOf("one"));
+    cache.put(keyNo(2), bytesOf("two"));
+
+    // Touch 1 so 2 is the LRU entry when 3 arrives.
+    EXPECT_NE(cache.get(keyNo(1)), nullptr);
+    cache.put(keyNo(3), bytesOf("three"));
+
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_NE(cache.get(keyNo(1)), nullptr);
+    EXPECT_EQ(cache.get(keyNo(2)), nullptr);
+    EXPECT_NE(cache.get(keyNo(3)), nullptr);
+    EXPECT_EQ(*cache.get(keyNo(3)), "three");
+    EXPECT_GT(cache.hits(), 0u);
+    EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(ResultCache, ZeroCapacityDisables)
+{
+    svc::ResultCache cache(0);
+    cache.put(keyNo(1), bytesOf("one"));
+    EXPECT_EQ(cache.get(keyNo(1)), nullptr);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- Engine -------------------------------------------------------------
+
+svc::EngineOptions
+smallEngine(unsigned workers = 1)
+{
+    svc::EngineOptions options;
+    options.workers = workers;
+    options.queues = 2;
+    options.maxQueueDepth = 64;
+    options.cacheEntries = 64;
+    options.maxScale = 8;
+    return options;
+}
+
+/** Collects replies across threads and waits for a target count. */
+class ReplyCollector
+{
+  public:
+    svc::ReplyFn
+    fn()
+    {
+        return [this](const svc::Reply &reply) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            replies_.push_back(reply);
+            cv_.notify_all();
+        };
+    }
+
+    void
+    waitFor(std::size_t n)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return replies_.size() >= n; });
+    }
+
+    std::vector<svc::Reply>
+    replies()
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return replies_;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<svc::Reply> replies_;
+};
+
+TEST(Engine, IdenticalInFlightRequestsCoalesceOntoOneSimulation)
+{
+    constexpr std::size_t kClients = 8;
+    const auto req =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1);
+
+    svc::Engine engine(smallEngine(2));
+    ReplyCollector collector;
+    // Submit before start(): all requests are queued, so dedup is
+    // deterministic — exactly one is a miss, the rest coalesce.
+    for (std::size_t i = 0; i < kClients; ++i)
+        engine.submit(req, i, collector.fn());
+    engine.start();
+    collector.waitFor(kClients);
+    engine.stop();
+
+    const obs::ServiceStats stats = engine.stats();
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.coalesced, kClients - 1);
+    EXPECT_EQ(stats.completed, kClients);
+
+    const std::vector<svc::Reply> replies = collector.replies();
+    ASSERT_EQ(replies.size(), kClients);
+    for (const svc::Reply &reply : replies) {
+        ASSERT_EQ(reply.status, svc::Status::Ok);
+        ASSERT_NE(reply.result, nullptr);
+        // Bit-identical: the same bytes object, not merely equal.
+        EXPECT_EQ(reply.result, replies.front().result);
+    }
+}
+
+TEST(Engine, ConcurrentSubmittersRunOneSimulation)
+{
+    constexpr std::size_t kThreads = 8;
+    const auto req =
+        run::RunRequest::timing("micro_nested", gpu::ivbConfig(), 1);
+
+    svc::Engine engine(smallEngine(2));
+    engine.start();
+
+    std::vector<std::string> bytes(kThreads);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < kThreads; ++i)
+        threads.emplace_back([&, i] {
+            const svc::Reply reply = engine.call(req, i);
+            ASSERT_EQ(reply.status, svc::Status::Ok);
+            bytes[i] = *reply.result;
+        });
+    for (std::thread &t : threads)
+        t.join();
+    engine.stop();
+
+    // However the submissions interleaved (one miss + coalesces
+    // and/or cache hits), exactly one simulation ran...
+    EXPECT_EQ(engine.stats().executed, 1u);
+    // ...and every thread got bit-identical result bytes.
+    for (const std::string &b : bytes)
+        EXPECT_EQ(b, bytes.front());
+}
+
+TEST(Engine, RepeatRequestHitsTheCache)
+{
+    const auto req =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1);
+    svc::Engine engine(smallEngine());
+    engine.start();
+    const svc::Reply first = engine.call(req);
+    const svc::Reply second = engine.call(req);
+    engine.stop();
+
+    ASSERT_EQ(first.status, svc::Status::Ok);
+    ASSERT_EQ(second.status, svc::Status::Ok);
+    EXPECT_EQ(second.result, first.result); // same bytes object
+    EXPECT_EQ(engine.stats().executed, 1u);
+    EXPECT_EQ(engine.stats().cacheHits, 1u);
+}
+
+TEST(Engine, ValidationRejectsBeforeExecution)
+{
+    svc::Engine engine(smallEngine());
+    engine.start();
+
+    auto unknown =
+        run::RunRequest::timing("no_such_workload", gpu::ivbConfig(), 1);
+    EXPECT_EQ(engine.call(unknown).status, svc::Status::BadRequest);
+
+    auto traced =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1);
+    traced.trace = true;
+    EXPECT_EQ(engine.call(traced).status, svc::Status::Unsupported);
+
+    auto oversized =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 99);
+    EXPECT_EQ(engine.call(oversized).status, svc::Status::BadRequest);
+
+    auto degenerate =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1);
+    degenerate.config.numEus = 0;
+    EXPECT_EQ(engine.call(degenerate).status, svc::Status::BadRequest);
+
+    engine.stop();
+    EXPECT_EQ(engine.stats().executed, 0u);
+}
+
+TEST(Engine, UntaggedFactoryIsRejectedExplicitly)
+{
+    svc::Engine engine(smallEngine());
+    engine.start();
+
+    run::RunRequest req;
+    req.kind = run::JobKind::FunctionalTrace;
+    req.workload = "custom";
+    req.factory = [](gpu::Device &dev, unsigned scale) {
+        return workloads::make("micro_ifelse", dev, scale);
+    };
+    const svc::Reply rejected = engine.call(req);
+    EXPECT_EQ(rejected.status, svc::Status::UntaggedFactory);
+    EXPECT_FALSE(rejected.message.empty());
+
+    // The same request with an asserted identity runs and caches.
+    req.cacheTag = "custom-micro-v1";
+    const svc::Reply first = engine.call(req);
+    const svc::Reply second = engine.call(req);
+    engine.stop();
+
+    ASSERT_EQ(first.status, svc::Status::Ok);
+    ASSERT_EQ(second.status, svc::Status::Ok);
+    EXPECT_EQ(engine.stats().executed, 1u);
+    EXPECT_EQ(engine.stats().rejectedUntagged, 1u);
+}
+
+TEST(Engine, DrainCompletesQueuedJobsAndRefusesNewOnes)
+{
+    const auto req =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1);
+    svc::Engine engine(smallEngine());
+    ReplyCollector collector;
+    engine.submit(req, 0, collector.fn()); // queued; workers not started
+    engine.start();
+    engine.stop(); // must deliver the queued reply, not drop it
+    collector.waitFor(1);
+    EXPECT_EQ(collector.replies().front().status, svc::Status::Ok);
+
+    const svc::Reply late = engine.call(req);
+    EXPECT_EQ(late.status, svc::Status::ShuttingDown);
+}
+
+TEST(Engine, FullQueueRepliesBusy)
+{
+    svc::EngineOptions options = smallEngine();
+    options.maxQueueDepth = 1;
+    svc::Engine engine(options); // never started: jobs stay queued
+    ReplyCollector collector;
+
+    const auto a =
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1);
+    auto b = a;
+    b.scale = 2; // distinct key: cannot coalesce with a
+    engine.submit(a, 0, collector.fn());
+
+    std::atomic<bool> got_busy{false};
+    engine.submit(b, 0, [&](const svc::Reply &reply) {
+        if (reply.status == svc::Status::Busy)
+            got_busy = true;
+    });
+    EXPECT_TRUE(got_busy);
+    EXPECT_EQ(engine.stats().rejectedBusy, 1u);
+
+    engine.start();
+    engine.stop();
+    collector.waitFor(1);
+}
+
+// --- Daemon over a real socket ------------------------------------------
+
+std::string
+testSocketPath(const char *tag)
+{
+    return "/tmp/iwc_test_" + std::string(tag) + "." +
+           std::to_string(::getpid()) + ".sock";
+}
+
+svc::DaemonOptions
+daemonOptions(const std::string &socket_path)
+{
+    svc::DaemonOptions options;
+    options.socketPath = socket_path;
+    options.engine = smallEngine(2);
+    return options;
+}
+
+TEST(Daemon, ServesBitIdenticalResultsToDirectLibraryCalls)
+{
+    const std::string path = testSocketPath("golden");
+    svc::Daemon daemon(daemonOptions(path));
+    daemon.start();
+
+    const std::vector<run::RunRequest> requests = {
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1),
+        run::RunRequest::timing(
+            "va", gpu::ivbConfig(compaction::Mode::Scc), 1),
+        run::RunRequest::functionalTrace("micro_nested", 1),
+        run::RunRequest::syntheticTrace("tree_search"),
+    };
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(path, 5000));
+    ASSERT_TRUE(client.ping());
+    for (const run::RunRequest &req : requests) {
+        svc::ClientReply reply;
+        ASSERT_TRUE(client.call(req, reply));
+        ASSERT_EQ(reply.status, svc::Status::Ok) << reply.message;
+        // The golden cross-check: daemon bytes == a direct local
+        // executeRun, serialized the same way.
+        EXPECT_EQ(reply.raw, svc::encodeRunResult(run::executeRun(req)));
+
+        // And a repeat is served from cache with the same bytes.
+        svc::ClientReply repeat;
+        ASSERT_TRUE(client.call(req, repeat));
+        EXPECT_EQ(repeat.raw, reply.raw);
+    }
+
+    svc::StatsSnapshot stats{};
+    ASSERT_TRUE(client.stats(stats));
+    EXPECT_EQ(stats.executed, requests.size());
+    EXPECT_GE(stats.cacheHits, requests.size());
+
+    client.close();
+    daemon.requestStop();
+    daemon.serveUntilStopped();
+    daemon.stop();
+}
+
+TEST(Daemon, ShutdownFrameDrainsAndStops)
+{
+    const std::string path = testSocketPath("shutdown");
+    svc::Daemon daemon(daemonOptions(path));
+    daemon.start();
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(path, 5000));
+    svc::ClientReply reply;
+    ASSERT_TRUE(client.call(
+        run::RunRequest::timing("micro_ifelse", gpu::ivbConfig(), 1),
+        reply));
+    ASSERT_EQ(reply.status, svc::Status::Ok);
+    ASSERT_TRUE(client.shutdownDaemon());
+
+    daemon.serveUntilStopped(); // returns because of the frame
+    daemon.stop();
+
+    // The socket is gone and new submissions are refused.
+    svc::Client late;
+    EXPECT_FALSE(late.connect(path));
+    EXPECT_EQ(daemon.engine().call(run::RunRequest::timing(
+                                       "micro_ifelse", gpu::ivbConfig(), 1))
+                  .status,
+              svc::Status::ShuttingDown);
+}
+
+TEST(Daemon, CleansStaleSocketOnStartup)
+{
+    const std::string path = testSocketPath("stale");
+    // Fake a crashed daemon: a bound socket file nobody listens on.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd); // closed but never unlinked: stale
+
+    svc::Daemon daemon(daemonOptions(path));
+    daemon.start(); // must replace the stale socket, not fail
+    svc::Client client;
+    ASSERT_TRUE(client.connect(path, 5000));
+    EXPECT_TRUE(client.ping());
+    client.close();
+    daemon.requestStop();
+    daemon.serveUntilStopped();
+    daemon.stop();
+}
+
+} // namespace

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Compares a fresh bench/perf_smoke result file against the checked-in
+# baseline and reports per-metric deltas. Exits 1 if any throughput
+# metric (cycles_per_sec, speedup) regressed by more than the
+# tolerance — CI runs this step with continue-on-error, so a
+# regression warns without failing the build (shared runners are far
+# too noisy for a hard perf gate; see docs/perf.md).
+#
+#   tools/bench_diff.sh BENCH_results.json new.json [tolerance_pct]
+set -eu
+
+baseline="${1:?usage: bench_diff.sh baseline.json new.json [tol_pct]}"
+fresh="${2:?usage: bench_diff.sh baseline.json new.json [tol_pct]}"
+tol="${3:-25}"
+
+# Flattens the known perf_smoke JSON shape (one "key": value pair per
+# line, objects delimited by braces) into "id metric value" rows.
+flatten() {
+    awk '
+        /"driver"/   { gsub(/[",]/, "", $2); driver = $2 }
+        /"backend"/  { gsub(/[",]/, "", $2); variant = $2 }
+        /"workload"/ { gsub(/[",]/, "", $2); variant = $2 }
+        /"cycles_per_sec"|"speedup"/ {
+            metric = $1; gsub(/[":]/, "", metric)
+            value = $2; gsub(/,/, "", value)
+            print driver "/" variant, metric, value
+        }
+    ' "$1"
+}
+
+tmp_base=$(mktemp); tmp_new=$(mktemp)
+trap 'rm -f "$tmp_base" "$tmp_new"' EXIT
+flatten "$baseline" > "$tmp_base"
+flatten "$fresh" > "$tmp_new"
+
+status=0
+while read -r id metric new_value; do
+    base_value=$(awk -v id="$id" -v m="$metric" \
+        '$1 == id && $2 == m { print $3 }' "$tmp_base")
+    if [ -z "$base_value" ]; then
+        echo "NEW   $id $metric=$new_value (no baseline)"
+        continue
+    fi
+    verdict=$(awk -v b="$base_value" -v n="$new_value" -v t="$tol" '
+        BEGIN {
+            delta = b > 0 ? (n - b) / b * 100 : 0
+            printf "%+.1f%% %s", delta, (delta < -t ? "REGRESSED" : "ok")
+        }')
+    echo "$id $metric: $base_value -> $new_value ($verdict)"
+    case "$verdict" in *REGRESSED*) status=1 ;; esac
+done < "$tmp_new"
+
+[ "$status" -eq 0 ] || echo "warning: perf regression beyond ${tol}%" \
+    "tolerance (informational; rerun on quiet hardware before acting)"
+exit "$status"

@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Load-test driver for the iwc_simd daemon: hammers it with
+ * thousands of concurrent requests from multiple client threads and
+ * reports throughput, latency percentiles, and cache effectiveness —
+ * and doubles as the service's end-to-end correctness harness (every
+ * reply is byte-compared against the first reply for the same
+ * request point, and optionally against a local run::executeRun).
+ *
+ *   iwc_loadtest socket=/tmp/iwc.sock clients=16 pipeline=64 \
+ *                requests=5000
+ *   iwc_loadtest spawn=1 daemon=./iwc_simd requests=200   # smoke
+ *
+ * Phases: a serial warmup submits each distinct request point once
+ * (cold latency, one simulation each), then the hammer phase keeps
+ * clients*pipeline requests in flight over the now-warm cache, then
+ * a serial probe phase measures cached round-trip latency with one
+ * request in flight (hammer latency is mostly queueing delay at
+ * 1000+ concurrent, so it says nothing about cache service time).
+ * cold_p50 / probe_p50 is the cache speedup. warmup=0 skips the
+ * first phase, turning the burst into a dedup/coalescing stress
+ * instead.
+ *
+ * Exit status is 0 only if: every request got a reply, zero replies
+ * were corrupted (byte-mismatched), no errors/backpressure beyond
+ * what was asked for, the daemon saw >= 1 cache hit (expect_hits=1,
+ * default), any verify= golden checks passed, and a spawned daemon
+ * (spawn=1) exited 0 after SIGTERM — i.e. ctest can run this
+ * directly as the loadtest-smoke test.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "run/run.hh"
+#include "svc/client.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace iwc;
+using Clock = std::chrono::steady_clock;
+
+double
+usSince(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string item =
+            csv.substr(start, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** The distinct request points the run cycles over. */
+std::vector<run::RunRequest>
+buildPoints(const OptionMap &opts)
+{
+    const std::vector<std::string> names = splitCsv(opts.getString(
+        "workloads", "micro_ifelse,micro_nested,va,dp"));
+    const auto scale =
+        static_cast<unsigned>(opts.getInt("scale", 1));
+    const auto distinct =
+        static_cast<std::size_t>(opts.getInt("distinct", 0));
+
+    static const compaction::Mode kModes[] = {
+        compaction::Mode::IvbOpt, compaction::Mode::Bcc,
+        compaction::Mode::Scc, compaction::Mode::Baseline};
+
+    std::vector<run::RunRequest> points;
+    for (const std::string &name : names) {
+        for (const compaction::Mode mode : kModes)
+            points.push_back(run::RunRequest::timing(
+                name, gpu::ivbConfig(mode), scale));
+        points.push_back(
+            run::RunRequest::functionalTrace(name, scale));
+    }
+    if (distinct != 0 && points.size() > distinct)
+        points.resize(distinct);
+    fatal_if(points.empty(), "no request points (workloads=?)");
+    return points;
+}
+
+struct ClientStats
+{
+    std::uint64_t sent = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t okReplies = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t corrupted = 0;
+    std::vector<double> latenciesUs;
+};
+
+/** First-reply-wins canonical bytes per point; later replies must
+ *  match byte for byte (the service's bit-identity contract). */
+class CanonicalSet
+{
+  public:
+    explicit CanonicalSet(std::size_t n) : bytes_(n) {}
+
+    /** Returns false iff @p raw mismatches an established value. */
+    bool
+    checkOrSet(std::size_t idx, const std::string &raw)
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (bytes_[idx].empty()) {
+            bytes_[idx] = raw;
+            return true;
+        }
+        return bytes_[idx] == raw;
+    }
+
+    const std::string &
+    get(std::size_t idx) const
+    {
+        return bytes_[idx];
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::string> bytes_;
+};
+
+void
+hammerClient(const std::string &socket_path,
+             const std::vector<run::RunRequest> &points,
+             CanonicalSet &canonical, std::size_t quota,
+             std::size_t pipeline, std::size_t offset,
+             ClientStats &stats)
+{
+    svc::Client client;
+    if (!client.connect(socket_path, 5000)) {
+        stats.errors = quota; // count the whole quota as failed
+        return;
+    }
+    stats.latenciesUs.reserve(quota);
+
+    std::vector<Clock::time_point> sendTime(quota);
+    std::vector<std::size_t> pointOf(quota);
+    std::size_t sent = 0;
+    std::size_t outstanding = 0;
+
+    auto sendNext = [&]() -> bool {
+        const std::size_t idx = (offset + sent) % points.size();
+        pointOf[sent] = idx;
+        sendTime[sent] = Clock::now();
+        if (!client.sendSubmit(points[idx], sent))
+            return false;
+        ++sent;
+        ++stats.sent;
+        ++outstanding;
+        return true;
+    };
+
+    while (stats.replies < quota) {
+        while (sent < quota && outstanding < pipeline)
+            if (!sendNext())
+                return;
+        svc::ClientReply reply;
+        if (!client.recvReply(reply))
+            return; // connection died; dropped shows in the totals
+        --outstanding;
+        ++stats.replies;
+        if (reply.reqId >= sent) {
+            ++stats.corrupted;
+            continue;
+        }
+        stats.latenciesUs.push_back(
+            usSince(sendTime[reply.reqId], Clock::now()));
+        if (reply.status == svc::Status::Ok) {
+            ++stats.okReplies;
+            if (!canonical.checkOrSet(pointOf[reply.reqId], reply.raw))
+                ++stats.corrupted;
+        } else if (reply.status == svc::Status::Busy) {
+            ++stats.busy;
+        } else {
+            ++stats.errors;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const OptionMap opts(argc, argv);
+    if (opts.has("help")) {
+        std::puts(
+            "usage: iwc_loadtest socket=<path> [clients=N] [pipeline=N]\n"
+            "                    [requests=N] [workloads=a,b,c] "
+            "[scale=N] [distinct=N]\n"
+            "                    [warmup=1] [verify=N] [expect_hits=1] "
+            "[min_speedup=X]\n"
+            "       iwc_loadtest spawn=1 daemon=<iwc_simd> [...]\n"
+            "  spawn=1 forks the daemon, load-tests it, SIGTERMs it, "
+            "and requires exit 0");
+        return 0;
+    }
+
+    const bool spawn = opts.getBool("spawn", false);
+    std::string socket_path = opts.getString("socket", "");
+    pid_t daemon_pid = -1;
+
+    if (spawn) {
+        const std::string daemon_bin = opts.getString("daemon", "");
+        fatal_if(daemon_bin.empty(), "spawn=1 needs daemon=<iwc_simd>");
+        if (socket_path.empty())
+            socket_path = "/tmp/iwc_loadtest." +
+                          std::to_string(::getpid()) + ".sock";
+        const std::string socket_arg = "socket=" + socket_path;
+        const std::string workers_arg =
+            "workers=" + opts.getString("workers", "0");
+        const std::string queues_arg =
+            "queues=" + opts.getString("queues", "4");
+        const std::string depth_arg =
+            "queue_depth=" + opts.getString("queue_depth", "4096");
+        const std::string cache_arg =
+            "cache_entries=" + opts.getString("cache_entries", "4096");
+        daemon_pid = ::fork();
+        fatal_if(daemon_pid < 0, "fork(): %s", std::strerror(errno));
+        if (daemon_pid == 0) {
+            ::execl(daemon_bin.c_str(), daemon_bin.c_str(),
+                    socket_arg.c_str(), workers_arg.c_str(),
+                    queues_arg.c_str(), depth_arg.c_str(),
+                    cache_arg.c_str(), static_cast<char *>(nullptr));
+            std::fprintf(stderr, "execl(%s): %s\n", daemon_bin.c_str(),
+                         std::strerror(errno));
+            ::_exit(127);
+        }
+    }
+    fatal_if(socket_path.empty(), "need socket=<path> (or spawn=1)");
+
+    const auto clients =
+        static_cast<std::size_t>(opts.getInt("clients", 8));
+    const auto pipeline =
+        static_cast<std::size_t>(opts.getInt("pipeline", 16));
+    const auto requests =
+        static_cast<std::size_t>(opts.getInt("requests", 1000));
+    const auto verify =
+        static_cast<std::size_t>(opts.getInt("verify", 2));
+    const bool warmup = opts.getBool("warmup", true);
+    const bool expect_hits = opts.getBool("expect_hits", true);
+    const double min_speedup = opts.getDouble("min_speedup", 0);
+
+    const std::vector<run::RunRequest> points = buildPoints(opts);
+    CanonicalSet canonical(points.size());
+
+    // Readiness probe (also covers spawn startup).
+    {
+        svc::Client probe;
+        fatal_if(!probe.connect(socket_path, 15000) || !probe.ping(),
+                 "daemon not reachable on %s", socket_path.c_str());
+    }
+
+    svc::Client control;
+    fatal_if(!control.connect(socket_path, 1000),
+             "control connection failed");
+    svc::StatsSnapshot before{};
+    control.stats(before);
+
+    // --- Warmup: each point once, serially -> cold latencies -------
+    std::vector<double> cold_us;
+    if (warmup) {
+        svc::Client warm;
+        fatal_if(!warm.connect(socket_path, 1000), "warmup connect");
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const auto t0 = Clock::now();
+            svc::ClientReply reply;
+            fatal_if(!warm.call(points[i], reply) ||
+                         reply.status != svc::Status::Ok,
+                     "warmup request %zu failed (%s)", i,
+                     svc::statusName(reply.status));
+            cold_us.push_back(usSince(t0, Clock::now()));
+            canonical.checkOrSet(i, reply.raw);
+        }
+    }
+
+    // --- Hammer: clients x pipeline concurrent requests ------------
+    std::vector<ClientStats> stats(clients);
+    std::vector<std::thread> threads;
+    const auto t_start = Clock::now();
+    for (std::size_t c = 0; c < clients; ++c) {
+        const std::size_t quota =
+            requests / clients + (c < requests % clients ? 1 : 0);
+        threads.emplace_back([&, c, quota] {
+            hammerClient(socket_path, points, canonical, quota,
+                         pipeline, c, stats[c]);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - t_start).count();
+
+    // --- Probe: serial round trips over the warm cache --------------
+    std::vector<double> probe_us;
+    if (warmup) {
+        svc::Client probe;
+        fatal_if(!probe.connect(socket_path, 1000), "probe connect");
+        for (int pass = 0; pass < 3; ++pass) {
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                const auto t0 = Clock::now();
+                svc::ClientReply reply;
+                fatal_if(!probe.call(points[i], reply) ||
+                             reply.status != svc::Status::Ok,
+                         "probe request %zu failed (%s)", i,
+                         svc::statusName(reply.status));
+                probe_us.push_back(usSince(t0, Clock::now()));
+            }
+        }
+    }
+
+    // --- Aggregate --------------------------------------------------
+    ClientStats total;
+    for (const ClientStats &s : stats) {
+        total.sent += s.sent;
+        total.replies += s.replies;
+        total.okReplies += s.okReplies;
+        total.busy += s.busy;
+        total.errors += s.errors;
+        total.corrupted += s.corrupted;
+        total.latenciesUs.insert(total.latenciesUs.end(),
+                                 s.latenciesUs.begin(),
+                                 s.latenciesUs.end());
+    }
+    const std::uint64_t dropped = requests - total.replies;
+
+    svc::StatsSnapshot after{};
+    control.stats(after);
+    const std::uint64_t hits = after.cacheHits - before.cacheHits;
+    const std::uint64_t misses = after.cacheMisses - before.cacheMisses;
+    const std::uint64_t coalesced = after.coalesced - before.coalesced;
+
+    // --- Golden verify: daemon bytes vs local library runs ----------
+    std::uint64_t verify_failures = 0;
+    for (std::size_t i = 0; i < std::min(verify, points.size()); ++i) {
+        const std::string local =
+            svc::encodeRunResult(run::executeRun(points[i]));
+        if (canonical.get(i).empty()) {
+            std::fprintf(stderr,
+                         "verify: point %zu never answered Ok\n", i);
+            ++verify_failures;
+        } else if (canonical.get(i) != local) {
+            std::fprintf(stderr,
+                         "verify: point %zu daemon bytes differ from "
+                         "local executeRun\n",
+                         i);
+            ++verify_failures;
+        }
+    }
+
+    // --- Report ------------------------------------------------------
+    std::sort(total.latenciesUs.begin(), total.latenciesUs.end());
+    std::sort(cold_us.begin(), cold_us.end());
+    std::sort(probe_us.begin(), probe_us.end());
+    const double warm_p50 = percentile(total.latenciesUs, 0.50);
+    const double cold_p50 = percentile(cold_us, 0.50);
+    const double probe_p50 = percentile(probe_us, 0.50);
+    const double speedup =
+        probe_p50 > 0 && cold_p50 > 0 ? cold_p50 / probe_p50 : 0;
+
+    std::printf("iwc_loadtest: %zu clients x %zu pipeline "
+                "(%zu concurrent), %zu points\n",
+                clients, pipeline, clients * pipeline, points.size());
+    std::printf("  requests   : %zu sent, %llu replies, %llu dropped\n",
+                requests,
+                static_cast<unsigned long long>(total.replies),
+                static_cast<unsigned long long>(dropped));
+    std::printf("  status     : %llu ok, %llu busy, %llu error, "
+                "%llu corrupted\n",
+                static_cast<unsigned long long>(total.okReplies),
+                static_cast<unsigned long long>(total.busy),
+                static_cast<unsigned long long>(total.errors),
+                static_cast<unsigned long long>(total.corrupted));
+    std::printf("  throughput : %.0f req/s (%.3f s wall)\n",
+                wall_s > 0 ? total.replies / wall_s : 0, wall_s);
+    std::printf("  latency us : p50 %.1f  p90 %.1f  p99 %.1f  "
+                "max %.1f\n",
+                warm_p50, percentile(total.latenciesUs, 0.90),
+                percentile(total.latenciesUs, 0.99),
+                total.latenciesUs.empty() ? 0
+                                          : total.latenciesUs.back());
+    if (warmup)
+        std::printf("  cache      : cold p50 %.1f us -> cached p50 "
+                    "%.1f us (%.1fx)\n",
+                    cold_p50, probe_p50, speedup);
+    std::printf("  daemon     : %llu hits, %llu misses, %llu "
+                "coalesced, %llu executed\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(coalesced),
+                static_cast<unsigned long long>(after.executed -
+                                                before.executed));
+
+    // --- Teardown / acceptance --------------------------------------
+    bool ok = true;
+    auto fail = [&](const char *what) {
+        std::fprintf(stderr, "FAIL: %s\n", what);
+        ok = false;
+    };
+    if (dropped != 0)
+        fail("dropped replies");
+    if (total.corrupted != 0)
+        fail("corrupted (non-bit-identical) replies");
+    if (total.errors != 0)
+        fail("error replies");
+    if (total.busy != 0 && !opts.getBool("allow_busy", false))
+        fail("backpressure (Busy) replies; raise queue_depth or pass "
+             "allow_busy=1");
+    if (expect_hits && hits == 0)
+        fail("no cache hits");
+    if (verify_failures != 0)
+        fail("golden verify mismatches");
+    if (min_speedup > 0 && speedup < min_speedup)
+        fail("cache speedup below min_speedup");
+
+    if (spawn) {
+        fatal_if(::kill(daemon_pid, SIGTERM) != 0, "kill: %s",
+                 std::strerror(errno));
+        int status = 0;
+        fatal_if(::waitpid(daemon_pid, &status, 0) != daemon_pid,
+                 "waitpid: %s", std::strerror(errno));
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr,
+                         "FAIL: daemon did not exit cleanly "
+                         "(status 0x%x)\n",
+                         status);
+            ok = false;
+        } else {
+            std::printf("  daemon exited 0 after SIGTERM (graceful "
+                        "drain)\n");
+        }
+    }
+
+    return ok ? 0 : 1;
+}
