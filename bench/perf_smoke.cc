@@ -15,19 +15,29 @@
  *     backends, reporting the per-workload speedup. This is the
  *     undiluted backend comparison.
  *
+ *  3. A trace-replay row: a synthetic trace is streamed to a chunked
+ *     container on disk, then analyzed out-of-core through the
+ *     prefetching cursor (src/tracestream) — records/s tracks the
+ *     codec + cursor + analyzer hot path, and the sharded run's
+ *     speedup tracks the chunk-parallel analyzer (~1.0 on one core).
+ *
  * Results land in BENCH_results.json. Options: scale=N (default 1),
- * func_reps=N (default 3), out=FILE; jobs is forced to 1 — a timing
- * driver that raced worker threads would measure contention, not the
- * simulator.
+ * func_reps=N (default 3), trace_records=N (default 4M), out=FILE;
+ * jobs is forced to 1 — a timing driver that raced worker threads
+ * would measure contention, not the simulator.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
 #include "run/experiment.hh"
+#include "trace/synthetic.hh"
+#include "tracestream/analyze.hh"
+#include "tracestream/writer.hh"
 #include "workloads/registry.hh"
 
 namespace
@@ -126,6 +136,72 @@ runFunctional(const std::string &name, unsigned scale, unsigned reps)
     return row;
 }
 
+struct ReplayRow
+{
+    std::uint64_t records = 0;
+    std::uint64_t codedBytes = 0;
+    double writeWallS = 0;
+    double streamWallS = 0;  ///< jobs=1, prefetching cursor
+    double shardedWallS = 0; ///< jobs=hardware threads
+
+    double
+    recordsPerSec() const
+    {
+        return streamWallS > 0
+            ? static_cast<double>(records) / streamWallS
+            : 0;
+    }
+
+    double
+    shardSpeedup() const
+    {
+        return shardedWallS > 0 ? streamWallS / shardedWallS : 0;
+    }
+};
+
+ReplayRow
+runTraceReplay(const std::string &path, std::uint64_t records)
+{
+    ReplayRow row;
+    trace::SyntheticProfile profile =
+        trace::profileByName("luxmark_sky");
+    profile.instructions = records;
+    {
+        tracestream::WriterOptions wo;
+        wo.name = profile.name;
+        tracestream::ChunkedTraceWriter writer(path, std::move(wo));
+        const auto t0 = std::chrono::steady_clock::now();
+        trace::synthesizeTo(profile, [&](const trace::TraceRecord &r) {
+            writer.append(r);
+        });
+        writer.finish();
+        row.writeWallS = seconds_since(t0);
+        row.records = writer.recordsWritten();
+        row.codedBytes = writer.codedBytes();
+    }
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        const trace::TraceAnalysis a =
+            tracestream::analyzeTraceStream(path);
+        row.streamWallS = seconds_since(t0);
+        fatal_if(a.records != row.records,
+                 "replay mismatch: wrote %llu records, analyzed %llu",
+                 static_cast<unsigned long long>(row.records),
+                 static_cast<unsigned long long>(a.records));
+    }
+    {
+        tracestream::StreamAnalyzeOptions options;
+        options.jobs = std::thread::hardware_concurrency();
+        if (options.jobs == 0)
+            options.jobs = 1;
+        const auto t0 = std::chrono::steady_clock::now();
+        tracestream::analyzeTraceStream(path, options);
+        row.shardedWallS = seconds_since(t0);
+    }
+    std::remove(path.c_str());
+    return row;
+}
+
 } // namespace
 
 int
@@ -150,6 +226,11 @@ main(int argc, char **argv)
     std::vector<FunctionalRow> func_rows;
     for (const char *name : func_names)
         func_rows.push_back(runFunctional(name, scale, reps));
+
+    const auto trace_records = static_cast<std::uint64_t>(
+        opts.getInt("trace_records", 4000000));
+    const ReplayRow replay =
+        runTraceReplay(out_path + ".replay.iwct", trace_records);
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     fatal_if(f == nullptr, "cannot write %s", out_path.c_str());
@@ -187,8 +268,24 @@ main(int argc, char **argv)
             row.workload.c_str(), row.simdWidth,
             static_cast<unsigned long long>(row.instructions),
             row.scalarWallS, row.vectorWallS, row.speedup(),
-            i + 1 == func_rows.size() ? "" : ",");
+            ",");
     }
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"driver\": \"perf_smoke_trace_replay\",\n"
+                 "      \"records\": %llu,\n"
+                 "      \"coded_bytes\": %llu,\n"
+                 "      \"write_wall_s\": %.3f,\n"
+                 "      \"stream_wall_s\": %.3f,\n"
+                 "      \"sharded_wall_s\": %.3f,\n"
+                 "      \"records_per_sec\": %.0f,\n"
+                 "      \"shard_speedup\": %.2f\n"
+                 "    }\n",
+                 static_cast<unsigned long long>(replay.records),
+                 static_cast<unsigned long long>(replay.codedBytes),
+                 replay.writeWallS, replay.streamWallS,
+                 replay.shardedWallS, replay.recordsPerSec(),
+                 replay.shardSpeedup());
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
 
@@ -208,6 +305,13 @@ main(int argc, char **argv)
                     row.workload.c_str(), row.simdWidth,
                     row.scalarWallS, row.vectorWallS, row.speedup());
     }
+    std::printf("perf_smoke trace replay: %llu records, write %.3f s, "
+                "stream %.3f s (%.1f Mrec/s), sharded %.3f s "
+                "(%.2fx)\n",
+                static_cast<unsigned long long>(replay.records),
+                replay.writeWallS, replay.streamWallS,
+                replay.recordsPerSec() / 1e6, replay.shardedWallS,
+                replay.shardSpeedup());
     std::printf("-> %s\n", out_path.c_str());
     return 0;
 }

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "compaction/cycle_plan.hh"
 #include "stats/stats.hh"
 
@@ -47,6 +48,11 @@ class PlanCache
     {
         const unsigned width = shape.simdWidth;
         const unsigned shift = elemShift(shape.elemBytes);
+        panic_if(shift >= wide_.size() ||
+                     (width <= kDirectMappedWidth &&
+                      widthIndex(width) >= tables_.size()),
+                 "plan cache: unsupported shape simd%u elem%u",
+                 width, shape.elemBytes);
         if (width <= kDirectMappedWidth) {
             Table &table = tables_[widthIndex(width)][shift];
             if (table.empty())

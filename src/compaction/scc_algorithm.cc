@@ -44,6 +44,13 @@ planScc(const ExecShape &shape)
     const unsigned gw = groupWidth(shape.simdWidth, shape.elemBytes);
     const unsigned n_groups = numGroups(shape.simdWidth, shape.elemBytes);
     const LaneMask mask = shape.maskedExec();
+    // The per-slot lane arrays below are sized kMaxGroupWidth, which
+    // assumes the 2-byte minimum element of isa::dataTypeSize; a
+    // sub-word element would make gw overrun them.
+    panic_if(gw > kMaxGroupWidth,
+             "SCC plan: group width %u exceeds %u (element size %u "
+             "below the ISA minimum?)",
+             gw, kMaxGroupWidth, shape.elemBytes);
 
     CyclePlan plan;
     plan.groupWidth = gw;

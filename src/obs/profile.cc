@@ -116,7 +116,7 @@ writeOccupancyCsv(std::ostream &os,
           "wait_sb_slot_cycles,wait_other_slot_cycles,"
           "instructions,mem_messages,"
           "plan_cache_hits,plan_cache_misses,"
-          "idle_cycles_skipped,idle_skips\n";
+          "idle_cycles_skipped,idle_skips,dropped_events\n";
     char buf[256];
     EuOccupancy sum;
     auto row = [&](const std::string &label, const EuOccupancy &o,
@@ -128,12 +128,12 @@ writeOccupancyCsv(std::ostream &os,
                       "%s,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
                       ",%" PRIu64 ",%.2f,%" PRIu64 ",%" PRIu64
                       ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
-                      ",%" PRIu64 ",%" PRIu64 "\n",
+                      ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
                       label.c_str(), total,
                       o.busy, o.stall + o.barrier, o.barrier, o.idle, pct,
                       o.waitSb, o.waitOther, o.instructions, o.memMessages,
                       c.planCacheHits, c.planCacheMisses,
-                      c.idleCyclesSkipped, c.idleSkips);
+                      c.idleCyclesSkipped, c.idleSkips, c.droppedEvents);
         os << buf;
     };
     for (std::size_t i = 0; i < occupancy.size(); ++i) {
@@ -203,9 +203,19 @@ laneHistString(const IpProfile &p)
 void
 writeHotspotReport(std::ostream &os,
                    const std::vector<IpProfile> &profiles,
-                   const isa::Kernel *kernel, std::size_t top_n)
+                   const isa::Kernel *kernel, std::size_t top_n,
+                   std::uint64_t dropped_events)
 {
     using compaction::Mode;
+    if (dropped_events != 0) {
+        char warn[128];
+        std::snprintf(warn, sizeof(warn),
+                      "WARNING: event ring dropped %" PRIu64
+                      " records; this report is truncated "
+                      "(raise the ring capacity)\n",
+                      dropped_events);
+        os << warn;
+    }
     std::vector<IpProfile> ranked = profiles;
     auto saved = [](const IpProfile &p, Mode m) {
         return static_cast<std::int64_t>(p.cycles(Mode::IvbOpt))

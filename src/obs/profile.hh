@@ -70,6 +70,10 @@ struct RunCounters
     std::uint64_t planCacheMisses = 0;
     std::uint64_t idleCyclesSkipped = 0;
     std::uint64_t idleSkips = 0;
+    /** Events the capture ring discarded (RingBufferSink::totalDropped).
+     *  Non-zero means every artifact built from this stream is
+     *  truncated — occupancy undercounts and hotspots are partial. */
+    std::uint64_t droppedEvents = 0;
 };
 
 /**
@@ -114,7 +118,8 @@ std::vector<IpProfile> computeHotspots(const std::vector<Event> &events);
 void writeHotspotReport(std::ostream &os,
                         const std::vector<IpProfile> &profiles,
                         const isa::Kernel *kernel = nullptr,
-                        std::size_t top_n = 0);
+                        std::size_t top_n = 0,
+                        std::uint64_t dropped_events = 0);
 
 } // namespace iwc::obs
 

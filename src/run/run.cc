@@ -7,6 +7,8 @@
 #include "lint/verifier.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace.hh"
+#include "tracestream/analyze.hh"
+#include "tracestream/writer.hh"
 #include "workloads/registry.hh"
 
 namespace iwc::run
@@ -24,7 +26,8 @@ buildWorkload(const RunRequest &request, gpu::Device &dev)
 }
 
 trace::TraceAnalysis
-analyzeBuilt(gpu::Device &dev, const workloads::Workload &w)
+analyzeBuilt(gpu::Device &dev, const workloads::Workload &w,
+             tracestream::ChunkedTraceWriter *capture = nullptr)
 {
     trace::TraceAnalyzer analyzer;
     // Every TraceRecord field except execMask is a pure function of
@@ -44,6 +47,8 @@ analyzeBuilt(gpu::Device &dev, const workloads::Workload &w)
             trace::TraceRecord r = tmpl[step.ip];
             r.execMask = step.result->execMask & width_mask[step.ip];
             analyzer.add(r);
+            if (capture != nullptr)
+                capture->append(r);
         });
     return analyzer.result();
 }
@@ -66,7 +71,8 @@ CacheKey::hash() const
 std::optional<CacheKey>
 cacheKeyFor(const RunRequest &request)
 {
-    if (request.trace)
+    if (request.trace || !request.captureTo.empty() ||
+        request.kind == JobKind::FileTrace)
         return std::nullopt;
 
     CacheKey key;
@@ -116,6 +122,16 @@ RunRequest::syntheticTrace(std::string profile)
     RunRequest request;
     request.kind = JobKind::SyntheticTrace;
     request.traceProfile = std::move(profile);
+    return request;
+}
+
+RunRequest
+RunRequest::fileTrace(std::string path, unsigned jobs)
+{
+    RunRequest request;
+    request.kind = JobKind::FileTrace;
+    request.tracePath = std::move(path);
+    request.traceJobs = jobs;
     return request;
 }
 
@@ -191,12 +207,29 @@ executeRun(const RunRequest &request)
         result.kernelDigest = w.kernel.digest();
         if (request.lint)
             lint::verifyOrDie(w.kernel);
-        result.analysis = analyzeBuilt(dev, w);
+        if (!request.captureTo.empty()) {
+            tracestream::WriterOptions wo;
+            wo.name = result.label;
+            tracestream::ChunkedTraceWriter capture(request.captureTo,
+                                                    std::move(wo));
+            result.analysis = analyzeBuilt(dev, w, &capture);
+            capture.finish();
+        } else {
+            result.analysis = analyzeBuilt(dev, w);
+        }
         return result;
       }
       case JobKind::SyntheticTrace: {
         result.label = request.traceProfile;
         result.analysis = analyzeSyntheticProfile(request.traceProfile);
+        return result;
+      }
+      case JobKind::FileTrace: {
+        result.label = request.tracePath;
+        tracestream::StreamAnalyzeOptions options;
+        options.jobs = request.traceJobs;
+        result.analysis =
+            tracestream::analyzeTraceFile(request.tracePath, options);
         return result;
       }
     }

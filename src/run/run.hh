@@ -41,6 +41,13 @@ enum class JobKind
     FunctionalTrace,
     /** Synthetic mask-trace generation + analysis (trace workloads). */
     SyntheticTrace,
+    /**
+     * Replay of an on-disk trace file through the trace analyzer.
+     * Container traces (.iwct, see src/tracestream) stream out-of-core
+     * and shard across RunRequest::traceJobs threads; legacy
+     * flat-binary and text traces load in memory first.
+     */
+    FileTrace,
 };
 
 /**
@@ -82,6 +89,17 @@ struct RunRequest
     func::BackendKind backend = func::BackendKind::Auto;
     /** Profile name for JobKind::SyntheticTrace. */
     std::string traceProfile;
+    /** Trace file path for JobKind::FileTrace. */
+    std::string tracePath;
+    /** Analyzer shards for container FileTrace requests (0 = 1). */
+    unsigned traceJobs = 1;
+    /**
+     * FunctionalTrace only: also persist the captured mask trace as a
+     * chunked container at this path (bounded memory, written while
+     * the analysis runs). Makes the request uncacheable — a cache hit
+     * would skip the side effect. Empty = no capture.
+     */
+    std::string captureTo;
     /** Timing only: run the host-side reference check after launch. */
     bool checkOutput = false;
     /**
@@ -106,6 +124,7 @@ struct RunRequest
     static RunRequest functionalTrace(std::string workload,
                                       unsigned scale = 1);
     static RunRequest syntheticTrace(std::string profile);
+    static RunRequest fileTrace(std::string path, unsigned jobs = 1);
 };
 
 /**
@@ -138,9 +157,11 @@ struct CacheKey
 /**
  * The cache identity of @p request, or nullopt for requests that
  * must not be served from a cache: factory requests without a
- * cacheTag (opaque builder, no asserted identity) and tracing
- * requests (their value is the event stream, which is unique to an
- * execution).
+ * cacheTag (opaque builder, no asserted identity), tracing requests
+ * (their value is the event stream, which is unique to an execution),
+ * capture requests (the on-disk trace is a side effect a cache hit
+ * would skip), and file-trace requests (the key cannot see the
+ * file's contents, so equal paths do not imply equal results).
  */
 std::optional<CacheKey> cacheKeyFor(const RunRequest &request);
 

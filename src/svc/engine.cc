@@ -1,5 +1,6 @@
 #include "svc/engine.hh"
 
+#include <cstdio>
 #include <exception>
 #include <utility>
 
@@ -77,6 +78,19 @@ Engine::validate(const run::RunRequest &request,
         message = "event-trace capture is not servable: the result "
                   "would be the event stream, which is unique to an "
                   "execution (run locally via run::executeRun)";
+        return Status::Unsupported;
+    }
+    if (request.kind == run::JobKind::FileTrace) {
+        message = "file-trace replay is not servable: the daemon "
+                  "will not read arbitrary server-side paths on a "
+                  "client's behalf (run locally via "
+                  "run::executeRun or tools/iwc_trace)";
+        return Status::Unsupported;
+    }
+    if (!request.captureTo.empty()) {
+        message = "client-chosen capture paths are not servable "
+                  "(the daemon's capture_dir= option persists traces "
+                  "under an operator-chosen directory instead)";
         return Status::Unsupported;
     }
     if (request.kind == run::JobKind::SyntheticTrace) {
@@ -293,7 +307,25 @@ Engine::workerLoop()
 
         Reply reply;
         try {
-            const run::RunResult result = run::executeRun(job->request);
+            run::RunRequest request = job->request;
+            if (!options_.captureDir.empty() &&
+                request.kind == run::JobKind::FunctionalTrace) {
+                // Side-effect only: the key (computed pre-capture)
+                // and the reply bytes are identical with or without
+                // capture, so caching and dedup stay sound.
+                char key_hex[17];
+                std::snprintf(key_hex, sizeof(key_hex), "%016llx",
+                              static_cast<unsigned long long>(
+                                  job->key.hash()));
+                const std::string label = request.factory
+                    ? request.cacheTag
+                    : request.workload;
+                request.captureTo = options_.captureDir + "/" + label +
+                                    "-s" +
+                                    std::to_string(request.scale) +
+                                    "-" + key_hex + ".iwct";
+            }
+            const run::RunResult result = run::executeRun(request);
             reply.status = Status::Ok;
             reply.result = std::make_shared<const std::string>(
                 encodeRunResult(result));

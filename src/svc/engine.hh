@@ -65,6 +65,17 @@ struct EngineOptions
     std::size_t cacheEntries = 4096;
     /** Largest accepted RunRequest::scale (memory guard). */
     unsigned maxScale = 64;
+    /**
+     * When non-empty, every executed FunctionalTrace job also
+     * persists its mask trace as a chunked container
+     * (<captureDir>/<workload>-s<scale>-<key>.iwct, see
+     * src/tracestream) — the daemon's request stream doubles as a
+     * regression corpus. Injected after admission/dedup on the
+     * worker's copy of the request, so cache identity is untouched:
+     * a cache hit means an earlier execution already captured the
+     * identical trace.
+     */
+    std::string captureDir;
 };
 
 /** Outcome delivered to a submitter. */

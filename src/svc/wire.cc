@@ -138,6 +138,9 @@ encodeSubmit(const SubmitMsg &msg)
     w.str(r.workload);
     w.str(r.traceProfile);
     w.str(r.cacheTag);
+    w.str(r.tracePath);
+    w.u32(r.traceJobs);
+    w.str(r.captureTo);
     w.str(gpu::encodeCanonical(r.config));
     return w.take();
 }
@@ -149,7 +152,7 @@ decodeSubmit(std::string_view payload, SubmitMsg &out)
     out = SubmitMsg{};
     out.reqId = r.u64();
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(run::JobKind::SyntheticTrace))
+    if (kind > static_cast<std::uint8_t>(run::JobKind::FileTrace))
         return false;
     out.request.kind = static_cast<run::JobKind>(kind);
     const std::uint8_t backend = r.u8();
@@ -165,6 +168,9 @@ decodeSubmit(std::string_view payload, SubmitMsg &out)
     out.request.workload = r.str();
     out.request.traceProfile = r.str();
     out.request.cacheTag = r.str();
+    out.request.tracePath = r.str();
+    out.request.traceJobs = r.u32();
+    out.request.captureTo = r.str();
     const std::string config = r.str();
     if (!r.done())
         return false;
@@ -314,7 +320,7 @@ decodeRunResult(std::string_view payload, run::RunResult &out)
     WireReader r(payload);
     out = run::RunResult{};
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(run::JobKind::SyntheticTrace))
+    if (kind > static_cast<std::uint8_t>(run::JobKind::FileTrace))
         return false;
     out.kind = static_cast<run::JobKind>(kind);
     out.label = r.str();

@@ -52,6 +52,29 @@ struct TraceAnalysis
         return simdEfficiency() < threshold;
     }
 
+    /**
+     * Folds another analysis in. Every field is an integer sum of
+     * independent per-record contributions, so merging is associative
+     * and commutative: analyzing shards of a trace separately and
+     * merging gives results bit-identical to one sequential pass —
+     * the property the sharded streaming analyzer
+     * (tracestream::analyzeTraceStream) is built on and that
+     * tests/test_tracestream.cc proves across the workload corpus.
+     */
+    void
+    merge(const TraceAnalysis &other)
+    {
+        records += other.records;
+        sumActiveLanes += other.sumActiveLanes;
+        sumSimdWidth += other.sumSimdWidth;
+        for (unsigned m = 0; m < compaction::kNumModes; ++m)
+            euCycles[m] += other.euCycles[m];
+        for (unsigned b = 0; b < compaction::kNumUtilBins; ++b)
+            utilBins[b] += other.utilBins[b];
+        aluRecords += other.aluRecords;
+        sccSwizzledLanes += other.sccSwizzledLanes;
+    }
+
     std::uint64_t
     cycles(compaction::Mode m) const
     {

@@ -68,14 +68,12 @@ drawKind(Rng &rng, const SyntheticProfile &p)
 
 } // namespace
 
-MaskTrace
-synthesize(const SyntheticProfile &p)
+void
+synthesizeTo(const SyntheticProfile &p,
+             const std::function<void(const TraceRecord &)> &emit)
 {
     fatal_if(p.simdWidth != 8 && p.simdWidth != 16,
              "profile %s: SIMD width must be 8 or 16", p.name.c_str());
-    MaskTrace trace;
-    trace.name = p.name;
-    trace.records.reserve(p.instructions);
 
     Rng rng(p.seed * 0x2545f4914f6cdd1dull + 17);
 
@@ -105,8 +103,19 @@ synthesize(const SyntheticProfile &p)
         r.elemBytes = 4;
         r.kind = drawKind(rng, p);
         r.execMask = current_mask;
-        trace.records.push_back(r);
+        emit(r);
     }
+}
+
+MaskTrace
+synthesize(const SyntheticProfile &p)
+{
+    MaskTrace trace;
+    trace.name = p.name;
+    trace.records.reserve(p.instructions);
+    synthesizeTo(p, [&trace](const TraceRecord &r) {
+        trace.records.push_back(r);
+    });
     return trace;
 }
 

@@ -24,6 +24,7 @@
 #ifndef IWC_TRACE_SYNTHETIC_HH
 #define IWC_TRACE_SYNTHETIC_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,15 @@ struct SyntheticProfile
 
 /** Generates the trace for one profile (deterministic per seed). */
 MaskTrace synthesize(const SyntheticProfile &profile);
+
+/**
+ * Streaming form: emits each record through @p emit instead of
+ * materializing a MaskTrace, so a billion-record profile can feed a
+ * tracestream::ChunkedTraceWriter with bounded memory. Identical
+ * record stream to synthesize() for the same profile and seed.
+ */
+void synthesizeTo(const SyntheticProfile &profile,
+                  const std::function<void(const TraceRecord &)> &emit);
 
 /**
  * The named trace workloads of the paper's evaluation, with profiles

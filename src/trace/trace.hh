@@ -11,6 +11,8 @@
 #ifndef IWC_TRACE_TRACE_HH
 #define IWC_TRACE_TRACE_HH
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -52,6 +54,17 @@ struct MaskTrace
     void
     append(const TraceRecord &r)
     {
+        // Captured records always honor the LaneMask invariant
+        // (recordOf clips to the width mask); a violation here means
+        // a caller built a record by hand and got it wrong.
+        assert((r.execMask & ~laneMaskForWidth(r.simdWidth)) == 0);
+        // Explicit capacity doubling with a capture-sized floor:
+        // std::vector's growth is amortized-constant anyway, but the
+        // floor spares unreserved captures the early reallocation
+        // storm and keeps growth policy independent of the library.
+        if (records.size() == records.capacity())
+            records.reserve(
+                std::max<std::size_t>(records.capacity() * 2, 1u << 12));
         records.push_back(r);
     }
     /** Pre-sizes the record buffer (captures run to millions). */

@@ -48,30 +48,39 @@ kindFromByte(std::uint8_t b)
  *  corrupt or hostile length field, not a real trace. */
 constexpr std::uint32_t kMaxNameLen = 4096;
 
-/** Rejects records no simulator component could have produced, so a
- *  corrupt trace fails here with a message instead of deep inside the
- *  cycle planner. */
+} // namespace
+
 void
-validateRecord(const TraceRecord &r, std::uint64_t index)
+validateTraceRecord(const TraceRecord &r, std::uint64_t index)
 {
-    fatal_if(r.simdWidth == 0 || r.simdWidth > kMaxSimdWidth,
-             "trace record %llu: bad SIMD width %u (expected 1..%u)",
+    // The ISA only issues power-of-two widths (1, 4, 8, 16, 32), so
+    // anything else is corruption even though laneMaskForWidth would
+    // accept it.
+    fatal_if(r.simdWidth == 0 || r.simdWidth > kMaxSimdWidth ||
+                 (r.simdWidth & (r.simdWidth - 1)) != 0,
+             "trace record %llu: bad SIMD width %u (expected a power "
+             "of two <= %u)",
              static_cast<unsigned long long>(index), r.simdWidth,
              kMaxSimdWidth);
-    fatal_if(r.elemBytes == 0 || r.elemBytes > kAluDatapathBytes ||
+    // isa::dataTypeSize spans 2-byte words to 8-byte quadwords, and
+    // the downstream cycle planners size their tables from exactly
+    // that range (kMaxGroupWidth = datapath bytes / minimum element).
+    // An element size outside it would walk off those tables, so
+    // reject it here.
+    constexpr unsigned kMinElemBytes = 2;
+    constexpr unsigned kMaxElemBytes = 8;
+    fatal_if(r.elemBytes < kMinElemBytes || r.elemBytes > kMaxElemBytes ||
                  (r.elemBytes & (r.elemBytes - 1)) != 0,
              "trace record %llu: bad element size %u bytes "
-             "(expected a power of two <= %u)",
+             "(expected a power of two in %u..%u)",
              static_cast<unsigned long long>(index), r.elemBytes,
-             kAluDatapathBytes);
+             kMinElemBytes, kMaxElemBytes);
     fatal_if((r.execMask & ~laneMaskForWidth(r.simdWidth)) != 0,
              "trace record %llu: mask %08x has bits beyond SIMD "
              "width %u",
              static_cast<unsigned long long>(index), r.execMask,
              r.simdWidth);
 }
-
-} // namespace
 
 void
 writeBinary(std::ostream &os, const MaskTrace &trace)
@@ -123,7 +132,7 @@ readBinary(std::istream &is)
         r.elemBytes = readPod<std::uint8_t>(is);
         r.kind = kindFromByte(readPod<std::uint8_t>(is));
         r.execMask = readPod<LaneMask>(is);
-        validateRecord(r, i);
+        validateTraceRecord(r, i);
         trace.records.push_back(r);
     }
     return trace;
@@ -201,7 +210,7 @@ readText(std::istream &is)
                  "bad execution mask '%s' in trace line: %s",
                  hex.c_str(), line.c_str());
         r.execMask = static_cast<LaneMask>(mask);
-        validateRecord(r, trace.records.size());
+        validateTraceRecord(r, trace.records.size());
         trace.records.push_back(r);
     }
     return trace;

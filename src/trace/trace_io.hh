@@ -15,6 +15,17 @@
 namespace iwc::trace
 {
 
+/**
+ * Dies unless @p r is a record some simulator component could have
+ * produced: SIMD width a power of two in [1, kMaxSimdWidth], element
+ * size a power of two within the datapath, and no execution-mask bits
+ * beyond the SIMD width. Shared by every trace reader (binary, text,
+ * and the tracestream container) so corrupt input fails here with a
+ * message instead of deep inside the cycle planner. @p index names
+ * the offending record in the message.
+ */
+void validateTraceRecord(const TraceRecord &r, std::uint64_t index);
+
 /** Binary format: magic, version, name, record count, raw records. */
 void writeBinary(std::ostream &os, const MaskTrace &trace);
 MaskTrace readBinary(std::istream &is);

@@ -1,0 +1,107 @@
+#include "tracestream/analyze.hh"
+
+#include <fstream>
+#include <string_view>
+#include <thread>
+
+#include "common/logging.hh"
+#include "trace/trace_io.hh"
+#include "tracestream/writer.hh"
+
+namespace iwc::tracestream
+{
+
+namespace
+{
+
+/** Sequential stream with prefetch overlap (the jobs<=1 path). */
+trace::TraceAnalysis
+analyzeSequential(const std::string &path,
+                  const StreamAnalyzeOptions &options)
+{
+    TraceCursor cursor(path, options.stream);
+    trace::TraceAnalyzer analyzer(options.costs);
+    const std::vector<trace::TraceRecord> *chunk;
+    while ((chunk = cursor.nextChunk()) != nullptr)
+        for (const trace::TraceRecord &r : *chunk)
+            analyzer.add(r);
+    return analyzer.result();
+}
+
+} // namespace
+
+trace::TraceAnalysis
+analyzeTraceStream(const std::string &path,
+                   const StreamAnalyzeOptions &options)
+{
+    unsigned jobs = options.jobs == 0 ? 1 : options.jobs;
+    if (jobs == 1)
+        return analyzeSequential(path, options);
+
+    const ContainerInfo info = readContainerInfo(path);
+    const std::uint64_t chunks = info.chunks.size();
+    if (chunks == 0)
+        return {};
+    if (jobs > chunks)
+        jobs = static_cast<unsigned>(chunks);
+
+    // Contiguous chunk ranges, remainder spread over the low shards.
+    // Each shard does its own synchronous I/O + decode + analysis;
+    // with one shard per core the disk and the plan caches stay busy
+    // without a separate I/O pool.
+    std::vector<trace::TraceAnalysis> partials(jobs);
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    const std::uint64_t base = chunks / jobs;
+    const std::uint64_t extra = chunks % jobs;
+    std::uint64_t begin = 0;
+    for (unsigned j = 0; j < jobs; ++j) {
+        const std::uint64_t count = base + (j < extra ? 1 : 0);
+        const std::uint64_t end = begin + count;
+        threads.emplace_back([&, j, begin, end] {
+            StreamOptions sync;
+            sync.ioThreads = 0;
+            TraceCursor cursor(path, sync, begin, end);
+            trace::TraceAnalyzer analyzer(options.costs);
+            const std::vector<trace::TraceRecord> *chunk;
+            while ((chunk = cursor.nextChunk()) != nullptr)
+                for (const trace::TraceRecord &r : *chunk)
+                    analyzer.add(r);
+            partials[j] = analyzer.result();
+        });
+        begin = end;
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    trace::TraceAnalysis merged;
+    for (const trace::TraceAnalysis &partial : partials)
+        merged.merge(partial);
+    return merged;
+}
+
+trace::TraceAnalysis
+analyzeTraceFile(const std::string &path,
+                 const StreamAnalyzeOptions &options)
+{
+    if (isContainerFile(path))
+        return analyzeTraceStream(path, options);
+
+    // Legacy formats: flat binary (sniffed by magic) or text.
+    std::ifstream probe(path, std::ios::binary);
+    fatal_if(!probe, "cannot open %s", path.c_str());
+    char magic[4] = {};
+    probe.read(magic, 4);
+    probe.close();
+    trace::MaskTrace loaded;
+    if (std::string_view(magic, 4) == "IWCT") {
+        loaded = trace::readBinaryFile(path);
+    } else {
+        std::ifstream is(path);
+        fatal_if(!is, "cannot open %s", path.c_str());
+        loaded = trace::readText(is);
+    }
+    return trace::analyzeTrace(loaded, options.costs);
+}
+
+} // namespace iwc::tracestream

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Out-of-core trace analysis: replays a container through the same
+ * per-policy trace models as trace::analyzeTrace without ever
+ * materializing the trace. jobs=1 streams through one TraceCursor
+ * with async prefetch; jobs>1 shards the chunk index into contiguous
+ * ranges, analyzes each shard on its own thread (own ChunkReader,
+ * own PlanCache), and merges the TraceAnalysis partials — an
+ * associative integer-sum merge, so the result is bit-identical to
+ * the sequential in-memory pass regardless of job count.
+ */
+
+#ifndef IWC_TRACESTREAM_ANALYZE_HH
+#define IWC_TRACESTREAM_ANALYZE_HH
+
+#include <string>
+
+#include "trace/analyzer.hh"
+#include "tracestream/reader.hh"
+
+namespace iwc::tracestream
+{
+
+/** Analysis knobs. */
+struct StreamAnalyzeOptions
+{
+    trace::AnalyzerCosts costs{};
+    /** Analyzer shards (compute threads). 0 behaves as 1. */
+    unsigned jobs = 1;
+    /** Prefetch configuration for the jobs<=1 sequential stream. */
+    StreamOptions stream{};
+};
+
+/** Streams the container at @p path through the trace models. */
+trace::TraceAnalysis analyzeTraceStream(
+    const std::string &path, const StreamAnalyzeOptions &options = {});
+
+/**
+ * Analyzes any trace file: containers stream (out-of-core, honoring
+ * options.jobs); legacy flat-binary and text traces load in memory
+ * first (they have no chunk structure to shard). This is the path
+ * run::RunRequest::fileTrace and the iwc_trace CLI go through.
+ */
+trace::TraceAnalysis analyzeTraceFile(
+    const std::string &path, const StreamAnalyzeOptions &options = {});
+
+} // namespace iwc::tracestream
+
+#endif // IWC_TRACESTREAM_ANALYZE_HH

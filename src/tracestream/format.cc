@@ -1,0 +1,247 @@
+#include "tracestream/format.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "trace/trace_io.hh"
+
+namespace iwc::tracestream
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+// Token layout (see format.hh file comment).
+constexpr std::uint8_t kRunToken = 0xFF;
+constexpr std::uint8_t kWidthBit = 0x01;
+constexpr std::uint8_t kElemBit = 0x02;
+constexpr std::uint8_t kKindBit = 0x04;
+constexpr unsigned kMaskShift = 3;
+constexpr std::uint8_t kMaskBits = 0x18;
+constexpr std::uint8_t kReservedBits = 0xE0;
+
+enum MaskDelta : std::uint8_t
+{
+    MaskSame = 0,
+    MaskXor8 = 1,
+    MaskXor16 = 2,
+    MaskFull = 3,
+};
+
+/** Chunks reset to this state so each decodes independently. The
+ *  width is deliberately invalid: the first record of every chunk is
+ *  forced to encode its width explicitly. */
+constexpr trace::TraceRecord kInitialState{0, 0, trace::InstrKind::Alu,
+                                           0};
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+getVarint(const std::uint8_t *payload, std::size_t size,
+          std::size_t &pos)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        fatal_if(pos >= size, "trace chunk: truncated varint");
+        fatal_if(shift >= 64, "trace chunk: varint overflow");
+        const std::uint8_t b = payload[pos++];
+        v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+    }
+}
+
+bool
+sameRecord(const trace::TraceRecord &a, const trace::TraceRecord &b)
+{
+    return a.simdWidth == b.simdWidth && a.elemBytes == b.elemBytes &&
+           a.kind == b.kind && a.execMask == b.execMask;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+void
+encodeChunk(const trace::TraceRecord *records, std::size_t count,
+            std::vector<std::uint8_t> &out)
+{
+    trace::TraceRecord prev = kInitialState;
+    std::size_t i = 0;
+    while (i < count) {
+        const trace::TraceRecord &r = records[i];
+        if (sameRecord(r, prev)) {
+            // Run of identical records (the common case inside a
+            // basic block): one token + varint covers the whole run.
+            std::size_t run = 1;
+            while (i + run < count && sameRecord(records[i + run], prev))
+                ++run;
+            out.push_back(kRunToken);
+            putVarint(out, run);
+            i += run;
+            continue;
+        }
+
+        std::uint8_t token = 0;
+        if (r.simdWidth != prev.simdWidth)
+            token |= kWidthBit;
+        if (r.elemBytes != prev.elemBytes)
+            token |= kElemBit;
+        if (r.kind != prev.kind)
+            token |= kKindBit;
+        const LaneMask diff = r.execMask ^ prev.execMask;
+        MaskDelta delta = MaskSame;
+        if (diff != 0) {
+            if (diff <= 0xFF)
+                delta = MaskXor8;
+            else if (diff <= 0xFFFF)
+                delta = MaskXor16;
+            else
+                delta = MaskFull;
+        }
+        token |= static_cast<std::uint8_t>(delta << kMaskShift);
+
+        out.push_back(token);
+        if (token & kWidthBit)
+            out.push_back(r.simdWidth);
+        if (token & kElemBit)
+            out.push_back(r.elemBytes);
+        if (token & kKindBit)
+            out.push_back(static_cast<std::uint8_t>(r.kind));
+        switch (delta) {
+          case MaskSame:
+            break;
+          case MaskXor8:
+            out.push_back(static_cast<std::uint8_t>(diff));
+            break;
+          case MaskXor16:
+            out.push_back(static_cast<std::uint8_t>(diff));
+            out.push_back(static_cast<std::uint8_t>(diff >> 8));
+            break;
+          case MaskFull:
+            for (unsigned b = 0; b < 4; ++b)
+                out.push_back(
+                    static_cast<std::uint8_t>(r.execMask >> (b * 8)));
+            break;
+        }
+        prev = r;
+        ++i;
+    }
+}
+
+void
+decodeChunk(const std::uint8_t *payload, std::size_t size,
+            std::size_t expect, std::vector<trace::TraceRecord> &out)
+{
+    out.clear();
+    out.reserve(expect);
+    trace::TraceRecord prev = kInitialState;
+    std::size_t pos = 0;
+    while (out.size() < expect) {
+        fatal_if(pos >= size, "trace chunk: truncated at record %zu/%zu",
+                 out.size(), expect);
+        const std::uint8_t token = payload[pos++];
+
+        if (token == kRunToken) {
+            const std::uint64_t run = getVarint(payload, size, pos);
+            fatal_if(run == 0, "trace chunk: zero-length run");
+            fatal_if(run > expect - out.size(),
+                     "trace chunk: run of %llu overflows the %zu-record "
+                     "chunk",
+                     static_cast<unsigned long long>(run),
+                     expect - out.size());
+            // A run can only repeat an already-decoded record, so
+            // prev has passed validation.
+            fatal_if(out.empty(), "trace chunk: run with no prior record");
+            out.insert(out.end(), static_cast<std::size_t>(run), prev);
+            continue;
+        }
+
+        fatal_if((token & kReservedBits) != 0,
+                 "trace chunk: bad token byte 0x%02x at offset %zu",
+                 token, pos - 1);
+        trace::TraceRecord r = prev;
+        const auto need = [&](std::size_t n) {
+            fatal_if(size - pos < n, "trace chunk: truncated field");
+        };
+        if (token & kWidthBit) {
+            need(1);
+            r.simdWidth = payload[pos++];
+        }
+        if (token & kElemBit) {
+            need(1);
+            r.elemBytes = payload[pos++];
+        }
+        if (token & kKindBit) {
+            need(1);
+            const std::uint8_t k = payload[pos++];
+            fatal_if(
+                k > static_cast<std::uint8_t>(trace::InstrKind::Ctrl),
+                "trace chunk: bad instruction kind %u", k);
+            r.kind = static_cast<trace::InstrKind>(k);
+        }
+        switch ((token & kMaskBits) >> kMaskShift) {
+          case MaskSame:
+            break;
+          case MaskXor8:
+            need(1);
+            r.execMask ^= payload[pos++];
+            break;
+          case MaskXor16:
+            need(2);
+            r.execMask ^= static_cast<LaneMask>(payload[pos]) |
+                          static_cast<LaneMask>(payload[pos + 1]) << 8;
+            pos += 2;
+            break;
+          case MaskFull: {
+            need(4);
+            LaneMask m = 0;
+            for (unsigned b = 0; b < 4; ++b)
+                m |= static_cast<LaneMask>(payload[pos + b]) << (b * 8);
+            r.execMask = m;
+            pos += 4;
+            break;
+          }
+        }
+        trace::validateTraceRecord(r, out.size());
+        out.push_back(r);
+        prev = r;
+    }
+    fatal_if(pos != size,
+             "trace chunk: %zu trailing bytes after %zu records",
+             size - pos, expect);
+}
+
+} // namespace iwc::tracestream

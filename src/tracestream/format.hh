@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The .iwct chunked trace container: an out-of-core sibling of the
+ * flat binary format in trace/trace_io.hh. Records are grouped into
+ * fixed-size chunks; each chunk is delta/RLE-compressed independently
+ * (consecutive records usually repeat simdWidth/elemBytes/kind and
+ * masks change rarely inside basic blocks) and carries its own CRC32,
+ * so chunks can be decoded in parallel and corruption is localized. A
+ * footer chunk index gives O(1) seek-to-chunk, which is what the
+ * sharded analyzer and the prefetching cursor build on.
+ *
+ * Byte layout (all integers little-endian; see docs/trace_pipeline.md):
+ *
+ *   header   "IWCC" u32=version u32=flags u32=nameLen name[nameLen]
+ *   chunk*   u32=recordCount u32=rawBytes u32=codedBytes u32=crc32
+ *            payload[codedBytes]
+ *   index    { u64=fileOffset u64=firstRecord u32=recordCount
+ *              u32=codedBytes }  x chunkCount
+ *   footer   u64=totalRecords u64=indexOffset u32=chunkCount
+ *            u32=indexCrc32 "IWCE"
+ *
+ * The footer is fixed-size and sits at EOF, so a reader opens the
+ * container with two seeks: one for the footer, one for the index.
+ *
+ * Chunk payload encoding: each record is one token byte plus the
+ * fields that changed relative to the previous record in the same
+ * chunk (chunks reset to a fixed initial state so they decode
+ * independently):
+ *
+ *   token 0xFF          run: varint count of repeats of prev record
+ *   else bit0           simdWidth follows (u8)
+ *        bit1           elemBytes follows (u8)
+ *        bit2           kind follows (u8)
+ *        bits3-4        execMask delta: 0 unchanged, 1 XOR-u8,
+ *                       2 XOR-u16, 3 full u32
+ *        bits5-7        must be zero (decoder validation)
+ */
+
+#ifndef IWC_TRACESTREAM_FORMAT_HH
+#define IWC_TRACESTREAM_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace iwc::tracestream
+{
+
+constexpr char kContainerMagic[4] = {'I', 'W', 'C', 'C'};
+constexpr char kFooterMagic[4] = {'I', 'W', 'C', 'E'};
+constexpr std::uint32_t kContainerVersion = 1;
+
+/** Default records per chunk: 64K records decode to 512 KB, small
+ *  enough that a handful of in-flight chunks stay cache-friendly,
+ *  large enough to amortize per-chunk header and seek costs. */
+constexpr std::uint32_t kDefaultChunkRecords = 1u << 16;
+
+/** Hard cap on records per chunk (and thus on any single decode
+ *  allocation): a corrupt header cannot demand a huge buffer. */
+constexpr std::uint32_t kMaxChunkRecords = 1u << 22;
+
+/** On-disk per-chunk header (serialized field by field, not memcpy). */
+struct ChunkHeader
+{
+    std::uint32_t recordCount = 0;
+    std::uint32_t rawBytes = 0;   ///< decoded payload bytes
+    std::uint32_t codedBytes = 0; ///< encoded payload bytes on disk
+    std::uint32_t crc32 = 0;      ///< CRC-32 of the encoded payload
+};
+
+constexpr std::size_t kChunkHeaderBytes = 16;
+constexpr std::size_t kFooterBytes = 8 + 8 + 4 + 4 + 4;
+constexpr std::size_t kIndexEntryBytes = 8 + 8 + 4 + 4;
+
+/** One footer-index row: everything needed to read chunk i alone. */
+struct ChunkIndexEntry
+{
+    std::uint64_t fileOffset = 0;  ///< of the chunk header
+    std::uint64_t firstRecord = 0; ///< global index of first record
+    std::uint32_t recordCount = 0;
+    std::uint32_t codedBytes = 0;
+};
+
+/** Parsed header + footer of an open container. */
+struct ContainerInfo
+{
+    std::string name;
+    std::uint64_t totalRecords = 0;
+    std::vector<ChunkIndexEntry> chunks;
+};
+
+/** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), incremental. */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/**
+ * Appends the delta/RLE encoding of @p records to @p out. Encoding
+ * state resets at the call boundary, so one call == one chunk
+ * payload. Records must already satisfy validateTraceRecord.
+ */
+void encodeChunk(const trace::TraceRecord *records, std::size_t count,
+                 std::vector<std::uint8_t> &out);
+
+/**
+ * Decodes exactly @p expect records from one chunk payload into
+ * @p out (cleared first). Dies with a message on any malformed
+ * token, field, or length mismatch — a CRC-valid chunk that fails
+ * here is a writer bug, a CRC-invalid one never gets here.
+ */
+void decodeChunk(const std::uint8_t *payload, std::size_t size,
+                 std::size_t expect, std::vector<trace::TraceRecord> &out);
+
+} // namespace iwc::tracestream
+
+#endif // IWC_TRACESTREAM_FORMAT_HH

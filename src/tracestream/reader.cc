@@ -1,0 +1,315 @@
+#include "tracestream/reader.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace iwc::tracestream
+{
+
+namespace
+{
+
+/** Matches the writer's kMaxNameLen policy in trace_io. */
+constexpr std::uint32_t kMaxNameLen = 4096;
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (i * 8);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (i * 8);
+    return v;
+}
+
+void
+readAt(std::FILE *f, const std::string &path, std::uint64_t offset,
+       void *out, std::size_t size)
+{
+    fatal_if(std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0,
+             "cannot seek in %s", path.c_str());
+    fatal_if(std::fread(out, 1, size, f) != size,
+             "truncated trace container %s", path.c_str());
+}
+
+std::uint64_t
+fileSize(std::FILE *f, const std::string &path)
+{
+    fatal_if(std::fseek(f, 0, SEEK_END) != 0, "cannot seek in %s",
+             path.c_str());
+    const long size = std::ftell(f);
+    fatal_if(size < 0, "cannot tell size of %s", path.c_str());
+    return static_cast<std::uint64_t>(size);
+}
+
+} // namespace
+
+ContainerInfo
+readContainerInfo(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    fatal_if(f == nullptr, "cannot open %s", path.c_str());
+    const std::uint64_t size = fileSize(f, path);
+
+    // Header: magic, version, flags, name.
+    std::uint8_t head[16];
+    fatal_if(size < sizeof(head) + kFooterBytes,
+             "%s is too small to be a trace container", path.c_str());
+    readAt(f, path, 0, head, sizeof(head));
+    fatal_if(std::memcmp(head, kContainerMagic, 4) != 0,
+             "%s is not an IWC trace container", path.c_str());
+    const std::uint32_t version = getU32(head + 4);
+    fatal_if(version != kContainerVersion,
+             "unsupported trace container version %u in %s", version,
+             path.c_str());
+    const std::uint32_t name_len = getU32(head + 12);
+    fatal_if(name_len > kMaxNameLen,
+             "trace name length %u exceeds the %u-byte cap "
+             "(corrupt header?)",
+             name_len, kMaxNameLen);
+    fatal_if(16ull + name_len + kFooterBytes > size,
+             "truncated trace container %s", path.c_str());
+
+    ContainerInfo info;
+    info.name.resize(name_len);
+    if (name_len > 0)
+        readAt(f, path, 16, info.name.data(), name_len);
+
+    // Footer: totalRecords, indexOffset, chunkCount, indexCrc, magic.
+    std::uint8_t foot[kFooterBytes];
+    readAt(f, path, size - kFooterBytes, foot, sizeof(foot));
+    fatal_if(std::memcmp(foot + kFooterBytes - 4, kFooterMagic, 4) != 0,
+             "%s: missing container footer (truncated write?)",
+             path.c_str());
+    info.totalRecords = getU64(foot);
+    const std::uint64_t index_offset = getU64(foot + 8);
+    const std::uint32_t chunk_count = getU32(foot + 16);
+    const std::uint32_t index_crc = getU32(foot + 20);
+
+    const std::uint64_t index_bytes =
+        static_cast<std::uint64_t>(chunk_count) * kIndexEntryBytes;
+    fatal_if(index_offset + index_bytes + kFooterBytes != size,
+             "%s: chunk index does not fit the file (corrupt footer)",
+             path.c_str());
+
+    std::vector<std::uint8_t> raw(index_bytes);
+    if (index_bytes > 0)
+        readAt(f, path, index_offset, raw.data(), raw.size());
+    std::fclose(f);
+    fatal_if(crc32(raw.data(), raw.size()) != index_crc,
+             "%s: chunk index CRC mismatch", path.c_str());
+
+    info.chunks.resize(chunk_count);
+    std::uint64_t expect_record = 0;
+    for (std::uint32_t i = 0; i < chunk_count; ++i) {
+        const std::uint8_t *p = raw.data() + i * kIndexEntryBytes;
+        ChunkIndexEntry &e = info.chunks[i];
+        e.fileOffset = getU64(p);
+        e.firstRecord = getU64(p + 8);
+        e.recordCount = getU32(p + 16);
+        e.codedBytes = getU32(p + 20);
+        fatal_if(e.recordCount == 0 || e.recordCount > kMaxChunkRecords,
+                 "%s: chunk %u holds %u records (expected 1..%u)",
+                 path.c_str(), i, e.recordCount, kMaxChunkRecords);
+        fatal_if(e.firstRecord != expect_record,
+                 "%s: chunk %u starts at record %llu, expected %llu",
+                 path.c_str(), i,
+                 static_cast<unsigned long long>(e.firstRecord),
+                 static_cast<unsigned long long>(expect_record));
+        fatal_if(e.fileOffset + kChunkHeaderBytes + e.codedBytes >
+                     index_offset,
+                 "%s: chunk %u overlaps the index (corrupt offsets)",
+                 path.c_str(), i);
+        expect_record += e.recordCount;
+    }
+    fatal_if(expect_record != info.totalRecords,
+             "%s: index covers %llu records but the footer promises "
+             "%llu",
+             path.c_str(),
+             static_cast<unsigned long long>(expect_record),
+             static_cast<unsigned long long>(info.totalRecords));
+    return info;
+}
+
+ChunkReader::ChunkReader(const std::string &path,
+                         const ContainerInfo &info)
+    : path_(path), info_(info)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(file_ == nullptr, "cannot open %s", path.c_str());
+}
+
+ChunkReader::~ChunkReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+ChunkReader::read(std::size_t index,
+                  std::vector<trace::TraceRecord> &out)
+{
+    panic_if(index >= info_.chunks.size(),
+             "chunk index %zu out of range", index);
+    const ChunkIndexEntry &e = info_.chunks[index];
+
+    std::uint8_t head[kChunkHeaderBytes];
+    readAt(file_, path_, e.fileOffset, head, sizeof(head));
+    const std::uint32_t record_count = getU32(head);
+    const std::uint32_t raw_bytes = getU32(head + 4);
+    const std::uint32_t coded_bytes = getU32(head + 8);
+    const std::uint32_t crc = getU32(head + 12);
+    fatal_if(record_count != e.recordCount ||
+                 coded_bytes != e.codedBytes,
+             "%s: chunk %zu header disagrees with the index "
+             "(corrupt chunk)",
+             path_.c_str(), index);
+    fatal_if(raw_bytes != record_count * sizeof(trace::TraceRecord),
+             "%s: chunk %zu raw size %u does not match %u records",
+             path_.c_str(), index, raw_bytes, record_count);
+
+    coded_.resize(coded_bytes);
+    readAt(file_, path_, e.fileOffset + kChunkHeaderBytes,
+           coded_.data(), coded_.size());
+    fatal_if(crc32(coded_.data(), coded_.size()) != crc,
+             "%s: chunk %zu payload CRC mismatch (corrupt chunk)",
+             path_.c_str(), index);
+
+    decodeChunk(coded_.data(), coded_.size(), record_count, out);
+}
+
+TraceCursor::TraceCursor(const std::string &path, StreamOptions options,
+                         std::uint64_t chunk_begin,
+                         std::uint64_t chunk_end)
+    : path_(path), info_(readContainerInfo(path)), options_(options)
+{
+    const std::uint64_t count = info_.chunks.size();
+    begin_ = std::min(chunk_begin, count);
+    end_ = std::min(chunk_end, count);
+    if (end_ < begin_)
+        end_ = begin_;
+    nextFetch_ = begin_;
+    nextConsume_ = begin_;
+
+    if (options_.ioThreads == 0) {
+        syncReader_ = std::make_unique<ChunkReader>(path_, info_);
+        return;
+    }
+    if (options_.ringChunks == 0)
+        options_.ringChunks = 1;
+    // More threads than ring slots just park on a full ring.
+    options_.ioThreads =
+        std::min(options_.ioThreads, options_.ringChunks);
+    ring_.resize(options_.ringChunks);
+    ioThreads_.reserve(options_.ioThreads);
+    for (unsigned i = 0; i < options_.ioThreads; ++i)
+        ioThreads_.emplace_back([this] { ioLoop(); });
+}
+
+TraceCursor::~TraceCursor()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    producerCv_.notify_all();
+    consumerCv_.notify_all();
+    for (std::thread &t : ioThreads_)
+        t.join();
+}
+
+void
+TraceCursor::ioLoop()
+{
+    // Each I/O worker owns a file handle; decode happens here, off
+    // the consumer's thread, which is the whole point. The handle is
+    // opened lazily on the first claimed chunk so a worker with
+    // nothing to fetch (empty range, more workers than chunks) never
+    // races the caller for the file.
+    std::unique_ptr<ChunkReader> reader;
+    std::vector<trace::TraceRecord> local;
+    for (;;) {
+        std::uint64_t seq;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (stop_ || nextFetch_ >= end_)
+                return;
+            seq = nextFetch_++;
+        }
+        if (reader == nullptr)
+            reader = std::make_unique<ChunkReader>(path_, info_);
+        reader->read(static_cast<std::size_t>(seq), local);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            Slot &slot = ring_[seq % ring_.size()];
+            // The slot is free once the consumer has passed every
+            // earlier chunk mapping to it (bounded reorder window).
+            producerCv_.wait(lock, [&] {
+                return stop_ ||
+                       (!slot.ready &&
+                        seq < nextConsume_ + ring_.size());
+            });
+            if (stop_)
+                return;
+            slot.records.swap(local);
+            slot.seq = seq;
+            slot.ready = true;
+        }
+        consumerCv_.notify_one();
+    }
+}
+
+const std::vector<trace::TraceRecord> *
+TraceCursor::nextChunk()
+{
+    if (nextConsume_ >= end_)
+        return nullptr;
+
+    if (syncReader_ != nullptr) {
+        syncReader_->read(static_cast<std::size_t>(nextConsume_),
+                          currentChunk_);
+        ++nextConsume_;
+        recordPos_ = 0;
+        return &currentChunk_;
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        Slot &slot = ring_[nextConsume_ % ring_.size()];
+        consumerCv_.wait(lock, [&] {
+            return slot.ready && slot.seq == nextConsume_;
+        });
+        currentChunk_.swap(slot.records);
+        slot.ready = false;
+        ++nextConsume_;
+    }
+    producerCv_.notify_all();
+    recordPos_ = 0;
+    return &currentChunk_;
+}
+
+trace::MaskTrace
+readContainerFile(const std::string &path)
+{
+    TraceCursor cursor(path);
+    trace::MaskTrace trace;
+    trace.name = cursor.info().name;
+    trace.reserve(cursor.info().totalRecords);
+    const std::vector<trace::TraceRecord> *chunk;
+    while ((chunk = cursor.nextChunk()) != nullptr)
+        trace.records.insert(trace.records.end(), chunk->begin(),
+                             chunk->end());
+    return trace;
+}
+
+} // namespace iwc::tracestream

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Streaming container reader. Two layers:
+ *
+ *  - ChunkReader: positioned reads of single chunks (own file handle,
+ *    so one per thread) with CRC verification and full decode
+ *    validation — the random-access primitive the sharded analyzer
+ *    uses.
+ *
+ *  - TraceCursor: sequential record stream over a chunk range with an
+ *    async prefetch pipeline — N I/O threads read + CRC-check +
+ *    decompress chunks ahead of the consumer through a bounded ring
+ *    of chunk buffers (the blaze-style I/O-workers-feeding-compute
+ *    overlap from the ROADMAP), so peak RSS is ring-bounded no matter
+ *    the trace size. ioThreads=0 degrades to synchronous in-thread
+ *    decode, which is what each shard of the parallel analyzer wants.
+ */
+
+#ifndef IWC_TRACESTREAM_READER_HH
+#define IWC_TRACESTREAM_READER_HH
+
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tracestream/format.hh"
+
+namespace iwc::tracestream
+{
+
+/**
+ * Opens and validates a container: header magic/version, footer
+ * magic, index CRC, and index-entry consistency (contiguous record
+ * ranges, counts within bounds, offsets inside the file). Dies with
+ * a message on any mismatch.
+ */
+ContainerInfo readContainerInfo(const std::string &path);
+
+/** See file comment. */
+class ChunkReader
+{
+  public:
+    /** @p info must outlive the reader (it is not copied). */
+    ChunkReader(const std::string &path, const ContainerInfo &info);
+    ~ChunkReader();
+
+    ChunkReader(const ChunkReader &) = delete;
+    ChunkReader &operator=(const ChunkReader &) = delete;
+
+    /** Reads, CRC-checks, and decodes chunk @p index into @p out. */
+    void read(std::size_t index, std::vector<trace::TraceRecord> &out);
+
+  private:
+    std::string path_;
+    const ContainerInfo &info_;
+    std::FILE *file_ = nullptr;
+    std::vector<std::uint8_t> coded_; ///< reused payload buffer
+};
+
+/** Cursor / prefetch knobs. */
+struct StreamOptions
+{
+    /** Prefetch I/O threads; 0 = synchronous in-consumer decode. */
+    unsigned ioThreads = 2;
+    /** Bounded ring of decoded chunk buffers (the RSS bound: about
+     *  ringChunks x chunkRecords x sizeof(TraceRecord) bytes). */
+    unsigned ringChunks = 8;
+};
+
+/** See file comment. */
+class TraceCursor
+{
+  public:
+    /** Streams chunks [chunkBegin, min(chunkEnd, chunkCount)). */
+    explicit TraceCursor(const std::string &path,
+                         StreamOptions options = {},
+                         std::uint64_t chunk_begin = 0,
+                         std::uint64_t chunk_end = ~std::uint64_t{0});
+    ~TraceCursor();
+
+    TraceCursor(const TraceCursor &) = delete;
+    TraceCursor &operator=(const TraceCursor &) = delete;
+
+    const ContainerInfo &info() const { return info_; }
+
+    /**
+     * The next decoded chunk, or nullptr at end of range. The pointer
+     * stays valid until the next nextChunk() call. Chunks arrive in
+     * file order regardless of which I/O thread decoded them.
+     */
+    const std::vector<trace::TraceRecord> *nextChunk();
+
+    /** Record-at-a-time convenience over nextChunk(). */
+    bool
+    next(trace::TraceRecord &r)
+    {
+        while (recordPos_ >= currentChunk_.size()) {
+            const std::vector<trace::TraceRecord> *chunk = nextChunk();
+            if (chunk == nullptr)
+                return false;
+            recordPos_ = 0;
+        }
+        r = currentChunk_[recordPos_++];
+        return true;
+    }
+
+  private:
+    struct Slot
+    {
+        std::vector<trace::TraceRecord> records;
+        std::uint64_t seq = 0;
+        bool ready = false;
+    };
+
+    void ioLoop();
+
+    std::string path_;
+    ContainerInfo info_;
+    StreamOptions options_;
+    std::uint64_t begin_ = 0;
+    std::uint64_t end_ = 0;
+
+    // Synchronous mode.
+    std::unique_ptr<ChunkReader> syncReader_;
+
+    // Prefetch mode.
+    std::mutex mutex_;
+    std::condition_variable producerCv_;
+    std::condition_variable consumerCv_;
+    std::vector<Slot> ring_;
+    std::uint64_t nextFetch_ = 0;
+    std::uint64_t nextConsume_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> ioThreads_;
+
+    std::vector<trace::TraceRecord> currentChunk_;
+    std::size_t recordPos_ = 0;
+};
+
+/** One-shot convenience: materializes a whole container in memory
+ *  (convert tooling and tests; defeats the point for huge traces). */
+trace::MaskTrace readContainerFile(const std::string &path);
+
+} // namespace iwc::tracestream
+
+#endif // IWC_TRACESTREAM_READER_HH

@@ -1,0 +1,172 @@
+#include "tracestream/writer.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "trace/trace_io.hh"
+
+namespace iwc::tracestream
+{
+
+namespace
+{
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+} // namespace
+
+ChunkedTraceWriter::ChunkedTraceWriter(const std::string &path,
+                                       WriterOptions options)
+    : path_(path), options_(std::move(options))
+{
+    fatal_if(options_.chunkRecords == 0 ||
+                 options_.chunkRecords > kMaxChunkRecords,
+             "chunk size %u outside [1, %u]", options_.chunkRecords,
+             kMaxChunkRecords);
+    fatal_if(options_.name.size() > 4096,
+             "trace name length %zu exceeds the 4096-byte cap",
+             options_.name.size());
+    file_ = std::fopen(path.c_str(), "wb");
+    fatal_if(file_ == nullptr, "cannot open %s for writing",
+             path.c_str());
+    pending_.reserve(options_.chunkRecords);
+
+    std::vector<std::uint8_t> header;
+    header.insert(header.end(), kContainerMagic, kContainerMagic + 4);
+    putU32(header, kContainerVersion);
+    putU32(header, 0); // flags, reserved
+    putU32(header, static_cast<std::uint32_t>(options_.name.size()));
+    header.insert(header.end(), options_.name.begin(),
+                  options_.name.end());
+    fatal_if(std::fwrite(header.data(), 1, header.size(), file_) !=
+                 header.size(),
+             "short write to %s", path_.c_str());
+    offset_ = header.size();
+}
+
+ChunkedTraceWriter::~ChunkedTraceWriter()
+{
+    finish();
+}
+
+void
+ChunkedTraceWriter::append(const trace::TraceRecord &r)
+{
+    fatal_if(finished_, "append to a finished trace container");
+    trace::validateTraceRecord(r, totalRecords_);
+    pending_.push_back(r);
+    ++totalRecords_;
+    if (pending_.size() >= options_.chunkRecords)
+        flushChunk();
+}
+
+void
+ChunkedTraceWriter::flushChunk()
+{
+    if (pending_.empty())
+        return;
+
+    coded_.clear();
+    encodeChunk(pending_.data(), pending_.size(), coded_);
+
+    ChunkIndexEntry entry;
+    entry.fileOffset = offset_;
+    entry.firstRecord = totalRecords_ - pending_.size();
+    entry.recordCount = static_cast<std::uint32_t>(pending_.size());
+    entry.codedBytes = static_cast<std::uint32_t>(coded_.size());
+
+    std::vector<std::uint8_t> header;
+    putU32(header, entry.recordCount);
+    putU32(header, static_cast<std::uint32_t>(pending_.size() *
+                                              sizeof(trace::TraceRecord)));
+    putU32(header, entry.codedBytes);
+    putU32(header, crc32(coded_.data(), coded_.size()));
+    fatal_if(std::fwrite(header.data(), 1, header.size(), file_) !=
+                     header.size() ||
+                 std::fwrite(coded_.data(), 1, coded_.size(), file_) !=
+                     coded_.size(),
+             "short write to %s", path_.c_str());
+
+    offset_ += header.size() + coded_.size();
+    codedBytes_ += coded_.size();
+    index_.push_back(entry);
+    pending_.clear();
+}
+
+void
+ChunkedTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    flushChunk();
+
+    std::vector<std::uint8_t> tail;
+    for (const ChunkIndexEntry &e : index_) {
+        putU64(tail, e.fileOffset);
+        putU64(tail, e.firstRecord);
+        putU32(tail, e.recordCount);
+        putU32(tail, e.codedBytes);
+    }
+    const std::uint32_t index_crc = crc32(tail.data(), tail.size());
+    const std::uint64_t index_offset = offset_;
+    putU64(tail, totalRecords_);
+    putU64(tail, index_offset);
+    putU32(tail, static_cast<std::uint32_t>(index_.size()));
+    putU32(tail, index_crc);
+    tail.insert(tail.end(), kFooterMagic, kFooterMagic + 4);
+    fatal_if(std::fwrite(tail.data(), 1, tail.size(), file_) !=
+                 tail.size(),
+             "short write to %s", path_.c_str());
+
+    fatal_if(std::fclose(file_) != 0, "cannot close %s", path_.c_str());
+    file_ = nullptr;
+    finished_ = true;
+}
+
+gpu::InstrObserver
+captureObserver(ChunkedTraceWriter &writer)
+{
+    return [&writer](const isa::Instruction &in, LaneMask exec_mask) {
+        writer.append(trace::recordOf(in, exec_mask));
+    };
+}
+
+void
+writeContainerFile(const std::string &path,
+                   const trace::MaskTrace &trace,
+                   std::uint32_t chunk_records)
+{
+    WriterOptions options;
+    options.name = trace.name;
+    options.chunkRecords = chunk_records;
+    ChunkedTraceWriter writer(path, std::move(options));
+    for (const trace::TraceRecord &r : trace.records)
+        writer.append(r);
+    writer.finish();
+}
+
+bool
+isContainerFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    char magic[4] = {};
+    const bool got = std::fread(magic, 1, 4, f) == 4;
+    std::fclose(f);
+    return got && std::memcmp(magic, kContainerMagic, 4) == 0;
+}
+
+} // namespace iwc::tracestream

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Streaming container writer: appends records one at a time, holding
+ * only the current chunk in memory, so Device::launchFunctional can
+ * capture a billion-instruction trace straight to disk with bounded
+ * RSS. finish() seals the container (flushes the partial chunk,
+ * writes the index and footer); the destructor finishes automatically
+ * but swallows nothing — failures are fatal either way.
+ */
+
+#ifndef IWC_TRACESTREAM_WRITER_HH
+#define IWC_TRACESTREAM_WRITER_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hh"
+#include "tracestream/format.hh"
+
+namespace iwc::tracestream
+{
+
+/** Writer knobs. */
+struct WriterOptions
+{
+    /** Trace name stored in the header (workload name by convention). */
+    std::string name;
+    /** Records per chunk; the unit of seek, CRC, and shard work. */
+    std::uint32_t chunkRecords = kDefaultChunkRecords;
+};
+
+/** See file comment. */
+class ChunkedTraceWriter
+{
+  public:
+    ChunkedTraceWriter(const std::string &path, WriterOptions options = {});
+    ~ChunkedTraceWriter();
+
+    ChunkedTraceWriter(const ChunkedTraceWriter &) = delete;
+    ChunkedTraceWriter &operator=(const ChunkedTraceWriter &) = delete;
+
+    /** Validates and buffers one record, flushing a full chunk. */
+    void append(const trace::TraceRecord &r);
+
+    /** Flushes the tail chunk, writes index + footer, closes the
+     *  file. Idempotent; called by the destructor if omitted. */
+    void finish();
+
+    std::uint64_t recordsWritten() const { return totalRecords_; }
+    std::uint64_t chunksWritten() const
+    {
+        return index_.size();
+    }
+    /** Encoded payload bytes so far (compression diagnostics). */
+    std::uint64_t codedBytes() const { return codedBytes_; }
+
+  private:
+    void flushChunk();
+
+    std::string path_;
+    WriterOptions options_;
+    std::FILE *file_ = nullptr;
+    std::vector<trace::TraceRecord> pending_;
+    std::vector<std::uint8_t> coded_;
+    std::vector<ChunkIndexEntry> index_;
+    std::uint64_t totalRecords_ = 0;
+    std::uint64_t codedBytes_ = 0;
+    std::uint64_t offset_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Observer adapter for Device::launchFunctional: every executed
+ * instruction becomes one appended record. The caller still owns the
+ * writer and must finish() it after the launch returns.
+ */
+gpu::InstrObserver captureObserver(ChunkedTraceWriter &writer);
+
+/** One-shot convenience: writes an in-memory trace as a container. */
+void writeContainerFile(const std::string &path,
+                        const trace::MaskTrace &trace,
+                        std::uint32_t chunk_records =
+                            kDefaultChunkRecords);
+
+/** True if the file at @p path starts with the container magic. */
+bool isContainerFile(const std::string &path);
+
+} // namespace iwc::tracestream
+
+#endif // IWC_TRACESTREAM_WRITER_HH

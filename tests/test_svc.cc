@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <filesystem>
 #include <functional>
 #include <mutex>
 #include <set>
@@ -21,6 +22,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "gpu/device.hh"
 #include "gpu/gpu_config.hh"
 #include "run/run.hh"
 #include "svc/cache.hh"
@@ -28,6 +30,9 @@
 #include "svc/daemon.hh"
 #include "svc/engine.hh"
 #include "svc/wire.hh"
+#include "trace/analyzer.hh"
+#include "tracestream/analyze.hh"
+#include "tracestream/writer.hh"
 #include "workloads/registry.hh"
 
 namespace
@@ -213,6 +218,17 @@ TEST(CacheKey, UncacheableRequests)
     tagged.cacheTag = "custom-v1";
     ASSERT_TRUE(run::cacheKeyFor(tagged).has_value());
 
+    // Trace capture is a filesystem side effect, and file-trace
+    // replay depends on bytes outside the request: neither is
+    // cacheable.
+    auto capturing = run::RunRequest::functionalTrace("micro_ifelse", 1);
+    ASSERT_TRUE(run::cacheKeyFor(capturing).has_value());
+    capturing.captureTo = "/tmp/capture.iwct";
+    EXPECT_FALSE(run::cacheKeyFor(capturing).has_value());
+    EXPECT_FALSE(
+        run::cacheKeyFor(run::RunRequest::fileTrace("/tmp/t.iwct"))
+            .has_value());
+
     // A factory tag and a registry name never collide, even when the
     // strings are equal: the digests are origin-tagged.
     auto registry_req = run::RunRequest::functionalTrace("custom-v1", 1);
@@ -234,6 +250,9 @@ TEST(Wire, SubmitRoundTrip)
     msg.request.checkOutput = true;
     msg.request.lint = true;
     msg.request.cacheTag = "tag";
+    msg.request.tracePath = "/tmp/some.iwct";
+    msg.request.traceJobs = 5;
+    msg.request.captureTo = "/tmp/captured.iwct";
 
     svc::SubmitMsg out;
     ASSERT_TRUE(svc::decodeSubmit(svc::encodeSubmit(msg), out));
@@ -247,6 +266,9 @@ TEST(Wire, SubmitRoundTrip)
     EXPECT_EQ(out.request.cacheTag, msg.request.cacheTag);
     EXPECT_EQ(gpu::configDigest(out.request.config),
               gpu::configDigest(msg.request.config));
+    EXPECT_EQ(out.request.tracePath, msg.request.tracePath);
+    EXPECT_EQ(out.request.traceJobs, msg.request.traceJobs);
+    EXPECT_EQ(out.request.captureTo, msg.request.captureTo);
     // The decoded request has the same cache identity.
     EXPECT_EQ(run::cacheKeyFor(out.request),
               run::cacheKeyFor(msg.request));
@@ -505,8 +527,60 @@ TEST(Engine, ValidationRejectsBeforeExecution)
     degenerate.config.numEus = 0;
     EXPECT_EQ(engine.call(degenerate).status, svc::Status::BadRequest);
 
+    // Server-side filesystem access on a client's behalf is refused:
+    // replaying arbitrary paths and writing client-chosen paths both.
+    EXPECT_EQ(engine.call(run::RunRequest::fileTrace("/etc/passwd"))
+                  .status,
+              svc::Status::Unsupported);
+    auto capturing =
+        run::RunRequest::functionalTrace("micro_ifelse", 1);
+    capturing.captureTo = "/tmp/evil.iwct";
+    EXPECT_EQ(engine.call(capturing).status, svc::Status::Unsupported);
+
     engine.stop();
     EXPECT_EQ(engine.stats().executed, 0u);
+}
+
+TEST(Engine, CaptureDirPersistsExecutedTraces)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/iwc_capture_dir_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    svc::EngineOptions options = smallEngine();
+    options.captureDir = dir;
+    svc::Engine engine(options);
+    engine.start();
+
+    const auto req =
+        run::RunRequest::functionalTrace("micro_ifelse", 1);
+    ASSERT_EQ(engine.call(req).status, svc::Status::Ok);
+    // Identical request: served from cache, no second capture file.
+    ASSERT_EQ(engine.call(req).status, svc::Status::Ok);
+    engine.stop();
+    EXPECT_EQ(engine.stats().executed, 1u);
+
+    std::vector<std::filesystem::path> captures;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        captures.push_back(e.path());
+    ASSERT_EQ(captures.size(), 1u);
+    EXPECT_TRUE(
+        tracestream::isContainerFile(captures[0].string()));
+
+    // The persisted container replays to the same analysis the
+    // in-process run would produce.
+    gpu::Device dev;
+    const auto w = workloads::make("micro_ifelse", dev, 1);
+    trace::MaskTrace t;
+    dev.launchFunctional(w.kernel, w.globalSize, w.localSize, w.args,
+                         trace::captureObserver(t));
+    const trace::TraceAnalysis direct = trace::analyzeTrace(t);
+    const trace::TraceAnalysis replayed =
+        tracestream::analyzeTraceStream(captures[0].string());
+    EXPECT_EQ(direct.records, replayed.records);
+    EXPECT_EQ(direct.euCycles, replayed.euCycles);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Engine, UntaggedFactoryIsRejectedExplicitly)

@@ -124,4 +124,23 @@ TEST(TraceIo, RejectsGarbage)
                 "not an IWC trace");
 }
 
+TEST(MaskTraceAppend, GrowsGeometrically)
+{
+    // append() pre-reserves in doubling steps so long captures do not
+    // pay per-record reallocation; the capacity trail must be a small
+    // set of distinct values, not one per append.
+    MaskTrace t;
+    std::size_t capacity_changes = 0;
+    std::size_t last_capacity = t.records.capacity();
+    for (int i = 0; i < 200000; ++i) {
+        t.append({16, 4, InstrKind::Alu, 0xffff});
+        if (t.records.capacity() != last_capacity) {
+            ++capacity_changes;
+            last_capacity = t.records.capacity();
+        }
+    }
+    EXPECT_EQ(t.size(), 200000u);
+    EXPECT_LE(capacity_changes, 8u); // 4096 * 2^6 > 200000
+}
+
 } // namespace

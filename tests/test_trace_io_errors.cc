@@ -141,6 +141,16 @@ TEST(TraceIoErrors, BinaryBadElemBytes)
                 "bad element size 3");
 }
 
+TEST(TraceIoErrors, BinarySubWordElemBytes)
+{
+    std::string blob = serialized();
+    const std::size_t elem_off = kNameLenOff + 4 + 3 + 8 + 1;
+    blob[elem_off] = 1; // below the 2-byte ISA minimum
+    std::stringstream ss(blob);
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "bad element size 1");
+}
+
 TEST(TraceIoErrors, BinaryMaskBeyondWidth)
 {
     std::string blob = serialized();
@@ -210,6 +220,26 @@ TEST(TraceIoErrors, TextMaskBeyondWidth)
     std::stringstream ss("8 4 alu ffff\n");
     EXPECT_EXIT(readText(ss), ::testing::ExitedWithCode(1),
                 "bits beyond SIMD width 8");
+}
+
+TEST(TraceIoErrors, TextNonPowerOfTwoWidth)
+{
+    // 7 <= kMaxSimdWidth and 0x7f fits in 7 lanes, so only the
+    // power-of-two check can reject this line.
+    std::stringstream ss("7 4 alu 7f\n");
+    EXPECT_EXIT(readText(ss), ::testing::ExitedWithCode(1),
+                "bad SIMD width 7");
+}
+
+TEST(TraceIoErrors, BinaryNonPowerOfTwoWidth)
+{
+    std::string blob = serialized();
+    // First record starts after magic+version+name_len+name+count.
+    const std::size_t rec0 = 4 + 4 + 4 + 3 + 8;
+    blob[rec0] = 12;
+    std::stringstream ss(blob);
+    EXPECT_EXIT(readBinary(ss), ::testing::ExitedWithCode(1),
+                "bad SIMD width 12");
 }
 
 } // namespace

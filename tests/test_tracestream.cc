@@ -1,0 +1,484 @@
+/**
+ * @file
+ * The streaming trace pipeline: container round-trips (including the
+ * degenerate and chunk-boundary sizes), corruption death tests for
+ * every container layer (header, chunk CRC, payload tokens, index,
+ * footer), randomized codec fuzz, prefetch-vs-sync cursor equality,
+ * and the pipeline's core promise — the sharded out-of-core analyzer
+ * is bit-identical to the in-memory analyzeTrace() across the entire
+ * workload corpus.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hh"
+#include "trace/analyzer.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+#include "tracestream/analyze.hh"
+#include "tracestream/reader.hh"
+#include "tracestream/writer.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace iwc;
+using trace::InstrKind;
+using trace::MaskTrace;
+using trace::TraceRecord;
+
+std::string
+tempPath(const std::string &tag)
+{
+    return ::testing::TempDir() + "/iwc_tracestream_" + tag + ".iwct";
+}
+
+MaskTrace
+smallTrace()
+{
+    MaskTrace t;
+    t.name = "small";
+    t.records = {
+        {16, 4, InstrKind::Alu, 0x00ff},
+        {16, 4, InstrKind::Alu, 0x00ff}, // repeat: exercises RLE
+        {16, 4, InstrKind::Alu, 0x00ff},
+        {16, 4, InstrKind::Alu, 0x0f0f}, // mask delta only
+        {8, 2, InstrKind::Send, 0x0f},   // everything changes
+        {8, 2, InstrKind::Ctrl, 0x0f},   // kind delta only
+        {32, 4, InstrKind::Em, 0xdeadbeef},
+        {1, 2, InstrKind::Alu, 0x1},
+    };
+    return t;
+}
+
+MaskTrace
+randomTrace(std::uint32_t seed, std::size_t count)
+{
+    std::mt19937 rng(seed);
+    const std::uint8_t widths[] = {1, 4, 8, 16, 32};
+    const std::uint8_t elems[] = {2, 4, 8};
+    MaskTrace t;
+    t.name = "fuzz" + std::to_string(seed);
+    t.records.reserve(count);
+    TraceRecord r{16, 4, InstrKind::Alu, 0xffff};
+    for (std::size_t i = 0; i < count; ++i) {
+        // Mostly-repeating stream (the format's target distribution)
+        // with bursts of full randomness.
+        switch (rng() % 8) {
+          case 0:
+            r.simdWidth = widths[rng() % 5];
+            r.elemBytes = elems[rng() % 3];
+            r.kind = static_cast<InstrKind>(rng() % 4);
+            [[fallthrough]];
+          case 1:
+          case 2:
+            r.execMask = static_cast<LaneMask>(rng()) &
+                         laneMaskForWidth(r.simdWidth);
+            break;
+          default:
+            break; // exact repeat
+        }
+        t.append(r);
+    }
+    return t;
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+spit(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
+}
+
+void
+expectSameRecords(const MaskTrace &a, const MaskTrace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.records[i].simdWidth, b.records[i].simdWidth) << i;
+        EXPECT_EQ(a.records[i].elemBytes, b.records[i].elemBytes) << i;
+        EXPECT_EQ(a.records[i].kind, b.records[i].kind) << i;
+        EXPECT_EQ(a.records[i].execMask, b.records[i].execMask) << i;
+    }
+}
+
+void
+expectSameAnalysis(const trace::TraceAnalysis &a,
+                   const trace::TraceAnalysis &b)
+{
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.sumActiveLanes, b.sumActiveLanes);
+    EXPECT_EQ(a.sumSimdWidth, b.sumSimdWidth);
+    for (unsigned m = 0; m < compaction::kNumModes; ++m)
+        EXPECT_EQ(a.euCycles[m], b.euCycles[m]) << "mode " << m;
+    for (unsigned u = 0; u < compaction::kNumUtilBins; ++u)
+        EXPECT_EQ(a.utilBins[u], b.utilBins[u]) << "bin " << u;
+    EXPECT_EQ(a.aluRecords, b.aluRecords);
+    EXPECT_EQ(a.sccSwizzledLanes, b.sccSwizzledLanes);
+}
+
+TEST(TraceContainer, RoundTripSmall)
+{
+    const std::string path = tempPath("roundtrip");
+    const MaskTrace t = smallTrace();
+    tracestream::writeContainerFile(path, t);
+    EXPECT_TRUE(tracestream::isContainerFile(path));
+    const MaskTrace back = tracestream::readContainerFile(path);
+    EXPECT_EQ(back.name, "small");
+    expectSameRecords(t, back);
+    std::remove(path.c_str());
+}
+
+TEST(TraceContainer, RoundTripEmpty)
+{
+    const std::string path = tempPath("empty");
+    MaskTrace t;
+    t.name = "empty";
+    tracestream::writeContainerFile(path, t);
+    const tracestream::ContainerInfo info =
+        tracestream::readContainerInfo(path);
+    EXPECT_EQ(info.totalRecords, 0u);
+    EXPECT_EQ(info.chunks.size(), 0u);
+    const MaskTrace back = tracestream::readContainerFile(path);
+    EXPECT_EQ(back.size(), 0u);
+    TraceRecord r;
+    tracestream::TraceCursor cursor(path);
+    EXPECT_FALSE(cursor.next(r));
+    std::remove(path.c_str());
+}
+
+TEST(TraceContainer, RoundTripChunkBoundaries)
+{
+    // 1 under, exactly at, and 1 over a chunk boundary, with a tiny
+    // chunk size so multiple chunks engage.
+    for (const std::size_t count : {7u, 8u, 9u, 16u, 17u, 1u}) {
+        const std::string path = tempPath("boundary");
+        const MaskTrace t = randomTrace(99, count);
+        tracestream::writeContainerFile(path, t, 8);
+        const MaskTrace back = tracestream::readContainerFile(path);
+        expectSameRecords(t, back);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceContainer, RandomizedFuzzRoundTrip)
+{
+    for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+        const std::string path = tempPath("fuzz");
+        const MaskTrace t = randomTrace(seed, 5000);
+        tracestream::writeContainerFile(path, t, 512);
+        const MaskTrace back = tracestream::readContainerFile(path);
+        expectSameRecords(t, back);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceContainer, CompressesRepetitiveStream)
+{
+    const std::string path = tempPath("ratio");
+    MaskTrace t;
+    t.name = "repetitive";
+    for (int i = 0; i < 100000; ++i)
+        t.append({16, 4, InstrKind::Alu, 0xffff});
+    tracestream::WriterOptions wo;
+    wo.name = t.name;
+    tracestream::ChunkedTraceWriter writer(path, std::move(wo));
+    for (const TraceRecord &r : t.records)
+        writer.append(r);
+    writer.finish();
+    // A constant stream is pure RLE: orders of magnitude below raw.
+    EXPECT_LT(writer.codedBytes(), t.size() * sizeof(TraceRecord) / 100);
+    expectSameRecords(t, tracestream::readContainerFile(path));
+    std::remove(path.c_str());
+}
+
+TEST(TraceContainer, ConvertsFromLegacyBinaryIdentically)
+{
+    const std::string bin = tempPath("legacy_bin");
+    const std::string cont = tempPath("legacy_cont");
+    const MaskTrace t = randomTrace(7, 3000);
+    trace::writeBinaryFile(bin, t);
+    const MaskTrace from_bin = trace::readBinaryFile(bin);
+    tracestream::writeContainerFile(cont, from_bin);
+    expectSameRecords(from_bin, tracestream::readContainerFile(cont));
+    EXPECT_FALSE(tracestream::isContainerFile(bin));
+    std::remove(bin.c_str());
+    std::remove(cont.c_str());
+}
+
+TEST(TraceContainerErrors, CorruptChunkPayloadDies)
+{
+    const std::string path = tempPath("badpayload");
+    tracestream::writeContainerFile(path, smallTrace());
+    std::vector<std::uint8_t> bytes = slurp(path);
+    // Flip a payload byte just past the container header + chunk
+    // header; the chunk CRC must catch it.
+    const std::size_t off = 4 + 4 + 4 + 5 /*"small"*/ +
+                            tracestream::kChunkHeaderBytes;
+    ASSERT_LT(off, bytes.size());
+    bytes[off] ^= 0x40;
+    spit(path, bytes);
+    EXPECT_EXIT(tracestream::readContainerFile(path),
+                ::testing::ExitedWithCode(1), "CRC");
+    std::remove(path.c_str());
+}
+
+TEST(TraceContainerErrors, TruncatedFooterDies)
+{
+    const std::string path = tempPath("truncfoot");
+    tracestream::writeContainerFile(path, smallTrace());
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes.resize(bytes.size() - 3);
+    spit(path, bytes);
+    EXPECT_EXIT(tracestream::readContainerInfo(path),
+                ::testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+TEST(TraceContainerErrors, CorruptIndexDies)
+{
+    const std::string path = tempPath("badindex");
+    tracestream::writeContainerFile(path, smallTrace());
+    std::vector<std::uint8_t> bytes = slurp(path);
+    // The index sits immediately before the fixed-size footer.
+    const std::size_t off =
+        bytes.size() - tracestream::kFooterBytes -
+        tracestream::kIndexEntryBytes + 2;
+    bytes[off] ^= 0xff;
+    spit(path, bytes);
+    EXPECT_EXIT(tracestream::readContainerInfo(path),
+                ::testing::ExitedWithCode(1), "index");
+    std::remove(path.c_str());
+}
+
+TEST(TraceContainerErrors, BadHeaderMagicDies)
+{
+    const std::string path = tempPath("badmagic");
+    tracestream::writeContainerFile(path, smallTrace());
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes[0] = 'X';
+    spit(path, bytes);
+    EXPECT_FALSE(tracestream::isContainerFile(path));
+    EXPECT_EXIT(tracestream::readContainerInfo(path),
+                ::testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+TEST(TraceContainerErrors, MissingFileDies)
+{
+    EXPECT_EXIT(tracestream::readContainerInfo(
+                    tempPath("never_written_nope")),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(TraceCodecErrors, ReservedTokenBitsDie)
+{
+    // A token with reserved bits set is never produced by the
+    // encoder; the decoder must refuse rather than guess.
+    const std::uint8_t payload[] = {0xE1, 16};
+    std::vector<TraceRecord> out;
+    EXPECT_EXIT(tracestream::decodeChunk(payload, sizeof(payload), 1,
+                                         out),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(TraceCodecErrors, LeadingRunTokenDies)
+{
+    // An RLE run with no prior record in the chunk is malformed.
+    const std::uint8_t payload[] = {0xFF, 0x01};
+    std::vector<TraceRecord> out;
+    EXPECT_EXIT(tracestream::decodeChunk(payload, sizeof(payload), 1,
+                                         out),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(TraceCursor, PrefetchMatchesSynchronous)
+{
+    const std::string path = tempPath("prefetch");
+    const MaskTrace t = randomTrace(3, 20000);
+    tracestream::writeContainerFile(path, t, 1024);
+
+    tracestream::StreamOptions sync;
+    sync.ioThreads = 0;
+    tracestream::StreamOptions async;
+    async.ioThreads = 3;
+    async.ringChunks = 4;
+
+    tracestream::TraceCursor a(path, sync);
+    tracestream::TraceCursor b(path, async);
+    TraceRecord ra, rb;
+    std::size_t n = 0;
+    while (a.next(ra)) {
+        ASSERT_TRUE(b.next(rb)) << "async stream short at " << n;
+        ASSERT_EQ(ra.execMask, rb.execMask) << n;
+        ASSERT_EQ(ra.simdWidth, rb.simdWidth) << n;
+        ++n;
+    }
+    EXPECT_FALSE(b.next(rb));
+    EXPECT_EQ(n, t.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceCursor, ChunkRangeSelectsShard)
+{
+    const std::string path = tempPath("range");
+    const MaskTrace t = randomTrace(4, 4096);
+    tracestream::writeContainerFile(path, t, 256); // 16 chunks
+    tracestream::StreamOptions sync;
+    sync.ioThreads = 0;
+    tracestream::TraceCursor cursor(path, sync, 2, 5);
+    TraceRecord r;
+    std::size_t n = 0;
+    std::size_t first_mismatch = 0;
+    while (cursor.next(r)) {
+        const TraceRecord &want = t.records[2 * 256 + n];
+        if (r.execMask != want.execMask && first_mismatch == 0)
+            first_mismatch = n + 1;
+        ++n;
+    }
+    EXPECT_EQ(n, 3u * 256);
+    EXPECT_EQ(first_mismatch, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceAnalysisMerge, IsAssociative)
+{
+    const MaskTrace t = randomTrace(5, 9000);
+    const trace::TraceAnalysis whole = trace::analyzeTrace(t);
+
+    // Split 3 ways at arbitrary (non-chunk-aligned) points.
+    MaskTrace parts[3];
+    for (std::size_t i = 0; i < t.size(); ++i)
+        parts[i < 1000 ? 0 : i < 5555 ? 1 : 2].append(t.records[i]);
+    trace::TraceAnalysis merged = trace::analyzeTrace(parts[0]);
+    merged.merge(trace::analyzeTrace(parts[1]));
+    merged.merge(trace::analyzeTrace(parts[2]));
+    expectSameAnalysis(whole, merged);
+}
+
+TEST(StreamAnalyze, MatchesInMemoryOnSyntheticTrace)
+{
+    const std::string path = tempPath("synth");
+    trace::SyntheticProfile p = trace::profileByName("luxmark_sala");
+    p.instructions = 50000;
+    const MaskTrace t = trace::synthesize(p);
+    tracestream::writeContainerFile(path, t, 4096);
+
+    const trace::TraceAnalysis mem = trace::analyzeTrace(t);
+    for (const unsigned jobs : {1u, 2u, 3u, 8u, 64u}) {
+        tracestream::StreamAnalyzeOptions options;
+        options.jobs = jobs;
+        expectSameAnalysis(
+            mem, tracestream::analyzeTraceStream(path, options));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(StreamAnalyze, MatchesInMemoryAcrossWorkloadCorpus)
+{
+    // The pipeline's core promise, proven over every workload in the
+    // registry: capture through the streaming writer, analyze sharded
+    // out-of-core, compare bit-for-bit with the in-memory analyzer.
+    for (const workloads::Entry &entry : workloads::registry()) {
+        gpu::Device dev;
+        const workloads::Workload w = workloads::make(entry.name, dev);
+        MaskTrace t;
+        t.name = entry.name;
+
+        const std::string path = tempPath(entry.name);
+        tracestream::WriterOptions wo;
+        wo.name = entry.name;
+        wo.chunkRecords = 2048; // small chunks so sharding engages
+        tracestream::ChunkedTraceWriter writer(path, std::move(wo));
+        // One launch, two observers: the in-memory reference and the
+        // streaming writer see the identical instruction stream.
+        const gpu::InstrObserver mem_obs = trace::captureObserver(t);
+        const gpu::InstrObserver disk_obs =
+            tracestream::captureObserver(writer);
+        dev.launchFunctional(
+            w.kernel, w.globalSize, w.localSize, w.args,
+            [&](const isa::Instruction &ins, LaneMask mask) {
+                mem_obs(ins, mask);
+                disk_obs(ins, mask);
+            });
+        writer.finish();
+
+        tracestream::StreamAnalyzeOptions options;
+        options.jobs = 4;
+        const trace::TraceAnalysis streamed =
+            tracestream::analyzeTraceStream(path, options);
+        expectSameAnalysis(trace::analyzeTrace(t), streamed);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(StreamAnalyze, AnalyzeTraceFileHandlesEveryFormat)
+{
+    const MaskTrace t = randomTrace(6, 2000);
+    const trace::TraceAnalysis want = trace::analyzeTrace(t);
+
+    const std::string cont = tempPath("fmt_cont");
+    tracestream::writeContainerFile(cont, t);
+    expectSameAnalysis(want, tracestream::analyzeTraceFile(cont));
+    std::remove(cont.c_str());
+
+    const std::string bin = tempPath("fmt_bin");
+    trace::writeBinaryFile(bin, t);
+    expectSameAnalysis(want, tracestream::analyzeTraceFile(bin));
+    std::remove(bin.c_str());
+
+    const std::string txt = tempPath("fmt_txt");
+    {
+        std::FILE *f = std::fopen(txt.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fclose(f);
+        std::ofstream os(txt);
+        trace::writeText(os, t);
+    }
+    expectSameAnalysis(want, tracestream::analyzeTraceFile(txt));
+    std::remove(txt.c_str());
+}
+
+TEST(TraceWriter, RejectsInvalidRecords)
+{
+    const std::string path = tempPath("reject");
+    tracestream::ChunkedTraceWriter writer(path);
+    EXPECT_EXIT(writer.append({7, 4, InstrKind::Alu, 0x7f}),
+                ::testing::ExitedWithCode(1), "bad SIMD width 7");
+    std::remove(path.c_str());
+}
+
+TEST(TraceWriter, RejectsOversizedChunkConfig)
+{
+    tracestream::WriterOptions wo;
+    wo.chunkRecords = tracestream::kMaxChunkRecords + 1;
+    EXPECT_EXIT(tracestream::ChunkedTraceWriter(
+                    tempPath("oversize"), std::move(wo)),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace

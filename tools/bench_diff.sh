@@ -17,10 +17,10 @@ tol="${3:-25}"
 # line, objects delimited by braces) into "id metric value" rows.
 flatten() {
     awk '
-        /"driver"/   { gsub(/[",]/, "", $2); driver = $2 }
+        /"driver"/   { gsub(/[",]/, "", $2); driver = $2; variant = "-" }
         /"backend"/  { gsub(/[",]/, "", $2); variant = $2 }
         /"workload"/ { gsub(/[",]/, "", $2); variant = $2 }
-        /"cycles_per_sec"|"speedup"/ {
+        /"cycles_per_sec"|"speedup"|"records_per_sec"/ {
             metric = $1; gsub(/[":]/, "", metric)
             value = $2; gsub(/,/, "", value)
             print driver "/" variant, metric, value

@@ -90,7 +90,8 @@ main(int argc, char **argv)
                                                config.numEus);
         const obs::RunCounters counters{
             stats.planCacheHits, stats.planCacheMisses,
-            stats.idleCyclesSkipped, stats.idleSkips};
+            stats.idleCyclesSkipped, stats.idleSkips,
+            sink.totalDropped()};
         std::ofstream os(csv_path);
         fatal_if(!os, "cannot open %s", csv_path.c_str());
         obs::writeOccupancyCsv(os, occ, stats.totalCycles, counters);
@@ -101,7 +102,7 @@ main(int argc, char **argv)
         std::ofstream os(hot_path);
         fatal_if(!os, "cannot open %s", hot_path.c_str());
         obs::writeHotspotReport(os, obs::computeHotspots(events),
-                                &w.kernel, top_n);
+                                &w.kernel, top_n, sink.totalDropped());
     }
 
     std::printf("wrote %s, %s, %s\n", trace_path.c_str(),

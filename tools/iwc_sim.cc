@@ -218,7 +218,8 @@ main(int argc, char **argv)
                     result.stats.planCacheHits,
                     result.stats.planCacheMisses,
                     result.stats.idleCyclesSkipped,
-                    result.stats.idleSkips};
+                    result.stats.idleSkips,
+                    result.events->totalDropped()};
                 const std::string csv = withModeSuffix(
                     profile + ".occupancy.csv", mode, multi);
                 std::ofstream csv_os(csv);
@@ -232,7 +233,8 @@ main(int argc, char **argv)
                 fatal_if(!hot_os, "cannot open %s", hot.c_str());
                 obs::writeHotspotReport(hot_os,
                                         obs::computeHotspots(events),
-                                        &naming_w->kernel);
+                                        &naming_w->kernel, 0,
+                                        result.events->totalDropped());
                 std::printf("  profile written       : %s, %s\n",
                             csv.c_str(), hot.c_str());
             }

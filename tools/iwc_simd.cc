@@ -51,12 +51,15 @@ main(int argc, char **argv)
         std::puts(
             "usage: iwc_simd socket=<path> [workers=N] [queues=N]\n"
             "               [queue_depth=N] [cache_entries=N] "
-            "[max_scale=N]\n"
+            "[max_scale=N] [capture_dir=DIR]\n"
             "  workers       worker threads (0 = one per hw thread)\n"
             "  queues        submission queues (per-client fairness)\n"
             "  queue_depth   admission bound per queue (Busy beyond)\n"
             "  cache_entries result-cache capacity (0 disables)\n"
-            "  max_scale     largest accepted RunRequest::scale");
+            "  max_scale     largest accepted RunRequest::scale\n"
+            "  capture_dir   persist each executed functional-trace\n"
+            "                request as a .iwct container here\n"
+            "                (regression corpus; dir must exist)");
         return opts.has("help") ? 0 : 1;
     }
 
@@ -72,6 +75,7 @@ main(int argc, char **argv)
         static_cast<std::size_t>(opts.getInt("cache_entries", 4096));
     options.engine.maxScale =
         static_cast<unsigned>(opts.getInt("max_scale", 64));
+    options.engine.captureDir = opts.getString("capture_dir", "");
 
     svc::Daemon daemon(options);
     g_daemon = &daemon;

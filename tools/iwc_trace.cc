@@ -1,17 +1,28 @@
 /**
  * @file
  * Trace utility: capture execution-mask traces from workloads,
- * synthesize the paper's trace workloads, convert between binary and
- * text formats, and analyze any trace for BCC/SCC opportunity.
+ * synthesize the paper's trace workloads, convert between the three
+ * trace formats (chunked .iwct container, legacy flat binary, text),
+ * inspect containers, and analyze any trace for BCC/SCC opportunity
+ * — streaming out-of-core with a sharded analyzer when the input is
+ * a container.
  *
  *   iwc_trace cmd=capture workload=bfs out=bfs.iwct [scale=N]
- *   iwc_trace cmd=synth profile=luxmark_sky out=lux.iwct
- *   iwc_trace cmd=analyze in=bfs.iwct
- *   iwc_trace cmd=convert in=bfs.iwct out=bfs.txt text=1
+ *   iwc_trace cmd=synth profile=luxmark_sky out=lux.iwct [instrs=N]
+ *   iwc_trace cmd=analyze in=bfs.iwct [jobs=N] [rss_budget_mb=N]
+ *   iwc_trace cmd=info in=bfs.iwct
+ *   iwc_trace cmd=convert in=bfs.iwct out=bfs.txt format=text
  *   iwc_trace cmd=profiles
+ *
+ * format= selects the output encoding for capture/synth/convert:
+ * "container" (default; chunked, compressed, seekable), "binary"
+ * (legacy flat), or "text". Capture and synthesis stream straight to
+ * disk when writing containers, so trace size is bounded by the disk,
+ * not by RSS.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
@@ -20,6 +31,9 @@
 #include "trace/analyzer.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_io.hh"
+#include "tracestream/analyze.hh"
+#include "tracestream/reader.hh"
+#include "tracestream/writer.hh"
 #include "workloads/registry.hh"
 
 namespace
@@ -31,19 +45,50 @@ int
 usage()
 {
     std::puts(
-        "usage: iwc_trace cmd=<capture|synth|analyze|convert|profiles>"
-        "\n  capture : workload=<name> out=<file> [scale=N] [text=1]"
-        "\n  synth   : profile=<name> out=<file> [text=1]"
-        "\n  analyze : in=<file>"
-        "\n  convert : in=<file> out=<file> [text=1]"
-        "\n  profiles: list synthetic trace profiles");
+        "usage: iwc_trace cmd=<capture|synth|analyze|info|convert|"
+        "profiles>"
+        "\n  capture : workload=<name> out=<file> [scale=N]"
+        "\n  synth   : profile=<name> out=<file> [instrs=N] [seed=N]"
+        "\n  analyze : in=<file> [jobs=N] [io_threads=N] [ring=N]"
+        "\n            [rss_budget_mb=N]  fail if peak RSS exceeded"
+        "\n  info    : in=<file>  container header/index summary"
+        "\n  convert : in=<file> out=<file>"
+        "\n  profiles: list synthetic trace profiles"
+        "\n  common  : format=container|binary|text  output encoding"
+        "\n            (default container; text=1 keeps working)"
+        "\n            chunk=N  records per container chunk");
     return 1;
+}
+
+enum class Format
+{
+    Container,
+    Binary,
+    Text,
+};
+
+Format
+outputFormat(const OptionMap &opts)
+{
+    if (opts.getBool("text", false))
+        return Format::Text;
+    const std::string format =
+        opts.getString("format", "container");
+    if (format == "container")
+        return Format::Container;
+    if (format == "binary")
+        return Format::Binary;
+    if (format == "text")
+        return Format::Text;
+    fatal("unknown format '%s' (expected container, binary, or text)",
+          format.c_str());
 }
 
 trace::MaskTrace
 readAny(const std::string &path)
 {
-    // Sniff the magic to pick the format.
+    if (tracestream::isContainerFile(path))
+        return tracestream::readContainerFile(path);
     std::ifstream probe(path, std::ios::binary);
     if (!probe)
         fatal("cannot open %s", path.c_str());
@@ -57,23 +102,30 @@ readAny(const std::string &path)
 }
 
 void
-writeAny(const std::string &path, const trace::MaskTrace &t, bool text)
+writeAny(const std::string &path, const trace::MaskTrace &t,
+         Format format, std::uint32_t chunk_records)
 {
-    if (text) {
+    switch (format) {
+      case Format::Container:
+        tracestream::writeContainerFile(path, t, chunk_records);
+        break;
+      case Format::Binary:
+        trace::writeBinaryFile(path, t);
+        break;
+      case Format::Text: {
         std::ofstream os(path);
         fatal_if(!os, "cannot open %s for writing", path.c_str());
         trace::writeText(os, t);
-    } else {
-        trace::writeBinaryFile(path, t);
+        break;
+      }
     }
 }
 
 void
-analyze(const trace::MaskTrace &t)
+printAnalysis(const std::string &name, const trace::TraceAnalysis &a)
 {
     using compaction::Mode;
-    const trace::TraceAnalysis a = trace::analyzeTrace(t);
-    std::printf("trace %s: %llu records\n", t.name.c_str(),
+    std::printf("trace %s: %llu records\n", name.c_str(),
                 static_cast<unsigned long long>(a.records));
     std::printf("  SIMD efficiency    : %.1f%% (%s)\n",
                 a.simdEfficiency() * 100,
@@ -97,6 +149,63 @@ analyze(const trace::MaskTrace &t)
     std::puts("");
 }
 
+/** Peak RSS of this process in MB (Linux VmHWM; 0 if unavailable). */
+std::uint64_t
+peakRssMb()
+{
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0)
+            continue;
+        unsigned long long kb = 0;
+        if (std::sscanf(line.c_str(), "VmHWM: %llu kB", &kb) == 1)
+            return kb / 1024;
+    }
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    if (!tracestream::isContainerFile(path)) {
+        // Legacy formats have no index to inspect; load and count.
+        const trace::MaskTrace t = readAny(path);
+        std::printf("%s: legacy trace '%s', %llu records "
+                    "(no chunk index; convert to a container with "
+                    "cmd=convert)\n",
+                    path.c_str(), t.name.c_str(),
+                    static_cast<unsigned long long>(t.size()));
+        return 0;
+    }
+
+    const tracestream::ContainerInfo info =
+        tracestream::readContainerInfo(path);
+    std::uint64_t coded = 0;
+    std::uint32_t min_records = ~std::uint32_t{0};
+    std::uint32_t max_records = 0;
+    for (const tracestream::ChunkIndexEntry &e : info.chunks) {
+        coded += e.codedBytes;
+        min_records = std::min(min_records, e.recordCount);
+        max_records = std::max(max_records, e.recordCount);
+    }
+    const std::uint64_t raw =
+        info.totalRecords * sizeof(trace::TraceRecord);
+    std::printf("%s: trace container '%s'\n", path.c_str(),
+                info.name.c_str());
+    std::printf("  records            : %llu\n",
+                static_cast<unsigned long long>(info.totalRecords));
+    std::printf("  chunks             : %zu (%u..%u records)\n",
+                info.chunks.size(),
+                info.chunks.empty() ? 0 : min_records, max_records);
+    std::printf("  payload bytes      : %llu coded / %llu raw "
+                "(%.2fx compression)\n",
+                static_cast<unsigned long long>(coded),
+                static_cast<unsigned long long>(raw),
+                coded > 0 ? static_cast<double>(raw) / coded : 0.0);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -104,6 +213,8 @@ main(int argc, char **argv)
 {
     const OptionMap opts(argc, argv);
     const std::string cmd = opts.getString("cmd", "");
+    const auto chunk_records = static_cast<std::uint32_t>(opts.getInt(
+        "chunk", tracestream::kDefaultChunkRecords));
 
     if (cmd == "profiles") {
         for (const auto &p : trace::paperTraceProfiles())
@@ -120,18 +231,42 @@ main(int argc, char **argv)
         const std::string out = opts.getString("out", "");
         if (name.empty() || out.empty())
             return usage();
+        const Format format = outputFormat(opts);
         gpu::Device dev;
         workloads::Workload w = workloads::make(
             name, dev, static_cast<unsigned>(opts.getInt("scale", 1)));
+        if (format == Format::Container) {
+            // Stream straight to disk: RSS stays chunk-bounded no
+            // matter how long the capture runs.
+            tracestream::WriterOptions wo;
+            wo.name = name;
+            wo.chunkRecords = chunk_records;
+            tracestream::ChunkedTraceWriter writer(out, std::move(wo));
+            dev.launchFunctional(w.kernel, w.globalSize, w.localSize,
+                                 w.args,
+                                 tracestream::captureObserver(writer));
+            writer.finish();
+            std::printf("captured %llu records to %s "
+                        "(%llu chunks, %llu coded bytes)\n",
+                        static_cast<unsigned long long>(
+                            writer.recordsWritten()),
+                        out.c_str(),
+                        static_cast<unsigned long long>(
+                            writer.chunksWritten()),
+                        static_cast<unsigned long long>(
+                            writer.codedBytes()));
+            printAnalysis(name, tracestream::analyzeTraceStream(out));
+            return 0;
+        }
         trace::MaskTrace t;
         t.name = name;
         dev.launchFunctional(w.kernel, w.globalSize, w.localSize,
                              w.args, trace::captureObserver(t));
-        writeAny(out, t, opts.getBool("text", false));
+        writeAny(out, t, format, chunk_records);
         std::printf("captured %llu records to %s\n",
                     static_cast<unsigned long long>(t.size()),
                     out.c_str());
-        analyze(t);
+        printAnalysis(name, trace::analyzeTrace(t));
         return 0;
     }
 
@@ -140,13 +275,40 @@ main(int argc, char **argv)
         const std::string out = opts.getString("out", "");
         if (profile.empty() || out.empty())
             return usage();
-        const trace::MaskTrace t =
-            trace::synthesize(trace::profileByName(profile));
-        writeAny(out, t, opts.getBool("text", false));
+        const Format format = outputFormat(opts);
+        trace::SyntheticProfile p = trace::profileByName(profile);
+        p.instructions = static_cast<std::uint64_t>(opts.getInt(
+            "instrs", static_cast<std::int64_t>(p.instructions)));
+        p.seed = static_cast<std::uint64_t>(
+            opts.getInt("seed", static_cast<std::int64_t>(p.seed)));
+        if (format == Format::Container) {
+            // Generation streams through the writer: a 100M-record
+            // synthetic corpus costs one chunk of memory.
+            tracestream::WriterOptions wo;
+            wo.name = p.name;
+            wo.chunkRecords = chunk_records;
+            tracestream::ChunkedTraceWriter writer(out, std::move(wo));
+            trace::synthesizeTo(p, [&](const trace::TraceRecord &r) {
+                writer.append(r);
+            });
+            writer.finish();
+            std::printf("synthesized %llu records to %s "
+                        "(%llu chunks, %llu coded bytes)\n",
+                        static_cast<unsigned long long>(
+                            writer.recordsWritten()),
+                        out.c_str(),
+                        static_cast<unsigned long long>(
+                            writer.chunksWritten()),
+                        static_cast<unsigned long long>(
+                            writer.codedBytes()));
+            return 0;
+        }
+        const trace::MaskTrace t = trace::synthesize(p);
+        writeAny(out, t, format, chunk_records);
         std::printf("synthesized %llu records to %s\n",
                     static_cast<unsigned long long>(t.size()),
                     out.c_str());
-        analyze(t);
+        printAnalysis(p.name, trace::analyzeTrace(t));
         return 0;
     }
 
@@ -154,8 +316,44 @@ main(int argc, char **argv)
         const std::string in = opts.getString("in", "");
         if (in.empty())
             return usage();
-        analyze(readAny(in));
+        tracestream::StreamAnalyzeOptions options;
+        options.jobs =
+            static_cast<unsigned>(opts.getInt("jobs", 1));
+        options.stream.ioThreads = static_cast<unsigned>(
+            opts.getInt("io_threads", options.stream.ioThreads));
+        options.stream.ringChunks = static_cast<unsigned>(
+            opts.getInt("ring", options.stream.ringChunks));
+        const trace::TraceAnalysis a =
+            tracestream::analyzeTraceFile(in, options);
+        printAnalysis(in, a);
+
+        const auto budget_mb = static_cast<std::uint64_t>(
+            opts.getInt("rss_budget_mb", 0));
+        if (budget_mb > 0) {
+            const std::uint64_t peak = peakRssMb();
+            if (peak == 0) {
+                std::puts("  peak RSS           : unavailable on this "
+                          "platform; budget not enforced");
+            } else {
+                std::printf("  peak RSS           : %llu MB "
+                            "(budget %llu MB)\n",
+                            static_cast<unsigned long long>(peak),
+                            static_cast<unsigned long long>(budget_mb));
+                fatal_if(peak > budget_mb,
+                         "peak RSS %llu MB exceeds the %llu MB budget "
+                         "(streaming is not out-of-core?)",
+                         static_cast<unsigned long long>(peak),
+                         static_cast<unsigned long long>(budget_mb));
+            }
+        }
         return 0;
+    }
+
+    if (cmd == "info") {
+        const std::string in = opts.getString("in", "");
+        if (in.empty())
+            return usage();
+        return cmdInfo(in);
     }
 
     if (cmd == "convert") {
@@ -163,7 +361,11 @@ main(int argc, char **argv)
         const std::string out = opts.getString("out", "");
         if (in.empty() || out.empty())
             return usage();
-        writeAny(out, readAny(in), opts.getBool("text", false));
+        const trace::MaskTrace t = readAny(in);
+        writeAny(out, t, outputFormat(opts), chunk_records);
+        std::printf("converted %llu records: %s -> %s\n",
+                    static_cast<unsigned long long>(t.size()),
+                    in.c_str(), out.c_str());
         return 0;
     }
 

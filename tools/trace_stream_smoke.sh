@@ -1,0 +1,54 @@
+#!/bin/sh
+# Streaming trace pipeline smoke test.
+#
+# Exercises the full out-of-core path end to end:
+#   1. synthesize a multi-million-record trace straight into the
+#      chunked .iwct container (never holding it in memory),
+#   2. analyze it with the sharded streaming analyzer under a hard
+#      peak-RSS budget (the analyzer aborts if VmHWM exceeds it),
+#   3. convert the container to the legacy in-memory binary format,
+#      analyze that with the in-memory path, and require the two
+#      reports to be byte-identical.
+#
+# Usage: trace_stream_smoke.sh <path-to-iwc_trace> [records]
+set -eu
+
+IWC_TRACE=${1:?usage: trace_stream_smoke.sh <iwc_trace> [records]}
+RECORDS=${2:-4000000}
+RSS_BUDGET_MB=${RSS_BUDGET_MB:-256}
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/iwc_stream_smoke.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+container=$workdir/smoke.iwct
+legacy=$workdir/smoke.bin
+
+echo "== synth $RECORDS records -> $container"
+"$IWC_TRACE" cmd=synth profile=luxmark_sala instrs="$RECORDS" \
+    out="$container" format=container
+
+"$IWC_TRACE" cmd=info in="$container"
+
+echo "== streamed analyze (jobs=4, rss budget ${RSS_BUDGET_MB}MB)"
+"$IWC_TRACE" cmd=analyze in="$container" jobs=4 \
+    rss_budget_mb="$RSS_BUDGET_MB" > "$workdir/streamed.txt"
+
+echo "== convert to legacy binary + in-memory analyze"
+"$IWC_TRACE" cmd=convert in="$container" out="$legacy" format=binary
+"$IWC_TRACE" cmd=analyze in="$legacy" > "$workdir/inmemory.txt"
+
+# Normalize before diffing: the report header embeds the input path,
+# and the streamed run appends a peak-RSS line the in-memory path
+# lacks. Every analysis number must match exactly.
+normalize() {
+    sed -e 's/^trace .*: \([0-9]* records\)$/trace: \1/' \
+        -e '/peak RSS/d' "$1"
+}
+normalize "$workdir/streamed.txt" > "$workdir/streamed_cmp.txt"
+normalize "$workdir/inmemory.txt" > "$workdir/inmemory_cmp.txt"
+if ! diff -u "$workdir/inmemory_cmp.txt" "$workdir/streamed_cmp.txt"; then
+    echo "FAIL: streamed analysis diverges from the in-memory analyzer" >&2
+    exit 1
+fi
+
+echo "OK: streamed analysis is bit-identical to the in-memory path"
