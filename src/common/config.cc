@@ -65,6 +65,20 @@ OptionMap::getDouble(const std::string &key, double def) const
     return v;
 }
 
+std::vector<std::string>
+OptionMap::unknownKeys(std::initializer_list<const char *> valid) const
+{
+    std::vector<std::string> unknown;
+    for (const auto &[key, value] : opts_) {
+        bool known = false;
+        for (const char *v : valid)
+            known = known || key == v;
+        if (!known)
+            unknown.push_back(key);
+    }
+    return unknown;
+}
+
 bool
 OptionMap::getBool(const std::string &key, bool def) const
 {

@@ -9,8 +9,10 @@
 #define IWC_COMMON_CONFIG_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace iwc
 {
@@ -40,6 +42,14 @@ class OptionMap
     bool getBool(const std::string &key, bool def) const;
 
     const std::map<std::string, std::string> &raw() const { return opts_; }
+
+    /**
+     * Keys present in the map but absent from @p valid, in sorted
+     * order. Tools that know their full key set call this to reject
+     * typos ("sclae=2") instead of silently running with defaults.
+     */
+    std::vector<std::string>
+    unknownKeys(std::initializer_list<const char *> valid) const;
 
   private:
     std::map<std::string, std::string> opts_;

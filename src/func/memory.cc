@@ -1,8 +1,10 @@
 #include "func/memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bitutil.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace iwc::func
@@ -79,6 +81,31 @@ GlobalMemory::write(Addr addr, const void *in, std::uint64_t bytes)
         addr += chunk;
         bytes -= chunk;
     }
+}
+
+std::uint64_t
+GlobalMemory::digest() const
+{
+    // All-zero pages are indistinguishable from untouched ones to any
+    // reader, so skip them: the digest depends only on observable
+    // contents, not on which addresses happened to be written.
+    std::vector<std::uint64_t> nums;
+    nums.reserve(pages_.size());
+    for (const auto &[num, page] : pages_) {
+        const bool all_zero = std::all_of(
+            page.begin(), page.end(),
+            [](std::uint8_t b) { return b == 0; });
+        if (!all_zero)
+            nums.push_back(num);
+    }
+    std::sort(nums.begin(), nums.end());
+
+    Fnv64 h;
+    for (const std::uint64_t num : nums) {
+        h.add(num);
+        h.addBytes(pages_.at(num).data(), pages_.at(num).size());
+    }
+    return h.value();
 }
 
 void

@@ -54,6 +54,15 @@ class GlobalMemory
     /** Total bytes handed out by the allocator. */
     std::uint64_t allocatedBytes() const { return nextFree_ - kPageBytes; }
 
+    /**
+     * Stable digest of every resident byte (pages walked in address
+     * order, each prefixed by its page number). Two memories that
+     * answer every read identically — including never-touched pages,
+     * which read as zero — produce equal digests, so this is the
+     * "final memory state" half of the melder's differential gate.
+     */
+    std::uint64_t digest() const;
+
   private:
     using Page = std::vector<std::uint8_t>;
 

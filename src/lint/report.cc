@@ -72,10 +72,6 @@ renderText(const Report &report, const isa::Kernel *kernel)
     return out;
 }
 
-namespace
-{
-
-/** Minimal JSON string escaping (quotes, backslashes, control chars). */
 std::string
 jsonEscape(const std::string &s)
 {
@@ -87,10 +83,15 @@ jsonEscape(const std::string &s)
           case '\\': out += "\\\\"; break;
           case '\n': out += "\\n"; break;
           case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
           default:
             if (static_cast<unsigned char>(c) < 0x20) {
                 char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
                 out += buf;
             } else {
                 out += c;
@@ -99,8 +100,6 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
-
-} // namespace
 
 std::string
 renderJson(const Report &report)

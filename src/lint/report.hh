@@ -99,6 +99,15 @@ std::string renderText(const Report &report,
 /** Machine-readable rendering (a JSON object, diagnostics as array). */
 std::string renderJson(const Report &report);
 
+/**
+ * Escapes @p s for embedding inside a JSON string literal: quotes,
+ * backslashes, and every control character below 0x20. Shared by all
+ * machine-readable render paths (lint reports, meld reports, tools)
+ * so kernel and check names containing quotes or backslashes always
+ * round-trip through a JSON parser.
+ */
+std::string jsonEscape(const std::string &s);
+
 } // namespace iwc::lint
 
 #endif // IWC_LINT_REPORT_HH

@@ -285,10 +285,31 @@ enum class DefState : std::uint8_t
     Def,
 };
 
+/**
+ * One half of a complementary predicated write pair: a full-width
+ * write under (flag, sense) leaves its target Partial, but remembers
+ * the predicate so the opposite-sense write of the same width can
+ * upgrade the target to Def — together the two writes cover every
+ * channel. The melder (src/xform) emits exactly this shape when it
+ * if-converts a diamond, and without the refinement every melded
+ * kernel would drown in partial-read warnings.
+ */
+struct PendingPred
+{
+    std::int8_t flag = -1; ///< predicate flag index, -1 = no pending
+    isa::PredCtrl ctrl = PredCtrl::None;
+    std::uint8_t width = 0;
+
+    bool operator==(const PendingPred &) const = default;
+};
+
 struct FlowState
 {
     std::array<DefState, kGrfRegCount> reg{};
     std::array<DefState, kNumFlags> flag{};
+    /** Pending complementary-write predicate per reg / flag target. */
+    std::array<PendingPred, kGrfRegCount> pend{};
+    std::array<PendingPred, kNumFlags> flagPend{};
 
     bool operator==(const FlowState &) const = default;
 };
@@ -300,6 +321,16 @@ mergeState(DefState a, DefState b)
     return a == b ? a : DefState::Partial;
 }
 
+/** Pendings must agree on both paths into a join to survive it. */
+bool
+mergePending(PendingPred &into, const PendingPred &from)
+{
+    if (into == from || into.flag < 0)
+        return false;
+    into = from.flag < 0 ? from : PendingPred{};
+    return true;
+}
+
 bool
 mergeInto(FlowState &into, const FlowState &from)
 {
@@ -308,13 +339,22 @@ mergeInto(FlowState &into, const FlowState &from)
         const DefState m = mergeState(into.reg[r], from.reg[r]);
         changed |= m != into.reg[r];
         into.reg[r] = m;
+        changed |= mergePending(into.pend[r], from.pend[r]);
     }
     for (unsigned f = 0; f < kNumFlags; ++f) {
         const DefState m = mergeState(into.flag[f], from.flag[f]);
         changed |= m != into.flag[f];
         into.flag[f] = m;
+        changed |= mergePending(into.flagPend[f], from.flagPend[f]);
     }
     return changed;
+}
+
+isa::PredCtrl
+oppositeSense(isa::PredCtrl ctrl)
+{
+    return ctrl == PredCtrl::Normal ? PredCtrl::Inverted
+                                    : PredCtrl::Normal;
 }
 
 /** The dataflow engine for the def-before-use pass. */
@@ -411,17 +451,48 @@ class DefUse
     }
 
     void
-    writeRegs(const Operand &op, unsigned width, bool full,
-              FlowState &state)
+    writeRegs(const Operand &op, const Instruction &in, FlowState &state)
     {
-        const RegSpan range = operandRegs(op, width);
+        const RegSpan range = operandRegs(op, in.simdWidth);
         if (!range.valid)
             return;
-        const bool partial = !full || op.scalar;
+        const bool predicated = in.predCtrl != PredCtrl::None;
+        if (op.scalar) {
+            // A scalar write touches element 0 only, whatever the
+            // predicate: never more than Partial, and never half of a
+            // complementary pair.
+            for (unsigned r = range.first; r <= range.last; ++r) {
+                state.reg[r] = mergeState(state.reg[r], DefState::Def);
+                state.pend[r] = PendingPred{};
+            }
+            return;
+        }
+        if (!predicated) {
+            for (unsigned r = range.first; r <= range.last; ++r) {
+                state.reg[r] = DefState::Def;
+                state.pend[r] = PendingPred{};
+            }
+            return;
+        }
+        // Predicated vector write: Partial on its own, Def when it
+        // completes a same-width opposite-sense write of the same
+        // registers with the predicate untouched in between (see
+        // PendingPred).
+        const PendingPred complement{static_cast<std::int8_t>(in.predFlag),
+                                     oppositeSense(in.predCtrl),
+                                     in.simdWidth};
+        const PendingPred mine{static_cast<std::int8_t>(in.predFlag),
+                               in.predCtrl, in.simdWidth};
         for (unsigned r = range.first; r <= range.last; ++r) {
-            state.reg[r] = partial
-                ? mergeState(state.reg[r], DefState::Def)
-                : DefState::Def;
+            if (state.reg[r] == DefState::Def) {
+                state.pend[r] = PendingPred{};
+            } else if (state.pend[r] == complement) {
+                state.reg[r] = DefState::Def;
+                state.pend[r] = PendingPred{};
+            } else {
+                state.reg[r] = mergeState(state.reg[r], DefState::Def);
+                state.pend[r] = mine;
+            }
         }
     }
 
@@ -468,26 +539,53 @@ class DefUse
         if (in.op == Opcode::Sel)
             readFlag(in.condFlag, ip, state, report);
 
-        if (in.op == Opcode::Cmp) {
+        if (in.op == Opcode::Cmp && in.condFlag < kNumFlags) {
             // Only enabled channels update their flag bit, so a
             // predicated or narrower-than-kernel cmp leaves the rest
-            // of the flag stale.
-            const bool full =
-                !predicated && in.simdWidth >= view_.simdWidth;
-            if (in.condFlag < kNumFlags) {
-                state.flag[in.condFlag] = full
-                    ? DefState::Def
-                    : mergeState(state.flag[in.condFlag], DefState::Def);
+            // of the flag stale — unless it completes a complementary
+            // full-width pair (same rules as register writes).
+            DefState &fs = state.flag[in.condFlag];
+            PendingPred &fp = state.flagPend[in.condFlag];
+            if (in.simdWidth < view_.simdWidth) {
+                fs = mergeState(fs, DefState::Def);
+                fp = PendingPred{};
+            } else if (!predicated) {
+                fs = DefState::Def;
+                fp = PendingPred{};
+            } else {
+                const PendingPred complement{
+                    static_cast<std::int8_t>(in.predFlag),
+                    oppositeSense(in.predCtrl), in.simdWidth};
+                if (fs == DefState::Def) {
+                    fp = PendingPred{};
+                } else if (fp == complement) {
+                    fs = DefState::Def;
+                    fp = PendingPred{};
+                } else {
+                    fs = mergeState(fs, DefState::Def);
+                    fp = PendingPred{static_cast<std::int8_t>(in.predFlag),
+                                     in.predCtrl, in.simdWidth};
+                }
             }
+            // The flag's value changed: any pending keyed on it can no
+            // longer pair with a write that observed the old value.
+            for (unsigned r = 0; r < kGrfRegCount; ++r)
+                if (state.pend[r].flag == in.condFlag)
+                    state.pend[r] = PendingPred{};
+            for (unsigned f = 0; f < kNumFlags; ++f)
+                if (f != in.condFlag &&
+                    state.flagPend[f].flag == in.condFlag)
+                    state.flagPend[f] = PendingPred{};
+            if (predicated && in.predFlag == in.condFlag)
+                state.flagPend[in.condFlag] = PendingPred{};
         }
-        writeRegs(in.dst, in.simdWidth, !predicated, state);
+        writeRegs(in.dst, in, state);
     }
 
     void
     transferSend(std::uint32_t ip, const Instruction &in,
                  FlowState &state, Report *report)
     {
-        const bool predicated = in.predCtrl != PredCtrl::None;
         switch (in.send.op) {
           case SendOp::Barrier:
           case SendOp::Fence:
@@ -498,8 +596,10 @@ class DefUse
             if (in.dst.isGrf()) {
                 for (unsigned i = 0; i < in.send.numRegs; ++i) {
                     const unsigned r = in.dst.reg + i;
-                    if (r < kGrfRegCount)
+                    if (r < kGrfRegCount) {
                         state.reg[r] = DefState::Def;
+                        state.pend[r] = PendingPred{};
+                    }
                 }
             }
             return;
@@ -521,7 +621,7 @@ class DefUse
           case SendOp::GatherLoad:
           case SendOp::SlmGatherLoad:
             readRegs(in, in.src0, "address", ip, state, report);
-            writeRegs(in.dst, in.simdWidth, !predicated, state);
+            writeRegs(in.dst, in, state);
             return;
           case SendOp::ScatterStore:
           case SendOp::SlmScatterStore:
@@ -531,7 +631,7 @@ class DefUse
           case SendOp::SlmAtomicAdd:
             readRegs(in, in.src0, "address", ip, state, report);
             readRegs(in, in.src1, "addend", ip, state, report);
-            writeRegs(in.dst, in.simdWidth, !predicated, state);
+            writeRegs(in.dst, in, state);
             return;
         }
     }

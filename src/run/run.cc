@@ -10,6 +10,7 @@
 #include "tracestream/analyze.hh"
 #include "tracestream/writer.hh"
 #include "workloads/registry.hh"
+#include "xform/meld.hh"
 
 namespace iwc::run
 {
@@ -90,7 +91,8 @@ cacheKeyFor(const RunRequest &request)
     key.kind = static_cast<std::uint8_t>(request.kind);
     key.backend = static_cast<std::uint8_t>(request.backend);
     key.flags = static_cast<std::uint8_t>(
-        (request.checkOutput ? 1u : 0u) | (request.lint ? 2u : 0u));
+        (request.checkOutput ? 1u : 0u) | (request.lint ? 2u : 0u) |
+        (request.meld ? 4u : 0u));
     return key;
 }
 
@@ -186,6 +188,8 @@ executeRun(const RunRequest &request)
         }
         gpu::Device dev(config);
         workloads::Workload w = buildWorkload(request, dev);
+        if (request.meld)
+            w.kernel = xform::meldKernel(w.kernel).kernel;
         result.kernelDigest = w.kernel.digest();
         if (request.lint)
             lint::verifyOrDie(w.kernel);
@@ -204,6 +208,8 @@ executeRun(const RunRequest &request)
             config.eu.backend = request.backend;
         gpu::Device dev(config);
         workloads::Workload w = buildWorkload(request, dev);
+        if (request.meld)
+            w.kernel = xform::meldKernel(w.kernel).kernel;
         result.kernelDigest = w.kernel.digest();
         if (request.lint)
             lint::verifyOrDie(w.kernel);

@@ -116,6 +116,15 @@ struct RunRequest
      * simulation, but opt-in so sweeps choose their own strictness.
      */
     bool lint = false;
+    /**
+     * Run the control-flow melder (src/xform) over the built kernel
+     * before simulating: divergent if/else diamonds are if-converted
+     * into predicated straight-line code. Functionally bit-identical
+     * by construction (the melder re-verifies and reverts on any
+     * legality failure), so the flag only changes cycle counts — part
+     * of the cache key like lint/checkOutput.
+     */
+    bool meld = false;
 
     // --- Convenience constructors ---------------------------------------
 
@@ -145,7 +154,7 @@ struct CacheKey
     std::uint32_t scale = 1;
     std::uint8_t kind = 0;
     std::uint8_t backend = 0;
-    /** checkOutput/lint bits — they add fields to the result. */
+    /** checkOutput/lint/meld bits — they change the result. */
     std::uint8_t flags = 0;
 
     bool operator==(const CacheKey &) const = default;

@@ -35,7 +35,8 @@ cacheKey(const RunRequest &request)
         return {}; // opaque builder: never shared
     if (request.kind == JobKind::FunctionalTrace)
         return "w:" + request.workload + "@" +
-               std::to_string(request.scale);
+               std::to_string(request.scale) +
+               (request.meld ? "+meld" : "");
     if (request.kind == JobKind::SyntheticTrace)
         return "t:" + request.traceProfile;
     return {};
@@ -145,11 +146,17 @@ SweepRunner::run(const std::vector<RunRequest> &requests)
         if (const auto &entry = entry_of[i]) {
             std::call_once(entry->once, [&] {
                 executions.fetch_add(1, std::memory_order_relaxed);
-                entry->analysis =
-                    request.kind == JobKind::FunctionalTrace
-                        ? analyzeWorkload(request.workload,
-                                          request.scale)
-                        : analyzeSyntheticProfile(request.traceProfile);
+                if (request.kind != JobKind::FunctionalTrace)
+                    entry->analysis =
+                        analyzeSyntheticProfile(request.traceProfile);
+                else if (request.meld)
+                    // Melding rewrites the kernel, so the analysis is
+                    // meld-specific (the key carries a "+meld" tag);
+                    // route through executeRun, which applies it.
+                    entry->analysis = executeRun(request).analysis;
+                else
+                    entry->analysis = analyzeWorkload(request.workload,
+                                                      request.scale);
             });
             results[i].kind = request.kind;
             results[i].label = request.kind == JobKind::FunctionalTrace

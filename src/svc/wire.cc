@@ -110,6 +110,7 @@ namespace
 constexpr std::uint8_t kFlagCheckOutput = 1u << 0;
 constexpr std::uint8_t kFlagLint = 1u << 1;
 constexpr std::uint8_t kFlagTrace = 1u << 2;
+constexpr std::uint8_t kFlagMeld = 1u << 3;
 
 } // namespace
 
@@ -133,6 +134,8 @@ encodeSubmit(const SubmitMsg &msg)
         flags |= kFlagLint;
     if (r.trace)
         flags |= kFlagTrace;
+    if (r.meld)
+        flags |= kFlagMeld;
     w.u8(flags);
     w.u64(r.traceCapacity);
     w.str(r.workload);
@@ -164,6 +167,7 @@ decodeSubmit(std::string_view payload, SubmitMsg &out)
     out.request.checkOutput = flags & kFlagCheckOutput;
     out.request.lint = flags & kFlagLint;
     out.request.trace = flags & kFlagTrace;
+    out.request.meld = flags & kFlagMeld;
     out.request.traceCapacity = r.u64();
     out.request.workload = r.str();
     out.request.traceProfile = r.str();

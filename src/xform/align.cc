@@ -1,0 +1,107 @@
+#include "xform/align.hh"
+
+#include <algorithm>
+
+#include "common/types.hh"
+
+namespace iwc::xform
+{
+
+namespace
+{
+
+bool
+sameOperand(const isa::Operand &a, const isa::Operand &b)
+{
+    if (a.file != b.file)
+        return false;
+    switch (a.file) {
+      case isa::RegFile::Null:
+        return true;
+      case isa::RegFile::Imm:
+        return a.type == b.type && a.imm == b.imm &&
+            a.negate == b.negate && a.absolute == b.absolute;
+      case isa::RegFile::Grf:
+        return a.reg == b.reg && a.subReg == b.subReg &&
+            a.type == b.type && a.scalar == b.scalar &&
+            a.negate == b.negate && a.absolute == b.absolute;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+sameInstruction(const isa::Instruction &a, const isa::Instruction &b)
+{
+    if (a.op != b.op || a.simdWidth != b.simdWidth)
+        return false;
+    if (!sameOperand(a.dst, b.dst) || !sameOperand(a.src0, b.src0) ||
+        !sameOperand(a.src1, b.src1) || !sameOperand(a.src2, b.src2))
+        return false;
+    if (a.predCtrl != b.predCtrl || a.predFlag != b.predFlag)
+        return false;
+    if (a.condMod != b.condMod || a.condFlag != b.condFlag)
+        return false;
+    if (a.op == isa::Opcode::Send) {
+        return a.send.op == b.send.op && a.send.type == b.send.type &&
+            a.send.numRegs == b.send.numRegs;
+    }
+    return true;
+}
+
+unsigned
+instrCycles(const isa::Instruction &in)
+{
+    const unsigned bytes = in.simdWidth * isa::execElemBytes(in);
+    return std::max(1u, (bytes + kAluDatapathBytes - 1) / kAluDatapathBytes);
+}
+
+Alignment
+alignArms(const isa::Instruction *instrs, std::uint32_t t0,
+          std::uint32_t t1, std::uint32_t e0, std::uint32_t e1)
+{
+    const std::uint32_t m = t1 - t0;
+    const std::uint32_t n = e1 - e0;
+
+    // dp[i][j] = best score aligning then[i..m) with else[j..n).
+    std::vector<unsigned> dp((m + 1) * (n + 1), 0);
+    const auto at = [&](std::uint32_t i, std::uint32_t j) -> unsigned & {
+        return dp[i * (n + 1) + j];
+    };
+    for (std::uint32_t i = m; i-- > 0;) {
+        for (std::uint32_t j = n; j-- > 0;) {
+            unsigned best = std::max(at(i + 1, j), at(i, j + 1));
+            if (sameInstruction(instrs[t0 + i], instrs[e0 + j])) {
+                best = std::max(
+                    best, at(i + 1, j + 1) + instrCycles(instrs[t0 + i]));
+            }
+            at(i, j) = best;
+        }
+    }
+
+    Alignment out;
+    out.score = at(0, 0);
+    out.ops.reserve(m + n);
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
+    while (i < m || j < n) {
+        if (i < m && j < n &&
+            sameInstruction(instrs[t0 + i], instrs[e0 + j]) &&
+            at(i, j) == at(i + 1, j + 1) + instrCycles(instrs[t0 + i])) {
+            out.ops.push_back({AlignKind::Match, t0 + i, e0 + j});
+            ++out.matches;
+            ++i;
+            ++j;
+        } else if (i < m && (j == n || at(i, j) == at(i + 1, j))) {
+            out.ops.push_back({AlignKind::ThenOnly, t0 + i, 0});
+            ++i;
+        } else {
+            out.ops.push_back({AlignKind::ElseOnly, 0, e0 + j});
+            ++j;
+        }
+    }
+    return out;
+}
+
+} // namespace iwc::xform

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Instruction-sequence alignment for the control-flow melder: a
+ * cycle-weighted global alignment (Needleman-Wunsch over a match /
+ * skip-then / skip-else edit alphabet) of the two arms of an if/else
+ * diamond. Only semantically identical instructions may pair, so the
+ * optimum is a weighted longest-common-subsequence where the weight of
+ * a pair is the datapath cycles merging it would save; everything the
+ * DP leaves unpaired is later emitted twice under complementary
+ * predicates.
+ */
+
+#ifndef IWC_XFORM_ALIGN_HH
+#define IWC_XFORM_ALIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace iwc::xform
+{
+
+/** One step of an arm alignment (a monotone edit script). */
+enum class AlignKind : std::uint8_t
+{
+    Match,    ///< identical instruction in both arms
+    ThenOnly, ///< instruction only in the then arm
+    ElseOnly, ///< instruction only in the else arm
+};
+
+struct AlignOp
+{
+    AlignKind kind = AlignKind::ThenOnly;
+    std::uint32_t thenIp = 0; ///< valid for Match / ThenOnly
+    std::uint32_t elseIp = 0; ///< valid for Match / ElseOnly
+};
+
+struct Alignment
+{
+    std::vector<AlignOp> ops;
+    unsigned matches = 0; ///< number of Match steps
+    unsigned score = 0;   ///< summed instrCycles of matched pairs
+};
+
+/**
+ * Field-wise semantic equality: opcode, width, operands (including
+ * source modifiers), predication, condition modifier and flags, and —
+ * for sends — the message descriptor. Branch targets are excluded;
+ * the melder never aligns control flow anyway.
+ */
+bool sameInstruction(const isa::Instruction &a, const isa::Instruction &b);
+
+/**
+ * Datapath cycles one full-mask execution of @p in occupies on the
+ * 16 B/cycle EU datapath — the similarity weight of the cost model.
+ */
+unsigned instrCycles(const isa::Instruction &in);
+
+/**
+ * Globally aligns the arm instruction ranges [t0, t1) and [e0, e1) of
+ * one instruction stream, maximizing the summed cycle weight of
+ * matched identical instructions. O(|then| * |else|) time and space.
+ */
+Alignment alignArms(const isa::Instruction *instrs, std::uint32_t t0,
+                    std::uint32_t t1, std::uint32_t e0, std::uint32_t e1);
+
+} // namespace iwc::xform
+
+#endif // IWC_XFORM_ALIGN_HH

@@ -1,0 +1,121 @@
+#include "xform/diff.hh"
+
+#include <vector>
+
+#include "common/hash.hh"
+#include "gpu/device.hh"
+#include "workloads/registry.hh"
+
+namespace iwc::xform
+{
+
+namespace
+{
+
+/**
+ * Ordered digest of the externally visible substream of one launch:
+ * memory accesses, barriers, and thread retirement, each tagged with
+ * the issuing thread — everything except the ips and per-thread step
+ * counts melding legitimately changes.
+ */
+struct EffectDigest
+{
+    Fnv64 hash;
+    std::uint64_t instructions = 0;
+
+    void
+    step(const gpu::DetailedStep &s)
+    {
+        ++instructions;
+        const func::StepResult &r = *s.result;
+        if (!r.hasMem && !r.isBarrier && !r.isHalt)
+            return;
+        hash.add(s.workgroup);
+        hash.add(s.subgroup);
+        hash.add((std::uint64_t{r.isBarrier} << 1) |
+                 std::uint64_t{r.isHalt});
+        if (!r.hasMem)
+            return;
+        const func::MemAccess &mem = r.mem;
+        hash.add(static_cast<std::uint64_t>(mem.op));
+        hash.add(mem.elemBytes);
+        hash.add(mem.mask);
+        if (mem.isBlock) {
+            hash.add(mem.blockAddr);
+            hash.add(mem.blockBytes);
+            return;
+        }
+        for (unsigned ch = 0; ch < kMaxSimdWidth; ++ch)
+            if (mem.mask & (LaneMask{1} << ch))
+                hash.add(mem.addrs[ch]);
+    }
+};
+
+struct RunOutcome
+{
+    std::uint64_t memStream = 0;
+    std::uint64_t finalMem = 0;
+    std::uint64_t instructions = 0;
+    bool checkOk = false;
+};
+
+RunOutcome
+runOnce(const std::string &name, unsigned scale,
+        func::BackendKind backend, const MeldOptions *meld,
+        MeldReport *report_out)
+{
+    gpu::Device dev;
+    workloads::Workload w = workloads::make(name, dev, scale);
+    if (meld != nullptr) {
+        MeldResult melded = meldKernel(w.kernel, *meld);
+        if (report_out != nullptr)
+            *report_out = melded.report;
+        w.kernel = std::move(melded.kernel);
+    }
+
+    std::vector<std::uint32_t> arg_words;
+    arg_words.reserve(w.args.size());
+    for (const gpu::Arg &a : w.args)
+        arg_words.push_back(a.raw);
+
+    EffectDigest digest;
+    gpu::runKernelFunctionalDetailed(
+        w.kernel, dev.memory(), w.globalSize, w.localSize, arg_words,
+        [&digest](const gpu::DetailedStep &s) { digest.step(s); },
+        backend);
+
+    RunOutcome out;
+    out.memStream = digest.hash.value();
+    out.instructions = digest.instructions;
+    out.finalMem = dev.memory().digest();
+    out.checkOk = w.check ? w.check(dev) : true;
+    return out;
+}
+
+} // namespace
+
+MeldDiff
+runMeldDiff(const std::string &workload, unsigned scale,
+            func::BackendKind backend, const MeldOptions &options)
+{
+    MeldDiff diff;
+    diff.workload = workload;
+
+    const RunOutcome original =
+        runOnce(workload, scale, backend, nullptr, nullptr);
+    const RunOutcome melded =
+        runOnce(workload, scale, backend, &options, &diff.report);
+
+    diff.meldedBranches = diff.report.meldedBranches();
+    diff.memStreamOriginal = original.memStream;
+    diff.memStreamMelded = melded.memStream;
+    diff.finalMemOriginal = original.finalMem;
+    diff.finalMemMelded = melded.finalMem;
+    diff.instrsOriginal = original.instructions;
+    diff.instrsMelded = melded.instructions;
+    diff.checkOriginal = original.checkOk;
+    diff.checkMelded = melded.checkOk;
+    return diff;
+}
+
+} // namespace iwc::xform

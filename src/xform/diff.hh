@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The melder's functional differential gate: proves a transformed
+ * kernel bit-identical to the original by executing both and
+ * comparing everything melding is allowed to preserve.
+ *
+ * A melded kernel necessarily retires a different instruction stream
+ * (that is the point), so the classic per-step ip digest cannot match.
+ * What must match, and what the interpreter's scheduling makes
+ * deterministic, is:
+ *  - the ordered memory-access substream: every send's kind, element
+ *    size, execution mask, and per-lane (or block) addresses, tagged
+ *    with the issuing thread — threads run to their next barrier in a
+ *    fixed order, and sends are never melded, so the global order is
+ *    invariant under the transform;
+ *  - the final global-memory image (GlobalMemory::digest), which
+ *    folds in every value any store produced;
+ *  - the workload's host-side reference check.
+ * Together these pin both the addresses/masks and the data of every
+ * externally visible effect, under either execution backend.
+ */
+
+#ifndef IWC_XFORM_DIFF_HH
+#define IWC_XFORM_DIFF_HH
+
+#include <cstdint>
+#include <string>
+
+#include "func/exec_backend.hh"
+#include "xform/meld.hh"
+
+namespace iwc::xform
+{
+
+/** Everything one original-vs-melded differential run compared. */
+struct MeldDiff
+{
+    std::string workload;
+    /** Branches actually melded; 0 means the kernels are identical. */
+    unsigned meldedBranches = 0;
+    MeldReport report;
+
+    std::uint64_t memStreamOriginal = 0;
+    std::uint64_t memStreamMelded = 0;
+    std::uint64_t finalMemOriginal = 0;
+    std::uint64_t finalMemMelded = 0;
+    std::uint64_t instrsOriginal = 0;
+    std::uint64_t instrsMelded = 0;
+    bool checkOriginal = false;
+    bool checkMelded = false;
+
+    bool
+    identical() const
+    {
+        return memStreamOriginal == memStreamMelded &&
+            finalMemOriginal == finalMemMelded && checkOriginal &&
+            checkMelded && !report.reverted;
+    }
+};
+
+/**
+ * Builds the named registry workload twice on fresh devices, melds
+ * one copy, executes both under @p backend, and compares (see file
+ * comment). Fatals only on unknown workload names.
+ */
+MeldDiff runMeldDiff(const std::string &workload, unsigned scale,
+                     func::BackendKind backend,
+                     const MeldOptions &options = {});
+
+} // namespace iwc::xform
+
+#endif // IWC_XFORM_DIFF_HH

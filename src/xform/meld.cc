@@ -1,0 +1,457 @@
+#include "xform/meld.hh"
+
+#include <algorithm>
+#include <bitset>
+
+#include "common/logging.hh"
+#include "lint/cfg.hh"
+#include "lint/divergence.hh"
+#include "lint/verifier.hh"
+#include "xform/align.hh"
+
+namespace iwc::xform
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::PredCtrl;
+
+namespace
+{
+
+/** ALU/EM source arity (mirrors the interpreter's operand reads). */
+unsigned
+numAluSrcs(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov:
+      case Opcode::Not:
+      case Opcode::Rndd:
+      case Opcode::Frc:
+      case Opcode::Inv:
+      case Opcode::Sqrt:
+      case Opcode::Rsqrt:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::Exp2:
+      case Opcode::Log2:
+        return 1;
+      case Opcode::Mad:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+using RegSet = std::bitset<kGrfRegCount>;
+
+void
+addSpan(RegSet &set, const Operand &op, unsigned width)
+{
+    const lint::RegSpan span = lint::operandRegs(op, width);
+    if (!span.valid)
+        return;
+    for (unsigned r = span.first; r <= span.last; ++r)
+        set.set(r);
+}
+
+/** Registers an arm writes (ALU dsts; arms contain no sends). */
+RegSet
+armWrites(const lint::KernelView &view, std::uint32_t begin,
+          std::uint32_t end)
+{
+    RegSet writes;
+    for (std::uint32_t ip = begin; ip < end; ++ip)
+        addSpan(writes, view.at(ip).dst, view.at(ip).simdWidth);
+    return writes;
+}
+
+/**
+ * Registers one instruction reads as a broadcast (scalar stride-0
+ * source) — the only register reads that cross channel boundaries.
+ */
+RegSet
+scalarReads(const Instruction &in)
+{
+    RegSet reads;
+    const Operand *srcs[3] = {&in.src0, &in.src1, &in.src2};
+    const unsigned arity = numAluSrcs(in.op);
+    for (unsigned i = 0; i < arity; ++i) {
+        if (srcs[i]->isGrf() && srcs[i]->scalar)
+            addSpan(reads, *srcs[i], in.simdWidth);
+    }
+    return reads;
+}
+
+RegSet
+armScalarReads(const lint::KernelView &view, std::uint32_t begin,
+               std::uint32_t end)
+{
+    RegSet reads;
+    for (std::uint32_t ip = begin; ip < end; ++ip)
+        reads |= scalarReads(view.at(ip));
+    return reads;
+}
+
+PredCtrl
+oppositeSense(PredCtrl ctrl)
+{
+    return ctrl == PredCtrl::Normal ? PredCtrl::Inverted
+                                    : PredCtrl::Normal;
+}
+
+/** One meldable diamond with its alignment, ready for emission. */
+struct PlannedMeld
+{
+    std::uint32_t headIp = 0; ///< ip of the If (start of the cut)
+    std::uint32_t endIp = 0;  ///< ip of the EndIf (end of the cut)
+    Alignment alignment;
+    /** Per alignment op: Match steps safe to merge into one copy. */
+    std::vector<bool> mergeable;
+    PredCtrl thenSense = PredCtrl::Normal;
+    std::uint8_t predFlag = 0;
+};
+
+/**
+ * Decides the verdict for one If region and, when meldable, plans the
+ * alignment and per-pair merge safety.
+ */
+void
+classify(const lint::KernelView &view, const lint::Region &region,
+         const lint::DivergenceReport &div, const MeldOptions &options,
+         MeldCandidate &cand, PlannedMeld &plan)
+{
+    const auto head = static_cast<std::uint32_t>(region.headIp);
+    const auto end = static_cast<std::uint32_t>(region.endIp);
+    const Instruction &ifInstr = view.at(head);
+
+    const std::uint32_t t0 = head + 1;
+    const std::uint32_t t1 =
+        region.elseIp >= 0 ? static_cast<std::uint32_t>(region.elseIp)
+                           : end;
+    const std::uint32_t e0 =
+        region.elseIp >= 0 ? static_cast<std::uint32_t>(region.elseIp) + 1
+                           : end;
+    const std::uint32_t e1 = end;
+
+    cand.headIp = head;
+    cand.elseIp = region.elseIp;
+    cand.endIp = end;
+    cand.thenLen = t1 - t0;
+    cand.elseLen = e1 - e0;
+    for (const lint::BranchClass &b : div.branches) {
+        if (b.ip == head) {
+            cand.divergent = b.divergent;
+            break;
+        }
+    }
+
+    // An If without a predicate takes every channel down the then arm;
+    // the lattice classifies it uniform, and there is no inverse sense
+    // to predicate an else arm with.
+    if (ifInstr.predCtrl == PredCtrl::None ||
+        (!cand.divergent && !options.meldUniform)) {
+        cand.verdict = MeldVerdict::UniformBranch;
+        return;
+    }
+    // Channels beyond a narrow If's width mask fall into the else mask,
+    // which inverse predication alone cannot reproduce.
+    if (ifInstr.simdWidth < view.simdWidth) {
+        cand.verdict = MeldVerdict::WidthMismatch;
+        return;
+    }
+    if (cand.thenLen > options.maxArmLen ||
+        cand.elseLen > options.maxArmLen) {
+        cand.verdict = MeldVerdict::ArmTooLong;
+        return;
+    }
+    for (std::uint32_t ip = t0; ip < e1; ++ip) {
+        if (ip == t1 || (region.elseIp >= 0 &&
+                         ip == static_cast<std::uint32_t>(region.elseIp)))
+            continue;
+        const Instruction &in = view.at(ip);
+        if (isa::isControlFlow(in.op)) {
+            cand.verdict = MeldVerdict::ArmControlFlow;
+            return;
+        }
+        if (in.op == Opcode::Send) {
+            cand.verdict = MeldVerdict::ArmSend;
+            return;
+        }
+        if (in.predCtrl != PredCtrl::None) {
+            cand.verdict = MeldVerdict::ArmPredicated;
+            return;
+        }
+        if (in.op == Opcode::Cmp && in.condFlag == ifInstr.predFlag) {
+            cand.verdict = MeldVerdict::PredFlagClobber;
+            return;
+        }
+    }
+
+    // Broadcast reads observe element 0 across channels, so the value
+    // they see depends on cross-arm write order; reject diamonds where
+    // one arm broadcasts a register the other arm writes.
+    const RegSet thenWrites = armWrites(view, t0, t1);
+    const RegSet elseWrites = armWrites(view, e0, e1);
+    if ((armScalarReads(view, t0, t1) & elseWrites).any() ||
+        (armScalarReads(view, e0, e1) & thenWrites).any()) {
+        cand.verdict = MeldVerdict::CrossArmScalarHazard;
+        return;
+    }
+
+    plan.headIp = head;
+    plan.endIp = end;
+    plan.alignment = alignArms(view.instrs, t0, t1, e0, e1);
+    plan.thenSense = ifInstr.predCtrl;
+    plan.predFlag = ifInstr.predFlag;
+    plan.mergeable.assign(plan.alignment.ops.size(), false);
+
+    const RegSet anyWrites = thenWrites | elseWrites;
+    unsigned emitted = 0;
+    unsigned savedMergeCycles = 0;
+    for (std::size_t i = 0; i < plan.alignment.ops.size(); ++i) {
+        const AlignOp &op = plan.alignment.ops[i];
+        if (op.kind != AlignKind::Match) {
+            ++emitted;
+            continue;
+        }
+        ++cand.matched;
+        const Instruction &in = view.at(op.thenIp);
+        // A merged copy runs once under the union mask. That is exact
+        // unless the instruction broadcasts a register some arm
+        // instruction writes (the two original copies could observe
+        // different element-0 values) or its destination is itself a
+        // broadcast (stride-0 dst: the surviving channel changes when
+        // the masks fuse). Demote those to a predicated pair.
+        const bool scalarDst = in.dst.isGrf() && in.dst.scalar;
+        if (!scalarDst && (scalarReads(in) & anyWrites).none()) {
+            plan.mergeable[i] = true;
+            ++cand.merged;
+            savedMergeCycles += instrCycles(in);
+            ++emitted;
+        } else {
+            emitted += 2;
+        }
+    }
+    cand.verdict = MeldVerdict::Melded;
+    cand.emitted = emitted;
+    // Deleted control instructions cost one issue slot each; merged
+    // pairs save one full execution.
+    cand.savedCycles = savedMergeCycles + (region.elseIp >= 0 ? 3 : 2);
+}
+
+/** Appends the melded emission of one diamond, recording new ips. */
+void
+emitMeld(const lint::KernelView &view, const PlannedMeld &plan,
+         std::vector<Instruction> &out, std::vector<std::int32_t> &newIp)
+{
+    const PredCtrl elseSense = oppositeSense(plan.thenSense);
+    for (std::size_t i = 0; i < plan.alignment.ops.size(); ++i) {
+        const AlignOp &op = plan.alignment.ops[i];
+        switch (op.kind) {
+          case AlignKind::Match:
+            if (plan.mergeable[i]) {
+                newIp[op.thenIp] = static_cast<std::int32_t>(out.size());
+                newIp[op.elseIp] = static_cast<std::int32_t>(out.size());
+                out.push_back(view.at(op.thenIp));
+                break;
+            }
+            newIp[op.thenIp] = static_cast<std::int32_t>(out.size());
+            out.push_back(view.at(op.thenIp));
+            out.back().predCtrl = plan.thenSense;
+            out.back().predFlag = plan.predFlag;
+            newIp[op.elseIp] = static_cast<std::int32_t>(out.size());
+            out.push_back(view.at(op.elseIp));
+            out.back().predCtrl = elseSense;
+            out.back().predFlag = plan.predFlag;
+            break;
+          case AlignKind::ThenOnly:
+            newIp[op.thenIp] = static_cast<std::int32_t>(out.size());
+            out.push_back(view.at(op.thenIp));
+            out.back().predCtrl = plan.thenSense;
+            out.back().predFlag = plan.predFlag;
+            break;
+          case AlignKind::ElseOnly:
+            newIp[op.elseIp] = static_cast<std::int32_t>(out.size());
+            out.push_back(view.at(op.elseIp));
+            out.back().predCtrl = elseSense;
+            out.back().predFlag = plan.predFlag;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+const char *
+meldVerdictName(MeldVerdict verdict)
+{
+    switch (verdict) {
+      case MeldVerdict::Melded:           return "melded";
+      case MeldVerdict::UniformBranch:    return "uniform-branch";
+      case MeldVerdict::WidthMismatch:    return "width-mismatch";
+      case MeldVerdict::ArmControlFlow:   return "arm-control-flow";
+      case MeldVerdict::ArmSend:          return "arm-send";
+      case MeldVerdict::ArmPredicated:    return "arm-predicated";
+      case MeldVerdict::PredFlagClobber:  return "pred-flag-clobber";
+      case MeldVerdict::CrossArmScalarHazard:
+        return "cross-arm-scalar-hazard";
+      case MeldVerdict::ArmTooLong:       return "arm-too-long";
+    }
+    return "?";
+}
+
+MeldResult
+meldKernel(const isa::Kernel &kernel, const MeldOptions &options)
+{
+    MeldResult result{kernel, {}, false};
+    MeldReport &report = result.report;
+    report.kernel = kernel.name();
+
+    const lint::KernelView view = lint::KernelView::of(kernel);
+    if (lint::verify(view).hasErrors())
+        return result;
+    report.valid = true;
+
+    lint::Report structure;
+    const lint::Cfg cfg = lint::Cfg::build(view, structure);
+    const lint::DivergenceReport div = lint::analyzeDivergence(view);
+
+    std::vector<PlannedMeld> plans;
+    for (const lint::Region &region : cfg.regions()) {
+        if (region.kind != lint::Region::Kind::If)
+            continue;
+        report.candidates.emplace_back();
+        PlannedMeld plan;
+        classify(view, region, div, options, report.candidates.back(),
+                 plan);
+        if (report.candidates.back().melded())
+            plans.push_back(std::move(plan));
+    }
+    std::sort(report.candidates.begin(), report.candidates.end(),
+              [](const MeldCandidate &a, const MeldCandidate &b) {
+                  return a.headIp < b.headIp;
+              });
+    if (plans.empty())
+        return result;
+    // Melded diamonds have straight-line arms, so they never nest and
+    // emission can replace each [If, EndIf] span in stream order.
+    std::sort(plans.begin(), plans.end(),
+              [](const PlannedMeld &a, const PlannedMeld &b) {
+                  return a.headIp < b.headIp;
+              });
+
+    std::vector<Instruction> out;
+    out.reserve(kernel.size());
+    std::vector<std::int32_t> newIp(view.size, -1);
+    std::size_t next = 0;
+    for (std::uint32_t ip = 0; ip < view.size; ++ip) {
+        if (next < plans.size() && ip == plans[next].headIp) {
+            emitMeld(view, plans[next], out, newIp);
+            ip = plans[next].endIp;
+            ++next;
+            continue;
+        }
+        newIp[ip] = static_cast<std::int32_t>(out.size());
+        out.push_back(view.at(ip));
+    }
+
+    // Re-patch branch targets. A target can only land on a deleted ip
+    // when a loop's first body instruction was a melded If (LoopEnd
+    // targets the body start); map it to the first surviving
+    // instruction at or after the old target.
+    std::vector<std::int32_t> atOrAfter(view.size + 1);
+    std::int32_t nextNew = static_cast<std::int32_t>(out.size());
+    atOrAfter[view.size] = nextNew;
+    for (std::uint32_t ip = view.size; ip-- > 0;) {
+        if (newIp[ip] >= 0)
+            nextNew = newIp[ip];
+        atOrAfter[ip] = nextNew;
+    }
+    const auto remap = [&](std::int32_t target) {
+        panic_if(target < 0 ||
+                     target > static_cast<std::int32_t>(view.size),
+                 "meld: branch target %d out of range", target);
+        return atOrAfter[static_cast<std::uint32_t>(target)];
+    };
+    for (Instruction &in : out) {
+        if (in.target0 >= 0)
+            in.target0 = remap(in.target0);
+        if (in.target1 >= 0)
+            in.target1 = remap(in.target1);
+    }
+
+    isa::Kernel melded(kernel.name(), kernel.simdWidth(), std::move(out),
+                       kernel.args(), kernel.firstTempReg(),
+                       kernel.regsUsed(), kernel.slmBytes());
+
+    // Legality layer: the transformed kernel must survive the full
+    // verifier pipeline. An error here is a melder bug — keep the
+    // original kernel and say so rather than shipping it.
+    report.postVerify = lint::verify(melded);
+    if (report.postVerify.hasErrors()) {
+        report.reverted = true;
+        return result;
+    }
+    result.kernel = std::move(melded);
+    result.changed = true;
+    return result;
+}
+
+std::string
+renderMeld(const MeldReport &report)
+{
+    std::string out = report.kernel + ": ";
+    if (!report.valid)
+        return out + "skipped (fails verification)\n";
+    out += std::to_string(report.meldedBranches()) + "/" +
+        std::to_string(report.candidates.size()) + " diamond(s) melded";
+    if (report.reverted)
+        out += " [REVERTED: post-verify failed]";
+    out += "\n";
+    for (const MeldCandidate &c : report.candidates) {
+        out += "  if@" + std::to_string(c.headIp) + " arms " +
+            std::to_string(c.thenLen) + "/" + std::to_string(c.elseLen) +
+            (c.divergent ? " divergent" : " uniform");
+        out += ": ";
+        out += meldVerdictName(c.verdict);
+        if (c.melded()) {
+            out += " (matched " + std::to_string(c.matched) +
+                ", merged " + std::to_string(c.merged) + ", emitted " +
+                std::to_string(c.emitted) + ", ~" +
+                std::to_string(c.savedCycles) + " cycles/exec saved)";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+renderMeldJson(const MeldReport &report)
+{
+    std::string out = "{\"kernel\":\"" + lint::jsonEscape(report.kernel) +
+        "\",\"valid\":" + (report.valid ? "true" : "false") +
+        ",\"reverted\":" + (report.reverted ? "true" : "false") +
+        ",\"melded\":" + std::to_string(report.meldedBranches()) +
+        ",\"candidates\":[";
+    for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+        const MeldCandidate &c = report.candidates[i];
+        if (i)
+            out += ",";
+        out += "{\"ip\":" + std::to_string(c.headIp) +
+            ",\"divergent\":" + (c.divergent ? "true" : "false") +
+            ",\"verdict\":\"";
+        out += meldVerdictName(c.verdict);
+        out += "\",\"thenLen\":" + std::to_string(c.thenLen) +
+            ",\"elseLen\":" + std::to_string(c.elseLen) +
+            ",\"matched\":" + std::to_string(c.matched) +
+            ",\"merged\":" + std::to_string(c.merged) +
+            ",\"emitted\":" + std::to_string(c.emitted) +
+            ",\"savedCycles\":" + std::to_string(c.savedCycles) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace iwc::xform

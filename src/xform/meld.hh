@@ -1,0 +1,152 @@
+/**
+ * @file
+ * DARM-style control-flow melding on the Gen-like ISA: a static
+ * divergence-reduction optimizer that consumes the lint CFG and the
+ * uniform/varying divergence lattice and *transforms* kernels.
+ *
+ * For every divergent if/else diamond whose arms are straight-line and
+ * meld-legal, the pass aligns the two arm instruction sequences
+ * (xform/align.hh), merges aligned identical instructions into one
+ * unpredicated copy, emits everything else under complementary
+ * predicates — then arm under the If's own predicate sense, else arm
+ * under the opposite — and deletes the If/Else/EndIf triple, re-
+ * patching every surviving branch target.
+ *
+ * Why this is exact (bit-identical to the original execution): the
+ * interpreter computes taken = active & pred & widthMask and
+ * elseMask = active & ~taken, so when the If covers the full kernel
+ * width the two arm masks partition the active channels, and every
+ * per-channel instruction reads and writes only its own channel's
+ * lanes. Re-predicating an arm instruction reproduces exactly its
+ * original execution mask, and interleaving the arms cannot change
+ * any channel's view of the register file — each channel only ever
+ * sees writes from its own arm, whose relative order the alignment
+ * preserves. The only operations that cross channels are broadcast
+ * (scalar) source reads and scalar destination writes; the legality
+ * layer rejects diamonds whose broadcasts cross an arm boundary and
+ * demotes merge candidates that touch them (emitting a predicated
+ * pair instead, which is always exact).
+ *
+ * The legality layer re-runs the full PR 4 verifier over every
+ * transformed kernel and additionally enforces the meld-specific
+ * soundness rules: send instructions are never melded (so scoreboard
+ * claim/drain behavior is untouched), no arm instruction may clobber
+ * the branch predicate flag, and no cross-arm scalar hazards.
+ */
+
+#ifndef IWC_XFORM_MELD_HH
+#define IWC_XFORM_MELD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "lint/report.hh"
+
+namespace iwc::xform
+{
+
+/** Why a diamond was or was not melded. */
+enum class MeldVerdict : std::uint8_t
+{
+    Melded,           ///< transformed into a predicated block
+    UniformBranch,    ///< lattice proves the branch never diverges
+    WidthMismatch,    ///< If narrower than the kernel SIMD width
+    ArmControlFlow,   ///< nested control flow inside an arm
+    ArmSend,          ///< memory/barrier send inside an arm
+    ArmPredicated,    ///< arm instruction already predicated
+    PredFlagClobber,  ///< arm cmp rewrites the branch predicate flag
+    CrossArmScalarHazard, ///< broadcast read crosses the arm boundary
+    ArmTooLong,       ///< exceeds MeldOptions::maxArmLen
+};
+
+const char *meldVerdictName(MeldVerdict verdict);
+
+/** One if/else diamond the detector considered. */
+struct MeldCandidate
+{
+    std::uint32_t headIp = 0; ///< ip of the If
+    std::int32_t elseIp = -1; ///< ip of the Else, -1 when absent
+    std::uint32_t endIp = 0;  ///< ip of the EndIf
+    bool divergent = false;   ///< lattice branch classification
+    MeldVerdict verdict = MeldVerdict::UniformBranch;
+    unsigned thenLen = 0;     ///< then-arm instruction count
+    unsigned elseLen = 0;     ///< else-arm instruction count
+    unsigned matched = 0;     ///< aligned identical pairs
+    unsigned merged = 0;      ///< pairs actually merged into one copy
+    unsigned emitted = 0;     ///< instructions the meld emitted
+    /** Estimated datapath cycles saved per both-arms execution. */
+    unsigned savedCycles = 0;
+
+    bool melded() const { return verdict == MeldVerdict::Melded; }
+};
+
+/** Everything one melder run derived about one kernel. */
+struct MeldReport
+{
+    std::string kernel;
+    /** False when the input kernel fails verification (no transform). */
+    bool valid = false;
+    /** True when the transform was undone by a post-verify failure. */
+    bool reverted = false;
+    std::vector<MeldCandidate> candidates;
+    /** Verifier report over the transformed kernel (when changed). */
+    lint::Report postVerify;
+
+    unsigned
+    meldedBranches() const
+    {
+        unsigned n = 0;
+        for (const MeldCandidate &c : candidates)
+            n += c.melded();
+        return n;
+    }
+
+    unsigned
+    divergentBranches() const
+    {
+        unsigned n = 0;
+        for (const MeldCandidate &c : candidates)
+            n += c.divergent;
+        return n;
+    }
+};
+
+struct MeldOptions
+{
+    /** Also meld diamonds the lattice proves uniform (default: skip —
+     *  the EU never splits the mask there, so melding only costs). */
+    bool meldUniform = false;
+    /** Per-arm instruction count ceiling (profitability guard). */
+    unsigned maxArmLen = 48;
+};
+
+/** A transformed kernel with the report explaining what happened. */
+struct MeldResult
+{
+    isa::Kernel kernel;
+    MeldReport report;
+    /** True when the returned kernel differs from the input. */
+    bool changed = false;
+};
+
+/**
+ * Runs the melder over @p kernel. The input must pass the verifier
+ * (error-free); otherwise the kernel is returned unchanged with
+ * report.valid == false. The transformed kernel is re-verified before
+ * it is returned; a post-verify error reverts to the original (and
+ * sets report.reverted — a melder bug worth a test case, not a crash).
+ */
+MeldResult meldKernel(const isa::Kernel &kernel,
+                      const MeldOptions &options = {});
+
+/** Human-readable rendering, one line per candidate diamond. */
+std::string renderMeld(const MeldReport &report);
+
+/** Machine-readable rendering (a JSON object, candidates as array). */
+std::string renderMeldJson(const MeldReport &report);
+
+} // namespace iwc::xform
+
+#endif // IWC_XFORM_MELD_HH

@@ -93,6 +93,50 @@ digestFunctionalRun(const isa::Kernel &kernel, func::GlobalMemory &gmem,
     return fnv.value();
 }
 
+/**
+ * Digest of only the externally visible effect substream of a launch:
+ * memory accesses, barriers, and halts, tagged with the issuing
+ * thread — no ips, occurrence indices, or execMasks. Invariant under
+ * transforms that rewrite the instruction stream without changing
+ * what the kernel does (the melder differential gate compares this
+ * across the original and transformed kernels; see xform/diff.hh).
+ */
+inline std::uint64_t
+digestEffectStream(const isa::Kernel &kernel, func::GlobalMemory &gmem,
+                   std::uint64_t global_size, unsigned local_size,
+                   const std::vector<std::uint32_t> &arg_words,
+                   func::BackendKind backend = func::BackendKind::Auto)
+{
+    Fnv64 fnv;
+    gpu::runKernelFunctionalDetailed(
+        kernel, gmem, global_size, local_size, arg_words,
+        [&fnv](const gpu::DetailedStep &step) {
+            const func::StepResult &r = *step.result;
+            if (!r.hasMem && !r.isBarrier && !r.isHalt)
+                return;
+            fnv.add(step.workgroup);
+            fnv.add(step.subgroup);
+            fnv.add((std::uint64_t{r.isBarrier} << 1) |
+                    std::uint64_t{r.isHalt});
+            if (!r.hasMem)
+                return;
+            const func::MemAccess &mem = r.mem;
+            fnv.add(static_cast<std::uint64_t>(mem.op));
+            fnv.add(mem.elemBytes);
+            fnv.add(mem.mask);
+            if (mem.isBlock) {
+                fnv.add(mem.blockAddr);
+                fnv.add(mem.blockBytes);
+                return;
+            }
+            for (unsigned ch = 0; ch < kMaxSimdWidth; ++ch)
+                if (mem.mask & (LaneMask{1} << ch))
+                    fnv.add(mem.addrs[ch]);
+        },
+        backend);
+    return fnv.value();
+}
+
 /** Digest of every counter a timing launch produces. */
 inline std::uint64_t
 digestLaunchStats(const gpu::LaunchStats &stats)

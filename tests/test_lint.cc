@@ -14,6 +14,7 @@
 #include "common/rng.hh"
 #include "gpu/device.hh"
 #include "isa/builder.hh"
+#include "lint/cfg.hh"
 #include "lint/divergence.hh"
 #include "lint/verifier.hh"
 #include "run/run.hh"
@@ -465,6 +466,228 @@ TEST(LintRender, TextAndJsonCarryDiagnostics)
     EXPECT_NE(text.find("structure"), std::string::npos);
     const std::string json = lint::renderJson(report);
     EXPECT_NE(json.find("\"check\""), std::string::npos);
+}
+
+// --- JSON escaping ------------------------------------------------------
+
+/** Inverse of jsonEscape, strict: fails the test on malformed input. */
+std::string
+jsonUnescape(const std::string &s)
+{
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        EXPECT_NE(c, '"') << "unescaped quote at " << i;
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+            << "raw control character at " << i;
+        if (c != '\\') {
+            out.push_back(c);
+            continue;
+        }
+        if (i + 1 >= s.size()) {
+            ADD_FAILURE() << "trailing backslash";
+            return out;
+        }
+        switch (s[++i]) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (i + 4 >= s.size()) {
+                ADD_FAILURE() << "truncated \\u escape";
+                return out;
+            }
+            out.push_back(static_cast<char>(
+                std::stoi(s.substr(i + 1, 4), nullptr, 16)));
+            i += 4;
+            break;
+          }
+          default:
+            ADD_FAILURE() << "unknown escape \\" << s[i];
+        }
+    }
+    return out;
+}
+
+TEST(LintJson, EscapeRoundTripsEveryHostileByte)
+{
+    std::string hostile = "plain \"quoted\\path\\to\\thing\"";
+    hostile += '\n';
+    hostile += '\r';
+    hostile += '\t';
+    hostile += '\b';
+    hostile += '\f';
+    hostile += '\x01';
+    hostile += '\x1f';
+    const std::string escaped = lint::jsonEscape(hostile);
+    EXPECT_EQ(jsonUnescape(escaped), hostile);
+    EXPECT_NE(escaped.find("\\u0001"), std::string::npos);
+    EXPECT_NE(escaped.find("\\u001f"), std::string::npos);
+}
+
+TEST(LintJson, HostileKernelNameAndMessageStayWellFormed)
+{
+    Report report;
+    report.kernel = "evil\"kernel\\name\nwith\tcontrols\x02";
+    report.add(Check::Structure, Severity::Error, 3,
+               "message with \"quotes\" and a \\ backslash");
+    const std::string json = lint::renderJson(report);
+
+    // Every string literal in the output must decode back to its
+    // source text, and nothing outside literals may be a raw control
+    // byte — exactly what a JSON parser needs to round-trip it.
+    EXPECT_NE(json.find(lint::jsonEscape(report.kernel)),
+              std::string::npos);
+    EXPECT_NE(json.find(lint::jsonEscape(report.diags[0].message)),
+              std::string::npos);
+    for (const char c : json)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    EXPECT_EQ(jsonUnescape(lint::jsonEscape(report.kernel)),
+              report.kernel);
+}
+
+// --- CFG edge cases -----------------------------------------------------
+
+/** Region of @p kind headed at @p head_ip, or nullptr. */
+const lint::Region *
+regionAt(const lint::Cfg &cfg, lint::Region::Kind kind,
+         std::int32_t head_ip)
+{
+    for (const lint::Region &r : cfg.regions())
+        if (r.kind == kind && r.headIp == head_ip)
+            return &r;
+    return nullptr;
+}
+
+TEST(LintCfg, BreakAndContInsideNestedDiamonds)
+{
+    // A loop whose body nests a diamond inside a diamond, with a Break
+    // in the inner then arm and a Cont in the inner else arm — both
+    // must resolve to the *loop*, not to any enclosing If.
+    KernelBuilder b("nested", 16);
+    auto x = b.tmp(DataType::UD);
+    b.and_(x, b.globalId(), b.ud(1));
+    b.cmp(CondMod::Ne, 0, x, b.ud(0));
+    b.cmp(CondMod::Ne, 1, x, b.ud(1));
+    b.loop_();                       // ip 3
+    b.if_(0);                        // ip 4 (outer diamond)
+    b.if_(1);                        // ip 5 (inner diamond)
+    b.breakIf(0);                    // ip 6
+    b.else_();                       // ip 7
+    b.contIf(1);                     // ip 8
+    b.endif_();                      // ip 9
+    b.endif_();                      // ip 10
+    b.endLoop(0);                    // ip 11
+    const Kernel k = b.build();
+
+    Report report;
+    const lint::Cfg cfg =
+        lint::Cfg::build(lint::KernelView::of(k), report);
+    ASSERT_TRUE(cfg.structureOk());
+    EXPECT_FALSE(report.hasErrors());
+
+    const lint::Region *loop =
+        regionAt(cfg, lint::Region::Kind::Loop, 3);
+    const lint::Region *outer = regionAt(cfg, lint::Region::Kind::If, 4);
+    const lint::Region *inner = regionAt(cfg, lint::Region::Kind::If, 5);
+    ASSERT_NE(loop, nullptr);
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->elseIp, 7);
+
+    // Region nesting: inner if -> outer if -> loop -> top level.
+    EXPECT_EQ(outer->parent,
+              static_cast<std::int32_t>(loop - cfg.regions().data()));
+    EXPECT_EQ(inner->parent,
+              static_cast<std::int32_t>(outer - cfg.regions().data()));
+    EXPECT_EQ(loop->parent, -1);
+
+    // Break and Cont belong to the loop and jump to its LoopEnd.
+    ASSERT_EQ(loop->exitIps.size(), 2u);
+    EXPECT_EQ(loop->exitIps[0], 6);
+    EXPECT_EQ(loop->exitIps[1], 8);
+    for (const std::uint32_t break_ip : {6u, 8u}) {
+        bool jumps_to_loop_end = false;
+        for (const std::uint32_t succ : cfg.succs(break_ip))
+            jumps_to_loop_end |= succ == 11u;
+        EXPECT_TRUE(jumps_to_loop_end) << "ip " << break_ip;
+    }
+}
+
+TEST(LintCfg, EmptyArmsAreLegalRegions)
+{
+    // if/else with an empty then arm, then one with an empty else arm:
+    // degenerate but structurally legal, and every ip stays reachable.
+    KernelBuilder b("empty_arms", 16);
+    auto x = b.tmp(DataType::UD);
+    b.and_(x, b.globalId(), b.ud(1));
+    b.cmp(CondMod::Ne, 0, x, b.ud(0));
+    b.if_(0);                        // ip 2: empty then arm
+    b.else_();                       // ip 3
+    b.add(x, x, b.ud(1));            // ip 4
+    b.endif_();                      // ip 5
+    b.if_(0);                        // ip 6
+    b.add(x, x, b.ud(2));            // ip 7
+    b.else_();                       // ip 8: empty else arm
+    b.endif_();                      // ip 9
+    const Kernel k = b.build();
+
+    Report report;
+    const lint::Cfg cfg =
+        lint::Cfg::build(lint::KernelView::of(k), report);
+    ASSERT_TRUE(cfg.structureOk());
+    EXPECT_FALSE(report.hasErrors());
+    for (std::uint32_t ip = 0; ip < cfg.size(); ++ip)
+        EXPECT_TRUE(cfg.reachable(ip)) << "ip " << ip;
+    // And the verifier accepts the whole kernel.
+    EXPECT_FALSE(lint::verify(k).hasErrors());
+}
+
+TEST(LintCfg, BackToBackDiamondsShareTheJoinInstruction)
+{
+    // endif of diamond 1 is immediately followed by if of diamond 2:
+    // the join instruction of the first region is the head of the
+    // second, and the regions must not nest.
+    KernelBuilder b("back_to_back", 16);
+    auto x = b.tmp(DataType::UD);
+    b.and_(x, b.globalId(), b.ud(1));
+    b.cmp(CondMod::Ne, 0, x, b.ud(0));
+    b.if_(0);                        // ip 2
+    b.add(x, x, b.ud(1));            // ip 3
+    b.endif_();                      // ip 4
+    b.if_(0, /*inverted=*/true);     // ip 5
+    b.add(x, x, b.ud(2));            // ip 6
+    b.endif_();                      // ip 7
+    const Kernel k = b.build();
+
+    Report report;
+    const lint::Cfg cfg =
+        lint::Cfg::build(lint::KernelView::of(k), report);
+    ASSERT_TRUE(cfg.structureOk());
+    EXPECT_FALSE(report.hasErrors());
+
+    const lint::Region *first = regionAt(cfg, lint::Region::Kind::If, 2);
+    const lint::Region *second =
+        regionAt(cfg, lint::Region::Kind::If, 5);
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(first->endIp, 4);
+    EXPECT_EQ(second->parent, -1); // siblings, not nested
+    EXPECT_EQ(first->parent, -1);
+
+    // The first EndIf falls through into the second If.
+    ASSERT_EQ(cfg.succs(4).size(), 1u);
+    EXPECT_EQ(cfg.succs(4)[0], 5u);
+    // regionOf: the EndIf belongs to the first region, the If to the
+    // second (heads and joins count as part of their own region).
+    EXPECT_EQ(cfg.regionOf(3),
+              static_cast<std::int32_t>(first - cfg.regions().data()));
+    EXPECT_EQ(cfg.regionOf(6),
+              static_cast<std::int32_t>(second - cfg.regions().data()));
 }
 
 } // namespace

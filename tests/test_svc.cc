@@ -249,6 +249,7 @@ TEST(Wire, SubmitRoundTrip)
     msg.request.backend = func::BackendKind::Scalar;
     msg.request.checkOutput = true;
     msg.request.lint = true;
+    msg.request.meld = true;
     msg.request.cacheTag = "tag";
     msg.request.tracePath = "/tmp/some.iwct";
     msg.request.traceJobs = 5;
@@ -263,6 +264,7 @@ TEST(Wire, SubmitRoundTrip)
     EXPECT_EQ(out.request.backend, msg.request.backend);
     EXPECT_EQ(out.request.checkOutput, msg.request.checkOutput);
     EXPECT_EQ(out.request.lint, msg.request.lint);
+    EXPECT_EQ(out.request.meld, msg.request.meld);
     EXPECT_EQ(out.request.cacheTag, msg.request.cacheTag);
     EXPECT_EQ(gpu::configDigest(out.request.config),
               gpu::configDigest(msg.request.config));

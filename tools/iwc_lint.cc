@@ -5,11 +5,14 @@
  * unreachable code) and the static divergence analyzer over workload
  * kernels, without simulating anything.
  *
- *   iwc_lint all=1 [scale=N] [json=1] [divergence=1] [macro=1]
+ *   iwc_lint all=1 [scale=N] [json=1] [divergence=1] [macro=1] [meld=1]
  *   iwc_lint workload=<name> [scale=N] [json=1] [divergence=1] [macro=1]
+ *            [meld=1]
  *
  * Exit status is 0 when every checked kernel is clean, 1 otherwise —
- * usable as a CI gate over the whole registered corpus.
+ * usable as a CI gate over the whole registered corpus. Unknown
+ * key=value arguments are rejected with a usage error (matching
+ * iwc_sim) so a typo'd key cannot silently lint with defaults.
  */
 
 #include <cstdio>
@@ -22,6 +25,7 @@
 #include "lint/macro.hh"
 #include "lint/verifier.hh"
 #include "workloads/registry.hh"
+#include "xform/meld.hh"
 
 namespace
 {
@@ -33,7 +37,7 @@ usage()
 {
     std::puts(
         "usage: iwc_lint <all=1 | workload=name> [scale=N] [json=1]"
-        " [divergence=1] [macro=1]"
+        " [divergence=1] [macro=1] [meld=1]"
         "\n  all=1        lint every registered workload"
         "\n  workload=    lint one workload by registry name"
         "\n  scale=N      workload scale factor (default 1)"
@@ -41,7 +45,9 @@ usage()
         "\n  divergence=1 also print the branch divergence analysis"
         "\n  macro=1      also print macro-steppable regions (mask-"
         "stable runs\n               classified by the divergence "
-        "lattice)");
+        "lattice)"
+        "\n  meld=1       also run the control-flow melder (src/xform)"
+        "\n               and print its per-branch verdicts");
     return 1;
 }
 
@@ -50,11 +56,12 @@ struct KernelResult
     lint::Report report;
     lint::DivergenceReport divergence;
     lint::MacroReport macro;
+    xform::MeldReport meld;
 };
 
 KernelResult
 lintOne(const std::string &name, unsigned scale, bool want_divergence,
-        bool want_macro, bool json)
+        bool want_macro, bool want_meld, bool json)
 {
     gpu::Device dev;
     const workloads::Workload w = workloads::make(name, dev, scale);
@@ -69,10 +76,17 @@ lintOne(const std::string &name, unsigned scale, bool want_divergence,
         result.macro = lint::analyzeMacroRegions(
             w.kernel, {w.globalSize, w.localSize});
     }
+    if (want_meld && !result.report.hasErrors())
+        result.meld = xform::meldKernel(w.kernel).report;
 
     if (json) {
         std::fputs(lint::renderJson(result.report).c_str(), stdout);
         std::fputs("\n", stdout);
+        if (want_meld && !result.report.hasErrors()) {
+            std::fputs(xform::renderMeldJson(result.meld).c_str(),
+                       stdout);
+            std::fputs("\n", stdout);
+        }
     } else {
         std::fputs(lint::renderText(result.report, &w.kernel).c_str(),
                    stdout);
@@ -88,6 +102,8 @@ lintOne(const std::string &name, unsigned scale, bool want_divergence,
                     .c_str(),
                 stdout);
         }
+        if (want_meld && !result.report.hasErrors())
+            std::fputs(xform::renderMeld(result.meld).c_str(), stdout);
     }
     return result;
 }
@@ -98,6 +114,15 @@ int
 main(int argc, char **argv)
 {
     const OptionMap opts(argc, argv);
+    const std::vector<std::string> unknown = opts.unknownKeys(
+        {"all", "workload", "scale", "json", "divergence", "macro",
+         "meld"});
+    if (!unknown.empty()) {
+        for (const std::string &key : unknown)
+            std::fprintf(stderr, "iwc_lint: unknown option '%s'\n",
+                         key.c_str());
+        return usage();
+    }
     const bool all = opts.getBool("all", false);
     const std::string one = opts.getString("workload", "");
     if (!all && one.empty())
@@ -107,6 +132,7 @@ main(int argc, char **argv)
     const bool json = opts.getBool("json", false);
     const bool divergence = opts.getBool("divergence", false);
     const bool macro = opts.getBool("macro", false);
+    const bool meld = opts.getBool("meld", false);
 
     std::vector<std::string> names;
     if (all)
@@ -117,8 +143,8 @@ main(int argc, char **argv)
     unsigned dirty = 0;
     for (const std::string &name : names) {
         const KernelResult result =
-            lintOne(name, scale, divergence, macro, json);
-        dirty += !result.report.clean();
+            lintOne(name, scale, divergence, macro, meld, json);
+        dirty += !result.report.clean() || result.meld.reverted;
     }
     if (!json) {
         std::printf("%zu kernel(s) checked, %u with diagnostics\n",

@@ -10,6 +10,10 @@
  *   iwc_sim workload=bfs compare=1       # run all four modes
  *   iwc_sim workload=bfs compare=1 jobs=4  # ... on four threads
  *   iwc_sim workload=bfs check=1         # also verify vs CPU reference
+ *   iwc_sim workload=bfs meld=1          # meld divergent branches first
+ *
+ * Unknown key=value arguments are rejected with a usage error so a
+ * typo'd key cannot silently run with defaults.
  */
 
 #include <cstdio>
@@ -110,16 +114,31 @@ main(int argc, char **argv)
 {
     const OptionMap opts(argc, argv);
 
-    if (opts.getBool("list", false) || !opts.has("workload")) {
+    const std::vector<std::string> unknown = opts.unknownKeys(
+        {"list", "workload", "mode", "scale", "compare", "check",
+         "meld", "jobs", "progress", "trace_out", "profile",
+         "trace_capacity", "backend", "eus", "threads", "dc",
+         "perfect_l3", "issue_width", "arb_period", "dram_latency",
+         "l3_kb", "llc_kb"});
+    for (const std::string &key : unknown)
+        std::fprintf(stderr, "iwc_sim: unknown option '%s'\n",
+                     key.c_str());
+
+    if (!unknown.empty() || opts.getBool("list", false) ||
+        !opts.has("workload")) {
         std::puts("usage: iwc_sim workload=<name> [mode=baseline|ivb|"
-                  "bcc|scc] [scale=N] [compare=1] [check=1]");
+                  "bcc|scc] [scale=N] [compare=1] [check=1] [meld=1]");
         std::puts("       tracing: trace_out=<file.json> (Chrome trace) "
                   "profile=<prefix> (occupancy CSV + hotspot report)");
         std::puts("       backend=auto|scalar|vector selects the "
                   "functional execution backend (or set IWC_BACKEND)");
+        std::puts("       meld=1 runs the control-flow melder over the "
+                  "kernel before simulating");
         std::puts("       plus machine overrides: eus= threads= dc= "
                   "perfect_l3= issue_width= arb_period= dram_latency= "
                   "l3_kb= llc_kb=\n");
+        if (!unknown.empty())
+            return 1;
         std::puts("workloads:");
         for (const auto &entry : workloads::registry())
             std::printf("  %-18s %s%s\n", entry.name,
@@ -153,6 +172,7 @@ main(int argc, char **argv)
             name, gpu::applyOptions(gpu::ivbConfig(mode), opts),
             scale);
         request.checkOutput = check;
+        request.meld = opts.getBool("meld", false);
         request.trace = tracing;
         request.traceCapacity = static_cast<std::size_t>(
             opts.getInt("trace_capacity", 0));
