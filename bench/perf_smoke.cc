@@ -58,6 +58,9 @@ struct TimingRow
     func::BackendKind backend;
     double wallS = 0;
     std::uint64_t simCycles = 0;
+    /** Cycles the event loop actually visited (cycles minus the idle
+     *  gaps the calendar skipped): the engine's event rate. */
+    std::uint64_t eventsVisited = 0;
 };
 
 TimingRow
@@ -88,8 +91,53 @@ runTimingBasket(func::BackendKind backend, unsigned scale,
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = runner.run(requests);
     row.wallS = seconds_since(t0);
-    for (const auto &result : results)
+    for (const auto &result : results) {
         row.simCycles += result.stats.totalCycles;
+        row.eventsVisited += result.stats.totalCycles -
+                             result.stats.idleCyclesSkipped;
+    }
+    return row;
+}
+
+struct CompareRow
+{
+    unsigned points = 0;   ///< compare jobs (one per workload)
+    unsigned modes = 0;    ///< timed modes per point
+    double wallS = 0;
+    std::uint64_t simCycles = 0; ///< summed over every timed mode
+    std::uint64_t eventsVisited = 0;
+};
+
+/**
+ * The multi-mode compare basket: every divergent non-micro workload
+ * as ONE four-mode JobKind::TimingCompare point — workload build,
+ * predecode, plan construction, and functional execution happen once
+ * per point, the lead mode simulates fully, and the other three
+ * replay its issue trace. Contrast cycles/s here with the timing
+ * basket above to see what the single-build path saves.
+ */
+CompareRow
+runCompareBasket(func::BackendKind backend, unsigned scale,
+                 const OptionMap &opts)
+{
+    CompareRow row;
+    row.modes = compaction::kNumModes;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto &name : workloads::divergentNames()) {
+        if (name.rfind("micro", 0) == 0)
+            continue;
+        run::RunRequest request = run::RunRequest::timingCompare(
+            name, gpu::applyOptions(gpu::ivbConfig(), opts), scale);
+        request.backend = backend;
+        const run::RunResult result = run::executeRun(request);
+        ++row.points;
+        for (const run::RunResult::ModeStats &entry : result.compare) {
+            row.simCycles += entry.stats.totalCycles;
+            row.eventsVisited += entry.stats.totalCycles -
+                                 entry.stats.idleCyclesSkipped;
+        }
+    }
+    row.wallS = seconds_since(t0);
     return row;
 }
 
@@ -219,6 +267,8 @@ main(int argc, char **argv)
         runTimingBasket(func::BackendKind::Scalar, scale, opts),
         runTimingBasket(func::BackendKind::Vector, scale, opts),
     };
+    const CompareRow compare =
+        runCompareBasket(func::BackendKind::Vector, scale, opts);
 
     // ALU-dominated workloads where the lane kernels engage; the
     // divergent suite above covers the fallback-heavy mixes.
@@ -240,18 +290,48 @@ main(int argc, char **argv)
         const double cps = row.wallS > 0
             ? static_cast<double>(row.simCycles) / row.wallS
             : 0;
+        const double eps = row.wallS > 0
+            ? static_cast<double>(row.eventsVisited) / row.wallS
+            : 0;
         std::fprintf(f,
                      "    {\n"
                      "      \"driver\": \"perf_smoke_timing\",\n"
                      "      \"backend\": \"%s\",\n"
                      "      \"wall_s\": %.3f,\n"
                      "      \"sim_cycles\": %llu,\n"
-                     "      \"cycles_per_sec\": %.0f\n"
+                     "      \"cycles_per_sec\": %.0f,\n"
+                     "      \"events\": %llu,\n"
+                     "      \"events_per_sec\": %.0f\n"
                      "    },\n",
                      func::backendKindName(row.backend), row.wallS,
                      static_cast<unsigned long long>(row.simCycles),
-                     cps);
+                     cps,
+                     static_cast<unsigned long long>(row.eventsVisited),
+                     eps);
     }
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"driver\": \"perf_smoke_compare\",\n"
+                 "      \"backend\": \"vector\",\n"
+                 "      \"points\": %u,\n"
+                 "      \"modes\": %u,\n"
+                 "      \"wall_s\": %.3f,\n"
+                 "      \"sim_cycles\": %llu,\n"
+                 "      \"cycles_per_sec\": %.0f,\n"
+                 "      \"events\": %llu,\n"
+                 "      \"events_per_sec\": %.0f\n"
+                 "    },\n",
+                 compare.points, compare.modes, compare.wallS,
+                 static_cast<unsigned long long>(compare.simCycles),
+                 compare.wallS > 0
+                     ? static_cast<double>(compare.simCycles) /
+                         compare.wallS
+                     : 0,
+                 static_cast<unsigned long long>(compare.eventsVisited),
+                 compare.wallS > 0
+                     ? static_cast<double>(compare.eventsVisited) /
+                         compare.wallS
+                     : 0);
     for (std::size_t i = 0; i < func_rows.size(); ++i) {
         const FunctionalRow &row = func_rows[i];
         std::fprintf(
@@ -291,14 +371,32 @@ main(int argc, char **argv)
 
     for (const TimingRow &row : timing) {
         std::printf("perf_smoke timing basket [%s]: %.3f s wall, "
-                    "%llu simulated cycles, %.2f Mcycles/s\n",
+                    "%llu simulated cycles, %.2f Mcycles/s, "
+                    "%.2f Mevents/s\n",
                     func::backendKindName(row.backend), row.wallS,
                     static_cast<unsigned long long>(row.simCycles),
                     row.wallS > 0
                         ? static_cast<double>(row.simCycles) /
                             row.wallS / 1e6
+                        : 0,
+                    row.wallS > 0
+                        ? static_cast<double>(row.eventsVisited) /
+                            row.wallS / 1e6
                         : 0);
     }
+    std::printf("perf_smoke compare basket [vector]: %u points x %u "
+                "modes, %.3f s wall, %llu simulated cycles, "
+                "%.2f Mcycles/s, %.2f Mevents/s\n",
+                compare.points, compare.modes, compare.wallS,
+                static_cast<unsigned long long>(compare.simCycles),
+                compare.wallS > 0
+                    ? static_cast<double>(compare.simCycles) /
+                        compare.wallS / 1e6
+                    : 0,
+                compare.wallS > 0
+                    ? static_cast<double>(compare.eventsVisited) /
+                        compare.wallS / 1e6
+                    : 0);
     for (const FunctionalRow &row : func_rows) {
         std::printf("perf_smoke functional [%s simd%u]: scalar %.3f s, "
                     "vector %.3f s, speedup %.2fx\n",

@@ -1,9 +1,16 @@
 #include "compaction/plan_cache.hh"
 
 #include "compaction/scc_algorithm.hh"
+#include "compaction/shared_plan_table.hh"
 
 namespace iwc::compaction
 {
+
+PlanCosts
+PlanCache::sharedCosts(const ExecShape &shape)
+{
+    return SharedPlanTable::instance().costs(shape);
+}
 
 PlanCosts
 PlanCache::compute(const ExecShape &shape)

@@ -19,6 +19,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -29,13 +30,18 @@
 namespace iwc::compaction
 {
 
-/** Everything the issue/analysis hot paths need from a CyclePlan. */
+/**
+ * Everything the issue/analysis hot paths need from a CyclePlan. No
+ * field initializers: the caches allocate whole tables of these
+ * uninitialized (validity is tracked in a side bitmap) and assign
+ * every field before first read.
+ */
 struct PlanCosts
 {
     /** Execution cycles under each compaction mode. */
-    std::array<std::uint16_t, kNumModes> cycles{};
+    std::array<std::uint16_t, kNumModes> cycles;
     /** Lanes the SCC schedule routes through the crossbar. */
-    std::uint16_t sccSwizzledLanes = 0;
+    std::uint16_t sccSwizzledLanes;
 };
 
 /** See file comment. */
@@ -47,6 +53,19 @@ class PlanCache
     costs(const ExecShape &shape)
     {
         const unsigned width = shape.simdWidth;
+        const LaneMask masked = shape.maskedExec();
+        // One-entry front memo: straight-line runs query the same
+        // shape back to back (every ALU instruction of a loop body
+        // shares the mask), and the full direct-mapped tables are too
+        // big to stay cache-resident. A memo hit is by construction a
+        // table hit, so the hit counter stays exact.
+        const std::uint64_t memo_key =
+            (std::uint64_t{width} << 40) |
+            (std::uint64_t{shape.elemBytes} << 32) | masked;
+        if (memo_key == lastKey_) {
+            ++hits_;
+            return *lastCosts_;
+        }
         const unsigned shift = elemShift(shape.elemBytes);
         panic_if(shift >= wide_.size() ||
                      (width <= kDirectMappedWidth &&
@@ -55,31 +74,53 @@ class PlanCache
                  width, shape.elemBytes);
         if (width <= kDirectMappedWidth) {
             Table &table = tables_[widthIndex(width)][shift];
-            if (table.empty())
-                table.assign(std::size_t{1} << width, Entry{});
-            Entry &entry = table[shape.maskedExec()];
-            if (!entry.valid) {
-                entry.costs = compute(shape);
-                entry.valid = true;
-                ++misses_;
-            } else {
-                ++hits_;
+            if (!table.costs) {
+                // Costs stay uninitialized until their valid bit is
+                // set; only the 8-byte-per-512-entries bitmap is
+                // zeroed, so building a per-launch cache is cheap.
+                const std::size_t n = std::size_t{1} << width;
+                table.costs =
+                    std::make_unique_for_overwrite<PlanCosts[]>(n);
+                table.valid.assign((n + 63) / 64, 0);
             }
-            return entry.costs;
+            const LaneMask key = masked;
+            std::uint64_t &word = table.valid[key >> 6];
+            const std::uint64_t bit = std::uint64_t{1} << (key & 63);
+            if (word & bit) {
+                ++hits_;
+            } else {
+                table.costs[key] = sharedCosts(shape);
+                word |= bit;
+                ++misses_;
+            }
+            // The table arrays never reallocate once built, so the
+            // memoized pointer stays valid for the cache's lifetime.
+            lastKey_ = memo_key;
+            lastCosts_ = &table.costs[key];
+            return table.costs[key];
         }
-        const auto [it, inserted] =
-            wide_[shift].try_emplace(shape.maskedExec());
+        const auto [it, inserted] = wide_[shift].try_emplace(masked);
         if (inserted) {
-            it->second = compute(shape);
+            it->second = sharedCosts(shape);
             ++misses_;
         } else {
             ++hits_;
         }
+        lastKey_ = memo_key;
+        lastCosts_ = &it->second;
         return it->second;
     }
 
-    /** Uncached reference computation (what the cache memoizes). */
+    /** Uncached reference computation (what the caches memoize). */
     static PlanCosts compute(const ExecShape &shape);
+
+    /**
+     * Credits a hit served from a caller-side memo (e.g. the per-slot
+     * memo in EuCore). Such a memo only replays a pointer this cache
+     * handed out, so the hit would have been a table hit anyway — the
+     * counters stay exact.
+     */
+    void noteMemoHit() { ++hits_; }
 
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
@@ -97,12 +138,23 @@ class PlanCache
     /** Widths whose whole mask space is table-indexed. */
     static constexpr unsigned kDirectMappedWidth = 16;
 
-    struct Entry
+    /**
+     * Direct-mapped costs with a side validity bitmap (see costs()
+     * for why the costs array is left uninitialized).
+     */
+    struct Table
     {
-        PlanCosts costs;
-        bool valid = false;
+        std::unique_ptr<PlanCosts[]> costs;
+        std::vector<std::uint64_t> valid;
     };
-    using Table = std::vector<Entry>;
+
+    /**
+     * Second-level lookup on an L1 miss: consults the process-wide
+     * SharedPlanTable (falling through to compute() there), so plans
+     * are built once per process rather than once per EU per run.
+     * Out-of-line to keep the shared table's header out of this one.
+     */
+    static PlanCosts sharedCosts(const ExecShape &shape);
 
     /** Dense index for the legal SIMD widths 1/4/8/16. */
     static unsigned
@@ -123,6 +175,10 @@ class PlanCache
     std::array<std::array<Table, 4>, 5> tables_;
     /** SIMD32 masks, per element shift. */
     std::array<std::unordered_map<LaneMask, PlanCosts>, 4> wide_;
+    /** Front memo: packed (width, elemBytes, mask) of the last query
+     *  (0 matches no legal shape) and its stable costs pointer. */
+    std::uint64_t lastKey_ = 0;
+    const PlanCosts *lastCosts_ = nullptr;
     stats::Counter hits_;
     stats::Counter misses_;
 };

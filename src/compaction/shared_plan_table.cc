@@ -1,0 +1,99 @@
+#include "compaction/shared_plan_table.hh"
+
+namespace iwc::compaction
+{
+
+namespace
+{
+
+std::uint64_t
+packCycles(const PlanCosts &costs)
+{
+    std::uint64_t packed = 0;
+    for (unsigned m = 0; m < kNumModes; ++m)
+        packed |= static_cast<std::uint64_t>(costs.cycles[m]) << (16 * m);
+    return packed;
+}
+
+PlanCosts
+unpack(std::uint64_t cycles, std::uint32_t state)
+{
+    PlanCosts costs;
+    for (unsigned m = 0; m < kNumModes; ++m)
+        costs.cycles[m] =
+            static_cast<std::uint16_t>((cycles >> (16 * m)) & 0xffff);
+    costs.sccSwizzledLanes = static_cast<std::uint16_t>(state & 0xffff);
+    return costs;
+}
+
+} // namespace
+
+SharedPlanTable &
+SharedPlanTable::instance()
+{
+    static SharedPlanTable table;
+    return table;
+}
+
+SharedPlanTable::Slot *
+SharedPlanTable::table(unsigned width_index, unsigned shift,
+                       unsigned width)
+{
+    std::atomic<Slot *> &cell = tables_[width_index][shift];
+    Slot *slots = cell.load(std::memory_order_acquire);
+    if (slots != nullptr)
+        return slots;
+    std::lock_guard<std::mutex> lock(allocMu_);
+    slots = cell.load(std::memory_order_relaxed);
+    if (slots == nullptr) {
+        auto fresh = std::make_unique<Slot[]>(std::size_t{1} << width);
+        slots = fresh.get();
+        owned_.push_back(std::move(fresh));
+        cell.store(slots, std::memory_order_release);
+    }
+    return slots;
+}
+
+PlanCosts
+SharedPlanTable::costs(const ExecShape &shape)
+{
+    const unsigned width = shape.simdWidth;
+    const unsigned shift =
+        static_cast<unsigned>(std::bit_width(shape.elemBytes) - 1);
+    panic_if(shift >= wide_.size() ||
+                 (width <= kDirectMappedWidth &&
+                  static_cast<unsigned>(std::bit_width(width) - 1) >=
+                      tables_.size()),
+             "shared plan table: unsupported shape simd%u elem%u", width,
+             shape.elemBytes);
+    if (width <= kDirectMappedWidth) {
+        const unsigned wi =
+            static_cast<unsigned>(std::bit_width(width) - 1);
+        Slot &slot = table(wi, shift, width)[shape.maskedExec()];
+        const std::uint32_t state =
+            slot.state.load(std::memory_order_acquire);
+        if (state & kValid) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return unpack(slot.cycles.load(std::memory_order_relaxed),
+                          state);
+        }
+        const PlanCosts fresh = PlanCache::compute(shape);
+        slot.cycles.store(packCycles(fresh), std::memory_order_relaxed);
+        slot.state.store(kValid | fresh.sccSwizzledLanes,
+                         std::memory_order_release);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return fresh;
+    }
+    std::lock_guard<std::mutex> lock(wideMu_);
+    const auto [it, inserted] =
+        wide_[shift].try_emplace(shape.maskedExec());
+    if (inserted) {
+        it->second = PlanCache::compute(shape);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return it->second;
+}
+
+} // namespace iwc::compaction

@@ -137,7 +137,22 @@ EuCore::dispatch(const DispatchInfo &info)
     slot.wgId = info.wgId;
     slot.resumeAt = info.readyAt;
     slot.lastMemDone = 0;
-    writePayload(slot, info);
+    slot.streamId =
+        static_cast<std::uint32_t>(info.wgId) * info.subgroupsPerGroup +
+        info.subgroupIndex;
+    slot.replayPos = 0;
+    if (replay_ != nullptr) {
+        const std::vector<IssueRecord> &stream =
+            replay_->streams[slot.streamId];
+        slot.replayRecs = stream.data();
+        slot.replayCount = static_cast<std::uint32_t>(stream.size());
+        // Replay never touches the functional state beyond the ip, so
+        // the GRF payload writes are skipped; the reset puts ip at 0,
+        // where the slot's stream begins.
+        slot.state.reset(info.dispatchMask);
+    } else {
+        writePayload(slot, info);
+    }
     updateSlotReady(slot);
     --freeSlots_;
     nextIssueAt_ = 0; // rescan on the next tick
@@ -233,6 +248,7 @@ EuCore::updateSlotReady(ThreadSlot &slot)
     if (slot.status != SlotStatus::Active)
         return;
     const func::DecodedInstr &d = decoded_->at(slot.state.ip());
+    slot.cur = &d;
     slot.readyAt = std::max(
         slot.resumeAt,
         slot.sb.readyCycle(depPool_ + d.depOff, d.depCount,
@@ -247,29 +263,29 @@ EuCore::nextIssueCycle(Cycle from) const
     const Cycle fpu_free = fpu_.nextFree();
     const Cycle em_free = em_.nextFree();
     const Cycle send_free = send_.nextFree();
+    // No slot's bound can beat @p from rounded up to an arbitration
+    // boundary, so the scan stops as soon as some slot reaches it —
+    // in steady state the first active slot is often already ready,
+    // turning the full-array scan into a one-slot peek.
+    const Cycle floor = period > 1
+        ? (from + period - 1) / period * period
+        : from;
+    // Indexed by PipeKind (Fpu, Em, Send, Ctrl) so the per-slot pipe
+    // floor is a load instead of a branchy switch.
+    const Cycle pipe_free[4] = {fpu_free, em_free, send_free, 0};
     Cycle best = kNeverIssues;
     for (const ThreadSlot &slot : slots_) {
         if (slot.status != SlotStatus::Active)
             continue;
         Cycle at = std::max(from, slot.readyAt);
-        switch (slot.pipe) {
-          case PipeKind::Fpu:
-            at = std::max(at, fpu_free);
-            break;
-          case PipeKind::Em:
-            at = std::max(at, em_free);
-            break;
-          case PipeKind::Send:
-            at = std::max(at, send_free);
-            break;
-          case PipeKind::Ctrl:
-            break;
-        }
+        at = std::max(at, pipe_free[static_cast<unsigned>(slot.pipe)]);
         // tick() only arbitrates on period boundaries; the division is
         // hot enough to dodge for the default period of 1.
         if (period > 1)
             at = (at + period - 1) / period * period;
         best = std::min(best, at);
+        if (best == floor)
+            break;
     }
     return best;
 }
@@ -347,12 +363,23 @@ void
 EuCore::issueAlu(ThreadSlot &slot, const func::DecodedInstr &d,
                  std::uint32_t ip, LaneMask exec, PipeKind pk, Cycle now)
 {
-    const ExecShape shape{d.simdWidth, d.execBytes, exec};
-
     // Account what this instruction would cost under every mode; the
     // configured mode drives actual pipe occupancy. Loop bodies replay
-    // the same masks, so the plan costs come from the memoization cache.
-    const compaction::PlanCosts &costs = planCache_.costs(shape);
+    // the same masks, so the plan costs come from the memoization
+    // cache, fronted by the slot's own last-shape memo (same packing
+    // as the cache's internal key).
+    const LaneMask masked = exec & laneMaskForWidth(d.simdWidth);
+    const std::uint64_t plan_key =
+        (std::uint64_t{d.simdWidth} << 40) |
+        (std::uint64_t{d.execBytes} << 32) | masked;
+    if (plan_key != slot.planKey) {
+        const ExecShape shape{d.simdWidth, d.execBytes, exec};
+        slot.planCosts = &planCache_.costs(shape);
+        slot.planKey = plan_key;
+    } else {
+        planCache_.noteMemoHit();
+    }
+    const compaction::PlanCosts &costs = *slot.planCosts;
     for (unsigned m = 0; m < compaction::kNumModes; ++m)
         stats_.euCyclesByMode[m] += costs.cycles[m];
 
@@ -378,9 +405,10 @@ EuCore::issueAlu(ThreadSlot &slot, const func::DecodedInstr &d,
     ++stats_.utilBins[static_cast<unsigned>(bin)];
 }
 
-void
-EuCore::issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
-                  const func::StepResult &result, Cycle now)
+bool
+EuCore::issueSendHead(ThreadSlot &slot, const func::DecodedInstr &d,
+                      std::uint32_t ip, LaneMask exec, bool is_barrier,
+                      bool has_mem, Cycle now)
 {
     send_.occupy(now, 1);
     ++stats_.sendInstructions;
@@ -388,15 +416,15 @@ EuCore::issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
         stats_.euCyclesByMode[m] += config_.sendCycles;
 
     if (sink_ != nullptr) [[unlikely]]
-        emitIssue(slot, d, result.ip, result.execMask, PipeKind::Send,
-                  config_.sendCycles, nullptr, now);
+        emitIssue(slot, d, ip, exec, PipeKind::Send, config_.sendCycles,
+                  nullptr, now);
 
-    if (result.isBarrier) {
+    if (is_barrier) {
         slot.status = SlotStatus::WaitBarrier;
         if (sink_ != nullptr) [[unlikely]] {
             obs::Event ev;
             ev.cycle = now;
-            ev.ip = result.ip;
+            ev.ip = ip;
             ev.kind = obs::EventKind::BarrierArrive;
             ev.eu = static_cast<std::uint8_t>(id_);
             ev.slot = slotIndex(slot);
@@ -404,43 +432,30 @@ EuCore::issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
             sink_->emit(ev);
         }
         hooks_.onBarrierArrive(slot.wgId);
-        return;
+        return false;
     }
 
     if (d.sendOp == SendOp::Fence) {
         // Fence: stall the thread until its outstanding accesses land.
         slot.resumeAt = std::max(slot.resumeAt, slot.lastMemDone);
-        return;
+        return false;
     }
 
-    if (!result.hasMem)
-        return;
+    return has_mem;
+}
 
-    const Cycle entry = now + config_.sendIssueLatency;
-    Cycle done;
-    unsigned lines = 1;
-    bool is_write = false;
-    const bool is_slm = isa::isSlmSend(d.sendOp);
-    if (is_slm) {
-        done = mem_.accessSlm(result.mem, entry);
-        ++stats_.slmMessages;
-    } else {
-        mem::coalesceLinesInto(result.mem, lineBuf_);
-        is_write = d.sendOp == SendOp::ScatterStore ||
-            d.sendOp == SendOp::BlockStore;
-        const mem::MemResult res =
-            mem_.accessGlobal(lineBuf_, is_write, entry);
-        done = res.completion;
-        lines = res.lines;
-        stats_.memLines += res.lines;
-    }
+void
+EuCore::finishSend(ThreadSlot &slot, const func::DecodedInstr &d,
+                   std::uint32_t ip, Cycle now, Cycle done,
+                   unsigned lines, bool is_write, bool is_slm)
+{
     ++stats_.memMessages;
     slot.lastMemDone = std::max(slot.lastMemDone, done);
 
     if (sink_ != nullptr) [[unlikely]] {
         obs::Event ev;
         ev.cycle = now;
-        ev.ip = result.ip;
+        ev.ip = ip;
         ev.kind = obs::EventKind::MemAccess;
         ev.eu = static_cast<std::uint8_t>(id_);
         ev.slot = slotIndex(slot);
@@ -456,17 +471,182 @@ EuCore::issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
 }
 
 void
+EuCore::issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
+                  const func::StepResult &result, Cycle now)
+{
+    if (!issueSendHead(slot, d, result.ip, result.execMask,
+                       result.isBarrier, result.hasMem, now))
+        return;
+
+    const Cycle entry = now + config_.sendIssueLatency;
+    Cycle done;
+    unsigned lines = 1;
+    bool is_write = false;
+    const bool is_slm = isa::isSlmSend(d.sendOp);
+    if (is_slm) {
+        const unsigned degree = mem_.slmConflictDegreeOf(result.mem);
+        done = mem_.accessSlmDegree(degree, entry);
+        ++stats_.slmMessages;
+        if (captureRec_ != nullptr)
+            captureRec_->slmDegree = static_cast<std::uint16_t>(degree);
+    } else {
+        mem::coalesceLinesInto(result.mem, lineBuf_);
+        is_write = d.sendOp == SendOp::ScatterStore ||
+            d.sendOp == SendOp::BlockStore;
+        if (captureRec_ != nullptr) {
+            captureRec_->lineOff =
+                static_cast<std::uint32_t>(capture_->lines.size());
+            captureRec_->lineCount =
+                static_cast<std::uint16_t>(lineBuf_.size());
+            capture_->lines.insert(capture_->lines.end(),
+                                   lineBuf_.begin(), lineBuf_.end());
+        }
+        const mem::MemResult res =
+            mem_.accessGlobal(lineBuf_, is_write, entry);
+        done = res.completion;
+        lines = res.lines;
+        stats_.memLines += res.lines;
+    }
+    finishSend(slot, d, result.ip, now, done, lines, is_write, is_slm);
+}
+
+void
+EuCore::issueSendReplay(ThreadSlot &slot, const func::DecodedInstr &d,
+                        const IssueRecord &rec, Cycle now)
+{
+    if (!issueSendHead(slot, d, rec.ip, rec.execMask,
+                       (rec.flags & IssueRecord::kBarrier) != 0,
+                       (rec.flags & IssueRecord::kHasMem) != 0, now))
+        return;
+
+    const Cycle entry = now + config_.sendIssueLatency;
+    Cycle done;
+    unsigned lines = 1;
+    bool is_write = false;
+    const bool is_slm = isa::isSlmSend(d.sendOp);
+    if (is_slm) {
+        done = mem_.accessSlmDegree(rec.slmDegree, entry);
+        ++stats_.slmMessages;
+    } else {
+        const auto first = replay_->lines.begin() + rec.lineOff;
+        lineBuf_.assign(first, first + rec.lineCount);
+        is_write = d.sendOp == SendOp::ScatterStore ||
+            d.sendOp == SendOp::BlockStore;
+        const mem::MemResult res =
+            mem_.accessGlobal(lineBuf_, is_write, entry);
+        done = res.completion;
+        lines = res.lines;
+        stats_.memLines += res.lines;
+    }
+    finishSend(slot, d, rec.ip, now, done, lines, is_write, is_slm);
+}
+
+void
+EuCore::issueCtrl(ThreadSlot &slot, const func::DecodedInstr &d,
+                  std::uint32_t ip, LaneMask exec, bool is_halt,
+                  Cycle now)
+{
+    ++stats_.ctrlInstructions;
+    for (unsigned m = 0; m < compaction::kNumModes; ++m)
+        stats_.euCyclesByMode[m] += config_.ctrlCycles;
+    if (sink_ != nullptr) [[unlikely]]
+        emitIssue(slot, d, ip, exec, PipeKind::Ctrl, config_.ctrlCycles,
+                  nullptr, now);
+    if (is_halt) {
+        slot.status = SlotStatus::Done;
+        ++freeSlots_;
+        ++stats_.threadsRetired;
+        if (sink_ != nullptr) [[unlikely]] {
+            obs::Event ev;
+            ev.cycle = now;
+            ev.ip = ip;
+            ev.kind = obs::EventKind::ThreadRetire;
+            ev.eu = static_cast<std::uint8_t>(id_);
+            ev.slot = slotIndex(slot);
+            ev.thread = {slot.wgId, 0};
+            sink_->emit(ev);
+        }
+        hooks_.onThreadDone(slot.wgId);
+    }
+}
+
+void
+EuCore::issueReplay(ThreadSlot &slot, Cycle now)
+{
+    panic_if(slot.replayPos >= slot.replayCount,
+             "issue trace exhausted (stream %u)", slot.streamId);
+    const IssueRecord &rec = slot.replayRecs[slot.replayPos++];
+    // The slot's pre-decoded current instruction is the one the
+    // record describes; the check catches traces from another kernel.
+    panic_if(rec.ip != slot.state.ip(),
+             "issue trace diverged (stream %u: record ip %u, slot ip "
+             "%u)", slot.streamId, rec.ip, slot.state.ip());
+    const func::DecodedInstr &d = *slot.cur;
+
+    // The only functional state replay maintains: the ip, which
+    // updateSlotReady() needs to pre-decode the *next* instruction.
+    slot.state.setIp(rec.nextIp);
+
+    ++stats_.instructions;
+    ++stats_.issueSlotsUsed;
+    stats_.sumActiveLanes += popCount(rec.execMask);
+    stats_.sumSimdWidth += d.simdWidth;
+
+    switch (slot.pipe) {
+      case PipeKind::Fpu:
+        issueAlu(slot, d, rec.ip, rec.execMask, PipeKind::Fpu, now);
+        break;
+      case PipeKind::Em:
+        issueAlu(slot, d, rec.ip, rec.execMask, PipeKind::Em, now);
+        break;
+      case PipeKind::Send:
+        issueSendReplay(slot, d, rec, now);
+        break;
+      case PipeKind::Ctrl:
+        issueCtrl(slot, d, rec.ip, rec.execMask,
+                  (rec.flags & IssueRecord::kHalt) != 0, now);
+        break;
+    }
+
+    updateSlotReady(slot);
+    if (sink_ != nullptr) [[unlikely]]
+        slot.waitBase = now + 1;
+}
+
+void
 EuCore::issue(ThreadSlot &slot, Cycle now)
 {
+    if (replay_ != nullptr) {
+        issueReplay(slot, now);
+        return;
+    }
+
     interp_->setSlm(slot.slm);
     interp_->step(slot.state, stepBuf_);
     const func::StepResult &result = stepBuf_;
-    const func::DecodedInstr &d = decoded_->at(result.ip);
+    // result.ip is the pre-step ip, exactly what updateSlotReady()
+    // last decoded into slot.cur.
+    const func::DecodedInstr &d = *slot.cur;
 
     ++stats_.instructions;
     ++stats_.issueSlotsUsed;
     stats_.sumActiveLanes += popCount(result.execMask);
     stats_.sumSimdWidth += d.simdWidth;
+
+    if (capture_ != nullptr) [[unlikely]] {
+        std::vector<IssueRecord> &stream =
+            capture_->streams[slot.streamId];
+        IssueRecord rec;
+        rec.ip = result.ip;
+        rec.nextIp = slot.state.ip(); // post-step: control resolved
+        rec.execMask = result.execMask;
+        rec.flags = static_cast<std::uint8_t>(
+            (result.hasMem ? IssueRecord::kHasMem : 0) |
+            (result.isBarrier ? IssueRecord::kBarrier : 0) |
+            (result.isHalt ? IssueRecord::kHalt : 0));
+        stream.push_back(rec);
+        captureRec_ = &stream.back();
+    }
 
     // slot.pipe was computed from the same ip the step just executed.
     switch (slot.pipe) {
@@ -482,30 +662,11 @@ EuCore::issue(ThreadSlot &slot, Cycle now)
         issueSend(slot, d, result, now);
         break;
       case PipeKind::Ctrl:
-        ++stats_.ctrlInstructions;
-        for (unsigned m = 0; m < compaction::kNumModes; ++m)
-            stats_.euCyclesByMode[m] += config_.ctrlCycles;
-        if (sink_ != nullptr) [[unlikely]]
-            emitIssue(slot, d, result.ip, result.execMask,
-                      PipeKind::Ctrl, config_.ctrlCycles, nullptr, now);
-        if (result.isHalt) {
-            slot.status = SlotStatus::Done;
-            ++freeSlots_;
-            ++stats_.threadsRetired;
-            if (sink_ != nullptr) [[unlikely]] {
-                obs::Event ev;
-                ev.cycle = now;
-                ev.ip = result.ip;
-                ev.kind = obs::EventKind::ThreadRetire;
-                ev.eu = static_cast<std::uint8_t>(id_);
-                ev.slot = slotIndex(slot);
-                ev.thread = {slot.wgId, 0};
-                sink_->emit(ev);
-            }
-            hooks_.onThreadDone(slot.wgId);
-        }
+        issueCtrl(slot, d, result.ip, result.execMask, result.isHalt,
+                  now);
         break;
     }
+    captureRec_ = nullptr;
 
     // Slot state (ip, scoreboard, resumeAt) settled; refresh the cached
     // readiness the arbiter and the simulator's idle skip consult.
@@ -514,17 +675,17 @@ EuCore::issue(ThreadSlot &slot, Cycle now)
         slot.waitBase = now + 1;
 }
 
-void
+Cycle
 EuCore::tick(Cycle now)
 {
     if (config_.arbitrationPeriod > 1 &&
         now % config_.arbitrationPeriod != 0)
-        return;
+        return nextIssueAt_;
     // nextIssueAt_ lower-bounds the next issueable cycle given no
     // external event; dispatch() and releaseBarrier() reset it, so a
     // pick before then would come back empty — skip the slot scan.
     if (now < nextIssueAt_)
-        return;
+        return nextIssueAt_;
 
     const unsigned n = arbiter_.pickInto(
         config_.issueWidth,
@@ -533,6 +694,7 @@ EuCore::tick(Cycle now)
     for (unsigned k = 0; k < n; ++k)
         issue(slots_[pickBuf_[k]], now);
     nextIssueAt_ = nextIssueCycle(now + 1);
+    return nextIssueAt_;
 }
 
 } // namespace iwc::eu

@@ -18,6 +18,7 @@
 #include "compaction/cycle_plan.hh"
 #include "compaction/plan_cache.hh"
 #include "eu/arbiter.hh"
+#include "eu/issue_trace.hh"
 #include "eu/pipes.hh"
 #include "eu/scoreboard.hh"
 #include "func/interp.hh"
@@ -151,8 +152,15 @@ class EuCore
     /** Unblocks every slot waiting on workgroup @p wg_id's barrier. */
     void releaseBarrier(int wg_id, Cycle now);
 
-    /** Advances the EU by one cycle. */
-    void tick(Cycle now);
+    /**
+     * Advances the EU by one cycle and returns the updated
+     * nextIssueAt() bound, which is this EU's next calendar event: the
+     * event-driven simulator republishes the return value instead of
+     * re-reading the EU. On an off-arbitration-period cycle the bound
+     * is returned unchanged (still <= now, so the EU fires again on
+     * the next visited cycle, exactly like the per-cycle loop).
+     */
+    Cycle tick(Cycle now);
 
     /**
      * Earliest cycle >= @p from at which some slot could issue, given
@@ -183,6 +191,24 @@ class EuCore
      */
     void setSink(obs::EventSink *sink) { sink_ = sink; }
 
+    /**
+     * Attaches an issue-trace capture target (null, the default,
+     * disables capture). While attached, every issued instruction
+     * appends its functional facts to the stream of the issuing
+     * subgroup. Capture changes no timing or stats.
+     */
+    void setIssueCapture(IssueTrace *trace) { capture_ = trace; }
+
+    /**
+     * Attaches a captured issue trace to replay (null runs the
+     * functional model normally). While attached, issue() consumes
+     * each slot's stream instead of stepping the interpreter: timing
+     * is fully re-simulated, functional execution is skipped, and the
+     * resulting stats are bit-identical to a full run of the same
+     * mode (see issue_trace.hh for the invariant).
+     */
+    void setIssueReplay(const IssueTrace *trace) { replay_ = trace; }
+
     const EuStats &stats() const { return stats_; }
     const compaction::PlanCache &planCache() const { return planCache_; }
     const ExecPipe &fpu() const { return fpu_; }
@@ -202,13 +228,12 @@ class EuCore
 
     struct ThreadSlot
     {
+        // Hot fields first: the arbiter's canIssue scan and
+        // nextIssueCycle() stride over the slot array tens of millions
+        // of times per launch and consult only status/readyAt/pipe, so
+        // those live in the slot's leading cache line instead of after
+        // the kilobyte of functional state (GRF view, scoreboard).
         SlotStatus status = SlotStatus::Idle;
-        func::ThreadState state;
-        Scoreboard sb;
-        func::SlmMemory *slm = nullptr;
-        int wgId = -1;
-        Cycle resumeAt = 0;
-        Cycle lastMemDone = 0;
         /**
          * Cached max(resumeAt, scoreboard-ready cycle) of the slot's
          * current instruction, plus its pipe. Both are pure functions
@@ -217,8 +242,37 @@ class EuCore
          * (updateSlotReady) so canIssue is a compare instead of a
          * scoreboard scan.
          */
-        Cycle readyAt = 0;
         PipeKind pipe = PipeKind::Ctrl;
+        Cycle readyAt = 0;
+        Cycle resumeAt = 0;
+        Cycle lastMemDone = 0;
+        int wgId = -1;
+        func::SlmMemory *slm = nullptr;
+        /**
+         * Decoded form of the instruction at state.ip(), refreshed
+         * alongside readyAt/pipe by updateSlotReady(). Issue consumes
+         * it directly instead of re-indexing the decode table.
+         */
+        const func::DecodedInstr *cur = nullptr;
+        /** Raw view of the slot's replay stream, cached at dispatch so
+         *  issueReplay() skips the vector-of-vectors indirection. */
+        const IssueRecord *replayRecs = nullptr;
+        std::uint32_t replayCount = 0;
+        /** Next unconsumed record during replay. */
+        std::uint32_t replayPos = 0;
+        /** Flat subgroup id — the slot's issue-trace stream. */
+        std::uint32_t streamId = 0;
+        /**
+         * Per-slot plan-cost memo: packed (width, elemBytes, mask) of
+         * the slot's last ALU shape and the PlanCache entry it mapped
+         * to. Slots keep one divergence pattern across whole basic
+         * blocks while issues from different slots interleave, so this
+         * front stays hot where a per-cache memo thrashes. The pointer
+         * targets PlanCache storage that never moves, and a hit is
+         * credited back via noteMemoHit() so the counters stay exact.
+         */
+        std::uint64_t planKey = 0;
+        const compaction::PlanCosts *planCosts = nullptr;
         /**
          * Tracing only: earliest cycle the slot could have attempted
          * its current instruction (previous issue + 1, dispatch
@@ -227,16 +281,37 @@ class EuCore
          * while a sink is attached.
          */
         Cycle waitBase = 0;
+        func::ThreadState state;
+        Scoreboard sb;
     };
 
     bool canIssue(const ThreadSlot &slot, Cycle now) const;
     void updateSlotReady(ThreadSlot &slot);
     void issue(ThreadSlot &slot, Cycle now);
+    /** Replay-mode issue(): consumes the slot's stream instead of
+     *  stepping the interpreter; all timing paths are shared. */
+    void issueReplay(ThreadSlot &slot, Cycle now);
     void issueAlu(ThreadSlot &slot, const func::DecodedInstr &d,
                   std::uint32_t ip, LaneMask exec, PipeKind pk,
                   Cycle now);
     void issueSend(ThreadSlot &slot, const func::DecodedInstr &d,
                    const func::StepResult &result, Cycle now);
+    void issueSendReplay(ThreadSlot &slot, const func::DecodedInstr &d,
+                         const IssueRecord &rec, Cycle now);
+    /** Shared head of both send paths: occupancy, stats, barrier and
+     *  fence handling. Returns true when a memory access follows. */
+    bool issueSendHead(ThreadSlot &slot, const func::DecodedInstr &d,
+                       std::uint32_t ip, LaneMask exec, bool is_barrier,
+                       bool has_mem, Cycle now);
+    /** Shared tail of both send paths: completion bookkeeping, the
+     *  MemAccess event, and the load writeback claim. */
+    void finishSend(ThreadSlot &slot, const func::DecodedInstr &d,
+                    std::uint32_t ip, Cycle now, Cycle done,
+                    unsigned lines, bool is_write, bool is_slm);
+    /** Shared control-instruction path (including Halt retirement). */
+    void issueCtrl(ThreadSlot &slot, const func::DecodedInstr &d,
+                   std::uint32_t ip, LaneMask exec, bool is_halt,
+                   Cycle now);
     void writePayload(ThreadSlot &slot, const DispatchInfo &info);
     /** Emits one InstrIssue event with stall attribution (sink_ set). */
     void emitIssue(const ThreadSlot &slot, const func::DecodedInstr &d,
@@ -272,6 +347,13 @@ class EuCore
     std::vector<unsigned> pickBuf_;
     /** Event sink; null (the default) disables all tracing work. */
     obs::EventSink *sink_ = nullptr;
+    /** Issue-trace capture target; null disables capture. */
+    IssueTrace *capture_ = nullptr;
+    /** Issue trace being replayed; null runs the functional model. */
+    const IssueTrace *replay_ = nullptr;
+    /** Capture record of the in-flight issue (send paths fill the
+     *  memory fields); null outside a captured issue. */
+    IssueRecord *captureRec_ = nullptr;
     /** See nextIssueAt(). */
     Cycle nextIssueAt_ = 0;
     /** Slots in Idle/Done state, tracked so dispatch checks are O(1). */

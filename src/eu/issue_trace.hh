@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-subgroup issue traces: the functional facts a timing launch
+ * consumes, recorded once and replayed under other compaction modes.
+ *
+ * The key invariant (the whole basis of single-build multi-mode
+ * compare runs): for a data-race-free kernel, the per-subgroup
+ * sequence of (ip, execution mask, coalesced memory lines, SLM
+ * conflict degree) is independent of the compaction mode. Compaction
+ * only re-times issue — it never changes which instructions a
+ * subgroup executes or what data they touch; barriers order the only
+ * cross-subgroup communication. Timing, by contrast, is fully mode-
+ * dependent (dispatch placement, arbitration, pipe occupancy, cache
+ * interleaving), so a replay re-simulates all of it from scratch and
+ * only skips functional execution — the dominant cost — reading each
+ * slot's next step from its stream instead of stepping the
+ * interpreter. Replayed LaunchStats are bit-identical to a full
+ * simulation of the same mode (gated over the whole workload corpus
+ * by tests/test_compare_run.cc).
+ *
+ * Streams are keyed by flat subgroup id (wgId * subgroupsPerGroup +
+ * subgroupIndex), which is stable across modes even though dispatch
+ * *placement* (which EU, which cycle) is not.
+ */
+
+#ifndef IWC_EU_ISSUE_TRACE_HH
+#define IWC_EU_ISSUE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace iwc::eu
+{
+
+/** One issued instruction of one subgroup (see file comment). */
+struct IssueRecord
+{
+    std::uint32_t ip = 0;     ///< instruction issued
+    std::uint32_t nextIp = 0; ///< ip after the step (control resolved)
+    LaneMask execMask = 0;
+    std::uint32_t lineOff = 0;  ///< global sends: offset into lines
+    std::uint16_t lineCount = 0;///< global sends: coalesced line count
+    std::uint16_t slmDegree = 0;///< SLM sends: bank conflict degree
+    std::uint8_t flags = 0;     ///< kHasMem | kBarrier | kHalt
+
+    static constexpr std::uint8_t kHasMem = 1;
+    static constexpr std::uint8_t kBarrier = 2;
+    static constexpr std::uint8_t kHalt = 4;
+};
+
+/** Everything one launch records; reusable by any number of replays. */
+struct IssueTrace
+{
+    /** Indexed by flat subgroup id; each stream is in issue order. */
+    std::vector<std::vector<IssueRecord>> streams;
+    /** Coalesced line-address pool the records slice into. */
+    std::vector<Addr> lines;
+
+    void
+    clear()
+    {
+        streams.clear();
+        lines.clear();
+    }
+};
+
+} // namespace iwc::eu
+
+#endif // IWC_EU_ISSUE_TRACE_HH

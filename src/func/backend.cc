@@ -54,7 +54,8 @@ resolveBackendKind(BackendKind requested)
 }
 
 ExecBackend::ExecBackend(const isa::Kernel &kernel, GlobalMemory &gmem)
-    : kernel_(kernel), decoded_(kernel), gmem_(gmem)
+    : pre_(PredecodeCache::instance().get(kernel)), kernel_(pre_->kernel),
+      decoded_(pre_->decoded), gmem_(gmem)
 {
 }
 

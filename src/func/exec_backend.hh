@@ -28,6 +28,7 @@
 
 #include "func/memory.hh"
 #include "func/predecode.hh"
+#include "func/predecode_cache.hh"
 #include "func/step_result.hh"
 #include "func/thread_state.hh"
 #include "isa/kernel.hh"
@@ -98,6 +99,11 @@ class ExecBackend
     LaneMask execMaskFor(const isa::Instruction &in,
                          const ThreadState &t) const;
 
+    /**
+     * The bound kernel. This is the predecode cache's shared copy of
+     * the kernel passed at construction (value-identical; the decoded
+     * form's instruction pointers point into it).
+     */
     const isa::Kernel &kernel() const { return kernel_; }
 
     /** The bind-time decoded form (operand spans, dependence lists). */
@@ -114,8 +120,10 @@ class ExecBackend
     virtual void execCmp(const DecodedInstr &d, ThreadState &t,
                          LaneMask exec) = 0;
 
+    /** Shared predecode entry; keeps kernel_/decoded_ alive. */
+    std::shared_ptr<const PredecodedKernel> pre_;
     const isa::Kernel &kernel_;
-    DecodedKernel decoded_;
+    const DecodedKernel &decoded_;
     GlobalMemory &gmem_;
     SlmMemory *slm_ = nullptr;
 };

@@ -1,0 +1,51 @@
+#include "func/predecode_cache.hh"
+
+namespace iwc::func
+{
+
+PredecodeCache &
+PredecodeCache::instance()
+{
+    static PredecodeCache cache;
+    return cache;
+}
+
+std::shared_ptr<const PredecodedKernel>
+PredecodeCache::get(const isa::Kernel &kernel)
+{
+    const std::uint64_t digest = kernel.digest();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(digest);
+        if (it != entries_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Decode outside the lock: predecode is the expensive part, and
+    // concurrent first sightings of the same kernel are rare (the
+    // loser's identical entry just replaces the winner's).
+    auto entry = std::make_shared<const PredecodedKernel>(kernel);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.size() >= kMaxEntries)
+        entries_.clear();
+    entries_[digest] = entry;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return entry;
+}
+
+std::size_t
+PredecodeCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+PredecodeCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
+} // namespace iwc::func

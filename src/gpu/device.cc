@@ -200,6 +200,28 @@ Device::launch(const isa::Kernel &kernel, std::uint64_t global_size,
     return sim.run(kernel, global_size, local_size, argWords(args));
 }
 
+LaunchStats
+Device::launchCapture(const isa::Kernel &kernel,
+                      std::uint64_t global_size, unsigned local_size,
+                      const std::vector<Arg> &args,
+                      eu::IssueTrace &trace)
+{
+    Simulator sim(config_, gmem_);
+    sim.setIssueCapture(&trace);
+    return sim.run(kernel, global_size, local_size, argWords(args));
+}
+
+LaunchStats
+Device::launchReplay(const isa::Kernel &kernel,
+                     std::uint64_t global_size, unsigned local_size,
+                     const std::vector<Arg> &args,
+                     const eu::IssueTrace &trace)
+{
+    Simulator sim(config_, gmem_);
+    sim.setIssueReplay(&trace);
+    return sim.run(kernel, global_size, local_size, argWords(args));
+}
+
 std::uint64_t
 Device::launchFunctional(const isa::Kernel &kernel,
                          std::uint64_t global_size, unsigned local_size,

@@ -125,6 +125,27 @@ class Device
                        std::uint64_t global_size, unsigned local_size,
                        const std::vector<Arg> &args);
 
+    /**
+     * As launch(), additionally capturing the issue trace into
+     * @p trace for later replay under other compaction modes.
+     */
+    LaunchStats launchCapture(const isa::Kernel &kernel,
+                              std::uint64_t global_size,
+                              unsigned local_size,
+                              const std::vector<Arg> &args,
+                              eu::IssueTrace &trace);
+
+    /**
+     * As launch(), but replaying @p trace instead of executing: full
+     * mode-dependent timing, no functional work, global memory left
+     * untouched. The launch parameters must match the capture.
+     */
+    LaunchStats launchReplay(const isa::Kernel &kernel,
+                             std::uint64_t global_size,
+                             unsigned local_size,
+                             const std::vector<Arg> &args,
+                             const eu::IssueTrace &trace);
+
     /** Functional-only launch; returns instruction count. */
     std::uint64_t launchFunctional(const isa::Kernel &kernel,
                                    std::uint64_t global_size,

@@ -24,6 +24,7 @@ Dispatcher::Dispatcher(const isa::Kernel &kernel,
     wgStates_.resize(numWgs_);
     for (unsigned wg = 0; wg < numWgs_; ++wg)
         totalThreads_ += wgThreadCount(wg);
+    nextWgThreads_ = wgThreadCount(0);
 }
 
 unsigned
@@ -41,20 +42,31 @@ Dispatcher::wgThreadCount(unsigned wg) const
         ceilDiv(wgWorkItems(wg), kernel_.simdWidth()));
 }
 
-void
+unsigned
+Dispatcher::ensureTotalSlots(
+    const std::vector<std::unique_ptr<eu::EuCore>> &eus)
+{
+    if (totalSlots_ == 0) {
+        for (const auto &eu : eus)
+            totalSlots_ += eu->numFreeSlots();
+        totalSlots_ += liveThreads_;
+    }
+    return totalSlots_;
+}
+
+bool
 Dispatcher::tryDispatch(
     const std::vector<std::unique_ptr<eu::EuCore>> &eus, Cycle now,
     Cycle dispatch_latency)
 {
+    const unsigned total = ensureTotalSlots(eus);
+    bool dispatched = false;
     while (nextWg_ < numWgs_) {
         const unsigned wg = nextWg_;
-        const unsigned threads = wgThreadCount(wg);
+        const unsigned threads = nextWgThreads_;
 
-        unsigned free_slots = 0;
-        for (const auto &eu : eus)
-            free_slots += eu->numFreeSlots();
-        if (free_slots < threads)
-            return; // whole workgroups only (barrier semantics)
+        if (total - liveThreads_ < threads)
+            return dispatched; // whole workgroups only (barriers)
 
         WgState &state = wgStates_[wg];
         state.threads = threads;
@@ -105,8 +117,13 @@ Dispatcher::tryDispatch(
             ev.wg = {static_cast<std::int32_t>(wg), threads};
             sink_->emit(ev);
         }
+        liveThreads_ += threads;
         ++nextWg_;
+        if (nextWg_ < numWgs_)
+            nextWgThreads_ = wgThreadCount(nextWg_);
+        dispatched = true;
     }
+    return dispatched;
 }
 
 bool
@@ -115,10 +132,15 @@ Dispatcher::canDispatch(
 {
     if (nextWg_ == numWgs_)
         return false;
-    unsigned free_slots = 0;
-    for (const auto &eu : eus)
-        free_slots += eu->numFreeSlots();
-    return free_slots >= wgThreadCount(nextWg_);
+    unsigned free_slots;
+    if (totalSlots_ != 0) {
+        free_slots = totalSlots_ - liveThreads_;
+    } else {
+        free_slots = 0;
+        for (const auto &eu : eus)
+            free_slots += eu->numFreeSlots();
+    }
+    return free_slots >= nextWgThreads_;
 }
 
 void
@@ -139,6 +161,7 @@ Dispatcher::threadDone(int wg_id)
 {
     WgState &state = wgStates_.at(static_cast<unsigned>(wg_id));
     ++state.done;
+    --liveThreads_;
     panic_if(state.done > state.threads, "too many thread completions");
     if (state.done == state.threads) {
         ++wgsCompleted_;

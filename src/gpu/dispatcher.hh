@@ -35,10 +35,19 @@ class Dispatcher
 
     /**
      * Places as many whole pending workgroups as the free thread
-     * slots across @p eus allow.
+     * slots across @p eus allow. Returns true when anything was
+     * placed — the target EUs' issue-scan state was reset, so the
+     * event-driven simulator must republish their calendar entries.
      */
-    void tryDispatch(const std::vector<std::unique_ptr<eu::EuCore>> &eus,
+    bool tryDispatch(const std::vector<std::unique_ptr<eu::EuCore>> &eus,
                      Cycle now, Cycle dispatch_latency);
+
+    /**
+     * True while some workgroup is still waiting for placement — the
+     * O(1) gate tryDispatch itself starts with, exposed so per-cycle
+     * callers can skip the call entirely.
+     */
+    bool hasPendingWork() const { return nextWg_ < numWgs_; }
 
     /**
      * True when the next pending workgroup would fit right now. Free
@@ -63,6 +72,7 @@ class Dispatcher
     bool allWorkDone() const;
 
     unsigned numWorkgroups() const { return numWgs_; }
+    unsigned subgroupsPerGroup() const { return subgroupsPerGroup_; }
     std::uint64_t totalThreads() const { return totalThreads_; }
     unsigned simdWidth() const { return kernel_.simdWidth(); }
 
@@ -89,7 +99,24 @@ class Dispatcher
     unsigned subgroupsPerGroup_;
     std::uint64_t totalThreads_ = 0;
 
+    /**
+     * Lazily learns the machine's total slot count so the free-slot
+     * sum is total minus live instead of a walk over the EUs. Always
+     * exact: a slot is free exactly when it holds no live thread, and
+     * liveThreads_ mirrors dispatch (+threads) and retire (-1), the
+     * same events that move the EUs' own free-slot counters.
+     */
+    unsigned ensureTotalSlots(
+        const std::vector<std::unique_ptr<eu::EuCore>> &eus);
+
     unsigned nextWg_ = 0;
+    /** wgThreadCount(nextWg_), cached because canDispatch() runs every
+     *  visited cycle and the count costs two 64-bit divisions. */
+    unsigned nextWgThreads_ = 0;
+    /** Slots across all EUs; 0 until the first dispatch query. */
+    unsigned totalSlots_ = 0;
+    /** Dispatched, not yet retired threads (see ensureTotalSlots). */
+    unsigned liveThreads_ = 0;
     unsigned wgsCompleted_ = 0;
     std::vector<WgState> wgStates_;
     std::vector<int> pendingReleases_;

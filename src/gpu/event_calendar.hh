@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Next-event calendar for the event-driven simulator core. Each EU
+ * publishes its earliest actionable cycle (issue-ready, retire,
+ * post-dispatch or post-barrier rescan); the simulator jumps straight
+ * to the global minimum and touches only the EUs whose entry fired.
+ *
+ * The calendar is a flat per-EU array rather than a binary heap on
+ * purpose: the fan-in is the EU count (six in the Table 3 machine,
+ * never more than a few dozen), entries are republished on almost
+ * every visited cycle, and the consumer folds the global minimum
+ * while it walks the firing set anyway — so a heap's O(log n)
+ * reheapify per update would cost more than the O(n) fold it tries
+ * to avoid. The structure keeps the event-publication contract
+ * explicit and swappable should the EU count ever grow by orders of
+ * magnitude.
+ */
+
+#ifndef IWC_GPU_EVENT_CALENDAR_HH
+#define IWC_GPU_EVENT_CALENDAR_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace iwc::gpu
+{
+
+/** See file comment. */
+class EventCalendar
+{
+  public:
+    /** All entries start at cycle 0: every EU fires on the first visit. */
+    explicit EventCalendar(std::size_t num_eus) : next_(num_eus, 0) {}
+
+    /** Publishes EU @p eu's earliest actionable cycle. */
+    void
+    publish(std::size_t eu, Cycle at)
+    {
+        next_[eu] = at;
+    }
+
+    /** EU @p eu's published entry. */
+    Cycle
+    at(std::size_t eu) const
+    {
+        return next_[eu];
+    }
+
+    /** Earliest published event over all EUs. */
+    Cycle
+    globalMin() const
+    {
+        Cycle best = kNever;
+        for (const Cycle at : next_)
+            best = std::min(best, at);
+        return best;
+    }
+
+    /** Entry meaning "this EU cannot act without an external event". */
+    static constexpr Cycle kNever = ~Cycle{0};
+
+  private:
+    std::vector<Cycle> next_;
+};
+
+} // namespace iwc::gpu
+
+#endif // IWC_GPU_EVENT_CALENDAR_HH

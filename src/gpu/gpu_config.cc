@@ -40,6 +40,17 @@ parseMode(const std::string &name)
     fatal("unknown compaction mode '%s'", name.c_str());
 }
 
+SimEngine
+parseSimEngine(const std::string &name)
+{
+    if (name == "event")
+        return SimEngine::Event;
+    if (name == "reference" || name == "ref")
+        return SimEngine::Reference;
+    fatal("unknown simulation engine '%s' (event|reference)",
+          name.c_str());
+}
+
 namespace
 {
 
@@ -265,6 +276,10 @@ applyOptions(GpuConfig config, const OptionMap &opts)
             fatal("unknown backend '%s' (auto|scalar|vector)",
                   name.c_str());
     }
+    // Engine selection never enters the canonical encoding: both
+    // engines are bit-identical by construction (see SimEngine).
+    if (opts.has("engine"))
+        config.engine = parseSimEngine(opts.getString("engine", ""));
     config.numEus = static_cast<unsigned>(
         opts.getInt("eus", config.numEus));
     config.eu.numThreads = static_cast<unsigned>(

@@ -21,6 +21,22 @@ class EventSink;
 namespace iwc::gpu
 {
 
+/**
+ * Which top-level simulation loop drives a launch. Both engines
+ * produce bit-identical LaunchStats (enforced by the cycle-exactness
+ * gate in tests/test_sim_engines.cc): the event engine visits exactly
+ * the per-cycle loop's cycle set, it just reaches each visited cycle
+ * through the next-event calendar instead of polling every EU. The
+ * choice is therefore deliberately excluded from the canonical config
+ * encoding and every cache key — it can never change a result, only
+ * how fast the result is computed.
+ */
+enum class SimEngine
+{
+    Event,     ///< next-event calendar (the default)
+    Reference, ///< retained per-cycle polling loop (the oracle)
+};
+
 /** See file comment. */
 struct GpuConfig
 {
@@ -29,6 +45,9 @@ struct GpuConfig
     mem::MemConfig mem;
     Cycle dispatchLatency = 26; ///< thread-spawn to first-issue latency
     Cycle maxCycles = 1ull << 33; ///< runaway-simulation guard
+
+    /** Simulation loop implementation (see SimEngine: not a key). */
+    SimEngine engine = SimEngine::Event;
 
     /**
      * Observability sink wired into every EU, the dispatcher, and the
@@ -57,6 +76,9 @@ GpuConfig applyOptions(GpuConfig config, const OptionMap &opts);
 
 /** Parses a compaction mode name (baseline/ivb/bcc/scc). */
 compaction::Mode parseMode(const std::string &name);
+
+/** Parses a simulation engine name (event/reference). */
+SimEngine parseSimEngine(const std::string &name);
 
 /**
  * Canonical text encoding of a config: one "key=value" line per

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "gpu/event_calendar.hh"
 #include "obs/sink.hh"
 
 namespace iwc::gpu
@@ -80,20 +81,12 @@ Simulator::onThreadDone(int wg_id)
     dispatcher_->threadDone(wg_id);
 }
 
-LaunchStats
-Simulator::run(const isa::Kernel &kernel, std::uint64_t global_size,
-               unsigned local_size,
-               const std::vector<std::uint32_t> &arg_words)
+Cycle
+Simulator::runReferenceLoop(Dispatcher &dispatcher,
+                            const isa::Kernel &kernel,
+                            std::uint64_t &idle_cycles_skipped,
+                            std::uint64_t &idle_skips)
 {
-    Dispatcher dispatcher(kernel, global_size, local_size, arg_words,
-                          config_.sink);
-    dispatcher_ = &dispatcher;
-
-    for (auto &eu : eus_)
-        eu->bindKernel(kernel, gmem_);
-
-    std::uint64_t idle_cycles_skipped = 0;
-    std::uint64_t idle_skips = 0;
     Cycle cycle = 0;
     while (true) {
         dispatcher.tryDispatch(eus_, cycle, config_.dispatchLatency);
@@ -151,6 +144,119 @@ Simulator::run(const isa::Kernel &kernel, std::uint64_t global_size,
                  kernel.name().c_str(),
                  static_cast<unsigned long long>(config_.maxCycles));
     }
+    return cycle;
+}
+
+Cycle
+Simulator::runEventLoop(Dispatcher &dispatcher,
+                        const isa::Kernel &kernel,
+                        std::uint64_t &idle_cycles_skipped,
+                        std::uint64_t &idle_skips)
+{
+    // The calendar mirrors each EU's live nextIssueAt() bound: ticks
+    // republish their return value, and the two operations that reset
+    // an EU's scan state behind the calendar's back — dispatch and
+    // barrier release — are followed by a wholesale republish. The
+    // loop therefore visits exactly the cycle set of the reference
+    // loop (same next-cycle formula over the same values), fires only
+    // the EUs whose entry is due, and folds the global minimum into
+    // the same walk instead of re-scanning every EU afterwards.
+    const std::size_t num_eus = eus_.size();
+    EventCalendar calendar(num_eus);
+    Cycle cycle = 0;
+    while (true) {
+        if (dispatcher.hasPendingWork() &&
+            dispatcher.tryDispatch(eus_, cycle,
+                                   config_.dispatchLatency)) {
+            for (std::size_t i = 0; i < num_eus; ++i)
+                calendar.publish(i, eus_[i]->nextIssueAt());
+        }
+
+        Cycle best = EventCalendar::kNever;
+        for (std::size_t i = 0; i < num_eus; ++i) {
+            Cycle at = calendar.at(i);
+            if (cycle >= at) {
+                at = eus_[i]->tick(cycle);
+                calendar.publish(i, at);
+            }
+            best = std::min(best, at);
+        }
+
+        if (dispatcher.hasPendingReleases()) {
+            for (const int wg : dispatcher.takeBarrierReleases())
+                for (auto &eu : eus_)
+                    eu->releaseBarrier(wg, cycle);
+            for (std::size_t i = 0; i < num_eus; ++i)
+                calendar.publish(i, eus_[i]->nextIssueAt());
+            best = calendar.globalMin();
+        }
+
+        if (dispatcher.allWorkDone()) {
+            bool all_idle = true;
+            for (const auto &eu : eus_)
+                all_idle = all_idle && eu->idle();
+            if (all_idle)
+                break;
+        }
+
+        Cycle next = cycle + 1;
+        if (!dispatcher.canDispatch(eus_)) {
+            if (best == EventCalendar::kNever)
+                next = config_.maxCycles; // deadlock: land on the guard
+            else
+                next = std::max(best, cycle + 1);
+        }
+        if (next > cycle + 1) {
+            idle_cycles_skipped += next - (cycle + 1);
+            ++idle_skips;
+            if (config_.sink != nullptr) [[unlikely]] {
+                obs::Event ev;
+                ev.cycle = cycle + 1; // first cycle jumped over
+                ev.kind = obs::EventKind::IdleSkip;
+                ev.eu = obs::kGlobalEu;
+                ev.skip = {next};
+                config_.sink->emit(ev);
+            }
+        }
+        cycle = next;
+        fatal_if(cycle >= config_.maxCycles,
+                 "kernel %s exceeded the %llu-cycle guard (deadlock?)",
+                 kernel.name().c_str(),
+                 static_cast<unsigned long long>(config_.maxCycles));
+    }
+    return cycle;
+}
+
+LaunchStats
+Simulator::run(const isa::Kernel &kernel, std::uint64_t global_size,
+               unsigned local_size,
+               const std::vector<std::uint32_t> &arg_words)
+{
+    Dispatcher dispatcher(kernel, global_size, local_size, arg_words,
+                          config_.sink);
+    dispatcher_ = &dispatcher;
+
+    for (auto &eu : eus_)
+        eu->bindKernel(kernel, gmem_);
+
+    if (capture_ != nullptr) {
+        capture_->clear();
+        capture_->streams.resize(
+            static_cast<std::size_t>(dispatcher.numWorkgroups()) *
+            dispatcher.subgroupsPerGroup());
+    }
+    for (auto &eu : eus_) {
+        eu->setIssueCapture(capture_);
+        eu->setIssueReplay(replay_);
+    }
+
+    std::uint64_t idle_cycles_skipped = 0;
+    std::uint64_t idle_skips = 0;
+    const Cycle cycle = config_.engine == SimEngine::Reference
+        ? runReferenceLoop(dispatcher, kernel, idle_cycles_skipped,
+                           idle_skips)
+        : runEventLoop(dispatcher, kernel, idle_cycles_skipped,
+                       idle_skips);
     dispatcher_ = nullptr;
 
     LaunchStats stats;

@@ -95,14 +95,43 @@ class Simulator : public eu::GpuHooks
     void onBarrierArrive(int wg_id) override;
     void onThreadDone(int wg_id) override;
 
+    /**
+     * Captures the launch's issue trace into @p trace (cleared and
+     * sized by run()). Null disables capture. See eu/issue_trace.hh.
+     */
+    void setIssueCapture(eu::IssueTrace *trace) { capture_ = trace; }
+
+    /**
+     * Replays @p trace instead of executing functionally; the launch
+     * must be identical to the captured one in everything but the
+     * compaction mode. Null (default) executes normally.
+     */
+    void setIssueReplay(const eu::IssueTrace *trace) { replay_ = trace; }
+
     const mem::MemSystem &memSystem() const { return *mem_; }
 
   private:
+    /**
+     * The two simulation loops (SimEngine). Both run the launch to
+     * its final visited cycle, accumulating the idle-skip counters;
+     * they are bit-identical by construction and gated by
+     * tests/test_sim_engines.cc.
+     */
+    Cycle runReferenceLoop(Dispatcher &dispatcher,
+                           const isa::Kernel &kernel,
+                           std::uint64_t &idle_cycles_skipped,
+                           std::uint64_t &idle_skips);
+    Cycle runEventLoop(Dispatcher &dispatcher, const isa::Kernel &kernel,
+                       std::uint64_t &idle_cycles_skipped,
+                       std::uint64_t &idle_skips);
+
     GpuConfig config_;
     func::GlobalMemory &gmem_;
     std::unique_ptr<mem::MemSystem> mem_;
     std::vector<std::unique_ptr<eu::EuCore>> eus_;
     Dispatcher *dispatcher_ = nullptr; ///< valid only inside run()
+    eu::IssueTrace *capture_ = nullptr;
+    const eu::IssueTrace *replay_ = nullptr;
 };
 
 } // namespace iwc::gpu

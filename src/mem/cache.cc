@@ -16,7 +16,11 @@ Cache::Cache(std::string name, std::uint64_t size_bytes, unsigned ways)
     numSets_ = static_cast<unsigned>(num_lines / ways);
     fatal_if(!isPow2(numSets_), "cache %s: set count must be power of 2",
              name_.c_str());
-    lines_.resize(num_lines);
+    tagShift_ = log2i(numSets_);
+    tags_.assign(num_lines, kInvalidTag);
+    fillReady_.assign(num_lines, 0);
+    lastUse_.assign(num_lines, 0);
+    dirty_.assign(num_lines, 0);
 }
 
 CacheAccessResult
@@ -25,74 +29,85 @@ Cache::access(Addr line_addr, bool is_write, Cycle now)
     CacheAccessResult result;
     const Addr line_num = line_addr / kCacheLineBytes;
     const unsigned set = static_cast<unsigned>(line_num & (numSets_ - 1));
-    const Addr tag = line_num >> log2i(numSets_);
-    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    const Addr wide_tag = line_num >> tagShift_;
+    fatal_if(wide_tag >= kInvalidTag,
+             "cache %s: address 0x%llx beyond the 32-bit tag range",
+             name_.c_str(), static_cast<unsigned long long>(line_addr));
+    const std::uint32_t tag = static_cast<std::uint32_t>(wide_tag);
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    const std::uint32_t *tags = &tags_[base];
 
     ++useClock_;
-    for (unsigned w = 0; w < ways_; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            // A tag match on a line whose fill is still in flight is a
-            // merged miss: it completes with the original fill.
-            const auto pending = pendingFills_.find(line_addr);
-            if (pending != pendingFills_.end()) {
-                if (pending->second > now) {
-                    result.mergedMiss = true;
-                    result.fillReady = pending->second;
-                } else {
-                    pendingFills_.erase(pending);
-                }
-            }
-            result.hit = !result.mergedMiss;
-            if (result.hit)
-                ++hits_;
-            line.lastUse = useClock_;
-            line.dirty = line.dirty || is_write;
-            return result;
+    // A tag lives in at most one way of its set, so OR-ing (way + 1)
+    // over every matching way finds the hit without an early exit —
+    // the loop carries no control dependence and vectorizes.
+    unsigned match = 0;
+    for (unsigned w = 0; w < ways_; ++w)
+        match |= tags[w] == tag ? w + 1 : 0;
+    if (match != 0) {
+        const std::size_t idx = base + (match - 1);
+        // A tag match on a line whose fill is still in flight is a
+        // merged miss: it completes with the original fill.
+        if (fillReady_[idx] > now) {
+            result.mergedMiss = true;
+            result.fillReady = fillReady_[idx];
         }
+        result.hit = !result.mergedMiss;
+        if (result.hit)
+            ++hits_;
+        lastUse_[idx] = useClock_;
+        dirty_[idx] |= static_cast<std::uint8_t>(is_write);
+        return result;
     }
 
     // Miss: allocate (write-allocate policy), evicting the LRU way.
     ++misses_;
-    Line *victim = base;
+    unsigned victim = 0;
     for (unsigned w = 1; w < ways_; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
+        if (tags[w] == kInvalidTag) {
+            victim = w;
             break;
         }
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
+        if (lastUse_[base + w] < lastUse_[base + victim])
+            victim = w;
     }
-    if (victim->valid) {
+    if (tags[victim] != kInvalidTag) {
         ++evictions_;
-        if (victim->dirty) {
+        if (dirty_[base + victim] != 0) {
             ++dirtyEvictions_;
             result.dirtyEviction = true;
         }
-        // Forget any stale pending fill for the evicted line.
-        const Addr old_line =
-            ((victim->tag << log2i(numSets_)) | set) * kCacheLineBytes;
-        pendingFills_.erase(old_line);
     }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->dirty = is_write;
-    victim->lastUse = useClock_;
+    tags_[base + victim] = tag;
+    dirty_[base + victim] = static_cast<std::uint8_t>(is_write);
+    lastUse_[base + victim] = useClock_;
+    fillReady_[base + victim] = 0; // eviction forgets the old line's fill
     return result;
 }
 
 void
 Cache::noteFill(Addr line_addr, Cycle ready_at)
 {
-    pendingFills_[line_addr] = ready_at;
+    const Addr line_num = line_addr / kCacheLineBytes;
+    const unsigned set = static_cast<unsigned>(line_num & (numSets_ - 1));
+    const std::uint32_t tag =
+        static_cast<std::uint32_t>(line_num >> tagShift_);
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (tags_[base + w] == tag) {
+            fillReady_[base + w] = ready_at;
+            return;
+        }
+    }
 }
 
 void
 Cache::flush()
 {
-    for (Line &line : lines_)
-        line = Line{};
-    pendingFills_.clear();
+    tags_.assign(tags_.size(), kInvalidTag);
+    fillReady_.assign(fillReady_.size(), 0);
+    lastUse_.assign(lastUse_.size(), 0);
+    dirty_.assign(dirty_.size(), 0);
 }
 
 } // namespace iwc::mem

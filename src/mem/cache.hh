@@ -9,7 +9,6 @@
 #define IWC_MEM_CACHE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -62,19 +61,33 @@ class Cache
     const std::string &name() const { return name_; }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;
-    };
+    /**
+     * Tag value no real line can carry, doubling as the invalid marker
+     * so the hot tag scan is a single compare per way. Tags are stored
+     * narrowed to 32 bits — access() checks the real tag fits below
+     * this marker, which holds for any address under 8 TiB with the
+     * smallest modelled set count — so a 64-way scan reads 256
+     * contiguous bytes and vectorizes to a handful of SIMD compares.
+     */
+    static constexpr std::uint32_t kInvalidTag = ~std::uint32_t{0};
 
+    // Line state is stored as parallel arrays (all numSets_ x ways_,
+    // line i of set s at index s * ways_ + i) rather than an array of
+    // structs: the tag scan of a 64-way set then touches only
+    // contiguous tags instead of striding 2 KiB of line records, and
+    // the LRU victim scan reads only the use clocks. The MSHR state
+    // (fillReady, see CacheAccessResult::fillReady) keeps the original
+    // meaning: a value <= the access cycle means the fill has landed
+    // and the line is a plain hit; eviction resets it, so no separate
+    // outstanding-miss table is needed.
     std::string name_;
     unsigned ways_;
     unsigned numSets_;
-    std::vector<Line> lines_; ///< numSets_ x ways_
-    std::unordered_map<Addr, Cycle> pendingFills_;
+    unsigned tagShift_ = 0; ///< log2(numSets_), hoisted out of access()
+    std::vector<std::uint32_t> tags_; ///< kInvalidTag marks an invalid line
+    std::vector<Cycle> fillReady_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint8_t> dirty_;
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

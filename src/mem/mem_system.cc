@@ -84,4 +84,16 @@ MemSystem::accessSlm(const func::MemAccess &acc, Cycle now)
     return slm_->access(acc, now);
 }
 
+Cycle
+MemSystem::accessSlmDegree(unsigned degree, Cycle now)
+{
+    return slm_->access(degree, now);
+}
+
+unsigned
+MemSystem::slmConflictDegreeOf(const func::MemAccess &acc) const
+{
+    return slm_->conflictDegree(acc);
+}
+
 } // namespace iwc::mem

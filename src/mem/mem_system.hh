@@ -75,6 +75,12 @@ class MemSystem
     /** Issues one SLM message; returns its completion cycle. */
     Cycle accessSlm(const func::MemAccess &acc, Cycle now);
 
+    /** As accessSlm with the conflict degree precomputed (replay). */
+    Cycle accessSlmDegree(unsigned degree, Cycle now);
+
+    /** Conflict degree @p acc would serialize by (capture). */
+    unsigned slmConflictDegreeOf(const func::MemAccess &acc) const;
+
     const Cache &l3() const { return *l3_; }
     const Cache &llc() const { return *llc_; }
     const DataCluster &dataCluster() const { return *dc_; }

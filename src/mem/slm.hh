@@ -29,11 +29,28 @@ class SlmTiming
     Cycle
     access(const func::MemAccess &acc, Cycle now)
     {
-        const unsigned degree = slmConflictDegree(acc, banks_,
-                                                  bankWordBytes_);
+        return access(slmConflictDegree(acc, banks_, bankWordBytes_),
+                      now);
+    }
+
+    /**
+     * As access(), but with the conflict degree already known — the
+     * issue-trace replay path, which records the degree (a pure
+     * function of the access's addresses) instead of the addresses.
+     */
+    Cycle
+    access(unsigned degree, Cycle now)
+    {
         ++accesses_;
         conflictCycles_ += degree - 1;
         return now + latency_ + (degree - 1);
+    }
+
+    /** Conflict degree of @p acc (what access() would serialize by). */
+    unsigned
+    conflictDegree(const func::MemAccess &acc) const
+    {
+        return slmConflictDegree(acc, banks_, bankWordBytes_);
     }
 
     std::uint64_t accesses() const { return accesses_; }

@@ -22,6 +22,14 @@ ServiceStats::writeTo(stats::Group &group) const
                     static_cast<double>(rejectedBad));
     group.setScalar("svc.rejected_shutdown",
                     static_cast<double>(rejectedShutdown));
+    group.setScalar("svc.latency_samples",
+                    static_cast<double>(latencySamples));
+    group.setScalar("svc.latency_p50_us",
+                    static_cast<double>(latencyP50Us));
+    group.setScalar("svc.latency_p95_us",
+                    static_cast<double>(latencyP95Us));
+    group.setScalar("svc.latency_p99_us",
+                    static_cast<double>(latencyP99Us));
 }
 
 } // namespace iwc::obs

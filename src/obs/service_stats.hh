@@ -15,7 +15,9 @@
 #ifndef IWC_OBS_SERVICE_STATS_HH
 #define IWC_OBS_SERVICE_STATS_HH
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 
 namespace iwc::stats
@@ -25,6 +27,80 @@ class Group;
 
 namespace iwc::obs
 {
+
+/**
+ * Lock-free request-latency histogram: one relaxed atomic counter per
+ * power-of-two microsecond octave. Quantiles report the upper bound
+ * of the bucket holding the requested rank, so they are exact to a
+ * factor of two — the right fidelity for a monitoring counter that
+ * must cost two relaxed increments per request.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr unsigned kBuckets = 40; ///< up to ~2^39 us (~6 days)
+
+    void
+    record(std::uint64_t micros)
+    {
+        buckets_[bucketOf(micros)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    samples() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &b : buckets_)
+            n += b.load(std::memory_order_relaxed);
+        return n;
+    }
+
+    /**
+     * Upper bound (µs) of the bucket containing the @p q-quantile
+     * sample (0 when empty). Monotone in q by construction.
+     */
+    std::uint64_t
+    quantileUs(double q) const
+    {
+        std::array<std::uint64_t, kBuckets> counts;
+        std::uint64_t total = 0;
+        for (unsigned i = 0; i < kBuckets; ++i) {
+            counts[i] = buckets_[i].load(std::memory_order_relaxed);
+            total += counts[i];
+        }
+        if (total == 0)
+            return 0;
+        const std::uint64_t rank = static_cast<std::uint64_t>(
+            q * static_cast<double>(total - 1));
+        std::uint64_t seen = 0;
+        for (unsigned i = 0; i < kBuckets; ++i) {
+            seen += counts[i];
+            if (seen > rank)
+                return upperBoundUs(i);
+        }
+        return upperBoundUs(kBuckets - 1);
+    }
+
+  private:
+    static unsigned
+    bucketOf(std::uint64_t micros)
+    {
+        if (micros == 0)
+            return 0;
+        const unsigned b = static_cast<unsigned>(std::bit_width(micros));
+        return b < kBuckets ? b : kBuckets - 1;
+    }
+
+    /** Largest value mapping to bucket @p i (bucket 0 holds just 0). */
+    static std::uint64_t
+    upperBoundUs(unsigned i)
+    {
+        return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    }
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
 
 /** Point-in-time copy of the service counters. */
 struct ServiceStats
@@ -39,6 +115,12 @@ struct ServiceStats
     std::uint64_t rejectedUntagged = 0;  ///< untagged factory requests
     std::uint64_t rejectedBad = 0;       ///< malformed / unknown workload
     std::uint64_t rejectedShutdown = 0;  ///< submitted while draining
+
+    /** Request-latency distribution (µs, factor-of-two resolution). */
+    std::uint64_t latencySamples = 0;
+    std::uint64_t latencyP50Us = 0;
+    std::uint64_t latencyP95Us = 0;
+    std::uint64_t latencyP99Us = 0;
 
     /** Exports every counter into @p group ("svc.cache_hits", ...). */
     void writeTo(stats::Group &group) const;
@@ -58,6 +140,8 @@ class ServiceCounters
     std::atomic<std::uint64_t> rejectedUntagged{0};
     std::atomic<std::uint64_t> rejectedBad{0};
     std::atomic<std::uint64_t> rejectedShutdown{0};
+    /** Submit-to-reply latency of every delivered reply. */
+    LatencyHistogram latency;
 
     ServiceStats
     snapshot() const
@@ -75,6 +159,10 @@ class ServiceCounters
         s.rejectedBad = rejectedBad.load(std::memory_order_relaxed);
         s.rejectedShutdown =
             rejectedShutdown.load(std::memory_order_relaxed);
+        s.latencySamples = latency.samples();
+        s.latencyP50Us = latency.quantileUs(0.50);
+        s.latencyP95Us = latency.quantileUs(0.95);
+        s.latencyP99Us = latency.quantileUs(0.99);
         return s;
     }
 };

@@ -1,5 +1,6 @@
 #include "run/run.hh"
 
+#include <bit>
 #include <utility>
 
 #include "common/hash.hh"
@@ -66,7 +67,17 @@ CacheKey::hash() const
     h.addByte(kind);
     h.addByte(backend);
     h.addByte(flags);
+    h.addByte(modeMask);
     return h.value();
+}
+
+std::uint8_t
+normalizedCompareModes(std::uint8_t modes)
+{
+    constexpr std::uint8_t all =
+        (1u << compaction::kNumModes) - 1;
+    const std::uint8_t mask = modes & all;
+    return mask == 0 ? all : mask;
 }
 
 std::optional<CacheKey>
@@ -86,7 +97,17 @@ cacheKeyFor(const RunRequest &request)
     } else {
         key.workloadDigest = fnv64("w:" + request.workload);
     }
-    key.configDigest = gpu::configDigest(request.config);
+    if (request.kind == JobKind::TimingCompare) {
+        // The request's own eu.mode cannot influence a compare result
+        // (every requested mode is timed explicitly), so normalize it
+        // out of the digest; the mode set itself lives in modeMask.
+        gpu::GpuConfig norm = request.config;
+        norm.eu.mode = compaction::Mode::Baseline;
+        key.configDigest = gpu::configDigest(norm);
+        key.modeMask = normalizedCompareModes(request.compareModes);
+    } else {
+        key.configDigest = gpu::configDigest(request.config);
+    }
     key.scale = request.scale;
     key.kind = static_cast<std::uint8_t>(request.kind);
     key.backend = static_cast<std::uint8_t>(request.backend);
@@ -105,6 +126,19 @@ RunRequest::timing(std::string workload, gpu::GpuConfig config,
     request.workload = std::move(workload);
     request.config = std::move(config);
     request.scale = scale;
+    return request;
+}
+
+RunRequest
+RunRequest::timingCompare(std::string workload, gpu::GpuConfig config,
+                          unsigned scale, std::uint8_t modes)
+{
+    RunRequest request;
+    request.kind = JobKind::TimingCompare;
+    request.workload = std::move(workload);
+    request.config = std::move(config);
+    request.scale = scale;
+    request.compareModes = modes;
     return request;
 }
 
@@ -236,6 +270,55 @@ executeRun(const RunRequest &request)
         options.jobs = request.traceJobs;
         result.analysis =
             tracestream::analyzeTraceFile(request.tracePath, options);
+        return result;
+      }
+      case JobKind::TimingCompare: {
+        fatal_if(request.trace,
+                 "TimingCompare cannot record observability events; "
+                 "trace the individual Timing runs instead");
+        result.label = request.workload;
+        gpu::GpuConfig config = request.config;
+        if (request.backend != func::BackendKind::Auto)
+            config.eu.backend = request.backend;
+
+        // Build the workload and its inputs exactly once.
+        gpu::Device dev(config);
+        workloads::Workload w = buildWorkload(request, dev);
+        if (request.meld)
+            w.kernel = xform::meldKernel(w.kernel).kernel;
+        result.kernelDigest = w.kernel.digest();
+        if (request.lint)
+            lint::verifyOrDie(w.kernel);
+
+        // The lowest requested mode leads: one full simulation that
+        // captures the issue trace (and owns the output check, whose
+        // result is mode-invariant). Every other mode replays.
+        const std::uint8_t mask =
+            normalizedCompareModes(request.compareModes);
+        const unsigned lead =
+            static_cast<unsigned>(std::countr_zero(mask));
+        eu::IssueTrace trace;
+        for (unsigned m = 0; m < compaction::kNumModes; ++m) {
+            if ((mask & (1u << m)) == 0)
+                continue;
+            dev.config().eu.mode = static_cast<compaction::Mode>(m);
+            RunResult::ModeStats entry;
+            entry.mode = static_cast<compaction::Mode>(m);
+            if (m == lead) {
+                entry.stats =
+                    dev.launchCapture(w.kernel, w.globalSize,
+                                      w.localSize, w.args, trace);
+                if (request.checkOutput) {
+                    result.checked = true;
+                    result.checkOk = w.check ? w.check(dev) : true;
+                }
+            } else {
+                entry.stats =
+                    dev.launchReplay(w.kernel, w.globalSize,
+                                     w.localSize, w.args, trace);
+            }
+            result.compare.push_back(std::move(entry));
+        }
         return result;
       }
     }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "gpu/device.hh"
 #include "gpu/gpu_config.hh"
@@ -48,6 +49,19 @@ enum class JobKind
      * flat-binary and text traces load in memory first.
      */
     FileTrace,
+    /**
+     * Single-build multi-mode timing comparison: the workload and its
+     * inputs are built ONCE, the lowest requested mode runs a full
+     * simulation capturing the issue trace (see eu/issue_trace.hh),
+     * and every other mode replays that trace — full mode-dependent
+     * timing, no redundant functional execution, predecode, or plan
+     * construction. Per-mode LaunchStats land in RunResult::compare
+     * and are bit-identical to individual JobKind::Timing runs of the
+     * same modes (gated by tests/test_compare_run.cc). The request's
+     * config.eu.mode is ignored; RunRequest::compareModes selects the
+     * modes.
+     */
+    TimingCompare,
 };
 
 /**
@@ -125,11 +139,20 @@ struct RunRequest
      * of the cache key like lint/checkOutput.
      */
     bool meld = false;
+    /**
+     * TimingCompare only: bitmask of compaction modes to time, bit m
+     * selecting static_cast<compaction::Mode>(m). 0 means all modes.
+     */
+    std::uint8_t compareModes = 0;
 
     // --- Convenience constructors ---------------------------------------
 
     static RunRequest timing(std::string workload, gpu::GpuConfig config,
                              unsigned scale = 1);
+    static RunRequest timingCompare(std::string workload,
+                                    gpu::GpuConfig config,
+                                    unsigned scale = 1,
+                                    std::uint8_t modes = 0);
     static RunRequest functionalTrace(std::string workload,
                                       unsigned scale = 1);
     static RunRequest syntheticTrace(std::string profile);
@@ -156,12 +179,26 @@ struct CacheKey
     std::uint8_t backend = 0;
     /** checkOutput/lint/meld bits — they change the result. */
     std::uint8_t flags = 0;
+    /**
+     * TimingCompare: the requested mode set. Always 0 for other
+     * kinds. The config digest of a compare key is taken with
+     * config.eu.mode normalized to Baseline (the mode is irrelevant
+     * to a compare result), so without this field two compare
+     * requests over different mode sets would alias.
+     */
+    std::uint8_t modeMask = 0;
 
     bool operator==(const CacheKey &) const = default;
 
     /** Stable 64-bit fold of the key (map hashing / wire export). */
     std::uint64_t hash() const;
 };
+
+/**
+ * The mode set a compare request with @p modes times: masked to the
+ * valid modes, with 0 (the default) meaning all of them.
+ */
+std::uint8_t normalizedCompareModes(std::uint8_t modes);
 
 /**
  * The cache identity of @p request, or nullopt for requests that
@@ -193,6 +230,14 @@ struct RunResult
     gpu::LaunchStats stats;
     /** Valid for JobKind::FunctionalTrace / SyntheticTrace. */
     trace::TraceAnalysis analysis;
+    /** One timed mode of a TimingCompare result. */
+    struct ModeStats
+    {
+        compaction::Mode mode = compaction::Mode::Baseline;
+        gpu::LaunchStats stats;
+    };
+    /** Valid for JobKind::TimingCompare, ascending mode order. */
+    std::vector<ModeStats> compare;
 
     /** Reference-check outcome (Timing with checkOutput=true). */
     bool checked = false;

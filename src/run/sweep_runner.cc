@@ -6,8 +6,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 namespace iwc::run
@@ -25,6 +27,7 @@ struct CacheEntry
 {
     std::once_flag once;
     trace::TraceAnalysis analysis;
+    std::uint64_t kernelDigest = 0;
 };
 
 /** Cache key for requests whose analysis is config-independent. */
@@ -33,6 +36,8 @@ cacheKey(const RunRequest &request)
 {
     if (request.factory)
         return {}; // opaque builder: never shared
+    if (!request.captureTo.empty())
+        return {}; // capture is a side effect sharing would skip
     if (request.kind == JobKind::FunctionalTrace)
         return "w:" + request.workload + "@" +
                std::to_string(request.scale) +
@@ -40,6 +45,50 @@ cacheKey(const RunRequest &request)
     if (request.kind == JobKind::SyntheticTrace)
         return "t:" + request.traceProfile;
     return {};
+}
+
+/** One shared multi-mode compare job (see class comment). */
+struct CompareGroup
+{
+    std::once_flag once;
+    RunRequest request;       ///< the TimingCompare job to run
+    RunResult result;         ///< its multi-mode outcome
+    std::vector<std::size_t> members;
+};
+
+/**
+ * The mode-blind identity of a cacheable Timing request: equal keys
+ * mean "the same job except possibly the compaction mode", the
+ * precondition for sharing one compare run. Total ordering for map
+ * storage.
+ */
+struct ModeBlindKey
+{
+    CacheKey key;
+
+    bool
+    operator<(const ModeBlindKey &o) const
+    {
+        const auto tie = [](const CacheKey &k) {
+            return std::tuple(k.workloadDigest, k.configDigest, k.scale,
+                              k.kind, k.backend, k.flags, k.modeMask);
+        };
+        return tie(key) < tie(o.key);
+    }
+};
+
+/** Mode-blind key of @p request, or nullopt if it cannot be grouped. */
+std::optional<ModeBlindKey>
+modeBlindKeyFor(const RunRequest &request)
+{
+    if (request.kind != JobKind::Timing)
+        return std::nullopt;
+    RunRequest blind = request;
+    blind.config.eu.mode = compaction::Mode::Baseline;
+    const auto key = cacheKeyFor(blind);
+    if (!key)
+        return std::nullopt; // traced/opaque/side-effecting: never shared
+    return ModeBlindKey{*key};
 }
 
 } // namespace
@@ -139,35 +188,100 @@ SweepRunner::run(const std::vector<RunRequest> &requests)
         entry_of[i] = it->second;
     }
 
+    // Compare-group routing: cacheable Timing requests that agree on
+    // everything but the compaction mode share one TimingCompare job.
+    std::map<ModeBlindKey, std::shared_ptr<CompareGroup>> groups;
+    std::vector<std::shared_ptr<CompareGroup>> group_of(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto key = modeBlindKeyFor(requests[i]);
+        if (!key)
+            continue;
+        auto [it, inserted] =
+            groups.emplace(*key, std::shared_ptr<CompareGroup>());
+        if (inserted)
+            it->second = std::make_shared<CompareGroup>();
+        it->second->members.push_back(i);
+    }
+    for (auto &[key, group] : groups) {
+        if (group->members.size() < 2) {
+            group_of[group->members.front()] = nullptr;
+            continue;
+        }
+        RunRequest compare = requests[group->members.front()];
+        compare.kind = JobKind::TimingCompare;
+        compare.compareModes = 0;
+        compare.checkOutput = false;
+        for (const std::size_t i : group->members) {
+            compare.compareModes |= static_cast<std::uint8_t>(
+                1u << static_cast<unsigned>(
+                    requests[i].config.eu.mode));
+            compare.checkOutput =
+                compare.checkOutput || requests[i].checkOutput;
+        }
+        group->request = std::move(compare);
+        for (const std::size_t i : group->members)
+            group_of[i] = group;
+        stats_.comparePoints += group->members.size();
+    }
+
     std::atomic<std::uint64_t> executions{0};
+    std::atomic<std::uint64_t> compare_executions{0};
     std::vector<RunResult> results(requests.size());
     forEach(requests.size(), [&](std::size_t i) {
         const RunRequest &request = requests[i];
+        if (const auto &group = group_of[i]) {
+            std::call_once(group->once, [&] {
+                compare_executions.fetch_add(
+                    1, std::memory_order_relaxed);
+                group->result = executeRun(group->request);
+            });
+            const RunResult &shared = group->result;
+            RunResult &out = results[i];
+            out.kind = JobKind::Timing;
+            out.label = shared.label;
+            out.kernelDigest = shared.kernelDigest;
+            for (const RunResult::ModeStats &entry : shared.compare) {
+                if (entry.mode == request.config.eu.mode) {
+                    out.stats = entry.stats;
+                    break;
+                }
+            }
+            if (request.checkOutput) {
+                // The check ran once on the lead mode; its outcome is
+                // mode-invariant (the replay-layer invariant).
+                out.checked = true;
+                out.checkOk = shared.checkOk;
+            }
+            return;
+        }
         if (const auto &entry = entry_of[i]) {
             std::call_once(entry->once, [&] {
                 executions.fetch_add(1, std::memory_order_relaxed);
-                if (request.kind != JobKind::FunctionalTrace)
+                if (request.kind != JobKind::FunctionalTrace) {
                     entry->analysis =
                         analyzeSyntheticProfile(request.traceProfile);
-                else if (request.meld)
-                    // Melding rewrites the kernel, so the analysis is
-                    // meld-specific (the key carries a "+meld" tag);
-                    // route through executeRun, which applies it.
-                    entry->analysis = executeRun(request).analysis;
-                else
-                    entry->analysis = analyzeWorkload(request.workload,
-                                                      request.scale);
+                } else {
+                    // Through executeRun (not analyzeWorkload) so the
+                    // shared entry also carries the kernel digest and
+                    // melding applies when requested — shared results
+                    // stay bit-identical to unshared ones.
+                    RunResult shared = executeRun(request);
+                    entry->analysis = std::move(shared.analysis);
+                    entry->kernelDigest = shared.kernelDigest;
+                }
             });
             results[i].kind = request.kind;
             results[i].label = request.kind == JobKind::FunctionalTrace
                                    ? request.workload
                                    : request.traceProfile;
+            results[i].kernelDigest = entry->kernelDigest;
             results[i].analysis = entry->analysis;
             return;
         }
         results[i] = executeRun(request);
     });
     stats_.traceExecutions = executions.load();
+    stats_.compareExecutions = compare_executions.load();
     return results;
 }
 

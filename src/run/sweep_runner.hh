@@ -49,9 +49,23 @@ struct SweepStats
     std::uint64_t traceExecutions = 0;
     /** Requests whose analysis was shared from the per-sweep cache. */
     std::uint64_t traceCacheHits = 0;
+    /** Multi-mode compare jobs run on behalf of grouped requests. */
+    std::uint64_t compareExecutions = 0;
+    /** Timing requests served from a shared compare job. */
+    std::uint64_t comparePoints = 0;
 };
 
-/** See file comment. */
+/**
+ * See file comment.
+ *
+ * Timing requests that differ ONLY in their compaction mode (equal
+ * mode-blind cache identity) are additionally routed through one
+ * JobKind::TimingCompare job per group: the workload is built and
+ * functionally executed once, and every other mode replays the lead
+ * mode's issue trace. The per-request results are bit-identical to
+ * individual executeRun calls (the invariant the replay layer is
+ * built on — see eu/issue_trace.hh), just several times cheaper.
+ */
 class SweepRunner
 {
   public:

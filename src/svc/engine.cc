@@ -1,15 +1,32 @@
 #include "svc/engine.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <utility>
 
 #include "common/logging.hh"
+#include "compaction/shared_plan_table.hh"
+#include "func/predecode_cache.hh"
 #include "trace/synthetic.hh"
 #include "workloads/registry.hh"
 
 namespace iwc::svc
 {
+
+namespace
+{
+
+std::uint64_t
+elapsedUs(std::chrono::steady_clock::time_point start)
+{
+    const auto d = std::chrono::steady_clock::now() - start;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d)
+            .count());
+}
+
+} // namespace
 
 Engine::Engine(EngineOptions options) : options_(options),
     cache_(options.cacheEntries)
@@ -143,6 +160,7 @@ void
 Engine::submit(const run::RunRequest &request, std::uint64_t client,
                ReplyFn done)
 {
+    const auto start = std::chrono::steady_clock::now();
     counters_.submitted.fetch_add(1, std::memory_order_relaxed);
 
     Reply immediate;
@@ -165,6 +183,7 @@ Engine::submit(const run::RunRequest &request, std::uint64_t client,
                 break;
             }
             counters_.completed.fetch_add(1, std::memory_order_relaxed);
+            counters_.latency.record(elapsedUs(start));
             immediate.status = status;
             immediate.message = std::move(message);
             done(immediate);
@@ -181,6 +200,7 @@ Engine::submit(const run::RunRequest &request, std::uint64_t client,
             counters_.rejectedShutdown.fetch_add(
                 1, std::memory_order_relaxed);
             counters_.completed.fetch_add(1, std::memory_order_relaxed);
+            counters_.latency.record(elapsedUs(start));
             immediate.status = Status::ShuttingDown;
             immediate.message = "service is draining";
             lock.unlock();
@@ -193,6 +213,7 @@ Engine::submit(const run::RunRequest &request, std::uint64_t client,
         if (ResultBytes bytes = cache_.get(*key)) {
             counters_.cacheHits.fetch_add(1, std::memory_order_relaxed);
             counters_.completed.fetch_add(1, std::memory_order_relaxed);
+            counters_.latency.record(elapsedUs(start));
             immediate.status = Status::Ok;
             immediate.result = std::move(bytes);
             lock.unlock();
@@ -205,6 +226,7 @@ Engine::submit(const run::RunRequest &request, std::uint64_t client,
             it != inflight_.end()) {
             counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
             it->second->waiters.push_back(std::move(done));
+            it->second->waiterStarts.push_back(start);
             return;
         }
 
@@ -214,6 +236,7 @@ Engine::submit(const run::RunRequest &request, std::uint64_t client,
             counters_.rejectedBusy.fetch_add(
                 1, std::memory_order_relaxed);
             counters_.completed.fetch_add(1, std::memory_order_relaxed);
+            counters_.latency.record(elapsedUs(start));
             immediate.status = Status::Busy;
             immediate.message = "submission queue full (depth " +
                                 std::to_string(queue.size()) +
@@ -228,6 +251,7 @@ Engine::submit(const run::RunRequest &request, std::uint64_t client,
         job->request = request;
         job->key = *key;
         job->waiters.push_back(std::move(done));
+        job->waiterStarts.push_back(start);
         inflight_.emplace(*key, job);
         queue.push_back(std::move(job));
         ++queuedJobs_;
@@ -270,6 +294,16 @@ Engine::wireStats() const
     out.rejectedShutdown = s.rejectedShutdown;
     out.cacheEntries = cache_.size();
     out.cacheEvictions = cache_.evictions();
+    out.latencySamples = s.latencySamples;
+    out.latencyP50Us = s.latencyP50Us;
+    out.latencyP95Us = s.latencyP95Us;
+    out.latencyP99Us = s.latencyP99Us;
+    const auto &plans = compaction::SharedPlanTable::instance();
+    out.sharedPlanHits = plans.hits();
+    out.sharedPlanMisses = plans.misses();
+    const auto &predecode = func::PredecodeCache::instance();
+    out.predecodeHits = predecode.hits();
+    out.predecodeMisses = predecode.misses();
     return out;
 }
 
@@ -338,16 +372,20 @@ Engine::workerLoop()
         }
 
         std::vector<ReplyFn> waiters;
+        std::vector<std::chrono::steady_clock::time_point> starts;
         {
             const std::lock_guard<std::mutex> lock(mutex_);
             if (reply.status == Status::Ok)
                 cache_.put(job->key, reply.result);
             inflight_.erase(job->key);
             waiters = std::move(job->waiters);
+            starts = std::move(job->waiterStarts);
         }
         counters_.executed.fetch_add(1, std::memory_order_relaxed);
         counters_.completed.fetch_add(waiters.size(),
                                       std::memory_order_relaxed);
+        for (const auto &t0 : starts)
+            counters_.latency.record(elapsedUs(t0));
         for (const ReplyFn &done : waiters)
             done(reply);
     }

@@ -34,6 +34,7 @@
 #ifndef IWC_SVC_ENGINE_HH
 #define IWC_SVC_ENGINE_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -143,6 +144,8 @@ class Engine
         run::RunRequest request;
         run::CacheKey key;
         std::vector<ReplyFn> waiters;
+        /** Submission time of each waiter (latency histogram). */
+        std::vector<std::chrono::steady_clock::time_point> waiterStarts;
     };
 
     struct KeyHash

@@ -137,6 +137,7 @@ encodeSubmit(const SubmitMsg &msg)
     if (r.meld)
         flags |= kFlagMeld;
     w.u8(flags);
+    w.u8(r.compareModes);
     w.u64(r.traceCapacity);
     w.str(r.workload);
     w.str(r.traceProfile);
@@ -155,7 +156,7 @@ decodeSubmit(std::string_view payload, SubmitMsg &out)
     out = SubmitMsg{};
     out.reqId = r.u64();
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(run::JobKind::FileTrace))
+    if (kind > static_cast<std::uint8_t>(run::JobKind::TimingCompare))
         return false;
     out.request.kind = static_cast<run::JobKind>(kind);
     const std::uint8_t backend = r.u8();
@@ -168,6 +169,7 @@ decodeSubmit(std::string_view payload, SubmitMsg &out)
     out.request.lint = flags & kFlagLint;
     out.request.trace = flags & kFlagTrace;
     out.request.meld = flags & kFlagMeld;
+    out.request.compareModes = r.u8();
     out.request.traceCapacity = r.u64();
     out.request.workload = r.str();
     out.request.traceProfile = r.str();
@@ -315,6 +317,11 @@ encodeRunResult(const run::RunResult &result)
     w.u8(static_cast<std::uint8_t>(result.checkOk));
     encodeLaunchStats(w, result.stats);
     encodeAnalysis(w, result.analysis);
+    w.u8(static_cast<std::uint8_t>(result.compare.size()));
+    for (const run::RunResult::ModeStats &entry : result.compare) {
+        w.u8(static_cast<std::uint8_t>(entry.mode));
+        encodeLaunchStats(w, entry.stats);
+    }
     return w.take();
 }
 
@@ -324,7 +331,7 @@ decodeRunResult(std::string_view payload, run::RunResult &out)
     WireReader r(payload);
     out = run::RunResult{};
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(run::JobKind::FileTrace))
+    if (kind > static_cast<std::uint8_t>(run::JobKind::TimingCompare))
         return false;
     out.kind = static_cast<run::JobKind>(kind);
     out.label = r.str();
@@ -333,6 +340,17 @@ decodeRunResult(std::string_view payload, run::RunResult &out)
     out.checkOk = r.u8();
     decodeLaunchStats(r, out.stats);
     decodeAnalysis(r, out.analysis);
+    const std::uint8_t compare_count = r.u8();
+    if (compare_count > compaction::kNumModes)
+        return false;
+    out.compare.resize(compare_count);
+    for (run::RunResult::ModeStats &entry : out.compare) {
+        const std::uint8_t mode = r.u8();
+        if (mode >= compaction::kNumModes)
+            return false;
+        entry.mode = static_cast<compaction::Mode>(mode);
+        decodeLaunchStats(r, entry.stats);
+    }
     return r.done();
 }
 
@@ -377,6 +395,14 @@ encodeStats(const StatsSnapshot &stats)
     w.u64(stats.rejectedShutdown);
     w.u64(stats.cacheEntries);
     w.u64(stats.cacheEvictions);
+    w.u64(stats.latencySamples);
+    w.u64(stats.latencyP50Us);
+    w.u64(stats.latencyP95Us);
+    w.u64(stats.latencyP99Us);
+    w.u64(stats.sharedPlanHits);
+    w.u64(stats.sharedPlanMisses);
+    w.u64(stats.predecodeHits);
+    w.u64(stats.predecodeMisses);
     return w.take();
 }
 
@@ -396,6 +422,14 @@ decodeStats(std::string_view payload, StatsSnapshot &out)
     out.rejectedShutdown = r.u64();
     out.cacheEntries = r.u64();
     out.cacheEvictions = r.u64();
+    out.latencySamples = r.u64();
+    out.latencyP50Us = r.u64();
+    out.latencyP95Us = r.u64();
+    out.latencyP99Us = r.u64();
+    out.sharedPlanHits = r.u64();
+    out.sharedPlanMisses = r.u64();
+    out.predecodeHits = r.u64();
+    out.predecodeMisses = r.u64();
     return r.done();
 }
 

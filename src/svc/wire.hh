@@ -186,6 +186,19 @@ struct StatsSnapshot
     std::uint64_t rejectedShutdown = 0;
     std::uint64_t cacheEntries = 0;
     std::uint64_t cacheEvictions = 0;
+
+    /** Request-latency quantiles (µs, factor-of-two resolution). */
+    std::uint64_t latencySamples = 0;
+    std::uint64_t latencyP50Us = 0;
+    std::uint64_t latencyP95Us = 0;
+    std::uint64_t latencyP99Us = 0;
+
+    /** Process-wide shared simulation caches (hits amortized across
+     *  every run in the daemon, not just service cache hits). */
+    std::uint64_t sharedPlanHits = 0;
+    std::uint64_t sharedPlanMisses = 0;
+    std::uint64_t predecodeHits = 0;
+    std::uint64_t predecodeMisses = 0;
 };
 
 std::string encodeStats(const StatsSnapshot &stats);

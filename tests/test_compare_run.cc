@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Gates the issue-trace capture/replay layer and the single-build
+ * multi-mode compare runs built on it: a replayed launch must produce
+ * LaunchStats bit-identical to a full simulation of the same mode,
+ * and executeCompareRun must match per-mode individual runs while
+ * doing the expensive work (workload build, predecode, plan
+ * construction, functional execution) only once.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compaction/mask_info.hh"
+#include "compaction/shared_plan_table.hh"
+#include "eu/issue_trace.hh"
+#include "func/predecode_cache.hh"
+#include "gpu/device.hh"
+#include "gpu/gpu_config.hh"
+#include "run/run.hh"
+#include "svc/engine.hh"
+#include "svc/wire.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using iwc::compaction::Mode;
+using iwc::eu::IssueTrace;
+using iwc::gpu::Device;
+using iwc::gpu::GpuConfig;
+using iwc::gpu::ivbConfig;
+using iwc::gpu::LaunchStats;
+using iwc::workloads::make;
+using iwc::workloads::Workload;
+
+/** Field-by-field LaunchStats equality (bit-identity gate). */
+void
+expectStatsEqual(const LaunchStats &a, const LaunchStats &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles) << what;
+    EXPECT_EQ(a.eu.instructions, b.eu.instructions) << what;
+    EXPECT_EQ(a.eu.aluInstructions, b.eu.aluInstructions) << what;
+    EXPECT_EQ(a.eu.sendInstructions, b.eu.sendInstructions) << what;
+    EXPECT_EQ(a.eu.ctrlInstructions, b.eu.ctrlInstructions) << what;
+    EXPECT_EQ(a.eu.sumActiveLanes, b.eu.sumActiveLanes) << what;
+    EXPECT_EQ(a.eu.sumSimdWidth, b.eu.sumSimdWidth) << what;
+    for (unsigned m = 0; m < iwc::compaction::kNumModes; ++m)
+        EXPECT_EQ(a.eu.euCyclesByMode[m], b.eu.euCyclesByMode[m])
+            << what << " mode " << m;
+    for (unsigned u = 0; u < iwc::compaction::kNumUtilBins; ++u)
+        EXPECT_EQ(a.eu.utilBins[u], b.eu.utilBins[u])
+            << what << " bin " << u;
+    EXPECT_EQ(a.eu.memMessages, b.eu.memMessages) << what;
+    EXPECT_EQ(a.eu.memLines, b.eu.memLines) << what;
+    EXPECT_EQ(a.eu.slmMessages, b.eu.slmMessages) << what;
+    EXPECT_EQ(a.eu.sccSwizzledLanes, b.eu.sccSwizzledLanes) << what;
+    EXPECT_EQ(a.eu.issueSlotsUsed, b.eu.issueSlotsUsed) << what;
+    EXPECT_EQ(a.eu.threadsRetired, b.eu.threadsRetired) << what;
+    EXPECT_EQ(a.fpuBusyCycles, b.fpuBusyCycles) << what;
+    EXPECT_EQ(a.emBusyCycles, b.emBusyCycles) << what;
+    EXPECT_EQ(a.l3Hits, b.l3Hits) << what;
+    EXPECT_EQ(a.l3Misses, b.l3Misses) << what;
+    EXPECT_EQ(a.llcHits, b.llcHits) << what;
+    EXPECT_EQ(a.llcMisses, b.llcMisses) << what;
+    EXPECT_EQ(a.dramLines, b.dramLines) << what;
+    EXPECT_EQ(a.dcLines, b.dcLines) << what;
+    EXPECT_EQ(a.slmAccesses, b.slmAccesses) << what;
+    EXPECT_DOUBLE_EQ(a.avgLinesPerMessage, b.avgLinesPerMessage)
+        << what;
+    EXPECT_EQ(a.planCacheHits, b.planCacheHits) << what;
+    EXPECT_EQ(a.planCacheMisses, b.planCacheMisses) << what;
+    EXPECT_EQ(a.idleCyclesSkipped, b.idleCyclesSkipped) << what;
+    EXPECT_EQ(a.idleSkips, b.idleSkips) << what;
+    EXPECT_EQ(a.workgroups, b.workgroups) << what;
+    EXPECT_EQ(a.threads, b.threads) << what;
+}
+
+constexpr Mode kModes[] = {Mode::Baseline, Mode::IvbOpt, Mode::Bcc,
+                           Mode::Scc};
+
+class CaptureReplay : public ::testing::TestWithParam<const char *>
+{
+};
+
+// The core invariant of compare runs: replaying a trace captured
+// under one mode reproduces, bit for bit, the LaunchStats of a full
+// simulation under any mode — including the mode-sensitive dispatch
+// placement, cache interleaving, and plan-cache counters.
+TEST_P(CaptureReplay, ReplayMatchesFullRunUnderEveryMode)
+{
+    const char *name = GetParam();
+
+    // Full per-mode runs: the reference results.
+    LaunchStats ref[4];
+    for (unsigned m = 0; m < 4; ++m) {
+        Device dev(ivbConfig(kModes[m]));
+        Workload w = make(name, dev, 1);
+        ref[m] = dev.launch(w.kernel, w.globalSize, w.localSize, w.args);
+    }
+
+    // One captured run (lead mode Baseline) + three replays.
+    IssueTrace trace;
+    {
+        Device dev(ivbConfig(Mode::Baseline));
+        Workload w = make(name, dev, 1);
+        const LaunchStats lead = dev.launchCapture(
+            w.kernel, w.globalSize, w.localSize, w.args, trace);
+        expectStatsEqual(lead, ref[0],
+                         std::string(name) + " capture/baseline");
+        EXPECT_TRUE(w.check(dev)) << name;
+    }
+    for (unsigned m = 1; m < 4; ++m) {
+        Device dev(ivbConfig(kModes[m]));
+        Workload w = make(name, dev, 1);
+        const LaunchStats rep = dev.launchReplay(
+            w.kernel, w.globalSize, w.localSize, w.args, trace);
+        expectStatsEqual(rep, ref[m],
+                         std::string(name) + " replay mode " +
+                             std::to_string(m));
+    }
+}
+
+// Coverage spans ALU-only, divergent branches, loops, SLM + barriers,
+// global scatter/gather, and partial last workgroups.
+INSTANTIATE_TEST_SUITE_P(
+    RepresentativeWorkloads, CaptureReplay,
+    ::testing::Values("va", "dp", "scla", "bfs", "hotspot", "bsearch",
+                      "mandelbrot", "micro_ifelse", "micro_looptrip",
+                      "kmeans", "rt_ao_alien8"));
+
+using iwc::run::executeRun;
+using iwc::run::RunRequest;
+using iwc::run::RunResult;
+
+// A compare job's per-mode stats are the same bits an individual
+// Timing run of each mode produces; checkOutput runs exactly once
+// (on the lead mode) and stands for all modes.
+TEST(CompareRun, MatchesIndividualTimingRuns)
+{
+    RunRequest compare = RunRequest::timingCompare("bfs", ivbConfig());
+    compare.checkOutput = true;
+    const RunResult all = executeRun(compare);
+    ASSERT_EQ(all.compare.size(), iwc::compaction::kNumModes);
+    EXPECT_TRUE(all.checked);
+    EXPECT_TRUE(all.checkOk);
+
+    for (unsigned m = 0; m < iwc::compaction::kNumModes; ++m) {
+        EXPECT_EQ(all.compare[m].mode, kModes[m]);
+        const RunResult solo = executeRun(RunRequest::timing(
+            "bfs", ivbConfig(kModes[m])));
+        expectStatsEqual(all.compare[m].stats, solo.stats,
+                         "bfs compare mode " + std::to_string(m));
+        EXPECT_EQ(all.kernelDigest, solo.kernelDigest);
+    }
+}
+
+// A subset mask times only the requested modes, led by the lowest.
+TEST(CompareRun, SubsetMaskSelectsModes)
+{
+    const std::uint8_t mask = (1u << 1) | (1u << 3); // IvbOpt + Scc
+    const RunResult out = executeRun(
+        RunRequest::timingCompare("dp", ivbConfig(), 1, mask));
+    ASSERT_EQ(out.compare.size(), 2u);
+    EXPECT_EQ(out.compare[0].mode, Mode::IvbOpt);
+    EXPECT_EQ(out.compare[1].mode, Mode::Scc);
+    for (const auto &entry : out.compare) {
+        const RunResult solo = executeRun(RunRequest::timing(
+            "dp", ivbConfig(entry.mode)));
+        expectStatsEqual(entry.stats, solo.stats, "dp subset");
+    }
+}
+
+// The single-build claim, verified through the process-wide shared
+// caches: one 4-mode compare predecodes its kernel at most once (one
+// digest), and a repeat of the same point misses neither the
+// predecode cache nor the shared plan table — every plan any mode
+// needs is already resident device-wide.
+TEST(CompareRun, SharesBuildAcrossModesAndRepeats)
+{
+    const auto &plans = iwc::compaction::SharedPlanTable::instance();
+    const auto &predecode = iwc::func::PredecodeCache::instance();
+    const RunRequest compare =
+        RunRequest::timingCompare("hotspot", ivbConfig());
+
+    const std::uint64_t pre0 = predecode.misses();
+    executeRun(compare);
+    EXPECT_LE(predecode.misses() - pre0, 1u);
+
+    const std::uint64_t pre1 = predecode.misses();
+    const std::uint64_t plan1 = plans.misses();
+    executeRun(compare);
+    EXPECT_EQ(predecode.misses() - pre1, 0u);
+    EXPECT_EQ(plans.misses() - plan1, 0u);
+}
+
+// Compare requests round-trip through the service daemon: the wire
+// encoding survives decode, a repeat submission is served from the
+// result cache with byte-identical bytes, and both equal a local
+// execution of the same request.
+TEST(CompareRun, DaemonRoundTripBitIdentical)
+{
+    iwc::svc::EngineOptions options;
+    options.workers = 1;
+    iwc::svc::Engine engine(options);
+    engine.start();
+
+    const RunRequest request =
+        RunRequest::timingCompare("dp", ivbConfig());
+    const iwc::svc::Reply first = engine.call(request);
+    ASSERT_EQ(first.status, iwc::svc::Status::Ok) << first.message;
+    ASSERT_TRUE(first.result);
+
+    const iwc::svc::Reply cached = engine.call(request);
+    ASSERT_EQ(cached.status, iwc::svc::Status::Ok);
+    ASSERT_TRUE(cached.result);
+    EXPECT_EQ(*first.result, *cached.result);
+    EXPECT_GE(engine.stats().cacheHits, 1u);
+
+    EXPECT_EQ(*first.result,
+              iwc::svc::encodeRunResult(executeRun(request)));
+
+    RunResult decoded;
+    ASSERT_TRUE(iwc::svc::decodeRunResult(*first.result, decoded));
+    ASSERT_EQ(decoded.compare.size(), iwc::compaction::kNumModes);
+    const RunResult local = executeRun(request);
+    for (unsigned m = 0; m < iwc::compaction::kNumModes; ++m)
+        expectStatsEqual(decoded.compare[m].stats,
+                         local.compare[m].stats,
+                         "decoded mode " + std::to_string(m));
+    engine.stop();
+}
+
+} // namespace

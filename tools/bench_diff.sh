@@ -20,7 +20,7 @@ flatten() {
         /"driver"/   { gsub(/[",]/, "", $2); driver = $2; variant = "-" }
         /"backend"/  { gsub(/[",]/, "", $2); variant = $2 }
         /"workload"/ { gsub(/[",]/, "", $2); variant = $2 }
-        /"cycles_per_sec"|"speedup"|"records_per_sec"/ {
+        /"cycles_per_sec"|"events_per_sec"|"speedup"|"records_per_sec"/ {
             metric = $1; gsub(/[":]/, "", metric)
             value = $2; gsub(/,/, "", value)
             print driver "/" variant, metric, value

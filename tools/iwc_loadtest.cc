@@ -433,6 +433,27 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(coalesced),
                 static_cast<unsigned long long>(after.executed -
                                                 before.executed));
+    std::printf("  daemon lat : p50 %llu us  p95 %llu us  p99 %llu us "
+                "(%llu samples, power-of-two buckets)\n",
+                static_cast<unsigned long long>(after.latencyP50Us),
+                static_cast<unsigned long long>(after.latencyP95Us),
+                static_cast<unsigned long long>(after.latencyP99Us),
+                static_cast<unsigned long long>(after.latencySamples));
+    const auto hit_rate = [](std::uint64_t h, std::uint64_t m) {
+        return h + m > 0 ? 100.0 * static_cast<double>(h) /
+                               static_cast<double>(h + m)
+                         : 0.0;
+    };
+    std::printf("  sim caches : plan %llu/%llu (%.1f%%), predecode "
+                "%llu/%llu (%.1f%%)\n",
+                static_cast<unsigned long long>(after.sharedPlanHits),
+                static_cast<unsigned long long>(
+                    after.sharedPlanHits + after.sharedPlanMisses),
+                hit_rate(after.sharedPlanHits, after.sharedPlanMisses),
+                static_cast<unsigned long long>(after.predecodeHits),
+                static_cast<unsigned long long>(
+                    after.predecodeHits + after.predecodeMisses),
+                hit_rate(after.predecodeHits, after.predecodeMisses));
 
     // --- Teardown / acceptance --------------------------------------
     bool ok = true;

@@ -117,7 +117,7 @@ main(int argc, char **argv)
     const std::vector<std::string> unknown = opts.unknownKeys(
         {"list", "workload", "mode", "scale", "compare", "check",
          "meld", "jobs", "progress", "trace_out", "profile",
-         "trace_capacity", "backend", "eus", "threads", "dc",
+         "trace_capacity", "backend", "engine", "eus", "threads", "dc",
          "perfect_l3", "issue_width", "arb_period", "dram_latency",
          "l3_kb", "llc_kb"});
     for (const std::string &key : unknown)

@@ -93,6 +93,14 @@ main(int argc, char **argv)
                     static_cast<double>(s.cacheEntries));
     group.setScalar("svc.cache_evictions",
                     static_cast<double>(s.cacheEvictions));
+    group.setScalar("svc.shared_plan_hits",
+                    static_cast<double>(s.sharedPlanHits));
+    group.setScalar("svc.shared_plan_misses",
+                    static_cast<double>(s.sharedPlanMisses));
+    group.setScalar("svc.predecode_hits",
+                    static_cast<double>(s.predecodeHits));
+    group.setScalar("svc.predecode_misses",
+                    static_cast<double>(s.predecodeMisses));
     group.dump(std::cerr);
     return 0;
 }

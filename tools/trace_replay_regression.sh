@@ -1,0 +1,63 @@
+#!/bin/sh
+# Trace-replay regression gate over the committed .iwct corpus.
+#
+# tests/corpus holds small captured mask traces (one per
+# representative workload, captured once with `iwc_trace cmd=capture`)
+# together with golden analysis reports. For every trace this script
+# replays the container through the streaming analyzer — sharded
+# (jobs=4) and single-shard — and requires the normalized report to
+# match the committed golden byte for byte. This pins down three
+# things at once: the .iwct container format (an old file must keep
+# decoding), the analyzer's numbers, and shard-count independence.
+#
+# Reports are normalized exactly like trace_stream_smoke.sh: the
+# header embeds the input path (replaced) and streamed runs may
+# append a peak-RSS line (dropped). Regenerate a golden only for an
+# intentional analyzer change:
+#   iwc_trace cmd=analyze in=<w>.iwct jobs=4 \
+#     | sed -e 's|^trace .*: \([0-9]* records\)$|trace: \1|' \
+#           -e '/peak RSS/d' > <w>.golden.txt
+#
+# Usage: trace_replay_regression.sh <path-to-iwc_trace> <corpus-dir>
+set -eu
+
+IWC_TRACE=${1:?usage: trace_replay_regression.sh <iwc_trace> <corpus-dir>}
+CORPUS=${2:?usage: trace_replay_regression.sh <iwc_trace> <corpus-dir>}
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/iwc_replay_reg.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+normalize() {
+    sed -e 's|^trace .*: \([0-9]* records\)$|trace: \1|' \
+        -e '/peak RSS/d' "$1"
+}
+
+status=0
+found=0
+for trace in "$CORPUS"/*.iwct; do
+    [ -e "$trace" ] || continue
+    found=1
+    base=$(basename "$trace" .iwct)
+    golden=$CORPUS/$base.golden.txt
+    if [ ! -f "$golden" ]; then
+        echo "FAIL: $base has no golden report ($golden)" >&2
+        status=1
+        continue
+    fi
+    for jobs in 4 1; do
+        "$IWC_TRACE" cmd=analyze in="$trace" jobs=$jobs \
+            > "$workdir/$base.raw"
+        normalize "$workdir/$base.raw" > "$workdir/$base.txt"
+        if ! diff -u "$golden" "$workdir/$base.txt"; then
+            echo "FAIL: $base (jobs=$jobs) diverges from golden" >&2
+            status=1
+        fi
+    done
+    echo "ok: $base"
+done
+
+if [ "$found" = 0 ]; then
+    echo "FAIL: no .iwct traces found in $CORPUS" >&2
+    exit 1
+fi
+exit $status
